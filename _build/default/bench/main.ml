@@ -1,0 +1,125 @@
+(* Benchmark harness.
+
+   Two parts:
+   1. Bechamel micro-benchmarks, one per paper artifact, timing a
+      representative unit of the machinery that regenerates it (a
+      simulated Table-1 row, a phase-1 derivation, one sweep point of
+      each figure, one guided-search run, ...).
+   2. The full reproduction: prints every table and figure series the
+      paper reports (same output as `eco experiment`).
+
+   Environment knobs (see Experiments.Config): ECO_BUDGET,
+   ECO_TABLE1_BUDGET, ECO_FAST. *)
+
+open Bechamel
+open Toolkit
+
+let quick_mode = Core.Executor.Budget 50_000
+
+let bench_table1_row () =
+  (* One mm row of Table 1 at a reduced budget. *)
+  ignore
+    (Experiments.Table1.rows ~mode:quick_mode ())
+
+let bench_table2 () = ignore (Experiments.Table2.render ())
+
+let bench_table4 () =
+  ignore (Core.Derive.variants Machine.sgi_r10000 Kernels.Matmul.kernel)
+
+let bench_fig4_point () =
+  ignore
+    (Baselines.Vendor_blas.measure Machine.sgi_r10000 ~n:128 ~mode:quick_mode)
+
+let bench_fig5_point () =
+  ignore
+    (Baselines.Native_compiler.measure Machine.sgi_r10000
+       Kernels.Jacobi3d.kernel ~n:64 ~mode:quick_mode)
+
+let bench_search_cost () =
+  (* One full guided search on the small machine. *)
+  ignore
+    (Core.Eco.optimize ~mode:quick_mode ~max_variants:1 Machine.generic_small
+       Kernels.Matmul.kernel ~n:48)
+
+let bench_ablation_unit () =
+  ignore
+    (Baselines.Model_only.optimize Machine.generic_small Kernels.Matmul.kernel
+       ~n:48 ~mode:quick_mode)
+
+let bench_padding_unit () =
+  ignore
+    (Experiments.Padding.run ~mode:quick_mode ~sizes:[ 40 ] ~tune_n:40
+       Machine.generic_small)
+
+let bench_strategies_unit () =
+  ignore
+    (Baselines.Random_search.tune Machine.generic_small ~n:48 ~mode:quick_mode
+       ~points:3 ~seed:1
+       (List.hd (Core.Derive.variants Machine.generic_small Kernels.Matmul.kernel)))
+
+let bench_conflicts_unit () =
+  ignore
+    (Memsim.Classify.of_program Machine.generic_small ~level:0
+       ~params:[ ("n", 32) ]
+       Kernels.Matmul.kernel.Kernels.Kernel.program)
+
+let bench_cache_throughput =
+  let h = Memsim.Hierarchy.create Machine.sgi_r10000 in
+  fun () ->
+    for i = 0 to 9_999 do
+      Memsim.Hierarchy.load h ((i * 64) land 0xFFFFF)
+    done
+
+let bench_trace_replay =
+  let t =
+    Memsim.Trace.of_program ~params:[ ("n", 24) ]
+      Kernels.Matmul.kernel.Kernels.Kernel.program
+  in
+  fun () ->
+    ignore
+      (Memsim.Trace.misses_under t
+         (Machine.cache_level Machine.sgi_r10000 0))
+
+let tests =
+  Test.make_grouped ~name:"eco" ~fmt:"%s/%s"
+    [
+      Test.make ~name:"table1_rows" (Staged.stage bench_table1_row);
+      Test.make ~name:"table2_render" (Staged.stage bench_table2);
+      Test.make ~name:"table4_derive" (Staged.stage bench_table4);
+      Test.make ~name:"fig4_sweep_point" (Staged.stage bench_fig4_point);
+      Test.make ~name:"fig5_sweep_point" (Staged.stage bench_fig5_point);
+      Test.make ~name:"search_cost_tune" (Staged.stage bench_search_cost);
+      Test.make ~name:"ablation_model_only" (Staged.stage bench_ablation_unit);
+      Test.make ~name:"padding_unit" (Staged.stage bench_padding_unit);
+      Test.make ~name:"strategies_random_unit" (Staged.stage bench_strategies_unit);
+      Test.make ~name:"conflicts_classify_unit" (Staged.stage bench_conflicts_unit);
+      Test.make ~name:"memsim_10k_loads" (Staged.stage bench_cache_throughput);
+      Test.make ~name:"trace_replay_sweep" (Staged.stage bench_trace_replay);
+    ]
+
+let run_benchmarks () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:20 ~quota:(Time.second 1.0) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Format.printf "%-28s %16s@." "benchmark" "ns/run";
+  Hashtbl.iter
+    (fun name ols_result ->
+      let estimate =
+        match Analyze.OLS.estimates ols_result with
+        | Some [ e ] -> Printf.sprintf "%16.0f" e
+        | _ -> Printf.sprintf "%16s" "-"
+      in
+      Format.printf "%-28s %s@." name estimate)
+    results
+
+let () =
+  Format.printf "=== Bechamel micro-benchmarks (one per paper artifact) ===@.";
+  run_benchmarks ();
+  Format.printf "@.=== Full reproduction of the paper's tables and figures ===@.";
+  Experiments.Run_all.run_everything ~print:print_endline

@@ -1,0 +1,209 @@
+(* Command-line driver for the ECO reproduction: inspect machines,
+   derive variants, tune kernels, run experiments. *)
+
+let kernels =
+  [
+    ("matmul", Kernels.Matmul.kernel);
+    ("jacobi3d", Kernels.Jacobi3d.kernel);
+    ("matvec", Kernels.Matvec.kernel);
+    ("stencil2d", Kernels.Stencil2d.kernel);
+    ("wavefront", Kernels.Wavefront.kernel);
+  ]
+
+let kernel_conv =
+  let parse s =
+    match List.assoc_opt (String.lowercase_ascii s) kernels with
+    | Some k -> Ok k
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown kernel %s (known: %s)" s
+             (String.concat ", " (List.map fst kernels))))
+  in
+  let print fmt (k : Kernels.Kernel.t) =
+    Format.pp_print_string fmt k.Kernels.Kernel.name
+  in
+  Cmdliner.Arg.conv (parse, print)
+
+let machine_conv =
+  let parse s =
+    match Machine.by_name s with
+    | Some m -> Ok m
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown machine %s (known: %s)" s
+             (String.concat ", "
+                (List.map (fun (m : Machine.t) -> m.Machine.name) Machine.all))))
+  in
+  let print fmt (m : Machine.t) = Format.pp_print_string fmt m.Machine.name in
+  Cmdliner.Arg.conv (parse, print)
+
+open Cmdliner
+
+let machine_arg =
+  Arg.(
+    value
+    & opt machine_conv Machine.sgi_r10000
+    & info [ "m"; "machine" ] ~docv:"MACHINE"
+        ~doc:"Target machine model (sgi, sun, generic).")
+
+let kernel_arg =
+  Arg.(
+    value
+    & opt kernel_conv Kernels.Matmul.kernel
+    & info [ "k"; "kernel" ] ~docv:"KERNEL"
+        ~doc:"Kernel to optimize (matmul, jacobi3d, matvec, stencil2d, wavefront).")
+
+let size_arg default =
+  Arg.(
+    value & opt int default
+    & info [ "n"; "size" ] ~docv:"N" ~doc:"Problem size.")
+
+let budget_arg =
+  Arg.(
+    value & opt int 400_000
+    & info [ "b"; "budget" ] ~docv:"FLOPS"
+        ~doc:"Flop budget per simulated measurement (0 = full simulation).")
+
+let mode_of_budget b =
+  if b <= 0 then Core.Executor.Full else Core.Executor.Budget b
+
+let bindings_str bindings =
+  String.concat " " (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) bindings)
+
+(* --- describe --- *)
+
+let describe () =
+  List.iter (fun m -> Format.printf "%a@." Machine.pp m) Machine.all;
+  Format.printf "@.";
+  List.iter
+    (fun (_, (k : Kernels.Kernel.t)) ->
+      Format.printf "%s: %s@.%a@." k.Kernels.Kernel.name
+        k.Kernels.Kernel.description Ir.Program.pp k.Kernels.Kernel.program)
+    kernels
+
+let describe_cmd =
+  Cmd.v
+    (Cmd.info "describe" ~doc:"List machine models and kernels.")
+    Term.(const describe $ const ())
+
+(* --- derive --- *)
+
+let derive machine kernel =
+  let variants = Core.Derive.variants machine kernel in
+  Format.printf "%d variants derived for %s on %s@.@." (List.length variants)
+    kernel.Kernels.Kernel.name machine.Machine.name;
+  List.iter
+    (fun v ->
+      Format.printf "%a" Core.Variant.pp v;
+      List.iter
+        (fun (l, loop, t, p, c) ->
+          Format.printf "  %-4s %-3s %-34s %-10s %s@." l loop t p c)
+        (Core.Variant.table_rows v);
+      Format.printf "@.")
+    variants
+
+let derive_cmd =
+  Cmd.v
+    (Cmd.info "derive"
+       ~doc:"Phase 1: derive the parameterized variants for a kernel.")
+    Term.(const derive $ machine_arg $ kernel_arg)
+
+(* --- tune --- *)
+
+let tune machine kernel n budget =
+  let mode = mode_of_budget budget in
+  let r = Core.Eco.optimize ~mode machine kernel ~n in
+  let o = r.Core.Eco.outcome in
+  Format.printf "best variant: %s@." o.Core.Search.variant.Core.Variant.name;
+  Format.printf "parameters:   %s@." (bindings_str o.Core.Search.bindings);
+  Format.printf "prefetch:     %s@."
+    (if o.Core.Search.prefetch = [] then "(none)"
+     else bindings_str o.Core.Search.prefetch);
+  Format.printf "performance:  %.1f MFLOPS (peak %.0f)@."
+    r.Core.Eco.measurement.Core.Executor.mflops
+    (Machine.peak_mflops machine);
+  Format.printf "search:       %d points, %.2fs CPU@."
+    (Core.Search_log.points r.Core.Eco.log)
+    (Core.Search_log.seconds r.Core.Eco.log);
+  Format.printf "@.optimized code:@.%a" Ir.Program.pp o.Core.Search.program
+
+let tune_cmd =
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:"Run the full two-phase ECO optimization for a kernel.")
+    Term.(const tune $ machine_arg $ kernel_arg $ size_arg 256 $ budget_arg)
+
+(* --- run (single measurement of the original kernel) --- *)
+
+let run_orig machine kernel n budget =
+  let mode = mode_of_budget budget in
+  let m =
+    Core.Executor.measure machine kernel ~n ~mode kernel.Kernels.Kernel.program
+  in
+  Format.printf "%s n=%d on %s (untransformed): %.1f MFLOPS@."
+    kernel.Kernels.Kernel.name n machine.Machine.name m.Core.Executor.mflops;
+  Format.printf "%a@." Memsim.Cost.pp m.Core.Executor.cost
+
+let run_cmd =
+  Cmd.v
+    (Cmd.info "run" ~doc:"Measure the untransformed kernel (baseline).")
+    Term.(const run_orig $ machine_arg $ kernel_arg $ size_arg 256 $ budget_arg)
+
+(* --- codegen --- *)
+
+let codegen machine kernel n budget fortran =
+  let mode = mode_of_budget budget in
+  let r = Core.Eco.optimize ~mode machine kernel ~n in
+  let program = r.Core.Eco.outcome.Core.Search.program in
+  if fortran then print_string (Ir.Codegen_f90.file program)
+  else print_string (Ir.Codegen_c.file program)
+
+let codegen_cmd =
+  let fortran_arg =
+    Arg.(
+      value & flag
+      & info [ "f90"; "fortran" ]
+          ~doc:"Emit Fortran 90 (the paper's output language) instead of C.")
+  in
+  Cmd.v
+    (Cmd.info "codegen"
+       ~doc:
+         "Tune a kernel and emit the optimized version as a compilable C \
+          (or Fortran 90) function on stdout.")
+    Term.(
+      const codegen $ machine_arg $ kernel_arg $ size_arg 256 $ budget_arg
+      $ fortran_arg)
+
+(* --- experiment --- *)
+
+let experiment names =
+  let print = print_endline in
+  match names with
+  | [] -> Experiments.Run_all.run_everything ~print
+  | names -> List.iter (Experiments.Run_all.run ~print) names
+
+let experiment_cmd =
+  let names_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"NAME"
+          ~doc:
+            (Printf.sprintf "Experiments to run (default: all). Known: %s."
+               (String.concat ", " Experiments.Run_all.names)))
+  in
+  Cmd.v
+    (Cmd.info "experiment"
+       ~doc:"Regenerate the paper's tables and figures (see EXPERIMENTS.md).")
+    Term.(const experiment $ names_arg)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "eco" ~version:"1.0"
+       ~doc:
+         "Reproduction of 'Combining Models and Guided Empirical Search to \
+          Optimize for Multiple Levels of the Memory Hierarchy' (CGO 2005).")
+    [ describe_cmd; derive_cmd; tune_cmd; run_cmd; codegen_cmd; experiment_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

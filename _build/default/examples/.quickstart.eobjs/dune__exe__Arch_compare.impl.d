@@ -1,0 +1,1 @@
+examples/arch_compare.ml: Core Float Format Kernels List Machine Printf String

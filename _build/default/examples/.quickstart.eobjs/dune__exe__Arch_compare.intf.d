@@ -1,0 +1,1 @@
+examples/arch_compare.mli:

@@ -1,0 +1,1 @@
+examples/custom_kernel.ml: Aff Array Core Decl Exec Fexpr Float Format Ir Kernels List Machine Program Reference Stmt

@@ -1,0 +1,1 @@
+examples/jacobi_tuning.ml: Baselines Core Format Ir Kernels List Machine Printf String

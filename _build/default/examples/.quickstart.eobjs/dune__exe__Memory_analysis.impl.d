@@ -1,0 +1,1 @@
+examples/memory_analysis.ml: Format Ir Kernels List Machine Memsim Transform

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core Format Ir Kernels List Machine Printf String

@@ -1,0 +1,96 @@
+(* Bringing your own kernel: the optimizer is not limited to the paper's
+   two case studies.  This example defines a dense rank-2 update
+   (SYR2K-like):
+
+     DO J = 0,N-1
+       DO K = 0,N-1
+         DO I = 0,N-1
+           C[I,J] = C[I,J] + A[I,K]*B[J,K] + B[I,K]*A[J,K]
+
+   builds it with the public IR combinators, validates it against a
+   plain-OCaml reference, and runs the full two-phase optimizer on it.
+
+   Run with:  dune exec examples/custom_kernel.exe *)
+
+open Ir
+
+let n = Aff.var "n"
+let last = Aff.add_const n (-1)
+
+let program =
+  let i = Aff.var "i" and j = Aff.var "j" and k = Aff.var "k" in
+  let a r c = Fexpr.ref_ (Reference.make "a" [ r; c ]) in
+  let b r c = Fexpr.ref_ (Reference.make "b" [ r; c ]) in
+  let cref = Reference.make "c" [ i; j ] in
+  let body =
+    Stmt.assign cref
+      Fexpr.(ref_ cref + (a i k * b j k) + (b i k * a j k))
+  in
+  Program.make ~name:"syr2k" ~params:[ "n" ]
+    ~decls:[ Decl.heap "a" [ n; n ]; Decl.heap "b" [ n; n ]; Decl.heap "c" [ n; n ] ]
+    [
+      Stmt.loop_aff "j" ~lo:Aff.zero ~hi:last
+        [
+          Stmt.loop_aff "k" ~lo:Aff.zero ~hi:last
+            [ Stmt.loop_aff "i" ~lo:Aff.zero ~hi:last [ body ] ];
+        ];
+    ]
+
+let kernel =
+  {
+    Kernels.Kernel.name = "syr2k";
+    program;
+    size_param = "n";
+    min_size = 2;
+    flops = (fun n -> 6 * n * n * n);
+    description = "rank-2 update C += A*B' + B*A'";
+  }
+
+(* Independent reference for validation. *)
+let reference nv =
+  let init name =
+    Array.init (nv * nv) (fun e ->
+        Exec.initial_value_at name [ e mod nv; e / nv ])
+  in
+  let a = init "a" and b = init "b" and c = init "c" in
+  let at m r col = m.((col * nv) + r) in
+  for j = 0 to nv - 1 do
+    for k = 0 to nv - 1 do
+      for i = 0 to nv - 1 do
+        c.((j * nv) + i) <-
+          at c i j +. (at a i k *. at b j k) +. (at b i k *. at a j k)
+      done
+    done
+  done;
+  c
+
+let () =
+  (* 1. Validate the IR program against the hand-written reference. *)
+  let nv = 10 in
+  let result = Exec.run ~params:[ ("n", nv) ] program in
+  let got = List.assoc "c" result.Exec.arrays in
+  let want = reference nv in
+  Array.iteri
+    (fun idx w ->
+      if Float.abs (w -. got.(idx)) > 1e-9 *. Float.max 1.0 (Float.abs w) then
+        failwith "custom kernel does not match its reference!")
+    want;
+  Format.printf "IR program validated against the OCaml reference.@.@.";
+
+  (* 2. Let phase 1 analyze it. *)
+  let variants = Core.Derive.variants Machine.sgi_r10000 kernel in
+  Format.printf "Phase 1 derived %d variants; the first:@.%a@."
+    (List.length variants)
+    Core.Variant.pp (List.hd variants);
+
+  (* 3. Tune and compare against the untransformed nest. *)
+  let mode = Core.Executor.Budget 200_000 in
+  let tuned = Core.Eco.optimize ~mode Machine.sgi_r10000 kernel ~n:96 in
+  let naive =
+    Core.Executor.measure Machine.sgi_r10000 kernel ~n:96 ~mode program
+  in
+  Format.printf "naive: %.1f MFLOPS, tuned: %.1f MFLOPS (%.1fx)@."
+    naive.Core.Executor.mflops
+    tuned.Core.Eco.measurement.Core.Executor.mflops
+    (tuned.Core.Eco.measurement.Core.Executor.mflops
+    /. naive.Core.Executor.mflops)

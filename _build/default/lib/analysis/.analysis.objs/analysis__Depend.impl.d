@@ -1,0 +1,1 @@
+lib/analysis/depend.ml: Format Ir List Printf String

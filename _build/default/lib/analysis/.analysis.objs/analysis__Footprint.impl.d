@@ -1,0 +1,1 @@
+lib/analysis/footprint.ml: Ir List Poly Reuse

@@ -1,0 +1,1 @@
+lib/analysis/poly.ml: Format Hashtbl Ir List Stdlib String

@@ -1,0 +1,1 @@
+lib/analysis/poly.mli: Format Ir

@@ -1,0 +1,1 @@
+lib/analysis/reuse.ml: Format Hashtbl Ir List Printf String

@@ -1,0 +1,162 @@
+type dir = Dist of int | Plus | Star
+
+type kind = Flow | Anti | Output
+
+type t = {
+  kind : kind;
+  array : string;
+  dirs : (string * dir) list;
+}
+
+(* Per-variable entry before orientation: either a constrained exact
+   distance or a free variable (absent from both references). *)
+type entry = Constrained of int | Free
+
+(* Solve, per loop variable, the distance implied by the offset deltas of
+   a uniform pair.  [None] = no dependence possible. *)
+let entries_of_pair ~loop_order (src : Ir.Reference.t) (dst : Ir.Reference.t) =
+  let sig_src = Ir.Reference.coeff_signature src in
+  let sig_dst = Ir.Reference.coeff_signature dst in
+  if not (List.for_all2 Ir.Aff.equal sig_src sig_dst) then
+    (* Non-uniform pair: unknown in every loop. *)
+    Some (List.map (fun _ -> Free) loop_order, true)
+  else
+    let deltas =
+      List.map2
+        (fun a b -> Ir.Aff.const_part b - Ir.Aff.const_part a)
+        src.Ir.Reference.idx dst.Ir.Reference.idx
+    in
+    (* For each variable: collect the constraints [c * d = delta] from
+       every dimension that mentions it alone; dimensions mixing several
+       variables make the variable unknown (conservative). *)
+    let exception No_dependence in
+    let entry v =
+      let constraints =
+        List.filter_map
+          (fun (sig_dim, delta) ->
+            let c = Ir.Aff.coeff sig_dim v in
+            if c = 0 then None
+            else if List.length (Ir.Aff.vars sig_dim) = 1 then Some (c, delta)
+            else Some (0, delta) (* mixed dimension: mark unknown *))
+          (List.combine sig_src deltas)
+      in
+      if constraints = [] then Free
+      else if List.exists (fun (c, _) -> c = 0) constraints then Free
+      else
+        let solve (c, delta) =
+          if delta mod c <> 0 then raise No_dependence else delta / c
+        in
+        match List.map solve constraints with
+        | [] -> Free
+        | d :: rest ->
+          if List.for_all (fun d' -> d' = d) rest then Constrained d
+          else raise No_dependence
+    in
+    (try Some (List.map entry loop_order, false) with No_dependence -> None)
+
+(* All lexicographically positive direction vectors compatible with the
+   entries.  Constrained components keep their exact distance; free
+   components enumerate the positions at which the vector first becomes
+   positive. *)
+let rec positive_vectors entries =
+  match entries with
+  | [] -> []
+  | Constrained d :: rest ->
+    if d > 0 then [ Dist d :: List.map always_star rest ]
+    else if d < 0 then []
+    else List.map (fun v -> Dist 0 :: v) (positive_vectors rest)
+  | Free :: rest ->
+    (Plus :: List.map always_star rest)
+    :: List.map (fun v -> Dist 0 :: v) (positive_vectors rest)
+
+and always_star = function Constrained d -> Dist d | Free -> Star
+
+let classify ~src_write ~dst_write =
+  match (src_write, dst_write) with
+  | true, false -> Flow
+  | false, true -> Anti
+  | true, true -> Output
+  | false, false -> assert false
+
+let analyze (p : Ir.Program.t) =
+  let loop_order = Ir.Stmt.loop_vars p.Ir.Program.body in
+  let accesses = Ir.Stmt.access_refs p.Ir.Program.body in
+  let deps = ref [] in
+  let add kind array dirs = deps := { kind; array; dirs } :: !deps in
+  let consider (src, src_write) (dst, dst_write) =
+    if
+      src.Ir.Reference.array = dst.Ir.Reference.array
+      && (src_write || dst_write)
+      && Ir.Reference.rank src = Ir.Reference.rank dst
+    then
+      match entries_of_pair ~loop_order src dst with
+      | None -> ()
+      | Some (entries, _unknown) ->
+        List.iter
+          (fun vec ->
+            add
+              (classify ~src_write ~dst_write)
+              src.Ir.Reference.array
+              (List.combine loop_order vec))
+          (positive_vectors entries)
+  in
+  List.iter
+    (fun a1 -> List.iter (fun a2 -> consider a1 a2) accesses)
+    accesses;
+  (* Deduplicate structurally. *)
+  List.sort_uniq compare !deps
+
+let vector_nonnegative dirs_in_order =
+  let rec go = function
+    | [] -> true (* all zero: loop independent, fine *)
+    | Dist 0 :: rest -> go rest
+    | Dist d :: _ -> d > 0
+    | Plus :: _ -> true
+    | Star :: _ -> false
+  in
+  go dirs_in_order
+
+let permutation_legal deps order =
+  List.for_all
+    (fun dep ->
+      let reordered =
+        List.map
+          (fun v ->
+            match List.assoc_opt v dep.dirs with
+            | Some d -> d
+            | None -> Dist 0)
+          order
+      in
+      vector_nonnegative reordered)
+    deps
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x ->
+        List.map (fun rest -> x :: rest) (permutations (List.filter (( <> ) x) l)))
+      l
+
+let fully_permutable deps =
+  match deps with
+  | [] -> true
+  | { dirs; _ } :: _ ->
+    let vars = List.map fst dirs in
+    List.for_all (permutation_legal deps) (permutations vars)
+
+let innermost_legal deps ~order var =
+  let new_order = List.filter (( <> ) var) order @ [ var ] in
+  permutation_legal deps new_order
+
+let dir_string = function
+  | Dist d -> string_of_int d
+  | Plus -> "+"
+  | Star -> "*"
+
+let kind_string = function Flow -> "flow" | Anti -> "anti" | Output -> "output"
+
+let pp fmt t =
+  Format.fprintf fmt "%s dep on %s (%s)" (kind_string t.kind) t.array
+    (String.concat ", "
+       (List.map (fun (v, d) -> Printf.sprintf "%s:%s" v (dir_string d)) t.dirs))

@@ -1,0 +1,44 @@
+(** Data-dependence analysis for uniform (constant-distance) references,
+    producing direction vectors used to check the legality of loop
+    permutation, tiling and unroll-and-jam.
+
+    Two references are {e uniform} when their index expressions have
+    identical linear parts and differ only by constants — true of all
+    dense-kernel pairs the paper considers.  Non-uniform pairs yield a
+    fully unknown vector, which conservatively blocks reordering. *)
+
+type dir =
+  | Dist of int  (** exact dependence distance for this loop *)
+  | Plus  (** some positive distance *)
+  | Star  (** unknown — any distance *)
+
+type kind = Flow | Anti | Output
+
+type t = {
+  kind : kind;
+  array : string;
+  dirs : (string * dir) list;
+      (** one entry per loop variable, outermost first; the vector is
+          lexicographically positive *)
+}
+
+(** All loop-carried dependences of the program's body.  Loop order is
+    the syntactic nesting order.  Loop-independent (all-zero)
+    dependences are omitted — they constrain statement order, not loop
+    reordering. *)
+val analyze : Ir.Program.t -> t list
+
+(** [permutation_legal deps order] checks that every dependence vector
+    remains lexicographically non-negative under the new loop [order]
+    (outermost first; must be a permutation of the analyzed loops). *)
+val permutation_legal : t list -> string list -> bool
+
+(** All orders legal — the precondition for rectangular tiling of the
+    whole band. *)
+val fully_permutable : t list -> bool
+
+(** Legality of moving [var] innermost while keeping the relative order
+    of the others — the condition for unroll-and-jam of an outer loop. *)
+val innermost_legal : t list -> order:string list -> string -> bool
+
+val pp : Format.formatter -> t -> unit

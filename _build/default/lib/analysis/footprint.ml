@@ -1,0 +1,83 @@
+type extents = string -> Poly.t
+
+let extent_one _ = Poly.one
+
+let of_extent_list l v =
+  match List.assoc_opt v l with Some p -> p | None -> Poly.one
+
+(* Extent of one dimension of a group: the linear part contributes
+   |coeff| * (extent - 1) per variable; the constant offsets of the
+   members contribute their span; plus 1 for the base element. *)
+let dim_extent extents signature_dim offsets_dim =
+  let from_vars =
+    List.fold_left
+      (fun acc (c, v) ->
+        Poly.add acc (Poly.scale (abs c) (Poly.add_const (extents v) (-1))))
+      Poly.zero
+      (Ir.Aff.terms signature_dim)
+  in
+  let span =
+    match offsets_dim with
+    | [] -> 0
+    | o :: rest ->
+      let mn = List.fold_left min o rest and mx = List.fold_left max o rest in
+      mx - mn
+  in
+  Poly.add_const from_vars (span + 1)
+
+let group_dim_offsets (g : Reuse.group) =
+  (* Transpose member offsets: per dimension, the list of constant
+     offsets across members. *)
+  let member_offsets =
+    List.map (fun (r, _) -> Ir.Reference.offsets r) g.Reuse.members
+  in
+  match member_offsets with
+  | [] -> []
+  | first :: _ ->
+    List.mapi (fun d _ -> List.map (fun off -> List.nth off d) member_offsets) first
+
+let group_elements extents (g : Reuse.group) =
+  let offsets = group_dim_offsets g in
+  List.fold_left2
+    (fun acc sig_dim off_dim -> Poly.mul acc (dim_extent extents sig_dim off_dim))
+    Poly.one g.Reuse.signature offsets
+
+let ref_elements extents (r : Ir.Reference.t) =
+  group_elements extents
+    {
+      Reuse.array = r.Ir.Reference.array;
+      signature = Ir.Reference.coeff_signature r;
+      members = [ (r, false) ];
+    }
+
+let group_runs extents (g : Reuse.group) =
+  match (g.Reuse.signature, group_dim_offsets g) with
+  | [], _ | _, [] -> Poly.one
+  | _ :: sig_rest, _ :: off_rest ->
+    List.fold_left2
+      (fun acc sig_dim off_dim -> Poly.mul acc (dim_extent extents sig_dim off_dim))
+      Poly.one sig_rest off_rest
+
+let elements extents groups =
+  List.fold_left (fun acc g -> Poly.add acc (group_elements extents g)) Poly.zero
+    groups
+
+let pages ~page_elems ~array_dims ~lookup extents (g : Reuse.group) =
+  let offsets = group_dim_offsets g in
+  let extent_ints =
+    List.map2
+      (fun sig_dim off_dim -> Poly.eval lookup (dim_extent extents sig_dim off_dim))
+      g.Reuse.signature offsets
+  in
+  (* Fold contiguous full-dimension prefixes into runs. *)
+  let rec fold run segments prefix_full extents_dims =
+    match extents_dims with
+    | [] -> (run, segments)
+    | (e, s) :: rest ->
+      if prefix_full then fold (run * e) segments (e >= s) rest
+      else fold run (segments * e) false rest
+  in
+  let run, segments = fold 1 1 true (List.combine extent_ints array_dims) in
+  let pages_per_run = (run + page_elems - 1) / page_elems in
+  let misalign = if segments > 1 || run mod page_elems <> 0 then 1 else 0 in
+  segments * (pages_per_run + misalign)

@@ -1,0 +1,50 @@
+(** Symbolic footprint analysis: how many array elements (or pages) a set
+    of references touches during one iteration of a reuse-carrying loop,
+    as a polynomial in the tile/unroll parameters.
+
+    Per uniform group and dimension, the extent is
+    [sum_v |coeff_v| * (extent_v - 1) + offset_span + 1]; the footprint
+    of the group is the product of its dimension extents, and footprints
+    of distinct groups add.  Instantiated with tile parameters this
+    yields exactly the constraints of the paper's Table 4
+    (e.g. B's tile: [TJ*TK]). *)
+
+(** Extent (trip count) of each loop variable as seen by the footprint:
+    a symbolic parameter (tile size, unroll factor), the problem size, or
+    1 for loops not enclosing the reference at this level. *)
+type extents = string -> Poly.t
+
+val extent_one : extents
+
+(** [of_extent_list l] builds extents from an association list; unlisted
+    variables get extent 1. *)
+val of_extent_list : (string * Poly.t) list -> extents
+
+(** Elements touched by the group during one iteration of the enclosing
+    reuse loop, given the inner extents. *)
+val group_elements : extents -> Reuse.group -> Poly.t
+
+(** Elements touched by a single reference. *)
+val ref_elements : extents -> Ir.Reference.t -> Poly.t
+
+(** Sum over groups. *)
+val elements : extents -> Reuse.group list -> Poly.t
+
+(** Number of distinct contiguous runs the group touches: the product of
+    the dimension extents beyond the fastest dimension.  Used with
+    {!group_elements} to bound the TLB (page) footprint. *)
+val group_runs : extents -> Reuse.group -> Poly.t
+
+(** Memory pages touched by a group, for concrete parameter values
+    [lookup]: contiguous dimension prefixes fold into runs, each run
+    costs [ceil (run / page_elems)] pages (plus one for misalignment
+    when there are several runs).  [array_dims] gives the concrete
+    dimension sizes of the group's array.  Used for the TLB-footprint
+    constraint and tile-controlling-loop ordering. *)
+val pages :
+  page_elems:int ->
+  array_dims:int list ->
+  lookup:(string -> int) ->
+  extents ->
+  Reuse.group ->
+  int

@@ -1,0 +1,82 @@
+(* A polynomial is a sorted association list from monomials (sorted
+   variable multisets) to non-zero integer coefficients. *)
+
+type mono = string list
+
+type t = (mono * int) list
+
+let mono_compare = compare
+
+let normalize terms =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (m, c) ->
+      let m = List.sort String.compare m in
+      let prev = try Hashtbl.find tbl m with Not_found -> 0 in
+      Hashtbl.replace tbl m (prev + c))
+    terms;
+  Hashtbl.fold (fun m c acc -> if c = 0 then acc else (m, c) :: acc) tbl []
+  |> List.sort (fun (m1, _) (m2, _) -> mono_compare m1 m2)
+
+let zero = []
+let const c = if c = 0 then [] else [ ([], c) ]
+let one = const 1
+let var x = [ ([ x ], 1) ]
+let add a b = normalize (a @ b)
+let scale k p = if k = 0 then [] else List.map (fun (m, c) -> (m, k * c)) p
+let sub a b = add a (scale (-1) b)
+
+let mul a b =
+  normalize
+    (List.concat_map
+       (fun (m1, c1) -> List.map (fun (m2, c2) -> (m1 @ m2, c1 * c2)) b)
+       a)
+
+let add_const p k = add p (const k)
+
+let of_aff a =
+  let terms = List.map (fun (c, x) -> ([ x ], c)) (Ir.Aff.terms a) in
+  normalize ((([], Ir.Aff.const_part a)) :: terms)
+
+let is_const = function
+  | [] -> Some 0
+  | [ ([], c) ] -> Some c
+  | _ -> None
+
+let vars p =
+  List.sort_uniq String.compare (List.concat_map (fun (m, _) -> m) p)
+
+let eval lookup p =
+  List.fold_left
+    (fun acc (m, c) ->
+      acc + (c * List.fold_left (fun prod x -> prod * lookup x) 1 m))
+    0 p
+
+let monomials p = List.map (fun (m, c) -> (c, m)) p
+let equal a b = a = b
+let compare = Stdlib.compare
+
+let pp fmt p =
+  let pp_mono fmt m =
+    Format.pp_print_list
+      ~pp_sep:(fun fmt () -> Format.fprintf fmt "*")
+      Format.pp_print_string fmt m
+  in
+  match p with
+  | [] -> Format.fprintf fmt "0"
+  | terms ->
+    List.iteri
+      (fun i (m, c) ->
+        let sign_prefix =
+          if i = 0 then if c < 0 then "-" else ""
+          else if c < 0 then " - "
+          else " + "
+        in
+        let c = abs c in
+        match m with
+        | [] -> Format.fprintf fmt "%s%d" sign_prefix c
+        | _ when c = 1 -> Format.fprintf fmt "%s%a" sign_prefix pp_mono m
+        | _ -> Format.fprintf fmt "%s%d*%a" sign_prefix c pp_mono m)
+      terms
+
+let to_string p = Format.asprintf "%a" pp p

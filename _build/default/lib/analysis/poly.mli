@@ -1,0 +1,32 @@
+(** Polynomials with integer coefficients over named parameters (tile
+    sizes, unroll factors, problem sizes).  Footprint analysis produces
+    these, and the capacity constraints attached to code variants bound
+    them (e.g. [TJ*TK <= 2048] in the paper's Table 4). *)
+
+type t
+
+val zero : t
+val one : t
+val const : int -> t
+val var : string -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val scale : int -> t -> t
+val add_const : t -> int -> t
+
+(** [of_aff a] converts an affine expression (all of whose variables are
+    parameters). *)
+val of_aff : Ir.Aff.t -> t
+
+val is_const : t -> int option
+val vars : t -> string list
+val eval : (string -> int) -> t -> int
+
+(** Monomials as [(coefficient, sorted variable multiset)]. *)
+val monomials : t -> (int * string list) list
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,124 @@
+type group = {
+  array : string;
+  signature : Ir.Aff.t list;
+  members : (Ir.Reference.t * bool) list;
+}
+
+let groups_of_body body =
+  let accesses = Ir.Stmt.access_refs body in
+  let table : (string * Ir.Aff.t list, (Ir.Reference.t * bool) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let order = ref [] in
+  List.iter
+    (fun (r, w) ->
+      let key = (r.Ir.Reference.array, Ir.Reference.coeff_signature r) in
+      match Hashtbl.find_opt table key with
+      | Some members -> members := (r, w) :: !members
+      | None ->
+        Hashtbl.add table key (ref [ (r, w) ]);
+        order := key :: !order)
+    accesses;
+  List.rev_map
+    (fun ((array, signature) as key) ->
+      { array; signature; members = List.rev !(Hashtbl.find table key) })
+    !order
+
+let self_temporal r v = not (Ir.Reference.mem v r)
+
+let self_spatial (r : Ir.Reference.t) v =
+  match r.Ir.Reference.idx with
+  | [] -> false
+  | dim0 :: rest ->
+    abs (Ir.Aff.coeff dim0 v) = 1 && not (List.exists (Ir.Aff.mem v) rest)
+
+(* Coefficients of [v] per signature dimension. *)
+let coeffs_of g v = List.map (fun s -> Ir.Aff.coeff s v) g.signature
+
+(* Offsets of a member per dimension. *)
+let offsets (r, _) = Ir.Reference.offsets r
+
+(* Does some other (or, for invariant coefficients, the same) member touch
+   member [m]'s element [d] iterations earlier, for a small [d]? *)
+let reused_within ~window g coeffs m =
+  let off_m = offsets m in
+  let invariant = List.for_all (( = ) 0) coeffs in
+  if invariant then true
+  else
+    List.exists
+      (fun m' ->
+        m' != m
+        &&
+        let off' = offsets m' in
+        let rec matches d =
+          d <= window
+          && (List.for_all2
+                (fun (o, o') c -> o' - o = c * d)
+                (List.combine off_m off')
+                coeffs
+             || matches (d + 1))
+        in
+        matches 1)
+      g.members
+
+let group_temporal_savings g v =
+  let coeffs = coeffs_of g v in
+  (* A dimension mixing [v] with other variables defeats the uniform
+     analysis: claim no loop-carried reuse (conservative). *)
+  let mixed =
+    List.exists2
+      (fun s c -> c <> 0 && List.length (Ir.Aff.vars s) > 1)
+      g.signature coeffs
+  in
+  if mixed then 0
+  else
+    List.fold_left
+      (fun acc m -> if reused_within ~window:4 g coeffs m then acc + 1 else acc)
+      0 g.members
+
+let loop_temporal_savings groups v =
+  List.fold_left (fun acc g -> acc + group_temporal_savings g v) 0 groups
+
+let loop_spatial_score groups v =
+  List.fold_left
+    (fun acc g ->
+      acc
+      + List.fold_left
+          (fun acc (r, _) -> if self_spatial r v then acc + 1 else acc)
+          0 g.members)
+    0 groups
+
+let register_retainable g ~rotation =
+  let coeffs = coeffs_of g rotation in
+  let invariant = List.for_all (( = ) 0) coeffs in
+  if invariant then g.members
+  else
+    List.filter
+      (fun m ->
+        let off_m = offsets m in
+        List.exists
+          (fun m' ->
+            m' != m
+            &&
+            let off' = offsets m' in
+            (* Offset difference must be a (non-zero) multiple of the
+               rotation coefficients in every dimension. *)
+            let rec multiple d =
+              d <= 4
+              && (List.for_all2
+                    (fun (o, o') c -> abs (o' - o) = abs (c * d))
+                    (List.combine off_m off')
+                    coeffs
+                 || multiple (d + 1))
+            in
+            multiple 1)
+          g.members)
+      g.members
+
+let pp_group fmt g =
+  Format.fprintf fmt "%s{%s}" g.array
+    (String.concat "; "
+       (List.map
+          (fun (r, w) ->
+            Printf.sprintf "%s%s" (Ir.Reference.to_string r) (if w then "!" else ""))
+          g.members))

@@ -1,0 +1,48 @@
+(** Reuse analysis in the style of Wolf & Lam, as used by the paper's
+    phase 1 (§3.1.1): classify self/group × temporal/spatial reuse and
+    quantify, per loop, the memory accesses saved by keeping the reused
+    data in a level of the memory hierarchy. *)
+
+(** References with identical linear index parts (same array), differing
+    only in constant offsets: the unit of group reuse.  [members] pairs
+    each reference with whether it is a write. *)
+type group = {
+  array : string;
+  signature : Ir.Aff.t list;  (** linear parts, constants stripped *)
+  members : (Ir.Reference.t * bool) list;
+}
+
+(** Partition the accesses of a program body into uniform groups. *)
+val groups_of_body : Ir.Stmt.t list -> group list
+
+(** [self_temporal r v]: [r] touches the same element across iterations
+    of [v] (i.e. [v] does not appear in [r]'s indices). *)
+val self_temporal : Ir.Reference.t -> string -> bool
+
+(** [self_spatial r v]: consecutive iterations of [v] walk the
+    fastest-varying dimension with unit stride (and [v] appears nowhere
+    else). *)
+val self_spatial : Ir.Reference.t -> string -> bool
+
+(** Loop-carried accesses saved per iteration of [v] by exploiting the
+    group's temporal reuse: invariant members count fully, members
+    sharing elements across iterations (constant offsets along [v]) count
+    minus the fresh element each iteration brings in.  Loop-independent
+    (same-iteration) reuse is excluded — it does not depend on loop
+    order. *)
+val group_temporal_savings : group -> string -> int
+
+(** Sum of {!group_temporal_savings} over all groups. *)
+val loop_temporal_savings : group list -> string -> int
+
+(** Number of references with self-spatial reuse in [v]. *)
+val loop_spatial_score : group list -> string -> int
+
+(** Members of the group that a register-level scalar replacement can
+    retain when [rotation] is the innermost loop variable: those whose
+    offsets differ from some other member only along the rotation
+    dimension (plus invariant members).  For the paper's Jacobi this is
+    the {i B[I-1], B[I+1]} chain; halo references are excluded. *)
+val register_retainable : group -> rotation:string -> (Ir.Reference.t * bool) list
+
+val pp_group : Format.formatter -> group -> unit

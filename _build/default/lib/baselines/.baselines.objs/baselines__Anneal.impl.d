@@ -1,0 +1,1 @@
+lib/baselines/anneal.ml: Core List

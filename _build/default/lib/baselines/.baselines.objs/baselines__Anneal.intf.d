@@ -1,0 +1,1 @@
+lib/baselines/anneal.mli: Core Machine

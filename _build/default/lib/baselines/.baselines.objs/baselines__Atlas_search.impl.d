@@ -1,0 +1,1 @@
+lib/baselines/atlas_search.ml: Core Ir Kernels List Machine Sys

@@ -1,0 +1,1 @@
+lib/baselines/atlas_search.mli: Core Ir Kernels Machine

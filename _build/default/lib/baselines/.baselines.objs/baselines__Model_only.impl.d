@@ -1,0 +1,1 @@
+lib/baselines/model_only.ml: Core

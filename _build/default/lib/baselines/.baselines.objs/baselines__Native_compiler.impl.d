@@ -1,0 +1,1 @@
+lib/baselines/native_compiler.ml: Analysis Core Ir Kernels List Machine Transform

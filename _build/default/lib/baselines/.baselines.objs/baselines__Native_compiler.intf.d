@@ -1,0 +1,1 @@
+lib/baselines/native_compiler.mli: Core Ir Kernels Machine

@@ -1,0 +1,1 @@
+lib/baselines/vendor_blas.ml: Core Ir Kernels List Machine Transform

@@ -1,0 +1,1 @@
+lib/baselines/vendor_blas.mli: Core Ir Machine

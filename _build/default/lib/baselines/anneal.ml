@@ -1,0 +1,85 @@
+type result = {
+  bindings : (string * int) list;
+  measurement : Core.Executor.measurement;
+  evaluated : int;
+  accepted : int;
+}
+
+let lcg state =
+  let state = ((state * 0x5DEECE66D) + 0xB) land 0x3FFFFFFFFFFF in
+  (state, state lsr 17)
+
+let tune machine ~n ~mode ~points ~seed variant =
+  let params = Core.Variant.params variant in
+  if params = [] then None
+  else begin
+    let state = ref (seed lxor 0x51ED2701) in
+    let next_int bound =
+      let s, v = lcg !state in
+      state := s;
+      v mod bound
+    in
+    let next_float () = float_of_int (next_int 1_000_000) /. 1_000_000.0 in
+    let clamp (p : Core.Param.t) v =
+      match p.Core.Param.kind with
+      | Core.Param.Unroll -> max 1 (min 16 v)
+      | Core.Param.Tile -> max 1 (min n v)
+    in
+    let measure bindings =
+      if not (Core.Variant.feasible variant ~n bindings) then None
+      else
+        match
+          Core.Search.measure_point machine ~n ~mode variant ~bindings
+            ~prefetch:[]
+        with
+        | Some o -> Some o.Core.Search.measurement
+        | None -> None
+    in
+    (* Start from the all-twos point (annealers need *some* start; this
+       one encodes no cache knowledge). *)
+    let start = List.map (fun (p : Core.Param.t) -> (p.Core.Param.name, 2)) params in
+    match measure start with
+    | None -> None
+    | Some m0 ->
+      let evaluated = ref 1 and accepted = ref 0 in
+      let attempts = ref 0 in
+      let current = ref (start, Core.Executor.cycles m0) in
+      let best = ref (start, m0) in
+      let temperature = ref (Core.Executor.cycles m0 *. 0.05) in
+      while !evaluated < points && !attempts < points * 50 do
+        incr attempts;
+        let bindings, cycles = !current in
+        (* Perturb one parameter. *)
+        let idx = next_int (List.length params) in
+        let p = List.nth params idx in
+        let v = List.assoc p.Core.Param.name bindings in
+        let v' =
+          clamp p
+            (match next_int 4 with
+            | 0 -> v * 2
+            | 1 -> max 1 (v / 2)
+            | 2 -> v + 1
+            | _ -> v - 1)
+        in
+        let cand =
+          List.map
+            (fun (k, old) -> if k = p.Core.Param.name then (k, v') else (k, old))
+            bindings
+        in
+        (match measure cand with
+        | None -> ()
+        | Some m ->
+          incr evaluated;
+          let c = Core.Executor.cycles m in
+          let delta = c -. cycles in
+          if delta < 0.0 || next_float () < exp (-.delta /. !temperature) then begin
+            incr accepted;
+            current := (cand, c);
+            let _, best_m = !best in
+            if c < Core.Executor.cycles best_m then best := (cand, m)
+          end);
+        temperature := !temperature *. 0.95
+      done;
+      let bindings, measurement = !best in
+      Some { bindings; measurement; evaluated = !evaluated; accepted = !accepted }
+  end

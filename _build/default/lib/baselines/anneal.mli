@@ -1,0 +1,26 @@
+(** Simulated annealing over a variant's parameter space — the class of
+    AI-search tuners the paper's related work cites (Pike & Hilfinger's
+    annealing tiler, genetic/ML tuners), which "incorporate little if
+    any domain knowledge to limit the search space".
+
+    Moves perturb one parameter by a factor of two or +-1; worse moves
+    are accepted with probability [exp (-delta / temperature)] and the
+    temperature decays geometrically.  Deterministic for a given seed;
+    the evaluation budget is capped for point-for-point comparison with
+    the guided search. *)
+
+type result = {
+  bindings : (string * int) list;
+  measurement : Core.Executor.measurement;
+  evaluated : int;
+  accepted : int;  (** accepted moves, including uphill ones *)
+}
+
+val tune :
+  Machine.t ->
+  n:int ->
+  mode:Core.Executor.mode ->
+  points:int ->
+  seed:int ->
+  Core.Variant.t ->
+  result option

@@ -1,0 +1,22 @@
+type result = {
+  variant : Core.Variant.t;
+  bindings : (string * int) list;
+  measurement : Core.Executor.measurement;
+}
+
+let optimize machine kernel ~n ~mode =
+  let variants = Core.Derive.variants machine kernel in
+  let rec pick = function
+    | [] -> None
+    | v :: rest -> (
+      match Core.Search.model_point machine ~n v with
+      | None -> pick rest
+      | Some bindings -> (
+        match
+          Core.Search.measure_point machine ~n ~mode v ~bindings ~prefetch:[]
+        with
+        | Some o ->
+          Some { variant = v; bindings; measurement = o.Core.Search.measurement }
+        | None -> pick rest))
+  in
+  pick variants

@@ -1,0 +1,18 @@
+(** Purely model-driven optimization: phase 1's best variant with the
+    model's initial parameter point and {e zero} empirical experiments —
+    the approach whose adequacy Yotov et al. debated and which the
+    paper's hybrid is designed to beat.  Used by the ablation
+    experiment. *)
+
+type result = {
+  variant : Core.Variant.t;
+  bindings : (string * int) list;
+  measurement : Core.Executor.measurement;
+}
+
+(** Picks the first derived variant with a feasible model point after
+    static ranking (the triage model ranks by predicted footprint
+    balance — here: derivation order, which lists copying variants
+    first). *)
+val optimize :
+  Machine.t -> Kernels.Kernel.t -> n:int -> mode:Core.Executor.mode -> result option

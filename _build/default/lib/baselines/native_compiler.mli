@@ -1,0 +1,31 @@
+(** Model of a classical optimizing ("native") compiler, the paper's
+    [Native] comparator.
+
+    Two profiles, mirroring the two vendor compilers of the paper:
+    - [Tiling] (MIPSpro-like): picks a good static loop order, applies
+      model-chosen square tiling (no search), unroll-and-jam with fixed
+      factors, and scalar replacement — but {e no copying and no
+      padding}, which is why its performance collapses at
+      conflict-pathological sizes (paper §4.1);
+    - [Basic] (Workshop-like): loop order, modest inner unrolling and
+      scalar replacement only.
+
+    No empirical feedback is used anywhere. *)
+
+type profile = Tiling | Basic
+
+(** The profile the paper's corresponding vendor compiler had. *)
+val default_profile : Machine.t -> profile
+
+(** Compile the kernel: returns the optimized program.  Deterministic;
+    independent of the problem size (like a real static compiler). *)
+val compile : ?profile:profile -> Machine.t -> Kernels.Kernel.t -> Ir.Program.t
+
+(** Convenience: compile and measure at size [n]. *)
+val measure :
+  ?profile:profile ->
+  Machine.t ->
+  Kernels.Kernel.t ->
+  n:int ->
+  mode:Core.Executor.mode ->
+  Core.Executor.measurement

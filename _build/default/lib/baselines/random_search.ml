@@ -1,0 +1,53 @@
+type result = {
+  bindings : (string * int) list;
+  measurement : Core.Executor.measurement;
+  evaluated : int;
+}
+
+(* Small deterministic LCG so results are reproducible without touching
+   the global Random state. *)
+let lcg state =
+  let state = ((state * 0x5DEECE66D) + 0xB) land 0x3FFFFFFFFFFF in
+  (state, state lsr 17)
+
+let tune machine ~n ~mode ~points ~seed variant =
+  let params = Core.Variant.params variant in
+  let state = ref (seed lxor 0x9E3779B9) in
+  let next_int bound =
+    let s, v = lcg !state in
+    state := s;
+    1 + (v mod bound)
+  in
+  let sample_param (p : Core.Param.t) =
+    match p.Core.Param.kind with
+    | Core.Param.Unroll -> (p.Core.Param.name, next_int 8)
+    | Core.Param.Tile ->
+      (* log-uniform in [1, n] *)
+      let max_log = int_of_float (Float.log2 (float_of_int (max 2 n))) in
+      let magnitude = 1 lsl next_int max_log in
+      (p.Core.Param.name, max 1 (min n (next_int magnitude)))
+  in
+  let best = ref None in
+  let evaluated = ref 0 in
+  let attempts = ref 0 in
+  while !evaluated < points && !attempts < points * 50 do
+    incr attempts;
+    let bindings = List.map sample_param params in
+    if Core.Variant.feasible variant ~n bindings then begin
+      incr evaluated;
+      match
+        Core.Search.measure_point machine ~n ~mode variant ~bindings
+          ~prefetch:[]
+      with
+      | Some o ->
+        let c = Core.Executor.cycles o.Core.Search.measurement in
+        (match !best with
+        | Some (_, _, c') when c' <= c -> ()
+        | _ -> best := Some (bindings, o.Core.Search.measurement, c))
+      | None -> ()
+    end
+  done;
+  match !best with
+  | Some (bindings, measurement, _) ->
+    Some { bindings; measurement; evaluated = !evaluated }
+  | None -> None

@@ -1,0 +1,53 @@
+(* The "vendor library" is the copying, register-blocked gemm shape with
+   parameters fixed per machine.  The values below were hand-tuned
+   offline against the simulated machines (an afternoon of a
+   programmer's time, in the spirit of the original libraries). *)
+
+let is machine name = (machine : Machine.t).Machine.name = name
+
+let bindings machine =
+  if is machine Machine.sgi_r10000.Machine.name then
+    [ ("ui", 4); ("uj", 4); ("ti", 64); ("tj", 64); ("tk", 64) ]
+  else if is machine Machine.ultrasparc_iie.Machine.name then
+    [ ("ui", 4); ("uj", 4); ("ti", 32); ("tj", 32); ("tk", 32) ]
+  else [ ("ui", 2); ("uj", 2); ("ti", 16); ("tj", 16); ("tk", 16) ]
+
+let prefetch machine =
+  if is machine Machine.sgi_r10000.Machine.name then [ ("p_b", 8); ("a", 8) ]
+  else [ ("p_b", 8) ]
+
+let variant =
+  let n = Ir.Aff.var "n" in
+  {
+    Core.Variant.name = "vendor_blas";
+    kernel = Kernels.Matmul.kernel;
+    element_order = [ "j"; "i"; "k" ];
+    tiles = [ ("k", "tk"); ("j", "tj"); ("i", "ti") ];
+    unrolls = [ ("j", "uj"); ("i", "ui") ];
+    copies =
+      [
+        {
+          Core.Variant.array = "b";
+          temp = "p_b";
+          at = "j";
+          dims =
+            [
+              { Core.Variant.tiled_loop = "k"; bound = n };
+              { Core.Variant.tiled_loop = "j"; bound = n };
+            ];
+        };
+      ];
+    constraints = [];
+    notes = [];
+  }
+
+let program machine =
+  let p = Core.Variant.instantiate variant ~bindings:(bindings machine) in
+  List.fold_left
+    (fun p (array, distance) ->
+      Transform.Prefetch_insert.apply p ~array ~distance
+        ~line_elems:(Machine.line_elems machine 0))
+    p (prefetch machine)
+
+let measure machine ~n ~mode =
+  Core.Executor.measure machine Kernels.Matmul.kernel ~n ~mode (program machine)

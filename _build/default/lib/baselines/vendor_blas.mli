@@ -1,0 +1,18 @@
+(** Model of a hand-tuned vendor BLAS (the paper's SCSL / SunPerf
+    comparator): an expertly chosen {e fixed} parameterization of the
+    blocked, copying, prefetching Matrix Multiply — the result of "days
+    of a programmer's time" (paper §4.3) — with no runtime adaptivity,
+    which is why isolated problem sizes can still go bad (the paper's
+    vendor BLAS collapses at 2048). *)
+
+(** The hand-chosen configuration for a machine (tuned offline on the
+    simulated SGI and Sun; a generic fallback otherwise). *)
+val bindings : Machine.t -> (string * int) list
+
+(** Per-array prefetch distances the "vendor" chose. *)
+val prefetch : Machine.t -> (string * int) list
+
+val program : Machine.t -> Ir.Program.t
+
+val measure :
+  Machine.t -> n:int -> mode:Core.Executor.mode -> Core.Executor.measurement

@@ -1,0 +1,1 @@
+lib/core/constr.ml: Analysis Format List Printf String

@@ -1,0 +1,1 @@
+lib/core/derive.ml: Analysis Constr Hashtbl Ir Kernels List Machine Param Printf String Variant

@@ -1,0 +1,1 @@
+lib/core/eco.ml: Derive Executor Kernels List Param Printf Search Search_log Variant

@@ -1,0 +1,1 @@
+lib/core/eco.mli: Executor Kernels Machine Search Search_log Variant

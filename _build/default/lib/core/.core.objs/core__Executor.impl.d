@@ -1,0 +1,1 @@
+lib/core/executor.ml: Ir Kernels Machine Memsim

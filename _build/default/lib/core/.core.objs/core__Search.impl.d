@@ -1,0 +1,1 @@
+lib/core/search.ml: Executor Hashtbl Ir List Machine Search_log Transform Variant

@@ -1,0 +1,1 @@
+lib/core/search.mli: Executor Ir Machine Search_log Variant

@@ -1,0 +1,1 @@
+lib/core/search_log.ml: Format List Printf String Unix_time

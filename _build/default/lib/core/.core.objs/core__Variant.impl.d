@@ -1,0 +1,1 @@
+lib/core/variant.ml: Constr Format Ir Kernels List Param Printf String Transform

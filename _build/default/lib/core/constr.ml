@@ -1,0 +1,40 @@
+module Poly = Analysis.Poly
+
+type t =
+  | Poly_le of { poly : Poly.t; bound : int; what : string }
+  | Pages_le of {
+      elems : Poly.t;
+      runs : Poly.t;
+      page_elems : int;
+      bound : int;
+      what : string;
+    }
+  | Stride_not_multiple of { elems : Poly.t; modulus : int; what : string }
+
+let satisfied c lookup =
+  match c with
+  | Poly_le { poly; bound; _ } -> Poly.eval lookup poly <= bound
+  | Pages_le { elems; runs; page_elems; bound; _ } ->
+    let e = Poly.eval lookup elems and r = Poly.eval lookup runs in
+    let pages = max r ((e + page_elems - 1) / page_elems) in
+    pages <= bound
+  | Stride_not_multiple { elems; modulus; _ } ->
+    let e = Poly.eval lookup elems in
+    e < modulus || e mod modulus <> 0
+
+let vars = function
+  | Poly_le { poly; _ } -> Poly.vars poly
+  | Pages_le { elems; runs; _ } ->
+    List.sort_uniq String.compare (Poly.vars elems @ Poly.vars runs)
+  | Stride_not_multiple { elems; _ } -> Poly.vars elems
+
+let describe = function
+  | Poly_le { poly; bound; what } ->
+    Printf.sprintf "%s: %s <= %d" what (Poly.to_string poly) bound
+  | Pages_le { elems; runs; page_elems; bound; what } ->
+    Printf.sprintf "%s: pages(%s; runs %s; %d elems/page) <= %d" what
+      (Poly.to_string elems) (Poly.to_string runs) page_elems bound
+  | Stride_not_multiple { elems; modulus; what } ->
+    Printf.sprintf "%s: (%s) mod %d <> 0" what (Poly.to_string elems) modulus
+
+let pp fmt c = Format.pp_print_string fmt (describe c)

@@ -1,0 +1,33 @@
+(** Capacity constraints attached by phase 1 to the parameters of a code
+    variant (paper §3.1, Table 4).  All are evaluated against a binding
+    of parameter names (plus the problem size) to integers. *)
+
+type t =
+  | Poly_le of { poly : Analysis.Poly.t; bound : int; what : string }
+      (** footprint in elements vs (scaled) capacity, e.g.
+          [TJ*TK <= 2048] *)
+  | Pages_le of {
+      elems : Analysis.Poly.t;
+      runs : Analysis.Poly.t;  (** distinct contiguous runs *)
+      page_elems : int;
+      bound : int;
+      what : string;
+    }
+      (** TLB footprint: pages >= max(runs, elems/page) must not exceed
+          the entry count *)
+  | Stride_not_multiple of {
+      elems : Analysis.Poly.t;
+      modulus : int;
+      what : string;
+    }
+      (** the paper's copy-array conflict-avoidance condition:
+          [mod (Size(CopyArrays), Capacity(level-1)) <> 0] — trivially
+          satisfied when the copy array fits below the modulus *)
+
+val satisfied : t -> (string -> int) -> bool
+
+(** Parameters mentioned by the constraint. *)
+val vars : t -> string list
+
+val describe : t -> string
+val pp : Format.formatter -> t -> unit

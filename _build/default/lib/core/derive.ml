@@ -1,0 +1,441 @@
+module Reuse = Analysis.Reuse
+module Footprint = Analysis.Footprint
+module Poly = Analysis.Poly
+module Depend = Analysis.Depend
+
+type ctx = {
+  machine : Machine.t;
+  kernel : Kernels.Kernel.t;
+  loops : string list;  (* original order, outermost first *)
+  groups : Reuse.group list;
+  deps : Depend.t list;
+}
+
+let group_key (g : Reuse.group) = (g.Reuse.array, g.Reuse.signature)
+
+(* Loops of [working] carrying the most temporal reuse over [groups].
+   At the register level ties are broken by spatial reuse (the innermost
+   loop should also walk cache lines); at the cache levels spatial
+   locality is exploited regardless of the reuse loop, so ties are kept
+   and become separate variants — this is what gives Matrix Multiply its
+   two Table-4 variants. *)
+let best_loops ?(spatial_tiebreak = false) groups working =
+  let temporal v = Reuse.loop_temporal_savings groups v in
+  let max_t = List.fold_left (fun m v -> max m (temporal v)) 0 working in
+  if max_t = 0 then []
+  else
+    let c1 = List.filter (fun v -> temporal v = max_t) working in
+    match c1 with
+    | [] | [ _ ] -> c1
+    | _ when not spatial_tiebreak -> c1
+    | _ ->
+      let spatial v = Reuse.loop_spatial_score groups v in
+      let max_s = List.fold_left (fun m v -> max m (spatial v)) 0 c1 in
+      List.filter (fun v -> spatial v = max_s) c1
+
+(* The retained references at a level: the groups achieving the maximal
+   savings along the level's reuse loop. *)
+let retained_groups groups l =
+  let savings g = Reuse.group_temporal_savings g l in
+  let max_s = List.fold_left (fun m g -> max m (savings g)) 0 groups in
+  if max_s = 0 then [] else List.filter (fun g -> savings g = max_s) groups
+
+let cache_bound machine level =
+  let c = Machine.cache_level machine level in
+  let cap = c.Machine.size_bytes / 8 in
+  if c.Machine.assoc = 1 then cap else (c.Machine.assoc - 1) * cap / c.Machine.assoc
+
+let array_read_only (p : Ir.Program.t) array =
+  not
+    (List.exists
+       (fun ((r : Ir.Reference.t), w) -> w && r.Ir.Reference.array = array)
+       (Ir.Stmt.access_refs p.Ir.Program.body))
+
+(* A group is a copy candidate at a cache level when its reuse along the
+   level's loop is unbounded (invariant => reuse ~ trip count, so the
+   copy cost amortizes), the array is read-only, and every dimension is
+   driven by exactly one tiled loop. *)
+let copyable ctx ~tiles (g : Reuse.group) ~reuse_loop =
+  let invariant =
+    List.for_all (fun s -> Ir.Aff.coeff s reuse_loop = 0) g.Reuse.signature
+  in
+  invariant
+  && g.Reuse.signature <> []
+  && array_read_only ctx.kernel.Kernels.Kernel.program g.Reuse.array
+  && List.for_all
+       (fun s ->
+         match Ir.Aff.terms s with
+         | [ (1, v) ] -> List.mem_assoc v tiles
+         | _ -> false)
+       g.Reuse.signature
+
+let copy_spec_of ctx ~tiles (g : Reuse.group) =
+  let dim_loops =
+    List.map
+      (fun s ->
+        match Ir.Aff.terms s with
+        | [ (1, v) ] -> v
+        | _ -> assert false)
+      g.Reuse.signature
+  in
+  let decl = Ir.Program.find_decl_exn ctx.kernel.Kernels.Kernel.program g.Reuse.array in
+  let dims =
+    List.map2
+      (fun v bound -> { Variant.tiled_loop = v; bound })
+      dim_loops decl.Ir.Decl.dims
+  in
+  (* The copy nests under the innermost control loop it depends on:
+     the last of its dimension loops in the tile (control) order. *)
+  let at =
+    List.fold_left
+      (fun acc (v, _) -> if List.mem v dim_loops then Some v else acc)
+      None tiles
+  in
+  let at = match at with Some v -> v | None -> assert false in
+  { Variant.array = g.Reuse.array; temp = "p_" ^ g.Reuse.array; at; dims }
+
+(* Extent of loop [v] for a cache-level footprint evaluated across one
+   iteration of the level's (tile-controlling) reuse loop: tiled loops
+   contribute their tile size, untiled loops their full range — unroll
+   factors do not bound a loop's range. *)
+let extent_for ~reuse_loop ~tiles v =
+  if v = reuse_loop then Poly.one
+  else
+    match List.assoc_opt v tiles with
+    | Some param -> Poly.var param
+    | None -> Poly.var "n"
+
+(* One in-progress derivation branch. *)
+type branch = {
+  l_reg : string;
+  working : string list;
+  l1 : string option;  (* the L1 reuse loop, fixes the element order *)
+  inner_controls : string list;  (* tiled loops whose controls go innermost *)
+  mapped : (string * Ir.Aff.t list) list;
+  tiles : (string * string) list;  (* accumulation order = original loop order *)
+  unrolls : (string * string) list;
+  copies : Variant.copy_spec list;
+  constraints : Constr.t list;
+  notes : Variant.level_note list;
+}
+
+let level_name machine level = (Machine.cache_level machine level).Machine.name
+
+let upper = String.uppercase_ascii
+
+(* Process one cache level, returning the expanded branch set. *)
+let rec cache_level ctx level branches =
+  if level >= Machine.levels ctx.machine then branches
+  else
+    cache_level ctx (level + 1)
+      (List.concat_map (fun b -> expand_level ctx level b) branches)
+
+and expand_level ctx level b =
+  if b.working = [] then [ b ]
+  else begin
+    let unexploited =
+      List.filter (fun g -> not (List.mem (group_key g) b.mapped)) ctx.groups
+    in
+    let cands =
+      match best_loops unexploited b.working with
+      | [] -> best_loops ctx.groups b.working
+      | c -> c
+    in
+    match cands with
+    | [] -> [ b ]
+    | _ ->
+      List.concat_map
+        (fun l_cache ->
+          let scoring =
+            if best_loops unexploited b.working <> [] then unexploited
+            else ctx.groups
+          in
+          let retained = retained_groups scoring l_cache in
+          if retained = [] then [ { b with working = List.filter (( <> ) l_cache) b.working } ]
+          else level_branches ctx level b l_cache retained)
+        cands
+  end
+
+and level_branches ctx level b l_cache retained =
+  let lname = level_name ctx.machine level in
+  let working' = List.filter (( <> ) l_cache) b.working in
+  let l1 = match b.l1 with None -> Some l_cache | some -> some in
+  let inner_controls =
+    if level >= 1 && List.mem_assoc l_cache b.tiles then
+      b.inner_controls @ [ l_cache ]
+    else b.inner_controls
+  in
+  let mapped = b.mapped @ List.map group_key retained in
+  let retained_names =
+    String.concat "," (List.map (fun g -> upper g.Reuse.array) retained)
+  in
+  (* --- tiling branch --- *)
+  let tile_vars =
+    List.filter
+      (fun v ->
+        v <> l_cache
+        && (not (List.mem_assoc v b.tiles))
+        && List.exists
+             (fun g -> List.exists (fun s -> Ir.Aff.mem v s) g.Reuse.signature)
+             retained)
+      ctx.loops
+  in
+  let new_tiles = List.map (fun v -> (v, (Param.tile v).Param.name)) tile_vars in
+  let make_cache_branch ~tiles ~with_copy =
+    let extents =
+      extent_for ~reuse_loop:l_cache ~tiles
+    in
+    let fp = Footprint.elements extents retained in
+    let cap_constraint =
+      Constr.Poly_le
+        { poly = fp; bound = cache_bound ctx.machine level; what = lname ^ " capacity" }
+    in
+    let page_elems = ctx.machine.Machine.tlb.Machine.page_bytes / 8 in
+    let copies_here =
+      if with_copy then
+        List.filter_map
+          (fun g ->
+            if copyable ctx ~tiles g ~reuse_loop:l_cache then
+              Some (copy_spec_of ctx ~tiles g)
+            else None)
+          retained
+      else []
+    in
+    let tlb_constraint =
+      let runs =
+        if copies_here <> [] then Poly.one
+        else
+          List.fold_left
+            (fun acc g -> Poly.add acc (Footprint.group_runs extents g))
+            Poly.zero retained
+      in
+      Constr.Pages_le
+        {
+          elems = fp;
+          runs;
+          page_elems;
+          bound = ctx.machine.Machine.tlb.Machine.entries;
+          what = lname ^ " TLB";
+        }
+    in
+    let stride_constraints =
+      if level > 0 then
+        List.filter_map
+          (fun (c : Variant.copy_spec) ->
+            match c.Variant.dims with
+            | { Variant.tiled_loop = v0; _ } :: _ :: _ -> (
+              match List.assoc_opt v0 tiles with
+              | Some param ->
+                let prev = Machine.cache_level ctx.machine (level - 1) in
+                Some
+                  (Constr.Stride_not_multiple
+                     {
+                       elems = Poly.var param;
+                       modulus =
+                         prev.Machine.size_bytes / 8 / prev.Machine.assoc;
+                       what = Printf.sprintf "copy %s stride" c.Variant.temp;
+                     })
+              | None -> None)
+            | _ -> None)
+          copies_here
+      else []
+    in
+    let new_constraints = (cap_constraint :: tlb_constraint :: stride_constraints) in
+    let transf =
+      let tile_part =
+        match List.filter (fun (v, _) -> List.mem_assoc v new_tiles) tiles with
+        | [] -> if tiles = b.tiles then "-" else "Tile"
+        | nt -> "Tile " ^ String.concat " and " (List.map (fun (v, _) -> upper v) nt)
+      in
+      let copy_part =
+        match copies_here with
+        | [] -> ""
+        | cs ->
+          ", Copy "
+          ^ String.concat " and " (List.map (fun (c : Variant.copy_spec) -> upper c.Variant.array) cs)
+      in
+      if tile_part = "-" && copy_part = "" then "-" else tile_part ^ copy_part
+    in
+    let note =
+      {
+        Variant.level = lname;
+        reuse_loop = l_cache;
+        transf;
+        level_params =
+          List.filter_map
+            (fun (v, p) -> if List.mem_assoc v new_tiles then Some p else None)
+            tiles;
+        level_constraints = new_constraints;
+      }
+    in
+    {
+      b with
+      working = working';
+      l1;
+      inner_controls;
+      mapped;
+      tiles;
+      copies = b.copies @ copies_here;
+      constraints = b.constraints @ new_constraints;
+      notes = b.notes @ [ note ];
+    }
+  in
+  ignore retained_names;
+  let tiled_all = b.tiles @ new_tiles in
+  let tiling_branches =
+    let with_copy = make_cache_branch ~tiles:tiled_all ~with_copy:true in
+    let without_copy = make_cache_branch ~tiles:tiled_all ~with_copy:false in
+    if with_copy.copies = b.copies then [ without_copy ]
+    else [ with_copy; without_copy ]
+  in
+  (* --- no-new-tiling branch (outer cache levels only): the paper's
+     small-arrays variant, whose constraint involves n --- *)
+  let plain_branches =
+    if level >= 1 && new_tiles <> [] then [ make_cache_branch ~tiles:b.tiles ~with_copy:false ]
+    else []
+  in
+  tiling_branches @ plain_branches
+
+let finalize ctx idx b =
+  let element_order =
+    match b.l1 with
+    | None ->
+      List.filter (( <> ) b.l_reg) ctx.loops @ [ b.l_reg ]
+    | Some l1 ->
+      (l1 :: List.filter (fun v -> v <> l1 && v <> b.l_reg) ctx.loops)
+      @ [ b.l_reg ]
+  in
+  (* Control order: tiles in original loop order, with the controls of
+     outer-level reuse loops moved innermost (the paper's
+     tile-controlling-loop ordering for TLB behaviour). *)
+  let tiles_ordered =
+    let in_order =
+      List.filter_map
+        (fun v ->
+          match List.assoc_opt v b.tiles with
+          | Some p -> Some (v, p)
+          | None -> None)
+        ctx.loops
+    in
+    let inner, outer =
+      List.partition (fun (v, _) -> List.mem v b.inner_controls) in_order
+    in
+    outer @ inner
+  in
+  {
+    Variant.name = Printf.sprintf "%s_v%d" ctx.kernel.Kernels.Kernel.name idx;
+    kernel = ctx.kernel;
+    element_order;
+    tiles = tiles_ordered;
+    unrolls = b.unrolls;
+    copies = b.copies;
+    constraints = b.constraints;
+    notes = b.notes;
+  }
+
+let register_branches ctx =
+  let cands =
+    match best_loops ~spatial_tiebreak:true ctx.groups ctx.loops with
+    | [] -> [ List.nth ctx.loops (List.length ctx.loops - 1) ]
+    | c -> c
+  in
+  List.filter_map
+    (fun l_reg ->
+      if not (Depend.innermost_legal ctx.deps ~order:ctx.loops l_reg) then None
+      else begin
+        let retained = retained_groups ctx.groups l_reg in
+        (* Unroll-and-jam of an outer loop interleaves its iterations at
+           the innermost level, so it is legal exactly when moving that
+           loop innermost is (e.g. the time loop of a wavefront must not
+           be jammed). *)
+        let unroll_loops =
+          List.filter
+            (fun v ->
+              v <> l_reg && Depend.innermost_legal ctx.deps ~order:ctx.loops v)
+            ctx.loops
+        in
+        let unrolls =
+          List.map (fun v -> (v, (Param.unroll v).Param.name)) unroll_loops
+        in
+        let chains =
+          List.map
+            (fun g ->
+              { g with Reuse.members = Reuse.register_retainable g ~rotation:l_reg })
+            retained
+        in
+        let extents v =
+          match List.assoc_opt v unrolls with
+          | Some p -> Poly.var p
+          | None -> Poly.one
+        in
+        let fp = Footprint.elements extents chains in
+        let reg_constraint =
+          Constr.Poly_le
+            {
+              poly = fp;
+              bound = Machine.available_registers ctx.machine;
+              what = "registers";
+            }
+        in
+        let note =
+          {
+            Variant.level = "Reg";
+            reuse_loop = l_reg;
+            transf =
+              "Unroll-and-jam "
+              ^ String.concat " and " (List.map upper unroll_loops);
+            level_params = List.map snd unrolls;
+            level_constraints = [ reg_constraint ];
+          }
+        in
+        Some
+          {
+            l_reg;
+            working = List.filter (( <> ) l_reg) ctx.loops;
+            l1 = None;
+            inner_controls = [];
+            mapped = List.map group_key retained;
+            tiles = [];
+            unrolls;
+            copies = [];
+            constraints = [ reg_constraint ];
+            notes = [ note ];
+          }
+      end)
+    cands
+
+let variants machine (kernel : Kernels.Kernel.t) =
+  let program = kernel.Kernels.Kernel.program in
+  let ctx =
+    {
+      machine;
+      kernel;
+      loops = Ir.Stmt.loop_vars program.Ir.Program.body;
+      groups = Reuse.groups_of_body program.Ir.Program.body;
+      deps = Depend.analyze program;
+    }
+  in
+  let branches = cache_level ctx 0 (register_branches ctx) in
+  (* Drop branches whose element order is illegal and deduplicate. *)
+  let finalized = List.mapi (fun i b -> finalize ctx (i + 1) b) branches in
+  let legal =
+    List.filter
+      (fun (v : Variant.t) ->
+        Depend.permutation_legal ctx.deps v.Variant.element_order)
+      finalized
+  in
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun (v : Variant.t) ->
+      let key =
+        ( v.Variant.element_order,
+          v.Variant.tiles,
+          v.Variant.unrolls,
+          List.map (fun (c : Variant.copy_spec) -> c.Variant.array) v.Variant.copies )
+      in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    legal

@@ -1,0 +1,29 @@
+(** Phase 1: derive parameterized code variants (the paper's Figure 3).
+
+    Walking the memory hierarchy from registers outward, the algorithm
+    selects for each level the loop carrying the most unexploited
+    temporal reuse (ties create multiple variants), decides which loops
+    to unroll-and-jam (register level) or tile (cache levels), which
+    retained arrays to copy into contiguous temporaries, and emits
+    capacity/TLB/conflict constraints on the parameters.
+
+    Decisions mirror the paper:
+    - the register-level loop (most temporal reuse, write references
+      weighing double) becomes innermost; all other loops are
+      unrolled-and-jammed; the retained references' register footprint is
+      bounded by the available register file;
+    - each cache level's reuse loop moves outermost within the remaining
+      element band; the loops its retained references' footprint depends
+      on are tiled; the footprint is bounded by the full capacity of a
+      direct-mapped cache and (n-1)/n of an n-way one, and the page
+      footprint by the TLB size;
+    - copying is considered only for references {e invariant} in the
+      level's reuse loop (reuse grows with the trip count, so the copy
+      cost amortizes — true for Matrix Multiply's tiles, false for
+      Jacobi's stencil group, which the paper also declines to copy);
+      both the copy and no-copy variants are emitted;
+    - at the outermost cache level a no-new-tiling variant is also
+      emitted, whose capacity constraint involves the problem size — the
+      paper's "small arrays" variant v1. *)
+
+val variants : Machine.t -> Kernels.Kernel.t -> Variant.t list

@@ -1,0 +1,73 @@
+type result = {
+  outcome : Search.outcome;
+  measurement : Executor.measurement;
+  variants : Variant.t list;
+  log : Search_log.t;
+}
+
+let optimize ?(mode = Executor.default_budget) ?(max_variants = 4) machine kernel ~n =
+  let variants = Derive.variants machine kernel in
+  let log = Search_log.create () in
+  (* Triage: measure every variant once at its model-initial point and
+     fully search only the most promising — the "models limit the search
+     to a small number of candidate implementations" part of the
+     paper's abstract. *)
+  let triaged =
+    let scored =
+      List.filter_map
+        (fun v ->
+          match Search.model_point machine ~n v with
+          | None -> None
+          | Some bindings -> (
+            match
+              Search.measure_point machine ~n ~mode ~log v ~bindings ~prefetch:[]
+            with
+            | Some o -> Some (v, Executor.cycles o.Search.measurement)
+            | None -> None))
+        variants
+    in
+    let sorted = List.sort (fun (_, c1) (_, c2) -> compare c1 c2) scored in
+    List.filteri (fun i _ -> i < max_variants) (List.map fst sorted)
+  in
+  let outcomes =
+    List.filter_map (Search.tune_variant machine ~n ~mode ~log) triaged
+  in
+  match outcomes with
+  | [] ->
+    failwith
+      (Printf.sprintf "Eco.optimize: no feasible variant for %s at n=%d"
+         kernel.Kernels.Kernel.name n)
+  | o :: rest ->
+    let best =
+      List.fold_left
+        (fun acc o ->
+          if Executor.cycles o.Search.measurement < Executor.cycles acc.Search.measurement
+          then o
+          else acc)
+        o rest
+    in
+    { outcome = best; measurement = best.Search.measurement; variants; log }
+
+let remeasure ?(mode = Executor.default_budget) machine result ~n =
+  let o = result.outcome in
+  (* A tuned version keeps its parameters across problem sizes; tiles
+     larger than the problem simply cover the whole array. *)
+  let tile_params =
+    List.filter_map
+      (fun (p : Param.t) ->
+        match p.Param.kind with
+        | Param.Tile -> Some p.Param.name
+        | Param.Unroll -> None)
+      (Variant.params o.Search.variant)
+  in
+  let bindings =
+    List.map
+      (fun (k, v) -> if List.mem k tile_params then (k, min v n) else (k, v))
+      o.Search.bindings
+  in
+  match
+    Search.measure_point machine ~n ~mode o.Search.variant ~bindings
+      ~prefetch:o.Search.prefetch
+  with
+  | Some outcome -> Some outcome.Search.measurement
+  | None -> None

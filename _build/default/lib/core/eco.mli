@@ -1,0 +1,36 @@
+(** Top-level driver: the complete two-phase ECO optimizer.
+
+    [optimize machine kernel ~n] derives the variants (phase 1), runs
+    the model-guided empirical search on each (phase 2), and returns the
+    best version found together with the search log — the whole pipeline
+    of the paper in one call.
+
+    {[
+      let result = Core.Eco.optimize Machine.sgi_r10000 Kernels.Matmul.kernel ~n:256 in
+      Format.printf "best: %.1f MFLOPS@." result.Core.Eco.measurement.Core.Executor.mflops
+    ]} *)
+
+type result = {
+  outcome : Search.outcome;  (** winning variant, parameters, program *)
+  measurement : Executor.measurement;  (** its measurement *)
+  variants : Variant.t list;  (** everything phase 1 derived *)
+  log : Search_log.t;  (** every point phase 2 evaluated *)
+}
+
+(** @param mode execution mode for candidate measurements (default
+      {!Executor.default_budget}).
+    @param max_variants variants kept for full search after a one-point
+      model-initial triage of everything phase 1 derived (default 4).
+    @raise Failure when no variant has a feasible parameter setting
+      (cannot happen for the bundled kernels). *)
+val optimize :
+  ?mode:Executor.mode ->
+  ?max_variants:int ->
+  Machine.t ->
+  Kernels.Kernel.t ->
+  n:int ->
+  result
+
+(** Re-measure a tuned result at a different problem size (variants keep
+    their parameters across sizes, as the paper's ECO versions do). *)
+val remeasure : ?mode:Executor.mode -> Machine.t -> result -> n:int -> Executor.measurement option

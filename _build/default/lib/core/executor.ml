@@ -1,0 +1,54 @@
+type mode = Full | Budget of int
+
+let default_budget = Budget 4_000_000
+
+type measurement = {
+  cost : Memsim.Cost.t;
+  counters : Memsim.Counters.t;
+  stats : Ir.Exec.stats;
+  scale : float;
+  mflops : float;
+}
+
+let measure machine (kernel : Kernels.Kernel.t) ~n ~mode program =
+  let hierarchy = Memsim.Hierarchy.create machine in
+  let params = [ (kernel.Kernels.Kernel.size_param, n) ] in
+  let register_budget = Machine.available_registers machine in
+  let sink = Memsim.Hierarchy.sink hierarchy in
+  let flop_budget = match mode with Full -> None | Budget b -> Some b in
+  (* In budget (sampled) mode, run a short warm-up pass first and discard
+     its counters, so compulsory misses of the sampled prefix do not
+     masquerade as steady-state behaviour.  Addresses are deterministic
+     across runs, so the cache contents carry over. *)
+  (match mode with
+  | Full -> ()
+  | Budget b ->
+    let total = kernel.Kernels.Kernel.flops n in
+    if b < total then begin
+      ignore
+        (Ir.Exec.run ~sink ~flop_budget:(max 1 (b / 2)) ~register_budget ~params
+           program);
+      Memsim.Hierarchy.reset_counters hierarchy
+    end);
+  let result =
+    Ir.Exec.run ~sink ?flop_budget ~register_budget ~params program
+  in
+  let counters = Memsim.Hierarchy.counters hierarchy in
+  let cost = Memsim.Cost.evaluate machine counters result.Ir.Exec.stats in
+  let total_flops = kernel.Kernels.Kernel.flops n in
+  let scale =
+    if result.Ir.Exec.stats.Ir.Exec.completed then 1.0
+    else if result.Ir.Exec.stats.Ir.Exec.flops > 0 then
+      float_of_int total_flops /. float_of_int result.Ir.Exec.stats.Ir.Exec.flops
+    else 1.0
+  in
+  let cost = if scale = 1.0 then cost else Memsim.Cost.scale scale cost in
+  {
+    cost;
+    counters = Memsim.Counters.copy counters;
+    stats = result.Ir.Exec.stats;
+    scale;
+    mflops = cost.Memsim.Cost.mflops;
+  }
+
+let cycles m = m.cost.Memsim.Cost.total_cycles

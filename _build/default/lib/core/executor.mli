@@ -1,0 +1,34 @@
+(** The "empirical" in guided empirical search: run an instantiated
+    program on the simulated machine and measure it.
+
+    Two modes: [Full] simulates the entire computation; [Budget f] stops
+    after [f] useful flops and extrapolates steady-state cycles to the
+    full problem — the sampled-simulation substitute for wall-clock
+    timing on real hardware (see DESIGN.md). *)
+
+type mode = Full | Budget of int
+
+(** A sensible default budget for searches (a few tens of millions of
+    simulated accesses per candidate). *)
+val default_budget : mode
+
+type measurement = {
+  cost : Memsim.Cost.t;  (** extrapolated to the full problem in budget mode *)
+  counters : Memsim.Counters.t;  (** raw (unscaled) hierarchy counters *)
+  stats : Ir.Exec.stats;  (** raw executor statistics *)
+  scale : float;  (** extrapolation factor (1.0 when complete) *)
+  mflops : float;  (** convenience: [cost.mflops] *)
+}
+
+(** [measure machine kernel ~n ~mode program] runs [program] (an
+    instantiated variant of [kernel]) with the kernel's size parameter
+    bound to [n], streaming accesses through a fresh hierarchy of
+    [machine], spilling registers beyond the machine's available
+    register file.
+
+    @raise Invalid_argument if the program is malformed. *)
+val measure :
+  Machine.t -> Kernels.Kernel.t -> n:int -> mode:mode -> Ir.Program.t -> measurement
+
+(** Total simulated cycles — the search's objective function. *)
+val cycles : measurement -> float

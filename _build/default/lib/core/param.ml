@@ -1,0 +1,11 @@
+type kind = Unroll | Tile
+
+type t = { name : string; kind : kind; loop : string }
+
+let unroll loop = { name = "u" ^ loop; kind = Unroll; loop }
+let tile loop = { name = "t" ^ loop; kind = Tile; loop }
+
+let pp fmt t =
+  Format.fprintf fmt "%s(%s %s)" t.name
+    (match t.kind with Unroll -> "unroll" | Tile -> "tile")
+    t.loop

@@ -1,0 +1,14 @@
+(** Optimization parameters attached to code variants: unroll factors and
+    tile sizes, named as in the paper (e.g. [ui], [tk]). *)
+
+type kind = Unroll | Tile
+
+type t = {
+  name : string;
+  kind : kind;
+  loop : string;  (** the loop variable the parameter controls *)
+}
+
+val unroll : string -> t
+val tile : string -> t
+val pp : Format.formatter -> t -> unit

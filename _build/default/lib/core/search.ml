@@ -1,0 +1,351 @@
+type outcome = {
+  variant : Variant.t;
+  bindings : (string * int) list;
+  prefetch : (string * int) list;
+  program : Ir.Program.t;
+  measurement : Executor.measurement;
+}
+
+type state = {
+  machine : Machine.t;
+  n : int;
+  mode : Executor.mode;
+  log : Search_log.t option;
+  variant : Variant.t;
+  memo : ((string * int) list * (string * int) list, float option) Hashtbl.t;
+  mutable best : outcome option;
+}
+
+let line_elems st = Machine.line_elems st.machine 0
+
+let build st ~bindings ~prefetch =
+  match Variant.instantiate st.variant ~bindings with
+  | exception Invalid_argument _ -> None
+  | program ->
+    let program =
+      List.fold_left
+        (fun p (array, distance) ->
+          Transform.Prefetch_insert.apply p ~array ~distance
+            ~line_elems:(line_elems st))
+        program prefetch
+    in
+    Some program
+
+(* Evaluate one point; memoized.  Returns simulated cycles, or [None]
+   when infeasible. *)
+let evaluate st ~bindings ~prefetch =
+  let bindings = List.sort compare bindings in
+  let prefetch = List.sort compare prefetch in
+  let key = (bindings, prefetch) in
+  match Hashtbl.find_opt st.memo key with
+  | Some cached -> cached
+  | None ->
+    let result =
+      if not (Variant.feasible st.variant ~n:st.n bindings) then None
+      else
+        match build st ~bindings ~prefetch with
+        | None -> None
+        | Some program -> (
+          match
+            Executor.measure st.machine st.variant.Variant.kernel ~n:st.n
+              ~mode:st.mode program
+          with
+          | exception Invalid_argument _ -> None
+          | m ->
+            (match st.log with
+            | Some log ->
+              Search_log.record log
+                {
+                  Search_log.variant = st.variant.Variant.name;
+                  bindings;
+                  prefetch;
+                  cycles = Executor.cycles m;
+                  mflops = m.Executor.mflops;
+                }
+            | None -> ());
+            let c = Executor.cycles m in
+            (match st.best with
+            | Some b when Executor.cycles b.measurement <= c -> ()
+            | _ ->
+              st.best <-
+                Some { variant = st.variant; bindings; prefetch; program; measurement = m });
+            Some c)
+    in
+    Hashtbl.replace st.memo key result;
+    result
+
+(* --- stage search over a subset of parameters --- *)
+
+let set_params bindings updates =
+  List.map
+    (fun (k, v) -> match List.assoc_opt k updates with Some v' -> (k, v') | None -> (k, v))
+    bindings
+
+(* Largest uniform value for the stage parameters that stays feasible
+   (the model's initial point: the footprint heuristic saturates the
+   capacity constraints). *)
+let initial_uniform st stage bindings =
+  let feasible_at m =
+    Variant.feasible st.variant ~n:st.n
+      (set_params bindings (List.map (fun p -> (p, m)) stage))
+  in
+  let rec grow m = if m * 2 <= 4096 && feasible_at (m * 2) then grow (m * 2) else m in
+  let rec refine lo hi =
+    (* invariant: feasible_at lo, not feasible_at (hi+1) conceptually *)
+    if hi - lo <= 1 then if feasible_at hi then hi else lo
+    else
+      let mid = (lo + hi) / 2 in
+      if feasible_at mid then refine mid hi else refine lo mid
+  in
+  if not (feasible_at 1) then None
+  else
+    let m = grow 1 in
+    (* try to push between m and 2m *)
+    Some (if feasible_at (m * 2) then m * 2 else refine m (m * 2))
+
+let halve v = max 1 (v / 2)
+
+(* One shape-walk sweep: try doubling p while halving q, for all ordered
+   pairs; move greedily while improving. *)
+let rec shape_walk st stage ~prefetch bindings current =
+  let candidates =
+    List.concat_map
+      (fun p ->
+        List.filter_map
+          (fun q ->
+            if p = q then None
+            else
+              let bp = List.assoc p bindings and bq = List.assoc q bindings in
+              if bq <= 1 then None
+              else Some (set_params bindings [ (p, bp * 2); (q, halve bq) ]))
+          stage)
+      stage
+  in
+  let best =
+    List.fold_left
+      (fun acc cand ->
+        match evaluate st ~bindings:cand ~prefetch with
+        | Some c -> (
+          match acc with
+          | Some (_, c') when c' <= c -> acc
+          | _ -> Some (cand, c))
+        | None -> acc)
+      None candidates
+  in
+  match best with
+  | Some (cand, c) when c < current -> shape_walk st stage ~prefetch cand c
+  | _ -> (bindings, current)
+
+(* Linear refinement: nudge each parameter by +-delta while improving. *)
+let rec linear_refine st stage ~prefetch ~delta bindings current =
+  let candidates =
+    List.concat_map
+      (fun p ->
+        let v = List.assoc p bindings in
+        let d = delta p in
+        List.filter_map
+          (fun v' -> if v' >= 1 && v' <> v then Some (set_params bindings [ (p, v') ]) else None)
+          [ v + d; v - d ])
+      stage
+  in
+  let best =
+    List.fold_left
+      (fun acc cand ->
+        match evaluate st ~bindings:cand ~prefetch with
+        | Some c -> (
+          match acc with
+          | Some (_, c') when c' <= c -> acc
+          | _ -> Some (cand, c))
+        | None -> acc)
+      None candidates
+  in
+  match best with
+  | Some (cand, c) when c < current ->
+    linear_refine st stage ~prefetch ~delta cand c
+  | _ -> (bindings, current)
+
+let stage_search st stage ~prefetch ~delta bindings =
+  if stage = [] then
+    match evaluate st ~bindings ~prefetch with
+    | Some c -> Some (bindings, c)
+    | None -> None
+  else
+    match initial_uniform st stage bindings with
+    | None -> None
+    | Some m0 ->
+      let start = set_params bindings (List.map (fun p -> (p, m0)) stage) in
+      (match evaluate st ~bindings:start ~prefetch with
+      | None -> None
+      | Some c0 ->
+        (* Alternate shape walks and footprint halvings while improving. *)
+        let rec outer bindings current =
+          let bindings, current = shape_walk st stage ~prefetch bindings current in
+          let halved =
+            set_params bindings
+              (List.map (fun p -> (p, halve (List.assoc p bindings))) stage)
+          in
+          if halved = bindings then (bindings, current)
+          else
+            match evaluate st ~bindings:halved ~prefetch with
+            | Some c when c < current ->
+              let b', c' = shape_walk st stage ~prefetch halved c in
+              outer b' c'
+            | _ -> (bindings, current)
+        in
+        let bindings, current = outer start c0 in
+        Some (linear_refine st stage ~prefetch ~delta bindings current))
+
+(* "To simplify the code generated, tiling parameter values that are
+   multiples of any tile size or unroll factor previously selected are
+   favored" (§3.2): snap each tile to a nearby multiple of its loop's
+   unroll factor or of the cache line, keeping the snap if performance
+   does not degrade beyond a whisker. *)
+let snap_multiples st ~prefetch bindings current =
+  let tolerance = 1.0 in
+  List.fold_left
+    (fun (bindings, current) (loop, tparam) ->
+      let v = List.assoc tparam bindings in
+      let bases =
+        (match List.assoc_opt loop st.variant.Variant.unrolls with
+        | Some uparam -> [ List.assoc uparam bindings ]
+        | None -> [])
+        @ [ line_elems st ]
+      in
+      List.fold_left
+        (fun (bindings, current) base ->
+          if base <= 1 || v mod base = 0 then (bindings, current)
+          else
+            let candidates = [ v / base * base; ((v / base) + 1) * base ] in
+            List.fold_left
+              (fun (bindings, current) v' ->
+                if v' < 1 then (bindings, current)
+                else
+                  let cand = set_params bindings [ (tparam, v') ] in
+                  match evaluate st ~bindings:cand ~prefetch with
+                  | Some c when c <= current *. tolerance -> (cand, c)
+                  | _ -> (bindings, current))
+              (bindings, current) candidates)
+        (bindings, current) bases)
+    (bindings, current) st.variant.Variant.tiles
+
+(* --- prefetch search --- *)
+
+let prefetch_search st ~bindings current_cycles =
+  match build st ~bindings ~prefetch:[] with
+  | None -> ([], current_cycles)
+  | Some program ->
+    let candidates = Transform.Prefetch_insert.candidates program in
+    List.fold_left
+      (fun (chosen, best_c) array ->
+        let try_distance d = evaluate st ~bindings ~prefetch:((array, d) :: chosen) in
+        match try_distance 1 with
+        | Some c1 when c1 < best_c ->
+          (* Grow the distance while it improves; keep the smallest best. *)
+          let rec grow d best_d best_c =
+            let d' = d * 2 in
+            if d' > 32 then (best_d, best_c)
+            else
+              match try_distance d' with
+              | Some c when c < best_c -> grow d' d' c
+              | _ -> (best_d, best_c)
+          in
+          let d, c = grow 1 1 c1 in
+          ((array, d) :: chosen, c)
+        | _ -> (chosen, best_c))
+      ([], current_cycles)
+      candidates
+
+(* --- post-prefetch adjustment: grow the innermost tile --- *)
+
+let adjust st ~prefetch bindings current =
+  match List.rev st.variant.Variant.tiles with
+  | [] -> (bindings, current)
+  | (innermost_tiled, param) :: _ ->
+    ignore innermost_tiled;
+    let rec grow bindings current =
+      let v = List.assoc param bindings in
+      let cand = set_params bindings [ (param, v * 2) ] in
+      match evaluate st ~bindings:cand ~prefetch with
+      | Some c when c < current -> grow cand c
+      | _ -> (bindings, current)
+    in
+    grow bindings current
+
+let tune_variant machine ~n ~mode ~log variant =
+  let st =
+    {
+      machine;
+      n;
+      mode;
+      log = Some log;
+      variant;
+      memo = Hashtbl.create 64;
+      best = None;
+    }
+  in
+  let unroll_params = List.map snd variant.Variant.unrolls in
+  let tile_params = List.map snd variant.Variant.tiles in
+  let all_params = unroll_params @ tile_params in
+  let start = List.map (fun p -> (p, 1)) all_params in
+  (* Give the cache tiles their model-initial (uniform, capacity-filling)
+     values before searching the register tiles, so stage 1 does not run
+     against degenerate size-1 tiles. *)
+  let start =
+    match initial_uniform st tile_params start with
+    | Some m when tile_params <> [] ->
+      set_params start (List.map (fun p -> (p, m)) tile_params)
+    | _ -> start
+  in
+  let delta_unroll _ = 1 in
+  let line = line_elems st in
+  (* The paper's linear-refinement step: max(register tile, line size). *)
+  let delta_tile _ = max 1 line in
+  (* Stage 1: unroll factors. *)
+  match stage_search st unroll_params ~prefetch:[] ~delta:delta_unroll start with
+  | None -> None
+  | Some (b1, _) -> (
+    (* Stage 2: tile sizes, carrying the unrolls over. *)
+    match stage_search st tile_params ~prefetch:[] ~delta:delta_tile b1 with
+    | None -> None
+    | Some (b2, c2) ->
+      let b2, c2 = snap_multiples st ~prefetch:[] b2 c2 in
+      let prefetch, c3 = prefetch_search st ~bindings:b2 c2 in
+      let b3, _ = adjust st ~prefetch b2 c3 in
+      ignore b3;
+      st.best)
+
+let model_point machine ~n variant =
+  let st =
+    {
+      machine;
+      n;
+      mode = Executor.Full;
+      log = None;
+      variant;
+      memo = Hashtbl.create 1;
+      best = None;
+    }
+  in
+  let unroll_params = List.map snd variant.Variant.unrolls in
+  let tile_params = List.map snd variant.Variant.tiles in
+  let start = List.map (fun p -> (p, 1)) (unroll_params @ tile_params) in
+  match initial_uniform st tile_params start with
+  | None -> None
+  | Some mt ->
+    let with_tiles =
+      if tile_params = [] then start
+      else set_params start (List.map (fun p -> (p, mt)) tile_params)
+    in
+    (match initial_uniform st unroll_params with_tiles with
+    | None -> None
+    | Some mu ->
+      if unroll_params = [] then Some with_tiles
+      else Some (set_params with_tiles (List.map (fun p -> (p, mu)) unroll_params)))
+
+let measure_point machine ~n ~mode ?log variant ~bindings ~prefetch =
+  let st =
+    { machine; n; mode; log; variant; memo = Hashtbl.create 4; best = None }
+  in
+  match evaluate st ~bindings ~prefetch with
+  | Some _ -> st.best
+  | None -> None

@@ -1,0 +1,58 @@
+(** Phase 2: model-guided empirical search (paper §3.2).
+
+    For one variant, the search proceeds in stages:
+
+    + {b tiling parameters} — stage 1 searches the unroll (register-tile)
+      factors, stage 2 the cache-tile sizes, each starting from the
+      model's initial point (uniform values filling the heuristic
+      footprint), walking tile {e shapes} (double one dimension, halve
+      another) at constant footprint, halving the footprint when no shape
+      improves, then refining each parameter linearly;
+    + {b prefetching} — for each array (including copy temporaries), try
+      distance 1; if it helps, grow the distance while it keeps helping
+      and keep the smallest best, otherwise drop the prefetch;
+    + {b adjustment} — with prefetching in place, try growing the
+      innermost tile (prefetching favours longer streams), re-checking
+      the constraints.
+
+    Every evaluation instantiates the variant, runs it on the simulated
+    machine, and is recorded in the log; candidates violating the
+    phase-1 constraints are skipped without execution — the pruning that
+    keeps the search small. *)
+
+type outcome = {
+  variant : Variant.t;
+  bindings : (string * int) list;
+  prefetch : (string * int) list;
+  program : Ir.Program.t;  (** instantiated, with prefetches applied *)
+  measurement : Executor.measurement;
+}
+
+(** [tune_variant machine ~n ~mode ~log variant] returns the best
+    parameter setting found, or [None] when no feasible point exists. *)
+val tune_variant :
+  Machine.t ->
+  n:int ->
+  mode:Executor.mode ->
+  log:Search_log.t ->
+  Variant.t ->
+  outcome option
+
+(** The model's initial parameter point for a variant (uniform values
+    saturating the phase-1 constraints), with no empirical input at all
+    — what a purely model-driven compiler would pick (Yotov et al.'s
+    question, used by the ablation experiment).  [None] when even the
+    all-ones point is infeasible. *)
+val model_point : Machine.t -> n:int -> Variant.t -> (string * int) list option
+
+(** Instantiate + prefetch + measure one explicit point (used by the
+    experiment harness for Table 1's hand-picked parameter settings). *)
+val measure_point :
+  Machine.t ->
+  n:int ->
+  mode:Executor.mode ->
+  ?log:Search_log.t ->
+  Variant.t ->
+  bindings:(string * int) list ->
+  prefetch:(string * int) list ->
+  outcome option

@@ -1,0 +1,34 @@
+type entry = {
+  variant : string;
+  bindings : (string * int) list;
+  prefetch : (string * int) list;
+  cycles : float;
+  mflops : float;
+}
+
+type t = { mutable entries : entry list; started : float }
+
+let create () = { entries = []; started = Unix_time.now () }
+let record t e = t.entries <- e :: t.entries
+let entries t = List.rev t.entries
+let points t = List.length t.entries
+let seconds t = Unix_time.now () -. t.started
+
+let best t =
+  match t.entries with
+  | [] -> None
+  | e :: rest ->
+    Some (List.fold_left (fun acc e -> if e.cycles < acc.cycles then e else acc) e rest)
+
+let pp_bindings fmt bindings =
+  Format.pp_print_string fmt
+    (String.concat " "
+       (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) bindings))
+
+let pp fmt t =
+  Format.fprintf fmt "%d points in %.2fs@." (points t) (seconds t);
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "  %s %a pref[%a] -> %.0f cycles (%.1f MFLOPS)@."
+        e.variant pp_bindings e.bindings pp_bindings e.prefetch e.cycles e.mflops)
+    (entries t)

@@ -1,0 +1,25 @@
+(** Log of every empirical experiment the search runs — the data behind
+    the paper's §4.3 search-cost comparison. *)
+
+type entry = {
+  variant : string;
+  bindings : (string * int) list;
+  prefetch : (string * int) list;
+  cycles : float;
+  mflops : float;
+}
+
+type t
+
+val create : unit -> t
+val record : t -> entry -> unit
+val entries : t -> entry list
+
+(** Number of distinct points evaluated (cache hits excluded). *)
+val points : t -> int
+
+(** Wall-clock seconds since [create]. *)
+val seconds : t -> float
+
+val best : t -> entry option
+val pp : Format.formatter -> t -> unit

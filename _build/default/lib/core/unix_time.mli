@@ -1,0 +1,3 @@
+(** Minimal monotonic-ish wall-clock without a Unix dependency. *)
+
+val now : unit -> float

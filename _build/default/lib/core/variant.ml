@@ -1,0 +1,124 @@
+type copy_dim = { tiled_loop : string; bound : Ir.Aff.t }
+
+type copy_spec = {
+  array : string;
+  temp : string;
+  at : string;
+  dims : copy_dim list;
+}
+
+type level_note = {
+  level : string;
+  reuse_loop : string;
+  transf : string;
+  level_params : string list;
+  level_constraints : Constr.t list;
+}
+
+type t = {
+  name : string;
+  kernel : Kernels.Kernel.t;
+  element_order : string list;
+  tiles : (string * string) list;
+  unrolls : (string * string) list;
+  copies : copy_spec list;
+  constraints : Constr.t list;
+  notes : level_note list;
+}
+
+let control_of v = v ^ v
+
+let params t =
+  List.map (fun (loop, _) -> Param.unroll loop) t.unrolls
+  @ List.map (fun (loop, _) -> Param.tile loop) t.tiles
+
+let param_names t = List.map snd t.unrolls @ List.map snd t.tiles
+
+let binding_lookup ~n bindings x =
+  if x = "n" then n
+  else
+    match List.assoc_opt x bindings with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "Variant: unbound parameter %s" x)
+
+let feasible t ~n bindings =
+  let lookup = binding_lookup ~n bindings in
+  let ranges_ok =
+    List.for_all (fun (_, p) -> let u = lookup p in u >= 1 && u <= 64) t.unrolls
+    && List.for_all (fun (_, p) -> let s = lookup p in s >= 1 && s <= n) t.tiles
+  in
+  ranges_ok && List.for_all (fun c -> Constr.satisfied c lookup) t.constraints
+
+let instantiate t ~bindings =
+  let value p =
+    match List.assoc_opt p bindings with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "Variant.instantiate: unbound %s" p)
+  in
+  let p = Transform.Permute.apply t.kernel.Kernels.Kernel.program t.element_order in
+  let p =
+    if t.tiles = [] then p
+    else
+      Transform.Tile.apply p
+        (List.map
+           (fun (v, param) ->
+             { Transform.Tile.var = v; size = value param; control = control_of v })
+           t.tiles)
+        ~control_order:(List.map (fun (v, _) -> control_of v) t.tiles)
+  in
+  let p =
+    List.fold_left
+      (fun p (c : copy_spec) ->
+        let tile_param_of v =
+          match List.assoc_opt v t.tiles with
+          | Some param -> param
+          | None ->
+            invalid_arg
+              (Printf.sprintf "Variant.instantiate: copy dim loop %s not tiled" v)
+        in
+        Transform.Copy_opt.apply p ~array:c.array ~temp:c.temp
+          ~at:(control_of c.at)
+          ~dims:
+            (List.map
+               (fun (d : copy_dim) ->
+                 {
+                   Transform.Copy_opt.base = Ir.Aff.var (control_of d.tiled_loop);
+                   extent = value (tile_param_of d.tiled_loop);
+                   bound = d.bound;
+                 })
+               c.dims))
+      p t.copies
+  in
+  let p =
+    List.fold_left
+      (fun p (v, param) -> Transform.Unroll_jam.apply p v (value param))
+      p t.unrolls
+  in
+  Transform.Scalar_replace.apply p
+
+let pp fmt t =
+  Format.fprintf fmt "variant %s: order [%s]" t.name
+    (String.concat " " t.element_order);
+  if t.unrolls <> [] then
+    Format.fprintf fmt ", unroll %s"
+      (String.concat ","
+         (List.map (fun (v, p) -> Printf.sprintf "%s:%s" v p) t.unrolls));
+  if t.tiles <> [] then
+    Format.fprintf fmt ", tile %s"
+      (String.concat ","
+         (List.map (fun (v, p) -> Printf.sprintf "%s:%s" v p) t.tiles));
+  List.iter (fun (c : copy_spec) -> Format.fprintf fmt ", copy %s->%s" c.array c.temp) t.copies;
+  Format.fprintf fmt "@.";
+  List.iter
+    (fun c -> Format.fprintf fmt "  constraint %s@." (Constr.describe c))
+    t.constraints
+
+let table_rows t =
+  List.map
+    (fun note ->
+      ( note.level,
+        String.uppercase_ascii note.reuse_loop,
+        note.transf,
+        String.concat ", " (List.map String.uppercase_ascii note.level_params),
+        String.concat "; " (List.map Constr.describe note.level_constraints) ))
+    t.notes

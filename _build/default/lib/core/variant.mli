@@ -1,0 +1,63 @@
+(** A parameterized code variant, the output of phase 1 (Figure 3): a
+    loop order, the loops to unroll-and-jam, the loops to tile, the
+    arrays to copy, and the constraints on parameter values.  Phase 2
+    binds the parameters and instantiates the variant into an executable
+    program. *)
+
+type copy_dim = {
+  tiled_loop : string;
+      (** loop whose tile covers this array dimension; the copy extent is
+          that loop's tile parameter and the base its control variable *)
+  bound : Ir.Aff.t;  (** array extent in this dimension, for clipping *)
+}
+
+type copy_spec = {
+  array : string;
+  temp : string;
+  at : string;  (** tiled loop whose control loop hosts the copy *)
+  dims : copy_dim list;
+}
+
+(** One row of the paper's Table 4. *)
+type level_note = {
+  level : string;  (** "Reg", "L1", "L2" *)
+  reuse_loop : string;
+  transf : string;
+  level_params : string list;
+  level_constraints : Constr.t list;
+}
+
+type t = {
+  name : string;
+  kernel : Kernels.Kernel.t;
+  element_order : string list;  (** outermost first; last = register loop *)
+  tiles : (string * string) list;
+      (** (loop, tile parameter), in control-loop order outermost first *)
+  unrolls : (string * string) list;  (** (loop, unroll parameter) *)
+  copies : copy_spec list;
+  constraints : Constr.t list;
+  notes : level_note list;
+}
+
+(** Name of the tile-controlling variable for a tiled loop ("k" -> "kk"). *)
+val control_of : string -> string
+
+val params : t -> Param.t list
+
+(** Parameter-name list in a canonical order (unrolls then tiles). *)
+val param_names : t -> string list
+
+(** Are the bindings feasible: all phase-1 constraints hold, unroll
+    factors lie in [1,64], and tile sizes in [1,n]? *)
+val feasible : t -> n:int -> (string * int) list -> bool
+
+(** Build the executable program: permute, tile, copy, unroll-and-jam,
+    scalar-replace (prefetch is layered separately by the search).
+    @raise Invalid_argument on malformed bindings. *)
+val instantiate : t -> bindings:(string * int) list -> Ir.Program.t
+
+val pp : Format.formatter -> t -> unit
+
+(** Render the variant's notes as rows (level, loop, transformation,
+    parameters, constraints) — the shape of the paper's Table 4. *)
+val table_rows : t -> (string * string * string * string * string) list

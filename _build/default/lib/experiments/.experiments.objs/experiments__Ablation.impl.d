@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Baselines Config Core Kernels List Machine Printf

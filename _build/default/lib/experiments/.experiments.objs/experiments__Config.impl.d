@@ -1,0 +1,1 @@
+lib/experiments/config.ml: Core String Sys

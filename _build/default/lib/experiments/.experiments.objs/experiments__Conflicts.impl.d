@@ -1,0 +1,1 @@
+lib/experiments/conflicts.ml: Core Ir Kernels List Machine Memsim Printf

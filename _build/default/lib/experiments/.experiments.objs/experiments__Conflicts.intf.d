@@ -1,0 +1,1 @@
+lib/experiments/conflicts.mli: Machine Memsim

@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Baselines Config Core Kernels List Machine Printf Series

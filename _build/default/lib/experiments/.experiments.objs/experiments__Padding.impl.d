@@ -1,0 +1,1 @@
+lib/experiments/padding.ml: Config Core Kernels List Machine Printf Series Transform

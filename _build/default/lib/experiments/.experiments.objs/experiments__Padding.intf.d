@@ -1,0 +1,1 @@
+lib/experiments/padding.mli: Core Machine Series

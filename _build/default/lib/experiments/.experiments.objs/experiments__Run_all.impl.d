@@ -1,0 +1,1 @@
+lib/experiments/run_all.ml: Ablation Conflicts Fig4 Fig5 List Machine Padding Printf Search_cost Strategies String Table1 Table2 Table4

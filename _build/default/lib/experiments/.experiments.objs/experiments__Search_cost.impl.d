@@ -1,0 +1,1 @@
+lib/experiments/search_cost.ml: Baselines Config Core Kernels List Machine Printf Sys

@@ -1,0 +1,1 @@
+lib/experiments/strategies.ml: Baselines Config Core Kernels List Machine Printf

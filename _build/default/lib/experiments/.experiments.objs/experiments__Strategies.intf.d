@@ -1,0 +1,1 @@
+lib/experiments/strategies.mli: Core Machine

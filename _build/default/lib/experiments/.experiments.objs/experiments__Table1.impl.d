@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Config Core Ir Kernels List Machine Memsim Printf String

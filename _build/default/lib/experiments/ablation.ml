@@ -1,0 +1,82 @@
+type entry = { what : string; mflops : float; points : int }
+
+let run ?mode ?(machine = Machine.sgi_r10000) ?n () =
+  let mode = match mode with Some m -> m | None -> Config.budget () in
+  let n = match n with Some n -> n | None -> Config.mm_tune_size () in
+  let kernel = Kernels.Matmul.kernel in
+  let eco = Core.Eco.optimize ~mode machine kernel ~n in
+  let hybrid =
+    {
+      what = "ECO hybrid (models + search)";
+      mflops = eco.Core.Eco.measurement.Core.Executor.mflops;
+      points = Core.Search_log.points eco.Core.Eco.log;
+    }
+  in
+  let model_only =
+    match Baselines.Model_only.optimize machine kernel ~n ~mode with
+    | Some r ->
+      {
+        what = "model only (no search)";
+        mflops = r.Baselines.Model_only.measurement.Core.Executor.mflops;
+        points = 1;
+      }
+    | None -> { what = "model only (no search)"; mflops = 0.0; points = 0 }
+  in
+  let atlas = Baselines.Atlas_search.tune machine ~n ~mode in
+  let search_only =
+    {
+      what = "search only (no models)";
+      mflops = atlas.Baselines.Atlas_search.measurement.Core.Executor.mflops;
+      points = atlas.Baselines.Atlas_search.points;
+    }
+  in
+  let no_copy =
+    let variants =
+      List.filter
+        (fun (v : Core.Variant.t) -> v.Core.Variant.copies = [])
+        (Core.Derive.variants machine kernel)
+    in
+    let log = Core.Search_log.create () in
+    let outcomes =
+      List.filter_map (Core.Search.tune_variant machine ~n ~mode ~log) variants
+    in
+    match outcomes with
+    | [] -> { what = "ECO without copy"; mflops = 0.0; points = 0 }
+    | o :: rest ->
+      let best =
+        List.fold_left
+          (fun acc o ->
+            if
+              Core.Executor.cycles o.Core.Search.measurement
+              < Core.Executor.cycles acc.Core.Search.measurement
+            then o
+            else acc)
+          o rest
+      in
+      {
+        what = "ECO without copy";
+        mflops = best.Core.Search.measurement.Core.Executor.mflops;
+        points = Core.Search_log.points log;
+      }
+  in
+  let no_prefetch =
+    let o = eco.Core.Eco.outcome in
+    match
+      Core.Search.measure_point machine ~n ~mode o.Core.Search.variant
+        ~bindings:o.Core.Search.bindings ~prefetch:[]
+    with
+    | Some out ->
+      {
+        what = "ECO without prefetch";
+        mflops = out.Core.Search.measurement.Core.Executor.mflops;
+        points = 1;
+      }
+    | None -> { what = "ECO without prefetch"; mflops = 0.0; points = 0 }
+  in
+  [ hybrid; model_only; search_only; no_copy; no_prefetch ]
+
+let render entries =
+  Printf.sprintf "%-32s %10s %8s" "Configuration" "MFLOPS" "Points"
+  :: List.map
+       (fun e -> Printf.sprintf "%-32s %10.1f %8d" e.what e.mflops e.points)
+       entries

@@ -1,0 +1,16 @@
+(** Ablation of the design decisions DESIGN.md calls out, on Matrix
+    Multiply at the reference size:
+
+    - {b hybrid} (the full ECO pipeline) vs {b model-only} (phase 1 +
+      model-initial parameters, zero experiments — the Yotov et al.
+      configuration) vs {b search-only} (the ATLAS-style sweep with no
+      models);
+    - {b no-copy}: the best ECO variant that does not use copy
+      optimization — quantifies how much conflict-miss smoothing buys;
+    - {b no-prefetch}: the winning ECO version with its prefetches
+      stripped. *)
+
+type entry = { what : string; mflops : float; points : int }
+
+val run : ?mode:Core.Executor.mode -> ?machine:Machine.t -> ?n:int -> unit -> entry list
+val render : entry list -> string list

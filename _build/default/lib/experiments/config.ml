@@ -1,0 +1,27 @@
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> (try int_of_string (String.trim s) with Failure _ -> default)
+  | None -> default
+
+let fast () =
+  match Sys.getenv_opt "ECO_FAST" with
+  | Some ("1" | "true" | "yes") -> true
+  | Some _ | None -> false
+
+let budget () = Core.Executor.Budget (env_int "ECO_BUDGET" 400_000)
+let table1_budget () = Core.Executor.Budget (env_int "ECO_TABLE1_BUDGET" 2_000_000)
+
+let range lo hi step =
+  let rec go n = if n > hi then [] else n :: go (n + step) in
+  go lo
+
+let mm_sizes () =
+  if fast () then [ 64; 128; 192; 256 ] else range 64 768 32
+
+let jacobi_sizes () =
+  if fast () then [ 40; 64; 96 ] else range 40 272 8
+
+let mm_tune_size () = env_int "ECO_MM_TUNE" 240
+let jacobi_tune_size () = env_int "ECO_JACOBI_TUNE" 120
+let table1_mm_size () = env_int "ECO_TABLE1_MM" 512
+let table1_jacobi_size () = env_int "ECO_TABLE1_JACOBI" 160

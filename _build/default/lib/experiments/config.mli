@@ -1,0 +1,26 @@
+(** Experiment-wide knobs, overridable from the environment so the bench
+    harness can trade fidelity for wall-clock:
+
+    - [ECO_BUDGET]: flop budget per simulated measurement (default 400k);
+    - [ECO_TABLE1_BUDGET]: budget for the Table-1 counter runs (default 2M);
+    - [ECO_FAST]: when set (=1), shrink size sweeps for smoke runs. *)
+
+val budget : unit -> Core.Executor.mode
+val table1_budget : unit -> Core.Executor.mode
+val fast : unit -> bool
+
+(** Matrix-multiply sweep sizes (Figure 4). *)
+val mm_sizes : unit -> int list
+
+(** Jacobi sweep sizes (Figure 5). *)
+val jacobi_sizes : unit -> int list
+
+(** Reference tuning size for matrix multiply / Jacobi. *)
+val mm_tune_size : unit -> int
+
+val jacobi_tune_size : unit -> int
+
+(** Problem sizes for the Table 1 counter experiments. *)
+val table1_mm_size : unit -> int
+
+val table1_jacobi_size : unit -> int

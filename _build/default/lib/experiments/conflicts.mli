@@ -1,0 +1,19 @@
+(** Extension experiment — why the Native compiler collapses at
+    pathological sizes (paper §4.1: "it appears to suffer from severe
+    conflict misses for some matrix sizes because the SGI compiler does
+    not apply copying").
+
+    The miss classifier splits L1 misses of the Native-compiled and the
+    ECO-tuned Matrix Multiply into compulsory / capacity / conflict
+    components at a well-behaved size and at a pathological power of
+    two: Native's extra misses at the bad size are (almost entirely)
+    conflict misses, and ECO's copy optimization removes them. *)
+
+type entry = {
+  what : string;
+  n : int;
+  report : Memsim.Classify.report;
+}
+
+val run : ?machine:Machine.t -> ?sizes:int list -> unit -> entry list
+val render : entry list -> string list

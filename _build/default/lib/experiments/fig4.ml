@@ -1,0 +1,58 @@
+type result = {
+  machine : Machine.t;
+  series : Series.t list;
+  eco_points : int;
+  atlas_points : int;
+}
+
+let run ?mode ?sizes ?tune_n machine =
+  let mode = match mode with Some m -> m | None -> Config.budget () in
+  let sizes = match sizes with Some s -> s | None -> Config.mm_sizes () in
+  let tune_n = match tune_n with Some n -> n | None -> Config.mm_tune_size () in
+  let eco = Core.Eco.optimize ~mode machine Kernels.Matmul.kernel ~n:tune_n in
+  let atlas = Baselines.Atlas_search.tune machine ~n:tune_n ~mode in
+  let sweep f = List.map (fun n -> (n, f n)) sizes in
+  let eco_series =
+    sweep (fun n ->
+        match Core.Eco.remeasure ~mode machine eco ~n with
+        | Some m -> m.Core.Executor.mflops
+        | None -> 0.0)
+  in
+  let native_series =
+    sweep (fun n ->
+        (Baselines.Native_compiler.measure machine Kernels.Matmul.kernel ~n ~mode)
+          .Core.Executor.mflops)
+  in
+  let atlas_series =
+    sweep (fun n ->
+        (Baselines.Atlas_search.measure_at machine
+           atlas.Baselines.Atlas_search.config ~n ~mode)
+          .Core.Executor.mflops)
+  in
+  let vendor_series =
+    sweep (fun n ->
+        (Baselines.Vendor_blas.measure machine ~n ~mode).Core.Executor.mflops)
+  in
+  {
+    machine;
+    series =
+      [
+        Series.make "ECO" 'E' eco_series;
+        Series.make "Native" 'N' native_series;
+        Series.make "ATLAS" 'A' atlas_series;
+        Series.make "Vendor" 'V' vendor_series;
+      ];
+    eco_points = Core.Search_log.points eco.Core.Eco.log;
+    atlas_points = atlas.Baselines.Atlas_search.points;
+  }
+
+let render r =
+  (Printf.sprintf "Matrix Multiply on %s (peak %.0f MFLOPS)"
+     r.machine.Machine.name
+     (Machine.peak_mflops r.machine)
+   :: Series.chart r.series)
+  @ ("" :: Series.table r.series)
+  @ ("" :: Series.summary r.series)
+
+let run_all () =
+  [ run Machine.sgi_r10000; run Machine.ultrasparc_iie ]

@@ -1,0 +1,21 @@
+(** Figure 4 — Matrix Multiply performance (MFLOPS vs. problem size) on
+    the two simulated machines: ECO against the Native-compiler model,
+    the ATLAS-style tuner and the hand-tuned vendor BLAS model.
+
+    ECO and ATLAS are each tuned once at the reference size and their
+    winning parameterizations are then swept across sizes, exactly as the
+    paper's versions were. *)
+
+type result = {
+  machine : Machine.t;
+  series : Series.t list;  (** ECO, Native, ATLAS, Vendor *)
+  eco_points : int;  (** search points ECO used *)
+  atlas_points : int;
+}
+
+val run :
+  ?mode:Core.Executor.mode -> ?sizes:int list -> ?tune_n:int -> Machine.t -> result
+val render : result -> string list
+
+(** Both machines, both panels (a) and (b). *)
+val run_all : unit -> result list

@@ -1,0 +1,39 @@
+type result = {
+  machine : Machine.t;
+  series : Series.t list;
+  eco_points : int;
+}
+
+let run ?mode ?sizes ?tune_n machine =
+  let mode = match mode with Some m -> m | None -> Config.budget () in
+  let sizes = match sizes with Some s -> s | None -> Config.jacobi_sizes () in
+  let tune_n = match tune_n with Some n -> n | None -> Config.jacobi_tune_size () in
+  let eco = Core.Eco.optimize ~mode machine Kernels.Jacobi3d.kernel ~n:tune_n in
+  let sweep f = List.map (fun n -> (n, f n)) sizes in
+  let eco_series =
+    sweep (fun n ->
+        match Core.Eco.remeasure ~mode machine eco ~n with
+        | Some m -> m.Core.Executor.mflops
+        | None -> 0.0)
+  in
+  let native_series =
+    sweep (fun n ->
+        (Baselines.Native_compiler.measure machine Kernels.Jacobi3d.kernel ~n ~mode)
+          .Core.Executor.mflops)
+  in
+  {
+    machine;
+    series =
+      [
+        Series.make "ECO" 'E' eco_series;
+        Series.make "Native" 'N' native_series;
+      ];
+    eco_points = Core.Search_log.points eco.Core.Eco.log;
+  }
+
+let render r =
+  (Printf.sprintf "Jacobi on %s" r.machine.Machine.name :: Series.chart r.series)
+  @ ("" :: Series.table r.series)
+  @ ("" :: Series.summary r.series)
+
+let run_all () = [ run Machine.sgi_r10000; run Machine.ultrasparc_iie ]

@@ -1,0 +1,14 @@
+(** Figure 5 — Jacobi performance (MFLOPS vs. problem size) on the two
+    simulated machines: ECO against the native-compiler model (the only
+    comparator the paper has for Jacobi). *)
+
+type result = {
+  machine : Machine.t;
+  series : Series.t list;  (** ECO, Native *)
+  eco_points : int;
+}
+
+val run :
+  ?mode:Core.Executor.mode -> ?sizes:int list -> ?tune_n:int -> Machine.t -> result
+val render : result -> string list
+val run_all : unit -> result list

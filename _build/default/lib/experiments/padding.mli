@@ -1,0 +1,18 @@
+(** Extension experiment — array padding for Jacobi.
+
+    The paper (§4.2) observes that both the native compiler's and ECO's
+    Jacobi fluctuate badly at conflict-pathological sizes because neither
+    pads or copies, and notes that "manual experiments show that array
+    padding can be used to stabilize this behavior".  This experiment
+    performs those manual experiments: the ECO-tuned Jacobi is measured
+    with and without one cache line of padding on the arrays' leading
+    dimension, across a size sweep that includes the pathological
+    powers of two. *)
+
+type result = {
+  machine : Machine.t;
+  series : Series.t list;  (** ECO, ECO+pad *)
+}
+
+val run : ?mode:Core.Executor.mode -> ?sizes:int list -> ?tune_n:int -> Machine.t -> result
+val render : result -> string list

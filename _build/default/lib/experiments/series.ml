@@ -1,0 +1,95 @@
+type t = {
+  label : string;
+  mark : char;
+  points : (int * float) list;
+}
+
+let make label mark points = { label; mark; points }
+
+let values s = List.map snd s.points
+
+let mean s =
+  match values s with
+  | [] -> 0.0
+  | vs -> List.fold_left ( +. ) 0.0 vs /. float_of_int (List.length vs)
+
+let minimum s = List.fold_left Float.min infinity (values s)
+let maximum s = List.fold_left Float.max neg_infinity (values s)
+
+let table series =
+  let sizes =
+    List.sort_uniq compare (List.concat_map (fun s -> List.map fst s.points) series)
+  in
+  let header =
+    Printf.sprintf "%6s %s" "n"
+      (String.concat " "
+         (List.map (fun s -> Printf.sprintf "%10s" s.label) series))
+  in
+  let rows =
+    List.map
+      (fun n ->
+        Printf.sprintf "%6d %s" n
+          (String.concat " "
+             (List.map
+                (fun s ->
+                  match List.assoc_opt n s.points with
+                  | Some v -> Printf.sprintf "%10.1f" v
+                  | None -> Printf.sprintf "%10s" "-")
+                series)))
+      sizes
+  in
+  header :: rows
+
+let chart ?(height = 16) series =
+  let all_points = List.concat_map (fun s -> s.points) series in
+  match all_points with
+  | [] -> [ "(no data)" ]
+  | _ ->
+    let sizes = List.sort_uniq compare (List.map fst all_points) in
+    let vmax = List.fold_left (fun m (_, v) -> Float.max m v) 0.0 all_points in
+    let vmax = if vmax <= 0.0 then 1.0 else vmax in
+    let width = List.length sizes in
+    let grid = Array.make_matrix height width ' ' in
+    List.iter
+      (fun s ->
+        List.iter
+          (fun (n, v) ->
+            match List.find_index (( = ) n) sizes with
+            | None -> ()
+            | Some col ->
+              let row =
+                height - 1 - int_of_float (v /. vmax *. float_of_int (height - 1))
+              in
+              let row = max 0 (min (height - 1) row) in
+              if grid.(row).(col) = ' ' then grid.(row).(col) <- s.mark
+              else grid.(row).(col) <- '*')
+          s.points)
+      series;
+    let rows =
+      List.init height (fun r ->
+          let label =
+            if r = 0 then Printf.sprintf "%7.0f |" vmax
+            else if r = height - 1 then Printf.sprintf "%7.0f |" 0.0
+            else Printf.sprintf "%7s |" ""
+          in
+          label ^ String.init width (fun c -> grid.(r).(c)))
+    in
+    let x_axis =
+      Printf.sprintf "%7s +%s" "" (String.make width '-')
+      ::
+      [
+        Printf.sprintf "%7s  n: %d .. %d    legend: %s" ""
+          (List.hd sizes)
+          (List.nth sizes (width - 1))
+          (String.concat "  "
+             (List.map (fun s -> Printf.sprintf "%c=%s" s.mark s.label) series));
+      ]
+    in
+    rows @ x_axis
+
+let summary series =
+  List.map
+    (fun s ->
+      Printf.sprintf "%-12s min %7.1f   mean %7.1f   max %7.1f MFLOPS" s.label
+        (minimum s) (mean s) (maximum s))
+    series

@@ -1,0 +1,23 @@
+(** Rendering of size-sweep results: aligned text tables and an ASCII
+    chart — the textual analogue of the paper's Figures 4 and 5. *)
+
+type t = {
+  label : string;
+  mark : char;  (** one-character series marker in the chart *)
+  points : (int * float) list;  (** (size, MFLOPS) *)
+}
+
+val make : string -> char -> (int * float) list -> t
+
+val mean : t -> float
+val minimum : t -> float
+val maximum : t -> float
+
+(** Aligned table: one row per size, one column per series. *)
+val table : t list -> string list
+
+(** ASCII chart (sizes on x, MFLOPS on y). *)
+val chart : ?height:int -> t list -> string list
+
+(** Summary line per series: label, min, mean, max. *)
+val summary : t list -> string list

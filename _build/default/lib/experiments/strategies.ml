@@ -1,0 +1,68 @@
+type entry = { what : string; mflops : float; points : int }
+
+let run ?mode ?(machine = Machine.sgi_r10000) ?n () =
+  let mode = match mode with Some m -> m | None -> Config.budget () in
+  let n = match n with Some n -> n | None -> Config.mm_tune_size () in
+  let kernel = Kernels.Matmul.kernel in
+  let eco = Core.Eco.optimize ~mode machine kernel ~n in
+  let eco_points = Core.Search_log.points eco.Core.Eco.log in
+  let guided =
+    {
+      what = "ECO guided search";
+      mflops = eco.Core.Eco.measurement.Core.Executor.mflops;
+      points = eco_points;
+    }
+  in
+  (* Random sampling over the winning variant's space, same budget. *)
+  let variant = eco.Core.Eco.outcome.Core.Search.variant in
+  let random =
+    match
+      Baselines.Random_search.tune machine ~n ~mode ~points:eco_points ~seed:42
+        variant
+    with
+    | Some r ->
+      {
+        what = "random sampling (same budget)";
+        mflops = r.Baselines.Random_search.measurement.Core.Executor.mflops;
+        points = r.Baselines.Random_search.evaluated;
+      }
+    | None -> { what = "random sampling (same budget)"; mflops = 0.0; points = 0 }
+  in
+  let annealed =
+    match
+      Baselines.Anneal.tune machine ~n ~mode ~points:eco_points ~seed:42 variant
+    with
+    | Some r ->
+      {
+        what = "simulated annealing (same budget)";
+        mflops = r.Baselines.Anneal.measurement.Core.Executor.mflops;
+        points = r.Baselines.Anneal.evaluated;
+      }
+    | None ->
+      { what = "simulated annealing (same budget)"; mflops = 0.0; points = 0 }
+  in
+  let atlas = Baselines.Atlas_search.tune machine ~n ~mode in
+  let exhaustive =
+    {
+      what = "exhaustive grid (ATLAS-style)";
+      mflops = atlas.Baselines.Atlas_search.measurement.Core.Executor.mflops;
+      points = atlas.Baselines.Atlas_search.points;
+    }
+  in
+  let model =
+    match Baselines.Model_only.optimize machine kernel ~n ~mode with
+    | Some r ->
+      {
+        what = "model prediction (no search)";
+        mflops = r.Baselines.Model_only.measurement.Core.Executor.mflops;
+        points = 1;
+      }
+    | None -> { what = "model prediction (no search)"; mflops = 0.0; points = 0 }
+  in
+  [ guided; random; annealed; exhaustive; model ]
+
+let render entries =
+  Printf.sprintf "%-34s %10s %8s" "Strategy" "MFLOPS" "Points"
+  :: List.map
+       (fun e -> Printf.sprintf "%-34s %10.1f %8d" e.what e.mflops e.points)
+       entries

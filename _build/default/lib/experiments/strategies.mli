@@ -1,0 +1,15 @@
+(** Extension experiment — search strategies at equal measurement budget.
+
+    The paper argues (abstract, §5) that un-guided searches waste
+    experiments because they ignore domain knowledge.  This experiment
+    makes the comparison concrete: the ECO guided search, a random
+    sampler over the same variant's parameter space given the {e same}
+    number of executed points, the exhaustive ATLAS-style grid, and the
+    model's single prediction, all on Matrix Multiply. *)
+
+type entry = { what : string; mflops : float; points : int }
+
+val run :
+  ?mode:Core.Executor.mode -> ?machine:Machine.t -> ?n:int -> unit -> entry list
+
+val render : entry list -> string list

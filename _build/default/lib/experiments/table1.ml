@@ -1,0 +1,209 @@
+type row = {
+  name : string;
+  ti : int;
+  tj : int;
+  tk : int;
+  pref : bool;
+  loads : float;
+  l1_misses : float;
+  l2_misses : float;
+  tlb_misses : float;
+  cycles : float;
+  mflops : float;
+}
+
+let n_aff = Ir.Aff.var "n"
+
+(* Matrix Multiply in the paper's Figure 1(b)/(c) shape with explicit
+   tile sizes; a size of 1 means "loop not tiled", as in the paper's
+   table.  B is copied whenever its two dimensions are tiled. *)
+let mm_variant ~ti ~tj ~tk =
+  let tiles =
+    List.filter_map
+      (fun (v, s) -> if s > 1 then Some (v, "t" ^ v) else None)
+      [ ("k", tk); ("j", tj); ("i", ti) ]
+  in
+  (* Figure 1(b) copies B; Figure 1(c) — the fully tiled versions —
+     additionally copies A into a contiguous Q (which is also what keeps
+     their TLB footprint small). *)
+  let copies =
+    (if List.mem_assoc "k" tiles && List.mem_assoc "j" tiles then
+       [
+         {
+           Core.Variant.array = "b";
+           temp = "p_b";
+           at = "j";
+           dims =
+             [
+               { Core.Variant.tiled_loop = "k"; bound = n_aff };
+               { Core.Variant.tiled_loop = "j"; bound = n_aff };
+             ];
+         };
+       ]
+     else [])
+    @
+    if List.mem_assoc "i" tiles && List.mem_assoc "k" tiles then
+      [
+        {
+          Core.Variant.array = "a";
+          temp = "q_a";
+          at = "i";
+          dims =
+            [
+              { Core.Variant.tiled_loop = "i"; bound = n_aff };
+              { Core.Variant.tiled_loop = "k"; bound = n_aff };
+            ];
+        };
+      ]
+    else []
+  in
+  {
+    Core.Variant.name = "table1_mm";
+    kernel = Kernels.Matmul.kernel;
+    element_order = [ "j"; "i"; "k" ];
+    tiles;
+    unrolls = [ ("j", "uj"); ("i", "ui") ];
+    copies;
+    constraints = [];
+    notes = [];
+  }
+
+let jacobi_variant ~ti ~tj ~tk =
+  let tiles =
+    List.filter_map
+      (fun (v, s) -> if s > 1 then Some (v, "t" ^ v) else None)
+      [ ("k", tk); ("j", tj); ("i", ti) ]
+  in
+  {
+    Core.Variant.name = "table1_jacobi";
+    kernel = Kernels.Jacobi3d.kernel;
+    element_order = [ "k"; "j"; "i" ];
+    tiles;
+    unrolls = [ ("k", "uk"); ("j", "uj") ];
+    copies = [];
+    constraints = [];
+    notes = [];
+  }
+
+let measure_version machine mode ~kernel ~variant ~bindings ~prefetch ~n =
+  match
+    Core.Search.measure_point machine ~n ~mode variant ~bindings ~prefetch
+  with
+  | Some o ->
+    ignore kernel;
+    Some o.Core.Search.measurement
+  | None -> None
+
+let mm_row machine mode ~name ~ti ~tj ~tk ~pref =
+  let n = Config.table1_mm_size () in
+  let ti = min ti n and tj = min tj n and tk = min tk n in
+  let variant = mm_variant ~ti ~tj ~tk in
+  let bindings =
+    List.filter_map
+      (fun (v, s) ->
+        if List.mem_assoc v variant.Core.Variant.tiles then Some ("t" ^ v, s)
+        else None)
+      [ ("k", tk); ("j", tj); ("i", ti) ]
+    @ [ ("ui", 4); ("uj", 4) ]
+  in
+  let prefetch = if pref then [ ("q_a", 8); ("p_b", 8) ] else [] in
+  match
+    measure_version machine mode ~kernel:Kernels.Matmul.kernel ~variant
+      ~bindings ~prefetch ~n
+  with
+  | None -> failwith ("table1: infeasible " ^ name)
+  | Some m ->
+    let s = m.Core.Executor.scale in
+    let c = m.Core.Executor.counters in
+    {
+      name;
+      ti;
+      tj;
+      tk;
+      pref;
+      loads = s *. float_of_int c.Memsim.Counters.loads;
+      l1_misses = s *. float_of_int (Memsim.Counters.l1_misses c);
+      l2_misses = s *. float_of_int (Memsim.Counters.l2_misses c);
+      tlb_misses = s *. float_of_int c.Memsim.Counters.tlb_misses;
+      cycles = m.Core.Executor.cost.Memsim.Cost.total_cycles;
+      mflops = m.Core.Executor.mflops;
+    }
+
+let jacobi_row machine mode ~name ~ti ~tj ~tk ~pref =
+  let n = Config.table1_jacobi_size () in
+  let ti = min ti n and tj = min tj n and tk = min tk n in
+  let variant = jacobi_variant ~ti ~tj ~tk in
+  let bindings =
+    List.filter_map
+      (fun (v, s) ->
+        if List.mem_assoc v variant.Core.Variant.tiles then Some ("t" ^ v, s)
+        else None)
+      [ ("k", tk); ("j", tj); ("i", ti) ]
+    @ [ ("uj", 2); ("uk", 2) ]
+  in
+  let prefetch = if pref then [ ("a", 4); ("b", 4) ] else [] in
+  match
+    measure_version machine mode ~kernel:Kernels.Jacobi3d.kernel ~variant
+      ~bindings ~prefetch ~n
+  with
+  | None -> failwith ("table1: infeasible " ^ name)
+  | Some m ->
+    let s = m.Core.Executor.scale in
+    let c = m.Core.Executor.counters in
+    {
+      name;
+      ti;
+      tj;
+      tk;
+      pref;
+      loads = s *. float_of_int c.Memsim.Counters.loads;
+      l1_misses = s *. float_of_int (Memsim.Counters.l1_misses c);
+      l2_misses = s *. float_of_int (Memsim.Counters.l2_misses c);
+      tlb_misses = s *. float_of_int c.Memsim.Counters.tlb_misses;
+      cycles = m.Core.Executor.cost.Memsim.Cost.total_cycles;
+      mflops = m.Core.Executor.mflops;
+    }
+
+(* The mm rows run on the capacity-scaled SGI (1/16 caches and TLB
+   reach) with the paper's tile sizes scaled by the same factor (1/4 in
+   each tiled cache dimension), so each tile occupies the same fraction
+   of its cache level as in the paper, and a sampled simulation covers
+   several outer-tile periods.  The Jacobi rows fit the real machine's
+   behaviour at a simulable size directly. *)
+let rows ?machine ?mode () =
+  let mm_machine =
+    match machine with Some m -> m | None -> Machine.sgi_r10000_mini
+  in
+  let j_machine = match machine with Some m -> m | None -> Machine.sgi_r10000 in
+  let mode = match mode with Some m -> m | None -> Config.table1_budget () in
+  [
+    mm_row mm_machine mode ~name:"mm1" ~ti:1 ~tj:8 ~tk:16 ~pref:false;
+    mm_row mm_machine mode ~name:"mm2" ~ti:1 ~tj:4 ~tk:32 ~pref:false;
+    mm_row mm_machine mode ~name:"mm3" ~ti:8 ~tj:64 ~tk:64 ~pref:false;
+    mm_row mm_machine mode ~name:"mm4" ~ti:16 ~tj:128 ~tk:32 ~pref:false;
+    mm_row mm_machine mode ~name:"mm5" ~ti:16 ~tj:128 ~tk:32 ~pref:true;
+    jacobi_row j_machine mode ~name:"j1" ~ti:1 ~tj:1 ~tk:1 ~pref:false;
+    jacobi_row j_machine mode ~name:"j2" ~ti:1 ~tj:1 ~tk:1 ~pref:true;
+    jacobi_row j_machine mode ~name:"j3" ~ti:1 ~tj:16 ~tk:8 ~pref:false;
+    jacobi_row j_machine mode ~name:"j4" ~ti:1 ~tj:16 ~tk:8 ~pref:true;
+    jacobi_row j_machine mode ~name:"j5" ~ti:300 ~tj:16 ~tk:1 ~pref:false;
+    jacobi_row j_machine mode ~name:"j6" ~ti:300 ~tj:16 ~tk:1 ~pref:true;
+  ]
+
+let mm_rows rows = List.filter (fun r -> String.length r.name >= 2 && r.name.[0] = 'm') rows
+let jacobi_rows rows = List.filter (fun r -> r.name.[0] = 'j') rows
+
+let render rows =
+  let header =
+    Printf.sprintf "%-5s %4s %4s %4s %5s %14s %12s %12s %10s %14s %8s" "Ver"
+      "TI" "TJ" "TK" "Pref" "Loads" "L1 misses" "L2 misses" "TLB miss" "Cycles"
+      "MFLOPS"
+  in
+  header
+  :: List.map
+       (fun r ->
+         Printf.sprintf "%-5s %4d %4d %4d %5s %14.0f %12.0f %12.0f %10.0f %14.0f %8.1f"
+           r.name r.ti r.tj r.tk
+           (if r.pref then "yes" else "no")
+           r.loads r.l1_misses r.l2_misses r.tlb_misses r.cycles r.mflops)
+       rows

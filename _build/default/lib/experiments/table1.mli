@@ -1,0 +1,32 @@
+(** Table 1 — "Performance variation with optimization parameters".
+
+    Reproduces the paper's motivating experiment: five Matrix Multiply
+    versions (mm1–mm5) and six Jacobi versions (j1–j6) with the paper's
+    own tile-size settings, measured on the simulated SGI; reports
+    Loads, L1 misses, L2 misses, TLB misses and Cycles per version.
+
+    Shape expectations (paper §2): mm1 has the fewest L1 misses; mm3
+    slashes L2 misses at the cost of L1; mm5 reaches the fewest cycles
+    with the most loads (prefetch); Jacobi's prefetched versions beat
+    their unprefetched twins; j6 < j4 < j2 in cycles. *)
+
+type row = {
+  name : string;
+  ti : int;
+  tj : int;
+  tk : int;
+  pref : bool;
+  loads : float;
+  l1_misses : float;
+  l2_misses : float;
+  tlb_misses : float;
+  cycles : float;
+  mflops : float;
+}
+
+(** All eleven rows (budget-scaled counters). *)
+val rows : ?machine:Machine.t -> ?mode:Core.Executor.mode -> unit -> row list
+
+val mm_rows : row list -> row list
+val jacobi_rows : row list -> row list
+val render : row list -> string list

@@ -1,0 +1,21 @@
+let cache_desc (c : Machine.cache) =
+  Printf.sprintf "%dKB %s %d-way (%dB lines, +%d cyc)" (c.Machine.size_bytes / 1024)
+    c.Machine.name c.Machine.assoc c.Machine.line_bytes c.Machine.hit_cycles
+
+let render () =
+  let header =
+    Printf.sprintf "%-20s %-10s %-10s %-34s %-34s %-24s %s" "Architecture"
+      "Clock" "FP regs" "L1 cache" "L2 cache" "TLB" "Mem latency"
+  in
+  header
+  :: List.map
+       (fun (m : Machine.t) ->
+         let l1 = List.nth m.Machine.caches 0 in
+         let l2 = List.nth m.Machine.caches 1 in
+         Printf.sprintf "%-20s %-10s %-10d %-34s %-34s %-24s %d cyc" m.Machine.name
+           (Printf.sprintf "%.0fMHz" m.Machine.cpu.Machine.clock_mhz)
+           m.Machine.cpu.Machine.fp_registers (cache_desc l1) (cache_desc l2)
+           (Printf.sprintf "%d entries, %dKB pages" m.Machine.tlb.Machine.entries
+              (m.Machine.tlb.Machine.page_bytes / 1024))
+           m.Machine.memory_latency_cycles)
+       [ Machine.sgi_r10000; Machine.ultrasparc_iie ]

@@ -1,0 +1,5 @@
+(** Table 2 — "Comparison of two systems": the architectural parameters
+    of the two simulated machines (clock, registers, caches, TLB), plus
+    the cost-model parameters our simulator adds. *)
+
+val render : unit -> string list

@@ -1,0 +1,35 @@
+let copied (v : Core.Variant.t) =
+  List.sort String.compare
+    (List.map (fun (c : Core.Variant.copy_spec) -> c.Core.Variant.array) v.Core.Variant.copies)
+
+let variants ?(machine = Machine.sgi_r10000) () =
+  let all = Core.Derive.variants machine Kernels.Matmul.kernel in
+  (* Headline order: the paper's v1 (copy B only) and v2 (copy A and B)
+     first, then the remaining branches. *)
+  let score v =
+    match copied v with
+    | [ "b" ] -> 0
+    | [ "a"; "b" ] -> 1
+    | [ "a" ] -> 2
+    | _ -> 3
+  in
+  List.stable_sort (fun a b -> compare (score a) (score b)) all
+
+let render ?machine () =
+  List.concat_map
+    (fun (v : Core.Variant.t) ->
+      Printf.sprintf "%s  (order %s%s)" v.Core.Variant.name
+        (String.concat ""
+           (List.map String.uppercase_ascii v.Core.Variant.element_order))
+        (match copied v with
+        | [] -> ", no copy"
+        | arrays -> ", copy " ^ String.concat "," arrays)
+      :: Printf.sprintf "  %-5s %-5s %-34s %-10s %s" "Level" "Loop" "Transf"
+           "Param" "Constraints"
+      :: List.map
+           (fun (level, loop, transf, params, constraints) ->
+             Printf.sprintf "  %-5s %-5s %-34s %-10s %s" level loop transf
+               params constraints)
+           (Core.Variant.table_rows v)
+      @ [ "" ])
+    (variants ?machine ())

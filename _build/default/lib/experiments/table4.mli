@@ -1,0 +1,12 @@
+(** Table 4 — "Code variants considered for Matrix Multiply on the SGI":
+    the output of phase 1 ({!Core.Derive}) formatted as in the paper —
+    one block per variant with, per memory level, the reuse-carrying
+    loop, the transformations, the parameters and the constraints.
+
+    The paper prints the two headline variants; we print the full
+    derived set (the paper's search also walked branch variants, §4.3)
+    with the headline pair — copy-B (Figure 1(b)) and copy-A-and-B
+    (Figure 1(c)) — first. *)
+
+val variants : ?machine:Machine.t -> unit -> Core.Variant.t list
+val render : ?machine:Machine.t -> unit -> string list

@@ -1,0 +1,1 @@
+lib/ir/aff.ml: Format List Stdlib String

@@ -1,0 +1,1 @@
+lib/ir/aff.mli: Format

@@ -1,0 +1,1 @@
+lib/ir/bexp.ml: Aff Format List String

@@ -1,0 +1,1 @@
+lib/ir/bexp.mli: Aff Format

@@ -1,0 +1,1 @@
+lib/ir/codegen_c.ml: Aff Bexp Buffer Decl Fexpr Float List Printf Program Reference Stmt String

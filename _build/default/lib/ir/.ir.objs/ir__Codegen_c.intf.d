@@ -1,0 +1,1 @@
+lib/ir/codegen_c.mli: Program

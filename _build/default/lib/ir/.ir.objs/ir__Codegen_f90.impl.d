@@ -1,0 +1,1 @@
+lib/ir/codegen_f90.ml: Aff Bexp Buffer Decl Fexpr List Printf Program Reference Stmt String

@@ -1,0 +1,1 @@
+lib/ir/codegen_f90.mli: Program

@@ -1,0 +1,1 @@
+lib/ir/exec.ml: Aff Array Bexp Decl Fexpr Float Hashtbl List Printf Program Reference Sink Stmt String

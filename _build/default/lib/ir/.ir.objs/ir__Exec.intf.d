@@ -1,0 +1,1 @@
+lib/ir/exec.mli: Program Sink

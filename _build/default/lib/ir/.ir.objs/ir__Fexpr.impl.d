@@ -1,0 +1,1 @@
+lib/ir/fexpr.ml: Aff Format List Reference Stdlib

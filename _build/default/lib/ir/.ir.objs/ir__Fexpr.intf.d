@@ -1,0 +1,1 @@
+lib/ir/fexpr.mli: Aff Format Reference

@@ -1,0 +1,1 @@
+lib/ir/program.ml: Bexp Decl Fexpr Format Hashtbl List Printf Reference Stmt String

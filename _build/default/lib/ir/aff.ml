@@ -1,0 +1,72 @@
+type t = {
+  terms : (string * int) list;  (* sorted by name, coefficients non-zero *)
+  const : int;
+}
+
+let zero = { terms = []; const = 0 }
+let const c = { terms = []; const = c }
+let term c x = if c = 0 then zero else { terms = [ (x, c) ]; const = 0 }
+let var x = term 1 x
+
+(* Merge two sorted term lists, adding coefficients and dropping zeros. *)
+let rec merge ts1 ts2 =
+  match (ts1, ts2) with
+  | [], ts | ts, [] -> ts
+  | (x1, c1) :: r1, (x2, c2) :: r2 ->
+    let cmp = String.compare x1 x2 in
+    if cmp < 0 then (x1, c1) :: merge r1 ts2
+    else if cmp > 0 then (x2, c2) :: merge ts1 r2
+    else
+      let c = c1 + c2 in
+      if c = 0 then merge r1 r2 else (x1, c) :: merge r1 r2
+
+let add a b = { terms = merge a.terms b.terms; const = a.const + b.const }
+
+let scale k e =
+  if k = 0 then zero
+  else if k = 1 then e
+  else
+    { terms = List.map (fun (x, c) -> (x, k * c)) e.terms; const = k * e.const }
+
+let neg e = scale (-1) e
+let sub a b = add a (neg b)
+let add_const e k = { e with const = e.const + k }
+let coeff e x = match List.assoc_opt x e.terms with Some c -> c | None -> 0
+let const_part e = e.const
+let is_const e = if e.terms = [] then Some e.const else None
+let vars e = List.map fst e.terms
+let mem x e = List.mem_assoc x e.terms
+
+let subst x e' e =
+  let c = coeff e x in
+  if c = 0 then e
+  else
+    let without = { e with terms = List.remove_assoc x e.terms } in
+    add without (scale c e')
+
+let rename x y e = subst x (var y) e
+
+let eval lookup e =
+  List.fold_left (fun acc (x, c) -> acc + (c * lookup x)) e.const e.terms
+
+let terms e = List.map (fun (x, c) -> (c, x)) e.terms
+let equal a b = a = b
+let compare = Stdlib.compare
+
+let pp fmt e =
+  let pp_term first fmt (x, c) =
+    if c = 1 then Format.fprintf fmt "%s%s" (if first then "" else " + ") x
+    else if c = -1 then Format.fprintf fmt "%s%s" (if first then "-" else " - ") x
+    else if c >= 0 then
+      Format.fprintf fmt "%s%d*%s" (if first then "" else " + ") c x
+    else Format.fprintf fmt "%s%d*%s" (if first then "" else " - ") (-c) x
+  in
+  match e.terms with
+  | [] -> Format.fprintf fmt "%d" e.const
+  | t0 :: rest ->
+    pp_term true fmt t0;
+    List.iter (pp_term false fmt) rest;
+    if e.const > 0 then Format.fprintf fmt " + %d" e.const
+    else if e.const < 0 then Format.fprintf fmt " - %d" (-e.const)
+
+let to_string e = Format.asprintf "%a" pp e

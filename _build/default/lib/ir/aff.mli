@@ -1,0 +1,60 @@
+(** Normalized affine expressions over named integer atoms.
+
+    An affine expression is [c0 + c1*x1 + ... + cn*xn] where the [xi] are
+    names of loop index variables or symbolic parameters and the [ci] are
+    integer coefficients.  Values of this type are kept in a canonical
+    form (terms sorted by name, no zero coefficients), so structural
+    equality coincides with semantic equality. *)
+
+type t
+
+val zero : t
+val const : int -> t
+val var : string -> t
+
+(** [term c x] is [c * x]. *)
+val term : int -> string -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+
+(** [scale k e] is [k * e]. *)
+val scale : int -> t -> t
+
+(** [add_const e k] is [e + k]. *)
+val add_const : t -> int -> t
+
+(** [coeff e x] is the coefficient of variable [x] in [e] (0 if absent). *)
+val coeff : t -> string -> int
+
+(** Constant part of the expression. *)
+val const_part : t -> int
+
+(** [is_const e] is [Some c] when [e] has no variable terms. *)
+val is_const : t -> int option
+
+(** Variables occurring with a non-zero coefficient, sorted. *)
+val vars : t -> string list
+
+val mem : string -> t -> bool
+
+(** [subst x e' e] replaces every occurrence of variable [x] in [e] by the
+    affine expression [e']. *)
+val subst : string -> t -> t -> t
+
+(** [rename x y e] renames variable [x] to [y]. *)
+val rename : string -> string -> t -> t
+
+(** [eval lookup e] evaluates [e]; [lookup] gives the value of each
+    variable.  Raises whatever [lookup] raises on unbound names. *)
+val eval : (string -> int) -> t -> int
+
+(** Terms of the expression as [(coefficient, variable)] pairs, sorted by
+    variable name.  Excludes the constant part. *)
+val terms : t -> (int * string) list
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,86 @@
+type t =
+  | Aff of Aff.t
+  | Min of t * t
+  | Max of t * t
+  | Add of t * t
+  | Floor_mult of t * int
+
+let aff a = Aff a
+let const c = Aff (Aff.const c)
+let var x = Aff (Aff.var x)
+
+let min_ a b = if a = b then a else Min (a, b)
+let max_ a b = if a = b then a else Max (a, b)
+
+let add a b =
+  match (a, b) with
+  | Aff x, Aff y -> Aff (Aff.add x y)
+  | _ -> Add (a, b)
+
+let add_aff b a =
+  if Aff.equal a Aff.zero then b
+  else match b with Aff x -> Aff (Aff.add x a) | _ -> Add (b, Aff a)
+
+let add_const b c = add_aff b (Aff.const c)
+
+let floor_mult b k =
+  assert (k > 0);
+  if k = 1 then b else Floor_mult (b, k)
+
+let as_aff = function Aff a -> Some a | Min _ | Max _ | Add _ | Floor_mult _ -> None
+
+let rec is_const = function
+  | Aff a -> Aff.is_const a
+  | Min (a, b) -> (
+    match (is_const a, is_const b) with
+    | Some x, Some y -> Some (min x y)
+    | _ -> None)
+  | Max (a, b) -> (
+    match (is_const a, is_const b) with
+    | Some x, Some y -> Some (max x y)
+    | _ -> None)
+  | Add (a, b) -> (
+    match (is_const a, is_const b) with
+    | Some x, Some y -> Some (x + y)
+    | _ -> None)
+  | Floor_mult (a, k) -> (
+    match is_const a with
+    | Some x -> Some (k * if x >= 0 then x / k else -(((-x) + k - 1) / k))
+    | None -> None)
+
+let rec vars_acc acc = function
+  | Aff a -> List.rev_append (Aff.vars a) acc
+  | Min (a, b) | Max (a, b) | Add (a, b) -> vars_acc (vars_acc acc a) b
+  | Floor_mult (a, _) -> vars_acc acc a
+
+let vars b = List.sort_uniq String.compare (vars_acc [] b)
+let mem x b = List.mem x (vars b)
+
+let rec subst x e = function
+  | Aff a -> Aff (Aff.subst x e a)
+  | Min (a, b) -> Min (subst x e a, subst x e b)
+  | Max (a, b) -> Max (subst x e a, subst x e b)
+  | Add (a, b) -> Add (subst x e a, subst x e b)
+  | Floor_mult (a, k) -> Floor_mult (subst x e a, k)
+
+let rename x y b = subst x (Aff.var y) b
+
+let floor_div x k = if x >= 0 then x / k else -(((-x) + k - 1) / k)
+
+let rec eval lookup = function
+  | Aff a -> Aff.eval lookup a
+  | Min (a, b) -> min (eval lookup a) (eval lookup b)
+  | Max (a, b) -> max (eval lookup a) (eval lookup b)
+  | Add (a, b) -> eval lookup a + eval lookup b
+  | Floor_mult (a, k) -> k * floor_div (eval lookup a) k
+
+let equal a b = a = b
+
+let rec pp fmt = function
+  | Aff a -> Aff.pp fmt a
+  | Min (a, b) -> Format.fprintf fmt "min(%a, %a)" pp a pp b
+  | Max (a, b) -> Format.fprintf fmt "max(%a, %a)" pp a pp b
+  | Add (a, b) -> Format.fprintf fmt "(%a + %a)" pp a pp b
+  | Floor_mult (a, k) -> Format.fprintf fmt "%d*floor((%a)/%d)" k pp a k
+
+let to_string b = Format.asprintf "%a" pp b

@@ -1,0 +1,42 @@
+(** Loop-bound expressions.
+
+    Bounds extend affine expressions with [min]/[max] (needed for tiled
+    loops such as [min (jj + tj - 1) n]) and with rounded-down multiples
+    (needed for the main/remainder split produced by unroll-and-jam:
+    [lo + u * floor ((hi - lo + 1) / u) - 1]). *)
+
+type t =
+  | Aff of Aff.t
+  | Min of t * t
+  | Max of t * t
+  | Add of t * t
+  | Floor_mult of t * int
+      (** [Floor_mult (e, k)] is [k * floor (e / k)]; requires [k > 0]
+          and evaluates with floor semantics for negative [e]. *)
+
+val aff : Aff.t -> t
+val const : int -> t
+val var : string -> t
+val min_ : t -> t -> t
+val max_ : t -> t -> t
+val add : t -> t -> t
+val add_const : t -> int -> t
+val add_aff : t -> Aff.t -> t
+val floor_mult : t -> int -> t
+
+(** [as_aff b] is [Some a] when the bound is a plain affine expression. *)
+val as_aff : t -> Aff.t option
+
+val is_const : t -> int option
+
+(** Variables occurring anywhere in the bound, sorted, without
+    duplicates. *)
+val vars : t -> string list
+
+val mem : string -> t -> bool
+val subst : string -> Aff.t -> t -> t
+val rename : string -> string -> t -> t
+val eval : (string -> int) -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

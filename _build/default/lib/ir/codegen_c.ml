@@ -1,0 +1,157 @@
+let preamble =
+  "#include <stddef.h>\n\
+   #ifndef ECO_HELPERS\n\
+   #define ECO_HELPERS\n\
+   #define ECO_MIN(a, b) ((a) < (b) ? (a) : (b))\n\
+   #define ECO_MAX(a, b) ((a) > (b) ? (a) : (b))\n\
+   #define ECO_FLOORDIV(e, k) ((e) >= 0 ? (e) / (k) : -((-(e) + (k) - 1) / (k)))\n\
+   #define ECO_FLOORMULT(e, k) ((k) * ECO_FLOORDIV(e, k))\n\
+   #if !defined(__GNUC__) && !defined(__clang__)\n\
+   #define __builtin_prefetch(p) ((void)(p))\n\
+   #endif\n\
+   #endif\n"
+
+let aff_to_c (a : Aff.t) =
+  let terms = Aff.terms a in
+  let const = Aff.const_part a in
+  if terms = [] then string_of_int const
+  else begin
+    let buf = Buffer.create 32 in
+    List.iteri
+      (fun i (c, v) ->
+        if i = 0 then begin
+          if c = 1 then Buffer.add_string buf v
+          else if c = -1 then Buffer.add_string buf ("-" ^ v)
+          else Buffer.add_string buf (Printf.sprintf "%d*%s" c v)
+        end
+        else if c >= 0 then
+          if c = 1 then Buffer.add_string buf (" + " ^ v)
+          else Buffer.add_string buf (Printf.sprintf " + %d*%s" c v)
+        else if c = -1 then Buffer.add_string buf (" - " ^ v)
+        else Buffer.add_string buf (Printf.sprintf " - %d*%s" (-c) v))
+      terms;
+    if const > 0 then Buffer.add_string buf (Printf.sprintf " + %d" const)
+    else if const < 0 then Buffer.add_string buf (Printf.sprintf " - %d" (-const));
+    Buffer.contents buf
+  end
+
+let rec bexp_to_c (b : Bexp.t) =
+  match b with
+  | Bexp.Aff a -> aff_to_c a
+  | Bexp.Min (x, y) -> Printf.sprintf "ECO_MIN(%s, %s)" (bexp_to_c x) (bexp_to_c y)
+  | Bexp.Max (x, y) -> Printf.sprintf "ECO_MAX(%s, %s)" (bexp_to_c x) (bexp_to_c y)
+  | Bexp.Add (x, y) -> Printf.sprintf "(%s + %s)" (bexp_to_c x) (bexp_to_c y)
+  | Bexp.Floor_mult (x, k) -> Printf.sprintf "ECO_FLOORMULT(%s, %d)" (bexp_to_c x) k
+
+(* Flat column-major index: d0 + dim0*(d1 + dim1*(d2 + ...)). *)
+let index_to_c (decl : Decl.t) (idx : Aff.t list) =
+  let rec go idx dims =
+    match (idx, dims) with
+    | [], _ -> "0"
+    | [ last ], _ -> Printf.sprintf "(%s)" (aff_to_c last)
+    | i0 :: rest, dim0 :: dims_rest ->
+      Printf.sprintf "(%s) + (%s)*(%s)" (aff_to_c i0) (aff_to_c dim0)
+        (go rest dims_rest)
+    | _ :: _, [] -> invalid_arg "Codegen_c: rank mismatch"
+  in
+  go idx decl.Decl.dims
+
+let ref_to_c find_decl (r : Reference.t) =
+  let decl = find_decl r.Reference.array in
+  match (decl.Decl.storage, r.Reference.idx) with
+  | Decl.Register, [] -> r.Reference.array
+  | Decl.Register, _ -> invalid_arg "Codegen_c: indexed register"
+  | Decl.Heap, idx ->
+    Printf.sprintf "%s[%s]" r.Reference.array (index_to_c decl idx)
+
+let rec fexpr_to_c find_decl (e : Fexpr.t) =
+  match e with
+  | Fexpr.Ref r -> ref_to_c find_decl r
+  | Fexpr.Const c ->
+    if Float.is_integer c && Float.abs c < 1e15 then
+      Printf.sprintf "%.1f" c
+    else Printf.sprintf "%.17g" c
+  | Fexpr.Neg x -> Printf.sprintf "(-%s)" (fexpr_to_c find_decl x)
+  | Fexpr.Bin (op, a, b) ->
+    let ops =
+      match op with
+      | Fexpr.Add -> "+"
+      | Fexpr.Sub -> "-"
+      | Fexpr.Mul -> "*"
+      | Fexpr.Div -> "/"
+    in
+    Printf.sprintf "(%s %s %s)" (fexpr_to_c find_decl a) ops
+      (fexpr_to_c find_decl b)
+
+let rec stmt_to_c find_decl buf indent (s : Stmt.t) =
+  let pad = String.make indent ' ' in
+  match s with
+  | Stmt.Assign (lhs, rhs) ->
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s = %s;\n" pad (ref_to_c find_decl lhs)
+         (fexpr_to_c find_decl rhs))
+  | Stmt.Prefetch r ->
+    Buffer.add_string buf
+      (Printf.sprintf "%s__builtin_prefetch(&%s);\n" pad (ref_to_c find_decl r))
+  | Stmt.Loop l ->
+    Buffer.add_string buf
+      (Printf.sprintf "%sfor (ptrdiff_t %s = %s; %s <= %s; %s += %d) {\n" pad
+         l.Stmt.var (bexp_to_c l.Stmt.lo) l.Stmt.var (bexp_to_c l.Stmt.hi)
+         l.Stmt.var l.Stmt.step);
+    List.iter (stmt_to_c find_decl buf (indent + 2)) l.Stmt.body;
+    Buffer.add_string buf (pad ^ "}\n")
+
+let is_parameter_array (d : Decl.t) =
+  d.Decl.storage = Decl.Heap
+  && (d.Decl.dims = [] || List.exists (fun a -> Aff.vars a <> []) d.Decl.dims)
+
+let prototype ?name (p : Program.t) =
+  let fname = match name with Some n -> n | None -> p.Program.name in
+  let params = List.map (fun s -> Printf.sprintf "ptrdiff_t %s" s) p.Program.params in
+  let arrays =
+    List.filter_map
+      (fun (d : Decl.t) ->
+        if is_parameter_array d then
+          Some (Printf.sprintf "double *restrict %s" d.Decl.name)
+        else None)
+      p.Program.decls
+  in
+  Printf.sprintf "void %s(%s)" fname (String.concat ", " (params @ arrays))
+
+let function_code ?name (p : Program.t) =
+  (match Program.validate p with
+  | [] -> ()
+  | errs ->
+    invalid_arg
+      (Printf.sprintf "Codegen_c: invalid program: %s" (String.concat "; " errs)));
+  let find_decl a = Program.find_decl_exn p a in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (prototype ?name p);
+  Buffer.add_string buf " {\n";
+  (* Constant-extent heap arrays (copy temporaries) and register
+     scalars become locals. *)
+  List.iter
+    (fun (d : Decl.t) ->
+      match d.Decl.storage with
+      | Decl.Register -> Buffer.add_string buf (Printf.sprintf "  double %s;\n" d.Decl.name)
+      | Decl.Heap ->
+        if not (is_parameter_array d) then begin
+          let elements =
+            List.fold_left
+              (fun acc a ->
+                match Aff.is_const a with
+                | Some c -> acc * c
+                | None -> assert false)
+              1 d.Decl.dims
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "  static double %s[%d];\n" d.Decl.name
+               (max 1 elements))
+        end)
+    p.Program.decls;
+  List.iter (stmt_to_c find_decl buf 2) p.Program.body;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let file ?name p =
+  preamble ^ "\n" ^ function_code ?name p

@@ -1,0 +1,28 @@
+(** C code generation: emit an optimized program as a compilable,
+    self-contained C function, so tuned kernels can be used outside the
+    simulator (the role SUIF's Fortran output plays in the paper).
+
+    Conventions of the generated code:
+    - one function per program; symbolic parameters become [ptrdiff_t]
+      arguments and heap arrays with symbolic extents become
+      [double *restrict] arguments (column-major, fastest dimension
+      first, matching the executor's layout);
+    - heap arrays with constant extents (copy temporaries) become
+      [static double] locals;
+    - register scalars become [double] locals;
+    - [min]/[max]/floor bounds map to helper macros, prefetches to
+      [__builtin_prefetch]. *)
+
+(** [function_code ?name p] is the C source of the function (helpers
+    included via {!preamble} must be prepended once per file). *)
+val function_code : ?name:string -> Program.t -> string
+
+(** Helper macros (idempotent; include once per translation unit). *)
+val preamble : string
+
+(** [file ?name p] is a complete translation unit: preamble + function. *)
+val file : ?name:string -> Program.t -> string
+
+(** C prototype of the generated function, e.g.
+    ["void matmul(ptrdiff_t n, double *restrict a, ...)"]. *)
+val prototype : ?name:string -> Program.t -> string

@@ -1,0 +1,149 @@
+let preamble =
+  "module eco_helpers\n\
+   contains\n\
+   ! k * floor(e / k), exact for negative e (unlike Fortran's / on\n\
+   ! negative integers, which truncates toward zero)\n\
+   pure integer function eco_floormult(e, k)\n\
+   \  integer, intent(in) :: e, k\n\
+   \  if (e >= 0) then\n\
+   \    eco_floormult = k * (e / k)\n\
+   \  else\n\
+   \    eco_floormult = -k * ((-e + k - 1) / k)\n\
+   \  end if\n\
+   end function eco_floormult\n\
+   end module eco_helpers\n"
+
+let aff_to_f (a : Aff.t) =
+  let terms = Aff.terms a in
+  let const = Aff.const_part a in
+  if terms = [] then string_of_int const
+  else begin
+    let buf = Buffer.create 32 in
+    List.iteri
+      (fun i (c, v) ->
+        if i = 0 then begin
+          if c = 1 then Buffer.add_string buf v
+          else if c = -1 then Buffer.add_string buf ("-" ^ v)
+          else Buffer.add_string buf (Printf.sprintf "%d*%s" c v)
+        end
+        else if c >= 0 then
+          if c = 1 then Buffer.add_string buf (" + " ^ v)
+          else Buffer.add_string buf (Printf.sprintf " + %d*%s" c v)
+        else if c = -1 then Buffer.add_string buf (" - " ^ v)
+        else Buffer.add_string buf (Printf.sprintf " - %d*%s" (-c) v))
+      terms;
+    if const > 0 then Buffer.add_string buf (Printf.sprintf " + %d" const)
+    else if const < 0 then Buffer.add_string buf (Printf.sprintf " - %d" (-const));
+    Buffer.contents buf
+  end
+
+let rec bexp_to_f (b : Bexp.t) =
+  match b with
+  | Bexp.Aff a -> aff_to_f a
+  | Bexp.Min (x, y) -> Printf.sprintf "min(%s, %s)" (bexp_to_f x) (bexp_to_f y)
+  | Bexp.Max (x, y) -> Printf.sprintf "max(%s, %s)" (bexp_to_f x) (bexp_to_f y)
+  | Bexp.Add (x, y) -> Printf.sprintf "(%s + %s)" (bexp_to_f x) (bexp_to_f y)
+  | Bexp.Floor_mult (x, k) ->
+    Printf.sprintf "eco_floormult(%s, %d)" (bexp_to_f x) k
+
+let ref_to_f find_decl (r : Reference.t) =
+  let decl = find_decl r.Reference.array in
+  match (decl.Decl.storage, r.Reference.idx) with
+  | Decl.Register, [] -> r.Reference.array
+  | Decl.Register, _ -> invalid_arg "Codegen_f90: indexed register"
+  | Decl.Heap, [] -> r.Reference.array
+  | Decl.Heap, idx ->
+    Printf.sprintf "%s(%s)" r.Reference.array
+      (String.concat ", " (List.map aff_to_f idx))
+
+let rec fexpr_to_f find_decl (e : Fexpr.t) =
+  match e with
+  | Fexpr.Ref r -> ref_to_f find_decl r
+  | Fexpr.Const c -> Printf.sprintf "%.17gd0" c
+  | Fexpr.Neg x -> Printf.sprintf "(-%s)" (fexpr_to_f find_decl x)
+  | Fexpr.Bin (op, a, b) ->
+    let ops =
+      match op with
+      | Fexpr.Add -> "+"
+      | Fexpr.Sub -> "-"
+      | Fexpr.Mul -> "*"
+      | Fexpr.Div -> "/"
+    in
+    Printf.sprintf "(%s %s %s)" (fexpr_to_f find_decl a) ops
+      (fexpr_to_f find_decl b)
+
+let rec stmt_to_f find_decl buf indent (s : Stmt.t) =
+  let pad = String.make indent ' ' in
+  match s with
+  | Stmt.Assign (lhs, rhs) ->
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s = %s\n" pad (ref_to_f find_decl lhs)
+         (fexpr_to_f find_decl rhs))
+  | Stmt.Prefetch r ->
+    Buffer.add_string buf
+      (Printf.sprintf "%s! prefetch %s\n" pad (ref_to_f find_decl r))
+  | Stmt.Loop l ->
+    if l.Stmt.step = 1 then
+      Buffer.add_string buf
+        (Printf.sprintf "%sdo %s = %s, %s\n" pad l.Stmt.var
+           (bexp_to_f l.Stmt.lo) (bexp_to_f l.Stmt.hi))
+    else
+      Buffer.add_string buf
+        (Printf.sprintf "%sdo %s = %s, %s, %d\n" pad l.Stmt.var
+           (bexp_to_f l.Stmt.lo) (bexp_to_f l.Stmt.hi) l.Stmt.step);
+    List.iter (stmt_to_f find_decl buf (indent + 2)) l.Stmt.body;
+    Buffer.add_string buf (pad ^ "end do\n")
+
+let is_parameter_array (d : Decl.t) =
+  d.Decl.storage = Decl.Heap
+  && (d.Decl.dims = [] || List.exists (fun a -> Aff.vars a <> []) d.Decl.dims)
+
+let dim_spec (a : Aff.t) = Printf.sprintf "0:%s" (aff_to_f (Aff.add_const a (-1)))
+
+let subroutine_code ?name (p : Program.t) =
+  (match Program.validate p with
+  | [] -> ()
+  | errs ->
+    invalid_arg
+      (Printf.sprintf "Codegen_f90: invalid program: %s"
+         (String.concat "; " errs)));
+  let fname = match name with Some n -> n | None -> p.Program.name in
+  let find_decl a = Program.find_decl_exn p a in
+  let buf = Buffer.create 4096 in
+  let param_arrays = List.filter is_parameter_array p.Program.decls in
+  let args =
+    p.Program.params @ List.map (fun (d : Decl.t) -> d.Decl.name) param_arrays
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "subroutine %s(%s)\n" fname (String.concat ", " args));
+  Buffer.add_string buf "  use eco_helpers\n  implicit none\n";
+  List.iter
+    (fun s -> Buffer.add_string buf (Printf.sprintf "  integer, intent(in) :: %s\n" s))
+    p.Program.params;
+  List.iter
+    (fun (d : Decl.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  real(8), intent(inout) :: %s(%s)\n" d.Decl.name
+           (String.concat ", " (List.map dim_spec d.Decl.dims))))
+    param_arrays;
+  (* Locals: loop counters, copy temporaries, register scalars. *)
+  let loop_vars = Stmt.loop_vars p.Program.body in
+  if loop_vars <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf "  integer :: %s\n" (String.concat ", " loop_vars));
+  List.iter
+    (fun (d : Decl.t) ->
+      match d.Decl.storage with
+      | Decl.Register ->
+        Buffer.add_string buf (Printf.sprintf "  real(8) :: %s\n" d.Decl.name)
+      | Decl.Heap ->
+        if not (is_parameter_array d) then
+          Buffer.add_string buf
+            (Printf.sprintf "  real(8), save :: %s(%s)\n" d.Decl.name
+               (String.concat ", " (List.map dim_spec d.Decl.dims))))
+    p.Program.decls;
+  List.iter (stmt_to_f find_decl buf 2) p.Program.body;
+  Buffer.add_string buf (Printf.sprintf "end subroutine %s\n" fname);
+  Buffer.contents buf
+
+let file ?name p = preamble ^ "\n" ^ subroutine_code ?name p

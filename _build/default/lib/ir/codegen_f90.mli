@@ -1,0 +1,27 @@
+(** Fortran 90 code generation — the output language of the paper's
+    SUIF-based implementation (which consumed and produced Fortran).
+
+    Conventions:
+    - one subroutine per program; symbolic parameters become [integer]
+      arguments and heap arrays with symbolic extents become
+      assumed-shape-free explicit arrays indexed from 0, so subscripts
+      match the IR exactly (Fortran is column-major like the IR, so the
+      dimension order is preserved as written);
+    - constant-extent heap arrays (copy temporaries) and register
+      scalars become local [real(8)] variables ([save] for the
+      temporaries);
+    - [min]/[max] map to intrinsics; the unroll remainder's floor
+      arithmetic uses [floor] on real division avoided in favour of
+      integer arithmetic via the [eco_floormult] helper emitted in the
+      preamble module;
+    - prefetches become comments (standard Fortran has no portable
+      prefetch intrinsic), preserving the annotation for vendor
+      compilers. *)
+
+val subroutine_code : ?name:string -> Program.t -> string
+
+(** Helper functions as a Fortran module. *)
+val preamble : string
+
+(** Complete file: helper module + subroutine. *)
+val file : ?name:string -> Program.t -> string

@@ -1,0 +1,28 @@
+type storage = Heap | Register
+
+type t = { name : string; dims : Aff.t list; storage : storage }
+
+let heap name dims = { name; dims; storage = Heap }
+let register name = { name; dims = []; storage = Register }
+let rank d = List.length d.dims
+
+let elements lookup d =
+  List.fold_left (fun acc a -> acc * Aff.eval lookup a) 1 d.dims
+
+let strides lookup d =
+  let rec go stride = function
+    | [] -> []
+    | dim :: rest -> stride :: go (stride * Aff.eval lookup dim) rest
+  in
+  go 1 d.dims
+
+let pp fmt d =
+  let storage = match d.storage with Heap -> "" | Register -> "register " in
+  match d.dims with
+  | [] -> Format.fprintf fmt "%s%s" storage d.name
+  | dims ->
+    Format.fprintf fmt "%s%s[%a]" storage d.name
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
+         Aff.pp)
+      dims

@@ -1,0 +1,27 @@
+(** Array declarations.
+
+    Dimensions are element counts, fastest-varying dimension first
+    (column-major).  Sizes may be affine in the program's symbolic
+    parameters.  Storage class [Register] marks scalar temporaries that
+    the backend maps to machine registers: they generate no memory
+    traffic unless spilled. *)
+
+type storage = Heap | Register
+
+type t = {
+  name : string;
+  dims : Aff.t list;  (** element extents, fastest-varying first; [[]] = scalar *)
+  storage : storage;
+}
+
+val heap : string -> Aff.t list -> t
+val register : string -> t
+val rank : t -> int
+
+(** Total element count once parameters are bound. *)
+val elements : (string -> int) -> t -> int
+
+(** Element strides (in elements) per dimension, fastest first. *)
+val strides : (string -> int) -> t -> int list
+
+val pp : Format.formatter -> t -> unit

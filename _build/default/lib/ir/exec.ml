@@ -1,0 +1,327 @@
+exception Budget_exhausted
+
+type stats = {
+  flops : int;
+  loop_iterations : int;
+  register_moves : int;
+  spilled_scalars : int;
+  completed : bool;
+}
+
+type result = {
+  stats : stats;
+  arrays : (string * float array) list;
+}
+
+type ctx = {
+  env : int array;
+  mutable flops : int;
+  mutable iters : int;
+  mutable moves : int;
+}
+
+let page_elems = 512 (* 4 KiB pages, 8-byte elements *)
+let align_up n k = (n + k - 1) / k * k
+
+let initial_value name i =
+  let h = Hashtbl.hash name in
+  let x = (i * 2654435761) lxor (h * 40503) in
+  let x = x land 0xFFFFF in
+  0.5 +. (float_of_int x /. 1048576.0)
+
+(* Coordinates are folded slowest-dimension-first so that a rank-1
+   coordinate [i] reduces to [i] (compatible with [initial_value]). *)
+let initial_value_at name coords =
+  let combined =
+    List.fold_left (fun acc c -> (acc * 1_000_003) + c) 0 (List.rev coords)
+  in
+  initial_value name combined
+
+(* Placement of every array (heap arrays and spilled scalars) in a flat
+   element-granularity address space, each base page-aligned as a real
+   allocator would do. *)
+type placement = {
+  name : string;
+  data : float array;
+  base : int;  (* element address *)
+  strides : int list;
+  in_memory : bool;  (* false for true register scalars *)
+}
+
+let build_placements ~lookup ~register_budget (p : Program.t) =
+  let registers =
+    List.filter (fun (d : Decl.t) -> d.Decl.storage = Decl.Register) p.Program.decls
+  in
+  let budget = match register_budget with None -> max_int | Some b -> b in
+  let kept = Hashtbl.create 16 in
+  List.iteri
+    (fun i (d : Decl.t) ->
+      if i < budget then Hashtbl.replace kept d.Decl.name ())
+    registers;
+  let spilled = max 0 (List.length registers - budget) in
+  let next_base = ref 0 in
+  let placements =
+    List.map
+      (fun (d : Decl.t) ->
+        let elements = max 1 (Decl.elements lookup d) in
+        let strides = Decl.strides lookup d in
+        let strides = if strides = [] then [] else strides in
+        let in_memory =
+          match d.Decl.storage with
+          | Decl.Heap -> true
+          | Decl.Register -> not (Hashtbl.mem kept d.Decl.name)
+        in
+        let base = align_up !next_base page_elems in
+        next_base := base + elements;
+        let data = Array.make elements 0.0 in
+        (match d.Decl.storage with
+        | Decl.Heap ->
+          (* Initialize by logical coordinates (decomposed through the
+             dimension extents), so padded layouts hold the same values
+             at the same logical positions. *)
+          let dims = List.map (Aff.eval lookup) d.Decl.dims in
+          let rec coords_of flat = function
+            | [] -> []
+            | [ _ ] -> [ flat ]
+            | dim :: rest -> (flat mod dim) :: coords_of (flat / dim) rest
+          in
+          for i = 0 to elements - 1 do
+            data.(i) <- initial_value_at d.Decl.name (coords_of i dims)
+          done
+        | Decl.Register -> ());
+        { name = d.Decl.name; data; base; strides; in_memory })
+      p.Program.decls
+  in
+  (placements, spilled)
+
+let layout ~params (p : Program.t) =
+  let lookup x =
+    match List.assoc_opt x params with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "Exec.layout: unbound parameter %s" x)
+  in
+  let placements, _ = build_placements ~lookup ~register_budget:None p in
+  List.filter_map
+    (fun pl -> if pl.in_memory then Some (pl.name, pl.base) else None)
+    placements
+
+let run ?(sink = Sink.null) ?flop_budget ?register_budget ~params (p : Program.t) =
+  (match Program.validate p with
+  | [] -> ()
+  | errs ->
+    invalid_arg
+      (Printf.sprintf "Exec.run: invalid program %s: %s" p.Program.name
+         (String.concat "; " errs)));
+  let loop_vars = Stmt.loop_vars p.Program.body in
+  let slot_of = Hashtbl.create 16 in
+  List.iteri (fun i v -> Hashtbl.replace slot_of v i) loop_vars;
+  let param_value x =
+    match List.assoc_opt x params with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "Exec.run: unbound parameter %s" x)
+  in
+  let lookup x =
+    if Hashtbl.mem slot_of x then
+      invalid_arg (Printf.sprintf "Exec.run: loop variable %s in array bound" x)
+    else param_value x
+  in
+  let placements, spilled = build_placements ~lookup ~register_budget p in
+  let placement_of name = List.find (fun pl -> pl.name = name) placements in
+  let ctx = { env = Array.make (max 1 (List.length loop_vars)) 0; flops = 0; iters = 0; moves = 0 } in
+  let budget = match flop_budget with None -> max_int | Some b -> b in
+
+  (* Affine expression -> closure.  Parameter terms fold into the
+     constant; loop-variable terms read the environment. *)
+  let compile_aff (a : Aff.t) : unit -> int =
+    let const = ref (Aff.const_part a) in
+    let var_terms =
+      List.filter_map
+        (fun (c, x) ->
+          match Hashtbl.find_opt slot_of x with
+          | Some slot -> Some (slot, c)
+          | None ->
+            const := !const + (c * param_value x);
+            None)
+        (Aff.terms a)
+    in
+    let c = !const in
+    let env = ctx.env in
+    match var_terms with
+    | [] -> fun () -> c
+    | [ (s1, 1) ] -> fun () -> c + env.(s1)
+    | [ (s1, k1) ] -> fun () -> c + (k1 * env.(s1))
+    | [ (s1, 1); (s2, k2) ] -> fun () -> c + env.(s1) + (k2 * env.(s2))
+    | [ (s1, k1); (s2, k2) ] -> fun () -> c + (k1 * env.(s1)) + (k2 * env.(s2))
+    | terms ->
+      let arr = Array.of_list terms in
+      fun () ->
+        let acc = ref c in
+        Array.iter (fun (s, k) -> acc := !acc + (k * env.(s))) arr;
+        !acc
+  in
+  let rec compile_bexp (b : Bexp.t) : unit -> int =
+    match b with
+    | Bexp.Aff a -> compile_aff a
+    | Bexp.Min (x, y) ->
+      let fx = compile_bexp x and fy = compile_bexp y in
+      fun () -> min (fx ()) (fy ())
+    | Bexp.Max (x, y) ->
+      let fx = compile_bexp x and fy = compile_bexp y in
+      fun () -> max (fx ()) (fy ())
+    | Bexp.Add (x, y) ->
+      let fx = compile_bexp x and fy = compile_bexp y in
+      fun () -> fx () + fy ()
+    | Bexp.Floor_mult (x, k) ->
+      let fx = compile_bexp x in
+      fun () ->
+        let v = fx () in
+        k * (if v >= 0 then v / k else -(((-v) + k - 1) / k))
+  in
+  (* Flatten a reference's index expressions into a single affine element
+     offset using the array's strides, then compile it once. *)
+  let compile_offset (r : Reference.t) =
+    let pl = placement_of r.Reference.array in
+    let offset =
+      List.fold_left2
+        (fun acc idx stride -> Aff.add acc (Aff.scale stride idx))
+        Aff.zero r.Reference.idx pl.strides
+    in
+    (pl, compile_aff offset)
+  in
+  let load = sink.Sink.load
+  and store = sink.Sink.store
+  and pref = sink.Sink.prefetch in
+  let compile_load (r : Reference.t) : unit -> float =
+    let pl, off = compile_offset r in
+    if pl.in_memory then
+      let base = pl.base and data = pl.data in
+      fun () ->
+        let o = off () in
+        load ((base + o) lsl 3);
+        Array.unsafe_get data o
+    else
+      let data = pl.data in
+      fun () -> Array.unsafe_get data (off ())
+  in
+  let compile_store (r : Reference.t) : float -> unit =
+    let pl, off = compile_offset r in
+    if pl.in_memory then
+      let base = pl.base and data = pl.data in
+      fun v ->
+        let o = off () in
+        store ((base + o) lsl 3);
+        Array.unsafe_set data o v
+    else
+      let data = pl.data in
+      fun v -> Array.unsafe_set data (off ()) v
+  in
+  let rec compile_fexpr (e : Fexpr.t) : unit -> float =
+    match e with
+    | Fexpr.Ref r -> compile_load r
+    | Fexpr.Const c -> fun () -> c
+    | Fexpr.Neg x ->
+      let fx = compile_fexpr x in
+      fun () -> -.fx ()
+    | Fexpr.Bin (op, a, b) ->
+      let fa = compile_fexpr a and fb = compile_fexpr b in
+      (match op with
+      | Fexpr.Add -> fun () -> fa () +. fb ()
+      | Fexpr.Sub -> fun () -> fa () -. fb ()
+      | Fexpr.Mul -> fun () -> fa () *. fb ()
+      | Fexpr.Div -> fun () -> fa () /. fb ())
+  in
+  let is_register_ref (r : Reference.t) =
+    not (placement_of r.Reference.array).in_memory
+    && (placement_of r.Reference.array).data != [||]
+  in
+  let rec compile_stmt (s : Stmt.t) : unit -> unit =
+    match s with
+    | Stmt.Assign (lhs, rhs) ->
+      let n = Fexpr.flops rhs in
+      let rhs_f = compile_fexpr rhs in
+      let store_f = compile_store lhs in
+      let is_move =
+        n = 0
+        &&
+        match rhs with
+        | Fexpr.Ref r -> is_register_ref r && is_register_ref lhs
+        | _ -> false
+      in
+      if is_move then fun () ->
+        ctx.moves <- ctx.moves + 1;
+        store_f (rhs_f ())
+      else fun () ->
+        ctx.flops <- ctx.flops + n;
+        if ctx.flops > budget then raise Budget_exhausted;
+        store_f (rhs_f ())
+    | Stmt.Prefetch r ->
+      let pl, off = compile_offset r in
+      if pl.in_memory then
+        let base = pl.base in
+        fun () -> pref ((base + off ()) lsl 3)
+      else fun () -> ()
+    | Stmt.Loop l ->
+      let lo_f = compile_bexp l.Stmt.lo and hi_f = compile_bexp l.Stmt.hi in
+      let slot = Hashtbl.find slot_of l.Stmt.var in
+      let body = compile_body l.Stmt.body in
+      let step = l.Stmt.step in
+      let env = ctx.env in
+      fun () ->
+        let hi = hi_f () in
+        let i = ref (lo_f ()) in
+        while !i <= hi do
+          env.(slot) <- !i;
+          ctx.iters <- ctx.iters + 1;
+          body ();
+          i := !i + step
+        done
+  and compile_body body : unit -> unit =
+    match List.map compile_stmt body with
+    | [] -> fun () -> ()
+    | [ f ] -> f
+    | [ f1; f2 ] -> fun () -> f1 (); f2 ()
+    | fs ->
+      let arr = Array.of_list fs in
+      fun () -> Array.iter (fun f -> f ()) arr
+  in
+  let top = compile_body p.Program.body in
+  let completed = try top (); true with Budget_exhausted -> false in
+  let arrays =
+    List.filter_map
+      (fun pl ->
+        match (Program.find_decl_exn p pl.name).Decl.storage with
+        | Decl.Heap -> Some (pl.name, pl.data)
+        | Decl.Register -> None)
+      placements
+  in
+  {
+    stats =
+      {
+        flops = ctx.flops;
+        loop_iterations = ctx.iters;
+        register_moves = ctx.moves;
+        spilled_scalars = spilled;
+        completed;
+      };
+    arrays;
+  }
+
+let checksum result =
+  let round v =
+    if Float.is_nan v then 0.0
+    else if v = 0.0 then 0.0
+    else
+      let exp = Float.round (Float.log10 (Float.abs v)) in
+      let scale = Float.pow 10.0 (6.0 -. exp) in
+      Float.round (v *. scale) /. scale
+  in
+  List.fold_left
+    (fun acc (name, data) ->
+      let h = float_of_int (Hashtbl.hash name land 0xFF) in
+      let s = ref 0.0 in
+      Array.iteri
+        (fun i v ->
+          s := !s +. (round v *. (1.0 +. (float_of_int (i land 31) /. 37.0))))
+        data;
+      acc +. (!s *. (1.0 +. (h /. 1000.0))))
+    0.0 result.arrays

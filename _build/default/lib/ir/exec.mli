@@ -1,0 +1,68 @@
+(** Execution of programs.
+
+    A program is compiled to closures once (with all symbolic parameters
+    bound to integers), then run.  Execution always computes real
+    floating-point values — this is what makes transformation-soundness
+    testing possible — and, when a {!Sink.t} is supplied, streams every
+    heap memory access to it as byte addresses.
+
+    Register-storage scalars generate no memory traffic.  When
+    [register_budget] is given and the program declares more register
+    scalars than the budget, the excess scalars (in declaration order)
+    are spilled: they are allocated in memory and their accesses reach
+    the sink — this is how the empirical search "detects register
+    pressure", as in the paper (§3.1.1). *)
+
+exception Budget_exhausted
+
+type stats = {
+  flops : int;  (** floating-point operations executed *)
+  loop_iterations : int;  (** loop-header iterations executed *)
+  register_moves : int;  (** register-to-register copies executed *)
+  spilled_scalars : int;  (** register scalars demoted to memory *)
+  completed : bool;  (** false when the flop budget stopped the run *)
+}
+
+type result = {
+  stats : stats;
+  arrays : (string * float array) list;
+      (** heap arrays after execution, in declaration order *)
+}
+
+(** [run ?sink ?flop_budget ?register_budget ~params p] executes [p].
+
+    @param sink consumer of the address stream (default: none).
+    @param flop_budget stop (gracefully) after this many flops; used for
+      sampled simulation of large problem sizes.
+    @param register_budget number of register scalars the target can
+      hold; excess scalars spill to memory.
+    @param params values for the symbolic parameters of [p]; every
+      parameter must be bound.
+    @raise Invalid_argument on unbound parameters or malformed programs. *)
+val run :
+  ?sink:Sink.t ->
+  ?flop_budget:int ->
+  ?register_budget:int ->
+  params:(string * int) list ->
+  Program.t ->
+  result
+
+(** Deterministic initial value for element [i] of a one-dimensional
+    array [name]; equal to [initial_value_at name [i]]. *)
+val initial_value : string -> int -> float
+
+(** Deterministic initial value for the element at logical coordinates
+    [coords] (fastest-varying first) of array [name].  [run] initializes
+    heap arrays with this, so initial contents depend only on logical
+    positions — never on layout — and layout transformations such as
+    padding preserve program results exactly. *)
+val initial_value_at : string -> int list -> float
+
+(** Order-insensitive checksum of a result's heap arrays, for comparing
+    program variants that may compute in different orders (sums are
+    rounded to make the comparison robust to reassociation). *)
+val checksum : result -> float
+
+(** Page-aligned element base addresses chosen for the heap arrays of a
+    program, in declaration order.  Exposed for tests. *)
+val layout : params:(string * int) list -> Program.t -> (string * int) list

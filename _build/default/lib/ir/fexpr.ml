@@ -1,0 +1,45 @@
+type binop = Add | Sub | Mul | Div
+
+type t =
+  | Ref of Reference.t
+  | Const of float
+  | Neg of t
+  | Bin of binop * t * t
+
+let ref_ r = Ref r
+let const c = Const c
+let ( + ) a b = Bin (Add, a, b)
+let ( - ) a b = Bin (Sub, a, b)
+let ( * ) a b = Bin (Mul, a, b)
+let ( / ) a b = Bin (Div, a, b)
+
+let rec refs_acc acc = function
+  | Ref r -> r :: acc
+  | Const _ -> acc
+  | Neg e -> refs_acc acc e
+  | Bin (_, a, b) -> refs_acc (refs_acc acc a) b
+
+let refs e = List.rev (refs_acc [] e)
+
+let rec flops = function
+  | Ref _ | Const _ -> 0
+  | Neg e -> Stdlib.( + ) 1 (flops e)
+  | Bin (_, a, b) -> Stdlib.( + ) 1 (Stdlib.( + ) (flops a) (flops b))
+
+let rec map_refs f = function
+  | Ref r -> Ref (f r)
+  | Const c -> Const c
+  | Neg e -> Neg (map_refs f e)
+  | Bin (op, a, b) -> Bin (op, map_refs f a, map_refs f b)
+
+let subst x e t = map_refs (Reference.subst x e) t
+let rename x y t = subst x (Aff.var y) t
+let equal a b = a = b
+
+let op_string = function Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+
+let rec pp fmt = function
+  | Ref r -> Reference.pp fmt r
+  | Const c -> Format.fprintf fmt "%g" c
+  | Neg e -> Format.fprintf fmt "(-%a)" pp e
+  | Bin (op, a, b) -> Format.fprintf fmt "(%a %s %a)" pp a (op_string op) pp b

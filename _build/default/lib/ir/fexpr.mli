@@ -1,0 +1,32 @@
+(** Floating-point right-hand-side expressions of assignments. *)
+
+type binop = Add | Sub | Mul | Div
+
+type t =
+  | Ref of Reference.t
+  | Const of float
+  | Neg of t
+  | Bin of binop * t * t
+
+val ref_ : Reference.t -> t
+val const : float -> t
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+
+(** All array references in the expression, in left-to-right order,
+    with duplicates. *)
+val refs : t -> Reference.t list
+
+(** Number of floating-point operations in one evaluation. *)
+val flops : t -> int
+
+val subst : string -> Aff.t -> t -> t
+val rename : string -> string -> t -> t
+
+(** [map_refs f e] rewrites every reference through [f]. *)
+val map_refs : (Reference.t -> Reference.t) -> t -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

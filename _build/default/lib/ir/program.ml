@@ -1,0 +1,93 @@
+type t = {
+  name : string;
+  params : string list;
+  decls : Decl.t list;
+  body : Stmt.t list;
+}
+
+let make ~name ~params ~decls body = { name; params; decls; body }
+
+let find_decl p name =
+  List.find_opt (fun (d : Decl.t) -> d.Decl.name = name) p.decls
+
+let find_decl_exn p name =
+  match find_decl p name with
+  | Some d -> d
+  | None -> invalid_arg (Printf.sprintf "Program.find_decl_exn: %s" name)
+
+let add_decl p d = { p with decls = p.decls @ [ d ] }
+let with_body p body = { p with body }
+let with_name p name = { p with name }
+
+let heap_arrays p =
+  List.filter (fun (d : Decl.t) -> d.Decl.storage = Decl.Heap) p.decls
+
+let fresh_name p base =
+  let used = Hashtbl.create 16 in
+  List.iter (fun (d : Decl.t) -> Hashtbl.replace used d.Decl.name ()) p.decls;
+  List.iter (fun s -> Hashtbl.replace used s ()) p.params;
+  List.iter (fun v -> Hashtbl.replace used v ()) (Stmt.loop_vars p.body);
+  if not (Hashtbl.mem used base) then base
+  else
+    let rec go i =
+      let candidate = Printf.sprintf "%s%d" base i in
+      if Hashtbl.mem used candidate then go (i + 1) else candidate
+    in
+    go 1
+
+let validate p =
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  let check_ref scope (r : Reference.t) =
+    (match find_decl p r.Reference.array with
+    | None -> err "reference to undeclared array %s" r.Reference.array
+    | Some d ->
+      if Decl.rank d <> Reference.rank r then
+        err "rank mismatch on %s: declared %d, used %d" r.Reference.array
+          (Decl.rank d) (Reference.rank r));
+    List.iter
+      (fun v ->
+        if not (List.mem v scope) then
+          err "index variable %s of %s not in scope" v (Reference.to_string r))
+      (Reference.vars r)
+  in
+  let check_bound scope b =
+    List.iter
+      (fun v ->
+        if not (List.mem v scope) then err "bound variable %s not in scope" v)
+      (Bexp.vars b)
+  in
+  let rec go scope = function
+    | Stmt.Assign (lhs, rhs) ->
+      check_ref scope lhs;
+      List.iter (check_ref scope) (Fexpr.refs rhs)
+    | Stmt.Prefetch r -> check_ref scope r
+    | Stmt.Loop l ->
+      if List.mem l.Stmt.var scope then err "loop variable %s shadowed or clashes" l.Stmt.var;
+      check_bound scope l.Stmt.lo;
+      check_bound scope l.Stmt.hi;
+      List.iter (go (l.Stmt.var :: scope)) l.Stmt.body
+  in
+  List.iter (go p.params) p.body;
+  List.rev !errors
+
+let rec pp_stmt indent fmt = function
+  | Stmt.Assign (lhs, rhs) ->
+    Format.fprintf fmt "%s%a = %a@." indent Reference.pp lhs Fexpr.pp rhs
+  | Stmt.Prefetch r ->
+    Format.fprintf fmt "%sprefetch %a@." indent Reference.pp r
+  | Stmt.Loop l ->
+    if l.Stmt.step = 1 then
+      Format.fprintf fmt "%sDO %s = %a, %a@." indent l.Stmt.var Bexp.pp l.Stmt.lo
+        Bexp.pp l.Stmt.hi
+    else
+      Format.fprintf fmt "%sDO %s = %a, %a, %d@." indent l.Stmt.var Bexp.pp
+        l.Stmt.lo Bexp.pp l.Stmt.hi l.Stmt.step;
+    List.iter (pp_stmt (indent ^ "  ") fmt) l.Stmt.body
+
+let pp fmt p =
+  Format.fprintf fmt "kernel %s(%s)@." p.name (String.concat ", " p.params);
+  List.iter (fun d -> Format.fprintf fmt "  array %a@." Decl.pp d) p.decls;
+  List.iter (pp_stmt "  " fmt) p.body
+
+let to_string p = Format.asprintf "%a" pp p

@@ -1,0 +1,32 @@
+(** A complete kernel: symbolic size parameters, array declarations and a
+    statement list. *)
+
+type t = {
+  name : string;
+  params : string list;  (** symbolic sizes, e.g. ["n"] *)
+  decls : Decl.t list;
+  body : Stmt.t list;
+}
+
+val make : name:string -> params:string list -> decls:Decl.t list -> Stmt.t list -> t
+val find_decl : t -> string -> Decl.t option
+val find_decl_exn : t -> string -> Decl.t
+val add_decl : t -> Decl.t -> t
+val with_body : t -> Stmt.t list -> t
+val with_name : t -> string -> t
+
+(** Heap arrays in declaration order. *)
+val heap_arrays : t -> Decl.t list
+
+(** [fresh_name p base] is a name starting with [base] that clashes with
+    no declaration, parameter or loop variable of [p]. *)
+val fresh_name : t -> string -> string
+
+(** Checks well-formedness: every referenced array is declared with a
+    matching rank, loop variables are distinct from parameters and not
+    shadowed, and index expressions use only in-scope variables.
+    Returns the list of violations (empty = well-formed). *)
+val validate : t -> string list
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

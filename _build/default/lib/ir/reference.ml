@@ -1,0 +1,31 @@
+type t = { array : string; idx : Aff.t list }
+
+let make array idx = { array; idx }
+let scalar name = { array = name; idx = [] }
+let rank r = List.length r.idx
+
+let vars r =
+  List.sort_uniq String.compare (List.concat_map Aff.vars r.idx)
+
+let mem x r = List.exists (Aff.mem x) r.idx
+let subst x e r = { r with idx = List.map (Aff.subst x e) r.idx }
+let rename x y r = subst x (Aff.var y) r
+
+let coeff_signature r =
+  List.map (fun a -> Aff.sub a (Aff.const (Aff.const_part a))) r.idx
+
+let offsets r = List.map Aff.const_part r.idx
+let equal a b = a = b
+let compare = Stdlib.compare
+
+let pp fmt r =
+  match r.idx with
+  | [] -> Format.fprintf fmt "%s" r.array
+  | idx ->
+    Format.fprintf fmt "%s[%a]" r.array
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
+         Aff.pp)
+      idx
+
+let to_string r = Format.asprintf "%a" pp r

@@ -1,0 +1,34 @@
+(** Array references with affine index expressions.
+
+    Index dimensions are stored fastest-varying first (column-major, as in
+    the paper's Fortran kernels): [idx.(0)] walks contiguous memory. *)
+
+type t = {
+  array : string;
+  idx : Aff.t list;  (** fastest-varying dimension first *)
+}
+
+val make : string -> Aff.t list -> t
+
+(** A scalar (0-dimensional) reference, used for register temporaries. *)
+val scalar : string -> t
+
+val rank : t -> int
+val vars : t -> string list
+val mem : string -> t -> bool
+val subst : string -> Aff.t -> t -> t
+val rename : string -> string -> t -> t
+
+(** [coeff_signature r] is, per dimension, the variable terms of the index
+    expression with the constant stripped.  Two references with equal
+    signatures differ only by constant offsets — the condition for group
+    reuse. *)
+val coeff_signature : t -> Aff.t list
+
+(** Constant offsets per dimension. *)
+val offsets : t -> int list
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

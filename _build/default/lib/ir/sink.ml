@@ -1,0 +1,7 @@
+type t = {
+  load : int -> unit;
+  store : int -> unit;
+  prefetch : int -> unit;
+}
+
+let null = { load = ignore; store = ignore; prefetch = ignore }

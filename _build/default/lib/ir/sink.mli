@@ -1,0 +1,13 @@
+(** Abstract consumer of the memory-access stream produced by executing a
+    program.  The memory-hierarchy simulator implements this interface;
+    keeping it abstract lets the IR library stay independent of the
+    simulator.  Addresses are byte addresses. *)
+
+type t = {
+  load : int -> unit;
+  store : int -> unit;
+  prefetch : int -> unit;
+}
+
+(** A sink that discards everything (pure value execution). *)
+val null : t

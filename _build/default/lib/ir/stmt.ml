@@ -1,0 +1,130 @@
+type t =
+  | Assign of Reference.t * Fexpr.t
+  | Loop of loop
+  | Prefetch of Reference.t
+
+and loop = { var : string; lo : Bexp.t; hi : Bexp.t; step : int; body : t list }
+
+let loop ?(step = 1) var ~lo ~hi body =
+  assert (step > 0);
+  Loop { var; lo; hi; step; body }
+
+let loop_aff ?step var ~lo ~hi body =
+  loop ?step var ~lo:(Bexp.aff lo) ~hi:(Bexp.aff hi) body
+
+let assign r e = Assign (r, e)
+
+let rec map_loops f = function
+  | Assign _ as s -> s
+  | Prefetch _ as s -> s
+  | Loop l -> f { l with body = List.map (map_loops f) l.body }
+
+let rec iter f s =
+  f s;
+  match s with
+  | Assign _ | Prefetch _ -> ()
+  | Loop l -> List.iter (iter f) l.body
+
+let loop_vars body =
+  let seen = Hashtbl.create 8 in
+  let order = ref [] in
+  let rec go = function
+    | Assign _ | Prefetch _ -> ()
+    | Loop l ->
+      if not (Hashtbl.mem seen l.var) then begin
+        Hashtbl.add seen l.var ();
+        order := l.var :: !order
+      end;
+      List.iter go l.body
+  in
+  List.iter go body;
+  List.rev !order
+
+let find_loop v body =
+  let exception Found of loop in
+  let rec go = function
+    | Assign _ | Prefetch _ -> ()
+    | Loop l -> if l.var = v then raise (Found l) else List.iter go l.body
+  in
+  try
+    List.iter go body;
+    None
+  with Found l -> Some l
+
+let all_refs body =
+  let acc = ref [] in
+  let rec go = function
+    | Assign (lhs, rhs) ->
+      acc := lhs :: !acc;
+      List.iter (fun r -> acc := r :: !acc) (Fexpr.refs rhs)
+    | Prefetch r -> acc := r :: !acc
+    | Loop l -> List.iter go l.body
+  in
+  List.iter go body;
+  List.rev !acc
+
+let access_refs body =
+  let acc = ref [] in
+  let rec go = function
+    | Assign (lhs, rhs) ->
+      List.iter (fun r -> acc := (r, false) :: !acc) (Fexpr.refs rhs);
+      acc := (lhs, true) :: !acc
+    | Prefetch _ -> ()
+    | Loop l -> List.iter go l.body
+  in
+  List.iter go body;
+  List.rev !acc
+
+let rec subst x e = function
+  | Assign (lhs, rhs) ->
+    Assign (Reference.subst x e lhs, Fexpr.subst x e rhs)
+  | Prefetch r -> Prefetch (Reference.subst x e r)
+  | Loop l ->
+    (* A loop over [x] rebinds it: bounds are evaluated in the outer
+       scope, the body is not rewritten. *)
+    let lo = Bexp.subst x e l.lo and hi = Bexp.subst x e l.hi in
+    if l.var = x then Loop { l with lo; hi }
+    else Loop { l with lo; hi; body = List.map (subst x e) l.body }
+
+let subst_body x e body = List.map (subst x e) body
+
+let rec binds v = function
+  | Assign _ | Prefetch _ -> false
+  | Loop l -> l.var = v || List.exists (binds v) l.body
+
+let innermost_loops body =
+  let acc = ref [] in
+  let rec go = function
+    | Assign _ | Prefetch _ -> ()
+    | Loop l ->
+      if List.exists (function Loop _ -> true | _ -> false) l.body then
+        List.iter go l.body
+      else acc := l :: !acc
+  in
+  List.iter go body;
+  List.rev !acc
+
+let replace_loop v f body =
+  let found = ref false in
+  let rec go s =
+    match s with
+    | Assign _ | Prefetch _ -> [ s ]
+    | Loop l ->
+      if l.var = v then begin
+        found := true;
+        f l
+      end
+      else [ Loop { l with body = List.concat_map go l.body } ]
+  in
+  let result = List.concat_map go body in
+  if not !found then raise Not_found;
+  result
+
+let rec static_flops_stmt = function
+  | Assign (_, rhs) -> Fexpr.flops rhs
+  | Prefetch _ -> 0
+  | Loop l -> static_flops l.body
+
+and static_flops body = List.fold_left (fun acc s -> acc + static_flops_stmt s) 0 body
+
+let equal a b = a = b

@@ -1,0 +1,68 @@
+(** Statements: assignments, loops and software prefetches.
+
+    A loop body is a statement list, so explicit blocks are not needed.
+    [step] is a positive integer constant; lower and upper bounds are
+    inclusive ([for var = lo to hi step step]). *)
+
+type t =
+  | Assign of Reference.t * Fexpr.t
+  | Loop of loop
+  | Prefetch of Reference.t
+
+and loop = { var : string; lo : Bexp.t; hi : Bexp.t; step : int; body : t list }
+
+val loop : ?step:int -> string -> lo:Bexp.t -> hi:Bexp.t -> t list -> t
+
+(** Simple loop [for var = lo to hi] with affine bounds. *)
+val loop_aff : ?step:int -> string -> lo:Aff.t -> hi:Aff.t -> t list -> t
+
+val assign : Reference.t -> Fexpr.t -> t
+
+(** {2 Traversal} *)
+
+(** [map_loops f s] applies [f] bottom-up to every loop. *)
+val map_loops : (loop -> t) -> t -> t
+
+val iter : (t -> unit) -> t -> unit
+
+(** Loop variables in the order the loops are first encountered
+    (pre-order). *)
+val loop_vars : t list -> string list
+
+(** [find_loop v body] is the first loop over variable [v], searched
+    pre-order. *)
+val find_loop : string -> t list -> loop option
+
+(** All references appearing in a statement list, including left-hand
+    sides, reads and prefetches, with duplicates, in syntactic order. *)
+val all_refs : t list -> Reference.t list
+
+(** References of the computation only (no prefetches): [(ref, is_write)]
+    pairs in syntactic order. *)
+val access_refs : t list -> (Reference.t * bool) list
+
+(** Substitute an affine expression for a variable everywhere (bounds and
+    indices). *)
+val subst : string -> Aff.t -> t -> t
+
+val subst_body : string -> Aff.t -> t list -> t list
+
+(** Statements contained in loops over [v]?  True when [v] is used as a
+    loop variable somewhere in the statement. *)
+val binds : string -> t -> bool
+
+(** Innermost loops: loops whose bodies contain no further loops.
+    Returned in pre-order. *)
+val innermost_loops : t list -> loop list
+
+(** [replace_loop v f body] rewrites every loop over [v] (there may be
+    several after main/remainder splits) by the statements returned by
+    [f].  Raises [Not_found] when no such loop exists. *)
+val replace_loop : string -> (loop -> t list) -> t list -> t list
+
+(** Number of floating-point operations executed per evaluation of each
+    assignment statement, summed syntactically (not trip-count
+    weighted). *)
+val static_flops : t list -> int
+
+val equal : t -> t -> bool

@@ -1,0 +1,1 @@
+lib/kernels/jacobi3d.ml: Aff Array Decl Exec Fexpr Ir Kernel Program Reference Stmt

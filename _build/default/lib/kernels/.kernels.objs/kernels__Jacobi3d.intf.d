@@ -1,0 +1,1 @@
+lib/kernels/jacobi3d.mli: Kernel

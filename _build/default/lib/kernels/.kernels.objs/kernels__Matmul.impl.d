@@ -1,0 +1,1 @@
+lib/kernels/matmul.ml: Aff Array Decl Exec Fexpr Ir Kernel Program Reference Stmt

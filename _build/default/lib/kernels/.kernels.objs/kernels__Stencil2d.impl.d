@@ -1,0 +1,1 @@
+lib/kernels/stencil2d.ml: Aff Array Decl Exec Fexpr Ir Kernel Program Reference Stmt

@@ -1,0 +1,1 @@
+lib/kernels/stencil2d.mli: Kernel

@@ -1,0 +1,1 @@
+lib/kernels/wavefront.ml: Aff Array Decl Exec Fexpr Ir Kernel Program Reference Stmt

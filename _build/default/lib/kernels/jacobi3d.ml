@@ -1,0 +1,57 @@
+open Ir
+
+let coefficient = 1.0 /. 6.0
+let n = Aff.var "n"
+
+let program =
+  let i = Aff.var "i" and j = Aff.var "j" and k = Aff.var "k" in
+  let b di dj dk =
+    Fexpr.ref_
+      (Reference.make "b"
+         [ Aff.add_const i di; Aff.add_const j dj; Aff.add_const k dk ])
+  in
+  let a = Reference.make "a" [ i; j; k ] in
+  let rhs =
+    Fexpr.(
+      const coefficient
+      * (b (-1) 0 0 + b 1 0 0 + b 0 (-1) 0 + b 0 1 0 + b 0 0 (-1) + b 0 0 1))
+  in
+  let lo = Aff.const 1 and hi = Aff.add_const n (-2) in
+  Program.make ~name:"jacobi3d" ~params:[ "n" ]
+    ~decls:[ Decl.heap "a" [ n; n; n ]; Decl.heap "b" [ n; n; n ] ]
+    [
+      Stmt.loop_aff "k" ~lo ~hi
+        [
+          Stmt.loop_aff "j" ~lo ~hi
+            [ Stmt.loop_aff "i" ~lo ~hi [ Stmt.assign a rhs ] ];
+        ];
+    ]
+
+let kernel =
+  {
+    Kernel.name = "jacobi3d";
+    program;
+    size_param = "n";
+    min_size = 6;
+    flops = (fun n -> 6 * (n - 2) * (n - 2) * (n - 2));
+    description = "3-D Jacobi relaxation A = c*(6-point stencil of B)";
+  }
+
+let reference n =
+  let init name =
+    Array.init (n * n * n) (fun e ->
+        Exec.initial_value_at name [ e mod n; e / n mod n; e / (n * n) ])
+  in
+  let a = init "a" and b = init "b" in
+  let at arr i j k = arr.((((k * n) + j) * n) + i) in
+  for k = 1 to n - 2 do
+    for j = 1 to n - 2 do
+      for i = 1 to n - 2 do
+        a.((((k * n) + j) * n) + i) <-
+          coefficient
+          *. (at b (i - 1) j k +. at b (i + 1) j k +. at b i (j - 1) k
+            +. at b i (j + 1) k +. at b i j (k - 1) +. at b i j (k + 1))
+      done
+    done
+  done;
+  a

@@ -1,0 +1,21 @@
+(** Three-dimensional Jacobi relaxation, the paper's second case study
+    (Figure 2(a)):
+
+    {v
+      DO K = 2,N-1
+        DO J = 2,N-1
+          DO I = 2,N-1
+            A[I,J,K] = c*(B[I-1,J,K]+B[I+1,J,K]+B[I,J-1,K]+
+                          B[I,J+1,K]+B[I,J,K-1]+B[I,J,K+1])
+    v}
+
+    6 flops per point (5 adds + 1 multiply); group-temporal reuse of B in
+    all three loops and spatial reuse in the innermost. *)
+
+val kernel : Kernel.t
+
+(** The stencil coefficient [c]. *)
+val coefficient : float
+
+(** Independent reference implementation; returns A. *)
+val reference : int -> float array

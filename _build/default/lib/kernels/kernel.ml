@@ -1,0 +1,12 @@
+type t = {
+  name : string;
+  program : Ir.Program.t;
+  size_param : string;
+  min_size : int;
+  flops : int -> int;
+  description : string;
+}
+
+let params t n = [ (t.size_param, n) ]
+let run_original t n = Ir.Exec.run ~params:(params t n) t.program
+let original_checksum t n = Ir.Exec.checksum (run_original t n)

@@ -1,0 +1,21 @@
+(** Common shape of a tunable kernel: the naive program plus the metadata
+    the optimizer and the experiment harness need. *)
+
+type t = {
+  name : string;
+  program : Ir.Program.t;  (** the original, untransformed loop nest *)
+  size_param : string;  (** the symbolic problem size, e.g. "n" *)
+  min_size : int;  (** smallest meaningful problem size *)
+  flops : int -> int;  (** useful floating-point operations at size [n] *)
+  description : string;
+}
+
+(** [params t n] binds the size parameter. *)
+val params : t -> int -> (string * int) list
+
+(** Run the kernel's original program at size [n] without simulation;
+    returns the heap arrays (ground truth for equivalence tests). *)
+val run_original : t -> int -> Ir.Exec.result
+
+(** Checksum of the original program's output at size [n]. *)
+val original_checksum : t -> int -> float

@@ -1,0 +1,49 @@
+open Ir
+
+let n = Aff.var "n"
+let last = Aff.add_const n (-1)
+
+let program =
+  let a i k = Reference.make "a" [ i; k ] in
+  let b k j = Reference.make "b" [ k; j ] in
+  let c i j = Reference.make "c" [ i; j ] in
+  let i = Aff.var "i" and j = Aff.var "j" and k = Aff.var "k" in
+  let body =
+    Stmt.assign (c i j)
+      Fexpr.(ref_ (c i j) + (ref_ (a i k) * ref_ (b k j)))
+  in
+  Program.make ~name:"matmul" ~params:[ "n" ]
+    ~decls:[ Decl.heap "a" [ n; n ]; Decl.heap "b" [ n; n ]; Decl.heap "c" [ n; n ] ]
+    [
+      Stmt.loop_aff "k" ~lo:Aff.zero ~hi:last
+        [
+          Stmt.loop_aff "j" ~lo:Aff.zero ~hi:last
+            [ Stmt.loop_aff "i" ~lo:Aff.zero ~hi:last [ body ] ];
+        ];
+    ]
+
+let kernel =
+  {
+    Kernel.name = "matmul";
+    program;
+    size_param = "n";
+    min_size = 4;
+    flops = (fun n -> 2 * n * n * n);
+    description = "dense matrix multiply C += A*B (column-major)";
+  }
+
+let reference n =
+  let init name =
+    Array.init (n * n) (fun e -> Exec.initial_value_at name [ e mod n; e / n ])
+  in
+  let a = init "a" and b = init "b" and c = init "c" in
+  (* Same loop order (K,J,I) and association as the IR program. *)
+  for k = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      for i = 0 to n - 1 do
+        c.((j * n) + i) <-
+          c.((j * n) + i) +. (a.((k * n) + i) *. b.((j * n) + k))
+      done
+    done
+  done;
+  c

@@ -1,0 +1,17 @@
+(** Matrix Multiply, the paper's first case study (Figure 1(a)):
+
+    {v
+      DO K = 1,N
+        DO J = 1,N
+          DO I = 1,N
+            C[I,J] = C[I,J] + A[I,K]*B[K,J]
+    v}
+
+    Arrays are column-major with [I] fastest-varying, matching the
+    paper's Fortran layout (we use 0-based bounds). *)
+
+val kernel : Kernel.t
+
+(** Independent reference implementation (plain OCaml loops over the same
+    deterministic initial values); returns C. *)
+val reference : int -> float array

@@ -1,0 +1,42 @@
+open Ir
+
+let n = Aff.var "n"
+let last = Aff.add_const n (-1)
+
+let program =
+  let i = Aff.var "i" and j = Aff.var "j" in
+  let y = Reference.make "y" [ i ] in
+  let a = Reference.make "a" [ i; j ] in
+  let x = Reference.make "x" [ j ] in
+  Program.make ~name:"matvec" ~params:[ "n" ]
+    ~decls:[ Decl.heap "a" [ n; n ]; Decl.heap "x" [ n ]; Decl.heap "y" [ n ] ]
+    [
+      Stmt.loop_aff "j" ~lo:Aff.zero ~hi:last
+        [
+          Stmt.loop_aff "i" ~lo:Aff.zero ~hi:last
+            [ Stmt.assign y Fexpr.(ref_ y + (ref_ a * ref_ x)) ];
+        ];
+    ]
+
+let kernel =
+  {
+    Kernel.name = "matvec";
+    program;
+    size_param = "n";
+    min_size = 2;
+    flops = (fun n -> 2 * n * n);
+    description = "dense matrix-vector multiply y += A*x";
+  }
+
+let reference n =
+  let a =
+    Array.init (n * n) (fun e -> Exec.initial_value_at "a" [ e mod n; e / n ])
+  in
+  let x = Array.init n (Exec.initial_value "x") in
+  let y = Array.init n (Exec.initial_value "y") in
+  for j = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      y.(i) <- y.(i) +. (a.((j * n) + i) *. x.(j))
+    done
+  done;
+  y

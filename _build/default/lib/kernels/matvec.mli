@@ -1,0 +1,12 @@
+(** Dense matrix-vector multiply [y += A*x], a third kernel used by the
+    examples and as extra coverage for the optimizer (register reuse of
+    [y], cache reuse of [x]):
+
+    {v
+      DO J = 1,N
+        DO I = 1,N
+          Y[I] = Y[I] + A[I,J]*X[J]
+    v} *)
+
+val kernel : Kernel.t
+val reference : int -> float array

@@ -1,0 +1,44 @@
+open Ir
+
+let coefficient = 0.25
+let n = Aff.var "n"
+
+let program =
+  let i = Aff.var "i" and j = Aff.var "j" in
+  let b di dj =
+    Fexpr.ref_ (Reference.make "b" [ Aff.add_const i di; Aff.add_const j dj ])
+  in
+  let a = Reference.make "a" [ i; j ] in
+  let rhs = Fexpr.(const coefficient * (b (-1) 0 + b 1 0 + b 0 (-1) + b 0 1)) in
+  let lo = Aff.const 1 and hi = Aff.add_const n (-2) in
+  Program.make ~name:"stencil2d" ~params:[ "n" ]
+    ~decls:[ Decl.heap "a" [ n; n ]; Decl.heap "b" [ n; n ] ]
+    [
+      Stmt.loop_aff "j" ~lo ~hi
+        [ Stmt.loop_aff "i" ~lo ~hi [ Stmt.assign a rhs ] ];
+    ]
+
+let kernel =
+  {
+    Kernel.name = "stencil2d";
+    program;
+    size_param = "n";
+    min_size = 4;
+    flops = (fun n -> 4 * (n - 2) * (n - 2));
+    description = "2-D 5-point Jacobi stencil A = c*(4-point sum of B)";
+  }
+
+let reference n =
+  let init name =
+    Array.init (n * n) (fun e -> Exec.initial_value_at name [ e mod n; e / n ])
+  in
+  let a = init "a" and b = init "b" in
+  let at arr i j = arr.((j * n) + i) in
+  for j = 1 to n - 2 do
+    for i = 1 to n - 2 do
+      a.((j * n) + i) <-
+        coefficient
+        *. (at b (i - 1) j +. at b (i + 1) j +. at b i (j - 1) +. at b i (j + 1))
+    done
+  done;
+  a

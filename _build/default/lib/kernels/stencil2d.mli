@@ -1,0 +1,12 @@
+(** Two-dimensional 5-point Jacobi stencil, a smaller stencil companion
+    to {!Jacobi3d} used by examples and tests:
+
+    {v
+      DO J = 2,N-1
+        DO I = 2,N-1
+          A[I,J] = c*(B[I-1,J]+B[I+1,J]+B[I,J-1]+B[I,J+1])
+    v} *)
+
+val kernel : Kernel.t
+val coefficient : float
+val reference : int -> float array

@@ -1,0 +1,44 @@
+open Ir
+
+let n = Aff.var "n"
+
+let program =
+  let i = Aff.var "i" and t = Aff.var "t" in
+  let a di dt =
+    Reference.make "a" [ Aff.add_const i di; Aff.add_const t dt ]
+  in
+  let lo = Aff.const 1 and hi = Aff.add_const n (-2) in
+  Program.make ~name:"wavefront" ~params:[ "n" ]
+    ~decls:[ Decl.heap "a" [ n; n ] ]
+    [
+      Stmt.loop_aff "t" ~lo ~hi
+        [
+          Stmt.loop_aff "i" ~lo ~hi
+            [
+              Stmt.assign (a 0 0)
+                Fexpr.(const 0.5 * (ref_ (a (-1) (-1)) + ref_ (a 1 (-1))));
+            ];
+        ];
+    ]
+
+let kernel =
+  {
+    Kernel.name = "wavefront";
+    program;
+    size_param = "n";
+    min_size = 4;
+    flops = (fun n -> 2 * (n - 2) * (n - 2));
+    description = "time-stepped 1-D wavefront with carried dependences";
+  }
+
+let reference n =
+  let a =
+    Array.init (n * n) (fun e -> Exec.initial_value_at "a" [ e mod n; e / n ])
+  in
+  for t = 1 to n - 2 do
+    for i = 1 to n - 2 do
+      a.((t * n) + i) <-
+        0.5 *. (a.(((t - 1) * n) + i - 1) +. a.(((t - 1) * n) + i + 1))
+    done
+  done;
+  a

@@ -1,0 +1,16 @@
+(** A 1-D wavefront (time-stepped stencil stored per step):
+
+    {v
+      DO T = 1,N-2
+        DO I = 1,N-2
+          A[I,T] = 0.5*(A[I-1,T-1] + A[I+1,T-1])
+    v}
+
+    Unlike the paper's two kernels this one carries real loop-carried
+    flow dependences — distance vectors (T:1, I:±1) — so interchange and
+    unroll-and-jam of the time loop are illegal.  It exists to exercise
+    the optimizer's legality pruning: phase 1 must produce only
+    conservative (correct) variants for it. *)
+
+val kernel : Kernel.t
+val reference : int -> float array

@@ -1,0 +1,164 @@
+type cache = {
+  name : string;
+  size_bytes : int;
+  line_bytes : int;
+  assoc : int;
+  hit_cycles : int;
+}
+
+type tlb = { entries : int; page_bytes : int; miss_cycles : int }
+
+type cpu = {
+  clock_mhz : float;
+  fp_registers : int;
+  reserved_registers : int;
+  flops_per_cycle : int;
+  mem_ports : int;
+  loop_overhead_cycles : int;
+  prefetch_issue_cycles : int;
+}
+
+type t = {
+  name : string;
+  cpu : cpu;
+  caches : cache list;
+  tlb : tlb;
+  memory_latency_cycles : int;
+}
+
+let available_registers m = m.cpu.fp_registers - m.cpu.reserved_registers
+let peak_mflops m = m.cpu.clock_mhz *. float_of_int m.cpu.flops_per_cycle
+let cache_level m i = List.nth m.caches i
+let levels m = List.length m.caches
+let cache_capacity_elems m i = (cache_level m i).size_bytes / 8
+let line_elems m i = (cache_level m i).line_bytes / 8
+
+let sgi_r10000 =
+  {
+    name = "SGI R10000";
+    cpu =
+      {
+        clock_mhz = 195.0;
+        fp_registers = 32;
+        reserved_registers = 0;
+        flops_per_cycle = 2;
+        mem_ports = 1;
+        loop_overhead_cycles = 2;
+        prefetch_issue_cycles = 1;
+      };
+    caches =
+      [
+        { name = "L1"; size_bytes = 32 * 1024; line_bytes = 32; assoc = 2; hit_cycles = 0 };
+        { name = "L2"; size_bytes = 1024 * 1024; line_bytes = 128; assoc = 2; hit_cycles = 10 };
+      ];
+    tlb = { entries = 64; page_bytes = 16384; miss_cycles = 60 };
+    memory_latency_cycles = 90;
+  }
+
+let ultrasparc_iie =
+  {
+    name = "Sun UltraSparc IIe";
+    cpu =
+      {
+        clock_mhz = 500.0;
+        fp_registers = 32;
+        reserved_registers = 0;
+        flops_per_cycle = 2;
+        mem_ports = 1;
+        loop_overhead_cycles = 2;
+        prefetch_issue_cycles = 1;
+      };
+    caches =
+      [
+        { name = "L1"; size_bytes = 16 * 1024; line_bytes = 32; assoc = 1; hit_cycles = 0 };
+        { name = "L2"; size_bytes = 256 * 1024; line_bytes = 64; assoc = 4; hit_cycles = 12 };
+      ];
+    tlb = { entries = 64; page_bytes = 8192; miss_cycles = 70 };
+    memory_latency_cycles = 140;
+  }
+
+let generic_small =
+  {
+    name = "generic-small";
+    cpu =
+      {
+        clock_mhz = 100.0;
+        fp_registers = 16;
+        reserved_registers = 0;
+        flops_per_cycle = 2;
+        mem_ports = 1;
+        loop_overhead_cycles = 2;
+        prefetch_issue_cycles = 1;
+      };
+    caches =
+      [
+        { name = "L1"; size_bytes = 4 * 1024; line_bytes = 32; assoc = 2; hit_cycles = 0 };
+        { name = "L2"; size_bytes = 64 * 1024; line_bytes = 64; assoc = 4; hit_cycles = 8 };
+      ];
+    tlb = { entries = 16; page_bytes = 4096; miss_cycles = 40 };
+    memory_latency_cycles = 60;
+  }
+
+let sgi_r10000_mini =
+  {
+    name = "SGI R10000 (1/16 capacity)";
+    cpu = sgi_r10000.cpu;
+    caches =
+      [
+        { name = "L1"; size_bytes = 2 * 1024; line_bytes = 32; assoc = 2; hit_cycles = 0 };
+        { name = "L2"; size_bytes = 64 * 1024; line_bytes = 128; assoc = 2; hit_cycles = 10 };
+      ];
+    tlb = { entries = 20; page_bytes = 4096; miss_cycles = 60 };
+    memory_latency_cycles = 90;
+  }
+
+let modern_3level =
+  {
+    name = "modern-3level";
+    cpu =
+      {
+        clock_mhz = 1000.0;
+        fp_registers = 32;
+        reserved_registers = 0;
+        flops_per_cycle = 4;
+        mem_ports = 2;
+        loop_overhead_cycles = 1;
+        prefetch_issue_cycles = 1;
+      };
+    caches =
+      [
+        { name = "L1"; size_bytes = 32 * 1024; line_bytes = 64; assoc = 8; hit_cycles = 0 };
+        { name = "L2"; size_bytes = 256 * 1024; line_bytes = 64; assoc = 8; hit_cycles = 10 };
+        { name = "L3"; size_bytes = 8 * 1024 * 1024; line_bytes = 64; assoc = 16; hit_cycles = 30 };
+      ];
+    tlb = { entries = 64; page_bytes = 4096; miss_cycles = 30 };
+    memory_latency_cycles = 200;
+  }
+
+let all =
+  [ sgi_r10000; ultrasparc_iie; generic_small; sgi_r10000_mini; modern_3level ]
+
+let by_name name =
+  let canon s = String.lowercase_ascii s in
+  let aliases =
+    [
+      ("sgi", sgi_r10000);
+      ("r10000", sgi_r10000);
+      ("sun", ultrasparc_iie);
+      ("ultrasparc", ultrasparc_iie);
+      ("generic", generic_small);
+    ]
+  in
+  match List.find_opt (fun m -> canon m.name = canon name) all with
+  | Some m -> Some m
+  | None -> List.assoc_opt (canon name) aliases
+
+let pp fmt m =
+  Format.fprintf fmt "%s: %.0f MHz, %d FP registers" m.name m.cpu.clock_mhz
+    m.cpu.fp_registers;
+  List.iter
+    (fun (c : cache) ->
+      Format.fprintf fmt ", %s %dKB %d-way (%dB lines)" c.name
+        (c.size_bytes / 1024) c.assoc c.line_bytes)
+    m.caches;
+  Format.fprintf fmt ", TLB %d entries (%dB pages)" m.tlb.entries m.tlb.page_bytes

@@ -1,0 +1,86 @@
+(** Target-architecture descriptions.
+
+    These play the role of the paper's Table 2: per-level capacities,
+    associativities and latencies that the compiler models consult and
+    that parameterize the memory-hierarchy simulator standing in for the
+    real hardware. *)
+
+type cache = {
+  name : string;
+  size_bytes : int;
+  line_bytes : int;
+  assoc : int;  (** 1 = direct mapped *)
+  hit_cycles : int;  (** additional latency of a hit at this level *)
+}
+
+type tlb = {
+  entries : int;
+  page_bytes : int;
+  miss_cycles : int;
+}
+
+type cpu = {
+  clock_mhz : float;
+  fp_registers : int;
+  reserved_registers : int;
+      (** registers the backend keeps for pipeline/operands; the rest are
+          available for scalar replacement *)
+  flops_per_cycle : int;  (** peak FP throughput *)
+  mem_ports : int;  (** loads/stores issued per cycle *)
+  loop_overhead_cycles : int;  (** branch + index update per iteration *)
+  prefetch_issue_cycles : int;
+}
+
+type t = {
+  name : string;
+  cpu : cpu;
+  caches : cache list;  (** ordered from L1 outward *)
+  tlb : tlb;
+  memory_latency_cycles : int;  (** miss in the last cache level *)
+}
+
+(** Registers available to scalar replacement. *)
+val available_registers : t -> int
+
+(** Theoretical peak in MFLOPS. *)
+val peak_mflops : t -> float
+
+(** Capacity of cache level [i] (0 = L1) in 8-byte elements. *)
+val cache_capacity_elems : t -> int -> int
+
+val cache_level : t -> int -> cache
+val levels : t -> int
+
+(** Elements per cache line at level [i]. *)
+val line_elems : t -> int -> int
+
+(** The SGI R10000 of the paper: 195 MHz, 32 FP registers, 32 KB 2-way L1
+    data cache (32 B lines), 1 MB 2-way unified L2 (128 B lines), 64-entry
+    TLB. *)
+val sgi_r10000 : t
+
+(** The Sun UltraSparc IIe of the paper: 500 MHz, 32 FP registers, 16 KB
+    direct-mapped L1 data cache (32 B lines), 256 KB 4-way unified L2
+    (64 B lines), 64-entry TLB. *)
+val ultrasparc_iie : t
+
+(** A small generic machine, convenient for fast tests: 4 KB 2-way L1,
+    64 KB 4-way L2, 16-entry TLB. *)
+val generic_small : t
+
+(** The SGI R10000 with every capacity (caches, TLB reach) scaled down
+    16x and latencies/associativities/line sizes preserved.  Used by the
+    Table 1 reproduction so that the paper's tile-to-capacity ratios can
+    be exercised at problem sizes a sampled simulation covers
+    representatively (see DESIGN.md on scaled simulation). *)
+val sgi_r10000_mini : t
+
+(** A three-level hierarchy in the style of a 2000s-ated x86 server
+    (32KB 8-way L1 / 256KB 8-way L2 / 8MB 16-way L3, 64B lines).  The
+    optimizer and the simulator are generic in the number of levels;
+    this machine exercises that. *)
+val modern_3level : t
+
+val by_name : string -> t option
+val all : t list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/memsim/attribution.ml: Array Cache Ir List Machine

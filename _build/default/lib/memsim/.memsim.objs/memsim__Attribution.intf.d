@@ -1,0 +1,1 @@
+lib/memsim/attribution.mli: Ir Machine

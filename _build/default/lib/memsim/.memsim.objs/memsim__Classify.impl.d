@@ -1,0 +1,1 @@
+lib/memsim/classify.ml: Cache Format Ir Machine Reuse_distance

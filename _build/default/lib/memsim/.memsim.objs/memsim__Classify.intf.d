@@ -1,0 +1,1 @@
+lib/memsim/classify.mli: Format Ir Machine

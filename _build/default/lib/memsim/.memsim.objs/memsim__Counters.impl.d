@@ -1,0 +1,1 @@
+lib/memsim/counters.ml: Array Format

@@ -1,0 +1,1 @@
+lib/memsim/counters.mli: Format

@@ -1,0 +1,1 @@
+lib/memsim/hierarchy.ml: Array Cache Counters Ir List Machine Tlb

@@ -1,0 +1,1 @@
+lib/memsim/reuse_distance.mli: Ir

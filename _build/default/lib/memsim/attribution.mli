@@ -1,0 +1,33 @@
+(** Per-array miss attribution: replay an address stream through one
+    cache level and charge each miss to the array whose address range it
+    falls in — the per-structure view behind statements like the paper's
+    "exploiting the reuse of B(K,J)" (§2) that aggregate hardware
+    counters cannot give. *)
+
+type stats = { accesses : int; misses : int }
+
+type t
+
+(** [create geometry ~regions] with [regions] as
+    [(name, first_byte, bytes)]. *)
+val create : Machine.cache -> regions:(string * int * int) list -> t
+
+val access : t -> int -> unit
+val sink : t -> Ir.Sink.t
+
+(** Stats per region, in registration order; accesses outside every
+    region are accumulated under ["<other>"] (only if any occurred). *)
+val report : t -> (string * stats) list
+
+(** Regions of a program's heap arrays (from the executor's
+    deterministic layout). *)
+val regions_of_program :
+  params:(string * int) list -> Ir.Program.t -> (string * int * int) list
+
+(** Run a program and attribute its misses at cache [level]. *)
+val of_program :
+  Machine.t ->
+  level:int ->
+  params:(string * int) list ->
+  Ir.Program.t ->
+  (string * stats) list

@@ -1,0 +1,43 @@
+(** One level of set-associative cache with true-LRU replacement,
+    write-back/write-allocate, and per-line fill times used to model
+    in-flight software prefetches. *)
+
+type t
+
+type lookup = Hit of int  (** cycle at which the line's data is ready *) | Miss
+
+val create : Machine.cache -> t
+
+(** Geometry echoes. *)
+val sets : t -> int
+
+val assoc : t -> int
+val line_bytes : t -> int
+
+(** Line number of a byte address at this level's line size. *)
+val line_of_addr : t -> int -> int
+
+(** [lookup c ~now ~line] probes for [line]; on a hit the LRU state is
+    updated.  Does not allocate on miss. *)
+val lookup : t -> now:int -> line:int -> lookup
+
+(** [insert c ~now ~ready ~dirty ~line] allocates [line], evicting the
+    LRU way.  Returns [true] when a dirty line was evicted (write-back
+    traffic).  [ready] is the cycle at which the fill completes. *)
+val insert : t -> now:int -> ready:int -> dirty:bool -> line:int -> bool
+
+(** Mark a resident line dirty (no-op when absent). *)
+val set_dirty : t -> line:int -> unit
+
+(** [resident c ~line] is true when the line is present (no LRU update). *)
+val resident : t -> line:int -> bool
+
+val reset : t -> unit
+
+(** Mark every resident line's fill as complete (used when counters are
+    rewound between a warm-up pass and a measured pass, so stale future
+    fill times cannot charge phantom stalls). *)
+val settle : t -> unit
+
+(** Number of resident lines (for tests). *)
+val occupancy : t -> int

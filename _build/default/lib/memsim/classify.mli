@@ -1,0 +1,40 @@
+(** Miss classification: split a cache level's misses into compulsory,
+    capacity and conflict components by simulating the same address
+    stream through (a) the real set-associative cache, (b) a fully
+    associative LRU cache of equal capacity, and (c) reuse-distance
+    analysis (for compulsory misses).
+
+    Conflict misses — misses of the real cache that the fully
+    associative one avoids — are the phenomenon the paper's copy
+    optimization removes, and the reason the native compiler's Matrix
+    Multiply collapses at pathological sizes (§4.1). *)
+
+type report = {
+  accesses : int;
+  compulsory : int;  (** first touches *)
+  capacity : int;
+      (** fully-associative LRU misses beyond compulsory, clamped to the
+          real cache's non-compulsory misses: when the working set sits
+          just above capacity, FA-LRU thrashes everything while the
+          set-indexed cache retains part of it (the "LRU cliff"), and the
+          unclamped value would exceed the real miss count *)
+  conflict : int;  (** real-cache misses beyond fully-associative *)
+  real_misses : int;
+  fa_misses : int;  (** raw fully-associative misses (incl. compulsory) *)
+}
+
+type t
+
+(** [create cache_geometry] builds a classifier for one cache level. *)
+val create : Machine.cache -> t
+
+val access : t -> int -> unit
+val sink : t -> Ir.Sink.t
+val report : t -> report
+
+(** Convenience: run a program and classify its L1 behaviour on the
+    given machine. *)
+val of_program :
+  Machine.t -> level:int -> params:(string * int) list -> Ir.Program.t -> report
+
+val pp : Format.formatter -> report -> unit

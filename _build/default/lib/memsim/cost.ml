@@ -1,0 +1,60 @@
+type t = {
+  mem_issue_cycles : float;
+  fp_issue_cycles : float;
+  other_issue_cycles : float;
+  stall_cycles : float;
+  total_cycles : float;
+  seconds : float;
+  flops : int;
+  mflops : float;
+}
+
+let evaluate (m : Machine.t) (c : Counters.t) (s : Ir.Exec.stats) =
+  let cpu = m.Machine.cpu in
+  let mem_issue =
+    float_of_int (Counters.accesses c) /. float_of_int cpu.Machine.mem_ports
+  in
+  let fp_issue =
+    float_of_int s.Ir.Exec.flops /. float_of_int cpu.Machine.flops_per_cycle
+  in
+  let other_issue =
+    float_of_int
+      (s.Ir.Exec.loop_iterations * cpu.Machine.loop_overhead_cycles)
+    +. (0.5 *. float_of_int s.Ir.Exec.register_moves)
+    +. float_of_int (c.Counters.prefetches * (cpu.Machine.prefetch_issue_cycles - 1))
+  in
+  let stall = float_of_int c.Counters.stall_cycles in
+  let total = Float.max mem_issue fp_issue +. other_issue +. stall in
+  let seconds = total /. (m.Machine.cpu.Machine.clock_mhz *. 1e6) in
+  let mflops =
+    if seconds > 0.0 then float_of_int s.Ir.Exec.flops /. seconds /. 1e6
+    else 0.0
+  in
+  {
+    mem_issue_cycles = mem_issue;
+    fp_issue_cycles = fp_issue;
+    other_issue_cycles = other_issue;
+    stall_cycles = stall;
+    total_cycles = total;
+    seconds;
+    flops = s.Ir.Exec.flops;
+    mflops;
+  }
+
+let scale f t =
+  {
+    mem_issue_cycles = f *. t.mem_issue_cycles;
+    fp_issue_cycles = f *. t.fp_issue_cycles;
+    other_issue_cycles = f *. t.other_issue_cycles;
+    stall_cycles = f *. t.stall_cycles;
+    total_cycles = f *. t.total_cycles;
+    seconds = f *. t.seconds;
+    flops = int_of_float (f *. float_of_int t.flops);
+    mflops = t.mflops;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "cycles=%.0f (mem=%.0f fp=%.0f other=%.0f stall=%.0f) %.1f MFLOPS"
+    t.total_cycles t.mem_issue_cycles t.fp_issue_cycles t.other_issue_cycles
+    t.stall_cycles t.mflops

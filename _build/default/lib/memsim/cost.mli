@@ -1,0 +1,30 @@
+(** Cycle-count and MFLOPS model combining the hierarchy's counters with
+    the executor's instruction statistics.
+
+    The machine is modeled as a superscalar in-order core: memory
+    operations and floating-point operations issue on separate pipelines
+    and overlap (total issue time is the max of the two streams), loop
+    overhead (branch + index update) and register moves add integer
+    work, and demand stalls from the hierarchy are serial.  Peak MFLOPS
+    is reached exactly when FP issue dominates — e.g. a register-tiled
+    matrix-multiply kernel whose loads are amortized over many
+    multiply-adds. *)
+
+type t = {
+  mem_issue_cycles : float;
+  fp_issue_cycles : float;
+  other_issue_cycles : float;
+  stall_cycles : float;
+  total_cycles : float;
+  seconds : float;
+  flops : int;
+  mflops : float;
+}
+
+val evaluate : Machine.t -> Counters.t -> Ir.Exec.stats -> t
+
+(** [scale f c] multiplies every extensive quantity by [f]; used to
+    extrapolate budgeted (sampled) runs to the full problem size. *)
+val scale : float -> t -> t
+
+val pp : Format.formatter -> t -> unit

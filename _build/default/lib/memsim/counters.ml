@@ -1,0 +1,67 @@
+type t = {
+  mutable loads : int;
+  mutable stores : int;
+  mutable prefetches : int;
+  hits : int array;
+  misses : int array;
+  mutable tlb_misses : int;
+  mutable writebacks : int;
+  mutable stall_cycles : int;
+  mutable prefetch_hidden_cycles : int;
+}
+
+let create ?(levels = 2) () =
+  {
+    loads = 0;
+    stores = 0;
+    prefetches = 0;
+    hits = Array.make levels 0;
+    misses = Array.make levels 0;
+    tlb_misses = 0;
+    writebacks = 0;
+    stall_cycles = 0;
+    prefetch_hidden_cycles = 0;
+  }
+
+let levels c = Array.length c.hits
+
+let reset c =
+  c.loads <- 0;
+  c.stores <- 0;
+  c.prefetches <- 0;
+  Array.fill c.hits 0 (Array.length c.hits) 0;
+  Array.fill c.misses 0 (Array.length c.misses) 0;
+  c.tlb_misses <- 0;
+  c.writebacks <- 0;
+  c.stall_cycles <- 0;
+  c.prefetch_hidden_cycles <- 0
+
+let accesses c = c.loads + c.stores
+let level_hits c i = if i < Array.length c.hits then c.hits.(i) else 0
+let level_misses c i = if i < Array.length c.misses then c.misses.(i) else 0
+let l1_hits c = level_hits c 0
+let l1_misses c = level_misses c 0
+let l2_hits c = level_hits c 1
+let l2_misses c = level_misses c 1
+
+let copy c =
+  {
+    loads = c.loads;
+    stores = c.stores;
+    prefetches = c.prefetches;
+    hits = Array.copy c.hits;
+    misses = Array.copy c.misses;
+    tlb_misses = c.tlb_misses;
+    writebacks = c.writebacks;
+    stall_cycles = c.stall_cycles;
+    prefetch_hidden_cycles = c.prefetch_hidden_cycles;
+  }
+
+let pp fmt c =
+  Format.fprintf fmt "loads=%d stores=%d prefetches=%d" c.loads c.stores
+    c.prefetches;
+  Array.iteri
+    (fun i m -> Format.fprintf fmt " L%d=%d/%d" (i + 1) m (c.hits.(i) + m))
+    c.misses;
+  Format.fprintf fmt " tlb_miss=%d wb=%d stall=%d" c.tlb_misses c.writebacks
+    c.stall_cycles

@@ -1,0 +1,38 @@
+(** Event counters mirroring the PAPI counters the paper reports in
+    Table 1 — loads, per-level cache misses, TLB misses — plus the stall
+    cycles the hierarchy accumulates.  Cache hit/miss counts are kept per
+    level, for any hierarchy depth. *)
+
+type t = {
+  mutable loads : int;  (** includes prefetch instructions, as PAPI does *)
+  mutable stores : int;
+  mutable prefetches : int;
+  hits : int array;  (** per cache level, 0 = L1 *)
+  misses : int array;
+  mutable tlb_misses : int;
+  mutable writebacks : int;
+  mutable stall_cycles : int;
+  mutable prefetch_hidden_cycles : int;
+      (** latency that in-flight prefetches removed from demand stalls *)
+}
+
+(** [create ~levels ()] makes counters for a hierarchy of [levels] cache
+    levels (default 2). *)
+val create : ?levels:int -> unit -> t
+
+val levels : t -> int
+val reset : t -> unit
+val accesses : t -> int
+
+(** Convenience accessors for the common two-level machines (a level
+    beyond the hierarchy reads as 0). *)
+val l1_hits : t -> int
+
+val l1_misses : t -> int
+val l2_hits : t -> int
+val l2_misses : t -> int
+val level_hits : t -> int -> int
+val level_misses : t -> int -> int
+
+val copy : t -> t
+val pp : Format.formatter -> t -> unit

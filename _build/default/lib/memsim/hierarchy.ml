@@ -1,0 +1,146 @@
+type t = {
+  machine : Machine.t;
+  caches : Cache.t array;
+  hit_cycles : int array;
+  tlb : Tlb.t;
+  counters : Counters.t;
+  mem_latency : int;
+}
+
+let create (m : Machine.t) =
+  {
+    machine = m;
+    caches = Array.of_list (List.map Cache.create m.Machine.caches);
+    hit_cycles =
+      Array.of_list (List.map (fun c -> c.Machine.hit_cycles) m.Machine.caches);
+    tlb = Tlb.create m.Machine.tlb;
+    counters = Counters.create ~levels:(List.length m.Machine.caches) ();
+    mem_latency = m.Machine.memory_latency_cycles;
+  }
+
+let machine t = t.machine
+let counters t = t.counters
+let now t = Counters.accesses t.counters + t.counters.stall_cycles
+let cache t i = t.caches.(i)
+let tlb t = t.tlb
+
+let count_miss t level =
+  let m = t.counters.Counters.misses in
+  m.(level) <- m.(level) + 1
+
+let count_hit t level =
+  let h = t.counters.Counters.hits in
+  h.(level) <- h.(level) + 1
+
+(* Latency to deliver [addr] to level [level-1], allocating the line at
+   every level it missed in.  [ready_base] is the cycle the request was
+   issued; lines are installed with fill time [ready_base + returned
+   latency] (the caller charges or hides that latency). *)
+let rec service t ~level ~now ~addr ~dirty =
+  if level >= Array.length t.caches then t.mem_latency
+  else
+    let cache = t.caches.(level) in
+    let line = Cache.line_of_addr cache addr in
+    match Cache.lookup cache ~now ~line with
+    | Cache.Hit ready ->
+      count_hit t level;
+      t.hit_cycles.(level) + max 0 (ready - now)
+    | Cache.Miss ->
+      count_miss t level;
+      let below = service t ~level:(level + 1) ~now ~addr ~dirty:false in
+      let latency = t.hit_cycles.(level) + below in
+      let evicted_dirty =
+        Cache.insert cache ~now ~ready:(now + latency) ~dirty ~line
+      in
+      if evicted_dirty then begin
+        t.counters.Counters.writebacks <- t.counters.Counters.writebacks + 1;
+        (* Propagate the dirty data to the next level if resident there. *)
+        if level + 1 < Array.length t.caches then
+          Cache.set_dirty t.caches.(level + 1) ~line:(Cache.line_of_addr t.caches.(level + 1) addr)
+      end;
+      latency
+
+let translate t ~addr =
+  let page = Tlb.page_of_addr t.tlb addr in
+  Tlb.access t.tlb ~page
+
+let demand t ~addr ~write =
+  let c = t.counters in
+  if write then c.Counters.stores <- c.Counters.stores + 1
+  else c.Counters.loads <- c.Counters.loads + 1;
+  if not (translate t ~addr) then begin
+    c.Counters.tlb_misses <- c.Counters.tlb_misses + 1;
+    c.Counters.stall_cycles <-
+      c.Counters.stall_cycles + t.machine.Machine.tlb.Machine.miss_cycles
+  end;
+  let now = now t in
+  let l1 = t.caches.(0) in
+  let line = Cache.line_of_addr l1 addr in
+  (match Cache.lookup l1 ~now ~line with
+  | Cache.Hit ready ->
+    count_hit t 0;
+    if ready > now then
+      c.Counters.stall_cycles <- c.Counters.stall_cycles + (ready - now)
+  | Cache.Miss ->
+    count_miss t 0;
+    let below = service t ~level:1 ~now ~addr ~dirty:false in
+    c.Counters.stall_cycles <- c.Counters.stall_cycles + below;
+    let evicted_dirty = Cache.insert l1 ~now ~ready:now ~dirty:write ~line in
+    if evicted_dirty then begin
+      c.Counters.writebacks <- c.Counters.writebacks + 1;
+      if Array.length t.caches > 1 then
+        Cache.set_dirty t.caches.(1) ~line:(Cache.line_of_addr t.caches.(1) addr)
+    end);
+  if write then Cache.set_dirty l1 ~line
+
+let load t addr = demand t ~addr ~write:false
+let store t addr = demand t ~addr ~write:true
+
+let prefetch t addr =
+  let c = t.counters in
+  (* A prefetch occupies a memory issue slot and is counted as a load by
+     the hardware counters (Table 1: mm5's loads exceed mm4's by the
+     prefetch count). *)
+  c.Counters.loads <- c.Counters.loads + 1;
+  c.Counters.prefetches <- c.Counters.prefetches + 1;
+  let page = Tlb.page_of_addr t.tlb addr in
+  (* Dropped on TLB miss, like the R10000's pref instruction; the probe
+     does not install a translation. *)
+  if not (Tlb.probe t.tlb ~page) then ()
+  else begin
+    let now = now t in
+    let l1 = t.caches.(0) in
+    let line = Cache.line_of_addr l1 addr in
+    match Cache.lookup l1 ~now ~line with
+    | Cache.Hit _ -> ()
+    | Cache.Miss ->
+      count_miss t 0;
+      let below = service t ~level:1 ~now ~addr ~dirty:false in
+      c.Counters.prefetch_hidden_cycles <-
+        c.Counters.prefetch_hidden_cycles + below;
+      let evicted_dirty =
+        Cache.insert l1 ~now ~ready:(now + below) ~dirty:false ~line
+      in
+      if evicted_dirty then begin
+        c.Counters.writebacks <- c.Counters.writebacks + 1;
+        if Array.length t.caches > 1 then
+          Cache.set_dirty t.caches.(1)
+            ~line:(Cache.line_of_addr t.caches.(1) addr)
+      end
+  end
+
+let sink t =
+  {
+    Ir.Sink.load = (fun addr -> load t addr);
+    Ir.Sink.store = (fun addr -> store t addr);
+    Ir.Sink.prefetch = (fun addr -> prefetch t addr);
+  }
+
+let reset t =
+  Array.iter Cache.reset t.caches;
+  Tlb.reset t.tlb;
+  Counters.reset t.counters
+
+let reset_counters t =
+  Array.iter Cache.settle t.caches;
+  Counters.reset t.counters

@@ -1,0 +1,37 @@
+(** The full memory hierarchy of one machine: TLB + cache levels +
+    memory, driven by the address stream of an executing program.
+
+    Timing model: the processor is in-order and blocking on demand
+    misses; software prefetches are non-blocking and install lines with a
+    future fill time, so a demand access that arrives before the fill
+    completes pays only the remaining latency (partial hiding), and one
+    that arrives after pays nothing — exactly the trade-off the paper's
+    prefetch-distance search explores.  A prefetch that misses in the TLB
+    is dropped, as on the R10000. *)
+
+type t
+
+val create : Machine.t -> t
+val machine : t -> Machine.t
+val counters : t -> Counters.t
+
+(** Current cycle estimate: memory issue slots consumed plus demand
+    stalls so far. *)
+val now : t -> int
+
+val load : t -> int -> unit
+val store : t -> int -> unit
+val prefetch : t -> int -> unit
+
+(** The {!Sink.t} interface for {!Ir.Exec.run}. *)
+val sink : t -> Ir.Sink.t
+
+(** Clear both the counters and all cache/TLB state. *)
+val reset : t -> unit
+
+(** Clear the counters but keep cache/TLB contents (fill times are
+    settled) — used to discard a warm-up pass. *)
+val reset_counters : t -> unit
+
+val cache : t -> int -> Cache.t
+val tlb : t -> Tlb.t

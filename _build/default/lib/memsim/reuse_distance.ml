@@ -1,0 +1,119 @@
+(* Exact LRU stack distances via a Fenwick tree over access timestamps:
+   each line's most recent access time is marked "live"; the distance of
+   a reuse is the number of live marks after the line's previous
+   timestamp. *)
+
+type t = {
+  line_shift : int;
+  mutable time : int;
+  mutable bit : int array;  (* Fenwick tree over timestamps, 1-based *)
+  last : (int, int) Hashtbl.t;  (* line -> last access time *)
+  counts : (int, int) Hashtbl.t;  (* exact distance -> occurrences *)
+  mutable cold : int;
+  mutable total : int;
+}
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let create ?(line_bytes = 32) () =
+  {
+    line_shift = log2 line_bytes;
+    time = 0;
+    bit = Array.make 1024 0;
+    last = Hashtbl.create 4096;
+    counts = Hashtbl.create 256;
+    cold = 0;
+    total = 0;
+  }
+
+let grow t needed =
+  if needed >= Array.length t.bit then begin
+    let size = ref (Array.length t.bit) in
+    while needed >= !size do
+      size := !size * 2
+    done;
+    (* Rebuild the Fenwick tree at the new size from the live marks. *)
+    let bit = Array.make !size 0 in
+    let add i =
+      let i = ref (i + 1) in
+      while !i < !size do
+        bit.(!i) <- bit.(!i) + 1;
+        i := !i + (!i land - !i)
+      done
+    in
+    Hashtbl.iter (fun _ time -> add time) t.last;
+    t.bit <- bit
+  end
+
+let bit_add t i delta =
+  let i = ref (i + 1) in
+  let n = Array.length t.bit in
+  while !i < n do
+    t.bit.(!i) <- t.bit.(!i) + delta;
+    i := !i + (!i land - !i)
+  done
+
+(* live marks in [0, i] *)
+let bit_sum t i =
+  let i = ref (i + 1) in
+  let acc = ref 0 in
+  while !i > 0 do
+    acc := !acc + t.bit.(!i);
+    i := !i - (!i land - !i)
+  done;
+  !acc
+
+let access t addr =
+  let line = addr lsr t.line_shift in
+  grow t (t.time + 1);
+  t.total <- t.total + 1;
+  (match Hashtbl.find_opt t.last line with
+  | Some t0 ->
+    let live_after_t0 = bit_sum t (t.time - 1) - bit_sum t t0 in
+    let count = try Hashtbl.find t.counts live_after_t0 with Not_found -> 0 in
+    Hashtbl.replace t.counts live_after_t0 (count + 1);
+    bit_add t t0 (-1)
+  | None -> t.cold <- t.cold + 1);
+  Hashtbl.replace t.last line t.time;
+  bit_add t t.time 1;
+  t.time <- t.time + 1
+
+let sink t =
+  {
+    Ir.Sink.load = (fun addr -> access t addr);
+    Ir.Sink.store = (fun addr -> access t addr);
+    Ir.Sink.prefetch = ignore;
+  }
+
+let hits_at t c =
+  Hashtbl.fold (fun d n acc -> if d < c then acc + n else acc) t.counts 0
+
+let misses_at t c = t.total - hits_at t c
+let total t = t.total
+let cold t = t.cold
+
+let histogram t =
+  let buckets = Hashtbl.create 40 in
+  Hashtbl.iter
+    (fun d n ->
+      let b = if d = 0 then 1 else 1 lsl (log2 d + 1) in
+      let prev = try Hashtbl.find buckets b with Not_found -> 0 in
+      Hashtbl.replace buckets b (prev + n))
+    t.counts;
+  List.sort compare (Hashtbl.fold (fun b n acc -> (b, n) :: acc) buckets [])
+
+let working_set t ~threshold =
+  let reuses = t.total - t.cold in
+  if reuses = 0 then 1
+  else begin
+    let rec go c =
+      if c > 1 lsl 30 then c
+      else if
+        float_of_int (reuses - hits_at t c) /. float_of_int reuses < threshold
+      then c
+      else go (c * 2)
+    in
+    go 1
+  end

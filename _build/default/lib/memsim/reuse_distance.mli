@@ -1,0 +1,38 @@
+(** LRU stack (reuse) distance analysis of an address stream.
+
+    The reuse distance of an access is the number of {e distinct} lines
+    touched since the previous access to the same line (infinity for
+    first touches).  Classic result: a fully associative LRU cache of
+    capacity [C] lines hits exactly the accesses with distance < [C] —
+    which makes this module an independent oracle for testing the cache
+    simulator, and a capacity-vs-conflict miss classifier for the
+    analyses. *)
+
+type t
+
+(** [create ~line_bytes ()] processes addresses at line granularity. *)
+val create : ?line_bytes:int -> unit -> t
+
+(** Feed one byte address. *)
+val access : t -> int -> unit
+
+(** A {!Ir.Sink.t} that feeds loads and stores (prefetches ignored). *)
+val sink : t -> Ir.Sink.t
+
+(** Number of accesses with finite reuse distance [< c]; with
+    [infinite] first touches, [hits_at c + misses_at c = total]. *)
+val hits_at : t -> int -> int
+
+val misses_at : t -> int -> int
+val total : t -> int
+
+(** First touches (compulsory misses at any capacity). *)
+val cold : t -> int
+
+(** Histogram as [(distance_bucket_upper_bound, count)] pairs in
+    power-of-two buckets, cold misses excluded. *)
+val histogram : t -> (int * int) list
+
+(** Smallest power-of-two capacity (in lines) at which the miss ratio
+    (excluding cold misses) drops below [threshold]. *)
+val working_set : t -> threshold:float -> int

@@ -1,0 +1,53 @@
+type t = {
+  entries : int;
+  page_bytes : int;
+  page_shift : int;
+  slots : int array;  (* ring buffer of resident pages; -1 = empty *)
+  table : (int, int) Hashtbl.t;  (* page -> slot *)
+  mutable next : int;
+  mutable last_page : int;  (* MRU fast path *)
+}
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let create (g : Machine.tlb) =
+  {
+    entries = g.Machine.entries;
+    page_bytes = g.Machine.page_bytes;
+    page_shift = log2 g.Machine.page_bytes;
+    slots = Array.make g.Machine.entries (-1);
+    table = Hashtbl.create (2 * g.Machine.entries);
+    next = 0;
+    last_page = -1;
+  }
+
+let page_bytes t = t.page_bytes
+let page_of_addr t addr = addr lsr t.page_shift
+
+let access t ~page =
+  if page = t.last_page then true
+  else if Hashtbl.mem t.table page then begin
+    t.last_page <- page;
+    true
+  end
+  else begin
+    let victim = t.slots.(t.next) in
+    if victim <> -1 then Hashtbl.remove t.table victim;
+    t.slots.(t.next) <- page;
+    Hashtbl.replace t.table page t.next;
+    t.next <- (t.next + 1) mod t.entries;
+    t.last_page <- page;
+    false
+  end
+
+let probe t ~page = page = t.last_page || Hashtbl.mem t.table page
+
+let reset t =
+  Array.fill t.slots 0 t.entries (-1);
+  Hashtbl.reset t.table;
+  t.next <- 0;
+  t.last_page <- -1
+
+let occupancy t = Hashtbl.length t.table

@@ -1,0 +1,93 @@
+(* Events are packed as [addr lsl 2 lor tag] in a growable int array. *)
+
+let tag_load = 0
+let tag_store = 1
+let tag_prefetch = 2
+
+type t = {
+  mutable buf : int array;
+  mutable len : int;
+  mutable n_loads : int;
+  mutable n_stores : int;
+  mutable n_prefetches : int;
+}
+
+let create () =
+  { buf = Array.make 4096 0; len = 0; n_loads = 0; n_stores = 0; n_prefetches = 0 }
+
+let push t v =
+  if t.len = Array.length t.buf then begin
+    let bigger = Array.make (2 * t.len) 0 in
+    Array.blit t.buf 0 bigger 0 t.len;
+    t.buf <- bigger
+  end;
+  t.buf.(t.len) <- v;
+  t.len <- t.len + 1
+
+let sink t =
+  {
+    Ir.Sink.load =
+      (fun addr ->
+        t.n_loads <- t.n_loads + 1;
+        push t ((addr lsl 2) lor tag_load));
+    Ir.Sink.store =
+      (fun addr ->
+        t.n_stores <- t.n_stores + 1;
+        push t ((addr lsl 2) lor tag_store));
+    Ir.Sink.prefetch =
+      (fun addr ->
+        t.n_prefetches <- t.n_prefetches + 1;
+        push t ((addr lsl 2) lor tag_prefetch));
+  }
+
+let tee a b =
+  {
+    Ir.Sink.load =
+      (fun addr ->
+        a.Ir.Sink.load addr;
+        b.Ir.Sink.load addr);
+    Ir.Sink.store =
+      (fun addr ->
+        a.Ir.Sink.store addr;
+        b.Ir.Sink.store addr);
+    Ir.Sink.prefetch =
+      (fun addr ->
+        a.Ir.Sink.prefetch addr;
+        b.Ir.Sink.prefetch addr);
+  }
+
+let length t = t.len
+let loads t = t.n_loads
+let stores t = t.n_stores
+let prefetches t = t.n_prefetches
+
+let replay t (sink : Ir.Sink.t) =
+  for i = 0 to t.len - 1 do
+    let v = t.buf.(i) in
+    let addr = v lsr 2 in
+    match v land 3 with
+    | 0 -> sink.Ir.Sink.load addr
+    | 1 -> sink.Ir.Sink.store addr
+    | _ -> sink.Ir.Sink.prefetch addr
+  done
+
+let of_program ~params program =
+  let t = create () in
+  ignore (Ir.Exec.run ~sink:(sink t) ~params program);
+  t
+
+let misses_under t geometry =
+  let cache = Cache.create geometry in
+  let accesses = ref 0 and misses = ref 0 in
+  let touch addr =
+    incr accesses;
+    let line = Cache.line_of_addr cache addr in
+    match Cache.lookup cache ~now:0 ~line with
+    | Cache.Hit _ -> ()
+    | Cache.Miss ->
+      incr misses;
+      ignore (Cache.insert cache ~now:0 ~ready:0 ~dirty:false ~line)
+  in
+  replay t
+    { Ir.Sink.load = touch; Ir.Sink.store = touch; Ir.Sink.prefetch = ignore };
+  (!accesses, !misses)

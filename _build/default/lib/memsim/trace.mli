@@ -1,0 +1,37 @@
+(** Memory-trace recording and replay.
+
+    A trace captures the exact access stream of one execution in a
+    compact growable buffer; replaying it into different sinks evaluates
+    many cache configurations (or analyses: classification, attribution,
+    reuse distance) without re-executing the program — the
+    trace-driven-simulation counterpart to our usual execution-driven
+    mode. *)
+
+type t
+
+val create : unit -> t
+
+(** Sink that appends to the trace (tee it with {!tee} to also feed a
+    live consumer). *)
+val sink : t -> Ir.Sink.t
+
+(** [tee a b] forwards every event to both sinks. *)
+val tee : Ir.Sink.t -> Ir.Sink.t -> Ir.Sink.t
+
+(** Events recorded so far. *)
+val length : t -> int
+
+val loads : t -> int
+val stores : t -> int
+val prefetches : t -> int
+
+(** Replay in recording order. *)
+val replay : t -> Ir.Sink.t -> unit
+
+(** Record a program's address stream. *)
+val of_program : params:(string * int) list -> Ir.Program.t -> t
+
+(** [misses_under t geometry] replays through a fresh cache of the given
+    geometry and returns (accesses, misses) — the one-liner for
+    cache-configuration sweeps. *)
+val misses_under : t -> Machine.cache -> int * int

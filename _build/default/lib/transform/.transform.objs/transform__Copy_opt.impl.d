@@ -1,0 +1,1 @@
+lib/transform/copy_opt.ml: Ir List Printf

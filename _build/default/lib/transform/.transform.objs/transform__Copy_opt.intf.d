@@ -1,0 +1,1 @@
+lib/transform/copy_opt.mli: Ir

@@ -1,0 +1,1 @@
+lib/transform/nest.ml: Ir List

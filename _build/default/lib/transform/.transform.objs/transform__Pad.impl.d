@@ -1,0 +1,1 @@
+lib/transform/pad.ml: Ir List Machine

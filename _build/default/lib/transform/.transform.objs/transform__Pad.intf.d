@@ -1,0 +1,1 @@
+lib/transform/pad.mli: Ir Machine

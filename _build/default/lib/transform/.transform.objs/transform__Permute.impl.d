@@ -1,0 +1,1 @@
+lib/transform/permute.ml: Ir List Nest Printf String

@@ -1,0 +1,1 @@
+lib/transform/permute.mli: Ir

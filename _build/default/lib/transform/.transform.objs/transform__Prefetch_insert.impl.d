@@ -1,0 +1,1 @@
+lib/transform/prefetch_insert.ml: Hashtbl Ir List

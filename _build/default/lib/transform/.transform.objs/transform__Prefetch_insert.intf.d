@@ -1,0 +1,1 @@
+lib/transform/prefetch_insert.mli: Ir

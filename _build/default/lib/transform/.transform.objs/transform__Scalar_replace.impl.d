@@ -1,0 +1,1 @@
+lib/transform/scalar_replace.ml: Array Hashtbl Ir List Printf String

@@ -1,0 +1,1 @@
+lib/transform/tile.ml: Ir List Nest Printf String

@@ -1,0 +1,1 @@
+lib/transform/unroll_jam.ml: Ir List Printf

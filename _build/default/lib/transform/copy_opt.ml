@@ -1,0 +1,130 @@
+type dim_spec = { base : Ir.Aff.t; extent : int; bound : Ir.Aff.t }
+
+(* Collect every loop header in a statement list (recursively). *)
+let rec headers_in acc = function
+  | Ir.Stmt.Assign _ | Ir.Stmt.Prefetch _ -> acc
+  | Ir.Stmt.Loop l ->
+    List.fold_left headers_in
+      ((l.Ir.Stmt.var, l.Ir.Stmt.lo, l.Ir.Stmt.hi) :: acc)
+      l.Ir.Stmt.body
+
+(* Does the loop [lo] start at [base]?  Accepts the exact base (main
+   loops after tiling) and the [whole + base] shape of unroll-and-jam
+   remainder loops (whole >= 0 by construction). *)
+let rec lo_starts_at_base lo base =
+  match lo with
+  | Ir.Bexp.Aff a -> Ir.Aff.equal a base
+  | Ir.Bexp.Add (_, rest) -> lo_starts_at_base rest base
+  | Ir.Bexp.Min _ | Ir.Bexp.Max _ | Ir.Bexp.Floor_mult _ -> false
+
+(* Does the upper bound clip at [base + extent - 1]? *)
+let rec hi_clips_at hi target =
+  match hi with
+  | Ir.Bexp.Aff a -> Ir.Aff.equal a target
+  | Ir.Bexp.Min (x, y) -> hi_clips_at x target || hi_clips_at y target
+  | Ir.Bexp.Add _ | Ir.Bexp.Max _ | Ir.Bexp.Floor_mult _ -> false
+
+let apply (p : Ir.Program.t) ~array ~temp ~at ~dims =
+  (match Ir.Program.find_decl p array with
+  | Some d ->
+    if List.length d.Ir.Decl.dims <> List.length dims then
+      invalid_arg "Copy_opt.apply: dimension count mismatch"
+  | None -> invalid_arg (Printf.sprintf "Copy_opt.apply: unknown array %s" array));
+  let temp_decl =
+    Ir.Decl.heap temp (List.map (fun d -> Ir.Aff.const d.extent) dims)
+  in
+  let copy_vars =
+    List.mapi (fun d _ -> Printf.sprintf "%s_c%d" temp d) dims
+  in
+  let transform (l : Ir.Stmt.loop) =
+    (* Read-only requirement. *)
+    List.iter
+      (fun ((r : Ir.Reference.t), w) ->
+        if w && r.Ir.Reference.array = array then
+          invalid_arg
+            (Printf.sprintf "Copy_opt.apply: %s is written inside loop %s" array at))
+      (Ir.Stmt.access_refs l.Ir.Stmt.body);
+    let headers = List.fold_left headers_in [] l.Ir.Stmt.body in
+    (* Verify that every reference to [array] inside stays within the
+       copied tile, and rewrite it to the temporary. *)
+    let rewrite_ref (r : Ir.Reference.t) =
+      if r.Ir.Reference.array <> array then r
+      else begin
+        let idx' =
+          List.map2
+            (fun idx (spec : dim_spec) ->
+              let diff = Ir.Aff.sub idx spec.base in
+              (* Substitute every element variable that provably iterates
+                 within the tile ([base .. base+extent-1]) by [base]; the
+                 remainder must be a constant offset within the extent. *)
+              let in_tile v =
+                Ir.Aff.coeff diff v = 1
+                && List.exists
+                     (fun (hv, lo, hi) ->
+                       hv = v
+                       && lo_starts_at_base lo spec.base
+                       && hi_clips_at hi
+                            (Ir.Aff.add_const spec.base (spec.extent - 1)))
+                     headers
+              in
+              let reduced =
+                List.fold_left
+                  (fun e v -> if in_tile v then Ir.Aff.subst v spec.base e else e)
+                  diff (Ir.Aff.vars diff)
+              in
+              match Ir.Aff.is_const reduced with
+              | Some c when c >= 0 && c < spec.extent -> diff
+              | Some c ->
+                invalid_arg
+                  (Printf.sprintf
+                     "Copy_opt.apply: offset %d of %s outside tile extent %d" c
+                     array spec.extent)
+              | None ->
+                invalid_arg
+                  (Printf.sprintf
+                     "Copy_opt.apply: reference %s not provably within the %s tile"
+                     (Ir.Reference.to_string r) array))
+            r.Ir.Reference.idx dims
+        in
+        Ir.Reference.make temp idx'
+      end
+    in
+    let rec rewrite_stmt = function
+      | Ir.Stmt.Assign (lhs, rhs) ->
+        Ir.Stmt.Assign (rewrite_ref lhs, Ir.Fexpr.map_refs rewrite_ref rhs)
+      | Ir.Stmt.Prefetch r -> Ir.Stmt.Prefetch (rewrite_ref r)
+      | Ir.Stmt.Loop l -> Ir.Stmt.Loop { l with Ir.Stmt.body = List.map rewrite_stmt l.Ir.Stmt.body }
+    in
+    (* Copy loops: innermost walks the fastest dimension. *)
+    let copy_assign =
+      Ir.Stmt.assign
+        (Ir.Reference.make temp (List.map Ir.Aff.var copy_vars))
+        (Ir.Fexpr.ref_
+           (Ir.Reference.make array
+              (List.map2
+                 (fun cv (spec : dim_spec) -> Ir.Aff.add (Ir.Aff.var cv) spec.base)
+                 copy_vars dims)))
+    in
+    let copy_loops =
+      List.fold_left2
+        (fun inner cv (spec : dim_spec) ->
+          [
+            Ir.Stmt.loop cv ~lo:(Ir.Bexp.const 0)
+              ~hi:
+                (Ir.Bexp.min_
+                   (Ir.Bexp.const (spec.extent - 1))
+                   (Ir.Bexp.aff
+                      (Ir.Aff.add_const (Ir.Aff.sub spec.bound spec.base) (-1))))
+              inner;
+          ])
+        [ copy_assign ] copy_vars dims
+    in
+    [
+      Ir.Stmt.Loop
+        { l with Ir.Stmt.body = copy_loops @ List.map rewrite_stmt l.Ir.Stmt.body };
+    ]
+  in
+  match Ir.Stmt.replace_loop at transform p.Ir.Program.body with
+  | body -> Ir.Program.add_decl (Ir.Program.with_body p body) temp_decl
+  | exception Not_found ->
+    invalid_arg (Printf.sprintf "Copy_opt.apply: no loop over %s" at)

@@ -1,0 +1,35 @@
+(** Copy optimization: copy the data tile of an array into a contiguous
+    temporary at the top of a tile-controlling loop, and redirect the
+    tile body's references to the temporary.  Eliminates conflict misses
+    within the tile, at the price of the copy traffic — the trade-off
+    the paper exploits for Matrix Multiply and rejects for Jacobi. *)
+
+type dim_spec = {
+  base : Ir.Aff.t;
+      (** index of the tile's first element in this dimension (e.g. the
+          tile-controlling variable [kk], or a constant) *)
+  extent : int;  (** tile extent in elements *)
+  bound : Ir.Aff.t;
+      (** extent of the array in this dimension (for boundary clipping,
+          e.g. [n]) *)
+}
+
+(** [apply p ~array ~temp ~at ~dims] inserts, at the top of the body of
+    the loop over [at], loops copying
+    [array[base .. base+extent-1, ...]] into the new array [temp] (with
+    dimensions [extents], clipped against [bound] at array edges), and
+    rewrites every reference to [array] strictly inside that loop to an
+    equivalent reference to [temp].
+
+    Requirements checked: [array] is read-only inside the [at] loop, and
+    every inside reference's index lies within the copied tile (verified
+    symbolically: index minus [base] must be independent of [base]'s
+    variables).
+    @raise Invalid_argument when requirements fail. *)
+val apply :
+  Ir.Program.t ->
+  array:string ->
+  temp:string ->
+  at:string ->
+  dims:dim_spec list ->
+  Ir.Program.t

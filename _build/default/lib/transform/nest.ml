@@ -1,0 +1,26 @@
+type header = { var : string; lo : Ir.Bexp.t; hi : Ir.Bexp.t; step : int }
+
+let rec extract body =
+  match body with
+  | [ Ir.Stmt.Loop l ] ->
+    let inner_headers, innermost = extract l.Ir.Stmt.body in
+    ( { var = l.Ir.Stmt.var; lo = l.Ir.Stmt.lo; hi = l.Ir.Stmt.hi; step = l.Ir.Stmt.step }
+      :: inner_headers,
+      innermost )
+  | other -> ([], other)
+
+let rebuild headers innermost =
+  List.fold_right
+    (fun h acc -> [ Ir.Stmt.loop ~step:h.step h.var ~lo:h.lo ~hi:h.hi acc ])
+    headers innermost
+
+let header_of headers v = List.find_opt (fun h -> h.var = v) headers
+
+let rectangular headers =
+  let vars = List.map (fun h -> h.var) headers in
+  List.for_all
+    (fun h ->
+      List.for_all
+        (fun v -> not (Ir.Bexp.mem v h.lo) && not (Ir.Bexp.mem v h.hi))
+        vars)
+    headers

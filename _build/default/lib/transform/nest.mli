@@ -1,0 +1,19 @@
+(** Helpers for perfect loop nests: extraction and reconstruction. *)
+
+type header = { var : string; lo : Ir.Bexp.t; hi : Ir.Bexp.t; step : int }
+
+(** [extract body] splits a perfect nest into its loop headers
+    (outermost first) and the innermost statement list.  Stops at the
+    first level that is not a single loop. *)
+val extract : Ir.Stmt.t list -> header list * Ir.Stmt.t list
+
+(** Rebuild a perfect nest. *)
+val rebuild : header list -> Ir.Stmt.t list -> Ir.Stmt.t list
+
+(** [header_of hs v] finds the header for variable [v]. *)
+val header_of : header list -> string -> header option
+
+(** True when every header's bounds mention none of the nest's own loop
+    variables (rectangular nest — the precondition for permutation and
+    rectangular tiling). *)
+val rectangular : header list -> bool

@@ -1,0 +1,24 @@
+let apply (p : Ir.Program.t) ~array ~amount =
+  if amount < 0 then invalid_arg "Pad.apply: negative padding";
+  let decls =
+    List.map
+      (fun (d : Ir.Decl.t) ->
+        if d.Ir.Decl.name = array && List.length d.Ir.Decl.dims >= 2 then
+          match d.Ir.Decl.dims with
+          | dim0 :: rest ->
+            { d with Ir.Decl.dims = Ir.Aff.add_const dim0 amount :: rest }
+          | [] -> d
+        else d)
+      p.Ir.Program.decls
+  in
+  { p with Ir.Program.decls }
+
+let apply_all (p : Ir.Program.t) ~amount =
+  List.fold_left
+    (fun p (d : Ir.Decl.t) ->
+      if d.Ir.Decl.storage = Ir.Decl.Heap then
+        apply p ~array:d.Ir.Decl.name ~amount
+      else p)
+    p p.Ir.Program.decls
+
+let default_amount (m : Machine.t) = Machine.line_elems m 0

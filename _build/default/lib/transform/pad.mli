@@ -1,0 +1,20 @@
+(** Array padding: grow an array's leading (fastest-varying) dimension by
+    a few elements so that column strides stop being multiples of the
+    cache size — the classic conflict-miss cure the paper mentions for
+    Jacobi ("manual experiments show that array padding can be used to
+    stabilize this behavior", §4.2).
+
+    Padding only changes the memory layout (declaration extents); index
+    expressions are untouched, so semantics are preserved by
+    construction. *)
+
+(** [apply p ~array ~amount] pads [array]'s dimension 0 by [amount]
+    elements.  Scalars and 1-D arrays are returned unchanged (padding a
+    vector's only dimension would change nothing but waste). *)
+val apply : Ir.Program.t -> array:string -> amount:int -> Ir.Program.t
+
+(** Pad every heap array of rank >= 2. *)
+val apply_all : Ir.Program.t -> amount:int -> Ir.Program.t
+
+(** A good default padding for a machine: one L1 cache line. *)
+val default_amount : Machine.t -> int

@@ -1,0 +1,18 @@
+let apply (p : Ir.Program.t) order =
+  let headers, innermost = Nest.extract p.Ir.Program.body in
+  let vars = List.map (fun h -> h.Nest.var) headers in
+  if List.sort String.compare vars <> List.sort String.compare order then
+    invalid_arg
+      (Printf.sprintf "Permute.apply: %s is not a permutation of the nest [%s]"
+         (String.concat "," order) (String.concat "," vars));
+  if not (Nest.rectangular headers) then
+    invalid_arg "Permute.apply: nest is not rectangular";
+  let reordered =
+    List.map
+      (fun v ->
+        match Nest.header_of headers v with
+        | Some h -> h
+        | None -> assert false)
+      order
+  in
+  Ir.Program.with_body p (Nest.rebuild reordered innermost)

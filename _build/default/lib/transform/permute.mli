@@ -1,0 +1,9 @@
+(** Loop permutation (interchange) of a perfect rectangular nest. *)
+
+(** [apply p order] reorders the nest's loops to [order] (outermost
+    first).  [order] must be a permutation of the nest's loop variables
+    and the nest must be rectangular.
+    @raise Invalid_argument otherwise.  Legality with respect to data
+    dependences is the caller's responsibility (see
+    {!Analysis.Depend.permutation_legal}). *)
+val apply : Ir.Program.t -> string list -> Ir.Program.t

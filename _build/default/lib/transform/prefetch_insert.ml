@@ -1,0 +1,81 @@
+(* One prefetch per stream: streams are reference classes deduplicated so
+   that members differing only by a dimension-0 offset within one cache
+   line share a prefetch. *)
+
+let stream_key ~line_elems (r : Ir.Reference.t) =
+  let signature = Ir.Reference.coeff_signature r in
+  let offsets = Ir.Reference.offsets r in
+  match offsets with
+  | [] -> (signature, [])
+  | o0 :: rest ->
+    (* Round the fastest-dimension offset down to a line boundary. *)
+    (signature, (if o0 >= 0 then o0 / line_elems else (o0 - line_elems + 1) / line_elems) :: rest)
+
+let is_innermost (l : Ir.Stmt.loop) =
+  not
+    (List.exists
+       (function Ir.Stmt.Loop _ -> true | Ir.Stmt.Assign _ | Ir.Stmt.Prefetch _ -> false)
+       l.Ir.Stmt.body)
+
+let apply (p : Ir.Program.t) ~array ~distance ~line_elems =
+  if distance < 1 then invalid_arg "Prefetch_insert.apply: distance must be >= 1";
+  let rec go = function
+    | (Ir.Stmt.Assign _ | Ir.Stmt.Prefetch _) as s -> s
+    | Ir.Stmt.Loop l when is_innermost l ->
+      let v = l.Ir.Stmt.var in
+      let refs =
+        List.filter
+          (fun ((r : Ir.Reference.t), _) -> r.Ir.Reference.array = array)
+          (Ir.Stmt.access_refs l.Ir.Stmt.body)
+      in
+      if refs = [] then Ir.Stmt.Loop l
+      else begin
+        let seen = Hashtbl.create 8 in
+        let prefetches =
+          List.filter_map
+            (fun (r, _) ->
+              let key = stream_key ~line_elems r in
+              if Hashtbl.mem seen key then None
+              else begin
+                Hashtbl.add seen key ();
+                Some
+                  (Ir.Stmt.Prefetch
+                     (Ir.Reference.subst v
+                        (Ir.Aff.add_const (Ir.Aff.var v) (distance * l.Ir.Stmt.step))
+                        r))
+              end)
+            refs
+        in
+        Ir.Stmt.Loop { l with Ir.Stmt.body = prefetches @ l.Ir.Stmt.body }
+      end
+    | Ir.Stmt.Loop l -> Ir.Stmt.Loop { l with Ir.Stmt.body = List.map go l.Ir.Stmt.body }
+  in
+  Ir.Program.with_body p (List.map go p.Ir.Program.body)
+
+let remove (p : Ir.Program.t) ~array =
+  let rec go = function
+    | Ir.Stmt.Loop l -> [ Ir.Stmt.Loop { l with Ir.Stmt.body = List.concat_map go l.Ir.Stmt.body } ]
+    | Ir.Stmt.Prefetch r when r.Ir.Reference.array = array -> []
+    | s -> [ s ]
+  in
+  Ir.Program.with_body p (List.concat_map go p.Ir.Program.body)
+
+let candidates (p : Ir.Program.t) =
+  let arrays = ref [] in
+  let heap name =
+    match Ir.Program.find_decl p name with
+    | Some d -> d.Ir.Decl.storage = Ir.Decl.Heap
+    | None -> false
+  in
+  let rec go = function
+    | Ir.Stmt.Assign (lhs, rhs) ->
+      List.iter
+        (fun (r : Ir.Reference.t) ->
+          let a = r.Ir.Reference.array in
+          if heap a && not (List.mem a !arrays) then arrays := a :: !arrays)
+        (lhs :: Ir.Fexpr.refs rhs)
+    | Ir.Stmt.Prefetch _ -> ()
+    | Ir.Stmt.Loop l -> List.iter go l.Ir.Stmt.body
+  in
+  List.iter go p.Ir.Program.body;
+  List.rev !arrays

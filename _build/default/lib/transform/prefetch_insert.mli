@@ -1,0 +1,23 @@
+(** Software-prefetch insertion.
+
+    For every innermost loop that references the target array, one
+    prefetch per distinct reference stream is inserted at the top of the
+    body, addressing the element the stream will touch [distance]
+    iterations ahead.  Streams are deduplicated per cache line along the
+    fastest dimension: references differing only by a small constant in
+    dimension 0 share one prefetch. *)
+
+(** [apply p ~array ~distance ~line_elems] inserts prefetches.
+    [distance] is in iterations of the innermost loop ([>= 1]).
+    Returns the program unchanged when no innermost loop references
+    [array]. *)
+val apply :
+  Ir.Program.t -> array:string -> distance:int -> line_elems:int -> Ir.Program.t
+
+(** Remove every prefetch of [array] (used when the search finds no
+    benefit). *)
+val remove : Ir.Program.t -> array:string -> Ir.Program.t
+
+(** Arrays referenced by compute statements in innermost loops — the
+    prefetch candidates the search iterates over. *)
+val candidates : Ir.Program.t -> string list

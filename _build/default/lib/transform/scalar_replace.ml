@@ -1,0 +1,315 @@
+(* See the interface for the two replacement forms.  The walk rewrites
+   every innermost loop; new register declarations are accumulated and
+   appended to the program. *)
+
+type class_info = {
+  ref_ : Ir.Reference.t;  (* representative *)
+  mutable reads : int;
+  mutable writes : int;
+}
+
+(* Distinct reference classes (by structural equality) of the accesses,
+   in first-occurrence order. *)
+let classes_of accesses =
+  let table = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (r, w) ->
+      let info =
+        match Hashtbl.find_opt table r with
+        | Some info -> info
+        | None ->
+          let info = { ref_ = r; reads = 0; writes = 0 } in
+          Hashtbl.add table r info;
+          order := info :: !order;
+          info
+      in
+      if w then info.writes <- info.writes + 1 else info.reads <- info.reads + 1)
+    accesses;
+  List.rev !order
+
+(* All accesses to [array] share [signature]?  (Alias refutability.) *)
+let array_uniform accesses array signature =
+  List.for_all
+    (fun ((r : Ir.Reference.t), _) ->
+      r.Ir.Reference.array <> array
+      || List.for_all2 Ir.Aff.equal (Ir.Reference.coeff_signature r) signature)
+    accesses
+
+let array_written accesses array =
+  List.exists
+    (fun ((r : Ir.Reference.t), w) -> w && r.Ir.Reference.array = array)
+    accesses
+
+let max_rotation_span = 6
+
+type rotation = {
+  chain : (int * class_info) list;  (* offset along the rotation dim, ascending *)
+  dim : int;
+  rep : Ir.Reference.t;  (* representative ref for building indices *)
+  o_min : int;
+  o_max : int;
+  regs : string array;  (* o_min + p <-> regs.(p) *)
+}
+
+let is_innermost (l : Ir.Stmt.loop) =
+  not
+    (List.exists
+       (function Ir.Stmt.Loop _ -> true | Ir.Stmt.Assign _ | Ir.Stmt.Prefetch _ -> false)
+       l.Ir.Stmt.body)
+
+let transform_innermost ~heap ~fresh (l : Ir.Stmt.loop) =
+  let v = l.Ir.Stmt.var in
+  let accesses = Ir.Stmt.access_refs l.Ir.Stmt.body in
+  let heap_accesses =
+    List.filter (fun ((r : Ir.Reference.t), _) -> heap r.Ir.Reference.array) accesses
+  in
+  let classes = classes_of heap_accesses in
+  (* --- invariant replacement --- *)
+  let invariant =
+    List.filter
+      (fun c ->
+        (not (Ir.Reference.mem v c.ref_))
+        && array_uniform heap_accesses c.ref_.Ir.Reference.array
+             (Ir.Reference.coeff_signature c.ref_))
+      classes
+  in
+  let invariant =
+    List.map (fun c -> (c, fresh (c.ref_.Ir.Reference.array ^ "_r"))) invariant
+  in
+  (* --- rotating replacement --- *)
+  let rotations =
+    if l.Ir.Stmt.step <> 1 || Ir.Bexp.as_aff l.Ir.Stmt.lo = None then []
+    else
+      (* Candidate arrays: read-only, uniform, with v in exactly one
+         dimension with coefficient +1 and in no other dimension. *)
+      let arrays =
+        List.sort_uniq String.compare
+          (List.map (fun c -> c.ref_.Ir.Reference.array)
+             (List.filter (fun c -> Ir.Reference.mem v c.ref_) classes))
+      in
+      List.concat_map
+        (fun array ->
+          let members =
+            List.filter (fun c -> c.ref_.Ir.Reference.array = array) classes
+          in
+          match members with
+          | [] -> []
+          | first :: _ ->
+            let signature = Ir.Reference.coeff_signature first.ref_ in
+            let dims_with_v =
+              List.mapi (fun d s -> (d, Ir.Aff.coeff s v)) signature
+              |> List.filter (fun (_, c) -> c <> 0)
+            in
+            if
+              array_written heap_accesses array
+              || not (array_uniform heap_accesses array signature)
+              || List.length dims_with_v <> 1
+              || snd (List.hd dims_with_v) <> 1
+            then []
+            else
+              let dim = fst (List.hd dims_with_v) in
+              (* Partition members by their offsets in the other dims. *)
+              let key c =
+                List.filteri (fun d _ -> d <> dim) (Ir.Reference.offsets c.ref_)
+              in
+              let keys = List.sort_uniq compare (List.map key members) in
+              List.filter_map
+                (fun k ->
+                  let chain =
+                    List.filter (fun c -> key c = k) members
+                    |> List.map (fun c ->
+                           (List.nth (Ir.Reference.offsets c.ref_) dim, c))
+                    |> List.sort compare
+                  in
+                  match (chain, List.rev chain) with
+                  | (o_min, rep_c) :: _ :: _, (o_max, _) :: _
+                    when o_max - o_min <= max_rotation_span ->
+                    let span = o_max - o_min in
+                    let regs =
+                      Array.init (span + 1) (fun _ -> fresh (array ^ "_rot"))
+                    in
+                    Some { chain; dim; rep = rep_c.ref_; o_min; o_max; regs }
+                  | _ -> None)
+                keys)
+        arrays
+  in
+  (* Don't rotate classes that invariant replacement already took (it
+     cannot: rotation classes mention v), but make sure we don't emit a
+     rotation whose array is also invariant-replaced (impossible for the
+     same signature; keep the check cheap by construction). *)
+  let replace_map =
+    List.concat
+      (List.map (fun (c, reg) -> [ (c.ref_, Ir.Reference.scalar reg) ]) invariant
+      @ List.map
+          (fun rot ->
+            List.map
+              (fun (o, c) ->
+                (c.ref_, Ir.Reference.scalar rot.regs.(o - rot.o_min)))
+              rot.chain)
+          rotations)
+  in
+  (* --- per-iteration operand reuse (the paper's "multiply A's and P's
+     to registers"): a reference read several times in the (unrolled)
+     body, to an array never written in the body, is loaded once into a
+     register at the top of each iteration. --- *)
+  let cse =
+    List.filter_map
+      (fun c ->
+        if
+          c.reads >= 2 && c.writes = 0
+          && (not (array_written heap_accesses c.ref_.Ir.Reference.array))
+          && not (List.mem_assoc c.ref_ replace_map)
+        then Some (c, fresh (c.ref_.Ir.Reference.array ^ "_t"))
+        else None)
+      classes
+  in
+  let replace_map =
+    replace_map
+    @ List.map (fun (c, reg) -> (c.ref_, Ir.Reference.scalar reg)) cse
+  in
+  if replace_map = [] then [ Ir.Stmt.Loop l ]
+  else begin
+    let rewrite_ref r =
+      match List.assoc_opt r replace_map with Some r' -> r' | None -> r
+    in
+    let rewrite_stmt = function
+      | Ir.Stmt.Assign (lhs, rhs) ->
+        Ir.Stmt.Assign (rewrite_ref lhs, Ir.Fexpr.map_refs rewrite_ref rhs)
+      | Ir.Stmt.Prefetch r -> Ir.Stmt.Prefetch r
+      | Ir.Stmt.Loop _ -> assert false (* innermost *)
+    in
+    let lo_aff =
+      match Ir.Bexp.as_aff l.Ir.Stmt.lo with
+      | Some a -> a
+      | None -> Ir.Aff.zero (* rotations are empty in this case *)
+    in
+    (* Index of the element at chain position [p] with [v] at value [at]. *)
+    let rot_ref rot ~p ~at =
+      let idx =
+        List.mapi
+          (fun d a ->
+            if d = rot.dim then
+              let linear =
+                Ir.Aff.sub a
+                  (Ir.Aff.const (List.nth (Ir.Reference.offsets rot.rep) d))
+              in
+              Ir.Aff.add_const (Ir.Aff.subst v at linear) (rot.o_min + p)
+            else a)
+          rot.rep.Ir.Reference.idx
+      in
+      Ir.Reference.make rot.rep.Ir.Reference.array idx
+    in
+    (* Invariant temporaries are always pre-loaded — even for write-only
+       classes — so that the store-back after a zero-trip loop writes the
+       original value (a no-op) rather than garbage. *)
+    let preheader =
+      List.map
+        (fun (c, reg) ->
+          ignore c.reads;
+          Ir.Stmt.assign (Ir.Reference.scalar reg) (Ir.Fexpr.ref_ c.ref_))
+        invariant
+      @ List.concat_map
+          (fun rot ->
+            List.init
+              (Array.length rot.regs - 1)
+              (fun p ->
+                Ir.Stmt.assign
+                  (Ir.Reference.scalar rot.regs.(p))
+                  (Ir.Fexpr.ref_ (rot_ref rot ~p ~at:lo_aff))))
+          rotations
+    in
+    let leading_loads =
+      List.map
+        (fun rot ->
+          let p = Array.length rot.regs - 1 in
+          Ir.Stmt.assign
+            (Ir.Reference.scalar rot.regs.(p))
+            (Ir.Fexpr.ref_ (rot_ref rot ~p ~at:(Ir.Aff.var v))))
+        rotations
+      @ List.map
+          (fun (c, reg) ->
+            Ir.Stmt.assign (Ir.Reference.scalar reg) (Ir.Fexpr.ref_ c.ref_))
+          cse
+    in
+    let rotates =
+      List.concat_map
+        (fun rot ->
+          List.init
+            (Array.length rot.regs - 1)
+            (fun p ->
+              Ir.Stmt.assign
+                (Ir.Reference.scalar rot.regs.(p))
+                (Ir.Fexpr.ref_ (Ir.Reference.scalar rot.regs.(p + 1)))))
+        rotations
+    in
+    let postexit =
+      List.filter_map
+        (fun (c, reg) ->
+          if c.writes > 0 then
+            Some (Ir.Stmt.assign c.ref_ (Ir.Fexpr.ref_ (Ir.Reference.scalar reg)))
+          else None)
+        invariant
+    in
+    let body' = leading_loads @ List.map rewrite_stmt l.Ir.Stmt.body @ rotates in
+    preheader @ [ Ir.Stmt.Loop { l with Ir.Stmt.body = body' } ] @ postexit
+  end
+
+let apply (p : Ir.Program.t) =
+  let new_decls = ref [] in
+  let taken = Hashtbl.create 16 in
+  let declared = Hashtbl.create 16 in
+  List.iter (fun (d : Ir.Decl.t) -> Hashtbl.replace taken d.Ir.Decl.name ()) p.Ir.Program.decls;
+  List.iter (fun v -> Hashtbl.replace taken v ()) (Ir.Stmt.loop_vars p.Ir.Program.body);
+  List.iter (fun s -> Hashtbl.replace taken s ()) p.Ir.Program.params;
+  (* Register names are deterministic per innermost loop, so disjoint
+     sibling loops (main + remainder of an unroll) reuse the same
+     temporaries instead of doubling register pressure.  Reuse is safe
+     because every temporary is written (pre-loaded) before use. *)
+  let make_fresh () =
+    let per_base = Hashtbl.create 8 in
+    let rec fresh base =
+      let k = try Hashtbl.find per_base base with Not_found -> 0 in
+      Hashtbl.replace per_base base (k + 1);
+      let name = Printf.sprintf "%s%d" base k in
+      if Hashtbl.mem declared name then name
+      else if Hashtbl.mem taken name then fresh base
+      else begin
+        Hashtbl.replace taken name ();
+        Hashtbl.replace declared name ();
+        new_decls := Ir.Decl.register name :: !new_decls;
+        name
+      end
+    in
+    fresh
+  in
+  let heap name =
+    match Ir.Program.find_decl p name with
+    | Some d -> d.Ir.Decl.storage = Ir.Decl.Heap
+    | None -> false
+  in
+  let rec go stmts = List.concat_map go_stmt stmts
+  and go_stmt = function
+    | (Ir.Stmt.Assign _ | Ir.Stmt.Prefetch _) as s -> [ s ]
+    | Ir.Stmt.Loop l ->
+      if is_innermost l then transform_innermost ~heap ~fresh:(make_fresh ()) l
+      else [ Ir.Stmt.Loop { l with Ir.Stmt.body = go l.Ir.Stmt.body } ]
+  in
+  let body = go p.Ir.Program.body in
+  let p = Ir.Program.with_body p body in
+  List.fold_left Ir.Program.add_decl p (List.rev !new_decls)
+
+let count_registers p =
+  let before =
+    List.length
+      (List.filter
+         (fun (d : Ir.Decl.t) -> d.Ir.Decl.storage = Ir.Decl.Register)
+         p.Ir.Program.decls)
+  in
+  let after =
+    List.length
+      (List.filter
+         (fun (d : Ir.Decl.t) -> d.Ir.Decl.storage = Ir.Decl.Register)
+         (apply p).Ir.Program.decls)
+  in
+  after - before

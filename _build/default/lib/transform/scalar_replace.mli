@@ -1,0 +1,29 @@
+(** Scalar replacement: map reused array elements to register
+    temporaries around innermost loops (Carr–Kennedy style).
+
+    Three forms are applied automatically to every innermost loop:
+
+    - {e invariant replacement}: a reference whose indices do not mention
+      the loop variable is loaded into a register before the loop,
+      used/updated in registers inside, and stored back after the loop
+      (the paper's "load C[I..I+UI-1,J..J+UJ-1] into registers");
+    - {e rotating replacement}: a read-only group whose members differ
+      only by constant offsets along the loop direction keeps the whole
+      offset chain in registers, loads only the leading element each
+      iteration, and shifts registers at the end of the body (the
+      paper's Jacobi code, Figure 2(b));
+    - {e operand reuse}: a reference read several times within one
+      (unrolled) iteration, to an array the body never writes, is loaded
+      once per iteration into a register (the paper's "multiply A's and
+      P's to registers" — this is what makes register pressure grow with
+      the unroll factors).
+
+    Replacement is performed only when aliasing is statically refutable:
+    all other accesses to the same array must be uniform with the
+    replaced reference and differ by constant offsets. *)
+
+val apply : Ir.Program.t -> Ir.Program.t
+
+(** Number of register temporaries [apply] would introduce (for tests
+    and the register-pressure model). *)
+val count_registers : Ir.Program.t -> int

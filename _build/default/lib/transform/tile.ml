@@ -1,0 +1,45 @@
+type spec = { var : string; size : int; control : string }
+
+let apply (p : Ir.Program.t) specs ~control_order =
+  let headers, innermost = Nest.extract p.Ir.Program.body in
+  if not (Nest.rectangular headers) then
+    invalid_arg "Tile.apply: nest is not rectangular";
+  List.iter
+    (fun s ->
+      if s.size < 1 then invalid_arg "Tile.apply: tile size must be >= 1";
+      if Nest.header_of headers s.var = None then
+        invalid_arg (Printf.sprintf "Tile.apply: no loop %s in nest" s.var))
+    specs;
+  let controls = List.map (fun s -> s.control) specs in
+  if List.sort String.compare controls <> List.sort String.compare control_order
+  then invalid_arg "Tile.apply: control_order must list exactly the new controls";
+  let control_headers =
+    List.map
+      (fun cv ->
+        let s = List.find (fun s -> s.control = cv) specs in
+        let h =
+          match Nest.header_of headers s.var with
+          | Some h -> h
+          | None -> assert false
+        in
+        if h.Nest.step <> 1 then
+          invalid_arg "Tile.apply: tiled loop must have unit step";
+        { Nest.var = cv; lo = h.Nest.lo; hi = h.Nest.hi; step = s.size })
+      control_order
+  in
+  let element_headers =
+    List.map
+      (fun h ->
+        match List.find_opt (fun s -> s.var = h.Nest.var) specs with
+        | None -> h
+        | Some s ->
+          let lo = Ir.Bexp.var s.control in
+          let hi =
+            Ir.Bexp.min_
+              (Ir.Bexp.add_const (Ir.Bexp.var s.control) (s.size - 1))
+              h.Nest.hi
+          in
+          { h with Nest.lo; hi })
+      headers
+  in
+  Ir.Program.with_body p (Nest.rebuild (control_headers @ element_headers) innermost)

@@ -1,0 +1,19 @@
+(** Rectangular loop tiling: strip-mine selected loops and hoist their
+    tile-controlling loops to the outermost positions. *)
+
+type spec = {
+  var : string;  (** element loop to tile *)
+  size : int;  (** concrete tile size (>= 1) *)
+  control : string;  (** name of the new tile-controlling variable *)
+}
+
+(** [apply p specs ~control_order] tiles each listed loop of the
+    (rectangular, perfect) nest.  The resulting nest has the control
+    loops first, in [control_order] (which must list exactly the control
+    names of [specs]), then the element loops in their original relative
+    order.  A tiled element loop [v] runs from its control variable to
+    [min (control + size - 1) original_hi].
+
+    Legality (full permutability of the tiled band) is the caller's
+    responsibility. *)
+val apply : Ir.Program.t -> spec list -> control_order:string list -> Ir.Program.t

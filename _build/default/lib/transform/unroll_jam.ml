@@ -1,0 +1,60 @@
+(* Jam [u] copies of [body] (copy [c] has [v := v + c]) through inner
+   loops whose bounds are independent of [v]; at the first level where
+   fusion is impossible, fall back to sequential duplication (plain
+   unrolling), which is always correct. *)
+let rec jam v u body =
+  match body with
+  | [ Ir.Stmt.Loop inner ]
+    when (not (Ir.Bexp.mem v inner.Ir.Stmt.lo))
+         && not (Ir.Bexp.mem v inner.Ir.Stmt.hi) ->
+    [ Ir.Stmt.Loop { inner with Ir.Stmt.body = jam v u inner.Ir.Stmt.body } ]
+  | stmts ->
+    List.concat
+      (List.init u (fun c ->
+           if c = 0 then stmts
+           else Ir.Stmt.subst_body v (Ir.Aff.add_const (Ir.Aff.var v) c) stmts))
+
+let unroll_loop (l : Ir.Stmt.loop) u =
+  if l.Ir.Stmt.step <> 1 then
+    invalid_arg "Unroll_jam.apply: loop must have unit step";
+  let lo_aff =
+    match Ir.Bexp.as_aff l.Ir.Stmt.lo with
+    | Some a -> a
+    | None -> invalid_arg "Unroll_jam.apply: lower bound must be affine"
+  in
+  let v = l.Ir.Stmt.var in
+  (* whole = max (u * floor ((hi - lo + 1) / u)) 0 *)
+  let trip =
+    Ir.Bexp.add_aff l.Ir.Stmt.hi (Ir.Aff.add_const (Ir.Aff.neg lo_aff) 1)
+  in
+  let whole = Ir.Bexp.max_ (Ir.Bexp.floor_mult trip u) (Ir.Bexp.const 0) in
+  let main_hi =
+    Ir.Bexp.add_aff (Ir.Bexp.add whole (Ir.Bexp.aff lo_aff)) (Ir.Aff.const (-1))
+  in
+  let rem_lo = Ir.Bexp.add whole (Ir.Bexp.aff lo_aff) in
+  let main =
+    Ir.Stmt.Loop
+      {
+        Ir.Stmt.var = v;
+        lo = l.Ir.Stmt.lo;
+        hi = main_hi;
+        step = u;
+        body = jam v u l.Ir.Stmt.body;
+      }
+  in
+  let remainder =
+    Ir.Stmt.Loop
+      { Ir.Stmt.var = v; lo = rem_lo; hi = l.Ir.Stmt.hi; step = 1; body = l.Ir.Stmt.body }
+  in
+  [ main; remainder ]
+
+let apply (p : Ir.Program.t) v u =
+  if u < 1 then invalid_arg "Unroll_jam.apply: factor must be >= 1";
+  if u = 1 then p
+  else
+    match
+      Ir.Stmt.replace_loop v (fun l -> unroll_loop l u) p.Ir.Program.body
+    with
+    | body -> Ir.Program.with_body p body
+    | exception Not_found ->
+      invalid_arg (Printf.sprintf "Unroll_jam.apply: no loop over %s" v)

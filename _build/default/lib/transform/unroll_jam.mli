@@ -1,0 +1,21 @@
+(** Unroll-and-jam with exact remainder handling.
+
+    Unrolling loop [v] by factor [u] produces:
+    - a {e main} loop stepping by [u] over the largest multiple-of-[u]
+      prefix of the iteration range, whose copies of the body are jammed
+      (fused) through any inner loops whose bounds do not depend on [v];
+    - a {e remainder} loop with the original body over the leftover
+      iterations.
+
+    Bounds may contain [min]/[max] (tiled loops); the split point is
+    expressed with floor arithmetic, so the transformation is exact for
+    every runtime trip count, including zero.
+
+    Jamming reorders iterations like a loop interchange; legality is the
+    caller's responsibility ({!Analysis.Depend.innermost_legal}). *)
+
+(** [apply p v u] unrolls every loop over [v] in the program (there may
+    be several after earlier main/remainder splits).
+    @raise Invalid_argument if [u < 1], if no loop over [v] exists, if a
+    loop over [v] has non-unit step or a non-affine lower bound. *)
+val apply : Ir.Program.t -> string -> int -> Ir.Program.t

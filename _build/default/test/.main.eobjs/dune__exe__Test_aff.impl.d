@@ -1,0 +1,1 @@
+test/test_aff.ml: Aff Alcotest Bexp Gen Ir List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Aff Alcotest Analysis Decl Depend Footprint Ir Kernels List Poly Printf Program QCheck QCheck_alcotest Reference Reuse Stmt

@@ -1,0 +1,1 @@
+test/test_attribution.ml: Aff Alcotest Baselines Core Ir Kernels List Machine Memsim Transform

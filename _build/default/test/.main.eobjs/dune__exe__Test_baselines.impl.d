@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Baselines Core Float Ir Kernels List Machine Printf

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Aff Alcotest Array Buffer Codegen_c Codegen_f90 Core Decl Exec Filename Ir Kernels Lazy List Machine Printf Program String Sys Transform

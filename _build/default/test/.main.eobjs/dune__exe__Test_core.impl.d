@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Analysis Array Core Float Ir Kernels Lazy List Machine Printf String

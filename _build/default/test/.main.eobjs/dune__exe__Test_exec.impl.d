@@ -1,0 +1,1 @@
+test/test_exec.ml: Aff Alcotest Array Bexp Decl Exec Fexpr Float Ir Kernels List Program QCheck QCheck_alcotest Reference Sink Stmt

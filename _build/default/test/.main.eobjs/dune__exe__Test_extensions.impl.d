@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Baselines Core Experiments Float Ir Kernels List Machine Memsim Printf Transform

@@ -1,0 +1,1 @@
+test/test_memsim.ml: Alcotest Gen Ir Kernels List Machine Memsim QCheck QCheck_alcotest

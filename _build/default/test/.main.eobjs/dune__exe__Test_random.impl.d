@@ -1,0 +1,1 @@
+test/test_random.ml: Aff Array Decl Exec Fexpr Float Ir List Printf Program QCheck QCheck_alcotest Reference Stmt String Transform

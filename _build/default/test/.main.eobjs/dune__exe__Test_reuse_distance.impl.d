@@ -1,0 +1,1 @@
+test/test_reuse_distance.ml: Alcotest Gen Ir Kernels List Machine Memsim Printf QCheck QCheck_alcotest Transform

@@ -1,0 +1,1 @@
+test/test_transform.ml: Aff Alcotest Array Decl Exec Float Ir Kernels List Printf Program QCheck QCheck_alcotest Reference Sink Stmt String Transform

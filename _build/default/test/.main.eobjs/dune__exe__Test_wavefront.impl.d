@@ -1,0 +1,1 @@
+test/test_wavefront.ml: Alcotest Analysis Array Core Float Ir Kernels List Machine Transform

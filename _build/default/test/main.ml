@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "eco"
+    [
+      ("aff", Test_aff.suite);
+      ("exec", Test_exec.suite);
+      ("memsim", Test_memsim.suite);
+      ("transform", Test_transform.suite);
+      ("analysis", Test_analysis.suite);
+      ("core", Test_core.suite);
+      ("baselines", Test_baselines.suite);
+      ("experiments", Test_experiments.suite);
+      ("random", Test_random.suite);
+      ("codegen", Test_codegen.suite);
+      ("reuse_distance", Test_reuse_distance.suite);
+      ("extensions", Test_extensions.suite);
+      ("wavefront", Test_wavefront.suite);
+      ("attribution", Test_attribution.suite);
+      ("trace", Test_trace.suite);
+    ]

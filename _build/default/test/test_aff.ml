@@ -1,0 +1,144 @@
+(* Unit and property tests for the affine/bound expression algebra. *)
+
+open Ir
+
+let check_int = Alcotest.(check int)
+
+let lookup_of bindings x =
+  match List.assoc_opt x bindings with
+  | Some v -> v
+  | None -> Alcotest.failf "unbound %s" x
+
+let test_const () =
+  check_int "const" 7 (Aff.eval (lookup_of []) (Aff.const 7));
+  Alcotest.(check (option int)) "is_const" (Some 7) (Aff.is_const (Aff.const 7))
+
+let test_add_normalizes () =
+  let e = Aff.add (Aff.term 2 "x") (Aff.term 3 "x") in
+  Alcotest.check Alcotest.bool "2x+3x = 5x" true (Aff.equal e (Aff.term 5 "x"))
+
+let test_cancel () =
+  let e = Aff.sub (Aff.term 2 "x") (Aff.term 2 "x") in
+  Alcotest.(check (option int)) "2x-2x = 0" (Some 0) (Aff.is_const e);
+  Alcotest.check Alcotest.bool "equal zero" true (Aff.equal e Aff.zero)
+
+let test_coeff () =
+  let e = Aff.add (Aff.term 4 "i") (Aff.add_const (Aff.term (-2) "j") 9) in
+  check_int "coeff i" 4 (Aff.coeff e "i");
+  check_int "coeff j" (-2) (Aff.coeff e "j");
+  check_int "coeff k" 0 (Aff.coeff e "k");
+  check_int "const" 9 (Aff.const_part e)
+
+let test_subst () =
+  (* (3i + 2) [i -> j + 1] = 3j + 5 *)
+  let e = Aff.add_const (Aff.term 3 "i") 2 in
+  let e' = Aff.subst "i" (Aff.add_const (Aff.var "j") 1) e in
+  Alcotest.check Alcotest.bool "subst result" true
+    (Aff.equal e' (Aff.add_const (Aff.term 3 "j") 5))
+
+let test_subst_absent () =
+  let e = Aff.term 3 "i" in
+  Alcotest.check Alcotest.bool "subst of absent var is identity" true
+    (Aff.equal e (Aff.subst "z" (Aff.const 100) e))
+
+let test_rename () =
+  let e = Aff.add (Aff.var "i") (Aff.var "j") in
+  let e' = Aff.rename "i" "k" e in
+  check_int "renamed eval" 30
+    (Aff.eval (lookup_of [ ("k", 10); ("j", 20) ]) e')
+
+let test_vars_sorted () =
+  let e = Aff.add (Aff.var "z") (Aff.add (Aff.var "a") (Aff.var "m")) in
+  Alcotest.(check (list string)) "vars" [ "a"; "m"; "z" ] (Aff.vars e)
+
+let test_pp () =
+  let e = Aff.add_const (Aff.add (Aff.term 2 "i") (Aff.term (-1) "j")) 3 in
+  Alcotest.(check string) "pp" "2*i - j + 3" (Aff.to_string e)
+
+let test_bexp_min_max () =
+  let lookup = lookup_of [ ("n", 10) ] in
+  let b = Bexp.min_ (Bexp.var "n") (Bexp.const 7) in
+  check_int "min" 7 (Bexp.eval lookup b);
+  let b = Bexp.max_ (Bexp.var "n") (Bexp.const 7) in
+  check_int "max" 10 (Bexp.eval lookup b)
+
+let test_bexp_floor_mult () =
+  let lookup = lookup_of [] in
+  check_int "4*floor(10/4)" 8 (Bexp.eval lookup (Bexp.floor_mult (Bexp.const 10) 4));
+  check_int "4*floor(8/4)" 8 (Bexp.eval lookup (Bexp.floor_mult (Bexp.const 8) 4));
+  check_int "floor of negative" (-4)
+    (Bexp.eval lookup (Bexp.floor_mult (Bexp.const (-1)) 4));
+  check_int "k=1 identity" 5 (Bexp.eval lookup (Bexp.floor_mult (Bexp.const 5) 1))
+
+let test_bexp_subst () =
+  let b =
+    Bexp.min_
+      (Bexp.aff (Aff.add_const (Aff.var "jj") 15))
+      (Bexp.aff (Aff.add_const (Aff.var "n") (-1)))
+  in
+  let b' = Bexp.subst "jj" (Aff.const 32) b in
+  check_int "substituted min" 47 (Bexp.eval (lookup_of [ ("n", 100) ]) b');
+  check_int "substituted min clipped" 39 (Bexp.eval (lookup_of [ ("n", 40) ]) b')
+
+let test_bexp_vars () =
+  let b = Bexp.add (Bexp.var "a") (Bexp.min_ (Bexp.var "b") (Bexp.var "a")) in
+  Alcotest.(check (list string)) "vars dedup" [ "a"; "b" ] (Bexp.vars b)
+
+(* Property: evaluation is linear — eval(a + k*b) = eval(a) + k*eval(b). *)
+let arb_aff =
+  let open QCheck in
+  let gen =
+    Gen.(
+      map2
+        (fun terms c ->
+          List.fold_left
+            (fun acc (coef, v) -> Aff.add acc (Aff.term coef v))
+            (Aff.const c) terms)
+        (small_list (pair (int_range (-5) 5) (oneofl [ "i"; "j"; "k"; "n" ])))
+        (int_range (-100) 100))
+  in
+  make ~print:Aff.to_string gen
+
+let env = [ ("i", 3); ("j", -7); ("k", 11); ("n", 64) ]
+
+let prop_linear =
+  QCheck.Test.make ~name:"aff eval is linear" ~count:500
+    QCheck.(pair arb_aff (pair arb_aff (int_range (-4) 4)))
+    (fun (a, (b, k)) ->
+      let ev e = Aff.eval (lookup_of env) e in
+      ev (Aff.add a (Aff.scale k b)) = ev a + (k * ev b))
+
+let prop_subst_sound =
+  QCheck.Test.make ~name:"aff subst agrees with env rebinding" ~count:500
+    QCheck.(pair arb_aff arb_aff)
+    (fun (e, r) ->
+      let rv = Aff.eval (lookup_of env) r in
+      let direct = Aff.eval (lookup_of (("i", rv) :: List.remove_assoc "i" env)) e in
+      Aff.eval (lookup_of env) (Aff.subst "i" r e) = direct)
+
+let prop_floor_mult =
+  QCheck.Test.make ~name:"floor_mult bounds its argument" ~count:500
+    QCheck.(pair (int_range (-1000) 1000) (int_range 1 64))
+    (fun (v, k) ->
+      let fm = Bexp.eval (lookup_of []) (Bexp.floor_mult (Bexp.const v) k) in
+      fm mod k = 0 && fm <= v && v - fm < k)
+
+let suite =
+  [
+    Alcotest.test_case "const" `Quick test_const;
+    Alcotest.test_case "add normalizes" `Quick test_add_normalizes;
+    Alcotest.test_case "cancellation" `Quick test_cancel;
+    Alcotest.test_case "coeff access" `Quick test_coeff;
+    Alcotest.test_case "substitution" `Quick test_subst;
+    Alcotest.test_case "substitution of absent var" `Quick test_subst_absent;
+    Alcotest.test_case "rename" `Quick test_rename;
+    Alcotest.test_case "vars sorted" `Quick test_vars_sorted;
+    Alcotest.test_case "pretty printing" `Quick test_pp;
+    Alcotest.test_case "bexp min/max" `Quick test_bexp_min_max;
+    Alcotest.test_case "bexp floor_mult" `Quick test_bexp_floor_mult;
+    Alcotest.test_case "bexp subst" `Quick test_bexp_subst;
+    Alcotest.test_case "bexp vars" `Quick test_bexp_vars;
+    QCheck_alcotest.to_alcotest prop_linear;
+    QCheck_alcotest.to_alcotest prop_subst_sound;
+    QCheck_alcotest.to_alcotest prop_floor_mult;
+  ]

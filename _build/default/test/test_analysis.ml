@@ -1,0 +1,299 @@
+(* Tests for the compiler models: polynomials, dependences, reuse and
+   footprints — checked against the paper's own numbers (Table 4). *)
+
+open Analysis
+module Kernel = Kernels.Kernel
+
+let mm = Kernels.Matmul.kernel.Kernel.program
+let jacobi = Kernels.Jacobi3d.kernel.Kernel.program
+
+let lookup_of bindings x =
+  match List.assoc_opt x bindings with
+  | Some v -> v
+  | None -> Alcotest.failf "unbound %s" x
+
+(* --- Poly --- *)
+
+let test_poly_basics () =
+  let p = Poly.mul (Poly.var "ti") (Poly.var "tj") in
+  Alcotest.(check int) "ti*tj at 4,8" 32
+    (Poly.eval (lookup_of [ ("ti", 4); ("tj", 8) ]) p);
+  Alcotest.(check string) "pp" "ti*tj" (Poly.to_string p)
+
+let test_poly_normalization () =
+  let a = Poly.add (Poly.var "x") (Poly.var "x") in
+  Alcotest.(check bool) "x+x = 2x" true (Poly.equal a (Poly.scale 2 (Poly.var "x")));
+  let z = Poly.sub a a in
+  Alcotest.(check (option int)) "cancellation" (Some 0) (Poly.is_const z)
+
+let test_poly_distribution () =
+  (* (x+1)(y+2) = xy + 2x + y + 2 *)
+  let p =
+    Poly.mul (Poly.add_const (Poly.var "x") 1) (Poly.add_const (Poly.var "y") 2)
+  in
+  let env = lookup_of [ ("x", 5); ("y", 7) ] in
+  Alcotest.(check int) "eval" 54 (Poly.eval env p);
+  Alcotest.(check int) "monomials" 4 (List.length (Poly.monomials p))
+
+let prop_poly_eval_homomorphic =
+  let arb =
+    QCheck.make
+      ~print:(fun (a, b) -> Poly.to_string a ^ " / " ^ Poly.to_string b)
+      QCheck.Gen.(
+        let arb_poly =
+          map
+            (fun terms ->
+              List.fold_left
+                (fun acc (c, vs) ->
+                  Poly.add acc
+                    (Poly.scale c
+                       (List.fold_left
+                          (fun m v -> Poly.mul m (Poly.var v))
+                          Poly.one vs)))
+                Poly.zero terms)
+            (small_list
+               (pair (int_range (-4) 4)
+                  (small_list (oneofl [ "x"; "y"; "z" ]))))
+        in
+        pair arb_poly arb_poly)
+  in
+  QCheck.Test.make ~name:"poly eval is a ring homomorphism" ~count:200 arb
+    (fun (a, b) ->
+      let env = lookup_of [ ("x", 3); ("y", -2); ("z", 5) ] in
+      Poly.eval env (Poly.add a b) = Poly.eval env a + Poly.eval env b
+      && Poly.eval env (Poly.mul a b) = Poly.eval env a * Poly.eval env b)
+
+(* --- Depend --- *)
+
+let test_mm_dependences () =
+  let deps = Depend.analyze mm in
+  (* Only C carries dependences, all on loop k. *)
+  List.iter
+    (fun (d : Depend.t) ->
+      Alcotest.(check string) "array" "c" d.Depend.array;
+      Alcotest.(check bool) "k positive" true
+        (List.assoc "k" d.Depend.dirs = Depend.Plus);
+      Alcotest.(check bool) "i zero" true
+        (List.assoc "i" d.Depend.dirs = Depend.Dist 0);
+      Alcotest.(check bool) "j zero" true
+        (List.assoc "j" d.Depend.dirs = Depend.Dist 0))
+    deps;
+  Alcotest.(check bool) "has deps" true (deps <> [])
+
+let test_mm_fully_permutable () =
+  Alcotest.(check bool) "mm fully permutable" true
+    (Depend.fully_permutable (Depend.analyze mm))
+
+let test_jacobi_no_deps () =
+  Alcotest.(check (list string)) "jacobi has no dependences" []
+    (List.map (fun (d : Depend.t) -> d.Depend.array) (Depend.analyze jacobi))
+
+let test_seidel_not_permutable () =
+  (* Gauss-Seidel-like in-place stencil: A[i] = A[i-1] + A[i+1] carries a
+     flow dependence that forbids reversing... here, interchange with an
+     outer loop must be blocked by the (+,-) vector. *)
+  let open Ir in
+  let i = Aff.var "i" and j = Aff.var "j" in
+  let a di dj =
+    Reference.make "a" [ Aff.add_const i di; Aff.add_const j dj ]
+  in
+  let p =
+    Program.make ~name:"seidel" ~params:[ "n" ]
+      ~decls:[ Decl.heap "a" [ Aff.var "n"; Aff.var "n" ] ]
+      [
+        Stmt.loop_aff "j" ~lo:(Aff.const 1) ~hi:(Aff.add_const (Aff.var "n") (-2))
+          [
+            Stmt.loop_aff "i" ~lo:(Aff.const 1)
+              ~hi:(Aff.add_const (Aff.var "n") (-2))
+              [ Stmt.assign (a 0 0) Ir.Fexpr.(ref_ (a (-1) 1) + ref_ (a 1 0)) ];
+          ];
+      ]
+  in
+  let deps = Depend.analyze p in
+  Alcotest.(check bool) "has deps" true (deps <> []);
+  Alcotest.(check bool) "interchange illegal" false
+    (Depend.permutation_legal deps [ "i"; "j" ])
+
+let test_innermost_legal () =
+  let deps = Depend.analyze mm in
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s innermost legal" v)
+        true
+        (Depend.innermost_legal deps ~order:[ "k"; "j"; "i" ] v))
+    [ "k"; "j"; "i" ]
+
+(* --- Reuse --- *)
+
+let mm_groups = Reuse.groups_of_body mm.Ir.Program.body
+let jacobi_groups = Reuse.groups_of_body jacobi.Ir.Program.body
+
+let test_mm_groups () =
+  (* c (read+write), a, b *)
+  Alcotest.(check int) "three groups" 3 (List.length mm_groups);
+  let c = List.find (fun g -> g.Reuse.array = "c") mm_groups in
+  Alcotest.(check int) "c has two members" 2 (List.length c.Reuse.members)
+
+let test_jacobi_groups () =
+  (* a (write), b (6 reads, one uniform group) *)
+  Alcotest.(check int) "two groups" 2 (List.length jacobi_groups);
+  let b = List.find (fun g -> g.Reuse.array = "b") jacobi_groups in
+  Alcotest.(check int) "b has six members" 6 (List.length b.Reuse.members)
+
+let test_self_temporal () =
+  let c = Ir.Reference.make "c" [ Ir.Aff.var "i"; Ir.Aff.var "j" ] in
+  Alcotest.(check bool) "c temporal in k" true (Reuse.self_temporal c "k");
+  Alcotest.(check bool) "c not temporal in i" false (Reuse.self_temporal c "i")
+
+let test_self_spatial () =
+  let a = Ir.Reference.make "a" [ Ir.Aff.var "i"; Ir.Aff.var "k" ] in
+  Alcotest.(check bool) "a spatial in i" true (Reuse.self_spatial a "i");
+  Alcotest.(check bool) "a not spatial in k" false (Reuse.self_spatial a "k")
+
+let test_mm_temporal_savings () =
+  (* The decisive numbers behind choosing K innermost (see §3.1.2): K
+     saves 2 accesses/iteration (C load + store), I and J save 1. *)
+  Alcotest.(check int) "k" 2 (Reuse.loop_temporal_savings mm_groups "k");
+  Alcotest.(check int) "j" 1 (Reuse.loop_temporal_savings mm_groups "j");
+  Alcotest.(check int) "i" 1 (Reuse.loop_temporal_savings mm_groups "i")
+
+let test_jacobi_temporal_savings_tie () =
+  let s v = Reuse.loop_temporal_savings jacobi_groups v in
+  Alcotest.(check int) "i" 1 (s "i");
+  Alcotest.(check int) "j" 1 (s "j");
+  Alcotest.(check int) "k" 1 (s "k")
+
+let test_jacobi_spatial_breaks_tie () =
+  let sp v = Reuse.loop_spatial_score jacobi_groups v in
+  Alcotest.(check bool) "i spatially dominant" true (sp "i" > sp "j" && sp "i" > sp "k")
+
+let test_register_retainable () =
+  let b = List.find (fun g -> g.Reuse.array = "b") jacobi_groups in
+  let retained = Reuse.register_retainable b ~rotation:"i" in
+  (* Exactly the B[i-1], B[i+1] chain; the four halo refs excluded. *)
+  Alcotest.(check int) "two chain members" 2 (List.length retained);
+  let c = List.find (fun g -> g.Reuse.array = "c") mm_groups in
+  Alcotest.(check int) "c fully retainable" 2
+    (List.length (Reuse.register_retainable c ~rotation:"k"))
+
+(* --- Footprint --- *)
+
+let test_footprint_mm_register () =
+  (* C with unrolls UI, UJ -> UI*UJ, the paper's register constraint. *)
+  let c = List.find (fun g -> g.Reuse.array = "c") mm_groups in
+  let extents =
+    Footprint.of_extent_list [ ("i", Poly.var "ui"); ("j", Poly.var "uj") ]
+  in
+  let fp = Footprint.group_elements extents c in
+  Alcotest.(check int) "4x2 -> 8" 8
+    (Poly.eval (lookup_of [ ("ui", 4); ("uj", 2) ]) fp);
+  Alcotest.(check string) "symbolic form" "ui*uj" (Poly.to_string fp)
+
+let test_footprint_mm_l1 () =
+  (* B over one I iteration with J,K tiled: TJ*TK (Table 4, v1). *)
+  let b = List.find (fun g -> g.Reuse.array = "b") mm_groups in
+  let extents =
+    Footprint.of_extent_list [ ("j", Poly.var "tj"); ("k", Poly.var "tk") ]
+  in
+  let fp = Footprint.group_elements extents b in
+  Alcotest.(check string) "symbolic form" "tj*tk" (Poly.to_string fp)
+
+let test_footprint_jacobi_registers () =
+  (* B with rotation along i and unrolls UJ, UK: 3*(UJ+2)*(UK+2) for the
+     full group; the retained chain alone is 3*UJ*UK-ish — we check the
+     full-group polynomial at a point. *)
+  let b = List.find (fun g -> g.Reuse.array = "b") jacobi_groups in
+  let extents =
+    Footprint.of_extent_list [ ("j", Poly.var "uj"); ("k", Poly.var "uk") ]
+  in
+  let fp = Footprint.group_elements extents b in
+  (* extents: i-span 3, j: uj+2, k: uk+2 *)
+  Alcotest.(check int) "at uj=uk=2" (3 * 4 * 4)
+    (Poly.eval (lookup_of [ ("uj", 2); ("uk", 2) ]) fp)
+
+let test_footprint_additive_across_groups () =
+  let extents = Footprint.of_extent_list [ ("i", Poly.const 4) ] in
+  let total = Footprint.elements extents mm_groups in
+  let by_sum =
+    List.fold_left
+      (fun acc g -> Poly.add acc (Footprint.group_elements extents g))
+      Poly.zero mm_groups
+  in
+  Alcotest.(check bool) "additive" true (Poly.equal total by_sum)
+
+let test_footprint_pages_contiguous () =
+  (* A 512x8-element tile of a 512-column array: dimension 0 is full, so
+     the tile is 8 contiguous runs... the run folds: extent0=512=dim0 ->
+     run = 512*8 = 4096 elements = 8 pages. *)
+  let r = Ir.Reference.make "x" [ Ir.Aff.var "i"; Ir.Aff.var "j" ] in
+  let g =
+    {
+      Reuse.array = "x";
+      signature = Ir.Reference.coeff_signature r;
+      members = [ (r, false) ];
+    }
+  in
+  let extents =
+    Footprint.of_extent_list [ ("i", Poly.const 512); ("j", Poly.const 8) ]
+  in
+  let pages =
+    Footprint.pages ~page_elems:512 ~array_dims:[ 512; 512 ]
+      ~lookup:(lookup_of []) extents g
+  in
+  Alcotest.(check int) "8 pages" 8 pages
+
+let test_footprint_pages_strided () =
+  (* An 8x8 tile of a 1024-column array: 8 separate runs of 8 elements,
+     each potentially straddling a page boundary. *)
+  let r = Ir.Reference.make "x" [ Ir.Aff.var "i"; Ir.Aff.var "j" ] in
+  let g =
+    {
+      Reuse.array = "x";
+      signature = Ir.Reference.coeff_signature r;
+      members = [ (r, false) ];
+    }
+  in
+  let extents =
+    Footprint.of_extent_list [ ("i", Poly.const 8); ("j", Poly.const 8) ]
+  in
+  let pages =
+    Footprint.pages ~page_elems:512 ~array_dims:[ 1024; 1024 ]
+      ~lookup:(lookup_of []) extents g
+  in
+  Alcotest.(check int) "8 runs x 2 pages" 16 pages
+
+let suite =
+  [
+    Alcotest.test_case "poly basics" `Quick test_poly_basics;
+    Alcotest.test_case "poly normalization" `Quick test_poly_normalization;
+    Alcotest.test_case "poly distribution" `Quick test_poly_distribution;
+    QCheck_alcotest.to_alcotest prop_poly_eval_homomorphic;
+    Alcotest.test_case "mm dependences on k only" `Quick test_mm_dependences;
+    Alcotest.test_case "mm fully permutable" `Quick test_mm_fully_permutable;
+    Alcotest.test_case "jacobi independent" `Quick test_jacobi_no_deps;
+    Alcotest.test_case "seidel interchange illegal" `Quick
+      test_seidel_not_permutable;
+    Alcotest.test_case "mm innermost moves legal" `Quick test_innermost_legal;
+    Alcotest.test_case "mm groups" `Quick test_mm_groups;
+    Alcotest.test_case "jacobi groups" `Quick test_jacobi_groups;
+    Alcotest.test_case "self temporal" `Quick test_self_temporal;
+    Alcotest.test_case "self spatial" `Quick test_self_spatial;
+    Alcotest.test_case "mm temporal savings (k wins)" `Quick
+      test_mm_temporal_savings;
+    Alcotest.test_case "jacobi temporal tie" `Quick test_jacobi_temporal_savings_tie;
+    Alcotest.test_case "jacobi spatial tie-break" `Quick
+      test_jacobi_spatial_breaks_tie;
+    Alcotest.test_case "register retainable" `Quick test_register_retainable;
+    Alcotest.test_case "footprint: mm registers (UI*UJ)" `Quick
+      test_footprint_mm_register;
+    Alcotest.test_case "footprint: mm L1 (TJ*TK)" `Quick test_footprint_mm_l1;
+    Alcotest.test_case "footprint: jacobi registers" `Quick
+      test_footprint_jacobi_registers;
+    Alcotest.test_case "footprint: additive" `Quick
+      test_footprint_additive_across_groups;
+    Alcotest.test_case "footprint pages: contiguous" `Quick
+      test_footprint_pages_contiguous;
+    Alcotest.test_case "footprint pages: strided" `Quick
+      test_footprint_pages_strided;
+  ]

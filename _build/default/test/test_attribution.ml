@@ -1,0 +1,125 @@
+(* Per-array miss attribution tests. *)
+
+module Matmul = Kernels.Matmul
+module Kernel = Kernels.Kernel
+
+let tiny_geom =
+  { Machine.name = "t"; size_bytes = 1024; line_bytes = 32; assoc = 2; hit_cycles = 0 }
+
+let test_region_routing () =
+  let t =
+    Memsim.Attribution.create tiny_geom
+      ~regions:[ ("x", 0, 1024); ("y", 4096, 1024) ]
+  in
+  Memsim.Attribution.access t 0;
+  Memsim.Attribution.access t 100;
+  Memsim.Attribution.access t 4096;
+  Memsim.Attribution.access t 9999;
+  (* outside both *)
+  match Memsim.Attribution.report t with
+  | [ ("x", sx); ("y", sy); ("<other>", so) ] ->
+    Alcotest.(check int) "x accesses" 2 sx.Memsim.Attribution.accesses;
+    Alcotest.(check int) "y accesses" 1 sy.Memsim.Attribution.accesses;
+    Alcotest.(check int) "other accesses" 1 so.Memsim.Attribution.accesses
+  | other ->
+    Alcotest.failf "unexpected report shape (%d entries)" (List.length other)
+
+let test_miss_attribution () =
+  let t = Memsim.Attribution.create tiny_geom ~regions:[ ("x", 0, 4096) ] in
+  Memsim.Attribution.access t 0;
+  Memsim.Attribution.access t 8;
+  (* same line: hit *)
+  match Memsim.Attribution.report t with
+  | [ ("x", s) ] ->
+    Alcotest.(check int) "accesses" 2 s.Memsim.Attribution.accesses;
+    Alcotest.(check int) "one miss" 1 s.Memsim.Attribution.misses
+  | _ -> Alcotest.fail "unexpected report"
+
+let test_matmul_per_array () =
+  let n = 24 in
+  let report =
+    Memsim.Attribution.of_program Machine.sgi_r10000 ~level:0
+      ~params:[ ("n", n) ]
+      Matmul.kernel.Kernel.program
+  in
+  let get name = List.assoc name report in
+  (* Loop order (k,j,i): per iteration one access each to a and b, two
+     to c. *)
+  Alcotest.(check int) "a accesses" (n * n * n)
+    (get "a").Memsim.Attribution.accesses;
+  Alcotest.(check int) "b accesses" (n * n * n)
+    (get "b").Memsim.Attribution.accesses;
+  Alcotest.(check int) "c accesses" (2 * n * n * n)
+    (get "c").Memsim.Attribution.accesses;
+  Alcotest.(check bool) "no stray accesses" true
+    (not (List.mem_assoc "<other>" report))
+
+let test_copy_shifts_misses_to_temp () =
+  (* After copying B into a contiguous temp, B's misses drop to roughly
+     one sweep per tile and the temp absorbs the reuse traffic. *)
+  let open Ir in
+  let p = Matmul.kernel.Kernel.program in
+  let tiled =
+    Transform.Tile.apply p
+      [
+        { Transform.Tile.var = "j"; size = 8; control = "jj" };
+        { Transform.Tile.var = "k"; size = 8; control = "kk" };
+      ]
+      ~control_order:[ "kk"; "jj" ]
+  in
+  let copied =
+    Transform.Copy_opt.apply tiled ~array:"b" ~temp:"p_b" ~at:"jj"
+      ~dims:
+        [
+          { Transform.Copy_opt.base = Aff.var "kk"; extent = 8; bound = Aff.var "n" };
+          { Transform.Copy_opt.base = Aff.var "jj"; extent = 8; bound = Aff.var "n" };
+        ]
+  in
+  let report =
+    Memsim.Attribution.of_program Machine.generic_small ~level:0
+      ~params:[ ("n", 48) ] copied
+  in
+  let b = List.assoc "b" report and p_b = List.assoc "p_b" report in
+  Alcotest.(check bool) "b read once per tile element" true
+    (b.Memsim.Attribution.accesses < p_b.Memsim.Attribution.accesses);
+  Alcotest.(check bool) "temp has accesses" true
+    (p_b.Memsim.Attribution.accesses > 0)
+
+(* --- anneal --- *)
+
+let variant () = List.hd (Core.Derive.variants Machine.sgi_r10000 Matmul.kernel)
+let fast = Core.Executor.Budget 20_000
+
+let test_anneal_runs () =
+  match
+    Baselines.Anneal.tune Machine.sgi_r10000 ~n:32 ~mode:fast ~points:8 ~seed:3
+      (variant ())
+  with
+  | Some r ->
+    Alcotest.(check bool) "evaluated some points" true
+      (r.Baselines.Anneal.evaluated >= 2);
+    Alcotest.(check bool) "feasible" true
+      (Core.Variant.feasible (variant ()) ~n:32 r.Baselines.Anneal.bindings)
+  | None -> Alcotest.fail "no anneal result"
+
+let test_anneal_deterministic () =
+  let run () =
+    match
+      Baselines.Anneal.tune Machine.sgi_r10000 ~n:32 ~mode:fast ~points:6
+        ~seed:5 (variant ())
+    with
+    | Some r -> r.Baselines.Anneal.bindings
+    | None -> []
+  in
+  Alcotest.(check bool) "deterministic" true (run () = run ())
+
+let suite =
+  [
+    Alcotest.test_case "region routing" `Quick test_region_routing;
+    Alcotest.test_case "miss attribution" `Quick test_miss_attribution;
+    Alcotest.test_case "matmul per-array accesses" `Quick test_matmul_per_array;
+    Alcotest.test_case "copy shifts misses to temp" `Quick
+      test_copy_shifts_misses_to_temp;
+    Alcotest.test_case "anneal: runs" `Quick test_anneal_runs;
+    Alcotest.test_case "anneal: deterministic" `Quick test_anneal_deterministic;
+  ]

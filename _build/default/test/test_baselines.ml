@@ -1,0 +1,132 @@
+(* Tests for the comparator implementations: the Native-compiler model,
+   the ATLAS-style tuner, the vendor-BLAS model and model-only. *)
+
+module Kernel = Kernels.Kernel
+module Matmul = Kernels.Matmul
+module Jacobi3d = Kernels.Jacobi3d
+
+let sgi = Machine.sgi_r10000
+let sun = Machine.ultrasparc_iie
+let fast = Core.Executor.Budget 30_000
+
+let check_mm_correct msg program =
+  let n = 13 in
+  let got = Ir.Exec.run ~params:[ ("n", n) ] program in
+  let want = Kernel.run_original Matmul.kernel n in
+  let gc = List.assoc "c" got.Ir.Exec.arrays in
+  let wc = List.assoc "c" want.Ir.Exec.arrays in
+  Array.iteri
+    (fun i w ->
+      if Float.abs (w -. gc.(i)) > 1e-9 *. Float.max 1.0 (Float.abs w) then
+        Alcotest.failf "%s: c[%d] differs" msg i)
+    wc
+
+(* --- Native compiler --- *)
+
+let test_native_profiles () =
+  Alcotest.(check bool) "SGI tiles" true
+    (Baselines.Native_compiler.default_profile sgi = Baselines.Native_compiler.Tiling);
+  Alcotest.(check bool) "Sun basic" true
+    (Baselines.Native_compiler.default_profile sun = Baselines.Native_compiler.Basic)
+
+let test_native_output_correct () =
+  check_mm_correct "native tiling"
+    (Baselines.Native_compiler.compile sgi Matmul.kernel);
+  check_mm_correct "native basic"
+    (Baselines.Native_compiler.compile ~profile:Baselines.Native_compiler.Basic
+       sgi Matmul.kernel)
+
+let test_native_jacobi_correct () =
+  let p = Baselines.Native_compiler.compile sgi Jacobi3d.kernel in
+  let n = 10 in
+  let got = Ir.Exec.run ~params:[ ("n", n) ] p in
+  let want = Kernel.run_original Jacobi3d.kernel n in
+  let ga = List.assoc "a" got.Ir.Exec.arrays in
+  let wa = List.assoc "a" want.Ir.Exec.arrays in
+  Array.iteri
+    (fun i w ->
+      if Float.abs (w -. ga.(i)) > 1e-9 *. Float.max 1.0 (Float.abs w) then
+        Alcotest.failf "native jacobi: a[%d] differs" i)
+    wa
+
+let test_native_tiling_beats_basic_on_sgi () =
+  let mflops profile =
+    (Baselines.Native_compiler.measure ~profile sgi Matmul.kernel ~n:128
+       ~mode:fast)
+      .Core.Executor.mflops
+  in
+  Alcotest.(check bool) "tiling helps at cache-exceeding size" true
+    (mflops Baselines.Native_compiler.Tiling
+    > mflops Baselines.Native_compiler.Basic)
+
+(* --- ATLAS --- *)
+
+let test_atlas_grid_sane () =
+  let grid = Baselines.Atlas_search.grid sgi in
+  Alcotest.(check bool)
+    (Printf.sprintf "grid has many points (%d)" (List.length grid))
+    true
+    (List.length grid > 100);
+  List.iter
+    (fun (c : Baselines.Atlas_search.config) ->
+      Alcotest.(check bool) "nb bounded" true
+        (c.Baselines.Atlas_search.nb >= 16 && c.Baselines.Atlas_search.nb <= 80);
+      Alcotest.(check bool) "register kernel fits" true
+        ((c.Baselines.Atlas_search.mu * c.Baselines.Atlas_search.nu)
+         + c.Baselines.Atlas_search.mu + c.Baselines.Atlas_search.nu + 2
+        <= Machine.available_registers sgi))
+    grid
+
+let test_atlas_program_correct () =
+  check_mm_correct "atlas nocopy"
+    (Baselines.Atlas_search.program Matmul.kernel
+       { Baselines.Atlas_search.nb = 5; mu = 2; nu = 3; copy = false });
+  check_mm_correct "atlas copy"
+    (Baselines.Atlas_search.program Matmul.kernel
+       { Baselines.Atlas_search.nb = 5; mu = 2; nu = 3; copy = true })
+
+let test_atlas_copy_threshold () =
+  let c = { Baselines.Atlas_search.nb = 32; mu = 4; nu = 4; copy = false } in
+  (* measure_at decides the copy by size: small n -> no copy. *)
+  let small = Baselines.Atlas_search.measure_at sgi c ~n:48 ~mode:fast in
+  let large = Baselines.Atlas_search.measure_at sgi c ~n:128 ~mode:fast in
+  Alcotest.(check bool) "both run" true
+    (small.Core.Executor.mflops > 0.0 && large.Core.Executor.mflops > 0.0)
+
+(* --- Vendor BLAS --- *)
+
+let test_vendor_correct () =
+  check_mm_correct "vendor sgi" (Baselines.Vendor_blas.program sgi);
+  check_mm_correct "vendor sun" (Baselines.Vendor_blas.program sun)
+
+let test_vendor_fixed_parameters () =
+  Alcotest.(check bool) "sgi and sun differ" true
+    (Baselines.Vendor_blas.bindings sgi <> Baselines.Vendor_blas.bindings sun)
+
+(* --- Model only --- *)
+
+let test_model_only_runs () =
+  match Baselines.Model_only.optimize sgi Matmul.kernel ~n:64 ~mode:fast with
+  | Some r ->
+    Alcotest.(check bool) "positive" true
+      (r.Baselines.Model_only.measurement.Core.Executor.mflops > 0.0);
+    Alcotest.(check bool) "bindings feasible" true
+      (Core.Variant.feasible r.Baselines.Model_only.variant ~n:64
+         r.Baselines.Model_only.bindings)
+  | None -> Alcotest.fail "no model-only result"
+
+let suite =
+  [
+    Alcotest.test_case "native: machine profiles" `Quick test_native_profiles;
+    Alcotest.test_case "native: output correct" `Quick test_native_output_correct;
+    Alcotest.test_case "native: jacobi correct" `Quick test_native_jacobi_correct;
+    Alcotest.test_case "native: tiling beats basic" `Quick
+      test_native_tiling_beats_basic_on_sgi;
+    Alcotest.test_case "atlas: grid sane" `Quick test_atlas_grid_sane;
+    Alcotest.test_case "atlas: programs correct" `Quick test_atlas_program_correct;
+    Alcotest.test_case "atlas: copy threshold" `Quick test_atlas_copy_threshold;
+    Alcotest.test_case "vendor: correct" `Quick test_vendor_correct;
+    Alcotest.test_case "vendor: per-machine parameters" `Quick
+      test_vendor_fixed_parameters;
+    Alcotest.test_case "model-only: runs" `Quick test_model_only_runs;
+  ]

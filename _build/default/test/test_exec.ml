@@ -1,0 +1,270 @@
+(* Tests for the closure-compiling executor: value correctness against
+   independent references, counter behaviour, budgets, spills, layout. *)
+
+open Ir
+module Kernel = Kernels.Kernel
+module Matmul = Kernels.Matmul
+module Jacobi3d = Kernels.Jacobi3d
+module Matvec = Kernels.Matvec
+module Stencil2d = Kernels.Stencil2d
+
+let matmul_program = Matmul.kernel.Kernel.program
+
+let float_arrays_close ?(eps = 1e-9) msg expected actual =
+  if Array.length expected <> Array.length actual then
+    Alcotest.failf "%s: length %d <> %d" msg (Array.length expected)
+      (Array.length actual);
+  Array.iteri
+    (fun i e ->
+      let a = actual.(i) in
+      let scale = Float.max 1.0 (Float.abs e) in
+      if Float.abs (e -. a) > eps *. scale then
+        Alcotest.failf "%s: element %d: expected %.17g, got %.17g" msg i e a)
+    expected
+
+let array_of result name = List.assoc name result.Exec.arrays
+
+let test_matmul_matches_reference () =
+  let n = 13 in
+  let result = Kernel.run_original Matmul.kernel n in
+  float_arrays_close "matmul C" (Matmul.reference n) (array_of result "c")
+
+let test_jacobi_matches_reference () =
+  let n = 9 in
+  let result = Kernel.run_original Jacobi3d.kernel n in
+  float_arrays_close "jacobi A" (Jacobi3d.reference n) (array_of result "a")
+
+let test_matvec_matches_reference () =
+  let n = 17 in
+  let result = Kernel.run_original Matvec.kernel n in
+  float_arrays_close "matvec y" (Matvec.reference n) (array_of result "y")
+
+let test_stencil2d_matches_reference () =
+  let n = 11 in
+  let result = Kernel.run_original Stencil2d.kernel n in
+  float_arrays_close "stencil2d A" (Stencil2d.reference n) (array_of result "a")
+
+let test_flop_count () =
+  let n = 8 in
+  let result = Kernel.run_original Matmul.kernel n in
+  Alcotest.(check int) "2*n^3 flops" (2 * n * n * n) result.Exec.stats.Exec.flops
+
+let test_loop_iterations () =
+  let n = 5 in
+  let result = Kernel.run_original Matmul.kernel n in
+  Alcotest.(check int) "n + n^2 + n^3 iterations"
+    (n + (n * n) + (n * n * n))
+    result.Exec.stats.Exec.loop_iterations
+
+let test_budget_stops () =
+  let result =
+    Exec.run ~flop_budget:100 ~params:[ ("n", 32) ] matmul_program
+  in
+  Alcotest.(check bool) "not completed" false result.Exec.stats.Exec.completed;
+  Alcotest.(check bool) "flops near budget" true
+    (result.Exec.stats.Exec.flops >= 100 && result.Exec.stats.Exec.flops <= 102)
+
+let test_budget_large_enough_completes () =
+  let n = 6 in
+  let result =
+    Exec.run
+      ~flop_budget:(2 * n * n * n)
+      ~params:[ ("n", n) ]
+      matmul_program
+  in
+  Alcotest.(check bool) "completed" true result.Exec.stats.Exec.completed
+
+let test_unbound_param_rejected () =
+  Alcotest.check_raises "unbound param"
+    (Invalid_argument "Exec.run: unbound parameter n") (fun () ->
+      ignore (Exec.run ~params:[] matmul_program))
+
+let test_undeclared_array_rejected () =
+  let bad =
+    Program.make ~name:"bad" ~params:[]
+      ~decls:[]
+      [ Stmt.assign (Reference.make "ghost" [ Aff.zero ]) (Fexpr.const 1.0) ]
+  in
+  match Exec.run ~params:[] bad with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let count_sink () =
+  let loads = ref 0 and stores = ref 0 and prefs = ref 0 in
+  let sink =
+    {
+      Sink.load = (fun _ -> incr loads);
+      Sink.store = (fun _ -> incr stores);
+      Sink.prefetch = (fun _ -> incr prefs);
+    }
+  in
+  (sink, loads, stores, prefs)
+
+let test_sink_counts () =
+  let n = 7 in
+  let sink, loads, stores, _ = count_sink () in
+  ignore (Exec.run ~sink ~params:[ ("n", n) ] matmul_program);
+  (* Each inner iteration: loads C, A, B; stores C. *)
+  Alcotest.(check int) "loads" (3 * n * n * n) !loads;
+  Alcotest.(check int) "stores" (n * n * n) !stores
+
+let test_register_refs_bypass_sink () =
+  (* r = 2.0; x[0] = r + 1  — only the store to x is memory traffic. *)
+  let r = Reference.scalar "r" in
+  let x = Reference.make "x" [ Aff.zero ] in
+  let p =
+    Program.make ~name:"regs" ~params:[]
+      ~decls:[ Decl.register "r"; Decl.heap "x" [ Aff.const 4 ] ]
+      [
+        Stmt.assign r (Fexpr.const 2.0);
+        Stmt.assign x Fexpr.(ref_ r + const 1.0);
+      ]
+  in
+  let sink, loads, stores, _ = count_sink () in
+  let result = Exec.run ~sink ~params:[] p in
+  Alcotest.(check int) "no loads" 0 !loads;
+  Alcotest.(check int) "one store" 1 !stores;
+  Alcotest.(check (float 1e-12)) "value" 3.0 (array_of result "x").(0);
+  Alcotest.(check int) "no spills" 0 result.Exec.stats.Exec.spilled_scalars
+
+let test_register_spill () =
+  (* Three register scalars with budget 1: two spill to memory. *)
+  let mk name = Reference.scalar name in
+  let p =
+    Program.make ~name:"spill" ~params:[]
+      ~decls:
+        [
+          Decl.register "r0";
+          Decl.register "r1";
+          Decl.register "r2";
+          Decl.heap "x" [ Aff.const 1 ];
+        ]
+      [
+        Stmt.assign (mk "r0") (Fexpr.const 1.0);
+        Stmt.assign (mk "r1") (Fexpr.const 2.0);
+        Stmt.assign (mk "r2") (Fexpr.const 3.0);
+        Stmt.assign
+          (Reference.make "x" [ Aff.zero ])
+          Fexpr.(ref_ (mk "r0") + ref_ (mk "r1") + ref_ (mk "r2"));
+      ]
+  in
+  let sink, loads, stores, _ = count_sink () in
+  let result = Exec.run ~sink ~register_budget:1 ~params:[] p in
+  Alcotest.(check int) "spilled" 2 result.Exec.stats.Exec.spilled_scalars;
+  Alcotest.(check int) "spill stores + x store" 3 !stores;
+  Alcotest.(check int) "spill loads" 2 !loads;
+  float_arrays_close "value" [| 6.0 |] (array_of result "x")
+
+let test_register_move_counted () =
+  let p =
+    Program.make ~name:"moves" ~params:[]
+      ~decls:[ Decl.register "r0"; Decl.register "r1"; Decl.heap "x" [ Aff.const 1 ] ]
+      [
+        Stmt.assign (Reference.scalar "r0") (Fexpr.const 5.0);
+        Stmt.assign (Reference.scalar "r1") (Fexpr.ref_ (Reference.scalar "r0"));
+        Stmt.assign (Reference.make "x" [ Aff.zero ]) (Fexpr.ref_ (Reference.scalar "r1"));
+      ]
+  in
+  let result = Exec.run ~params:[] p in
+  Alcotest.(check int) "one register move" 1 result.Exec.stats.Exec.register_moves;
+  float_arrays_close "value" [| 5.0 |] (array_of result "x")
+
+let test_layout_page_aligned () =
+  let bases = Exec.layout ~params:[ ("n", 100) ] matmul_program in
+  Alcotest.(check int) "three arrays" 3 (List.length bases);
+  List.iter
+    (fun (name, base) ->
+      if base mod 512 <> 0 then Alcotest.failf "%s base %d not page aligned" name base)
+    bases;
+  (* Bases must not overlap: each array is n*n elements. *)
+  let sorted = List.sort (fun (_, a) (_, b) -> compare a b) bases in
+  let rec check = function
+    | (_, a) :: ((_, b) :: _ as rest) ->
+      Alcotest.(check bool) "no overlap" true (b - a >= 100 * 100);
+      check rest
+    | _ -> ()
+  in
+  check sorted
+
+let test_checksum_distinguishes () =
+  let c1 = Kernel.original_checksum Matmul.kernel 8 in
+  let c2 = Kernel.original_checksum Matmul.kernel 9 in
+  Alcotest.(check bool) "different sizes differ" true (c1 <> c2)
+
+let test_checksum_deterministic () =
+  let c1 = Kernel.original_checksum Jacobi3d.kernel 8 in
+  let c2 = Kernel.original_checksum Jacobi3d.kernel 8 in
+  Alcotest.(check (float 0.0)) "deterministic" c1 c2
+
+let test_step_loop () =
+  (* DO i = 0, 9, 3: touches x[0], x[3], x[6], x[9]. *)
+  let i = Aff.var "i" in
+  let p =
+    Program.make ~name:"step" ~params:[]
+      ~decls:[ Decl.heap "x" [ Aff.const 10 ] ]
+      [
+        Stmt.loop ~step:3 "i" ~lo:(Bexp.const 0) ~hi:(Bexp.const 9)
+          [ Stmt.assign (Reference.make "x" [ i ]) (Fexpr.const 1.0) ];
+      ]
+  in
+  let result = Exec.run ~params:[] p in
+  let x = array_of result "x" in
+  let touched = ref [] in
+  Array.iteri (fun idx v -> if v = 1.0 then touched := idx :: !touched) x;
+  Alcotest.(check (list int)) "strided elements" [ 0; 3; 6; 9 ]
+    (List.rev !touched);
+  Alcotest.(check int) "4 iterations" 4 result.Exec.stats.Exec.loop_iterations
+
+let test_empty_loop_runs_zero_times () =
+  let i = Aff.var "i" in
+  let p =
+    Program.make ~name:"empty" ~params:[]
+      ~decls:[ Decl.heap "x" [ Aff.const 4 ] ]
+      [
+        Stmt.loop "i" ~lo:(Bexp.const 5) ~hi:(Bexp.const 2)
+          [ Stmt.assign (Reference.make "x" [ i ]) (Fexpr.const 1.0) ];
+      ]
+  in
+  let result = Exec.run ~params:[] p in
+  Alcotest.(check int) "0 iterations" 0 result.Exec.stats.Exec.loop_iterations
+
+let prop_initial_value_in_range =
+  QCheck.Test.make ~name:"initial values lie in [0.5, 1.5)" ~count:1000
+    QCheck.(pair (oneofl [ "a"; "b"; "c"; "p"; "q" ]) (int_range 0 1_000_000))
+    (fun (name, i) ->
+      let v = Exec.initial_value name i in
+      v >= 0.5 && v < 1.5)
+
+let suite =
+  [
+    Alcotest.test_case "matmul matches independent reference" `Quick
+      test_matmul_matches_reference;
+    Alcotest.test_case "jacobi3d matches independent reference" `Quick
+      test_jacobi_matches_reference;
+    Alcotest.test_case "matvec matches independent reference" `Quick
+      test_matvec_matches_reference;
+    Alcotest.test_case "stencil2d matches independent reference" `Quick
+      test_stencil2d_matches_reference;
+    Alcotest.test_case "flop count" `Quick test_flop_count;
+    Alcotest.test_case "loop iteration count" `Quick test_loop_iterations;
+    Alcotest.test_case "flop budget stops execution" `Quick test_budget_stops;
+    Alcotest.test_case "sufficient budget completes" `Quick
+      test_budget_large_enough_completes;
+    Alcotest.test_case "unbound parameter rejected" `Quick
+      test_unbound_param_rejected;
+    Alcotest.test_case "undeclared array rejected" `Quick
+      test_undeclared_array_rejected;
+    Alcotest.test_case "sink sees every heap access" `Quick test_sink_counts;
+    Alcotest.test_case "register refs bypass the sink" `Quick
+      test_register_refs_bypass_sink;
+    Alcotest.test_case "register spill over budget" `Quick test_register_spill;
+    Alcotest.test_case "register moves counted" `Quick test_register_move_counted;
+    Alcotest.test_case "layout page aligned, no overlap" `Quick
+      test_layout_page_aligned;
+    Alcotest.test_case "checksum distinguishes outputs" `Quick
+      test_checksum_distinguishes;
+    Alcotest.test_case "checksum deterministic" `Quick test_checksum_deterministic;
+    Alcotest.test_case "strided loop" `Quick test_step_loop;
+    Alcotest.test_case "empty loop" `Quick test_empty_loop_runs_zero_times;
+    QCheck_alcotest.to_alcotest prop_initial_value_in_range;
+  ]

@@ -1,0 +1,219 @@
+(* Tests for the extension modules: padding, miss classification,
+   random search, and the strategy/conflict/padding experiments. *)
+
+module Kernel = Kernels.Kernel
+module Matmul = Kernels.Matmul
+
+let fast = Core.Executor.Budget 30_000
+
+(* --- Pad --- *)
+
+let test_pad_changes_dims () =
+  let p = Matmul.kernel.Kernel.program in
+  let padded = Transform.Pad.apply p ~array:"a" ~amount:8 in
+  let d = Ir.Program.find_decl_exn padded "a" in
+  (match d.Ir.Decl.dims with
+  | dim0 :: _ ->
+    Alcotest.(check int) "n+8 at n=10" 18 (Ir.Aff.eval (fun _ -> 10) dim0)
+  | [] -> Alcotest.fail "no dims");
+  let untouched = Ir.Program.find_decl_exn padded "b" in
+  match untouched.Ir.Decl.dims with
+  | dim0 :: _ -> Alcotest.(check int) "b untouched" 10 (Ir.Aff.eval (fun _ -> 10) dim0)
+  | [] -> Alcotest.fail "no dims"
+
+let test_pad_skips_vectors () =
+  let p = Kernels.Matvec.kernel.Kernel.program in
+  let padded = Transform.Pad.apply p ~array:"x" ~amount:8 in
+  let d = Ir.Program.find_decl_exn padded "x" in
+  Alcotest.(check int) "1-D array unchanged" 10
+    (Ir.Aff.eval (fun _ -> 10) (List.hd d.Ir.Decl.dims))
+
+let test_pad_preserves_matmul_values () =
+  let p = Matmul.kernel.Kernel.program in
+  let padded = Transform.Pad.apply_all p ~amount:4 in
+  let n = 11 in
+  let want = List.assoc "c" (Kernel.run_original Matmul.kernel n).Ir.Exec.arrays in
+  let got =
+    List.assoc "c" (Ir.Exec.run ~params:[ ("n", n) ] padded).Ir.Exec.arrays
+  in
+  (* The padded C has extra elements; compare logical columns. *)
+  for j = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      let w = want.((j * n) + i) and g = got.((j * (n + 4)) + i) in
+      if Float.abs (w -. g) > 1e-9 *. Float.max 1.0 (Float.abs w) then
+        Alcotest.failf "c[%d,%d] differs" i j
+    done
+  done
+
+let test_pad_rejects_negative () =
+  match Transform.Pad.apply Matmul.kernel.Kernel.program ~array:"a" ~amount:(-1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative padding accepted"
+
+let test_pad_default_amount () =
+  Alcotest.(check int) "L1 line" 4 (Transform.Pad.default_amount Machine.sgi_r10000)
+
+(* --- Classify --- *)
+
+let test_classify_compulsory_only () =
+  let c =
+    Memsim.Classify.create
+      { Machine.name = "t"; size_bytes = 1024; line_bytes = 32; assoc = 2; hit_cycles = 0 }
+  in
+  for i = 0 to 9 do
+    Memsim.Classify.access c (i * 32)
+  done;
+  let r = Memsim.Classify.report c in
+  Alcotest.(check int) "10 accesses" 10 r.Memsim.Classify.accesses;
+  Alcotest.(check int) "all compulsory" 10 r.Memsim.Classify.compulsory;
+  Alcotest.(check int) "no capacity" 0 r.Memsim.Classify.capacity;
+  Alcotest.(check int) "no conflict" 0 r.Memsim.Classify.conflict
+
+let test_classify_conflict () =
+  (* Two lines mapping to the same set of a direct-mapped cache,
+     alternating: all misses beyond the first two are conflicts. *)
+  let c =
+    Memsim.Classify.create
+      { Machine.name = "t"; size_bytes = 1024; line_bytes = 32; assoc = 1; hit_cycles = 0 }
+  in
+  let sets = 1024 / 32 in
+  for _ = 1 to 10 do
+    Memsim.Classify.access c 0;
+    Memsim.Classify.access c (sets * 32)
+  done;
+  let r = Memsim.Classify.report c in
+  Alcotest.(check int) "2 compulsory" 2 r.Memsim.Classify.compulsory;
+  Alcotest.(check int) "0 capacity" 0 r.Memsim.Classify.capacity;
+  Alcotest.(check int) "18 conflicts" 18 r.Memsim.Classify.conflict
+
+let test_classify_capacity () =
+  (* Cycling over twice the cache's lines: misses are capacity, not
+     conflict (fully associative would miss too). *)
+  let c =
+    Memsim.Classify.create
+      { Machine.name = "t"; size_bytes = 256; line_bytes = 32; assoc = 8; hit_cycles = 0 }
+  in
+  (* capacity = 8 lines; cycle over 16 *)
+  for _ = 1 to 5 do
+    for i = 0 to 15 do
+      Memsim.Classify.access c (i * 32)
+    done
+  done;
+  let r = Memsim.Classify.report c in
+  Alcotest.(check int) "16 compulsory" 16 r.Memsim.Classify.compulsory;
+  Alcotest.(check bool) "capacity dominated" true
+    (r.Memsim.Classify.capacity > 10 * max 1 r.Memsim.Classify.conflict)
+
+let test_classify_accounting () =
+  let r =
+    Memsim.Classify.of_program Machine.sgi_r10000 ~level:0
+      ~params:[ ("n", 20) ]
+      Matmul.kernel.Kernel.program
+  in
+  Alcotest.(check int) "accesses = 4n^3" (4 * 20 * 20 * 20)
+    r.Memsim.Classify.accesses;
+  Alcotest.(check bool) "components <= misses" true
+    (r.Memsim.Classify.compulsory + r.Memsim.Classify.capacity
+    <= r.Memsim.Classify.real_misses + r.Memsim.Classify.capacity)
+
+(* --- Random search --- *)
+
+let variant () =
+  List.hd (Core.Derive.variants Machine.sgi_r10000 Matmul.kernel)
+
+let test_random_search_runs () =
+  match
+    Baselines.Random_search.tune Machine.sgi_r10000 ~n:32 ~mode:fast ~points:5
+      ~seed:1 (variant ())
+  with
+  | Some r ->
+    Alcotest.(check int) "5 points" 5 r.Baselines.Random_search.evaluated;
+    Alcotest.(check bool) "feasible result" true
+      (Core.Variant.feasible (variant ()) ~n:32 r.Baselines.Random_search.bindings)
+  | None -> Alcotest.fail "no result"
+
+let test_random_search_deterministic () =
+  let run () =
+    match
+      Baselines.Random_search.tune Machine.sgi_r10000 ~n:32 ~mode:fast
+        ~points:4 ~seed:7 (variant ())
+    with
+    | Some r -> r.Baselines.Random_search.bindings
+    | None -> []
+  in
+  Alcotest.(check bool) "same twice" true (run () = run ())
+
+let test_random_seeds_differ () =
+  let run seed =
+    match
+      Baselines.Random_search.tune Machine.sgi_r10000 ~n:32 ~mode:fast
+        ~points:3 ~seed (variant ())
+    with
+    | Some r -> r.Baselines.Random_search.bindings
+    | None -> []
+  in
+  Alcotest.(check bool) "different seeds explore differently" true
+    (run 1 <> run 2)
+
+(* --- experiments --- *)
+
+let test_strategies_smoke () =
+  let entries =
+    Experiments.Strategies.run ~mode:fast ~machine:Machine.generic_small ~n:48 ()
+  in
+  Alcotest.(check int) "five strategies" 5 (List.length entries);
+  let guided = List.hd entries in
+  Alcotest.(check bool) "guided positive" true
+    (guided.Experiments.Strategies.mflops > 0.0)
+
+let test_conflicts_copy_wins_at_pathological_size () =
+  let entries = Experiments.Conflicts.run ~sizes:[ 64; 128 ] () in
+  Alcotest.(check int) "four entries" 4 (List.length entries);
+  let find what n =
+    List.find
+      (fun e -> e.Experiments.Conflicts.what = what && e.Experiments.Conflicts.n = n)
+      entries
+  in
+  let nocopy = find "no-copy" 128 and copy = find "copy" 128 in
+  Alcotest.(check bool) "copy removes most conflicts" true
+    (copy.Experiments.Conflicts.report.Memsim.Classify.conflict * 4
+    < nocopy.Experiments.Conflicts.report.Memsim.Classify.conflict)
+
+let test_padding_experiment_stabilizes () =
+  let r =
+    Experiments.Padding.run ~mode:fast ~sizes:[ 100; 128 ] ~tune_n:64
+      Machine.sgi_r10000
+  in
+  match r.Experiments.Padding.series with
+  | [ eco; padded ] ->
+    (* Padding must help at the pathological 128. *)
+    let at s n = List.assoc n s.Experiments.Series.points in
+    Alcotest.(check bool)
+      (Printf.sprintf "padded >= plain at 128 (%.1f vs %.1f)" (at padded 128)
+         (at eco 128))
+      true
+      (at padded 128 >= at eco 128)
+  | _ -> Alcotest.fail "expected two series"
+
+let suite =
+  [
+    Alcotest.test_case "pad: changes dims" `Quick test_pad_changes_dims;
+    Alcotest.test_case "pad: skips vectors" `Quick test_pad_skips_vectors;
+    Alcotest.test_case "pad: preserves values" `Quick
+      test_pad_preserves_matmul_values;
+    Alcotest.test_case "pad: rejects negative" `Quick test_pad_rejects_negative;
+    Alcotest.test_case "pad: default amount" `Quick test_pad_default_amount;
+    Alcotest.test_case "classify: compulsory" `Quick test_classify_compulsory_only;
+    Alcotest.test_case "classify: conflict" `Quick test_classify_conflict;
+    Alcotest.test_case "classify: capacity" `Quick test_classify_capacity;
+    Alcotest.test_case "classify: accounting" `Quick test_classify_accounting;
+    Alcotest.test_case "random search: runs" `Quick test_random_search_runs;
+    Alcotest.test_case "random search: deterministic" `Quick
+      test_random_search_deterministic;
+    Alcotest.test_case "random search: seeds differ" `Quick
+      test_random_seeds_differ;
+    Alcotest.test_case "strategies: smoke" `Slow test_strategies_smoke;
+    Alcotest.test_case "conflicts: copy wins" `Slow
+      test_conflicts_copy_wins_at_pathological_size;
+    Alcotest.test_case "padding: stabilizes" `Slow test_padding_experiment_stabilizes;
+  ]

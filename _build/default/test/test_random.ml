@@ -1,0 +1,232 @@
+(* Generative testing: random rectangular kernels pushed through random
+   transformation pipelines must compute exactly what the original
+   computes.  This is the broadest soundness net in the suite — it
+   exercises permutation x tiling x unroll-and-jam x scalar replacement
+   x prefetching on programs nobody hand-picked. *)
+
+open Ir
+
+(* --- random kernel generator ---
+
+   Shape: 2 or 3 nested loops over [0, n), one statement
+     W[idx] = W[idx] + sum of products of reads
+   where W is indexed by all "space" loop variables (so every iteration
+   writes a distinct element and the nest is fully permutable), and the
+   reads index random loop variables with small constant offsets (offsets
+   are clamped so accesses stay in bounds via a shifted domain). *)
+
+type spec = {
+  depth : int;  (* 2 or 3 loops *)
+  read_arrays : (string * (int * int) list list) list;
+      (* array -> list of refs, each ref = per-dim (var index, offset) *)
+  n : int;
+}
+
+let loop_vars = [| "i"; "j"; "k" |]
+
+let gen_spec =
+  QCheck.Gen.(
+    let* depth = int_range 2 3 in
+    let* n = int_range 6 12 in
+    (* every reference to one array must have that array's rank *)
+    let gen_dim =
+      let* var = int_range 0 (depth - 1) in
+      let* off = int_range (-1) 1 in
+      return (var, off)
+    in
+    let gen_refs count_gen =
+      let* rank = int_range 1 2 in
+      let* count = count_gen in
+      list_repeat count (list_repeat rank gen_dim)
+    in
+    let* a_refs = gen_refs (int_range 1 3) in
+    let* b_refs = gen_refs (int_range 0 2) in
+    return { depth; read_arrays = [ ("a", a_refs); ("b", b_refs) ]; n })
+
+let build_program spec =
+  let n = Aff.var "n" in
+  (* domain [1, n-2] so that +-1 offsets stay inside [0, n-1] *)
+  let lo = Aff.const 1 and hi = Aff.add_const n (-2) in
+  let vars = Array.sub loop_vars 0 spec.depth in
+  let dims rank = List.init rank (fun _ -> n) in
+  let read_ref (array, dim_specs) =
+    Reference.make array
+      (List.map
+         (fun (var, off) -> Aff.add_const (Aff.var vars.(var)) off)
+         dim_specs)
+  in
+  let w_ref =
+    Reference.make "w" (Array.to_list (Array.map Aff.var vars))
+  in
+  let reads =
+    List.concat_map
+      (fun (array, refs) -> List.map (fun r -> read_ref (array, r)) refs)
+      spec.read_arrays
+  in
+  let rhs =
+    List.fold_left
+      (fun acc r -> Fexpr.(acc + ref_ r))
+      (Fexpr.ref_ w_ref) reads
+  in
+  let decls =
+    Decl.heap "w" (dims spec.depth)
+    :: List.filter_map
+         (fun (array, refs) ->
+           match refs with
+           | [] -> None
+           | r :: _ -> Some (Decl.heap array (dims (List.length r))))
+         spec.read_arrays
+  in
+  let body =
+    Array.fold_right
+      (fun v acc -> [ Stmt.loop_aff v ~lo ~hi acc ])
+      vars
+      [ Stmt.assign w_ref rhs ]
+  in
+  Program.make ~name:"random" ~params:[ "n" ] ~decls body
+
+(* --- random pipeline --- *)
+
+type pipeline = {
+  order_seed : int;
+  tiles : (int * int) list;  (* (var index, size) *)
+  unrolls : (int * int) list;
+  prefetch_a : int option;
+  pad : int;
+}
+
+let gen_pipeline =
+  QCheck.Gen.(
+    let* order_seed = int_range 0 5 in
+    let* tiles =
+      list_size (int_range 0 2) (pair (int_range 0 2) (int_range 2 5))
+    in
+    let* unrolls =
+      list_size (int_range 0 2) (pair (int_range 0 2) (int_range 2 4))
+    in
+    let* prefetch_a = option (int_range 1 4) in
+    let* pad = int_range 0 5 in
+    return { order_seed; tiles; unrolls; prefetch_a; pad })
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x ->
+        List.map (fun r -> x :: r) (permutations (List.filter (( <> ) x) l)))
+      l
+
+let apply_pipeline spec pipe program =
+  let vars = Array.to_list (Array.sub loop_vars 0 spec.depth) in
+  let orders = permutations vars in
+  let order = List.nth orders (pipe.order_seed mod List.length orders) in
+  let p = Transform.Permute.apply program order in
+  let tiles =
+    List.sort_uniq
+      (fun (a, _) (b, _) -> compare a b)
+      (List.filter (fun (v, _) -> v < spec.depth) pipe.tiles)
+  in
+  let p =
+    if tiles = [] then p
+    else
+      Transform.Tile.apply p
+        (List.map
+           (fun (v, size) ->
+             {
+               Transform.Tile.var = loop_vars.(v);
+               size;
+               control = loop_vars.(v) ^ loop_vars.(v);
+             })
+           tiles)
+        ~control_order:
+          (List.map (fun (v, _) -> loop_vars.(v) ^ loop_vars.(v)) tiles)
+  in
+  let unrolls =
+    List.sort_uniq (fun (a, _) (b, _) -> compare a b)
+      (List.filter (fun (v, _) -> v < spec.depth) pipe.unrolls)
+  in
+  let p =
+    List.fold_left
+      (fun p (v, u) -> Transform.Unroll_jam.apply p loop_vars.(v) u)
+      p unrolls
+  in
+  let p = Transform.Scalar_replace.apply p in
+  let p =
+    match pipe.prefetch_a with
+    | Some d -> Transform.Prefetch_insert.apply p ~array:"a" ~distance:d ~line_elems:4
+    | None -> p
+  in
+  if pipe.pad > 0 then Transform.Pad.apply_all p ~amount:pipe.pad else p
+
+(* Compare w at logical coordinates: the transformed program may have a
+   padded layout, so flat indices are decoded through each program's own
+   declared extents. *)
+let equivalent p1 p2 n =
+  let r1 = Exec.run ~params:[ ("n", n) ] p1 in
+  let r2 = Exec.run ~params:[ ("n", n) ] p2 in
+  let w1 = List.assoc "w" r1.Exec.arrays in
+  let w2 = List.assoc "w" r2.Exec.arrays in
+  let strides p =
+    Decl.strides (fun _ -> n) (Program.find_decl_exn p "w")
+  in
+  let s1 = strides p1 and s2 = strides p2 in
+  let rank = List.length s1 in
+  let rec check coords d =
+    if d = rank then begin
+      let flat s = List.fold_left2 (fun acc c st -> acc + (c * st)) 0 coords s in
+      let a = w1.(flat s1) and b = w2.(flat s2) in
+      Float.abs (a -. b) <= 1e-9 *. Float.max 1.0 (Float.abs a)
+    end
+    else
+      let rec go c = c >= n || (check (coords @ [ c ]) (d + 1) && go (c + 1)) in
+      go 0
+  in
+  check [] 0
+
+let arb =
+  QCheck.make
+    ~print:(fun (spec, pipe) ->
+      Printf.sprintf "depth=%d n=%d tiles=[%s] unrolls=[%s] order=%d pad=%d"
+        spec.depth spec.n
+        (String.concat ";"
+           (List.map (fun (v, s) -> Printf.sprintf "%d:%d" v s) pipe.tiles))
+        (String.concat ";"
+           (List.map (fun (v, u) -> Printf.sprintf "%d:%d" v u) pipe.unrolls))
+        pipe.order_seed pipe.pad)
+    QCheck.Gen.(pair gen_spec gen_pipeline)
+
+let prop_random_pipelines_sound =
+  QCheck.Test.make ~name:"random kernels x random pipelines are sound"
+    ~count:120 arb
+    (fun (spec, pipe) ->
+      let program = build_program spec in
+      match Program.validate program with
+      | _ :: _ -> QCheck.Test.fail_report "generator built invalid program"
+      | [] ->
+        let transformed = apply_pipeline spec pipe program in
+        (match Program.validate transformed with
+        | [] -> ()
+        | errs ->
+          QCheck.Test.fail_report
+            ("transformed program invalid: " ^ String.concat "; " errs));
+        equivalent program transformed spec.n)
+
+(* The padded program must also produce identical simulated *values*
+   while having different array placement. *)
+let prop_padding_changes_layout_not_values =
+  QCheck.Test.make ~name:"padding changes layout, not values" ~count:50
+    QCheck.Gen.(QCheck.make (pair gen_spec (int_range 1 8)))
+    (fun (spec, pad) ->
+      let program = build_program spec in
+      let padded = Transform.Pad.apply_all program ~amount:pad in
+      equivalent program padded spec.n
+      &&
+      let l1 = Exec.layout ~params:[ ("n", spec.n) ] program in
+      let l2 = Exec.layout ~params:[ ("n", spec.n) ] padded in
+      List.length l1 = List.length l2)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest ~long:true prop_random_pipelines_sound;
+    QCheck_alcotest.to_alcotest prop_padding_changes_layout_not_values;
+  ]

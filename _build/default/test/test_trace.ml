@@ -1,0 +1,82 @@
+(* Trace recording/replay tests: replaying a trace must be
+   indistinguishable from the original execution for every consumer. *)
+
+module Matmul = Kernels.Matmul
+module Kernel = Kernels.Kernel
+
+let test_counts () =
+  let n = 10 in
+  let t =
+    Memsim.Trace.of_program ~params:[ ("n", n) ] Matmul.kernel.Kernel.program
+  in
+  Alcotest.(check int) "loads" (3 * n * n * n) (Memsim.Trace.loads t);
+  Alcotest.(check int) "stores" (n * n * n) (Memsim.Trace.stores t);
+  Alcotest.(check int) "prefetches" 0 (Memsim.Trace.prefetches t);
+  Alcotest.(check int) "length" (4 * n * n * n) (Memsim.Trace.length t)
+
+let test_replay_matches_direct () =
+  (* Hierarchy counters from a replay equal those from direct
+     execution. *)
+  let n = 16 in
+  let p = Matmul.kernel.Kernel.program in
+  let direct = Memsim.Hierarchy.create Machine.sgi_r10000 in
+  ignore
+    (Ir.Exec.run ~sink:(Memsim.Hierarchy.sink direct) ~params:[ ("n", n) ] p);
+  let t = Memsim.Trace.of_program ~params:[ ("n", n) ] p in
+  let replayed = Memsim.Hierarchy.create Machine.sgi_r10000 in
+  Memsim.Trace.replay t (Memsim.Hierarchy.sink replayed);
+  let cd = Memsim.Hierarchy.counters direct in
+  let cr = Memsim.Hierarchy.counters replayed in
+  Alcotest.(check int) "loads" cd.Memsim.Counters.loads cr.Memsim.Counters.loads;
+  Alcotest.(check int) "L1 misses" (Memsim.Counters.l1_misses cd)
+    (Memsim.Counters.l1_misses cr);
+  Alcotest.(check int) "L2 misses" (Memsim.Counters.l2_misses cd)
+    (Memsim.Counters.l2_misses cr);
+  Alcotest.(check int) "TLB misses" cd.Memsim.Counters.tlb_misses
+    cr.Memsim.Counters.tlb_misses
+
+let test_prefetch_events_recorded () =
+  let p =
+    Transform.Prefetch_insert.apply Matmul.kernel.Kernel.program ~array:"a"
+      ~distance:1 ~line_elems:4
+  in
+  let t = Memsim.Trace.of_program ~params:[ ("n", 8) ] p in
+  Alcotest.(check int) "one prefetch per inner iteration" (8 * 8 * 8)
+    (Memsim.Trace.prefetches t)
+
+let test_tee () =
+  let t1 = Memsim.Trace.create () and t2 = Memsim.Trace.create () in
+  let s = Memsim.Trace.tee (Memsim.Trace.sink t1) (Memsim.Trace.sink t2) in
+  s.Ir.Sink.load 8;
+  s.Ir.Sink.store 16;
+  Alcotest.(check int) "t1 sees both" 2 (Memsim.Trace.length t1);
+  Alcotest.(check int) "t2 sees both" 2 (Memsim.Trace.length t2)
+
+let test_cache_sweep () =
+  (* misses_under is monotonically non-increasing in capacity for
+     fully-associative LRU. *)
+  let t =
+    Memsim.Trace.of_program ~params:[ ("n", 16) ] Matmul.kernel.Kernel.program
+  in
+  let misses assoc =
+    snd
+      (Memsim.Trace.misses_under t
+         {
+           Machine.name = "fa";
+           size_bytes = assoc * 32;
+           line_bytes = 32;
+           assoc;
+           hit_cycles = 0;
+         })
+  in
+  Alcotest.(check bool) "monotone" true
+    (misses 64 <= misses 16 && misses 16 <= misses 4)
+
+let suite =
+  [
+    Alcotest.test_case "event counts" `Quick test_counts;
+    Alcotest.test_case "replay matches direct" `Quick test_replay_matches_direct;
+    Alcotest.test_case "prefetch events" `Quick test_prefetch_events_recorded;
+    Alcotest.test_case "tee" `Quick test_tee;
+    Alcotest.test_case "capacity sweep" `Quick test_cache_sweep;
+  ]

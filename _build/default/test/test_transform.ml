@@ -1,0 +1,419 @@
+(* Soundness tests for the loop transformations: every transformed
+   program must compute exactly the same values as the original, for
+   arbitrary (including non-dividing) parameter combinations. *)
+
+open Ir
+module Kernel = Kernels.Kernel
+module Matmul = Kernels.Matmul
+module Jacobi3d = Kernels.Jacobi3d
+module Matvec = Kernels.Matvec
+
+let mm = Matmul.kernel.Kernel.program
+let jacobi = Jacobi3d.kernel.Kernel.program
+
+let run ?(n = 13) p = Exec.run ~params:[ ("n", n) ] p
+
+(* Compare the arrays of the reference program; the transformed program
+   may declare extra temporaries (copy buffers), which are ignored. *)
+let check_equiv ?(n = 13) msg reference transformed =
+  let r1 = run ~n reference and r2 = run ~n transformed in
+  List.iter
+    (fun (name, a1) ->
+      let a2 =
+        match List.assoc_opt name r2.Exec.arrays with
+        | Some a -> a
+        | None -> Alcotest.failf "%s: array %s missing" msg name
+      in
+      if Array.length a1 <> Array.length a2 then
+        Alcotest.failf "%s: %s sizes differ" msg name;
+      Array.iteri
+        (fun i v1 ->
+          let v2 = a2.(i) in
+          let scale = Float.max 1.0 (Float.abs v1) in
+          if Float.abs (v1 -. v2) > 1e-9 *. scale then
+            Alcotest.failf "%s: %s[%d]: %.17g <> %.17g" msg name i v1 v2)
+        a1)
+    r1.Exec.arrays
+
+(* --- Permute --- *)
+
+let test_permute_all_orders () =
+  let orders =
+    [
+      [ "k"; "j"; "i" ]; [ "k"; "i"; "j" ]; [ "j"; "k"; "i" ];
+      [ "j"; "i"; "k" ]; [ "i"; "k"; "j" ]; [ "i"; "j"; "k" ];
+    ]
+  in
+  List.iter
+    (fun order ->
+      check_equiv
+        (Printf.sprintf "order %s" (String.concat "" order))
+        mm
+        (Transform.Permute.apply mm order))
+    orders
+
+let test_permute_rejects_non_permutation () =
+  match Transform.Permute.apply mm [ "k"; "j" ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection"
+
+let test_permute_preserves_decls () =
+  let p = Transform.Permute.apply mm [ "i"; "j"; "k" ] in
+  Alcotest.(check int) "decls" 3 (List.length p.Program.decls)
+
+(* --- Tile --- *)
+
+let tile_mm ?(tj = 5) ?(tk = 7) () =
+  Transform.Tile.apply mm
+    [
+      { Transform.Tile.var = "j"; size = tj; control = "jj" };
+      { Transform.Tile.var = "k"; size = tk; control = "kk" };
+    ]
+    ~control_order:[ "kk"; "jj" ]
+
+let test_tile_equivalent () = check_equiv "tiled mm" mm (tile_mm ())
+
+let test_tile_non_dividing () =
+  (* n = 13 with tiles 5 and 7 exercises partial tiles already; try more. *)
+  List.iter
+    (fun (tj, tk) ->
+      check_equiv
+        (Printf.sprintf "tile %dx%d" tj tk)
+        mm
+        (tile_mm ~tj ~tk ()))
+    [ (1, 1); (13, 13); (4, 6); (2, 13); (17, 3) ]
+
+let test_tile_structure () =
+  let p = tile_mm () in
+  let vars = Stmt.loop_vars p.Program.body in
+  Alcotest.(check (list string)) "loop order" [ "kk"; "jj"; "k"; "j"; "i" ] vars
+
+let test_tile_rejects_unknown_var () =
+  match
+    Transform.Tile.apply mm
+      [ { Transform.Tile.var = "z"; size = 4; control = "zz" } ]
+      ~control_order:[ "zz" ]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection"
+
+(* --- Unroll-and-jam --- *)
+
+let test_unroll_jam_equivalent () =
+  List.iter
+    (fun (ui, uj) ->
+      let p = Transform.Unroll_jam.apply mm "i" ui in
+      let p = Transform.Unroll_jam.apply p "j" uj in
+      check_equiv (Printf.sprintf "unroll %dx%d" ui uj) mm p)
+    [ (2, 2); (3, 2); (4, 4); (5, 3); (13, 2); (16, 16) ]
+
+let test_unroll_innermost () =
+  let p = Transform.Unroll_jam.apply mm "i" 4 in
+  check_equiv "unroll innermost" mm p
+
+let test_unroll_after_tile () =
+  (* The paper's composition: tile then unroll-and-jam the element loops. *)
+  let p = tile_mm () in
+  let p = Transform.Unroll_jam.apply p "i" 3 in
+  let p = Transform.Unroll_jam.apply p "j" 2 in
+  check_equiv "tile+unroll" mm p
+
+let test_unroll_one_is_identity () =
+  let p = Transform.Unroll_jam.apply mm "i" 1 in
+  Alcotest.(check bool) "identity" true (p.Program.body = mm.Program.body)
+
+let test_unroll_rejects_missing_loop () =
+  match Transform.Unroll_jam.apply mm "z" 2 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection"
+
+let test_unroll_flop_preserving () =
+  (* The unrolled program performs exactly the same flops. *)
+  let p = Transform.Unroll_jam.apply mm "j" 5 in
+  let r0 = run mm and r1 = run p in
+  Alcotest.(check int) "flops" r0.Exec.stats.Exec.flops r1.Exec.stats.Exec.flops
+
+let test_unroll_reduces_iterations () =
+  let p = Transform.Unroll_jam.apply mm "i" 4 in
+  let r0 = run mm and r1 = run p in
+  Alcotest.(check bool) "fewer loop iterations" true
+    (r1.Exec.stats.Exec.loop_iterations < r0.Exec.stats.Exec.loop_iterations)
+
+(* --- Copy optimization --- *)
+
+let copy_b_variant ?(tj = 5) ?(tk = 7) () =
+  let p = tile_mm ~tj ~tk () in
+  Transform.Copy_opt.apply p ~array:"b" ~temp:"p_b" ~at:"jj"
+    ~dims:
+      [
+        { Transform.Copy_opt.base = Aff.var "kk"; extent = tk; bound = Aff.var "n" };
+        { Transform.Copy_opt.base = Aff.var "jj"; extent = tj; bound = Aff.var "n" };
+      ]
+
+let test_copy_equivalent () = check_equiv "copy b" mm (copy_b_variant ())
+
+let test_copy_non_dividing () =
+  List.iter
+    (fun (tj, tk) ->
+      check_equiv (Printf.sprintf "copy %dx%d" tj tk) mm (copy_b_variant ~tj ~tk ()))
+    [ (3, 5); (13, 4); (6, 13) ]
+
+let test_copy_rewrites_refs () =
+  let p = copy_b_variant () in
+  let arrays =
+    List.sort_uniq String.compare
+      (List.map
+         (fun (r : Reference.t) -> r.Reference.array)
+         (Stmt.all_refs p.Program.body))
+  in
+  Alcotest.(check bool) "temp referenced" true (List.mem "p_b" arrays);
+  (* b survives only in the copy loops (as the source). *)
+  let innermost = Stmt.innermost_loops p.Program.body in
+  Alcotest.(check int) "two innermost loops (copy + compute)" 2
+    (List.length innermost)
+
+let test_copy_rejects_written_array () =
+  let p = tile_mm () in
+  match
+    Transform.Copy_opt.apply p ~array:"c" ~temp:"p_c" ~at:"jj"
+      ~dims:
+        [
+          { Transform.Copy_opt.base = Aff.zero; extent = 13; bound = Aff.var "n" };
+          { Transform.Copy_opt.base = Aff.var "jj"; extent = 5; bound = Aff.var "n" };
+        ]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection (c is written)"
+
+let test_copy_then_unroll () =
+  let p = copy_b_variant () in
+  let p = Transform.Unroll_jam.apply p "i" 4 in
+  let p = Transform.Unroll_jam.apply p "j" 2 in
+  check_equiv "copy+unroll" mm p
+
+(* --- Scalar replacement --- *)
+
+let test_scalar_replace_mm () =
+  let p = Transform.Scalar_replace.apply mm in
+  check_equiv "scalar replace mm" mm p;
+  Alcotest.(check bool) "introduced registers" true
+    (List.exists
+       (fun (d : Decl.t) -> d.Decl.storage = Decl.Register)
+       p.Program.decls)
+
+let test_scalar_replace_after_unroll () =
+  let p = Transform.Unroll_jam.apply mm "i" 4 in
+  let p = Transform.Unroll_jam.apply p "j" 2 in
+  let p = Transform.Scalar_replace.apply p in
+  check_equiv "unroll+scalar" mm p
+
+let test_scalar_replace_reduces_accesses () =
+  (* With K innermost, C's load+store leave the K loop: accesses drop
+     from 4n^3 to ~2n^3. *)
+  let mm = Transform.Permute.apply mm [ "i"; "j"; "k" ] in
+  let count p =
+    let loads = ref 0 and stores = ref 0 in
+    let sink =
+      {
+        Sink.load = (fun _ -> incr loads);
+        Sink.store = (fun _ -> incr stores);
+        Sink.prefetch = ignore;
+      }
+    in
+    ignore (Exec.run ~sink ~params:[ ("n", 13) ] p);
+    !loads + !stores
+  in
+  let before = count mm in
+  let after = count (Transform.Scalar_replace.apply mm) in
+  Alcotest.(check bool)
+    (Printf.sprintf "accesses reduced (%d -> %d)" before after)
+    true
+    (after < (before * 6 / 10))
+
+let test_scalar_replace_jacobi_rotation () =
+  (* B[i-1],B[i+1] rotate through registers along the innermost i loop. *)
+  let p = Transform.Scalar_replace.apply jacobi in
+  check_equiv "jacobi rotation" jacobi p;
+  let regs =
+    List.filter (fun (d : Decl.t) -> d.Decl.storage = Decl.Register) p.Program.decls
+  in
+  Alcotest.(check bool) "rotation registers allocated" true
+    (List.length regs >= 3)
+
+let test_scalar_replace_jacobi_after_unroll () =
+  let p = Transform.Unroll_jam.apply jacobi "j" 2 in
+  let p = Transform.Unroll_jam.apply p "k" 2 in
+  let p = Transform.Scalar_replace.apply p in
+  check_equiv "jacobi unroll+rotation" jacobi p
+
+let test_scalar_replace_register_moves () =
+  let p = Transform.Scalar_replace.apply jacobi in
+  let r = run p in
+  Alcotest.(check bool) "rotation emits register moves" true
+    (r.Exec.stats.Exec.register_moves > 0)
+
+let test_count_registers () =
+  let count = Transform.Scalar_replace.count_registers mm in
+  Alcotest.(check int) "one register for C" 1 count
+
+(* --- Prefetch insertion --- *)
+
+let test_prefetch_preserves_semantics () =
+  let p = Transform.Prefetch_insert.apply mm ~array:"a" ~distance:2 ~line_elems:4 in
+  check_equiv "prefetch" mm p
+
+let test_prefetch_emits_prefetches () =
+  let p = Transform.Prefetch_insert.apply mm ~array:"a" ~distance:2 ~line_elems:4 in
+  let prefs = ref 0 in
+  let sink =
+    { Sink.load = ignore; Sink.store = ignore; Sink.prefetch = (fun _ -> incr prefs) }
+  in
+  ignore (Exec.run ~sink ~params:[ ("n", 8) ] p);
+  Alcotest.(check int) "one prefetch per inner iteration" (8 * 8 * 8) !prefs
+
+let test_prefetch_remove () =
+  let p = Transform.Prefetch_insert.apply mm ~array:"a" ~distance:2 ~line_elems:4 in
+  let p = Transform.Prefetch_insert.remove p ~array:"a" in
+  Alcotest.(check bool) "body restored" true (p.Program.body = mm.Program.body)
+
+let test_prefetch_dedup_unrolled () =
+  (* After 4x i-unroll, the four A streams differ only in dim-0 offsets
+     within one line: they share one prefetch. *)
+  let p = Transform.Unroll_jam.apply mm "i" 4 in
+  let p = Transform.Prefetch_insert.apply p ~array:"a" ~distance:1 ~line_elems:4 in
+  let count_prefetch_stmts body =
+    let n = ref 0 in
+    List.iter
+      (fun s ->
+        Stmt.iter (function Stmt.Prefetch _ -> incr n | _ -> ()) s)
+      body;
+    !n
+  in
+  (* main innermost has 1 (4 offsets in one line), remainder has 1 *)
+  Alcotest.(check int) "deduplicated" 2 (count_prefetch_stmts p.Program.body)
+
+let test_prefetch_candidates () =
+  Alcotest.(check (list string)) "mm candidates" [ "c"; "a"; "b" ]
+    (Transform.Prefetch_insert.candidates mm)
+
+(* --- Full paper pipeline (Figure 1(b) by hand) --- *)
+
+let figure_1b ?(ui = 4) ?(uj = 2) ?(tj = 6) ?(tk = 7) () =
+  let p = Transform.Permute.apply mm [ "i"; "j"; "k" ] in
+  let p =
+    Transform.Tile.apply p
+      [
+        { Transform.Tile.var = "j"; size = tj; control = "jj" };
+        { Transform.Tile.var = "k"; size = tk; control = "kk" };
+      ]
+      ~control_order:[ "kk"; "jj" ]
+  in
+  let p =
+    Transform.Copy_opt.apply p ~array:"b" ~temp:"p_b" ~at:"jj"
+      ~dims:
+        [
+          { Transform.Copy_opt.base = Aff.var "kk"; extent = tk; bound = Aff.var "n" };
+          { Transform.Copy_opt.base = Aff.var "jj"; extent = tj; bound = Aff.var "n" };
+        ]
+  in
+  let p = Transform.Unroll_jam.apply p "i" ui in
+  let p = Transform.Unroll_jam.apply p "j" uj in
+  let p = Transform.Scalar_replace.apply p in
+  Transform.Prefetch_insert.apply p ~array:"a" ~distance:2 ~line_elems:4
+
+let test_figure_1b_pipeline () = check_equiv "figure 1(b)" mm (figure_1b ())
+
+let test_figure_1b_many_sizes () =
+  List.iter
+    (fun n -> check_equiv ~n (Printf.sprintf "figure 1(b) n=%d" n) mm (figure_1b ()))
+    [ 4; 7; 12; 16; 23 ]
+
+(* Property: the full pipeline is semantics-preserving for random
+   parameters. *)
+let prop_pipeline_sound =
+  QCheck.Test.make ~name:"figure 1(b) pipeline sound for random params" ~count:30
+    QCheck.(
+      quad (int_range 1 6) (int_range 1 6) (int_range 1 10) (int_range 1 10))
+    (fun (ui, uj, tj, tk) ->
+      let n = 11 in
+      let p = figure_1b ~ui ~uj ~tj ~tk () in
+      let r1 = Exec.run ~params:[ ("n", n) ] mm in
+      let r2 = Exec.run ~params:[ ("n", n) ] p in
+      let c1 = List.assoc "c" r1.Exec.arrays in
+      let c2 = List.assoc "c" r2.Exec.arrays in
+      Array.for_all2
+        (fun v1 v2 -> Float.abs (v1 -. v2) <= 1e-9 *. Float.max 1.0 (Float.abs v1))
+        c1 c2)
+
+let prop_jacobi_pipeline_sound =
+  QCheck.Test.make ~name:"jacobi tile+unroll+rotate sound" ~count:30
+    QCheck.(triple (int_range 1 4) (int_range 1 4) (int_range 1 8))
+    (fun (uj, uk, tj) ->
+      let n = 10 in
+      let p = Transform.Permute.apply jacobi [ "k"; "j"; "i" ] in
+      let p =
+        Transform.Tile.apply p
+          [ { Transform.Tile.var = "j"; size = tj; control = "jj" } ]
+          ~control_order:[ "jj" ]
+      in
+      let p = Transform.Unroll_jam.apply p "j" uj in
+      let p = Transform.Unroll_jam.apply p "k" uk in
+      let p = Transform.Scalar_replace.apply p in
+      let r1 = Exec.run ~params:[ ("n", n) ] jacobi in
+      let r2 = Exec.run ~params:[ ("n", n) ] p in
+      let a1 = List.assoc "a" r1.Exec.arrays in
+      let a2 = List.assoc "a" r2.Exec.arrays in
+      Array.for_all2
+        (fun v1 v2 -> Float.abs (v1 -. v2) <= 1e-9 *. Float.max 1.0 (Float.abs v1))
+        a1 a2)
+
+let suite =
+  [
+    Alcotest.test_case "permute: all 6 orders" `Quick test_permute_all_orders;
+    Alcotest.test_case "permute: rejects non-permutation" `Quick
+      test_permute_rejects_non_permutation;
+    Alcotest.test_case "permute: preserves decls" `Quick test_permute_preserves_decls;
+    Alcotest.test_case "tile: equivalent" `Quick test_tile_equivalent;
+    Alcotest.test_case "tile: non-dividing sizes" `Quick test_tile_non_dividing;
+    Alcotest.test_case "tile: structure" `Quick test_tile_structure;
+    Alcotest.test_case "tile: rejects unknown var" `Quick
+      test_tile_rejects_unknown_var;
+    Alcotest.test_case "unroll-jam: equivalent" `Quick test_unroll_jam_equivalent;
+    Alcotest.test_case "unroll: innermost" `Quick test_unroll_innermost;
+    Alcotest.test_case "unroll after tile" `Quick test_unroll_after_tile;
+    Alcotest.test_case "unroll by 1 = identity" `Quick test_unroll_one_is_identity;
+    Alcotest.test_case "unroll: rejects missing loop" `Quick
+      test_unroll_rejects_missing_loop;
+    Alcotest.test_case "unroll: flop preserving" `Quick test_unroll_flop_preserving;
+    Alcotest.test_case "unroll: reduces loop overhead" `Quick
+      test_unroll_reduces_iterations;
+    Alcotest.test_case "copy: equivalent" `Quick test_copy_equivalent;
+    Alcotest.test_case "copy: non-dividing" `Quick test_copy_non_dividing;
+    Alcotest.test_case "copy: rewrites references" `Quick test_copy_rewrites_refs;
+    Alcotest.test_case "copy: rejects written array" `Quick
+      test_copy_rejects_written_array;
+    Alcotest.test_case "copy then unroll" `Quick test_copy_then_unroll;
+    Alcotest.test_case "scalar replace: mm" `Quick test_scalar_replace_mm;
+    Alcotest.test_case "scalar replace: after unroll" `Quick
+      test_scalar_replace_after_unroll;
+    Alcotest.test_case "scalar replace: reduces accesses" `Quick
+      test_scalar_replace_reduces_accesses;
+    Alcotest.test_case "scalar replace: jacobi rotation" `Quick
+      test_scalar_replace_jacobi_rotation;
+    Alcotest.test_case "scalar replace: jacobi after unroll" `Quick
+      test_scalar_replace_jacobi_after_unroll;
+    Alcotest.test_case "scalar replace: register moves" `Quick
+      test_scalar_replace_register_moves;
+    Alcotest.test_case "count_registers" `Quick test_count_registers;
+    Alcotest.test_case "prefetch: semantics preserved" `Quick
+      test_prefetch_preserves_semantics;
+    Alcotest.test_case "prefetch: emitted" `Quick test_prefetch_emits_prefetches;
+    Alcotest.test_case "prefetch: remove" `Quick test_prefetch_remove;
+    Alcotest.test_case "prefetch: dedup after unroll" `Quick
+      test_prefetch_dedup_unrolled;
+    Alcotest.test_case "prefetch: candidates" `Quick test_prefetch_candidates;
+    Alcotest.test_case "figure 1(b) pipeline" `Quick test_figure_1b_pipeline;
+    Alcotest.test_case "figure 1(b) many sizes" `Quick test_figure_1b_many_sizes;
+    QCheck_alcotest.to_alcotest prop_pipeline_sound;
+    QCheck_alcotest.to_alcotest prop_jacobi_pipeline_sound;
+  ]
