@@ -26,13 +26,18 @@ let bench_table2 () = ignore (Experiments.Table2.render ())
 let bench_table4 () =
   ignore (Core.Derive.variants Machine.sgi_r10000 Kernels.Matmul.kernel)
 
+(* Fresh engine per iteration: these benchmarks time the measurement
+   itself, not a memo-table lookup. *)
 let bench_fig4_point () =
   ignore
-    (Baselines.Vendor_blas.measure Machine.sgi_r10000 ~n:128 ~mode:quick_mode)
+    (Baselines.Vendor_blas.measure
+       (Core.Engine.create Machine.sgi_r10000)
+       ~n:128 ~mode:quick_mode)
 
 let bench_fig5_point () =
   ignore
-    (Baselines.Native_compiler.measure Machine.sgi_r10000
+    (Baselines.Native_compiler.measure
+       (Core.Engine.create Machine.sgi_r10000)
        Kernels.Jacobi3d.kernel ~n:64 ~mode:quick_mode)
 
 let bench_search_cost () =
@@ -43,8 +48,9 @@ let bench_search_cost () =
 
 let bench_ablation_unit () =
   ignore
-    (Baselines.Model_only.optimize Machine.generic_small Kernels.Matmul.kernel
-       ~n:48 ~mode:quick_mode)
+    (Baselines.Model_only.optimize
+       (Core.Engine.create Machine.generic_small)
+       Kernels.Matmul.kernel ~n:48 ~mode:quick_mode)
 
 let bench_padding_unit () =
   ignore
@@ -53,8 +59,9 @@ let bench_padding_unit () =
 
 let bench_strategies_unit () =
   ignore
-    (Baselines.Random_search.tune Machine.generic_small ~n:48 ~mode:quick_mode
-       ~points:3 ~seed:1
+    (Baselines.Random_search.tune
+       (Core.Engine.create Machine.generic_small)
+       ~n:48 ~mode:quick_mode ~points:3 ~seed:1
        (List.hd (Core.Derive.variants Machine.generic_small Kernels.Matmul.kernel)))
 
 let bench_conflicts_unit () =
@@ -118,8 +125,35 @@ let run_benchmarks () =
       Format.printf "%-28s %s@." name estimate)
     results
 
+(* Machine-readable search-cost summary, for tracking the numbers across
+   commits without scraping the rendered tables. *)
+let emit_search_json entries =
+  let json_escape s =
+    String.concat ""
+      (List.map
+         (function
+           | '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+         (List.init (String.length s) (String.get s)))
+  in
+  let entry (e : Experiments.Search_cost.entry) =
+    Printf.sprintf
+      "  {\"what\": \"%s\", \"machine\": \"%s\", \"points\": %d, \
+       \"wall_seconds\": %.4f, \"best_mflops\": %.2f}"
+      (json_escape e.Experiments.Search_cost.what)
+      (json_escape e.Experiments.Search_cost.machine)
+      e.Experiments.Search_cost.points e.Experiments.Search_cost.seconds
+      e.Experiments.Search_cost.best_mflops
+  in
+  let oc = open_out "BENCH_search.json" in
+  output_string oc
+    ("[\n" ^ String.concat ",\n" (List.map entry entries) ^ "\n]\n");
+  close_out oc;
+  Format.printf "@.wrote BENCH_search.json (%d entries)@."
+    (List.length entries)
+
 let () =
   Format.printf "=== Bechamel micro-benchmarks (one per paper artifact) ===@.";
   run_benchmarks ();
   Format.printf "@.=== Full reproduction of the paper's tables and figures ===@.";
-  Experiments.Run_all.run_everything ~print:print_endline
+  Experiments.Run_all.run_everything ~print:print_endline ();
+  emit_search_json (Experiments.Search_cost.run ())

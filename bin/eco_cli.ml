@@ -66,6 +66,15 @@ let budget_arg =
     & info [ "b"; "budget" ] ~docv:"FLOPS"
         ~doc:"Flop budget per simulated measurement (0 = full simulation).")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"JOBS"
+        ~doc:
+          "Evaluate independent candidate batches on JOBS domains (0 = one \
+           per core).  Results are identical at any value; only wall time \
+           changes.")
+
 let mode_of_budget b =
   if b <= 0 then Core.Executor.Full else Core.Executor.Budget b
 
@@ -112,9 +121,9 @@ let derive_cmd =
 
 (* --- tune --- *)
 
-let tune machine kernel n budget =
+let tune machine kernel n budget jobs =
   let mode = mode_of_budget budget in
-  let r = Core.Eco.optimize ~mode machine kernel ~n in
+  let r = Core.Eco.optimize ~mode ~jobs machine kernel ~n in
   let o = r.Core.Eco.outcome in
   Format.printf "best variant: %s@." o.Core.Search.variant.Core.Variant.name;
   Format.printf "parameters:   %s@." (bindings_str o.Core.Search.bindings);
@@ -124,23 +133,30 @@ let tune machine kernel n budget =
   Format.printf "performance:  %.1f MFLOPS (peak %.0f)@."
     r.Core.Eco.measurement.Core.Executor.mflops
     (Machine.peak_mflops machine);
-  Format.printf "search:       %d points, %.2fs CPU@."
+  Format.printf "search:       %d points, %.2fs wall@."
     (Core.Search_log.points r.Core.Eco.log)
     (Core.Search_log.seconds r.Core.Eco.log);
+  Format.printf "engine:       %a (%d jobs)@." Core.Engine.pp_stats
+    (Core.Engine.stats r.Core.Eco.engine)
+    (Core.Engine.jobs r.Core.Eco.engine);
   Format.printf "@.optimized code:@.%a" Ir.Program.pp o.Core.Search.program
 
 let tune_cmd =
   Cmd.v
     (Cmd.info "tune"
        ~doc:"Run the full two-phase ECO optimization for a kernel.")
-    Term.(const tune $ machine_arg $ kernel_arg $ size_arg 256 $ budget_arg)
+    Term.(
+      const tune $ machine_arg $ kernel_arg $ size_arg 256 $ budget_arg
+      $ jobs_arg)
 
 (* --- run (single measurement of the original kernel) --- *)
 
 let run_orig machine kernel n budget =
   let mode = mode_of_budget budget in
+  let engine = Core.Engine.create machine in
   let m =
-    Core.Executor.measure machine kernel ~n ~mode kernel.Kernels.Kernel.program
+    Core.Engine.measure_program engine kernel ~n ~mode
+      kernel.Kernels.Kernel.program
   in
   Format.printf "%s n=%d on %s (untransformed): %.1f MFLOPS@."
     kernel.Kernels.Kernel.name n machine.Machine.name m.Core.Executor.mflops;
@@ -153,9 +169,9 @@ let run_cmd =
 
 (* --- codegen --- *)
 
-let codegen machine kernel n budget fortran =
+let codegen machine kernel n budget jobs fortran =
   let mode = mode_of_budget budget in
-  let r = Core.Eco.optimize ~mode machine kernel ~n in
+  let r = Core.Eco.optimize ~mode ~jobs machine kernel ~n in
   let program = r.Core.Eco.outcome.Core.Search.program in
   if fortran then print_string (Ir.Codegen_f90.file program)
   else print_string (Ir.Codegen_c.file program)
@@ -174,15 +190,15 @@ let codegen_cmd =
           (or Fortran 90) function on stdout.")
     Term.(
       const codegen $ machine_arg $ kernel_arg $ size_arg 256 $ budget_arg
-      $ fortran_arg)
+      $ jobs_arg $ fortran_arg)
 
 (* --- experiment --- *)
 
-let experiment names =
+let experiment jobs names =
   let print = print_endline in
   match names with
-  | [] -> Experiments.Run_all.run_everything ~print
-  | names -> List.iter (Experiments.Run_all.run ~print) names
+  | [] -> Experiments.Run_all.run_everything ~print ~jobs ()
+  | names -> List.iter (Experiments.Run_all.run ~print ~jobs) names
 
 let experiment_cmd =
   let names_arg =
@@ -196,7 +212,7 @@ let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Regenerate the paper's tables and figures (see EXPERIMENTS.md).")
-    Term.(const experiment $ names_arg)
+    Term.(const experiment $ jobs_arg $ names_arg)
 
 let main_cmd =
   Cmd.group

@@ -1,0 +1,13 @@
+#!/bin/sh
+# CI entry point: build, run the full test suite, then smoke-test the
+# CLI tuner with parallel evaluation enabled.
+set -eux
+
+dune build
+dune runtest
+
+# Quick end-to-end smoke: a small tune with a 2-domain engine must
+# succeed and report the engine's telemetry line.
+dune exec bin/eco_cli.exe -- tune -k matmul -n 48 -b 50000 --jobs 2 | grep "engine:"
+
+echo "ci.sh: all checks passed"

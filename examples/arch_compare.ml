@@ -13,14 +13,18 @@ let () =
   let kernel = Kernels.Matmul.kernel in
   let n = 128 in
   let mode = Core.Executor.Budget 200_000 in
+  (* One engine per machine, reused for the cross-measurement below so
+     the diagonal entries come straight from the memo table. *)
+  let engines = List.map (fun m -> (m, Core.Engine.create m)) machines in
   let tuned =
     List.map
-      (fun machine -> (machine, Core.Eco.optimize ~mode machine kernel ~n))
-      machines
+      (fun (machine, engine) ->
+        (machine, engine, Core.Eco.optimize_with ~mode engine kernel ~n))
+      engines
   in
   Format.printf "Tuned parameters per machine:@.";
   List.iter
-    (fun ((machine : Machine.t), r) ->
+    (fun ((machine : Machine.t), _engine, r) ->
       Format.printf "  %-24s %-12s %s@." machine.Machine.name
         r.Core.Eco.outcome.Core.Search.variant.Core.Variant.name
         (String.concat " "
@@ -38,14 +42,14 @@ let () =
     machines;
   Format.printf "@.";
   List.iter
-    (fun ((tuned_for : Machine.t), r) ->
+    (fun ((tuned_for : Machine.t), _engine, r) ->
       Format.printf "  %-24s" tuned_for.Machine.name;
       List.iter
-        (fun measured_on ->
+        (fun (_, measured_on_engine) ->
           let o = r.Core.Eco.outcome in
           let mflops =
             match
-              Core.Search.measure_point measured_on ~n ~mode
+              Core.Search.measure_point measured_on_engine ~n ~mode
                 o.Core.Search.variant ~bindings:o.Core.Search.bindings
                 ~prefetch:o.Core.Search.prefetch
             with
@@ -53,6 +57,6 @@ let () =
             | None -> Float.nan
           in
           Format.printf " %20.1f" mflops)
-        machines;
+        engines;
       Format.printf "@.")
     tuned

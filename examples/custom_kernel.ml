@@ -87,7 +87,7 @@ let () =
   let mode = Core.Executor.Budget 200_000 in
   let tuned = Core.Eco.optimize ~mode Machine.sgi_r10000 kernel ~n:96 in
   let naive =
-    Core.Executor.measure Machine.sgi_r10000 kernel ~n:96 ~mode program
+    Core.Engine.measure_program tuned.Core.Eco.engine kernel ~n:96 ~mode program
   in
   Format.printf "naive: %.1f MFLOPS, tuned: %.1f MFLOPS (%.1fx)@."
     naive.Core.Executor.mflops

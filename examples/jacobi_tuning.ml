@@ -28,7 +28,7 @@ let () =
     (fun machine ->
       let result = Core.Eco.optimize ~mode machine kernel ~n in
       let native =
-        Baselines.Native_compiler.measure machine kernel ~n ~mode
+        Baselines.Native_compiler.measure result.Core.Eco.engine kernel ~n ~mode
       in
       Format.printf "%-22s ECO %6.1f MFLOPS  (native compiler %6.1f)  [%s %s]@."
         machine.Machine.name result.Core.Eco.measurement.Core.Executor.mflops

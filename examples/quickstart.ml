@@ -38,9 +38,11 @@ let () =
   Format.printf "Search cost:     %d candidate executions@.@."
     (Core.Search_log.points result.Core.Eco.log);
 
-  (* The untransformed kernel, for contrast. *)
+  (* The untransformed kernel, for contrast — measured through the same
+     engine the search used. *)
   let naive =
-    Core.Executor.measure machine kernel ~n ~mode kernel.Kernels.Kernel.program
+    Core.Engine.measure_program result.Core.Eco.engine kernel ~n ~mode
+      kernel.Kernels.Kernel.program
   in
   Format.printf "Untransformed:   %.1f MFLOPS (%.1fx speedup)@.@."
     naive.Core.Executor.mflops

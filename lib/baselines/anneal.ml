@@ -9,7 +9,7 @@ let lcg state =
   let state = ((state * 0x5DEECE66D) + 0xB) land 0x3FFFFFFFFFFF in
   (state, state lsr 17)
 
-let tune machine ~n ~mode ~points ~seed variant =
+let tune engine ~n ~mode ~points ~seed variant =
   let params = Core.Variant.params variant in
   if params = [] then None
   else begin
@@ -25,15 +25,16 @@ let tune machine ~n ~mode ~points ~seed variant =
       | Core.Param.Unroll -> max 1 (min 16 v)
       | Core.Param.Tile -> max 1 (min n v)
     in
+    (* Annealing is inherently sequential — each move's accept/reject
+       steers the next — so it evaluates point by point; the engine
+       still prunes infeasible moves and serves revisited points from
+       its memo table. *)
     let measure bindings =
-      if not (Core.Variant.feasible variant ~n bindings) then None
-      else
-        match
-          Core.Search.measure_point machine ~n ~mode variant ~bindings
-            ~prefetch:[]
-        with
-        | Some o -> Some o.Core.Search.measurement
-        | None -> None
+      match
+        Core.Engine.evaluate engine (Core.Engine.request variant ~n ~mode ~bindings)
+      with
+      | Some (ev : Core.Engine.evaluation) -> Some ev.Core.Engine.measurement
+      | None -> None
     in
     (* Start from the all-twos point (annealers need *some* start; this
        one encodes no cache knowledge). *)

@@ -7,7 +7,8 @@
     are accepted with probability [exp (-delta / temperature)] and the
     temperature decays geometrically.  Deterministic for a given seed;
     the evaluation budget is capped for point-for-point comparison with
-    the guided search. *)
+    the guided search.  The walk is inherently serial, but measuring
+    through the engine means revisited points cost nothing. *)
 
 type result = {
   bindings : (string * int) list;
@@ -17,7 +18,7 @@ type result = {
 }
 
 val tune :
-  Machine.t ->
+  Core.Engine.t ->
   n:int ->
   mode:Core.Executor.mode ->
   points:int ->

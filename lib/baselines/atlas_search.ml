@@ -70,10 +70,18 @@ let grid (machine : Machine.t) =
 
 let decide_copy c ~n = { c with copy = n >= copy_threshold * c.nb }
 
-let measure_at machine c ~n ~mode =
+(* An ATLAS point is a hand-shaped variant instantiation, so it measures
+   through the engine like every other candidate; [check:false] because
+   ATLAS applies no models — every grid point is executed. *)
+let request c ~n ~mode =
   let c = decide_copy { c with nb = min c.nb n } ~n in
-  let p = program Kernels.Matmul.kernel c in
-  Core.Executor.measure machine Kernels.Matmul.kernel ~n ~mode p
+  Core.Engine.request ~check:false (base_variant ~copy:c.copy) ~n ~mode
+    ~bindings:(bindings_of c)
+
+let measure_at engine c ~n ~mode =
+  match Core.Engine.evaluate engine (request c ~n ~mode) with
+  | Some (ev : Core.Engine.evaluation) -> ev.Core.Engine.measurement
+  | None -> failwith "Atlas_search.measure_at: infeasible configuration"
 
 type result = {
   config : config;
@@ -82,19 +90,28 @@ type result = {
   seconds : float;
 }
 
-let tune machine ~n ~mode =
-  let t0 = Sys.time () in
-  let candidates = grid machine in
+let tune engine ~n ~mode =
+  let t0 = Core.Unix_time.now () in
+  let candidates = grid (Core.Engine.machine engine) in
+  (* The whole grid is independent: one engine batch, parallel when the
+     engine has jobs > 1. *)
+  let evaluations =
+    Core.Engine.evaluate_batch engine
+      (List.map (fun c -> request c ~n ~mode) candidates)
+  in
   let best =
-    List.fold_left
-      (fun acc c ->
-        let m = measure_at machine c ~n ~mode in
-        match acc with
-        | Some (_, best_m)
-          when Core.Executor.cycles best_m <= Core.Executor.cycles m ->
-          acc
-        | _ -> Some (c, m))
-      None candidates
+    List.fold_left2
+      (fun acc c ev ->
+        match ev with
+        | None -> acc
+        | Some (ev : Core.Engine.evaluation) -> (
+          let m = ev.Core.Engine.measurement in
+          match acc with
+          | Some (_, best_m)
+            when Core.Executor.cycles best_m <= Core.Executor.cycles m ->
+            acc
+          | _ -> Some (c, m)))
+      None candidates evaluations
   in
   match best with
   | None -> failwith "Atlas_search.tune: empty grid"
@@ -103,5 +120,5 @@ let tune machine ~n ~mode =
       config = decide_copy config ~n;
       measurement;
       points = List.length candidates;
-      seconds = Sys.time () -. t0;
+      seconds = Core.Unix_time.now () -. t0;
     }

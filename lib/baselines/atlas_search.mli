@@ -10,7 +10,10 @@
 
     Unlike ECO there are {e no models}: the tuner sweeps an exhaustive
     grid of (NB, mu, nu) and keeps the empirically best, which is why it
-    needs several times more search points (paper §4.3). *)
+    needs several times more search points (paper §4.3).  The grid is
+    fully independent, so it evaluates as one engine batch — parallel
+    when the engine has [jobs > 1], memo-shared with any other strategy
+    on the same engine. *)
 
 type config = {
   nb : int;
@@ -34,13 +37,13 @@ type result = {
   config : config;
   measurement : Core.Executor.measurement;
   points : int;  (** grid points evaluated *)
-  seconds : float;  (** CPU time spent searching *)
+  seconds : float;  (** wall-clock time spent searching *)
 }
 
 (** Run the full empirical sweep at size [n] and return the winner. *)
-val tune : Machine.t -> n:int -> mode:Core.Executor.mode -> result
+val tune : Core.Engine.t -> n:int -> mode:Core.Executor.mode -> result
 
 (** Re-measure a tuned configuration at another size, applying the
     size-dependent copy decision. *)
 val measure_at :
-  Machine.t -> config -> n:int -> mode:Core.Executor.mode -> Core.Executor.measurement
+  Core.Engine.t -> config -> n:int -> mode:Core.Executor.mode -> Core.Executor.measurement

@@ -4,7 +4,8 @@ type result = {
   measurement : Core.Executor.measurement;
 }
 
-let optimize machine kernel ~n ~mode =
+let optimize engine kernel ~n ~mode =
+  let machine = Core.Engine.machine engine in
   let variants = Core.Derive.variants machine kernel in
   let rec pick = function
     | [] -> None
@@ -13,7 +14,7 @@ let optimize machine kernel ~n ~mode =
       | None -> pick rest
       | Some bindings -> (
         match
-          Core.Search.measure_point machine ~n ~mode v ~bindings ~prefetch:[]
+          Core.Search.measure_point engine ~n ~mode v ~bindings ~prefetch:[]
         with
         | Some o ->
           Some { variant = v; bindings; measurement = o.Core.Search.measurement }

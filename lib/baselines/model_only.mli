@@ -2,7 +2,8 @@
     model's initial parameter point and {e zero} empirical experiments —
     the approach whose adequacy Yotov et al. debated and which the
     paper's hybrid is designed to beat.  Used by the ablation
-    experiment. *)
+    experiment.  Its single measurement still goes through the engine,
+    so a shared engine lets other strategies reuse it. *)
 
 type result = {
   variant : Core.Variant.t;
@@ -15,4 +16,4 @@ type result = {
     balance — here: derivation order, which lists copying variants
     first). *)
 val optimize :
-  Machine.t -> Kernels.Kernel.t -> n:int -> mode:Core.Executor.mode -> result option
+  Core.Engine.t -> Kernels.Kernel.t -> n:int -> mode:Core.Executor.mode -> result option

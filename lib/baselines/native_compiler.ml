@@ -78,6 +78,18 @@ let compile ?profile (machine : Machine.t) (kernel : Kernels.Kernel.t) =
   in
   Transform.Scalar_replace.apply p
 
-let measure ?profile machine kernel ~n ~mode =
-  let p = compile ?profile machine kernel in
-  Core.Executor.measure machine kernel ~n ~mode p
+let profile_name = function Tiling -> "tiling" | Basic -> "basic"
+
+let measure ?profile engine kernel ~n ~mode =
+  let machine = Core.Engine.machine engine in
+  let profile =
+    match profile with Some p -> p | None -> default_profile machine
+  in
+  let p = compile ~profile machine kernel in
+  (* Compilation is deterministic per (machine, kernel, profile), so that
+     triple is a sound memo key for the measurement. *)
+  let key =
+    Printf.sprintf "native:%s:%s" (profile_name profile)
+      kernel.Kernels.Kernel.name
+  in
+  Core.Engine.measure_program engine ~key kernel ~n ~mode p

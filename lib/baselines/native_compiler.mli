@@ -21,10 +21,12 @@ val default_profile : Machine.t -> profile
     independent of the problem size (like a real static compiler). *)
 val compile : ?profile:profile -> Machine.t -> Kernels.Kernel.t -> Ir.Program.t
 
-(** Convenience: compile and measure at size [n]. *)
+(** Convenience: compile and measure at size [n].  The measurement is
+    memoized in the engine (compilation is deterministic, so the
+    (machine, kernel, profile) triple keys it). *)
 val measure :
   ?profile:profile ->
-  Machine.t ->
+  Core.Engine.t ->
   Kernels.Kernel.t ->
   n:int ->
   mode:Core.Executor.mode ->

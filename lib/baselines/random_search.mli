@@ -12,11 +12,12 @@ type result = {
   evaluated : int;  (** points actually executed *)
 }
 
-(** [tune machine ~n ~mode ~points ~seed variant] evaluates at most
-    [points] random feasible parameter settings and returns the best
-    (deterministic for a given [seed]). *)
+(** [tune engine ~n ~mode ~points ~seed variant] evaluates at most
+    [points] random feasible parameter settings through the engine (one
+    batch: memoized, parallel at [jobs > 1]) and returns the best
+    (deterministic for a given [seed], at any [jobs]). *)
 val tune :
-  Machine.t ->
+  Core.Engine.t ->
   n:int ->
   mode:Core.Executor.mode ->
   points:int ->

@@ -49,5 +49,15 @@ let program machine =
         ~line_elems:(Machine.line_elems machine 0))
     p (prefetch machine)
 
-let measure machine ~n ~mode =
-  Core.Executor.measure machine Kernels.Matmul.kernel ~n ~mode (program machine)
+let measure engine ~n ~mode =
+  let machine = Core.Engine.machine engine in
+  (* The fixed vendor point is just another variant instantiation, so it
+     shares the memo table with the searches; [check:false] because the
+     vendor never consulted our models. *)
+  match
+    Core.Engine.evaluate engine
+      (Core.Engine.request ~check:false ~prefetch:(prefetch machine) variant
+         ~n ~mode ~bindings:(bindings machine))
+  with
+  | Some (ev : Core.Engine.evaluation) -> ev.Core.Engine.measurement
+  | None -> failwith "Vendor_blas.measure: vendor point failed to instantiate"

@@ -15,4 +15,4 @@ val prefetch : Machine.t -> (string * int) list
 val program : Machine.t -> Ir.Program.t
 
 val measure :
-  Machine.t -> n:int -> mode:Core.Executor.mode -> Core.Executor.measurement
+  Core.Engine.t -> n:int -> mode:Core.Executor.mode -> Core.Executor.measurement

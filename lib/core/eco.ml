@@ -3,34 +3,50 @@ type result = {
   measurement : Executor.measurement;
   variants : Variant.t list;
   log : Search_log.t;
+  engine : Engine.t;
 }
 
-let optimize ?(mode = Executor.default_budget) ?(max_variants = 4) machine kernel ~n =
+let optimize_with ?(mode = Executor.default_budget) ?(max_variants = 4) engine
+    kernel ~n =
+  let machine = Engine.machine engine in
   let variants = Derive.variants machine kernel in
   let log = Search_log.create () in
   (* Triage: measure every variant once at its model-initial point and
      fully search only the most promising — the "models limit the search
      to a small number of candidate implementations" part of the
-     paper's abstract. *)
+     paper's abstract.  The triage points are independent across
+     variants, so they evaluate as one engine batch. *)
   let triaged =
-    let scored =
+    let pointed =
       List.filter_map
         (fun v ->
           match Search.model_point machine ~n v with
           | None -> None
-          | Some bindings -> (
-            match
-              Search.measure_point machine ~n ~mode ~log v ~bindings ~prefetch:[]
-            with
-            | Some o -> Some (v, Executor.cycles o.Search.measurement)
-            | None -> None))
+          | Some bindings -> Some (v, bindings))
         variants
+    in
+    let evaluations =
+      Engine.evaluate_batch engine ~log
+        (List.map
+           (fun (v, bindings) ->
+             Engine.request v ~n ~mode ~bindings:(List.sort compare bindings))
+           pointed)
+    in
+    let scored =
+      List.concat
+        (List.map2
+           (fun (v, _) ev ->
+             match ev with
+             | Some ev ->
+               [ (v, Executor.cycles ev.Engine.measurement) ]
+             | None -> [])
+           pointed evaluations)
     in
     let sorted = List.sort (fun (_, c1) (_, c2) -> compare c1 c2) scored in
     List.filteri (fun i _ -> i < max_variants) (List.map fst sorted)
   in
   let outcomes =
-    List.filter_map (Search.tune_variant machine ~n ~mode ~log) triaged
+    List.filter_map (Search.tune_variant engine ~n ~mode ~log) triaged
   in
   match outcomes with
   | [] ->
@@ -46,10 +62,21 @@ let optimize ?(mode = Executor.default_budget) ?(max_variants = 4) machine kerne
           else acc)
         o rest
     in
-    { outcome = best; measurement = best.Search.measurement; variants; log }
+    { outcome = best; measurement = best.Search.measurement; variants; log; engine }
+
+let optimize ?mode ?max_variants ?jobs machine kernel ~n =
+  optimize_with ?mode ?max_variants (Engine.create ?jobs machine) kernel ~n
 
 let remeasure ?(mode = Executor.default_budget) machine result ~n =
   let o = result.outcome in
+  (* Reuse the tuning engine (and its memo) when re-measuring on the
+     same machine; cross-machine remeasurement gets its own engine. *)
+  let engine =
+    if
+      (Engine.machine result.engine).Machine.name = machine.Machine.name
+    then result.engine
+    else Engine.create machine
+  in
   (* A tuned version keeps its parameters across problem sizes; tiles
      larger than the problem simply cover the whole array. *)
   let tile_params =
@@ -66,7 +93,7 @@ let remeasure ?(mode = Executor.default_budget) machine result ~n =
       o.Search.bindings
   in
   match
-    Search.measure_point machine ~n ~mode o.Search.variant ~bindings
+    Search.measure_point engine ~n ~mode o.Search.variant ~bindings
       ~prefetch:o.Search.prefetch
   with
   | Some outcome -> Some outcome.Search.measurement

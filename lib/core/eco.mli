@@ -8,29 +8,51 @@
     {[
       let result = Core.Eco.optimize Machine.sgi_r10000 Kernels.Matmul.kernel ~n:256 in
       Format.printf "best: %.1f MFLOPS@." result.Core.Eco.measurement.Core.Executor.mflops
-    ]} *)
+    ]}
+
+    All candidate measurement flows through one {!Engine}: pass [~jobs]
+    to evaluate independent candidate batches on a domain pool
+    ([jobs = 1], the default, is serial and bit-for-bit deterministic;
+    any [jobs] finds the same best point), or use {!optimize_with} to
+    share an engine — and its measurement memo — across several
+    optimizations, strategies or experiments. *)
 
 type result = {
   outcome : Search.outcome;  (** winning variant, parameters, program *)
   measurement : Executor.measurement;  (** its measurement *)
   variants : Variant.t list;  (** everything phase 1 derived *)
   log : Search_log.t;  (** every point phase 2 evaluated *)
+  engine : Engine.t;  (** the evaluation engine used (memo + telemetry) *)
 }
 
 (** @param mode execution mode for candidate measurements (default
       {!Executor.default_budget}).
     @param max_variants variants kept for full search after a one-point
       model-initial triage of everything phase 1 derived (default 4).
+    @param jobs evaluation parallelism (default 1; [0] = all cores).
     @raise Failure when no variant has a feasible parameter setting
       (cannot happen for the bundled kernels). *)
 val optimize :
   ?mode:Executor.mode ->
   ?max_variants:int ->
+  ?jobs:int ->
   Machine.t ->
   Kernels.Kernel.t ->
   n:int ->
   result
 
+(** As {!optimize}, but measuring through a caller-supplied engine, so
+    repeated points across kernels, strategies and experiments are
+    served from one shared memo table. *)
+val optimize_with :
+  ?mode:Executor.mode ->
+  ?max_variants:int ->
+  Engine.t ->
+  Kernels.Kernel.t ->
+  n:int ->
+  result
+
 (** Re-measure a tuned result at a different problem size (variants keep
-    their parameters across sizes, as the paper's ECO versions do). *)
+    their parameters across sizes, as the paper's ECO versions do).
+    Reuses the result's engine when [machine] matches it. *)
 val remeasure : ?mode:Executor.mode -> Machine.t -> result -> n:int -> Executor.measurement option

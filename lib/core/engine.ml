@@ -1,0 +1,333 @@
+type request = {
+  variant : Variant.t;
+  n : int;
+  mode : Executor.mode;
+  bindings : (string * int) list;
+  prefetch : (string * int) list;
+  check : bool;
+}
+
+type evaluation = {
+  program : Ir.Program.t;
+  measurement : Executor.measurement;
+  cached : bool;
+}
+
+type stats = {
+  hits : int;
+  fresh : int;
+  pruned : int;
+  failed : int;
+  simulated_cycles : float;
+  eval_seconds : float;
+}
+
+(* The canonical identity of a measurement.  [fp_shape] is a structural
+   digest of the variant recipe, so two variants that happen to share a
+   name (e.g. the experiment harness rebuilding "table1_mm" with
+   different tile sets) cannot alias each other's measurements.  [check]
+   is part of the key: a point measured with constraint checking off
+   must never satisfy a lookup that expects pruning. *)
+type fingerprint = {
+  fp_kernel : string;
+  fp_variant : string;
+  fp_shape : string;
+  fp_n : int;
+  fp_mode : Executor.mode;
+  fp_bindings : (string * int) list;
+  fp_prefetch : (string * int) list;
+  fp_check : bool;
+}
+
+(* [None] = infeasible or failed instantiation, cached so pruning and
+   malformed points are paid once. *)
+type memo_entry = (Ir.Program.t * Executor.measurement) option
+
+type t = {
+  machine : Machine.t;
+  jobs : int;
+  memo : (fingerprint, memo_entry) Hashtbl.t;
+  (* variant-shape digests, cached by physical identity: variants are
+     long-lived values created once per derivation *)
+  mutable shapes : (Variant.t * string) list;
+  mutable hits : int;
+  mutable fresh : int;
+  mutable pruned : int;
+  mutable failed : int;
+  mutable simulated_cycles : float;
+  mutable eval_seconds : float;
+}
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let create ?(jobs = 1) machine =
+  let jobs = if jobs = 0 then default_jobs () else max 1 jobs in
+  {
+    machine;
+    jobs;
+    memo = Hashtbl.create 256;
+    shapes = [];
+    hits = 0;
+    fresh = 0;
+    pruned = 0;
+    failed = 0;
+    simulated_cycles = 0.0;
+    eval_seconds = 0.0;
+  }
+
+let machine t = t.machine
+let jobs t = t.jobs
+
+let stats t =
+  {
+    hits = t.hits;
+    fresh = t.fresh;
+    pruned = t.pruned;
+    failed = t.failed;
+    simulated_cycles = t.simulated_cycles;
+    eval_seconds = t.eval_seconds;
+  }
+
+let pp_stats fmt (s : stats) =
+  Format.fprintf fmt
+    "%d fresh evaluations, %d memo hits, %d pruned, %d failed, %.0f simulated \
+     cycles, %.2fs evaluating"
+    s.fresh s.hits s.pruned s.failed s.simulated_cycles s.eval_seconds
+
+let request ?(check = true) ?(prefetch = []) variant ~n ~mode ~bindings =
+  { variant; n; mode; bindings; prefetch; check }
+
+let canonical r =
+  {
+    r with
+    bindings = List.sort compare r.bindings;
+    prefetch = List.sort compare r.prefetch;
+  }
+
+let shape_digest t v =
+  match List.assq_opt v t.shapes with
+  | Some d -> d
+  | None ->
+    (* Everything that determines the instantiated program except the
+       bindings (pure data; the kernel's closure is excluded — the
+       kernel is identified by name in the fingerprint). *)
+    let d =
+      Digest.to_hex
+        (Digest.string
+           (Marshal.to_string
+              ( v.Variant.element_order,
+                v.Variant.tiles,
+                v.Variant.unrolls,
+                v.Variant.copies,
+                v.Variant.constraints )
+              []))
+    in
+    t.shapes <- (v, d) :: t.shapes;
+    d
+
+let fingerprint t (r : request) =
+  {
+    fp_kernel = r.variant.Variant.kernel.Kernels.Kernel.name;
+    fp_variant = r.variant.Variant.name;
+    fp_shape = shape_digest t r.variant;
+    fp_n = r.n;
+    fp_mode = r.mode;
+    fp_bindings = r.bindings;
+    fp_prefetch = r.prefetch;
+    fp_check = r.check;
+  }
+
+let build_program machine (r : request) =
+  match Variant.instantiate r.variant ~bindings:r.bindings with
+  | exception Invalid_argument _ -> None
+  | program ->
+    let line = Machine.line_elems machine 0 in
+    Some
+      (List.fold_left
+         (fun p (array, distance) ->
+           Transform.Prefetch_insert.apply p ~array ~distance ~line_elems:line)
+         program r.prefetch)
+
+let build t r = build_program t.machine (canonical r)
+
+(* The pure worker: no engine state touched, safe on any domain.
+   Hierarchy state is created inside [Executor.measure], so concurrent
+   simulations share nothing. *)
+type raw = Measured of Ir.Program.t * Executor.measurement | Infeasible | Failed
+
+let simulate machine (r : request) =
+  if r.check && not (Variant.feasible r.variant ~n:r.n r.bindings) then
+    Infeasible
+  else
+    match build_program machine r with
+    | None -> Failed
+    | Some program -> (
+      match
+        Executor.measure machine r.variant.Variant.kernel ~n:r.n ~mode:r.mode
+          program
+      with
+      | exception Invalid_argument _ -> Failed
+      | m -> Measured (program, m))
+
+(* Commit one fresh result: memo table, telemetry, log — always on the
+   coordinating domain, always in request order. *)
+let commit t ?log (r : request) fp raw =
+  match raw with
+  | Measured (program, m) ->
+    Hashtbl.replace t.memo fp (Some (program, m));
+    t.fresh <- t.fresh + 1;
+    t.simulated_cycles <- t.simulated_cycles +. Executor.cycles m;
+    (match log with
+    | Some log ->
+      Search_log.record log
+        {
+          Search_log.variant = r.variant.Variant.name;
+          bindings = r.bindings;
+          prefetch = r.prefetch;
+          cycles = Executor.cycles m;
+          mflops = m.Executor.mflops;
+        }
+    | None -> ());
+    Some { program; measurement = m; cached = false }
+  | Infeasible ->
+    Hashtbl.replace t.memo fp None;
+    t.pruned <- t.pruned + 1;
+    (match log with Some log -> Search_log.note_pruned log | None -> ());
+    None
+  | Failed ->
+    Hashtbl.replace t.memo fp None;
+    t.failed <- t.failed + 1;
+    (match log with Some log -> Search_log.note_pruned log | None -> ());
+    None
+
+let serve_hit t ?log entry =
+  t.hits <- t.hits + 1;
+  (match log with Some log -> Search_log.note_hit log | None -> ());
+  match entry with
+  | Some (program, m) -> Some { program; measurement = m; cached = true }
+  | None -> None
+
+let evaluate_canonical t ?log r =
+  let fp = fingerprint t r in
+  match Hashtbl.find_opt t.memo fp with
+  | Some entry -> serve_hit t ?log entry
+  | None ->
+    let t0 = Unix_time.now () in
+    let raw = simulate t.machine r in
+    t.eval_seconds <- t.eval_seconds +. (Unix_time.now () -. t0);
+    commit t ?log r fp raw
+
+let evaluate t ?log r = evaluate_canonical t ?log (canonical r)
+
+(* Strided parallel map: worker [w] takes indices w, w+jobs, w+2*jobs...
+   so neighbouring (similarly-sized) candidates spread across domains.
+   Batches too small to amortize the domain spawns run serially — the
+   result is identical either way (commit order is fixed by the caller),
+   only the wall time differs. *)
+let parallel_map jobs f arr =
+  let n = Array.length arr in
+  let out = Array.make n None in
+  let jobs = if n < 2 * jobs then 1 else jobs in
+  if jobs <= 1 then Array.iteri (fun i x -> out.(i) <- Some (f x)) arr
+  else begin
+    let domains =
+      List.init jobs (fun w ->
+          Domain.spawn (fun () ->
+              let acc = ref [] in
+              let i = ref w in
+              while !i < n do
+                acc := (!i, f arr.(!i)) :: !acc;
+                i := !i + jobs
+              done;
+              !acc))
+    in
+    List.iter
+      (fun d -> List.iter (fun (i, r) -> out.(i) <- Some r) (Domain.join d))
+      domains
+  end;
+  Array.map Option.get out
+
+let evaluate_batch t ?log reqs =
+  let reqs = List.map canonical reqs in
+  if t.jobs <= 1 then List.map (evaluate_canonical t ?log) reqs
+  else begin
+    (* Plan: classify each request as a memo hit, a duplicate of an
+       earlier slot, or a scheduled miss. *)
+    let slots = Hashtbl.create 16 in
+    let plan =
+      List.map
+        (fun r ->
+          let fp = fingerprint t r in
+          if Hashtbl.mem t.memo fp then `Hit fp
+          else
+            match Hashtbl.find_opt slots fp with
+            | Some _ -> `Dup fp
+            | None ->
+              let slot = Hashtbl.length slots in
+              Hashtbl.add slots fp slot;
+              `Run (r, fp, slot))
+        reqs
+    in
+    let to_run =
+      Array.of_list
+        (List.filter_map
+           (function `Run (r, _, _) -> Some r | `Hit _ | `Dup _ -> None)
+           plan)
+    in
+    let t0 = Unix_time.now () in
+    let raws = parallel_map t.jobs (simulate t.machine) to_run in
+    t.eval_seconds <- t.eval_seconds +. (Unix_time.now () -. t0);
+    (* Commit in request order: memo, telemetry and log end up identical
+       to a serial evaluation of the same list (a duplicate always
+       follows the slot that simulates it, so it resolves as a hit). *)
+    List.map
+      (function
+        | `Hit fp | `Dup fp -> serve_hit t ?log (Hashtbl.find t.memo fp)
+        | `Run (r, fp, slot) -> commit t ?log r fp raws.(slot))
+      plan
+  end
+
+let program_fingerprint kernel ~n ~mode shape =
+  {
+    fp_kernel = kernel.Kernels.Kernel.name;
+    fp_variant = "#program";
+    fp_shape = shape;
+    fp_n = n;
+    fp_mode = mode;
+    fp_bindings = [];
+    fp_prefetch = [];
+    fp_check = false;
+  }
+
+let measure_program t ?key kernel ~n ~mode program =
+  let shape =
+    match key with
+    | Some k -> Some ("key:" ^ k)
+    | None -> (
+      (* Programs are pure data, so a structural digest identifies them;
+         if that ever stops holding, fall back to unmemoized execution
+         rather than mis-sharing. *)
+      match Marshal.to_string program [] with
+      | s -> Some ("digest:" ^ Digest.to_hex (Digest.string s))
+      | exception _ -> None)
+  in
+  let run () =
+    let t0 = Unix_time.now () in
+    let m = Executor.measure t.machine kernel ~n ~mode program in
+    t.eval_seconds <- t.eval_seconds +. (Unix_time.now () -. t0);
+    t.fresh <- t.fresh + 1;
+    t.simulated_cycles <- t.simulated_cycles +. Executor.cycles m;
+    m
+  in
+  match shape with
+  | None -> run ()
+  | Some shape -> (
+    let fp = program_fingerprint kernel ~n ~mode shape in
+    match Hashtbl.find_opt t.memo fp with
+    | Some (Some (_, m)) ->
+      t.hits <- t.hits + 1;
+      m
+    | Some None | None ->
+      let m = run () in
+      Hashtbl.replace t.memo fp (Some (program, m));
+      m)

@@ -1,0 +1,116 @@
+(** The evaluation engine: every candidate measurement in the system
+    goes through here.
+
+    The paper's argument (§3.2, §4.3) is that model pruning keeps the
+    {e number} of empirical evaluations small; this module makes each
+    remaining evaluation as cheap as possible and lets independent
+    candidates overlap:
+
+    - {b Memoization} — measurements are keyed by a canonical
+      fingerprint [(kernel, variant shape, n, mode, bindings,
+      prefetch)], so a point revisited by a later search stage, another
+      strategy, or another experiment sharing the engine is served from
+      the memo table without re-simulation.  Infeasible points are
+      cached too, so constraint pruning is paid once per point.
+    - {b Parallelism} — [evaluate_batch] runs memo misses on a pool of
+      [jobs] domains (hierarchy state is created per evaluation, so
+      workers share nothing).  Results are committed to the memo table,
+      telemetry and the {!Search_log} in request order, so a batch
+      produces bit-for-bit the same state at any [jobs]; [jobs = 1]
+      additionally evaluates serially in request order.
+    - {b Telemetry} — per-engine counters (memo hits, fresh
+      simulations, constraint-pruned candidates, simulated cycles, wall
+      seconds inside evaluation) and per-search counters via the log.
+
+    An engine is bound to one machine model.  It is not itself
+    thread-safe: call it from one coordinating domain and let it spread
+    batches over its own workers. *)
+
+type t
+
+(** [create ?jobs machine] makes an engine for [machine].  [jobs]
+    defaults to 1 (serial, deterministic evaluation order); [0] selects
+    {!default_jobs}. *)
+val create : ?jobs:int -> Machine.t -> t
+
+(** [Domain.recommended_domain_count ()]. *)
+val default_jobs : unit -> int
+
+val machine : t -> Machine.t
+val jobs : t -> int
+
+(** One candidate point of one variant. *)
+type request = {
+  variant : Variant.t;
+  n : int;
+  mode : Executor.mode;
+  bindings : (string * int) list;
+  prefetch : (string * int) list;  (** (array, distance) list *)
+  check : bool;
+      (** enforce the variant's phase-1 feasibility constraints before
+          simulating (the model pruning); [false] replicates a raw
+          measurement of a hand-picked point *)
+}
+
+val request :
+  ?check:bool ->
+  ?prefetch:(string * int) list ->
+  Variant.t ->
+  n:int ->
+  mode:Executor.mode ->
+  bindings:(string * int) list ->
+  request
+
+type evaluation = {
+  program : Ir.Program.t;  (** instantiated, with prefetches applied *)
+  measurement : Executor.measurement;
+  cached : bool;  (** served from the memo table, not re-simulated *)
+}
+
+(** Evaluate one point.  [None] when the point is infeasible (pruned by
+    constraints) or the variant cannot be instantiated at it.  When
+    [log] is given, fresh evaluations are {!Search_log.record}ed, memo
+    hits {!Search_log.note_hit}ed and pruned candidates
+    {!Search_log.note_pruned}ed. *)
+val evaluate : t -> ?log:Search_log.t -> request -> evaluation option
+
+(** Evaluate an independent batch; result list is in request order.
+    Memo hits and duplicate requests within the batch are simulated at
+    most once; the remaining misses run on the domain pool when
+    [jobs t > 1].  Identical results (and identical log contents) to
+    repeated {!evaluate} calls in list order. *)
+val evaluate_batch :
+  t -> ?log:Search_log.t -> request list -> evaluation option list
+
+(** Instantiate the request's program (variant + bindings + prefetch)
+    without measuring it; [None] if instantiation fails.  Feasibility is
+    not checked. *)
+val build : t -> request -> Ir.Program.t option
+
+(** Measure an explicit program (one not described by a variant point:
+    the native-compiler model's output, a padded program, the
+    untransformed kernel...).  Memoized under [key] when given;
+    otherwise under a structural digest of the program, falling back to
+    unmemoized execution if the program cannot be digested.
+    @raise Invalid_argument if the program is malformed. *)
+val measure_program :
+  t ->
+  ?key:string ->
+  Kernels.Kernel.t ->
+  n:int ->
+  mode:Executor.mode ->
+  Ir.Program.t ->
+  Executor.measurement
+
+(** Cumulative engine-lifetime telemetry. *)
+type stats = {
+  hits : int;  (** requests served from the memo table *)
+  fresh : int;  (** actual simulations run *)
+  pruned : int;  (** candidates rejected by constraints, no simulation *)
+  failed : int;  (** instantiation/measurement failures *)
+  simulated_cycles : float;  (** total cycles across fresh measurements *)
+  eval_seconds : float;  (** wall time spent inside evaluation *)
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

@@ -7,72 +7,68 @@ type outcome = {
 }
 
 type state = {
-  machine : Machine.t;
+  engine : Engine.t;
   n : int;
   mode : Executor.mode;
   log : Search_log.t option;
   variant : Variant.t;
-  memo : ((string * int) list * (string * int) list, float option) Hashtbl.t;
   mutable best : outcome option;
 }
 
-let line_elems st = Machine.line_elems st.machine 0
+let line_elems st = Machine.line_elems (Engine.machine st.engine) 0
 
-let build st ~bindings ~prefetch =
-  match Variant.instantiate st.variant ~bindings with
-  | exception Invalid_argument _ -> None
-  | program ->
-    let program =
-      List.fold_left
-        (fun p (array, distance) ->
-          Transform.Prefetch_insert.apply p ~array ~distance
-            ~line_elems:(line_elems st))
-        program prefetch
-    in
-    Some program
+let request st ~bindings ~prefetch =
+  Engine.request st.variant ~n:st.n ~mode:st.mode ~bindings ~prefetch
 
-(* Evaluate one point; memoized.  Returns simulated cycles, or [None]
-   when infeasible. *)
+(* Fold an engine result into the running best.  Memo hits participate
+   too: the first evaluation of a point may have happened in another
+   search (triage, another stage) that shares the engine. *)
+let consider st ~bindings ~prefetch (ev : Engine.evaluation) =
+  let c = Executor.cycles ev.Engine.measurement in
+  (match st.best with
+  | Some b when Executor.cycles b.measurement <= c -> ()
+  | _ ->
+    st.best <-
+      Some
+        {
+          variant = st.variant;
+          bindings;
+          prefetch;
+          program = ev.Engine.program;
+          measurement = ev.Engine.measurement;
+        });
+  c
+
+(* Evaluate one point through the engine (memoized there).  Returns
+   simulated cycles, or [None] when infeasible. *)
 let evaluate st ~bindings ~prefetch =
   let bindings = List.sort compare bindings in
   let prefetch = List.sort compare prefetch in
-  let key = (bindings, prefetch) in
-  match Hashtbl.find_opt st.memo key with
-  | Some cached -> cached
-  | None ->
-    let result =
-      if not (Variant.feasible st.variant ~n:st.n bindings) then None
-      else
-        match build st ~bindings ~prefetch with
-        | None -> None
-        | Some program -> (
-          match
-            Executor.measure st.machine st.variant.Variant.kernel ~n:st.n
-              ~mode:st.mode program
-          with
-          | exception Invalid_argument _ -> None
-          | m ->
-            (match st.log with
-            | Some log ->
-              Search_log.record log
-                {
-                  Search_log.variant = st.variant.Variant.name;
-                  bindings;
-                  prefetch;
-                  cycles = Executor.cycles m;
-                  mflops = m.Executor.mflops;
-                }
-            | None -> ());
-            let c = Executor.cycles m in
-            (match st.best with
-            | Some b when Executor.cycles b.measurement <= c -> ()
-            | _ ->
-              st.best <-
-                Some { variant = st.variant; bindings; prefetch; program; measurement = m });
-            Some c)
-    in
-    Hashtbl.replace st.memo key result;
-    result
+  match Engine.evaluate st.engine ?log:st.log (request st ~bindings ~prefetch) with
+  | Some ev -> Some (consider st ~bindings ~prefetch ev)
+  | None -> None
+
+(* Evaluate an independent candidate neighbourhood as one engine batch
+   (parallel when the engine has jobs > 1) and return the best improving
+   candidate, breaking ties towards the earliest — the same selection a
+   serial fold over the list makes. *)
+let evaluate_sweep st ~prefetch candidates =
+  let prefetch = List.sort compare prefetch in
+  let candidates = List.map (List.sort compare) candidates in
+  let evs =
+    Engine.evaluate_batch st.engine ?log:st.log
+      (List.map (fun bindings -> request st ~bindings ~prefetch) candidates)
+  in
+  List.fold_left2
+    (fun acc bindings ev ->
+      match ev with
+      | None -> acc
+      | Some ev -> (
+        let c = consider st ~bindings ~prefetch ev in
+        match acc with
+        | Some (_, c') when c' <= c -> acc
+        | _ -> Some (bindings, c)))
+    None candidates evs
 
 (* --- stage search over a subset of parameters --- *)
 
@@ -83,7 +79,8 @@ let set_params bindings updates =
 
 (* Largest uniform value for the stage parameters that stays feasible
    (the model's initial point: the footprint heuristic saturates the
-   capacity constraints). *)
+   capacity constraints).  Pure constraint arithmetic — no simulation,
+   so it does not go through the engine. *)
 let initial_uniform st stage bindings =
   let feasible_at m =
     Variant.feasible st.variant ~n:st.n
@@ -106,7 +103,7 @@ let initial_uniform st stage bindings =
 let halve v = max 1 (v / 2)
 
 (* One shape-walk sweep: try doubling p while halving q, for all ordered
-   pairs; move greedily while improving. *)
+   pairs; the neighbourhood is independent, so it evaluates as a batch. *)
 let rec shape_walk st stage ~prefetch bindings current =
   let candidates =
     List.concat_map
@@ -121,22 +118,12 @@ let rec shape_walk st stage ~prefetch bindings current =
           stage)
       stage
   in
-  let best =
-    List.fold_left
-      (fun acc cand ->
-        match evaluate st ~bindings:cand ~prefetch with
-        | Some c -> (
-          match acc with
-          | Some (_, c') when c' <= c -> acc
-          | _ -> Some (cand, c))
-        | None -> acc)
-      None candidates
-  in
-  match best with
+  match evaluate_sweep st ~prefetch candidates with
   | Some (cand, c) when c < current -> shape_walk st stage ~prefetch cand c
   | _ -> (bindings, current)
 
-(* Linear refinement: nudge each parameter by +-delta while improving. *)
+(* Linear refinement: nudge each parameter by +-delta while improving;
+   each round's candidates are independent and batched. *)
 let rec linear_refine st stage ~prefetch ~delta bindings current =
   let candidates =
     List.concat_map
@@ -148,18 +135,7 @@ let rec linear_refine st stage ~prefetch ~delta bindings current =
           [ v + d; v - d ])
       stage
   in
-  let best =
-    List.fold_left
-      (fun acc cand ->
-        match evaluate st ~bindings:cand ~prefetch with
-        | Some c -> (
-          match acc with
-          | Some (_, c') when c' <= c -> acc
-          | _ -> Some (cand, c))
-        | None -> acc)
-      None candidates
-  in
-  match best with
+  match evaluate_sweep st ~prefetch candidates with
   | Some (cand, c) when c < current ->
     linear_refine st stage ~prefetch ~delta cand c
   | _ -> (bindings, current)
@@ -199,7 +175,8 @@ let stage_search st stage ~prefetch ~delta bindings =
    multiples of any tile size or unroll factor previously selected are
    favored" (§3.2): snap each tile to a nearby multiple of its loop's
    unroll factor or of the cache line, keeping the snap if performance
-   does not degrade beyond a whisker. *)
+   does not degrade beyond a whisker.  Each acceptance feeds the next
+   candidate, so this stays serial. *)
 let snap_multiples st ~prefetch bindings current =
   let tolerance = 1.0 in
   List.fold_left
@@ -231,7 +208,7 @@ let snap_multiples st ~prefetch bindings current =
 (* --- prefetch search --- *)
 
 let prefetch_search st ~bindings current_cycles =
-  match build st ~bindings ~prefetch:[] with
+  match Engine.build st.engine (request st ~bindings ~prefetch:[]) with
   | None -> ([], current_cycles)
   | Some program ->
     let candidates = Transform.Prefetch_insert.candidates program in
@@ -271,18 +248,8 @@ let adjust st ~prefetch bindings current =
     in
     grow bindings current
 
-let tune_variant machine ~n ~mode ~log variant =
-  let st =
-    {
-      machine;
-      n;
-      mode;
-      log = Some log;
-      variant;
-      memo = Hashtbl.create 64;
-      best = None;
-    }
-  in
+let tune_variant engine ~n ~mode ~log variant =
+  let st = { engine; n; mode; log = Some log; variant; best = None } in
   let unroll_params = List.map snd variant.Variant.unrolls in
   let tile_params = List.map snd variant.Variant.tiles in
   let all_params = unroll_params @ tile_params in
@@ -314,38 +281,41 @@ let tune_variant machine ~n ~mode ~log variant =
       ignore b3;
       st.best)
 
-let model_point machine ~n variant =
-  let st =
-    {
-      machine;
-      n;
-      mode = Executor.Full;
-      log = None;
-      variant;
-      memo = Hashtbl.create 1;
-      best = None;
-    }
+let model_point _machine ~n variant =
+  (* Pure constraint arithmetic — no engine, no simulation. *)
+  let feasible_at bindings = Variant.feasible variant ~n bindings in
+  let uniform stage bindings =
+    let at m = feasible_at (set_params bindings (List.map (fun p -> (p, m)) stage)) in
+    let rec grow m = if m * 2 <= 4096 && at (m * 2) then grow (m * 2) else m in
+    let rec refine lo hi =
+      if hi - lo <= 1 then if at hi then hi else lo
+      else
+        let mid = (lo + hi) / 2 in
+        if at mid then refine mid hi else refine lo mid
+    in
+    if not (at 1) then None
+    else
+      let m = grow 1 in
+      Some (if at (m * 2) then m * 2 else refine m (m * 2))
   in
   let unroll_params = List.map snd variant.Variant.unrolls in
   let tile_params = List.map snd variant.Variant.tiles in
   let start = List.map (fun p -> (p, 1)) (unroll_params @ tile_params) in
-  match initial_uniform st tile_params start with
+  match uniform tile_params start with
   | None -> None
   | Some mt ->
     let with_tiles =
       if tile_params = [] then start
       else set_params start (List.map (fun p -> (p, mt)) tile_params)
     in
-    (match initial_uniform st unroll_params with_tiles with
+    (match uniform unroll_params with_tiles with
     | None -> None
     | Some mu ->
       if unroll_params = [] then Some with_tiles
       else Some (set_params with_tiles (List.map (fun p -> (p, mu)) unroll_params)))
 
-let measure_point machine ~n ~mode ?log variant ~bindings ~prefetch =
-  let st =
-    { machine; n; mode; log; variant; memo = Hashtbl.create 4; best = None }
-  in
+let measure_point engine ~n ~mode ?log variant ~bindings ~prefetch =
+  let st = { engine; n; mode; log; variant; best = None } in
   match evaluate st ~bindings ~prefetch with
   | Some _ -> st.best
   | None -> None

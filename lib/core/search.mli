@@ -15,10 +15,13 @@
       innermost tile (prefetching favours longer streams), re-checking
       the constraints.
 
-    Every evaluation instantiates the variant, runs it on the simulated
-    machine, and is recorded in the log; candidates violating the
-    phase-1 constraints are skipped without execution — the pruning that
-    keeps the search small. *)
+    Every evaluation goes through the {!Engine}: candidates violating
+    the phase-1 constraints are pruned without execution, repeat points
+    (across stages, variants, or strategies sharing the engine) are
+    served from its memo table, and the independent candidate
+    neighbourhoods of the shape walk and linear refinement evaluate as
+    batches — in parallel when the engine has [jobs > 1], with identical
+    results either way. *)
 
 type outcome = {
   variant : Variant.t;
@@ -28,10 +31,10 @@ type outcome = {
   measurement : Executor.measurement;
 }
 
-(** [tune_variant machine ~n ~mode ~log variant] returns the best
+(** [tune_variant engine ~n ~mode ~log variant] returns the best
     parameter setting found, or [None] when no feasible point exists. *)
 val tune_variant :
-  Machine.t ->
+  Engine.t ->
   n:int ->
   mode:Executor.mode ->
   log:Search_log.t ->
@@ -42,13 +45,15 @@ val tune_variant :
     saturating the phase-1 constraints), with no empirical input at all
     — what a purely model-driven compiler would pick (Yotov et al.'s
     question, used by the ablation experiment).  [None] when even the
-    all-ones point is infeasible. *)
+    all-ones point is infeasible.  Pure constraint arithmetic: runs no
+    simulation (the machine argument is kept for call-site symmetry with
+    the measuring entry points). *)
 val model_point : Machine.t -> n:int -> Variant.t -> (string * int) list option
 
 (** Instantiate + prefetch + measure one explicit point (used by the
     experiment harness for Table 1's hand-picked parameter settings). *)
 val measure_point :
-  Machine.t ->
+  Engine.t ->
   n:int ->
   mode:Executor.mode ->
   ?log:Search_log.t ->

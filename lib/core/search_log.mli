@@ -1,5 +1,12 @@
 (** Log of every empirical experiment the search runs — the data behind
-    the paper's §4.3 search-cost comparison. *)
+    the paper's §4.3 search-cost comparison.
+
+    Only {e fresh} evaluations become entries.  Replays served from the
+    evaluation engine's memo table are counted separately via
+    {!note_hit}, and candidates pruned by the phase-1 constraints
+    (rejected without any simulation) via {!note_pruned} — so {!points},
+    the paper's search-cost metric, provably excludes memoized replays
+    and model-pruned candidates. *)
 
 type entry = {
   variant : string;
@@ -12,11 +19,30 @@ type entry = {
 type t
 
 val create : unit -> t
+
+(** Record a fresh (actually simulated) evaluation. *)
 val record : t -> entry -> unit
+
+(** Count a memo hit: the point was requested again but not re-simulated. *)
+val note_hit : t -> unit
+
+(** Count a candidate rejected by the phase-1 constraints before any
+    simulation — the model pruning that keeps the search small. *)
+val note_pruned : t -> unit
+
 val entries : t -> entry list
 
 (** Number of distinct points evaluated (cache hits excluded). *)
 val points : t -> int
+
+(** Synonym for {!points}: fresh evaluations only. *)
+val fresh : t -> int
+
+(** Memoized replays served without re-simulation. *)
+val hits : t -> int
+
+(** Candidates rejected by constraints without simulation. *)
+val pruned : t -> int
 
 (** Wall-clock seconds since [create]. *)
 val seconds : t -> float

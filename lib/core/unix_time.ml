@@ -1,3 +1,9 @@
-(* Sys.time is CPU time, which is what search-cost accounting wants in a
-   single-threaded tuner (and is immune to machine load). *)
-let now () = Sys.time ()
+(* Wall-clock time.  The evaluation engine runs candidate batches on a
+   pool of domains, so CPU time (the old implementation) no longer
+   reflects search latency: a parallel search burns the same CPU seconds
+   but finishes earlier.  Search-cost accounting therefore uses wall
+   time, which is what the paper's "machine time to evaluate candidates"
+   means once evaluations overlap. *)
+let now () = Unix.gettimeofday ()
+
+let cpu () = Sys.time ()

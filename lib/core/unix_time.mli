@@ -1,3 +1,6 @@
-(** Minimal monotonic-ish wall-clock without a Unix dependency. *)
-
+(** Wall-clock seconds (epoch-based): search-cost accounting that stays
+    meaningful when candidate evaluations run in parallel. *)
 val now : unit -> float
+
+(** Process CPU seconds, for callers that want the serial-work measure. *)
+val cpu : unit -> float

@@ -4,7 +4,10 @@ let run ?mode ?(machine = Machine.sgi_r10000) ?n () =
   let mode = match mode with Some m -> m | None -> Config.budget () in
   let n = match n with Some n -> n | None -> Config.mm_tune_size () in
   let kernel = Kernels.Matmul.kernel in
-  let eco = Core.Eco.optimize ~mode machine kernel ~n in
+  (* One engine across all ablation arms: what the full hybrid already
+     measured, the handicapped arms replay from the memo table. *)
+  let engine = Core.Engine.create machine in
+  let eco = Core.Eco.optimize_with ~mode engine kernel ~n in
   let hybrid =
     {
       what = "ECO hybrid (models + search)";
@@ -13,7 +16,7 @@ let run ?mode ?(machine = Machine.sgi_r10000) ?n () =
     }
   in
   let model_only =
-    match Baselines.Model_only.optimize machine kernel ~n ~mode with
+    match Baselines.Model_only.optimize engine kernel ~n ~mode with
     | Some r ->
       {
         what = "model only (no search)";
@@ -22,7 +25,7 @@ let run ?mode ?(machine = Machine.sgi_r10000) ?n () =
       }
     | None -> { what = "model only (no search)"; mflops = 0.0; points = 0 }
   in
-  let atlas = Baselines.Atlas_search.tune machine ~n ~mode in
+  let atlas = Baselines.Atlas_search.tune engine ~n ~mode in
   let search_only =
     {
       what = "search only (no models)";
@@ -38,7 +41,7 @@ let run ?mode ?(machine = Machine.sgi_r10000) ?n () =
     in
     let log = Core.Search_log.create () in
     let outcomes =
-      List.filter_map (Core.Search.tune_variant machine ~n ~mode ~log) variants
+      List.filter_map (Core.Search.tune_variant engine ~n ~mode ~log) variants
     in
     match outcomes with
     | [] -> { what = "ECO without copy"; mflops = 0.0; points = 0 }
@@ -62,7 +65,7 @@ let run ?mode ?(machine = Machine.sgi_r10000) ?n () =
   let no_prefetch =
     let o = eco.Core.Eco.outcome in
     match
-      Core.Search.measure_point machine ~n ~mode o.Core.Search.variant
+      Core.Search.measure_point engine ~n ~mode o.Core.Search.variant
         ~bindings:o.Core.Search.bindings ~prefetch:[]
     with
     | Some out ->

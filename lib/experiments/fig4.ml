@@ -9,8 +9,11 @@ let run ?mode ?sizes ?tune_n machine =
   let mode = match mode with Some m -> m | None -> Config.budget () in
   let sizes = match sizes with Some s -> s | None -> Config.mm_sizes () in
   let tune_n = match tune_n with Some n -> n | None -> Config.mm_tune_size () in
-  let eco = Core.Eco.optimize ~mode machine Kernels.Matmul.kernel ~n:tune_n in
-  let atlas = Baselines.Atlas_search.tune machine ~n:tune_n ~mode in
+  (* One engine per machine: the tuning searches and the size sweeps of
+     all four versions share its memo table. *)
+  let engine = Core.Engine.create machine in
+  let eco = Core.Eco.optimize_with ~mode engine Kernels.Matmul.kernel ~n:tune_n in
+  let atlas = Baselines.Atlas_search.tune engine ~n:tune_n ~mode in
   let sweep f = List.map (fun n -> (n, f n)) sizes in
   let eco_series =
     sweep (fun n ->
@@ -20,18 +23,18 @@ let run ?mode ?sizes ?tune_n machine =
   in
   let native_series =
     sweep (fun n ->
-        (Baselines.Native_compiler.measure machine Kernels.Matmul.kernel ~n ~mode)
+        (Baselines.Native_compiler.measure engine Kernels.Matmul.kernel ~n ~mode)
           .Core.Executor.mflops)
   in
   let atlas_series =
     sweep (fun n ->
-        (Baselines.Atlas_search.measure_at machine
+        (Baselines.Atlas_search.measure_at engine
            atlas.Baselines.Atlas_search.config ~n ~mode)
           .Core.Executor.mflops)
   in
   let vendor_series =
     sweep (fun n ->
-        (Baselines.Vendor_blas.measure machine ~n ~mode).Core.Executor.mflops)
+        (Baselines.Vendor_blas.measure engine ~n ~mode).Core.Executor.mflops)
   in
   {
     machine;

@@ -8,7 +8,10 @@ let run ?mode ?sizes ?tune_n machine =
   let mode = match mode with Some m -> m | None -> Config.budget () in
   let sizes = match sizes with Some s -> s | None -> Config.jacobi_sizes () in
   let tune_n = match tune_n with Some n -> n | None -> Config.jacobi_tune_size () in
-  let eco = Core.Eco.optimize ~mode machine Kernels.Jacobi3d.kernel ~n:tune_n in
+  let engine = Core.Engine.create machine in
+  let eco =
+    Core.Eco.optimize_with ~mode engine Kernels.Jacobi3d.kernel ~n:tune_n
+  in
   let sweep f = List.map (fun n -> (n, f n)) sizes in
   let eco_series =
     sweep (fun n ->
@@ -18,7 +21,7 @@ let run ?mode ?sizes ?tune_n machine =
   in
   let native_series =
     sweep (fun n ->
-        (Baselines.Native_compiler.measure machine Kernels.Jacobi3d.kernel ~n ~mode)
+        (Baselines.Native_compiler.measure engine Kernels.Jacobi3d.kernel ~n ~mode)
           .Core.Executor.mflops)
   in
   {

@@ -10,7 +10,8 @@ let run ?mode ?sizes ?tune_n machine =
     match tune_n with Some n -> n | None -> Config.jacobi_tune_size ()
   in
   let kernel = Kernels.Jacobi3d.kernel in
-  let eco = Core.Eco.optimize ~mode machine kernel ~n:tune_n in
+  let engine = Core.Engine.create machine in
+  let eco = Core.Eco.optimize_with ~mode engine kernel ~n:tune_n in
   let program = eco.Core.Eco.outcome.Core.Search.program in
   let padded =
     Transform.Pad.apply_all program ~amount:(Transform.Pad.default_amount machine)
@@ -18,7 +19,9 @@ let run ?mode ?sizes ?tune_n machine =
   let sweep p =
     List.map
       (fun n ->
-        (n, (Core.Executor.measure machine kernel ~n ~mode p).Core.Executor.mflops))
+        ( n,
+          (Core.Engine.measure_program engine kernel ~n ~mode p)
+            .Core.Executor.mflops ))
       sizes
   in
   {

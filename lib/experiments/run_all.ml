@@ -8,7 +8,7 @@ let banner print title =
   print title;
   print (String.make 72 '=')
 
-let run ~print name =
+let run ~print ?(jobs = 1) name =
   match name with
   | "table1" ->
     banner print "Table 1: performance variation with optimization parameters (SGI)";
@@ -33,7 +33,7 @@ let run ~print name =
     List.iter print (Fig5.render (Fig5.run Machine.ultrasparc_iie))
   | "search_cost" ->
     banner print "Section 4.3: cost of search";
-    List.iter print (Search_cost.render (Search_cost.run ()))
+    List.iter print (Search_cost.render (Search_cost.run ~jobs ()))
   | "ablation" ->
     banner print "Ablation: models vs search vs hybrid; copy and prefetch (SGI MM)";
     List.iter print (Ablation.render (Ablation.run ()))
@@ -51,4 +51,5 @@ let run ~print name =
       (Printf.sprintf "unknown experiment %s (known: %s)" other
          (String.concat ", " names))
 
-let run_everything ~print = List.iter (run ~print) names
+let run_everything ~print ?(jobs = 1) () =
+  List.iter (run ~print ~jobs) names

@@ -4,7 +4,9 @@
 val names : string list
 
 (** [run ~print name] runs one experiment; raises [Invalid_argument] on
-    unknown names. *)
-val run : print:(string -> unit) -> string -> unit
+    unknown names.  [jobs] sets the evaluation parallelism for the
+    experiments that expose it (currently the search-cost comparison);
+    results are identical at any [jobs]. *)
+val run : print:(string -> unit) -> ?jobs:int -> string -> unit
 
-val run_everything : print:(string -> unit) -> unit
+val run_everything : print:(string -> unit) -> ?jobs:int -> unit -> unit

@@ -1,18 +1,19 @@
-(** §4.3 — "Cost of Search": points evaluated and CPU seconds for the
-    ECO search on each kernel/machine, against the ATLAS-style
+(** §4.3 — "Cost of Search": points evaluated and wall-clock seconds for
+    the ECO search on each kernel/machine, against the ATLAS-style
     exhaustive sweep for Matrix Multiply.  The paper reports 60/44
     ECO points for MM (8/6 min) and 94/148 for Jacobi, with the ATLAS
     search 2–4x slower; the reproduction's claim is the same ordering:
     ECO needs several times fewer points and less time than the
-    un-guided search. *)
+    un-guided search.  [jobs > 1] evaluates candidate batches in
+    parallel (same points and winners; less wall time). *)
 
 type entry = {
   what : string;
   machine : string;
   points : int;
-  seconds : float;
+  seconds : float;  (** wall-clock search time *)
   best_mflops : float;
 }
 
-val run : ?mode:Core.Executor.mode -> unit -> entry list
+val run : ?mode:Core.Executor.mode -> ?jobs:int -> unit -> entry list
 val render : entry list -> string list

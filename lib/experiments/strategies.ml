@@ -4,7 +4,10 @@ let run ?mode ?(machine = Machine.sgi_r10000) ?n () =
   let mode = match mode with Some m -> m | None -> Config.budget () in
   let n = match n with Some n -> n | None -> Config.mm_tune_size () in
   let kernel = Kernels.Matmul.kernel in
-  let eco = Core.Eco.optimize ~mode machine kernel ~n in
+  (* All five strategies measure through one engine, so a point two
+     strategies both visit is simulated once. *)
+  let engine = Core.Engine.create machine in
+  let eco = Core.Eco.optimize_with ~mode engine kernel ~n in
   let eco_points = Core.Search_log.points eco.Core.Eco.log in
   let guided =
     {
@@ -17,7 +20,7 @@ let run ?mode ?(machine = Machine.sgi_r10000) ?n () =
   let variant = eco.Core.Eco.outcome.Core.Search.variant in
   let random =
     match
-      Baselines.Random_search.tune machine ~n ~mode ~points:eco_points ~seed:42
+      Baselines.Random_search.tune engine ~n ~mode ~points:eco_points ~seed:42
         variant
     with
     | Some r ->
@@ -30,7 +33,7 @@ let run ?mode ?(machine = Machine.sgi_r10000) ?n () =
   in
   let annealed =
     match
-      Baselines.Anneal.tune machine ~n ~mode ~points:eco_points ~seed:42 variant
+      Baselines.Anneal.tune engine ~n ~mode ~points:eco_points ~seed:42 variant
     with
     | Some r ->
       {
@@ -41,7 +44,7 @@ let run ?mode ?(machine = Machine.sgi_r10000) ?n () =
     | None ->
       { what = "simulated annealing (same budget)"; mflops = 0.0; points = 0 }
   in
-  let atlas = Baselines.Atlas_search.tune machine ~n ~mode in
+  let atlas = Baselines.Atlas_search.tune engine ~n ~mode in
   let exhaustive =
     {
       what = "exhaustive grid (ATLAS-style)";
@@ -50,7 +53,7 @@ let run ?mode ?(machine = Machine.sgi_r10000) ?n () =
     }
   in
   let model =
-    match Baselines.Model_only.optimize machine kernel ~n ~mode with
+    match Baselines.Model_only.optimize engine kernel ~n ~mode with
     | Some r ->
       {
         what = "model prediction (no search)";

@@ -85,16 +85,16 @@ let jacobi_variant ~ti ~tj ~tk =
     notes = [];
   }
 
-let measure_version machine mode ~kernel ~variant ~bindings ~prefetch ~n =
+let measure_version engine mode ~kernel ~variant ~bindings ~prefetch ~n =
   match
-    Core.Search.measure_point machine ~n ~mode variant ~bindings ~prefetch
+    Core.Search.measure_point engine ~n ~mode variant ~bindings ~prefetch
   with
   | Some o ->
     ignore kernel;
     Some o.Core.Search.measurement
   | None -> None
 
-let mm_row machine mode ~name ~ti ~tj ~tk ~pref =
+let mm_row engine mode ~name ~ti ~tj ~tk ~pref =
   let n = Config.table1_mm_size () in
   let ti = min ti n and tj = min tj n and tk = min tk n in
   let variant = mm_variant ~ti ~tj ~tk in
@@ -108,7 +108,7 @@ let mm_row machine mode ~name ~ti ~tj ~tk ~pref =
   in
   let prefetch = if pref then [ ("q_a", 8); ("p_b", 8) ] else [] in
   match
-    measure_version machine mode ~kernel:Kernels.Matmul.kernel ~variant
+    measure_version engine mode ~kernel:Kernels.Matmul.kernel ~variant
       ~bindings ~prefetch ~n
   with
   | None -> failwith ("table1: infeasible " ^ name)
@@ -129,7 +129,7 @@ let mm_row machine mode ~name ~ti ~tj ~tk ~pref =
       mflops = m.Core.Executor.mflops;
     }
 
-let jacobi_row machine mode ~name ~ti ~tj ~tk ~pref =
+let jacobi_row engine mode ~name ~ti ~tj ~tk ~pref =
   let n = Config.table1_jacobi_size () in
   let ti = min ti n and tj = min tj n and tk = min tk n in
   let variant = jacobi_variant ~ti ~tj ~tk in
@@ -143,7 +143,7 @@ let jacobi_row machine mode ~name ~ti ~tj ~tk ~pref =
   in
   let prefetch = if pref then [ ("a", 4); ("b", 4) ] else [] in
   match
-    measure_version machine mode ~kernel:Kernels.Jacobi3d.kernel ~variant
+    measure_version engine mode ~kernel:Kernels.Jacobi3d.kernel ~variant
       ~bindings ~prefetch ~n
   with
   | None -> failwith ("table1: infeasible " ^ name)
@@ -176,18 +176,20 @@ let rows ?machine ?mode () =
   in
   let j_machine = match machine with Some m -> m | None -> Machine.sgi_r10000 in
   let mode = match mode with Some m -> m | None -> Config.table1_budget () in
+  let mm_engine = Core.Engine.create mm_machine in
+  let j_engine = Core.Engine.create j_machine in
   [
-    mm_row mm_machine mode ~name:"mm1" ~ti:1 ~tj:8 ~tk:16 ~pref:false;
-    mm_row mm_machine mode ~name:"mm2" ~ti:1 ~tj:4 ~tk:32 ~pref:false;
-    mm_row mm_machine mode ~name:"mm3" ~ti:8 ~tj:64 ~tk:64 ~pref:false;
-    mm_row mm_machine mode ~name:"mm4" ~ti:16 ~tj:128 ~tk:32 ~pref:false;
-    mm_row mm_machine mode ~name:"mm5" ~ti:16 ~tj:128 ~tk:32 ~pref:true;
-    jacobi_row j_machine mode ~name:"j1" ~ti:1 ~tj:1 ~tk:1 ~pref:false;
-    jacobi_row j_machine mode ~name:"j2" ~ti:1 ~tj:1 ~tk:1 ~pref:true;
-    jacobi_row j_machine mode ~name:"j3" ~ti:1 ~tj:16 ~tk:8 ~pref:false;
-    jacobi_row j_machine mode ~name:"j4" ~ti:1 ~tj:16 ~tk:8 ~pref:true;
-    jacobi_row j_machine mode ~name:"j5" ~ti:300 ~tj:16 ~tk:1 ~pref:false;
-    jacobi_row j_machine mode ~name:"j6" ~ti:300 ~tj:16 ~tk:1 ~pref:true;
+    mm_row mm_engine mode ~name:"mm1" ~ti:1 ~tj:8 ~tk:16 ~pref:false;
+    mm_row mm_engine mode ~name:"mm2" ~ti:1 ~tj:4 ~tk:32 ~pref:false;
+    mm_row mm_engine mode ~name:"mm3" ~ti:8 ~tj:64 ~tk:64 ~pref:false;
+    mm_row mm_engine mode ~name:"mm4" ~ti:16 ~tj:128 ~tk:32 ~pref:false;
+    mm_row mm_engine mode ~name:"mm5" ~ti:16 ~tj:128 ~tk:32 ~pref:true;
+    jacobi_row j_engine mode ~name:"j1" ~ti:1 ~tj:1 ~tk:1 ~pref:false;
+    jacobi_row j_engine mode ~name:"j2" ~ti:1 ~tj:1 ~tk:1 ~pref:true;
+    jacobi_row j_engine mode ~name:"j3" ~ti:1 ~tj:16 ~tk:8 ~pref:false;
+    jacobi_row j_engine mode ~name:"j4" ~ti:1 ~tj:16 ~tk:8 ~pref:true;
+    jacobi_row j_engine mode ~name:"j5" ~ti:300 ~tj:16 ~tk:1 ~pref:false;
+    jacobi_row j_engine mode ~name:"j6" ~ti:300 ~tj:16 ~tk:1 ~pref:true;
   ]
 
 let mm_rows rows = List.filter (fun r -> String.length r.name >= 2 && r.name.[0] = 'm') rows

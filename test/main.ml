@@ -7,6 +7,7 @@ let () =
       ("transform", Test_transform.suite);
       ("analysis", Test_analysis.suite);
       ("core", Test_core.suite);
+      ("engine", Test_engine.suite);
       ("baselines", Test_baselines.suite);
       ("experiments", Test_experiments.suite);
       ("random", Test_random.suite);

@@ -92,8 +92,9 @@ let fast = Core.Executor.Budget 20_000
 
 let test_anneal_runs () =
   match
-    Baselines.Anneal.tune Machine.sgi_r10000 ~n:32 ~mode:fast ~points:8 ~seed:3
-      (variant ())
+    Baselines.Anneal.tune
+      (Core.Engine.create Machine.sgi_r10000)
+      ~n:32 ~mode:fast ~points:8 ~seed:3 (variant ())
   with
   | Some r ->
     Alcotest.(check bool) "evaluated some points" true
@@ -105,8 +106,9 @@ let test_anneal_runs () =
 let test_anneal_deterministic () =
   let run () =
     match
-      Baselines.Anneal.tune Machine.sgi_r10000 ~n:32 ~mode:fast ~points:6
-        ~seed:5 (variant ())
+      Baselines.Anneal.tune
+        (Core.Engine.create Machine.sgi_r10000)
+        ~n:32 ~mode:fast ~points:6 ~seed:5 (variant ())
     with
     | Some r -> r.Baselines.Anneal.bindings
     | None -> []

@@ -50,8 +50,9 @@ let test_native_jacobi_correct () =
     wa
 
 let test_native_tiling_beats_basic_on_sgi () =
+  let engine = Core.Engine.create sgi in
   let mflops profile =
-    (Baselines.Native_compiler.measure ~profile sgi Matmul.kernel ~n:128
+    (Baselines.Native_compiler.measure ~profile engine Matmul.kernel ~n:128
        ~mode:fast)
       .Core.Executor.mflops
   in
@@ -87,9 +88,10 @@ let test_atlas_program_correct () =
 
 let test_atlas_copy_threshold () =
   let c = { Baselines.Atlas_search.nb = 32; mu = 4; nu = 4; copy = false } in
+  let engine = Core.Engine.create sgi in
   (* measure_at decides the copy by size: small n -> no copy. *)
-  let small = Baselines.Atlas_search.measure_at sgi c ~n:48 ~mode:fast in
-  let large = Baselines.Atlas_search.measure_at sgi c ~n:128 ~mode:fast in
+  let small = Baselines.Atlas_search.measure_at engine c ~n:48 ~mode:fast in
+  let large = Baselines.Atlas_search.measure_at engine c ~n:128 ~mode:fast in
   Alcotest.(check bool) "both run" true
     (small.Core.Executor.mflops > 0.0 && large.Core.Executor.mflops > 0.0)
 
@@ -106,7 +108,11 @@ let test_vendor_fixed_parameters () =
 (* --- Model only --- *)
 
 let test_model_only_runs () =
-  match Baselines.Model_only.optimize sgi Matmul.kernel ~n:64 ~mode:fast with
+  match
+    Baselines.Model_only.optimize
+      (Core.Engine.create sgi)
+      Matmul.kernel ~n:64 ~mode:fast
+  with
   | Some r ->
     Alcotest.(check bool) "positive" true
       (r.Baselines.Model_only.measurement.Core.Executor.mflops > 0.0);

@@ -324,8 +324,9 @@ let test_model_point_feasible () =
 
 let test_search_improves_on_model_point () =
   let v = List.hd (Lazy.force mm_variants) in
+  let engine = Core.Engine.create sgi in
   let log = Core.Search_log.create () in
-  match Core.Search.tune_variant sgi ~n:48 ~mode:fast_mode ~log v with
+  match Core.Search.tune_variant engine ~n:48 ~mode:fast_mode ~log v with
   | None -> Alcotest.fail "no outcome"
   | Some o ->
     let model = Core.Search.model_point sgi ~n:48 v in
@@ -333,7 +334,7 @@ let test_search_improves_on_model_point () =
       match model with
       | Some bindings -> (
         match
-          Core.Search.measure_point sgi ~n:48 ~mode:fast_mode v ~bindings
+          Core.Search.measure_point engine ~n:48 ~mode:fast_mode v ~bindings
             ~prefetch:[]
         with
         | Some out -> Core.Executor.cycles out.Core.Search.measurement
@@ -346,7 +347,10 @@ let test_search_improves_on_model_point () =
 let test_search_result_feasible () =
   let v = List.hd (Lazy.force mm_variants) in
   let log = Core.Search_log.create () in
-  match Core.Search.tune_variant sgi ~n:48 ~mode:fast_mode ~log v with
+  match
+    Core.Search.tune_variant (Core.Engine.create sgi) ~n:48 ~mode:fast_mode
+      ~log v
+  with
   | None -> Alcotest.fail "no outcome"
   | Some o ->
     Alcotest.(check bool) "bindings feasible" true
@@ -356,7 +360,10 @@ let test_search_deterministic () =
   let v = List.hd (Lazy.force mm_variants) in
   let run () =
     let log = Core.Search_log.create () in
-    match Core.Search.tune_variant sgi ~n:32 ~mode:fast_mode ~log v with
+    match
+      Core.Search.tune_variant (Core.Engine.create sgi) ~n:32 ~mode:fast_mode
+        ~log v
+    with
     | Some o -> (o.Core.Search.bindings, o.Core.Search.prefetch)
     | None -> ([], [])
   in
@@ -365,7 +372,9 @@ let test_search_deterministic () =
 let test_search_log_records () =
   let v = List.hd (Lazy.force mm_variants) in
   let log = Core.Search_log.create () in
-  ignore (Core.Search.tune_variant sgi ~n:32 ~mode:fast_mode ~log v);
+  ignore
+    (Core.Search.tune_variant (Core.Engine.create sgi) ~n:32 ~mode:fast_mode
+       ~log v);
   Alcotest.(check bool) "points logged" true (Core.Search_log.points log > 3);
   match Core.Search_log.best log with
   | Some best ->
@@ -381,8 +390,8 @@ let test_search_log_records () =
 let test_eco_beats_naive () =
   let r = Core.Eco.optimize ~mode:fast_mode sgi Matmul.kernel ~n:48 in
   let naive =
-    Core.Executor.measure sgi Matmul.kernel ~n:48 ~mode:fast_mode
-      Matmul.kernel.Kernel.program
+    Core.Engine.measure_program r.Core.Eco.engine Matmul.kernel ~n:48
+      ~mode:fast_mode Matmul.kernel.Kernel.program
   in
   Alcotest.(check bool) "tuned faster than naive" true
     (r.Core.Eco.measurement.Core.Executor.mflops > naive.Core.Executor.mflops)

@@ -1,0 +1,198 @@
+(* Tests for the evaluation engine: memoization identity, fingerprint
+   discrimination, serial/parallel equivalence and telemetry. *)
+
+module Matmul = Kernels.Matmul
+
+let sgi = Machine.sgi_r10000
+let fast = Core.Executor.Budget 30_000
+
+let variant () = List.hd (Core.Derive.variants sgi Matmul.kernel)
+
+let some_point engine v ~n =
+  match Core.Search.model_point (Core.Engine.machine engine) ~n v with
+  | Some bindings -> bindings
+  | None -> Alcotest.fail "no model point for test variant"
+
+(* --- memoization --- *)
+
+let test_cache_hit_identical () =
+  let engine = Core.Engine.create sgi in
+  let v = variant () in
+  let bindings = some_point engine v ~n:48 in
+  let req = Core.Engine.request v ~n:48 ~mode:fast ~bindings in
+  let first =
+    match Core.Engine.evaluate engine req with
+    | Some ev -> ev
+    | None -> Alcotest.fail "first evaluation failed"
+  in
+  Alcotest.(check bool) "first is fresh" false first.Core.Engine.cached;
+  let second =
+    match Core.Engine.evaluate engine req with
+    | Some ev -> ev
+    | None -> Alcotest.fail "second evaluation failed"
+  in
+  Alcotest.(check bool) "second is cached" true second.Core.Engine.cached;
+  (* The memo must return the very same measurement, not a re-run. *)
+  Alcotest.(check bool) "identical measurement" true
+    (first.Core.Engine.measurement == second.Core.Engine.measurement);
+  let s = Core.Engine.stats engine in
+  Alcotest.(check int) "one fresh" 1 s.Core.Engine.fresh;
+  Alcotest.(check int) "one hit" 1 s.Core.Engine.hits
+
+let test_distinct_fingerprints_miss () =
+  let engine = Core.Engine.create sgi in
+  let v = variant () in
+  let bindings = some_point engine v ~n:48 in
+  let req = Core.Engine.request v ~n:48 ~mode:fast ~bindings in
+  ignore (Core.Engine.evaluate engine req);
+  (* Different mode, different bindings, different prefetch: all misses. *)
+  ignore
+    (Core.Engine.evaluate engine
+       (Core.Engine.request v ~n:48 ~mode:(Core.Executor.Budget 60_000) ~bindings));
+  let bumped =
+    match bindings with
+    | (k, x) :: rest -> (k, max 1 (x / 2)) :: rest
+    | [] -> []
+  in
+  ignore
+    (Core.Engine.evaluate engine
+       (Core.Engine.request v ~n:48 ~mode:fast ~bindings:bumped));
+  ignore
+    (Core.Engine.evaluate engine
+       (Core.Engine.request ~prefetch:[ ("a", 4) ] v ~n:48 ~mode:fast ~bindings));
+  let s = Core.Engine.stats engine in
+  Alcotest.(check int) "no hits across distinct fingerprints" 0
+    s.Core.Engine.hits;
+  Alcotest.(check int) "four fresh evaluations" 4 s.Core.Engine.fresh
+
+let test_binding_order_canonical () =
+  let engine = Core.Engine.create sgi in
+  let v = variant () in
+  let bindings = some_point engine v ~n:48 in
+  ignore
+    (Core.Engine.evaluate engine (Core.Engine.request v ~n:48 ~mode:fast ~bindings));
+  ignore
+    (Core.Engine.evaluate engine
+       (Core.Engine.request v ~n:48 ~mode:fast ~bindings:(List.rev bindings)));
+  let s = Core.Engine.stats engine in
+  Alcotest.(check int) "reversed bindings hit the memo" 1 s.Core.Engine.hits
+
+(* --- parallel equivalence --- *)
+
+let tune_with_jobs jobs =
+  let r = Core.Eco.optimize ~mode:fast ~jobs sgi Matmul.kernel ~n:32 in
+  let o = r.Core.Eco.outcome in
+  ( o.Core.Search.variant.Core.Variant.name,
+    o.Core.Search.bindings,
+    o.Core.Search.prefetch,
+    Core.Executor.cycles r.Core.Eco.measurement )
+
+let test_jobs_same_best () =
+  let serial = tune_with_jobs 1 in
+  let parallel = tune_with_jobs 4 in
+  Alcotest.(check bool) "jobs=1 and jobs=4 find the same best point" true
+    (serial = parallel)
+
+let test_batch_matches_serial_evaluates () =
+  let v = variant () in
+  let bindings = some_point (Core.Engine.create sgi) v ~n:48 in
+  (* Four distinct sizes with jobs:2 crosses the engine's small-batch
+     threshold, so this exercises the actual Domain.spawn path. *)
+  let reqs =
+    List.concat_map
+      (fun n ->
+        [
+          Core.Engine.request v ~n ~mode:fast ~bindings;
+          (* duplicate within the batch *)
+          Core.Engine.request v ~n ~mode:fast ~bindings;
+        ])
+      [ 24; 32; 40; 48 ]
+  in
+  let cycles evs =
+    List.map
+      (function
+        | Some (ev : Core.Engine.evaluation) ->
+          Core.Executor.cycles ev.Core.Engine.measurement
+        | None -> nan)
+      evs
+  in
+  let batch_engine = Core.Engine.create ~jobs:2 sgi in
+  let batched = cycles (Core.Engine.evaluate_batch batch_engine reqs) in
+  let serial_engine = Core.Engine.create sgi in
+  let serial = cycles (List.map (Core.Engine.evaluate serial_engine) reqs) in
+  Alcotest.(check (list (float 0.0))) "batched = serial" serial batched;
+  (* Counters agree exactly; eval_seconds is wall time and can't. *)
+  let counters e =
+    let s = Core.Engine.stats e in
+    ( s.Core.Engine.hits,
+      s.Core.Engine.fresh,
+      s.Core.Engine.pruned,
+      s.Core.Engine.failed,
+      s.Core.Engine.simulated_cycles )
+  in
+  Alcotest.(check bool) "same counters" true
+    (counters batch_engine = counters serial_engine)
+
+(* --- telemetry --- *)
+
+let test_telemetry_adds_up () =
+  let engine = Core.Engine.create sgi in
+  let log = Core.Search_log.create () in
+  let v = variant () in
+  let bindings = some_point engine v ~n:48 in
+  let infeasible = List.map (fun (k, _) -> (k, 48)) bindings in
+  let reqs =
+    [
+      Core.Engine.request v ~n:48 ~mode:fast ~bindings;
+      Core.Engine.request v ~n:48 ~mode:fast ~bindings (* hit *);
+      Core.Engine.request v ~n:48 ~mode:fast ~bindings:infeasible (* pruned *);
+    ]
+  in
+  let evs = Core.Engine.evaluate_batch engine ~log reqs in
+  Alcotest.(check int) "three answers" 3 (List.length evs);
+  let s = Core.Engine.stats engine in
+  Alcotest.(check int) "fresh" 1 s.Core.Engine.fresh;
+  Alcotest.(check int) "hits" 1 s.Core.Engine.hits;
+  Alcotest.(check int) "pruned" 1 s.Core.Engine.pruned;
+  (* Engine counters and log counters agree, and the log's [points]
+     counts only fresh evaluations. *)
+  Alcotest.(check int) "log fresh = engine fresh" s.Core.Engine.fresh
+    (Core.Search_log.fresh log);
+  Alcotest.(check int) "log hits = engine hits" s.Core.Engine.hits
+    (Core.Search_log.hits log);
+  Alcotest.(check int) "log pruned = engine pruned" s.Core.Engine.pruned
+    (Core.Search_log.pruned log);
+  Alcotest.(check int) "points exclude memo hits" 1
+    (Core.Search_log.points log);
+  Alcotest.(check bool) "simulated cycles positive" true
+    (s.Core.Engine.simulated_cycles > 0.0)
+
+let test_measure_program_memoizes () =
+  let engine = Core.Engine.create sgi in
+  let p = Matmul.kernel.Kernels.Kernel.program in
+  let m1 = Core.Engine.measure_program engine Matmul.kernel ~n:24 ~mode:fast p in
+  let m2 = Core.Engine.measure_program engine Matmul.kernel ~n:24 ~mode:fast p in
+  Alcotest.(check bool) "same measurement object" true (m1 == m2);
+  let m3 = Core.Engine.measure_program engine Matmul.kernel ~n:16 ~mode:fast p in
+  Alcotest.(check bool) "different size is a fresh run" true (m1 != m3);
+  let s = Core.Engine.stats engine in
+  Alcotest.(check int) "two fresh" 2 s.Core.Engine.fresh;
+  Alcotest.(check int) "one hit" 1 s.Core.Engine.hits
+
+let suite =
+  [
+    Alcotest.test_case "cache hit returns identical measurement" `Quick
+      test_cache_hit_identical;
+    Alcotest.test_case "distinct fingerprints miss" `Quick
+      test_distinct_fingerprints_miss;
+    Alcotest.test_case "binding order is canonicalized" `Quick
+      test_binding_order_canonical;
+    Alcotest.test_case "jobs=1 and jobs=4 agree on best" `Quick
+      test_jobs_same_best;
+    Alcotest.test_case "batch matches serial evaluation" `Quick
+      test_batch_matches_serial_evaluates;
+    Alcotest.test_case "telemetry counters add up" `Quick
+      test_telemetry_adds_up;
+    Alcotest.test_case "measure_program memoizes" `Quick
+      test_measure_program_memoizes;
+  ]

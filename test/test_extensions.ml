@@ -123,8 +123,9 @@ let variant () =
 
 let test_random_search_runs () =
   match
-    Baselines.Random_search.tune Machine.sgi_r10000 ~n:32 ~mode:fast ~points:5
-      ~seed:1 (variant ())
+    Baselines.Random_search.tune
+      (Core.Engine.create Machine.sgi_r10000)
+      ~n:32 ~mode:fast ~points:5 ~seed:1 (variant ())
   with
   | Some r ->
     Alcotest.(check int) "5 points" 5 r.Baselines.Random_search.evaluated;
@@ -135,8 +136,9 @@ let test_random_search_runs () =
 let test_random_search_deterministic () =
   let run () =
     match
-      Baselines.Random_search.tune Machine.sgi_r10000 ~n:32 ~mode:fast
-        ~points:4 ~seed:7 (variant ())
+      Baselines.Random_search.tune
+        (Core.Engine.create Machine.sgi_r10000)
+        ~n:32 ~mode:fast ~points:4 ~seed:7 (variant ())
     with
     | Some r -> r.Baselines.Random_search.bindings
     | None -> []
@@ -146,8 +148,9 @@ let test_random_search_deterministic () =
 let test_random_seeds_differ () =
   let run seed =
     match
-      Baselines.Random_search.tune Machine.sgi_r10000 ~n:32 ~mode:fast
-        ~points:3 ~seed (variant ())
+      Baselines.Random_search.tune
+        (Core.Engine.create Machine.sgi_r10000)
+        ~n:32 ~mode:fast ~points:3 ~seed (variant ())
     with
     | Some r -> r.Baselines.Random_search.bindings
     | None -> []
