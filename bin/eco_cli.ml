@@ -121,7 +121,7 @@ let derive_cmd =
 
 (* --- tune --- *)
 
-let tune machine kernel n budget jobs =
+let tune machine kernel n budget jobs validate =
   let mode = mode_of_budget budget in
   let r = Core.Eco.optimize ~mode ~jobs machine kernel ~n in
   let o = r.Core.Eco.outcome in
@@ -139,15 +139,179 @@ let tune machine kernel n budget jobs =
   Format.printf "engine:       %a (%d jobs)@." Core.Engine.pp_stats
     (Core.Engine.stats r.Core.Eco.engine)
     (Core.Engine.jobs r.Core.Eco.engine);
+  if validate then begin
+    let verdicts =
+      Check.validate ~machine o.Core.Search.variant
+        ~bindings:o.Core.Search.bindings ~prefetch:o.Core.Search.prefetch ~n
+    in
+    let bad = List.filter (fun (_, v) -> not (Check.Oracle.agrees v)) verdicts in
+    if bad = [] then
+      Format.printf "validated:    winning variant agrees with the reference at n=%s@."
+        (String.concat ","
+           (List.map (fun (s, _) -> string_of_int s) verdicts))
+    else begin
+      List.iter
+        (fun (s, v) ->
+          Format.printf "VALIDATION FAILED at n=%d: %s@." s (Check.Oracle.describe v);
+          Format.printf "  repro: %s@."
+            (Check.repro_line ~machine ~kernel:kernel.Kernels.Kernel.name
+               (Check.Point
+                  {
+                    variant = o.Core.Search.variant;
+                    bindings = o.Core.Search.bindings;
+                    prefetch = o.Core.Search.prefetch;
+                    n = s;
+                  })))
+        bad;
+      exit 1
+    end
+  end;
   Format.printf "@.optimized code:@.%a" Ir.Program.pp o.Core.Search.program
 
 let tune_cmd =
+  let validate_arg =
+    Arg.(
+      value & flag
+      & info [ "validate" ]
+          ~doc:
+            "Differentially check the winning variant against the reference \
+             interpreter before reporting it (exit 1 on mismatch).")
+  in
   Cmd.v
     (Cmd.info "tune"
        ~doc:"Run the full two-phase ECO optimization for a kernel.")
     Term.(
       const tune $ machine_arg $ kernel_arg $ size_arg 256 $ budget_arg
-      $ jobs_arg)
+      $ jobs_arg $ validate_arg)
+
+(* --- check --- *)
+
+let check machine kernel_opt seed trials jobs max_ulps size variant_name
+    pipeline_str point_str prefetch_str =
+  let fail_usage msg =
+    Format.eprintf "eco check: %s@." msg;
+    exit 2
+  in
+  let prefetch =
+    match prefetch_str with
+    | None -> []
+    | Some s -> ( try Check.parse_bindings s with Invalid_argument m -> fail_usage m)
+  in
+  match (variant_name, pipeline_str) with
+  | None, None ->
+    (* Harness mode: seeded random trials, shrunk repros on failure. *)
+    let ks =
+      match kernel_opt with None -> List.map snd kernels | Some k -> [ k ]
+    in
+    let report = Check.run ~machine ~jobs ~max_ulps ~seed ~trials ks in
+    Format.printf "%a" Check.pp_report report;
+    if not (Check.ok report) then exit 1
+  | Some _, Some _ -> fail_usage "--variant and --pipeline are exclusive"
+  | _ ->
+    (* Repro mode: replay one explicit case. *)
+    let kernel =
+      match kernel_opt with
+      | Some k -> k
+      | None -> fail_usage "repro mode needs -k KERNEL"
+    in
+    let case =
+      match (variant_name, pipeline_str) with
+      | Some vname, None -> (
+        match Check.find_variant ~machine kernel vname with
+        | None ->
+          fail_usage
+            (Printf.sprintf "no variant %s derived for %s on %s" vname
+               kernel.Kernels.Kernel.name machine.Machine.name)
+        | Some variant ->
+          let bindings =
+            match point_str with
+            | None -> fail_usage "--variant needs --point ui=4,tj=8,..."
+            | Some s -> (
+              try Check.parse_bindings s with Invalid_argument m -> fail_usage m)
+          in
+          Check.Point { variant; bindings; prefetch; n = size })
+      | None, Some s -> (
+        match Check.Pipe.of_string s with
+        | exception Invalid_argument m -> fail_usage m
+        | pipe -> Check.Pipeline { pipe; n = size })
+      | _ -> assert false
+    in
+    let verdict = Check.run_case ~max_ulps ~machine kernel case in
+    Format.printf "%s n=%d: %s@." kernel.Kernels.Kernel.name size
+      (Check.Oracle.describe verdict);
+    if not (Check.Oracle.agrees verdict) then exit 1
+
+let check_cmd =
+  let kernel_opt_arg =
+    Arg.(
+      value
+      & opt (some kernel_conv) None
+      & info [ "k"; "kernel" ] ~docv:"KERNEL"
+          ~doc:"Kernel to check (default: all five).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Random seed; the same seed reproduces the same trials.")
+  in
+  let trials_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "trials" ] ~docv:"K" ~doc:"Trials per kernel.")
+  in
+  let max_ulps_arg =
+    Arg.(
+      value & opt int Check.Oracle.default_max_ulps
+      & info [ "max-ulps" ] ~docv:"U"
+          ~doc:"Comparison tolerance in units-in-the-last-place.")
+  in
+  let size_opt_arg =
+    Arg.(
+      value & opt int 13
+      & info [ "size" ] ~docv:"N" ~doc:"Problem size (repro mode).")
+  in
+  let variant_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "variant" ] ~docv:"NAME"
+          ~doc:"Replay one derived variant by name (needs --point).")
+  in
+  let pipeline_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "pipeline" ] ~docv:"SPEC"
+          ~doc:
+            "Replay one explicit transformation pipeline, e.g. \
+             'permute:i,j,k;tile:j=5,k=7;copy:b;unroll:i=4;scalar'.")
+  in
+  let point_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "point" ] ~docv:"BINDINGS"
+          ~doc:"Parameter bindings for --variant, e.g. ui=4,uj=2,tj=16.")
+  in
+  let prefetch_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prefetch" ] ~docv:"DISTANCES"
+          ~doc:"Prefetch layer for --variant, e.g. a=2,p_b=1.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Differentially test transformed variants against the reference \
+          interpreter: random feasible parameter bindings and random \
+          transformation pipelines, with failures shrunk to minimal repro \
+          commands.  Exit 1 on any mismatch.")
+    Term.(
+      const check $ machine_arg $ kernel_opt_arg $ seed_arg $ trials_arg
+      $ jobs_arg $ max_ulps_arg $ size_opt_arg $ variant_arg $ pipeline_arg
+      $ point_arg $ prefetch_arg)
 
 (* --- run (single measurement of the original kernel) --- *)
 
@@ -220,6 +384,9 @@ let main_cmd =
        ~doc:
          "Reproduction of 'Combining Models and Guided Empirical Search to \
           Optimize for Multiple Levels of the Memory Hierarchy' (CGO 2005).")
-    [ describe_cmd; derive_cmd; tune_cmd; run_cmd; codegen_cmd; experiment_cmd ]
+    [
+      describe_cmd; derive_cmd; tune_cmd; run_cmd; codegen_cmd; check_cmd;
+      experiment_cmd;
+    ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -6,6 +6,11 @@ set -eux
 dune build
 dune runtest
 
+# Differential correctness budget: seeded random variant points and
+# transformation pipelines checked against the reference interpreter.
+dune exec bin/eco_cli.exe -- check -k matmul --seed 42 --trials 50
+dune exec bin/eco_cli.exe -- check -k jacobi3d --seed 42 --trials 50
+
 # Quick end-to-end smoke: a small tune with a 2-domain engine must
 # succeed and report the engine's telemetry line.
 dune exec bin/eco_cli.exe -- tune -k matmul -n 48 -b 50000 --jobs 2 | grep "engine:"

@@ -1,0 +1,297 @@
+module Rng = Rng
+module Oracle = Oracle
+module Pipe = Pipe
+module Gen = Gen
+module Shrink = Shrink
+module Kernel = Kernels.Kernel
+
+type case =
+  | Point of {
+      variant : Core.Variant.t;
+      bindings : (string * int) list;
+      prefetch : (string * int) list;
+      n : int;
+    }
+  | Pipeline of { pipe : Pipe.t; n : int }
+
+type failure = {
+  kernel : string;
+  case : case;
+  verdict : Oracle.verdict;
+  repro : string;
+}
+
+type kernel_report = {
+  kernel : string;
+  trials : int;
+  checked : int;
+  skipped : int;
+  failures : failure list;
+}
+
+type report = {
+  seed : int;
+  trials : int;
+  machine : string;
+  max_ulps : int;
+  kernels : kernel_report list;
+}
+
+let bindings_to_string bindings =
+  String.concat "," (List.map (fun (p, v) -> Printf.sprintf "%s=%d" p v) bindings)
+
+let parse_bindings s =
+  List.map
+    (fun part ->
+      match String.split_on_char '=' (String.trim part) with
+      | [ p; v ] -> (
+        match int_of_string_opt v with
+        | Some i -> (String.trim p, i)
+        | None -> invalid_arg (Printf.sprintf "bad integer in binding %S" part))
+      | _ -> invalid_arg (Printf.sprintf "expected name=int, got %S" part))
+    (String.split_on_char ',' s)
+
+let find_variant ~machine kernel name =
+  List.find_opt
+    (fun (v : Core.Variant.t) -> v.Core.Variant.name = name)
+    (Core.Derive.variants machine kernel)
+
+(* --- running cases --- *)
+
+let check_point ?(max_ulps = Oracle.default_max_ulps) ~machine
+    (variant : Core.Variant.t) ~bindings ~prefetch ~n =
+  let kernel = variant.Core.Variant.kernel in
+  match Core.Variant.instantiate variant ~bindings with
+  | exception Invalid_argument msg -> Oracle.Crash ("instantiate: " ^ msg)
+  | program -> (
+    let line_elems = Machine.line_elems machine 0 in
+    match
+      List.fold_left
+        (fun p (array, distance) ->
+          Transform.Prefetch_insert.apply p ~array ~distance ~line_elems)
+        program prefetch
+    with
+    | exception Invalid_argument msg -> Oracle.Crash ("prefetch: " ^ msg)
+    | program -> Oracle.check_program ~max_ulps kernel ~n program)
+
+let check_pipe ?(max_ulps = Oracle.default_max_ulps) kernel ~pipe ~n =
+  match Pipe.apply kernel pipe with
+  | exception Invalid_argument msg -> Oracle.Crash ("pipeline: " ^ msg)
+  | program -> Oracle.check_program ~max_ulps kernel ~n program
+
+let run_case ?max_ulps ~machine kernel = function
+  | Point { variant; bindings; prefetch; n } ->
+    ignore kernel;
+    check_point ?max_ulps ~machine variant ~bindings ~prefetch ~n
+  | Pipeline { pipe; n } -> check_pipe ?max_ulps kernel ~pipe ~n
+
+let repro_line ~machine ~kernel case =
+  let base =
+    Printf.sprintf "eco check -m '%s' -k %s" machine.Machine.name kernel
+  in
+  match case with
+  | Point { variant; bindings; prefetch; n } ->
+    Printf.sprintf "%s --size %d --variant %s --point %s%s" base n
+      variant.Core.Variant.name
+      (bindings_to_string bindings)
+      (if prefetch = [] then ""
+       else " --prefetch " ^ bindings_to_string prefetch)
+  | Pipeline { pipe; n } ->
+    Printf.sprintf "%s --size %d --pipeline '%s'" base n (Pipe.to_string pipe)
+
+(* --- one trial --- *)
+
+type trial_outcome = Passed | Skipped | Failed of failure
+
+(* During shrinking, only a case that constructs and then disagrees (or
+   dies executing) counts as failing; a candidate the transformations
+   reject outright is a rejection, not the bug being chased. *)
+let verdict_fails = function
+  | Oracle.Agree -> false
+  | Oracle.Crash msg ->
+    not
+      (String.length msg >= 12
+      && (String.sub msg 0 12 = "instantiate:" || String.sub msg 0 9 = "pipeline:"))
+  | Oracle.Differ _ | Oracle.Shape_error _ -> true
+
+let fail ~machine kernel case verdict =
+  Failed
+    {
+      kernel;
+      case;
+      verdict;
+      repro = repro_line ~machine ~kernel case;
+    }
+
+let point_trial ~machine ~max_ulps (kernel : Kernel.t) variants rng n =
+  let variant = Rng.choose rng variants in
+  match Gen.point rng ~n variant with
+  | None -> Skipped
+  | Some bindings -> (
+    let prefetch =
+      match Core.Variant.instantiate variant ~bindings with
+      | exception Invalid_argument _ -> []
+      | program -> Gen.prefetch rng program
+    in
+    match check_point ~max_ulps ~machine variant ~bindings ~prefetch ~n with
+    | Oracle.Agree -> Passed
+    | first ->
+      (* Prefetch rarely matters; prefer the repro without it. *)
+      let prefetch =
+        if
+          prefetch <> []
+          && verdict_fails
+               (check_point ~max_ulps ~machine variant ~bindings ~prefetch:[] ~n)
+        then []
+        else prefetch
+      in
+      let fails b n' =
+        verdict_fails (check_point ~max_ulps ~machine variant ~bindings:b ~prefetch ~n:n')
+      in
+      let bindings, n =
+        if fails bindings n then
+          Shrink.point ~fails ~min_n:kernel.Kernel.min_size ~bindings ~n
+        else (bindings, n)
+      in
+      let case = Point { variant; bindings; prefetch; n } in
+      let verdict =
+        match run_case ~max_ulps ~machine kernel case with
+        | Oracle.Agree -> first  (* shrink lost the failure; report the original *)
+        | v -> v
+      in
+      fail ~machine kernel.Kernel.name case verdict)
+
+let pipeline_trial ~machine ~max_ulps (kernel : Kernel.t) rng n =
+  let pipe = Gen.pipeline rng ~n kernel in
+  match check_pipe ~max_ulps kernel ~pipe ~n with
+  | Oracle.Agree -> Passed
+  | first ->
+    let fails p n' = verdict_fails (check_pipe ~max_ulps kernel ~pipe:p ~n:n') in
+    let pipe, n =
+      if fails pipe n then
+        Shrink.pipeline ~fails ~min_n:kernel.Kernel.min_size ~pipe ~n
+      else (pipe, n)
+    in
+    let case = Pipeline { pipe; n } in
+    let verdict =
+      match run_case ~max_ulps ~machine kernel case with
+      | Oracle.Agree -> first
+      | v -> v
+    in
+    fail ~machine kernel.Kernel.name case verdict
+
+let run_trial ~machine ~max_ulps ~seed (kernel : Kernel.t) variants i =
+  let rng = Rng.of_list [ seed; Rng.hash_string kernel.Kernel.name; i ] in
+  let n = Gen.size rng kernel in
+  if variants = [] || Rng.int rng 3 = 0 then
+    pipeline_trial ~machine ~max_ulps kernel rng n
+  else point_trial ~machine ~max_ulps kernel variants rng n
+
+(* --- the harness --- *)
+
+(* Strided order-preserving parallel map: each index is written by
+   exactly one domain, results are read only after join, so any [jobs]
+   yields the same list. *)
+let parallel_map ~jobs f tasks =
+  let tasks = Array.of_list tasks in
+  let m = Array.length tasks in
+  let jobs = max 1 (min jobs m) in
+  if jobs = 1 then Array.to_list (Array.map f tasks)
+  else begin
+    let results = Array.make m None in
+    let worker w () =
+      let i = ref w in
+      while !i < m do
+        results.(!i) <- Some (f tasks.(!i));
+        i := !i + jobs
+      done
+    in
+    let domains = List.init (jobs - 1) (fun w -> Domain.spawn (worker (w + 1))) in
+    worker 0 ();
+    List.iter Domain.join domains;
+    Array.to_list
+      (Array.map (function Some r -> r | None -> assert false) results)
+  end
+
+let run ?(machine = Machine.sgi_r10000) ?(jobs = 1)
+    ?(max_ulps = Oracle.default_max_ulps) ~seed ~trials kernels =
+  let tasks =
+    List.concat_map
+      (fun (kernel : Kernel.t) ->
+        let variants = Core.Derive.variants machine kernel in
+        List.init trials (fun i -> (kernel, variants, i)))
+      kernels
+  in
+  let outcomes =
+    parallel_map ~jobs
+      (fun (kernel, variants, i) ->
+        (kernel.Kernel.name, run_trial ~machine ~max_ulps ~seed kernel variants i))
+      tasks
+  in
+  let kernel_report (kernel : Kernel.t) =
+    let mine =
+      List.filter_map
+        (fun (name, o) -> if name = kernel.Kernel.name then Some o else None)
+        outcomes
+    in
+    {
+      kernel = kernel.Kernel.name;
+      trials = List.length mine;
+      checked =
+        List.length (List.filter (function Skipped -> false | _ -> true) mine);
+      skipped = List.length (List.filter (( = ) Skipped) mine);
+      failures =
+        List.filter_map (function Failed f -> Some f | _ -> None) mine;
+    }
+  in
+  {
+    seed;
+    trials;
+    machine = machine.Machine.name;
+    max_ulps;
+    kernels = List.map kernel_report kernels;
+  }
+
+let failures report = List.concat_map (fun k -> k.failures) report.kernels
+let ok report = failures report = []
+
+let pp_case fmt = function
+  | Point { variant; bindings; prefetch; n } ->
+    Format.fprintf fmt "variant %s n=%d %s%s" variant.Core.Variant.name n
+      (bindings_to_string bindings)
+      (if prefetch = [] then ""
+       else " prefetch " ^ bindings_to_string prefetch)
+  | Pipeline { pipe; n } ->
+    Format.fprintf fmt "pipeline '%s' n=%d" (Pipe.to_string pipe) n
+
+let pp_report fmt report =
+  Format.fprintf fmt
+    "differential check: seed %d, %d trials/kernel, machine %s, tolerance %d ulps@."
+    report.seed report.trials report.machine report.max_ulps;
+  List.iter
+    (fun k ->
+      Format.fprintf fmt "  %-10s %4d trials  %4d checked  %3d skipped  %d failures@."
+        k.kernel k.trials k.checked k.skipped (List.length k.failures))
+    report.kernels;
+  List.iter
+    (fun (f : failure) ->
+      Format.fprintf fmt "  FAIL %s: %a@." f.kernel pp_case f.case;
+      Format.fprintf fmt "    %s@." (Oracle.describe f.verdict);
+      Format.fprintf fmt "    repro: %s@." f.repro)
+    (failures report);
+  if ok report then
+    Format.fprintf fmt "result: all checked cases agree with the reference interpreter@."
+  else
+    Format.fprintf fmt "result: %d FAILING case(s)@." (List.length (failures report))
+
+let report_to_string report = Format.asprintf "%a" pp_report report
+
+let validate ?max_ulps ~machine variant ~bindings ~prefetch ~n =
+  let kernel = variant.Core.Variant.kernel in
+  let cap = 31 in
+  let c1 = max kernel.Kernel.min_size (min n cap) in
+  let c2 = max kernel.Kernel.min_size (c1 - 5) in
+  List.map
+    (fun size ->
+      (size, check_point ?max_ulps ~machine variant ~bindings ~prefetch ~n:size))
+    (List.sort_uniq compare [ c1; c2 ])

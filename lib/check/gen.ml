@@ -1,0 +1,139 @@
+module Kernel = Kernels.Kernel
+module Depend = Analysis.Depend
+
+let size rng (kernel : Kernel.t) =
+  let m = kernel.Kernel.min_size in
+  let candidates = [ m; m + 1; m + 3; 7; 8; 9; 11; 13; 16 ] in
+  let candidates = List.filter (fun n -> n >= m) candidates in
+  Rng.choose rng candidates
+
+let point rng ~n (variant : Core.Variant.t) =
+  let params = Core.Variant.params variant in
+  match
+    Core.Constr.sample ~rand:(Rng.int rng) ~n params
+      variant.Core.Variant.constraints
+  with
+  | None -> None
+  | Some bindings ->
+    (* Bias toward the boundaries the sampler may still miss: force one
+       tile to the full trip count, or all unroll factors to 1, keeping
+       the tweak only when it stays feasible. *)
+    let tweaked =
+      match Rng.int rng 4 with
+      | 0 when variant.Core.Variant.tiles <> [] ->
+        let _, param = Rng.choose rng variant.Core.Variant.tiles in
+        List.map (fun (p, v) -> if p = param then (p, n) else (p, v)) bindings
+      | 1 when variant.Core.Variant.unrolls <> [] ->
+        let unroll_params = List.map snd variant.Core.Variant.unrolls in
+        List.map
+          (fun (p, v) -> if List.mem p unroll_params then (p, 1) else (p, v))
+          bindings
+      | _ -> bindings
+    in
+    if
+      tweaked != bindings
+      && Core.Variant.feasible variant ~n tweaked
+    then Some tweaked
+    else Some bindings
+
+let prefetch rng (program : Ir.Program.t) =
+  if Rng.int rng 4 <> 0 then []
+  else
+    match Ir.Program.heap_arrays program with
+    | [] -> []
+    | arrays ->
+      let d = Rng.choose rng (arrays : Ir.Decl.t list) in
+      [ (d.Ir.Decl.name, Rng.choose rng [ 1; 2; 8 ]) ]
+
+let unroll_factor rng n = Rng.choose rng [ 1; 2; 3; 4; 7; n; n + 1 ]
+let tile_size rng n = Rng.choose rng [ 1; 2; 3; 5; 7; n - 1; n; n + 2 ]
+
+let pipeline rng ~n (kernel : Kernel.t) =
+  let program = kernel.Kernel.program in
+  let loops = Ir.Stmt.loop_vars program.Ir.Program.body in
+  let deps = Depend.analyze program in
+  (* Permutation: a few random shuffles, keep the first legal one. *)
+  let order, permute_step =
+    if Rng.int rng 3 = 0 then (loops, [])
+    else
+      let rec try_shuffle k =
+        if k = 0 then (loops, [])
+        else
+          let order = Rng.shuffle rng loops in
+          if Depend.permutation_legal deps order then
+            (order, if order = loops then [] else [ Pipe.Permute order ])
+          else try_shuffle (k - 1)
+      in
+      try_shuffle 4
+  in
+  (* Tiling requires a fully permutable nest (the tile-controlling loops
+     move outermost past everything else). *)
+  let tiles, tile_step =
+    if Depend.fully_permutable deps && Rng.int rng 3 <> 2 then
+      match Rng.subset rng order with
+      | [] -> ([], [])
+      | chosen ->
+        let specs = List.map (fun v -> (v, tile_size rng n)) chosen in
+        (specs, [ Pipe.Tile specs ])
+    else ([], [])
+  in
+  (* Copy an eligible array: read-only and every dimension of its
+     uniform group driven by a tiled loop (mirrors Derive's test). *)
+  let copy_step =
+    if tiles = [] || Rng.bool rng then []
+    else
+      let groups = Analysis.Reuse.groups_of_body program.Ir.Program.body in
+      let written (g : Analysis.Reuse.group) =
+        List.exists (fun (_, w) -> w) g.Analysis.Reuse.members
+      in
+      let eligible (g : Analysis.Reuse.group) =
+        (not (written g))
+        && g.Analysis.Reuse.signature <> []
+        && List.for_all
+             (fun s ->
+               match Ir.Aff.terms s with
+               | [ (1, v) ] -> List.mem_assoc v tiles
+               | _ -> false)
+             g.Analysis.Reuse.signature
+        (* Halo groups (stencil neighbours at i-1/i+1) index outside the
+           copied tile; Copy_opt rightly rejects them, as the paper
+           declines to copy Jacobi's stencil group. *)
+        && List.for_all
+             (fun ((r : Ir.Reference.t), _) ->
+               List.for_all (( = ) 0) (Ir.Reference.offsets r))
+             g.Analysis.Reuse.members
+      in
+      (* An array written through another reference group is still not
+         copyable; defer to the program-level check. *)
+      let read_only a =
+        not
+          (List.exists
+             (fun ((r : Ir.Reference.t), w) -> w && r.Ir.Reference.array = a)
+             (Ir.Stmt.access_refs program.Ir.Program.body))
+      in
+      match
+        List.filter
+          (fun g -> eligible g && read_only g.Analysis.Reuse.array)
+          groups
+      with
+      | [] -> []
+      | gs -> [ Pipe.Copy (Rng.choose rng gs).Analysis.Reuse.array ]
+  in
+  (* Unroll-and-jam any loops that may legally move innermost. *)
+  let unroll_steps =
+    List.filter_map
+      (fun v ->
+        if Rng.int rng 3 = 0 && Depend.innermost_legal deps ~order v then
+          let u = unroll_factor rng n in
+          if u > 1 then Some (Pipe.Unroll (v, u)) else None
+        else None)
+      order
+  in
+  let scalar_step = if Rng.int rng 4 <> 0 then [ Pipe.Scalar_replace ] else [] in
+  let prefetch_step =
+    match prefetch rng program with
+    | [] -> []
+    | (a, d) :: _ -> [ Pipe.Prefetch (a, d) ]
+  in
+  permute_step @ tile_step @ copy_step @ unroll_steps @ scalar_step
+  @ prefetch_step

@@ -1,0 +1,28 @@
+(** Seeded random generation of test cases: problem sizes, feasible
+    parameter bindings for derived variants, and legal transformation
+    pipelines.  Everything is driven by a {!Rng.t}, so a trial is a pure
+    function of its seed. *)
+
+(** A small problem size biased toward the interesting edges: the
+    kernel's minimal (degenerate) size, primes (nothing divides evenly),
+    and powers of two. *)
+val size : Rng.t -> Kernels.Kernel.t -> int
+
+(** A feasible binding of the variant's parameters at size [n], drawn
+    through {!Core.Constr.sample} with extra boundary bias (tile = trip
+    count, all unrolls = 1).  [None] when no feasible point was found
+    (contradictory or very tight constraint systems). *)
+val point : Rng.t -> n:int -> Core.Variant.t -> (string * int) list option
+
+(** An optional prefetch layer for a program: a random heap array at a
+    random distance, or none. *)
+val prefetch : Rng.t -> Ir.Program.t -> (string * int) list
+
+(** A random legal transformation pipeline for the kernel at size [n]:
+    a dependence-legal permutation, tiling of a random subset of loops
+    (only when the nest is fully permutable) with sizes that may exceed
+    the trip count, a copy of an eligible array, unroll-and-jam of
+    jam-legal loops (factors may exceed the trip count), scalar
+    replacement, and prefetching.  The pipeline may be empty (identity),
+    which checks the executor against itself. *)
+val pipeline : Rng.t -> n:int -> Kernels.Kernel.t -> Pipe.t

@@ -1,0 +1,85 @@
+type mismatch = {
+  array : string;
+  index : int;
+  expected : float;
+  actual : float;
+  ulps : float;
+}
+
+type verdict =
+  | Agree
+  | Differ of mismatch
+  | Shape_error of string
+  | Crash of string
+
+let default_max_ulps = 1024
+
+(* Map the doubles onto a line where adjacent representable values are
+   adjacent integers (the usual bits trick, with the negative half
+   reflected), then measure the distance there. *)
+let ordered f =
+  let b = Int64.bits_of_float f in
+  if Int64.compare b 0L >= 0 then b else Int64.sub Int64.min_int b
+
+let ulp_distance a b =
+  match (Float.is_nan a, Float.is_nan b) with
+  | true, true -> 0.
+  | true, false | false, true -> infinity
+  | false, false ->
+    Float.abs (Int64.to_float (ordered a) -. Int64.to_float (ordered b))
+
+let values_match ~max_ulps a b =
+  ulp_distance a b <= float_of_int max_ulps || Float.abs (a -. b) <= 1e-12
+
+let compare_arrays ~max_ulps ~reference ~candidate =
+  let check_array acc (name, expected) =
+    match acc with
+    | Agree -> (
+      match List.assoc_opt name candidate with
+      | None -> Shape_error (Printf.sprintf "array %s missing from candidate" name)
+      | Some actual when Array.length actual <> Array.length expected ->
+        Shape_error
+          (Printf.sprintf "array %s: %d elements, reference has %d" name
+             (Array.length actual) (Array.length expected))
+      | Some actual ->
+        let verdict = ref Agree in
+        (try
+           Array.iteri
+             (fun i e ->
+               if not (values_match ~max_ulps e actual.(i)) then begin
+                 verdict :=
+                   Differ
+                     {
+                       array = name;
+                       index = i;
+                       expected = e;
+                       actual = actual.(i);
+                       ulps = ulp_distance e actual.(i);
+                     };
+                 raise Exit
+               end)
+             expected
+         with Exit -> ());
+        !verdict)
+    | stop -> stop
+  in
+  List.fold_left check_array Agree reference
+
+let check_program ?(max_ulps = default_max_ulps) (kernel : Kernels.Kernel.t) ~n
+    candidate =
+  let reference = Kernels.Kernel.run_original kernel n in
+  match Ir.Exec.run ~params:(Kernels.Kernel.params kernel n) candidate with
+  | exception e -> Crash (Printexc.to_string e)
+  | result ->
+    compare_arrays ~max_ulps ~reference:reference.Ir.Exec.arrays
+      ~candidate:result.Ir.Exec.arrays
+
+let describe = function
+  | Agree -> "agree"
+  | Differ m ->
+    Printf.sprintf "%s[%d]: expected %.17g, got %.17g (%.3g ulps)" m.array
+      m.index m.expected m.actual m.ulps
+  | Shape_error s -> "shape error: " ^ s
+  | Crash s -> "crash: " ^ s
+
+let agrees = function Agree -> true | _ -> false

@@ -1,0 +1,58 @@
+(** The differential-correctness oracle: run a transformed program
+    through {!Ir.Exec} and compare its heap arrays element-wise against
+    the untransformed reference program under the same deterministic
+    inputs.
+
+    Comparison is ULP-tolerant: tiling, unroll-and-jam and scalar
+    replacement reassociate reductions, so results may differ from the
+    reference in the last few bits, but a transformation {e bug} (a
+    dropped or duplicated iteration, a mis-clipped copy) perturbs values
+    by many orders of magnitude more.  Arrays declared only by the
+    candidate (copy temporaries, spilled scalars) are ignored; every
+    reference array must be present with the same length. *)
+
+type mismatch = {
+  array : string;
+  index : int;  (** flat (column-major) element index *)
+  expected : float;  (** reference interpreter's value *)
+  actual : float;  (** candidate's value *)
+  ulps : float;  (** distance in units-in-the-last-place (infinite across signs/NaN) *)
+}
+
+type verdict =
+  | Agree
+  | Differ of mismatch  (** first mismatching element *)
+  | Shape_error of string  (** an array is missing or has the wrong length *)
+  | Crash of string  (** the candidate raised during execution *)
+
+(** 1024: orders of magnitude tighter than the 1e-9 relative tolerance
+    the unit tests use, yet far above any legitimate reassociation noise
+    of the bundled kernels. *)
+val default_max_ulps : int
+
+(** ULP distance between two doubles; [infinity] when exactly one is
+    NaN or the values straddle a sign change by more than [2^52] ULPs;
+    [0.] when both are NaN. *)
+val ulp_distance : float -> float -> float
+
+(** [values_match ~max_ulps a b]: within [max_ulps] ULPs, or absolutely
+    within 1e-12 (reassociated cancellation may turn an exact 0 into a
+    tiny residue, which is astronomically far in ULPs). *)
+val values_match : max_ulps:int -> float -> float -> bool
+
+(** Compare candidate arrays against reference arrays (name, contents)
+    in reference order. *)
+val compare_arrays :
+  max_ulps:int ->
+  reference:(string * float array) list ->
+  candidate:(string * float array) list ->
+  verdict
+
+(** [check_program kernel ~n candidate] runs both the kernel's original
+    program and [candidate] at size [n] and compares.  Exceptions raised
+    by the candidate's execution become [Crash]. *)
+val check_program :
+  ?max_ulps:int -> Kernels.Kernel.t -> n:int -> Ir.Program.t -> verdict
+
+val describe : verdict -> string
+val agrees : verdict -> bool

@@ -1,0 +1,127 @@
+type step =
+  | Permute of string list
+  | Tile of (string * int) list
+  | Copy of string
+  | Unroll of string * int
+  | Scalar_replace
+  | Prefetch of string * int
+
+type t = step list
+
+(* A copy step recovers its dimension specs the way Derive does: the
+   array's uniform reference group must have every dimension driven by
+   exactly one (previously tiled) loop; the copy base is that loop's
+   control variable and the extent its tile size. *)
+let copy_spec groups (program : Ir.Program.t) ~tiles array =
+  let dim_loops (g : Analysis.Reuse.group) =
+    List.map
+      (fun s -> match Ir.Aff.terms s with [ (1, v) ] -> Some v | _ -> None)
+      g.Analysis.Reuse.signature
+  in
+  let eligible g =
+    g.Analysis.Reuse.array = array
+    && g.Analysis.Reuse.signature <> []
+    && List.for_all
+         (function Some v -> List.mem_assoc v tiles | None -> false)
+         (dim_loops g)
+  in
+  match List.find_opt eligible groups with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Pipe: copy:%s needs every dimension driven by a tiled loop"
+         array)
+  | Some g ->
+    let loops = List.filter_map Fun.id (dim_loops g) in
+    let decl = Ir.Program.find_decl_exn program array in
+    let dims =
+      List.map2
+        (fun v bound ->
+          {
+            Transform.Copy_opt.base = Ir.Aff.var (Core.Variant.control_of v);
+            extent = List.assoc v tiles;
+            bound;
+          })
+        loops decl.Ir.Decl.dims
+    in
+    let at =
+      List.fold_left
+        (fun acc (v, _) -> if List.mem v loops then Some v else acc)
+        None tiles
+    in
+    let at = match at with Some v -> Core.Variant.control_of v | None -> assert false in
+    (at, dims)
+
+let apply (kernel : Kernels.Kernel.t) steps =
+  let original = kernel.Kernels.Kernel.program in
+  let groups = Analysis.Reuse.groups_of_body original.Ir.Program.body in
+  let step (p, tiles) = function
+    | Permute order -> (Transform.Permute.apply p order, tiles)
+    | Tile specs ->
+      let p =
+        Transform.Tile.apply p
+          (List.map
+             (fun (v, size) ->
+               { Transform.Tile.var = v; size; control = Core.Variant.control_of v })
+             specs)
+          ~control_order:(List.map (fun (v, _) -> Core.Variant.control_of v) specs)
+      in
+      (p, tiles @ specs)
+    | Copy array ->
+      let at, dims = copy_spec groups original ~tiles array in
+      (Transform.Copy_opt.apply p ~array ~temp:("p_" ^ array) ~at ~dims, tiles)
+    | Unroll (v, u) -> (Transform.Unroll_jam.apply p v u, tiles)
+    | Scalar_replace -> (Transform.Scalar_replace.apply p, tiles)
+    | Prefetch (array, distance) ->
+      (Transform.Prefetch_insert.apply p ~array ~distance ~line_elems:4, tiles)
+  in
+  fst (List.fold_left step (original, []) steps)
+
+let to_string steps =
+  let assigns l = String.concat "," (List.map (fun (v, x) -> Printf.sprintf "%s=%d" v x) l) in
+  String.concat ";"
+    (List.map
+       (function
+         | Permute order -> "permute:" ^ String.concat "," order
+         | Tile specs -> "tile:" ^ assigns specs
+         | Copy a -> "copy:" ^ a
+         | Unroll (v, u) -> Printf.sprintf "unroll:%s=%d" v u
+         | Scalar_replace -> "scalar"
+         | Prefetch (a, d) -> Printf.sprintf "prefetch:%s=%d" a d)
+       steps)
+
+let split_on c s = String.split_on_char c s |> List.map String.trim
+
+let parse_assigns what s =
+  List.map
+    (fun part ->
+      match split_on '=' part with
+      | [ v; x ] -> (
+        match int_of_string_opt x with
+        | Some i -> (v, i)
+        | None -> invalid_arg (Printf.sprintf "Pipe: %s: bad integer %S" what x))
+      | _ -> invalid_arg (Printf.sprintf "Pipe: %s: expected var=int, got %S" what part))
+    (split_on ',' s)
+
+let of_string s =
+  List.filter_map
+    (fun part ->
+      if part = "" then None
+      else
+        Some
+          (match split_on ':' part with
+          | [ "scalar" ] -> Scalar_replace
+          | [ "permute"; order ] -> Permute (split_on ',' order)
+          | [ "tile"; specs ] -> Tile (parse_assigns "tile" specs)
+          | [ "copy"; a ] -> Copy a
+          | [ "unroll"; spec ] -> (
+            match parse_assigns "unroll" spec with
+            | [ (v, u) ] -> Unroll (v, u)
+            | _ -> invalid_arg "Pipe: unroll takes exactly one loop=factor")
+          | [ "prefetch"; spec ] -> (
+            match parse_assigns "prefetch" spec with
+            | [ (a, d) ] -> Prefetch (a, d)
+            | _ -> invalid_arg "Pipe: prefetch takes exactly one array=distance")
+          | _ -> invalid_arg (Printf.sprintf "Pipe: unknown step %S" part)))
+    (split_on ';' s)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,35 @@
+(** Explicit transformation pipelines: a printable, parseable recipe of
+    transformation steps applied directly to a kernel's program.  The
+    harness uses these for trials that go beyond what phase 1 derives
+    (arbitrary orders, tiles larger than the trip count, unusual
+    compositions), and — because a pipeline round-trips through a short
+    string — as the reproducible repro line of a shrunk failure. *)
+
+type step =
+  | Permute of string list  (** new loop order, outermost first *)
+  | Tile of (string * int) list
+      (** (loop, tile size); controls are named {!Core.Variant.control_of}
+          and placed outermost in the listed order *)
+  | Copy of string
+      (** copy the array's tile (dimensions driven by previously tiled
+          loops) into a contiguous temporary [p_<array>] *)
+  | Unroll of string * int  (** unroll-and-jam (loop, factor) *)
+  | Scalar_replace
+  | Prefetch of string * int  (** (array, distance), one-line granularity *)
+
+type t = step list
+
+(** Apply the steps left to right to the kernel's original program.
+    @raise Invalid_argument when a step is malformed for the kernel
+    (unknown loop, copy of an untiled or written array, ...) — the
+    underlying transformations perform the checking. *)
+val apply : Kernels.Kernel.t -> t -> Ir.Program.t
+
+(** Concrete syntax, e.g.
+    ["permute:i,j,k;tile:j=5,k=7;copy:b;unroll:i=4;scalar;prefetch:a=2"]. *)
+val to_string : t -> string
+
+(** Inverse of {!to_string}.  @raise Invalid_argument on syntax errors. *)
+val of_string : string -> t
+
+val pp : Format.formatter -> t -> unit

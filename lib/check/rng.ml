@@ -1,0 +1,59 @@
+type t = { mutable state : int64 }
+
+(* splitmix64 (Steele, Lea & Flood): tiny, full-period, and identical on
+   every platform — exactly what a printable repro seed needs. *)
+let next t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let make seed =
+  let t = { state = Int64.of_int seed } in
+  ignore (next t);
+  t
+
+let of_list parts =
+  let t = { state = 0x5851F42D4C957F2DL } in
+  List.iter
+    (fun p ->
+      t.state <- Int64.logxor t.state (Int64.of_int p);
+      ignore (next t))
+    parts;
+  t
+
+let hash_string s =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    s;
+  (* keep it positive and within OCaml's int *)
+  Int64.to_int (Int64.shift_right_logical !h 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive"
+  else if bound = 1 then 0
+  else
+    Int64.to_int
+      (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int bound))
+
+let bool t = int t 2 = 0
+
+let choose t = function
+  | [] -> invalid_arg "Rng.choose: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+let subset t l = List.filter (fun _ -> bool t) l
+
+let shuffle t l =
+  let a = Array.of_list l in
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a

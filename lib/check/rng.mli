@@ -1,0 +1,32 @@
+(** Deterministic pseudo-random stream for the differential-testing
+    harness (splitmix64).  Unlike [Stdlib.Random], the sequence is fixed
+    by this module alone, so a seed printed in a report reproduces the
+    same trials on any platform, OCaml version, or [--jobs] setting. *)
+
+type t
+
+(** [make seed] starts a stream. *)
+val make : int -> t
+
+(** [of_list parts] starts a stream keyed by all of [parts] (e.g.
+    [[seed; kernel_hash; trial_index]]), so every trial owns an
+    independent deterministic stream regardless of evaluation order. *)
+val of_list : int list -> t
+
+(** Stable 64-bit FNV-1a hash of a string (for keying streams by kernel
+    or variant name). *)
+val hash_string : string -> int
+
+(** [int t bound] is uniform in [\[0, bound)]; [bound >= 1]. *)
+val int : t -> int -> int
+
+val bool : t -> bool
+
+(** Uniform element of a non-empty list. *)
+val choose : t -> 'a list -> 'a
+
+(** [subset t l] keeps each element independently with probability 1/2. *)
+val subset : t -> 'a list -> 'a list
+
+(** Fisher–Yates shuffle. *)
+val shuffle : t -> 'a list -> 'a list

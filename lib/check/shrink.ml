@@ -1,0 +1,73 @@
+(* Values shrink toward 1, sizes toward min_n; biggest jumps first so
+   the common case converges in a handful of oracle runs. *)
+let smaller_values v =
+  List.sort_uniq compare (List.filter (fun c -> c >= 1 && c < v) [ 1; v / 2; v - 1 ])
+
+let smaller_sizes ~min_n n =
+  List.sort_uniq compare
+    (List.filter (fun c -> c >= min_n && c < n) [ min_n; (n + min_n) / 2; n - 1 ])
+
+let max_steps = 200
+
+let greedy ~candidates ~fails start =
+  let rec go state steps =
+    if steps = 0 then state
+    else
+      match List.find_opt fails (candidates state) with
+      | Some better -> go better (steps - 1)
+      | None -> state
+  in
+  go start max_steps
+
+let point ~fails ~min_n ~bindings ~n =
+  let candidates (bindings, n) =
+    List.map (fun n' -> (bindings, n')) (smaller_sizes ~min_n n)
+    @ List.concat_map
+        (fun (name, v) ->
+          List.map
+            (fun v' ->
+              ( List.map (fun (p, x) -> if p = name then (p, v') else (p, x)) bindings,
+                n ))
+            (smaller_values v))
+        bindings
+  in
+  greedy ~candidates ~fails:(fun (b, n) -> fails b n) (bindings, n)
+
+(* Without the tile step its copies cannot be constructed, so removing a
+   Tile also removes every Copy (the copy would only mask the shrink). *)
+let drop_step pipe i =
+  let dropped = List.nth pipe i in
+  let rest = List.filteri (fun j _ -> j <> i) pipe in
+  match dropped with
+  | Pipe.Tile _ ->
+    List.filter (function Pipe.Copy _ -> false | _ -> true) rest
+  | _ -> rest
+
+let shrink_step = function
+  | Pipe.Tile specs ->
+    List.concat_map
+      (fun (v, s) ->
+        List.map
+          (fun s' ->
+            Pipe.Tile
+              (List.map (fun (w, x) -> if w = v then (w, s') else (w, x)) specs))
+          (smaller_values s))
+      specs
+  | Pipe.Unroll (v, u) -> List.map (fun u' -> Pipe.Unroll (v, u')) (smaller_values u)
+  | Pipe.Prefetch (a, d) ->
+    List.map (fun d' -> Pipe.Prefetch (a, d')) (smaller_values d)
+  | Pipe.Permute _ | Pipe.Copy _ | Pipe.Scalar_replace -> []
+
+let pipeline ~fails ~min_n ~pipe ~n =
+  let candidates (pipe, n) =
+    List.map (fun n' -> (pipe, n')) (smaller_sizes ~min_n n)
+    @ List.mapi (fun i _ -> (drop_step pipe i, n)) pipe
+    @ List.concat
+        (List.mapi
+           (fun i s ->
+             List.map
+               (fun s' -> (List.mapi (fun j t -> if j = i then s' else t) pipe, n))
+               (shrink_step s))
+           pipe)
+  in
+  greedy ~candidates ~fails:(fun (p, n) -> fails p n) (pipe, n)

@@ -1,0 +1,28 @@
+(** Greedy shrinking of failing cases to minimal repros.
+
+    [fails] is the failure predicate re-running the oracle; a candidate
+    that cannot even be constructed (an [Invalid_argument] from a
+    transformation) must make it return [false] — construction errors
+    are rejections, not the bug being chased.  Shrinking repeatedly
+    commits the first strictly-smaller candidate that still fails, until
+    a fixpoint (bounded by an internal step limit), so the result is
+    deterministic. *)
+
+(** Shrink a failing (bindings, n) pair: the problem size moves down
+    toward [min_n], each binding value toward 1. *)
+val point :
+  fails:((string * int) list -> int -> bool) ->
+  min_n:int ->
+  bindings:(string * int) list ->
+  n:int ->
+  (string * int) list * int
+
+(** Shrink a failing (pipeline, n) pair: drop whole steps (a dropped
+    tile step also drops dependent copy steps), shrink tile sizes,
+    unroll factors and prefetch distances toward 1, and shrink [n]. *)
+val pipeline :
+  fails:(Pipe.t -> int -> bool) ->
+  min_n:int ->
+  pipe:Pipe.t ->
+  n:int ->
+  Pipe.t * int

@@ -22,6 +22,37 @@ let satisfied c lookup =
     let e = Poly.eval lookup elems in
     e < modulus || e mod modulus <> 0
 
+let system_satisfied cs lookup = List.for_all (fun c -> satisfied c lookup) cs
+
+let binding_lookup ~n bindings x =
+  if x = "n" then n
+  else
+    match List.assoc_opt x bindings with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "Constr.sample: unbound variable %s" x)
+
+let sample ~rand ?(attempts = 300) ~n params cs =
+  let draw (p : Param.t) =
+    let lo, hi = Param.range p ~n in
+    let boundary = Param.boundary_values p ~n in
+    let v =
+      if boundary <> [] && rand 2 = 0 then
+        List.nth boundary (rand (List.length boundary))
+      else lo + rand (max 1 (hi - lo + 1))
+    in
+    (p.Param.name, v)
+  in
+  let feasible b = system_satisfied cs (binding_lookup ~n b) in
+  let rec go k =
+    if k = 0 then
+      let ones = List.map (fun (p : Param.t) -> (p.Param.name, 1)) params in
+      if feasible ones then Some ones else None
+    else
+      let b = List.map draw params in
+      if feasible b then Some b else go (k - 1)
+  in
+  go attempts
+
 let vars = function
   | Poly_le { poly; _ } -> Poly.vars poly
   | Pages_le { elems; runs; _ } ->

@@ -26,6 +26,27 @@ type t =
 
 val satisfied : t -> (string -> int) -> bool
 
+(** All constraints of a system hold under the binding. *)
+val system_satisfied : t list -> (string -> int) -> bool
+
+(** [sample ~rand ~n params constraints] draws a random feasible binding
+    of [params] (a point satisfying every constraint, with ["n"] bound
+    to [n]) by rejection sampling: each parameter is drawn either from
+    its {!Param.boundary_values} or uniformly from its {!Param.range},
+    so boundary points (tile = trip count, non-dividing tiles,
+    unroll = 1) appear with high probability.  [rand b] must return a
+    uniform integer in [\[0, b)].  After [attempts] rejections (default
+    300) the all-ones point is tried; [None] when even that is
+    infeasible (e.g. a contradictory system).  Deterministic for a
+    deterministic [rand]. *)
+val sample :
+  rand:(int -> int) ->
+  ?attempts:int ->
+  n:int ->
+  Param.t list ->
+  t list ->
+  (string * int) list option
+
 (** Parameters mentioned by the constraint. *)
 val vars : t -> string list
 

@@ -5,6 +5,18 @@ type t = { name : string; kind : kind; loop : string }
 let unroll loop = { name = "u" ^ loop; kind = Unroll; loop }
 let tile loop = { name = "t" ^ loop; kind = Tile; loop }
 
+let range t ~n =
+  match t.kind with Unroll -> (1, 64) | Tile -> (1, max 1 n)
+
+let boundary_values t ~n =
+  let lo, hi = range t ~n in
+  let raw =
+    match t.kind with
+    | Unroll -> [ 1; 2; 3; 4; 8; n; hi ]
+    | Tile -> [ 1; 2; 3; 4; n / 2; n - 1; n ]
+  in
+  List.sort_uniq compare (List.filter (fun v -> v >= lo && v <= hi) raw)
+
 let pp fmt t =
   Format.fprintf fmt "%s(%s %s)" t.name
     (match t.kind with Unroll -> "unroll" | Tile -> "tile")

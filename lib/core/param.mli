@@ -11,4 +11,16 @@ type t = {
 
 val unroll : string -> t
 val tile : string -> t
+
+(** Legal value range of the parameter at problem size [n] (inclusive):
+    unroll factors lie in [1,64], tile sizes in [1,n] — the same ranges
+    {!Variant.feasible} enforces. *)
+val range : t -> n:int -> int * int
+
+(** Boundary values worth special attention when sampling: 1, small
+    factors, and the trip-count edge ([n-1], [n]); for unroll factors
+    also the largest legal factor.  All values lie inside {!range};
+    sorted, without duplicates. *)
+val boundary_values : t -> n:int -> int list
+
 val pp : Format.formatter -> t -> unit

@@ -12,6 +12,7 @@ let () =
       ("experiments", Test_experiments.suite);
       ("random", Test_random.suite);
       ("codegen", Test_codegen.suite);
+      ("check", Test_check.suite);
       ("reuse_distance", Test_reuse_distance.suite);
       ("extensions", Test_extensions.suite);
       ("wavefront", Test_wavefront.suite);

@@ -290,6 +290,87 @@ let test_c_jacobi_rotation () =
   let p = Transform.Scalar_replace.apply p in
   compile_and_check ~test_name:"jacobi_rot" Jacobi3d.kernel p 9
 
+(* --- golden output ---
+
+   Exact emitted text for one tiled+unrolled+copied matmul variant.
+   These pin the concrete shape of the generated code — loop headers,
+   clipping via ECO_MIN/min, the FLOORMULT epilogue split, copy-buffer
+   indexing — so an unintended emitter change shows up as a readable
+   diff, not a silent formatting drift.  Regenerate by printing
+   [function_code]/[subroutine_code] of this pipeline and reviewing the
+   diff. *)
+
+let golden_program =
+  Check.Pipe.apply Matmul.kernel
+    (Check.Pipe.of_string "tile:j=4,k=4;copy:b;unroll:i=2")
+
+let golden_c =
+  {golden|void matmul(ptrdiff_t n, double *restrict a, double *restrict b, double *restrict c) {
+  static double p_b[16];
+  for (ptrdiff_t jj = 0; jj <= n - 1; jj += 4) {
+    for (ptrdiff_t kk = 0; kk <= n - 1; kk += 4) {
+      for (ptrdiff_t p_b_c1 = 0; p_b_c1 <= ECO_MIN(3, -jj + n - 1); p_b_c1 += 1) {
+        for (ptrdiff_t p_b_c0 = 0; p_b_c0 <= ECO_MIN(3, -kk + n - 1); p_b_c0 += 1) {
+          p_b[(p_b_c0) + (4)*((p_b_c1))] = b[(kk + p_b_c0) + (n)*((jj + p_b_c1))];
+        }
+      }
+      for (ptrdiff_t k = kk; k <= ECO_MIN(kk + 3, n - 1); k += 1) {
+        for (ptrdiff_t j = jj; j <= ECO_MIN(jj + 3, n - 1); j += 1) {
+          for (ptrdiff_t i = 0; i <= ((ECO_MAX(ECO_FLOORMULT(n, 2), 0) + 0) + -1); i += 2) {
+            c[(i) + (n)*((j))] = (c[(i) + (n)*((j))] + (a[(i) + (n)*((k))] * p_b[(k - kk) + (4)*((j - jj))]));
+            c[(i + 1) + (n)*((j))] = (c[(i + 1) + (n)*((j))] + (a[(i + 1) + (n)*((k))] * p_b[(k - kk) + (4)*((j - jj))]));
+          }
+          for (ptrdiff_t i = (ECO_MAX(ECO_FLOORMULT(n, 2), 0) + 0); i <= n - 1; i += 1) {
+            c[(i) + (n)*((j))] = (c[(i) + (n)*((j))] + (a[(i) + (n)*((k))] * p_b[(k - kk) + (4)*((j - jj))]));
+          }
+        }
+      }
+    }
+  }
+}
+|golden}
+
+let golden_f90 =
+  {golden|subroutine matmul(n, a, b, c)
+  use eco_helpers
+  implicit none
+  integer, intent(in) :: n
+  real(8), intent(inout) :: a(0:n - 1, 0:n - 1)
+  real(8), intent(inout) :: b(0:n - 1, 0:n - 1)
+  real(8), intent(inout) :: c(0:n - 1, 0:n - 1)
+  integer :: jj, kk, p_b_c1, p_b_c0, k, j, i
+  real(8), save :: p_b(0:3, 0:3)
+  do jj = 0, n - 1, 4
+    do kk = 0, n - 1, 4
+      do p_b_c1 = 0, min(3, -jj + n - 1)
+        do p_b_c0 = 0, min(3, -kk + n - 1)
+          p_b(p_b_c0, p_b_c1) = b(kk + p_b_c0, jj + p_b_c1)
+        end do
+      end do
+      do k = kk, min(kk + 3, n - 1)
+        do j = jj, min(jj + 3, n - 1)
+          do i = 0, ((max(eco_floormult(n, 2), 0) + 0) + -1), 2
+            c(i, j) = (c(i, j) + (a(i, k) * p_b(k - kk, j - jj)))
+            c(i + 1, j) = (c(i + 1, j) + (a(i + 1, k) * p_b(k - kk, j - jj)))
+          end do
+          do i = (max(eco_floormult(n, 2), 0) + 0), n - 1
+            c(i, j) = (c(i, j) + (a(i, k) * p_b(k - kk, j - jj)))
+          end do
+        end do
+      end do
+    end do
+  end do
+end subroutine matmul
+|golden}
+
+let test_golden_c () =
+  Alcotest.(check string) "C function text" golden_c
+    (Codegen_c.function_code golden_program)
+
+let test_golden_f90 () =
+  Alcotest.(check string) "F90 subroutine text" golden_f90
+    (Codegen_f90.subroutine_code golden_program)
+
 let suite =
   [
     Alcotest.test_case "prototype" `Quick test_prototype;
@@ -310,6 +391,10 @@ let suite =
     Alcotest.test_case "f90: registers and temps" `Quick
       test_f90_registers_and_temps;
     Alcotest.test_case "f90: prefetch comment" `Quick test_f90_prefetch_comment;
+    Alcotest.test_case "golden: C tiled+unrolled+copied matmul" `Quick
+      test_golden_c;
+    Alcotest.test_case "golden: F90 tiled+unrolled+copied matmul" `Quick
+      test_golden_f90;
     Alcotest.test_case "gcc: naive matmul" `Slow (with_gcc test_c_naive_matmul);
     Alcotest.test_case "gcc: figure 1(b) pipeline" `Slow (with_gcc test_c_figure_1b);
     Alcotest.test_case "gcc: ECO-tuned variant" `Slow (with_gcc test_c_tuned_variant);
