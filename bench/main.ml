@@ -151,9 +151,95 @@ let emit_search_json entries =
   Format.printf "@.wrote BENCH_search.json (%d entries)@."
     (List.length entries)
 
+(* Evaluation-path benchmark: the same guided search run through the
+   bytecode fast path and through the reference closure interpreter.
+   Both engines evaluate the identical candidate sequence (results are
+   bit-identical; the [vm] test suite enforces it), so the ratio of
+   wall time spent inside evaluation is exactly the fast path's
+   speedup.  Emits BENCH_eval.json for tracking across commits. *)
+
+let eval_bench_cases =
+  [ (Kernels.Matmul.kernel, 128); (Kernels.Jacobi3d.kernel, 64) ]
+
+let eval_bench_mode = Core.Executor.Budget 200_000
+
+let eval_bench_run path kernel ~n =
+  let engine = Core.Engine.create ~path Machine.sgi_r10000 in
+  let t0 = Unix.gettimeofday () in
+  let r = Core.Eco.optimize_with ~mode:eval_bench_mode engine kernel ~n in
+  let wall = Unix.gettimeofday () -. t0 in
+  (Core.Engine.stats engine, wall, r.Core.Eco.measurement.Core.Executor.mflops)
+
+let emit_eval_json () =
+  let entries =
+    List.map
+      (fun ((kernel : Kernels.Kernel.t), n) ->
+        let name = kernel.Kernels.Kernel.name in
+        Format.printf "eval bench: %s n=%d...@." name n;
+        let fast, fast_wall, fast_mflops =
+          eval_bench_run Core.Executor.Fast kernel ~n
+        in
+        let slow, slow_wall, slow_mflops =
+          eval_bench_run Core.Executor.Closures kernel ~n
+        in
+        (* Identical searches: same candidates, same winner. *)
+        if fast.Core.Engine.fresh <> slow.Core.Engine.fresh then
+          Format.printf
+            "WARNING: %s paths evaluated different point counts (%d vs %d)@."
+            name fast.Core.Engine.fresh slow.Core.Engine.fresh;
+        if fast_mflops <> slow_mflops then
+          Format.printf "WARNING: %s paths disagree (%.2f vs %.2f MFLOPS)@."
+            name fast_mflops slow_mflops;
+        let per_sec evals seconds =
+          if seconds > 0.0 then float_of_int evals /. seconds else 0.0
+        in
+        let speedup =
+          if fast.Core.Engine.eval_seconds > 0.0 then
+            slow.Core.Engine.eval_seconds /. fast.Core.Engine.eval_seconds
+          else 0.0
+        in
+        Format.printf
+          "  fast: %d evals in %.3fs (%.0f evals/s)  closures: %.3fs \
+           (%.0f evals/s)  speedup %.2fx@."
+          fast.Core.Engine.fresh fast.Core.Engine.eval_seconds
+          (per_sec fast.Core.Engine.fresh fast.Core.Engine.eval_seconds)
+          slow.Core.Engine.eval_seconds
+          (per_sec slow.Core.Engine.fresh slow.Core.Engine.eval_seconds)
+          speedup;
+        Printf.sprintf
+          "  {\"kernel\": \"%s\", \"n\": %d, \"budget\": %d,\n\
+          \   \"fast_evals\": %d, \"fast_eval_seconds\": %.4f, \
+           \"fast_evals_per_sec\": %.1f,\n\
+          \   \"fast_wall_seconds\": %.4f, \"trace_hits\": %d, \
+           \"trace_fills\": %d,\n\
+          \   \"closures_evals\": %d, \"closures_eval_seconds\": %.4f, \
+           \"closures_evals_per_sec\": %.1f,\n\
+          \   \"closures_wall_seconds\": %.4f, \"speedup\": %.2f}"
+          name n
+          (match eval_bench_mode with
+          | Core.Executor.Budget b -> b
+          | Core.Executor.Full -> 0)
+          fast.Core.Engine.fresh fast.Core.Engine.eval_seconds
+          (per_sec fast.Core.Engine.fresh fast.Core.Engine.eval_seconds)
+          fast_wall fast.Core.Engine.trace_hits fast.Core.Engine.trace_fills
+          slow.Core.Engine.fresh slow.Core.Engine.eval_seconds
+          (per_sec slow.Core.Engine.fresh slow.Core.Engine.eval_seconds)
+          slow_wall speedup)
+      eval_bench_cases
+  in
+  let oc = open_out "BENCH_eval.json" in
+  output_string oc ("[\n" ^ String.concat ",\n" entries ^ "\n]\n");
+  close_out oc;
+  Format.printf "wrote BENCH_eval.json (%d entries)@." (List.length entries)
+
 let () =
-  Format.printf "=== Bechamel micro-benchmarks (one per paper artifact) ===@.";
-  run_benchmarks ();
-  Format.printf "@.=== Full reproduction of the paper's tables and figures ===@.";
-  Experiments.Run_all.run_everything ~print:print_endline ();
-  emit_search_json (Experiments.Search_cost.run ())
+  if Array.exists (( = ) "--eval-bench") Sys.argv then emit_eval_json ()
+  else begin
+    Format.printf "=== Bechamel micro-benchmarks (one per paper artifact) ===@.";
+    run_benchmarks ();
+    Format.printf
+      "@.=== Full reproduction of the paper's tables and figures ===@.";
+    Experiments.Run_all.run_everything ~print:print_endline ();
+    emit_search_json (Experiments.Search_cost.run ());
+    emit_eval_json ()
+  end

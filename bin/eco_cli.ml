@@ -121,9 +121,13 @@ let derive_cmd =
 
 (* --- tune --- *)
 
-let tune machine kernel n budget jobs validate =
+let tune machine kernel n budget jobs profile closures validate =
   let mode = mode_of_budget budget in
-  let r = Core.Eco.optimize ~mode ~jobs machine kernel ~n in
+  let path =
+    if closures then Core.Executor.Closures else Core.Executor.Fast
+  in
+  let engine = Core.Engine.create ~jobs ~path machine in
+  let r = Core.Eco.optimize_with ~mode engine kernel ~n in
   let o = r.Core.Eco.outcome in
   Format.printf "best variant: %s@." o.Core.Search.variant.Core.Variant.name;
   Format.printf "parameters:   %s@." (bindings_str o.Core.Search.bindings);
@@ -139,6 +143,9 @@ let tune machine kernel n budget jobs validate =
   Format.printf "engine:       %a (%d jobs)@." Core.Engine.pp_stats
     (Core.Engine.stats r.Core.Eco.engine)
     (Core.Engine.jobs r.Core.Eco.engine);
+  if profile then
+    Format.printf "profile:      %a@." Core.Engine.pp_profile
+      (Core.Engine.stats r.Core.Eco.engine);
   if validate then begin
     let verdicts =
       Check.validate ~machine o.Core.Search.variant
@@ -169,6 +176,24 @@ let tune machine kernel n budget jobs validate =
   Format.printf "@.optimized code:@.%a" Ir.Program.pp o.Core.Search.program
 
 let tune_cmd =
+  let profile_arg =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Print a wall-time breakdown of evaluation (bytecode compilation \
+             vs. execution vs. hierarchy simulation vs. memo lookups) and \
+             demand-trace cache behaviour.")
+  in
+  let closures_arg =
+    Arg.(
+      value & flag
+      & info [ "closures" ]
+          ~doc:
+            "Measure through the reference closure interpreter instead of \
+             the bytecode fast path (bit-identical results, slower; for \
+             benchmarking and debugging).")
+  in
   let validate_arg =
     Arg.(
       value & flag
@@ -182,7 +207,7 @@ let tune_cmd =
        ~doc:"Run the full two-phase ECO optimization for a kernel.")
     Term.(
       const tune $ machine_arg $ kernel_arg $ size_arg 256 $ budget_arg
-      $ jobs_arg $ validate_arg)
+      $ jobs_arg $ profile_arg $ closures_arg $ validate_arg)
 
 (* --- check --- *)
 

@@ -15,4 +15,10 @@ dune exec bin/eco_cli.exe -- check -k jacobi3d --seed 42 --trials 50
 # succeed and report the engine's telemetry line.
 dune exec bin/eco_cli.exe -- tune -k matmul -n 48 -b 50000 --jobs 2 | grep "engine:"
 
+# Evaluation-path benchmark: the same tune through the bytecode fast
+# path and the reference closure interpreter; emits BENCH_eval.json
+# (evals/sec + speedup) for tracking across commits.
+dune exec bench/main.exe -- --eval-bench
+grep "speedup" BENCH_eval.json
+
 echo "ci.sh: all checks passed"

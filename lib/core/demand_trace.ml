@@ -1,0 +1,217 @@
+(* Demand-trace capture and prefetch synthesis.
+
+   The prefetch-distance search evaluates many candidates whose demand
+   accesses are identical — only the injected prefetch events differ.
+   [capture] runs the demand (prefetch-free) program once through the
+   bytecode VM with iteration marks enabled; [synthesize] then rebuilds
+   the exact packed event stream of any prefetch plan by interleaving
+   the recorded demand events with prefetch events computed from the
+   marks — no re-interpretation of the program.
+
+   Exactness contract (checked by the [vm] test suite): the synthesized
+   stream is bit-identical to executing
+   [Prefetch_insert.apply]-transformed programs, including the warm-up
+   cut position used by budgeted measurement.  This relies on mirroring
+   three behaviours: [apply] prepends one prefetch per deduplicated
+   stream to each innermost-loop body (so per-iteration order is
+   prefetches first, in application order — last applied array first);
+   the prefetch address is the demand offset shifted by
+   [coeff(var) * distance * step]; and the interpreter emits nothing
+   for prefetches of register-resident scalars. *)
+
+type rep = {
+  rconst : int;
+      (* ((base + folded const) lsl 5) lor tag_prefetch: the packed
+         event value at distance 0 with all mark slots zero *)
+  rterms : (int * int) array;  (* (mark-record field, coeff lsl 5) *)
+  vcoef : int;  (* coeff of the loop var * step, lsl 5 *)
+}
+
+type t = {
+  program : Ir.Program.t;  (* the demand program *)
+  stats : Ir.Exec.stats;
+  events : int array;
+  marks : int array;
+  cut_events : int;  (* -1 when the mode needs no warm-up pass *)
+  cut_marks : int;
+  sites : (string * rep array) array array;  (* per mark id *)
+  mark_width : int array;  (* record width in words, per mark id *)
+  words : int;
+}
+
+let program t = t.program
+let stats t = t.stats
+let words t = t.words
+
+let capture machine (kernel : Kernels.Kernel.t) ~n ~(mode : Executor.mode)
+    (program : Ir.Program.t) =
+  let params = Kernels.Kernel.params kernel n in
+  let register_budget = Machine.available_registers machine in
+  let line_elems = Machine.line_elems machine 0 in
+  let vm = Ir.Vm.compile ~marks:true ~register_budget ~params program in
+  let flop_budget, warm_budget =
+    match mode with
+    | Executor.Full -> (None, None)
+    | Executor.Budget b ->
+      ( Some b,
+        if b < kernel.Kernels.Kernel.flops n then Some (max 1 (b / 2)) else None
+      )
+  in
+  let r = Ir.Vm.run ?flop_budget ?warm_budget vm in
+  let mark_slots = Ir.Vm.mark_slots vm in
+  let placements, _ =
+    Ir.Exec.placements ~with_data:false ~register_budget ~params program
+  in
+  let placement_of name =
+    List.find (fun pl -> pl.Ir.Exec.name = name) placements
+  in
+  let param_value x =
+    match List.assoc_opt x params with
+    | Some v -> v
+    | None ->
+      invalid_arg (Printf.sprintf "Demand_trace.capture: unbound parameter %s" x)
+  in
+  let slot_of = Hashtbl.create 16 in
+  List.iteri
+    (fun i v -> Hashtbl.replace slot_of v i)
+    (Ir.Stmt.loop_vars program.Ir.Program.body);
+  let inner = Ir.Stmt.innermost_loops program.Ir.Program.body in
+  let sites =
+    List.mapi
+      (fun id (l : Ir.Stmt.loop) ->
+        let field_of_slot =
+          let tbl = Hashtbl.create 8 in
+          Array.iteri (fun i s -> Hashtbl.replace tbl s i) mark_slots.(id);
+          Hashtbl.find tbl
+        in
+        let refs = Ir.Stmt.access_refs l.Ir.Stmt.body in
+        (* Group by array, first-occurrence order, in-memory only. *)
+        let arrays = ref [] in
+        List.iter
+          (fun ((r : Ir.Reference.t), _) ->
+            let a = r.Ir.Reference.array in
+            if
+              (placement_of a).Ir.Exec.in_memory
+              && not (List.mem a !arrays)
+            then arrays := a :: !arrays)
+          refs;
+        List.rev_map
+          (fun a ->
+            let pl = placement_of a in
+            let seen = Hashtbl.create 8 in
+            let reps =
+              List.filter_map
+                (fun ((r : Ir.Reference.t), _) ->
+                  if r.Ir.Reference.array <> a then None
+                  else
+                    let key =
+                      Transform.Prefetch_insert.stream_key ~line_elems r
+                    in
+                    if Hashtbl.mem seen key then None
+                    else begin
+                      Hashtbl.add seen key ();
+                      let offset =
+                        List.fold_left2
+                          (fun acc idx stride ->
+                            Ir.Aff.add acc (Ir.Aff.scale stride idx))
+                          Ir.Aff.zero r.Ir.Reference.idx pl.Ir.Exec.strides
+                      in
+                      let const = ref (Ir.Aff.const_part offset) in
+                      let terms =
+                        List.filter_map
+                          (fun (c, x) ->
+                            match Hashtbl.find_opt slot_of x with
+                            | Some slot -> Some (slot, c)
+                            | None ->
+                              const := !const + (c * param_value x);
+                              None)
+                          (Ir.Aff.terms offset)
+                      in
+                      let rconst =
+                        ((pl.Ir.Exec.base + !const) lsl 5)
+                        lor Ir.Sink.tag_prefetch
+                      in
+                      let rterms =
+                        Array.of_list
+                          (List.map
+                             (fun (slot, c) -> (field_of_slot slot, c lsl 5))
+                             terms)
+                      in
+                      let vcoef =
+                        (Ir.Aff.coeff offset l.Ir.Stmt.var * l.Ir.Stmt.step)
+                        lsl 5
+                      in
+                      Some { rconst; rterms; vcoef }
+                    end)
+                refs
+            in
+            (a, Array.of_list reps))
+          !arrays
+        |> Array.of_list)
+      inner
+  in
+  {
+    program;
+    stats = r.Ir.Vm.stats;
+    events = Array.sub r.Ir.Vm.events 0 r.Ir.Vm.n_events;
+    marks = Array.sub r.Ir.Vm.marks 0 r.Ir.Vm.n_marks;
+    cut_events = r.Ir.Vm.cut_events;
+    cut_marks = r.Ir.Vm.cut_marks;
+    sites = Array.of_list sites;
+    mark_width = Array.map (fun slots -> 2 + Array.length slots) mark_slots;
+    words = r.Ir.Vm.n_events + r.Ir.Vm.n_marks;
+  }
+
+let synthesize t ~plan ~(into : Ir.Vm.Buf.t) =
+  Ir.Vm.Buf.clear into;
+  (* Per-iteration emission list per mark id: [apply] is folded over the
+     plan in ascending order and prepends to the body, so the
+     last-applied (greatest) array's prefetches come first. *)
+  let emit =
+    Array.map
+      (fun site ->
+        let site = Array.to_list site in
+        Array.concat
+          (List.rev_map
+             (fun (a, d) ->
+               match List.assoc_opt a site with
+               | None -> [||]
+               | Some reps ->
+                 Array.map
+                   (fun rep -> (rep.rconst + (rep.vcoef * d), rep.rterms))
+                   reps)
+             plan))
+      t.sites
+  in
+  let events = t.events and marks = t.marks in
+  let n_events = Array.length events and n_marks = Array.length marks in
+  let cut = ref (-1) in
+  let prev = ref 0 in
+  let pos = ref 0 in
+  while !pos < n_marks do
+    if !pos = t.cut_marks && t.cut_events >= 0 then
+      cut := Ir.Vm.Buf.length into + (t.cut_events - !prev);
+    let id = marks.(!pos) in
+    let epos = marks.(!pos + 1) in
+    for i = !prev to epos - 1 do
+      Ir.Vm.Buf.push into events.(i)
+    done;
+    prev := epos;
+    let ems = emit.(id) in
+    for e = 0 to Array.length ems - 1 do
+      let base, terms = ems.(e) in
+      let v = ref base in
+      for k = 0 to Array.length terms - 1 do
+        let field, coeff = terms.(k) in
+        v := !v + (coeff * marks.(!pos + 2 + field))
+      done;
+      Ir.Vm.Buf.push into !v
+    done;
+    pos := !pos + t.mark_width.(id)
+  done;
+  if t.cut_events >= 0 && !cut = -1 then
+    cut := Ir.Vm.Buf.length into + (t.cut_events - !prev);
+  for i = !prev to n_events - 1 do
+    Ir.Vm.Buf.push into events.(i)
+  done;
+  !cut

@@ -1,0 +1,44 @@
+(** Demand-trace capture and prefetch-event synthesis.
+
+    The prefetch-distance search (phase 2, §3.2) evaluates many
+    candidates per variant point whose demand access streams are all
+    identical — only the injected prefetch events differ.  {!capture}
+    runs the prefetch-free program once through the bytecode VM with
+    iteration marks; {!synthesize} then reconstructs the exact packed
+    event stream of any prefetch plan from the recorded demand events
+    and marks, so each candidate costs one trace synthesis plus one
+    {!Memsim.Hierarchy.replay_packed} instead of a full
+    re-interpretation.
+
+    The synthesized stream is bit-identical to executing the
+    {!Transform.Prefetch_insert.apply}-transformed program (the [vm]
+    test suite enforces this), including the warm-up cut position of
+    budgeted measurement.  Execution statistics are unaffected by
+    prefetch statements, so {!stats} holds for every plan. *)
+
+type t
+
+(** [capture machine kernel ~n ~mode program] records the demand trace
+    of [program] (which must be prefetch-free: the variant instantiated
+    at its bindings) under the given measurement mode's flop budget and
+    warm-up rules.
+    @raise Invalid_argument if the program is malformed. *)
+val capture :
+  Machine.t -> Kernels.Kernel.t -> n:int -> mode:Executor.mode ->
+  Ir.Program.t -> t
+
+(** The captured demand program. *)
+val program : t -> Ir.Program.t
+
+(** Execution statistics of the run (valid for any prefetch plan). *)
+val stats : t -> Ir.Exec.stats
+
+(** Approximate footprint in words, for cache budgeting. *)
+val words : t -> int
+
+(** [synthesize t ~plan ~into] fills [into] with the packed event
+    stream of the program transformed by [plan] — a canonical
+    (sorted-ascending) [(array, distance)] list as in
+    [Engine.request.prefetch] — and returns the warm-up cut position
+    ([-1] when the captured mode needs none). *)
+val synthesize : t -> plan:(string * int) list -> into:Ir.Vm.Buf.t -> int

@@ -20,6 +20,12 @@ type stats = {
   failed : int;
   simulated_cycles : float;
   eval_seconds : float;
+  compile_seconds : float;
+  exec_seconds : float;
+  sim_seconds : float;
+  memo_seconds : float;
+  trace_hits : int;
+  trace_fills : int;
 }
 
 (* The canonical identity of a measurement.  [fp_shape] is a structural
@@ -46,37 +52,61 @@ type memo_entry = (Ir.Program.t * Executor.measurement) option
 type t = {
   machine : Machine.t;
   jobs : int;
+  path : Executor.path;
   memo : (fingerprint, memo_entry) Hashtbl.t;
   (* variant-shape digests, cached by physical identity: variants are
      long-lived values created once per derivation *)
   mutable shapes : (Variant.t * string) list;
+  (* Bounded demand-trace LRU (MRU first), keyed by the request
+     fingerprint normalized to no prefetch: every prefetch candidate of
+     one variant point shares one captured demand trace. *)
+  mutable traces : (fingerprint * Demand_trace.t) list;
+  mutable trace_words : int;
   mutable hits : int;
   mutable fresh : int;
   mutable pruned : int;
   mutable failed : int;
   mutable simulated_cycles : float;
   mutable eval_seconds : float;
+  mutable compile_seconds : float;
+  mutable exec_seconds : float;
+  mutable sim_seconds : float;
+  mutable memo_seconds : float;
+  mutable trace_hits : int;
+  mutable trace_fills : int;
 }
 
 let default_jobs () = Domain.recommended_domain_count ()
+let max_trace_entries = 8
+let max_trace_words = 6_000_000
 
-let create ?(jobs = 1) machine =
+let create ?(jobs = 1) ?(path = Executor.Fast) machine =
   let jobs = if jobs = 0 then default_jobs () else max 1 jobs in
   {
     machine;
     jobs;
+    path;
     memo = Hashtbl.create 256;
     shapes = [];
+    traces = [];
+    trace_words = 0;
     hits = 0;
     fresh = 0;
     pruned = 0;
     failed = 0;
     simulated_cycles = 0.0;
     eval_seconds = 0.0;
+    compile_seconds = 0.0;
+    exec_seconds = 0.0;
+    sim_seconds = 0.0;
+    memo_seconds = 0.0;
+    trace_hits = 0;
+    trace_fills = 0;
   }
 
 let machine t = t.machine
 let jobs t = t.jobs
+let path t = t.path
 
 let stats t =
   {
@@ -86,6 +116,12 @@ let stats t =
     failed = t.failed;
     simulated_cycles = t.simulated_cycles;
     eval_seconds = t.eval_seconds;
+    compile_seconds = t.compile_seconds;
+    exec_seconds = t.exec_seconds;
+    sim_seconds = t.sim_seconds;
+    memo_seconds = t.memo_seconds;
+    trace_hits = t.trace_hits;
+    trace_fills = t.trace_fills;
   }
 
 let pp_stats fmt (s : stats) =
@@ -93,6 +129,13 @@ let pp_stats fmt (s : stats) =
     "%d fresh evaluations, %d memo hits, %d pruned, %d failed, %.0f simulated \
      cycles, %.2fs evaluating"
     s.fresh s.hits s.pruned s.failed s.simulated_cycles s.eval_seconds
+
+let pp_profile fmt (s : stats) =
+  Format.fprintf fmt
+    "compile %.3fs, execute %.3fs, simulate %.3fs, memo %.3fs; demand-trace \
+     cache: %d hits, %d fills"
+    s.compile_seconds s.exec_seconds s.sim_seconds s.memo_seconds s.trace_hits
+    s.trace_fills
 
 let request ?(check = true) ?(prefetch = []) variant ~n ~mode ~bindings =
   { variant; n; mode; bindings; prefetch; check }
@@ -155,7 +198,7 @@ let build t r = build_program t.machine (canonical r)
    simulations share nothing. *)
 type raw = Measured of Ir.Program.t * Executor.measurement | Infeasible | Failed
 
-let simulate machine (r : request) =
+let simulate ?path machine (r : request) =
   if r.check && not (Variant.feasible r.variant ~n:r.n r.bindings) then
     Infeasible
   else
@@ -163,11 +206,116 @@ let simulate machine (r : request) =
     | None -> Failed
     | Some program -> (
       match
-        Executor.measure machine r.variant.Variant.kernel ~n:r.n ~mode:r.mode
-          program
+        Executor.measure ?path machine r.variant.Variant.kernel ~n:r.n
+          ~mode:r.mode program
       with
       | exception Invalid_argument _ -> Failed
       | m -> Measured (program, m))
+
+(* Evaluate a prefetch candidate from a captured demand trace:
+   synthesize its packed event stream, replay it, and rebuild the
+   candidate program from the cached demand program (value-identical to
+   [build_program], since instantiation is pure).  Engine-state-free,
+   so batch workers can run it; scratch buffers are per-domain. *)
+let simulate_from_trace machine dt (r : request) =
+  if r.check && not (Variant.feasible r.variant ~n:r.n r.bindings) then
+    Infeasible
+  else
+    match
+      let t0 = Unix_time.now () in
+      let buf = Executor.synth_scratch () in
+      let cut = Demand_trace.synthesize dt ~plan:r.prefetch ~into:buf in
+      let synth_seconds = Unix_time.now () -. t0 in
+      let line = Machine.line_elems machine 0 in
+      let program =
+        List.fold_left
+          (fun p (array, distance) ->
+            Transform.Prefetch_insert.apply p ~array ~distance ~line_elems:line)
+          (Demand_trace.program dt) r.prefetch
+      in
+      let m =
+        Executor.measure_from_trace ~synth_seconds machine
+          r.variant.Variant.kernel ~n:r.n ~stats:(Demand_trace.stats dt)
+          ~events:(Ir.Vm.Buf.data buf) ~n_events:(Ir.Vm.Buf.length buf) ~cut
+      in
+      Measured (program, m)
+    with
+    | exception Invalid_argument _ -> Failed
+    | raw -> raw
+
+(* --- demand-trace LRU ------------------------------------------------ *)
+
+let trace_key fp = { fp with fp_prefetch = []; fp_check = false }
+
+let trace_find t key =
+  let rec go acc = function
+    | [] -> None
+    | ((k, dt) as entry) :: rest ->
+      if k = key then begin
+        t.traces <- entry :: List.rev_append acc rest;
+        t.trace_hits <- t.trace_hits + 1;
+        Some dt
+      end
+      else go (entry :: acc) rest
+  in
+  go [] t.traces
+
+let trace_add t key dt =
+  let w = Demand_trace.words dt in
+  if w <= max_trace_words then begin
+    t.traces <- (key, dt) :: t.traces;
+    t.trace_words <- t.trace_words + w;
+    let rec prune n = function
+      | [] -> []
+      | (_, dt') :: rest
+        when n >= max_trace_entries || t.trace_words > max_trace_words ->
+        t.trace_words <- t.trace_words - Demand_trace.words dt';
+        prune n rest
+      | e :: rest -> e :: prune (n + 1) rest
+    in
+    t.traces <- prune 0 t.traces
+  end
+
+(* Capture the demand trace for a prefetch request's base point and
+   cache it.  [None] when the variant fails to instantiate or the
+   program is malformed — the caller reports [Failed], matching what
+   the direct path would have done. *)
+let trace_fill t (r : request) key =
+  match Variant.instantiate r.variant ~bindings:r.bindings with
+  | exception Invalid_argument _ -> None
+  | demand -> (
+    match
+      Demand_trace.capture t.machine r.variant.Variant.kernel ~n:r.n
+        ~mode:r.mode demand
+    with
+    | exception Invalid_argument _ -> None
+    | dt ->
+      t.trace_fills <- t.trace_fills + 1;
+      trace_add t key dt;
+      Some dt)
+
+(* Choose how to simulate a memo miss.  The trace path applies only to
+   Fast-path prefetch requests; [fill] additionally captures a missing
+   demand trace (serial paths only — batch workers never mutate the
+   cache, they just reuse what the coordinator finds at plan time). *)
+let simulate_miss t ~fill (r : request) fp =
+  match t.path with
+  | Executor.Closures -> simulate ~path:Executor.Closures t.machine r
+  | Executor.Fast ->
+    if r.prefetch = [] then simulate ~path:Executor.Fast t.machine r
+    else if r.check && not (Variant.feasible r.variant ~n:r.n r.bindings) then
+      Infeasible
+    else begin
+      let key = trace_key fp in
+      match trace_find t key with
+      | Some dt -> simulate_from_trace t.machine dt r
+      | None ->
+        if fill then
+          match trace_fill t r key with
+          | Some dt -> simulate_from_trace t.machine dt r
+          | None -> Failed
+        else simulate ~path:Executor.Fast t.machine r
+    end
 
 (* Commit one fresh result: memo table, telemetry, log — always on the
    coordinating domain, always in request order. *)
@@ -177,6 +325,9 @@ let commit t ?log (r : request) fp raw =
     Hashtbl.replace t.memo fp (Some (program, m));
     t.fresh <- t.fresh + 1;
     t.simulated_cycles <- t.simulated_cycles +. Executor.cycles m;
+    t.compile_seconds <- t.compile_seconds +. m.Executor.timings.Executor.compile_s;
+    t.exec_seconds <- t.exec_seconds +. m.Executor.timings.Executor.exec_s;
+    t.sim_seconds <- t.sim_seconds +. m.Executor.timings.Executor.sim_s;
     (match log with
     | Some log ->
       Search_log.record log
@@ -209,11 +360,14 @@ let serve_hit t ?log entry =
 
 let evaluate_canonical t ?log r =
   let fp = fingerprint t r in
-  match Hashtbl.find_opt t.memo fp with
+  let t0 = Unix_time.now () in
+  let entry = Hashtbl.find_opt t.memo fp in
+  t.memo_seconds <- t.memo_seconds +. (Unix_time.now () -. t0);
+  match entry with
   | Some entry -> serve_hit t ?log entry
   | None ->
     let t0 = Unix_time.now () in
-    let raw = simulate t.machine r in
+    let raw = simulate_miss t ~fill:true r fp in
     t.eval_seconds <- t.eval_seconds +. (Unix_time.now () -. t0);
     commit t ?log r fp raw
 
@@ -252,8 +406,12 @@ let evaluate_batch t ?log reqs =
   if t.jobs <= 1 then List.map (evaluate_canonical t ?log) reqs
   else begin
     (* Plan: classify each request as a memo hit, a duplicate of an
-       earlier slot, or a scheduled miss. *)
+       earlier slot, or a scheduled miss.  Each miss becomes a pure
+       task: trace-cache lookups happen here on the coordinator (a hit
+       pins the captured trace into the task's closure), so workers
+       never touch engine state — and never fill the cache. *)
     let slots = Hashtbl.create 16 in
+    let t0 = Unix_time.now () in
     let plan =
       List.map
         (fun r ->
@@ -268,14 +426,29 @@ let evaluate_batch t ?log reqs =
               `Run (r, fp, slot))
         reqs
     in
+    t.memo_seconds <- t.memo_seconds +. (Unix_time.now () -. t0);
     let to_run =
       Array.of_list
         (List.filter_map
-           (function `Run (r, _, _) -> Some r | `Hit _ | `Dup _ -> None)
+           (function
+             | `Run (r, fp, _) ->
+               let machine = t.machine in
+               (match t.path with
+               | Executor.Closures ->
+                 Some (fun () -> simulate ~path:Executor.Closures machine r)
+               | Executor.Fast ->
+                 if r.prefetch = [] then
+                   Some (fun () -> simulate ~path:Executor.Fast machine r)
+                 else (
+                   match trace_find t (trace_key fp) with
+                   | Some dt -> Some (fun () -> simulate_from_trace machine dt r)
+                   | None ->
+                     Some (fun () -> simulate ~path:Executor.Fast machine r)))
+             | `Hit _ | `Dup _ -> None)
            plan)
     in
     let t0 = Unix_time.now () in
-    let raws = parallel_map t.jobs (simulate t.machine) to_run in
+    let raws = parallel_map t.jobs (fun task -> task ()) to_run in
     t.eval_seconds <- t.eval_seconds +. (Unix_time.now () -. t0);
     (* Commit in request order: memo, telemetry and log end up identical
        to a serial evaluation of the same list (a duplicate always
@@ -313,10 +486,13 @@ let measure_program t ?key kernel ~n ~mode program =
   in
   let run () =
     let t0 = Unix_time.now () in
-    let m = Executor.measure t.machine kernel ~n ~mode program in
+    let m = Executor.measure ~path:t.path t.machine kernel ~n ~mode program in
     t.eval_seconds <- t.eval_seconds +. (Unix_time.now () -. t0);
     t.fresh <- t.fresh + 1;
     t.simulated_cycles <- t.simulated_cycles +. Executor.cycles m;
+    t.compile_seconds <- t.compile_seconds +. m.Executor.timings.Executor.compile_s;
+    t.exec_seconds <- t.exec_seconds +. m.Executor.timings.Executor.exec_s;
+    t.sim_seconds <- t.sim_seconds +. m.Executor.timings.Executor.sim_s;
     m
   in
   match shape with

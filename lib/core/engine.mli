@@ -28,16 +28,20 @@
 
 type t
 
-(** [create ?jobs machine] makes an engine for [machine].  [jobs]
+(** [create ?jobs ?path machine] makes an engine for [machine].  [jobs]
     defaults to 1 (serial, deterministic evaluation order); [0] selects
-    {!default_jobs}. *)
-val create : ?jobs:int -> Machine.t -> t
+    {!default_jobs}.  [path] selects the measurement pipeline
+    ({!Executor.Fast} bytecode + batched replay + demand-trace reuse by
+    default; {!Executor.Closures} forces the reference interpreter —
+    bit-identical results, used as the benchmark baseline). *)
+val create : ?jobs:int -> ?path:Executor.path -> Machine.t -> t
 
 (** [Domain.recommended_domain_count ()]. *)
 val default_jobs : unit -> int
 
 val machine : t -> Machine.t
 val jobs : t -> int
+val path : t -> Executor.path
 
 (** One candidate point of one variant. *)
 type request = {
@@ -110,7 +114,22 @@ type stats = {
   failed : int;  (** instantiation/measurement failures *)
   simulated_cycles : float;  (** total cycles across fresh measurements *)
   eval_seconds : float;  (** wall time spent inside evaluation *)
+  compile_seconds : float;  (** bytecode compilation (Fast path) *)
+  exec_seconds : float;
+      (** program execution / trace generation (everything, on the
+          closure path) *)
+  sim_seconds : float;  (** hierarchy simulation (batched replay) *)
+  memo_seconds : float;  (** memo-table lookups *)
+  trace_hits : int;  (** candidates served by demand-trace synthesis *)
+  trace_fills : int;  (** demand traces captured *)
 }
 
 val stats : t -> stats
+
+(** The headline telemetry line ([eco tune]'s [engine:] line). *)
 val pp_stats : Format.formatter -> stats -> unit
+
+(** The [--profile] wall-time breakdown: where evaluation time went
+    (compile vs. execute vs. simulate vs. memo lookups) and how the
+    demand-trace cache behaved. *)
+val pp_profile : Format.formatter -> stats -> unit

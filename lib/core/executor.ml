@@ -2,15 +2,56 @@ type mode = Full | Budget of int
 
 let default_budget = Budget 4_000_000
 
+type path = Fast | Closures
+
+type timings = { compile_s : float; exec_s : float; sim_s : float }
+
+let no_timings = { compile_s = 0.0; exec_s = 0.0; sim_s = 0.0 }
+
 type measurement = {
   cost : Memsim.Cost.t;
   counters : Memsim.Counters.t;
   stats : Ir.Exec.stats;
   scale : float;
   mflops : float;
+  timings : timings;
 }
 
-let measure machine (kernel : Kernels.Kernel.t) ~n ~mode program =
+(* Per-domain buffer pool: repeated evaluations on one domain (the
+   common case — each engine worker streams candidates) reuse the same
+   event and mark buffers instead of reallocating per candidate. *)
+let buffers : (Ir.Vm.Buf.t * Ir.Vm.Buf.t) Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      (Ir.Vm.Buf.create ~capacity:(1 lsl 16) (), Ir.Vm.Buf.create ~capacity:4096 ()))
+
+(* A separate pooled buffer for synthesized streams, so synthesis can
+   run while the captured demand buffers stay borrowed elsewhere. *)
+let synth_buffer : Ir.Vm.Buf.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Ir.Vm.Buf.create ~capacity:(1 lsl 16) ())
+
+let synth_scratch () = Domain.DLS.get synth_buffer
+
+let finish machine (kernel : Kernels.Kernel.t) ~n ~counters ~stats ~timings =
+  let cost = Memsim.Cost.evaluate machine counters stats in
+  let total_flops = kernel.Kernels.Kernel.flops n in
+  let scale =
+    if stats.Ir.Exec.completed then 1.0
+    else if stats.Ir.Exec.flops > 0 then
+      float_of_int total_flops /. float_of_int stats.Ir.Exec.flops
+    else 1.0
+  in
+  let cost = if scale = 1.0 then cost else Memsim.Cost.scale scale cost in
+  {
+    cost;
+    counters = Memsim.Counters.copy counters;
+    stats;
+    scale;
+    mflops = cost.Memsim.Cost.mflops;
+    timings;
+  }
+
+let measure_closures machine (kernel : Kernels.Kernel.t) ~n ~mode program =
+  let t0 = Unix_time.now () in
   let hierarchy = Memsim.Hierarchy.create machine in
   let params = [ (kernel.Kernels.Kernel.size_param, n) ] in
   let register_budget = Machine.available_registers machine in
@@ -34,21 +75,71 @@ let measure machine (kernel : Kernels.Kernel.t) ~n ~mode program =
     Ir.Exec.run ~sink ?flop_budget ~register_budget ~params program
   in
   let counters = Memsim.Hierarchy.counters hierarchy in
-  let cost = Memsim.Cost.evaluate machine counters result.Ir.Exec.stats in
-  let total_flops = kernel.Kernels.Kernel.flops n in
-  let scale =
-    if result.Ir.Exec.stats.Ir.Exec.completed then 1.0
-    else if result.Ir.Exec.stats.Ir.Exec.flops > 0 then
-      float_of_int total_flops /. float_of_int result.Ir.Exec.stats.Ir.Exec.flops
-    else 1.0
+  let timings = { no_timings with exec_s = Unix_time.now () -. t0 } in
+  finish machine kernel ~n ~counters ~stats:result.Ir.Exec.stats ~timings
+
+(* The fast path: compile the program once to bytecode, run it once
+   (recording the warm-up cut position when sampling), then feed the
+   packed event buffer to the hierarchy in one batched replay.  The
+   closure path runs the program twice in budget mode; one VM run plus
+   a prefix replay is equivalent because addresses are deterministic —
+   the [vm] differential suite checks counters stay bit-identical. *)
+let measure_fast machine (kernel : Kernels.Kernel.t) ~n ~mode program =
+  let t0 = Unix_time.now () in
+  let params = [ (kernel.Kernels.Kernel.size_param, n) ] in
+  let register_budget = Machine.available_registers machine in
+  let vm = Ir.Vm.compile ~register_budget ~params program in
+  let t1 = Unix_time.now () in
+  let events, marks = Domain.DLS.get buffers in
+  let flop_budget, warm_budget =
+    match mode with
+    | Full -> (None, None)
+    | Budget b ->
+      ( Some b,
+        if b < kernel.Kernels.Kernel.flops n then Some (max 1 (b / 2)) else None
+      )
   in
-  let cost = if scale = 1.0 then cost else Memsim.Cost.scale scale cost in
-  {
-    cost;
-    counters = Memsim.Counters.copy counters;
-    stats = result.Ir.Exec.stats;
-    scale;
-    mflops = cost.Memsim.Cost.mflops;
-  }
+  let r = Ir.Vm.run ?flop_budget ?warm_budget ~events ~marks vm in
+  let t2 = Unix_time.now () in
+  let hierarchy = Memsim.Hierarchy.create machine in
+  if r.Ir.Vm.cut_events >= 0 then begin
+    Memsim.Hierarchy.warm_packed hierarchy r.Ir.Vm.events ~pos:0
+      ~len:r.Ir.Vm.cut_events;
+    Memsim.Hierarchy.reset_counters hierarchy
+  end;
+  Memsim.Hierarchy.replay_packed hierarchy r.Ir.Vm.events ~pos:0
+    ~len:r.Ir.Vm.n_events;
+  let t3 = Unix_time.now () in
+  let timings =
+    { compile_s = t1 -. t0; exec_s = t2 -. t1; sim_s = t3 -. t2 }
+  in
+  finish machine kernel ~n
+    ~counters:(Memsim.Hierarchy.counters hierarchy)
+    ~stats:r.Ir.Vm.stats ~timings
+
+let measure ?(path = Fast) machine kernel ~n ~mode program =
+  match path with
+  | Closures -> measure_closures machine kernel ~n ~mode program
+  | Fast -> measure_fast machine kernel ~n ~mode program
+
+let measure_from_trace ?(synth_seconds = 0.0) machine kernel ~n ~stats ~events
+    ~n_events ~cut =
+  let t0 = Unix_time.now () in
+  let hierarchy = Memsim.Hierarchy.create machine in
+  if cut >= 0 then begin
+    Memsim.Hierarchy.warm_packed hierarchy events ~pos:0 ~len:cut;
+    Memsim.Hierarchy.reset_counters hierarchy
+  end;
+  Memsim.Hierarchy.replay_packed hierarchy events ~pos:0 ~len:n_events;
+  let timings =
+    {
+      compile_s = 0.0;
+      exec_s = synth_seconds;
+      sim_s = Unix_time.now () -. t0;
+    }
+  in
+  finish machine kernel ~n
+    ~counters:(Memsim.Hierarchy.counters hierarchy)
+    ~stats ~timings
 
 let cycles m = m.cost.Memsim.Cost.total_cycles

@@ -4,7 +4,15 @@
     Two modes: [Full] simulates the entire computation; [Budget f] stops
     after [f] useful flops and extrapolates steady-state cycles to the
     full problem — the sampled-simulation substitute for wall-clock
-    timing on real hardware (see DESIGN.md). *)
+    timing on real hardware (see DESIGN.md).
+
+    Two paths: [Fast] (the default) compiles the program once to
+    {!Ir.Vm} bytecode, records the packed event stream and feeds it to
+    {!Memsim.Hierarchy.replay_packed} in one batched loop; [Closures]
+    is the original execution-driven pipeline through the reference
+    interpreter.  Both produce bit-identical measurements (enforced by
+    the differential test suite); [Closures] exists as the reference
+    and as the baseline of the evaluation benchmark. *)
 
 type mode = Full | Budget of int
 
@@ -12,15 +20,22 @@ type mode = Full | Budget of int
     simulated accesses per candidate). *)
 val default_budget : mode
 
+type path = Fast | Closures
+
+(** Wall-time breakdown of one measurement (all zero where a stage does
+    not apply; the closure path books everything under [exec_s]). *)
+type timings = { compile_s : float; exec_s : float; sim_s : float }
+
 type measurement = {
   cost : Memsim.Cost.t;  (** extrapolated to the full problem in budget mode *)
   counters : Memsim.Counters.t;  (** raw (unscaled) hierarchy counters *)
   stats : Ir.Exec.stats;  (** raw executor statistics *)
   scale : float;  (** extrapolation factor (1.0 when complete) *)
   mflops : float;  (** convenience: [cost.mflops] *)
+  timings : timings;
 }
 
-(** [measure machine kernel ~n ~mode program] runs [program] (an
+(** [measure ?path machine kernel ~n ~mode program] runs [program] (an
     instantiated variant of [kernel]) with the kernel's size parameter
     bound to [n], streaming accesses through a fresh hierarchy of
     [machine], spilling registers beyond the machine's available
@@ -28,7 +43,35 @@ type measurement = {
 
     @raise Invalid_argument if the program is malformed. *)
 val measure :
-  Machine.t -> Kernels.Kernel.t -> n:int -> mode:mode -> Ir.Program.t -> measurement
+  ?path:path ->
+  Machine.t ->
+  Kernels.Kernel.t ->
+  n:int ->
+  mode:mode ->
+  Ir.Program.t ->
+  measurement
+
+(** [measure_from_trace machine kernel ~n ~stats ~events ~n_events ~cut]
+    measures a candidate whose packed event stream is already known
+    (synthesized by [Demand_trace]): replays [events.(0 .. cut-1)] as
+    the warm-up pass when [cut >= 0], resets counters, then replays the
+    full stream.  [stats] are the execution statistics of the trace's
+    program; [synth_seconds] is booked into [timings.exec_s]. *)
+val measure_from_trace :
+  ?synth_seconds:float ->
+  Machine.t ->
+  Kernels.Kernel.t ->
+  n:int ->
+  stats:Ir.Exec.stats ->
+  events:int array ->
+  n_events:int ->
+  cut:int ->
+  measurement
+
+(** A pooled per-domain scratch buffer for trace synthesis (cleared by
+    the synthesizer; contents are only valid until the next evaluation
+    on the same domain). *)
+val synth_scratch : unit -> Ir.Vm.Buf.t
 
 (** Total simulated cycles — the search's objective function. *)
 val cycles : measurement -> float

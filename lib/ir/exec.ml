@@ -48,7 +48,7 @@ type placement = {
   in_memory : bool;  (* false for true register scalars *)
 }
 
-let build_placements ~lookup ~register_budget (p : Program.t) =
+let build_placements ?(with_data = true) ~lookup ~register_budget (p : Program.t) =
   let registers =
     List.filter (fun (d : Decl.t) -> d.Decl.storage = Decl.Register) p.Program.decls
   in
@@ -73,9 +73,9 @@ let build_placements ~lookup ~register_budget (p : Program.t) =
         in
         let base = align_up !next_base page_elems in
         next_base := base + elements;
-        let data = Array.make elements 0.0 in
+        let data = if with_data then Array.make elements 0.0 else [||] in
         (match d.Decl.storage with
-        | Decl.Heap ->
+        | Decl.Heap when with_data ->
           (* Initialize by logical coordinates (decomposed through the
              dimension extents), so padded layouts hold the same values
              at the same logical positions. *)
@@ -88,11 +88,30 @@ let build_placements ~lookup ~register_budget (p : Program.t) =
           for i = 0 to elements - 1 do
             data.(i) <- initial_value_at d.Decl.name (coords_of i dims)
           done
-        | Decl.Register -> ());
+        | Decl.Heap | Decl.Register -> ());
         { name = d.Decl.name; data; base; strides; in_memory })
       p.Program.decls
   in
   (placements, spilled)
+
+(* Shared with the bytecode VM ({!Vm}): the address-space layout of a
+   program at given parameter values, mirroring [run]'s lookup rules
+   (loop variables may not appear in array bounds). *)
+let placements ?(with_data = true) ?register_budget ~params (p : Program.t) =
+  let loop_vars = Stmt.loop_vars p.Program.body in
+  let is_loop_var = Hashtbl.create 16 in
+  List.iter (fun v -> Hashtbl.replace is_loop_var v ()) loop_vars;
+  let lookup x =
+    if Hashtbl.mem is_loop_var x then
+      invalid_arg
+        (Printf.sprintf "Exec.placements: loop variable %s in array bound" x)
+    else
+      match List.assoc_opt x params with
+      | Some v -> v
+      | None ->
+        invalid_arg (Printf.sprintf "Exec.placements: unbound parameter %s" x)
+  in
+  build_placements ~with_data ~lookup ~register_budget p
 
 let layout ~params (p : Program.t) =
   let lookup x =

@@ -66,3 +66,32 @@ val checksum : result -> float
 (** Page-aligned element base addresses chosen for the heap arrays of a
     program, in declaration order.  Exposed for tests. *)
 val layout : params:(string * int) list -> Program.t -> (string * int) list
+
+(** {1 Placements}
+
+    The address-space layout the interpreter assigns to a program's
+    arrays.  Exposed so the bytecode VM ({!Vm}) and the demand-trace
+    synthesizer can fold the very same bases and strides at compile
+    time and stay bit-identical with the closure interpreter. *)
+
+type placement = {
+  name : string;
+  data : float array;  (** [[||]] when built with [with_data:false] *)
+  base : int;  (** element address; multiply by 8 for bytes *)
+  strides : int list;
+  in_memory : bool;  (** false for true register scalars *)
+}
+
+(** [placements ?with_data ?register_budget ~params p] computes the
+    placement of every declaration of [p] (declaration order) plus the
+    number of spilled register scalars, using exactly the rules of
+    {!run}.  With [with_data:false] no float storage is allocated
+    (address-only use).
+    @raise Invalid_argument on unbound parameters or when an array
+      bound mentions a loop variable. *)
+val placements :
+  ?with_data:bool ->
+  ?register_budget:int ->
+  params:(string * int) list ->
+  Program.t ->
+  placement list * int

@@ -5,3 +5,14 @@ type t = {
 }
 
 let null = { load = ignore; store = ignore; prefetch = ignore }
+
+(* Packed-event encoding shared by every trace producer and consumer
+   (Ir.Vm, Memsim.Trace, Memsim.Hierarchy.replay_packed): one event is
+   [addr lsl 2 lor tag]. *)
+let tag_load = 0
+let tag_store = 1
+let tag_prefetch = 2
+
+let pack ~tag addr = (addr lsl 2) lor tag
+let packed_addr v = v lsr 2
+let packed_tag v = v land 3

@@ -11,3 +11,18 @@ type t = {
 
 (** A sink that discards everything (pure value execution). *)
 val null : t
+
+(** {1 Packed events}
+
+    The canonical packed encoding of one access event, shared by every
+    trace producer and consumer in the system ({!Vm}, [Memsim.Trace],
+    [Memsim.Hierarchy.replay_packed]): an event is
+    [addr lsl 2 lor tag]. *)
+
+val tag_load : int
+val tag_store : int
+val tag_prefetch : int
+
+val pack : tag:int -> int -> int
+val packed_addr : int -> int
+val packed_tag : int -> int

@@ -63,21 +63,25 @@ let lookup c ~now:_ ~line =
 
 let insert c ~now:_ ~ready ~dirty ~line =
   let base = (line land c.set_mask) * c.assoc in
-  (* Find the LRU way (prefer invalid ways). *)
-  let victim = ref base in
-  let victim_stamp = ref max_int in
-  for way = 0 to c.assoc - 1 do
-    let i = base + way in
-    if c.tags.(i) = -1 && !victim_stamp > -1 then begin
-      victim := i;
-      victim_stamp := -1
-    end
-    else if !victim_stamp > -1 && c.stamps.(i) < !victim_stamp then begin
-      victim := i;
-      victim_stamp := c.stamps.(i)
+  (* The first invalid way wins outright (any invalid way is as good as
+     another, so scanning on is wasted work); otherwise evict the LRU
+     way, earliest index winning stamp ties. *)
+  let victim = ref (-1) in
+  let lru = ref base in
+  let lru_stamp = ref max_int in
+  let way = ref 0 in
+  while !victim < 0 && !way < c.assoc do
+    let i = base + !way in
+    if c.tags.(i) = -1 then victim := i
+    else begin
+      if c.stamps.(i) < !lru_stamp then begin
+        lru := i;
+        lru_stamp := c.stamps.(i)
+      end;
+      incr way
     end
   done;
-  let i = !victim in
+  let i = if !victim >= 0 then !victim else !lru in
   let evicted_dirty = c.tags.(i) <> -1 && c.dirty.(i) in
   c.tick <- c.tick + 1;
   c.tags.(i) <- line;
@@ -87,11 +91,70 @@ let insert c ~now:_ ~ready ~dirty ~line =
   evicted_dirty
 
 let set_dirty c ~line =
+  (* A line occupies at most one way ([insert] only runs on a miss), so
+     stop at the first match. *)
   let base = (line land c.set_mask) * c.assoc in
-  for way = 0 to c.assoc - 1 do
-    let i = base + way in
-    if c.tags.(i) = line then c.dirty.(i) <- true
-  done
+  let rec go way =
+    if way < c.assoc then
+      let i = base + way in
+      if c.tags.(i) = line then c.dirty.(i) <- true else go (way + 1)
+  in
+  go 0
+
+let absent = min_int
+
+let access c ~line ~write =
+  (* Fused probe for the batched-replay fast path: [lookup] plus the
+     dirty marking a demand write performs on a hit, without the
+     [lookup] variant allocation.  Returns the fill cycle, or {!absent}
+     on a miss (the caller services and inserts, making the trailing
+     [set_dirty] of the hit path unnecessary there). *)
+  if c.assoc = 1 then begin
+    let i = line land c.set_mask in
+    if Array.unsafe_get c.tags i = line then begin
+      c.tick <- c.tick + 1;
+      Array.unsafe_set c.stamps i c.tick;
+      if write then Array.unsafe_set c.dirty i true;
+      Array.unsafe_get c.fills i
+    end
+    else absent
+  end
+  else if c.assoc = 2 then begin
+    (* Two-way caches (both levels of the R10000 model) probe with two
+       straight-line compares. *)
+    let i = (line land c.set_mask) * 2 in
+    if Array.unsafe_get c.tags i = line then begin
+      c.tick <- c.tick + 1;
+      Array.unsafe_set c.stamps i c.tick;
+      if write then Array.unsafe_set c.dirty i true;
+      Array.unsafe_get c.fills i
+    end
+    else
+      let i = i + 1 in
+      if Array.unsafe_get c.tags i = line then begin
+        c.tick <- c.tick + 1;
+        Array.unsafe_set c.stamps i c.tick;
+        if write then Array.unsafe_set c.dirty i true;
+        Array.unsafe_get c.fills i
+      end
+      else absent
+  end
+  else begin
+    let base = (line land c.set_mask) * c.assoc in
+    let rec go way =
+      if way >= c.assoc then absent
+      else
+        let i = base + way in
+        if Array.unsafe_get c.tags i = line then begin
+          c.tick <- c.tick + 1;
+          Array.unsafe_set c.stamps i c.tick;
+          if write then Array.unsafe_set c.dirty i true;
+          Array.unsafe_get c.fills i
+        end
+        else go (way + 1)
+    in
+    go 0
+  end
 
 let resident c ~line =
   let base = (line land c.set_mask) * c.assoc in

@@ -29,6 +29,18 @@ val insert : t -> now:int -> ready:int -> dirty:bool -> line:int -> bool
 (** Mark a resident line dirty (no-op when absent). *)
 val set_dirty : t -> line:int -> unit
 
+(** Sentinel returned by {!access} on a miss. *)
+val absent : int
+
+(** [access c ~line ~write] fuses {!lookup} with the dirty marking a
+    demand write performs on a hit: on a hit, updates LRU state, marks
+    the line dirty when [write], and returns the fill cycle; on a miss,
+    returns {!absent} and changes nothing (the caller is expected to
+    {!insert} with the right dirty bit).  Equivalent to
+    [lookup]-then-[set_dirty] but allocation-free, with a single-probe
+    path for direct-mapped caches. *)
+val access : t -> line:int -> write:bool -> int
+
 (** [resident c ~line] is true when the line is present (no LRU update). *)
 val resident : t -> line:int -> bool
 

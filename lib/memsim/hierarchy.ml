@@ -129,6 +129,145 @@ let prefetch t addr =
       end
   end
 
+(* Batched replay of a packed event buffer ([Ir.Sink.pack] encoding):
+   one tight loop over [buf.(pos .. pos+len-1)] with the per-access
+   closure dispatch, variant allocations and redundant L1 re-probes of
+   [sink]-driven simulation removed.  Counter and cache evolution is
+   identical to feeding the same events through {!load}/{!store}/
+   {!prefetch} (the [memsim] test suite checks this): the only
+   structural difference is skipping the trailing [Cache.set_dirty] on
+   a demand-write miss, where [insert ~dirty:true] has already marked
+   the line. *)
+let replay_packed t buf ~pos ~len =
+  let c = t.counters in
+  let l1 = t.caches.(0) in
+  let tlb = t.tlb in
+  let multi = Array.length t.caches > 1 in
+  let tlb_miss_cycles = t.machine.Machine.tlb.Machine.miss_cycles in
+  for k = pos to pos + len - 1 do
+    let v = Array.unsafe_get buf k in
+    let addr = v lsr 2 in
+    let tag = v land 3 in
+    if tag <> Ir.Sink.tag_prefetch then begin
+      let write = tag = Ir.Sink.tag_store in
+      if write then c.Counters.stores <- c.Counters.stores + 1
+      else c.Counters.loads <- c.Counters.loads + 1;
+      let page = Tlb.page_of_addr tlb addr in
+      if not (Tlb.access tlb ~page) then begin
+        c.Counters.tlb_misses <- c.Counters.tlb_misses + 1;
+        c.Counters.stall_cycles <- c.Counters.stall_cycles + tlb_miss_cycles
+      end;
+      let now = c.Counters.loads + c.Counters.stores + c.Counters.stall_cycles in
+      let line = Cache.line_of_addr l1 addr in
+      let fill = Cache.access l1 ~line ~write in
+      if fill <> Cache.absent then begin
+        count_hit t 0;
+        if fill > now then
+          c.Counters.stall_cycles <- c.Counters.stall_cycles + (fill - now)
+      end
+      else begin
+        count_miss t 0;
+        let below = service t ~level:1 ~now ~addr ~dirty:false in
+        c.Counters.stall_cycles <- c.Counters.stall_cycles + below;
+        let evicted_dirty = Cache.insert l1 ~now ~ready:now ~dirty:write ~line in
+        if evicted_dirty then begin
+          c.Counters.writebacks <- c.Counters.writebacks + 1;
+          if multi then
+            Cache.set_dirty t.caches.(1)
+              ~line:(Cache.line_of_addr t.caches.(1) addr)
+        end
+      end
+    end
+    else begin
+      c.Counters.loads <- c.Counters.loads + 1;
+      c.Counters.prefetches <- c.Counters.prefetches + 1;
+      let page = Tlb.page_of_addr tlb addr in
+      if Tlb.probe tlb ~page then begin
+        let now =
+          c.Counters.loads + c.Counters.stores + c.Counters.stall_cycles
+        in
+        let line = Cache.line_of_addr l1 addr in
+        if Cache.access l1 ~line ~write:false = Cache.absent then begin
+          count_miss t 0;
+          let below = service t ~level:1 ~now ~addr ~dirty:false in
+          c.Counters.prefetch_hidden_cycles <-
+            c.Counters.prefetch_hidden_cycles + below;
+          let evicted_dirty =
+            Cache.insert l1 ~now ~ready:(now + below) ~dirty:false ~line
+          in
+          if evicted_dirty then begin
+            c.Counters.writebacks <- c.Counters.writebacks + 1;
+            if multi then
+              Cache.set_dirty t.caches.(1)
+                ~line:(Cache.line_of_addr t.caches.(1) addr)
+          end
+        end
+      end
+    end
+  done
+
+(* State-only service for the warm-up pass: same lookup/insert/dirty
+   sequence as {!service} (so LRU ticks and residency evolve
+   identically), no latency arithmetic or counters.  Fill times are
+   arbitrary here because [reset_counters] settles them before anything
+   is measured. *)
+let rec warm_service t ~level ~addr =
+  if level < Array.length t.caches then begin
+    let cache = t.caches.(level) in
+    let line = Cache.line_of_addr cache addr in
+    match Cache.lookup cache ~now:0 ~line with
+    | Cache.Hit _ -> ()
+    | Cache.Miss ->
+      warm_service t ~level:(level + 1) ~addr;
+      let evicted_dirty =
+        Cache.insert cache ~now:0 ~ready:0 ~dirty:false ~line
+      in
+      if evicted_dirty && level + 1 < Array.length t.caches then
+        Cache.set_dirty t.caches.(level + 1)
+          ~line:(Cache.line_of_addr t.caches.(level + 1) addr)
+  end
+
+(* Replay that evolves cache/TLB state but keeps no accounting: the
+   warm-up prefix of a sampled measurement, whose counters are thrown
+   away by the [reset_counters] that follows.  Performs exactly the
+   probe/insert sequence of {!replay_packed} (residency, LRU and dirty
+   state end up identical — the [vm] differential suite checks the
+   measured pass downstream), skipping the stall/latency bookkeeping,
+   which is most of the per-event work on the hit path. *)
+let warm_packed t buf ~pos ~len =
+  let l1 = t.caches.(0) in
+  let tlb = t.tlb in
+  let multi = Array.length t.caches > 1 in
+  for k = pos to pos + len - 1 do
+    let v = Array.unsafe_get buf k in
+    let addr = v lsr 2 in
+    let tag = v land 3 in
+    if tag <> Ir.Sink.tag_prefetch then begin
+      let write = tag = Ir.Sink.tag_store in
+      ignore (Tlb.access tlb ~page:(Tlb.page_of_addr tlb addr));
+      let line = Cache.line_of_addr l1 addr in
+      if Cache.access l1 ~line ~write = Cache.absent then begin
+        warm_service t ~level:1 ~addr;
+        let evicted_dirty = Cache.insert l1 ~now:0 ~ready:0 ~dirty:write ~line in
+        if evicted_dirty && multi then
+          Cache.set_dirty t.caches.(1)
+            ~line:(Cache.line_of_addr t.caches.(1) addr)
+      end
+    end
+    else if Tlb.probe tlb ~page:(Tlb.page_of_addr tlb addr) then begin
+      let line = Cache.line_of_addr l1 addr in
+      if Cache.access l1 ~line ~write:false = Cache.absent then begin
+        warm_service t ~level:1 ~addr;
+        let evicted_dirty =
+          Cache.insert l1 ~now:0 ~ready:0 ~dirty:false ~line
+        in
+        if evicted_dirty && multi then
+          Cache.set_dirty t.caches.(1)
+            ~line:(Cache.line_of_addr t.caches.(1) addr)
+      end
+    end
+  done
+
 let sink t =
   {
     Ir.Sink.load = (fun addr -> load t addr);

@@ -26,6 +26,21 @@ val prefetch : t -> int -> unit
 (** The {!Sink.t} interface for {!Ir.Exec.run}. *)
 val sink : t -> Ir.Sink.t
 
+(** [replay_packed t buf ~pos ~len] simulates the packed events
+    ({!Ir.Sink.pack} encoding) in [buf.(pos .. pos+len-1)] in one tight
+    loop — the batched fast path of the sink interface.  Counter and
+    cache state evolution is identical to dispatching the same events
+    through {!load}/{!store}/{!prefetch}. *)
+val replay_packed : t -> int array -> pos:int -> len:int -> unit
+
+(** As {!replay_packed}, but evolving cache/TLB state only — no
+    counters, no stall accounting.  Only valid for a warm-up prefix
+    that is followed by {!reset_counters} (which discards the counters
+    and settles fill times) before anything is measured; residency, LRU
+    and dirty state after the prefix are identical to
+    {!replay_packed}'s. *)
+val warm_packed : t -> int array -> pos:int -> len:int -> unit
+
 (** Clear both the counters and all cache/TLB state. *)
 val reset : t -> unit
 

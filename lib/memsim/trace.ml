@@ -1,8 +1,9 @@
-(* Events are packed as [addr lsl 2 lor tag] in a growable int array. *)
+(* Events are packed as [addr lsl 2 lor tag] (the Ir.Sink.pack
+   encoding) in a growable int array. *)
 
-let tag_load = 0
-let tag_store = 1
-let tag_prefetch = 2
+let tag_load = Ir.Sink.tag_load
+let tag_store = Ir.Sink.tag_store
+let tag_prefetch = Ir.Sink.tag_prefetch
 
 type t = {
   mutable buf : int array;
@@ -12,8 +13,24 @@ type t = {
   mutable n_prefetches : int;
 }
 
-let create () =
-  { buf = Array.make 4096 0; len = 0; n_loads = 0; n_stores = 0; n_prefetches = 0 }
+(* Even tiny kernels emit tens of thousands of events, so start big
+   enough that a typical budgeted measurement never reallocates. *)
+let default_capacity = 1 lsl 16
+
+let create ?(capacity = default_capacity) () =
+  {
+    buf = Array.make (max 1 capacity) 0;
+    len = 0;
+    n_loads = 0;
+    n_stores = 0;
+    n_prefetches = 0;
+  }
+
+let clear t =
+  t.len <- 0;
+  t.n_loads <- 0;
+  t.n_stores <- 0;
+  t.n_prefetches <- 0
 
 let push t v =
   if t.len = Array.length t.buf then begin
@@ -60,6 +77,11 @@ let length t = t.len
 let loads t = t.n_loads
 let stores t = t.n_stores
 let prefetches t = t.n_prefetches
+
+let raw t = t.buf
+
+let replay_packed t hierarchy =
+  Hierarchy.replay_packed hierarchy t.buf ~pos:0 ~len:t.len
 
 let replay t (sink : Ir.Sink.t) =
   for i = 0 to t.len - 1 do

@@ -9,7 +9,12 @@
 
 type t
 
-val create : unit -> t
+(** [create ?capacity ()] — the default capacity is sized so a typical
+    budgeted measurement fills the buffer without reallocating. *)
+val create : ?capacity:int -> unit -> t
+
+(** Forget all recorded events (keeps the buffer for reuse). *)
+val clear : t -> unit
 
 (** Sink that appends to the trace (tee it with {!tee} to also feed a
     live consumer). *)
@@ -27,6 +32,15 @@ val prefetches : t -> int
 
 (** Replay in recording order. *)
 val replay : t -> Ir.Sink.t -> unit
+
+(** Replay straight into a hierarchy via
+    {!Hierarchy.replay_packed} — no per-event closure dispatch. *)
+val replay_packed : t -> Hierarchy.t -> unit
+
+(** The packed event buffer (valid indices [0 .. length - 1];
+    {!Ir.Sink.pack} encoding).  Borrowed: invalidated by further
+    recording. *)
+val raw : t -> int array
 
 (** Record a program's address stream. *)
 val of_program : params:(string * int) list -> Ir.Program.t -> t

@@ -21,3 +21,8 @@ val remove : Ir.Program.t -> array:string -> Ir.Program.t
 (** Arrays referenced by compute statements in innermost loops — the
     prefetch candidates the search iterates over. *)
 val candidates : Ir.Program.t -> string list
+
+(** The stream-deduplication key of a reference: references with equal
+    keys share one prefetch.  Exposed so the demand-trace cache
+    ([Core.Demand_trace]) groups streams exactly as {!apply} does. *)
+val stream_key : line_elems:int -> Ir.Reference.t -> Ir.Aff.t list * int list

@@ -18,4 +18,5 @@ let () =
       ("wavefront", Test_wavefront.suite);
       ("attribution", Test_attribution.suite);
       ("trace", Test_trace.suite);
+      ("vm", Test_vm.suite);
     ]
