@@ -121,13 +121,72 @@ let derive_cmd =
 
 (* --- tune --- *)
 
-let tune machine kernel n budget jobs profile closures validate =
+let tune machine kernel n budget jobs profile closures validate faults_spec
+    trials retries checkpoint checkpoint_every die_after =
   let mode = mode_of_budget budget in
   let path =
     if closures then Core.Executor.Closures else Core.Executor.Fast
   in
-  let engine = Core.Engine.create ~jobs ~path machine in
-  let r = Core.Eco.optimize_with ~mode engine kernel ~n in
+  let faults =
+    match faults_spec with
+    | None -> Faults.none
+    | Some s -> (
+      try Faults.of_spec s
+      with Invalid_argument m ->
+        Format.eprintf "eco tune: bad --faults spec: %s@." m;
+        exit 2)
+  in
+  let trials = max 1 trials and retries = max 0 retries in
+  let protocol =
+    { Core.Engine.default_protocol with trials; max_retries = retries }
+  in
+  let engine = Core.Engine.create ~jobs ~path ~faults ~protocol machine in
+  (match checkpoint with
+  | None -> ()
+  | Some file -> (
+    (* The tag encodes everything that determines the answer, so a
+       stale checkpoint from a different run cannot be resumed. *)
+    let tag =
+      Printf.sprintf "tune|m=%s|k=%s|n=%d|b=%d|path=%s|faults=%s|trials=%d|retries=%d"
+        machine.Machine.name kernel.Kernels.Kernel.name n budget
+        (if closures then "closures" else "fast")
+        (Faults.to_spec faults) trials retries
+    in
+    Core.Engine.set_checkpoint engine ~every:checkpoint_every ~tag file;
+    match Core.Engine.load_checkpoint engine ~tag file with
+    | exception Core.Engine.Checkpoint_mismatch msg ->
+      Format.eprintf "eco tune: %s@." msg;
+      exit 2
+    | None -> ()
+    | Some resume ->
+      Format.printf "resumed:      %d memo entries (%d fresh evaluations%s)@."
+        resume.Core.Engine.resumed_entries resume.Core.Engine.resumed_fresh
+        (match resume.Core.Engine.resumed_best_cycles with
+        | Some c -> Printf.sprintf ", best %.0f cycles" c
+        | None -> "")));
+  (match die_after with
+  | Some k -> Core.Engine.set_eval_limit engine k
+  | None -> ());
+  if faults.Faults.active then
+    Format.printf "faults:       %s (trials=%d, retries=%d)@."
+      (Faults.to_spec faults) trials retries;
+  let r =
+    match Core.Eco.optimize_with ~mode engine kernel ~n with
+    | r -> r
+    | exception Core.Engine.Eval_limit_reached k ->
+      (* Simulated SIGKILL: no final checkpoint — only the last
+         periodic one survives, exactly like a real kill. *)
+      Format.eprintf "eco tune: killed after %d fresh evaluations (--die-after)@." k;
+      exit 3
+    | exception Core.Eco.No_feasible_variant { kernel; n; per_variant } ->
+      Format.eprintf "eco tune: no feasible variant for %s at n=%d@." kernel n;
+      List.iter
+        (fun (v, why) ->
+          Format.eprintf "  %-28s %s@." v (Core.Eco.describe_infeasibility why))
+        per_variant;
+      exit 1
+  in
+  if checkpoint <> None then Core.Engine.checkpoint_now engine;
   let o = r.Core.Eco.outcome in
   Format.printf "best variant: %s@." o.Core.Search.variant.Core.Variant.name;
   Format.printf "parameters:   %s@." (bindings_str o.Core.Search.bindings);
@@ -202,12 +261,70 @@ let tune_cmd =
             "Differentially check the winning variant against the reference \
              interpreter before reporting it (exit 1 on mismatch).")
   in
+  let faults_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Inject seeded measurement faults, e.g. \
+             'seed=7,noise=0.05,transient=0.02,hang=0.01,outlier=0.01,crash=0.01'. \
+             Deterministic: the same spec reproduces the same faults at \
+             any --jobs.")
+  in
+  let trials_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "trials" ] ~docv:"K"
+          ~doc:
+            "Measure each candidate K times and commit the median / \
+             trimmed mean (with adaptive early stop once the spread is \
+             tight).  Only meaningful under --faults; 1 commits the \
+             single measurement unchanged.")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "retries" ] ~docv:"R"
+          ~doc:
+            "Retry budget per trial for transient failures and hangs \
+             (exponential backoff); a candidate that exhausts it is \
+             quarantined and never re-measured.")
+  in
+  let checkpoint_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Crash-only persistence: periodically save the evaluation \
+             memo to FILE and resume from it if it exists.  A killed run \
+             resumes to the identical final answer.")
+  in
+  let checkpoint_every_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:"Checkpoint after every N fresh evaluations (default 16).")
+  in
+  let die_after_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "die-after" ] ~docv:"K"
+          ~doc:
+            "Abort the process (exit 3) after K fresh evaluations — \
+             deterministic crash injection for exercising --checkpoint \
+             recovery.")
+  in
   Cmd.v
     (Cmd.info "tune"
        ~doc:"Run the full two-phase ECO optimization for a kernel.")
     Term.(
       const tune $ machine_arg $ kernel_arg $ size_arg 256 $ budget_arg
-      $ jobs_arg $ profile_arg $ closures_arg $ validate_arg)
+      $ jobs_arg $ profile_arg $ closures_arg $ validate_arg $ faults_arg
+      $ trials_arg $ retries_arg $ checkpoint_arg $ checkpoint_every_arg
+      $ die_after_arg)
 
 (* --- check --- *)
 

@@ -21,4 +21,51 @@ dune exec bin/eco_cli.exe -- tune -k matmul -n 48 -b 50000 --jobs 2 | grep "engi
 dune exec bench/main.exe -- --eval-bench
 grep "speedup" BENCH_eval.json
 
+# --- Fault-tolerant measurement protocol ---------------------------------
+
+# Reference answer for the robustness checks below.
+dune exec bin/eco_cli.exe -- tune -k matmul -n 64 -b 100000 \
+  | grep -E "^(best variant|parameters|prefetch|performance):" > ci_clean.txt
+
+# Value-preserving faults (transients + hangs, zero timing noise): the
+# retry protocol must absorb every injected failure and reproduce the
+# fault-free answer exactly, including the performance line.
+dune exec bin/eco_cli.exe -- tune -k matmul -n 64 -b 100000 \
+  --faults "seed=7,transient=0.05,hang=0.02" --trials 3 \
+  | grep -E "^(best variant|parameters|prefetch|performance):" > ci_faulty.txt
+cmp ci_clean.txt ci_faulty.txt
+
+# Timing noise on top: the search must still complete and report a
+# winner (near-ties may legitimately flip under noise, so only
+# completion is asserted here; the noise-sensitivity experiment bounds
+# the quality loss).
+dune exec bin/eco_cli.exe -- tune -k matmul -n 64 -b 100000 \
+  --faults "seed=7,noise=0.05,transient=0.02" --trials 225 \
+  | grep "^best variant:"
+
+# Crash-only search: a tune killed mid-run (simulated SIGKILL after 40
+# fresh evaluations; periodic checkpoints only) must resume from its
+# checkpoint and land on the identical final answer.
+rm -f ci_ck.bin
+set +e
+dune exec bin/eco_cli.exe -- tune -k matmul -n 64 -b 100000 \
+  --checkpoint ci_ck.bin --checkpoint-every 8 --die-after 40
+rc=$?
+set -e
+test "$rc" -eq 3
+dune exec bin/eco_cli.exe -- tune -k matmul -n 64 -b 100000 \
+  --checkpoint ci_ck.bin > ci_resumed_full.txt
+grep -q "^resumed:" ci_resumed_full.txt
+grep -E "^(best variant|parameters|prefetch|performance):" ci_resumed_full.txt \
+  > ci_resumed.txt
+cmp ci_clean.txt ci_resumed.txt
+rm -f ci_ck.bin ci_clean.txt ci_faulty.txt ci_resumed.txt ci_resumed_full.txt
+
+# Protocol overhead benchmark: a zero-rate fault plan with 3 trials
+# must cost <5% on evaluation time and find the same winners.
+dune exec bench/main.exe -- --faults-bench
+grep -q '"overhead_ok": true' BENCH_faults.json
+! grep -q '"overhead_ok": false' BENCH_faults.json
+! grep -q '"winners_agree": false' BENCH_faults.json
+
 echo "ci.sh: all checks passed"

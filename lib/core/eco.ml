@@ -6,6 +6,37 @@ type result = {
   engine : Engine.t;
 }
 
+type infeasibility =
+  | No_model_point
+  | Point_pruned
+  | Point_failed of Engine.failure_reason
+  | Search_found_nothing
+
+exception
+  No_feasible_variant of {
+    kernel : string;
+    n : int;
+    per_variant : (string * infeasibility) list;
+  }
+
+let describe_infeasibility = function
+  | No_model_point -> "the model found no starting point"
+  | Point_pruned -> "model-initial point rejected by the constraints"
+  | Point_failed reason -> Engine.describe_failure reason
+  | Search_found_nothing -> "search measured no feasible point"
+
+let () =
+  Printexc.register_printer (function
+    | No_feasible_variant { kernel; n; per_variant } ->
+      Some
+        (Printf.sprintf "Eco.No_feasible_variant(%s, n=%d):\n%s" kernel n
+           (String.concat "\n"
+              (List.map
+                 (fun (v, why) ->
+                   Printf.sprintf "  %s: %s" v (describe_infeasibility why))
+                 per_variant)))
+    | _ -> None)
+
 let optimize_with ?(mode = Executor.default_budget) ?(max_variants = 4) engine
     kernel ~n =
   let machine = Engine.machine engine in
@@ -50,9 +81,31 @@ let optimize_with ?(mode = Executor.default_budget) ?(max_variants = 4) engine
   in
   match outcomes with
   | [] ->
-    failwith
-      (Printf.sprintf "Eco.optimize: no feasible variant for %s at n=%d"
-         kernel.Kernels.Kernel.name n)
+    (* Nothing survived.  Diagnose each derived variant from the
+       engine's memo: the triage already evaluated every variant's
+       model-initial point, so the typed reason is on record. *)
+    let per_variant =
+      List.map
+        (fun v ->
+          let why =
+            match Search.model_point machine ~n v with
+            | None -> No_model_point
+            | Some bindings -> (
+              match
+                Engine.explain engine
+                  (Engine.request v ~n ~mode
+                     ~bindings:(List.sort compare bindings))
+              with
+              | `Pruned -> Point_pruned
+              | `Failed reason -> Point_failed reason
+              | `Measured | `Unknown -> Search_found_nothing)
+          in
+          (v.Variant.name, why))
+        variants
+    in
+    raise
+      (No_feasible_variant
+         { kernel = kernel.Kernels.Kernel.name; n; per_variant })
   | o :: rest ->
     let best =
       List.fold_left

@@ -25,13 +25,38 @@ type result = {
   engine : Engine.t;  (** the evaluation engine used (memo + telemetry) *)
 }
 
+(** Why one derived variant contributed nothing to the search. *)
+type infeasibility =
+  | No_model_point  (** the model found no starting point *)
+  | Point_pruned  (** model-initial point rejected by the constraints *)
+  | Point_failed of Engine.failure_reason
+      (** model-initial point's measurement failed (typed) *)
+  | Search_found_nothing
+      (** the point measured, but the full search produced no outcome *)
+
+(** Raised (instead of the old untyped [Failure]) when no variant has a
+    feasible, measurable parameter setting, carrying a per-variant
+    diagnosis.  Cannot happen for the bundled kernels on a healthy
+    engine; under injected faults it reports exactly which variant died
+    of what. *)
+exception
+  No_feasible_variant of {
+    kernel : string;
+    n : int;
+    per_variant : (string * infeasibility) list;
+  }
+
+(** One-line human description of an {!infeasibility}. *)
+val describe_infeasibility : infeasibility -> string
+
 (** @param mode execution mode for candidate measurements (default
       {!Executor.default_budget}).
     @param max_variants variants kept for full search after a one-point
       model-initial triage of everything phase 1 derived (default 4).
     @param jobs evaluation parallelism (default 1; [0] = all cores).
-    @raise Failure when no variant has a feasible parameter setting
-      (cannot happen for the bundled kernels). *)
+    @raise No_feasible_variant when no variant has a feasible,
+      measurable parameter setting (cannot happen for the bundled
+      kernels on a healthy engine). *)
 val optimize :
   ?mode:Executor.mode ->
   ?max_variants:int ->

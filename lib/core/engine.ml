@@ -13,11 +13,62 @@ type evaluation = {
   cached : bool;
 }
 
+(* Why a candidate's evaluation failed.  [Infeasible_instantiation] and
+   [Malformed_program] are deterministic (real IR/transformation bugs —
+   they must not hide behind an aggregate counter); [Transient],
+   [Timeout] and [Quarantined] come from the hostile measurement
+   substrate via the resilient protocol below. *)
+type failure_reason =
+  | Infeasible_instantiation
+  | Malformed_program
+  | Transient
+  | Timeout
+  | Quarantined
+
+let describe_failure = function
+  | Infeasible_instantiation -> "variant rejected the bindings at instantiation"
+  | Malformed_program -> "instantiated program failed to execute"
+  | Transient -> "transient measurement failure (no retry budget)"
+  | Timeout -> "evaluation deadline exceeded"
+  | Quarantined -> "persistently failing: retry budget exhausted"
+
+(* The resilient measurement protocol: how hard the engine fights the
+   measurement substrate for each candidate. *)
+type protocol = {
+  trials : int;
+  max_retries : int;
+  backoff_s : float;
+  cycle_cap : float;
+  wall_cap_s : float;
+  spread_rtol : float;
+  min_trials : int;
+}
+
+let default_protocol =
+  {
+    trials = 1;
+    max_retries = 2;
+    backoff_s = 0.0;
+    cycle_cap = infinity;
+    wall_cap_s = infinity;
+    spread_rtol = 0.02;
+    min_trials = 2;
+  }
+
 type stats = {
   hits : int;
   fresh : int;
   pruned : int;
   failed : int;
+  failed_infeasible : int;
+  failed_malformed : int;
+  failed_transient : int;
+  failed_timeout : int;
+  failed_quarantined : int;
+  retries : int;
+  trials_run : int;
+  early_stops : int;
+  vm_fallbacks : int;
   simulated_cycles : float;
   eval_seconds : float;
   compile_seconds : float;
@@ -45,14 +96,19 @@ type fingerprint = {
   fp_check : bool;
 }
 
-(* [None] = infeasible or failed instantiation, cached so pruning and
-   malformed points are paid once. *)
-type memo_entry = (Ir.Program.t * Executor.measurement) option
+(* Infeasible, pruned and failed points are cached too, with their typed
+   reason, so pruning and quarantine are paid once per point. *)
+type memo_entry =
+  | Measured_entry of Ir.Program.t * Executor.measurement
+  | Pruned_entry
+  | Failed_entry of failure_reason
 
 type t = {
   machine : Machine.t;
   jobs : int;
   path : Executor.path;
+  faults : Faults.t;
+  protocol : protocol;
   memo : (fingerprint, memo_entry) Hashtbl.t;
   (* variant-shape digests, cached by physical identity: variants are
      long-lived values created once per derivation *)
@@ -62,10 +118,22 @@ type t = {
      one variant point shares one captured demand trace. *)
   mutable traces : (fingerprint * Demand_trace.t) list;
   mutable trace_words : int;
+  (* crash-only persistence: (file, tag, every) once configured *)
+  mutable checkpoint : (string * string * int) option;
+  mutable eval_limit : int option;
   mutable hits : int;
   mutable fresh : int;
   mutable pruned : int;
   mutable failed : int;
+  mutable failed_infeasible : int;
+  mutable failed_malformed : int;
+  mutable failed_transient : int;
+  mutable failed_timeout : int;
+  mutable failed_quarantined : int;
+  mutable retries : int;
+  mutable trials_run : int;
+  mutable early_stops : int;
+  mutable vm_fallbacks : int;
   mutable simulated_cycles : float;
   mutable eval_seconds : float;
   mutable compile_seconds : float;
@@ -80,20 +148,41 @@ let default_jobs () = Domain.recommended_domain_count ()
 let max_trace_entries = 8
 let max_trace_words = 6_000_000
 
-let create ?(jobs = 1) ?(path = Executor.Fast) machine =
+let create ?(jobs = 1) ?(path = Executor.Fast) ?(faults = Faults.none)
+    ?(protocol = default_protocol) machine =
   let jobs = if jobs = 0 then default_jobs () else max 1 jobs in
+  let protocol =
+    {
+      protocol with
+      trials = max 1 protocol.trials;
+      max_retries = max 0 protocol.max_retries;
+    }
+  in
   {
     machine;
     jobs;
     path;
+    faults;
+    protocol;
     memo = Hashtbl.create 256;
     shapes = [];
     traces = [];
     trace_words = 0;
+    checkpoint = None;
+    eval_limit = None;
     hits = 0;
     fresh = 0;
     pruned = 0;
     failed = 0;
+    failed_infeasible = 0;
+    failed_malformed = 0;
+    failed_transient = 0;
+    failed_timeout = 0;
+    failed_quarantined = 0;
+    retries = 0;
+    trials_run = 0;
+    early_stops = 0;
+    vm_fallbacks = 0;
     simulated_cycles = 0.0;
     eval_seconds = 0.0;
     compile_seconds = 0.0;
@@ -107,6 +196,8 @@ let create ?(jobs = 1) ?(path = Executor.Fast) machine =
 let machine t = t.machine
 let jobs t = t.jobs
 let path t = t.path
+let faults t = t.faults
+let protocol t = t.protocol
 
 let stats t =
   {
@@ -114,6 +205,15 @@ let stats t =
     fresh = t.fresh;
     pruned = t.pruned;
     failed = t.failed;
+    failed_infeasible = t.failed_infeasible;
+    failed_malformed = t.failed_malformed;
+    failed_transient = t.failed_transient;
+    failed_timeout = t.failed_timeout;
+    failed_quarantined = t.failed_quarantined;
+    retries = t.retries;
+    trials_run = t.trials_run;
+    early_stops = t.early_stops;
+    vm_fallbacks = t.vm_fallbacks;
     simulated_cycles = t.simulated_cycles;
     eval_seconds = t.eval_seconds;
     compile_seconds = t.compile_seconds;
@@ -124,18 +224,40 @@ let stats t =
     trace_fills = t.trace_fills;
   }
 
+let failure_breakdown (s : stats) =
+  List.filter
+    (fun (_, n) -> n > 0)
+    [
+      ("infeasible", s.failed_infeasible);
+      ("malformed", s.failed_malformed);
+      ("transient", s.failed_transient);
+      ("timeout", s.failed_timeout);
+      ("quarantined", s.failed_quarantined);
+    ]
+
 let pp_stats fmt (s : stats) =
   Format.fprintf fmt
     "%d fresh evaluations, %d memo hits, %d pruned, %d failed, %.0f simulated \
      cycles, %.2fs evaluating"
-    s.fresh s.hits s.pruned s.failed s.simulated_cycles s.eval_seconds
+    s.fresh s.hits s.pruned s.failed s.simulated_cycles s.eval_seconds;
+  (match failure_breakdown s with
+  | [] -> ()
+  | parts ->
+    Format.fprintf fmt " (failures: %s)"
+      (String.concat ", "
+         (List.map (fun (k, n) -> Printf.sprintf "%s %d" k n) parts)));
+  if s.retries > 0 then Format.fprintf fmt ", %d retries" s.retries;
+  if s.vm_fallbacks > 0 then Format.fprintf fmt ", %d vm fallbacks" s.vm_fallbacks
 
 let pp_profile fmt (s : stats) =
   Format.fprintf fmt
     "compile %.3fs, execute %.3fs, simulate %.3fs, memo %.3fs; demand-trace \
      cache: %d hits, %d fills"
     s.compile_seconds s.exec_seconds s.sim_seconds s.memo_seconds s.trace_hits
-    s.trace_fills
+    s.trace_fills;
+  if s.trials_run > 0 || s.retries > 0 || s.early_stops > 0 then
+    Format.fprintf fmt "; protocol: %d trials, %d retries, %d early stops"
+      s.trials_run s.retries s.early_stops
 
 let request ?(check = true) ?(prefetch = []) variant ~n ~mode ~bindings =
   { variant; n; mode; bindings; prefetch; check }
@@ -180,6 +302,27 @@ let fingerprint t (r : request) =
     fp_check = r.check;
   }
 
+(* Stable candidate identity for keying fault streams: the same
+   candidate draws the same faults regardless of evaluation order,
+   batch membership or measurement route (direct vs demand-trace). *)
+let fault_key fp =
+  let kvs l =
+    String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ string_of_int v) l)
+  in
+  String.concat "|"
+    [
+      fp.fp_kernel;
+      fp.fp_variant;
+      fp.fp_shape;
+      string_of_int fp.fp_n;
+      (match fp.fp_mode with
+      | Executor.Full -> "full"
+      | Executor.Budget b -> "budget:" ^ string_of_int b);
+      kvs fp.fp_bindings;
+      kvs fp.fp_prefetch;
+      string_of_bool fp.fp_check;
+    ]
+
 let build_program machine (r : request) =
   match Variant.instantiate r.variant ~bindings:r.bindings with
   | exception Invalid_argument _ -> None
@@ -193,33 +336,40 @@ let build_program machine (r : request) =
 
 let build t r = build_program t.machine (canonical r)
 
-(* The pure worker: no engine state touched, safe on any domain.
-   Hierarchy state is created inside [Executor.measure], so concurrent
-   simulations share nothing. *)
-type raw = Measured of Ir.Program.t * Executor.measurement | Infeasible | Failed
+(* --- one clean (deterministic) measurement --------------------------- *)
 
-let simulate ?path machine (r : request) =
+(* The pure worker core: no engine state touched, safe on any domain.
+   Hierarchy state is created inside [Executor.measure], so concurrent
+   simulations share nothing.  [Invalid_argument] is mapped to a typed
+   reason here; any other exception escapes to [harden], which degrades
+   the fast path to the reference interpreter. *)
+type clean =
+  | Clean of Ir.Program.t * Executor.measurement
+  | Clean_infeasible
+  | Clean_failed of failure_reason
+
+let clean_simulate ?path machine (r : request) =
   if r.check && not (Variant.feasible r.variant ~n:r.n r.bindings) then
-    Infeasible
+    Clean_infeasible
   else
     match build_program machine r with
-    | None -> Failed
+    | None -> Clean_failed Infeasible_instantiation
     | Some program -> (
       match
         Executor.measure ?path machine r.variant.Variant.kernel ~n:r.n
           ~mode:r.mode program
       with
-      | exception Invalid_argument _ -> Failed
-      | m -> Measured (program, m))
+      | exception Invalid_argument _ -> Clean_failed Malformed_program
+      | m -> Clean (program, m))
 
 (* Evaluate a prefetch candidate from a captured demand trace:
    synthesize its packed event stream, replay it, and rebuild the
    candidate program from the cached demand program (value-identical to
    [build_program], since instantiation is pure).  Engine-state-free,
    so batch workers can run it; scratch buffers are per-domain. *)
-let simulate_from_trace machine dt (r : request) =
+let clean_from_trace machine dt (r : request) =
   if r.check && not (Variant.feasible r.variant ~n:r.n r.bindings) then
-    Infeasible
+    Clean_infeasible
   else
     match
       let t0 = Unix_time.now () in
@@ -238,10 +388,148 @@ let simulate_from_trace machine dt (r : request) =
           r.variant.Variant.kernel ~n:r.n ~stats:(Demand_trace.stats dt)
           ~events:(Ir.Vm.Buf.data buf) ~n_events:(Ir.Vm.Buf.length buf) ~cut
       in
-      Measured (program, m)
+      Clean (program, m)
     with
-    | exception Invalid_argument _ -> Failed
-    | raw -> raw
+    | exception Invalid_argument _ -> Clean_failed Malformed_program
+    | c -> c
+
+(* --- the resilient measurement protocol ------------------------------ *)
+
+(* Per-candidate telemetry carried back to the coordinator: the workers
+   stay engine-state-free. *)
+type tele = {
+  t_retries : int;
+  t_trials : int;
+  t_fallbacks : int;
+  t_early_stops : int;
+}
+
+type raw =
+  | Measured of Ir.Program.t * Executor.measurement * tele
+  | Infeasible
+  | Failed of failure_reason * tele
+
+(* Wrap one candidate's measurement in the fault-tolerant protocol:
+
+   - the clean (deterministic) simulation runs once; if the fast path
+     raises — organically or by an injected crash — it degrades to the
+     [reference] closure interpreter (bit-identical measurements, so
+     results stay deterministic);
+   - a deterministic simulated-cycle overrun is a final [Timeout];
+   - with an active fault plan, each of [protocol.trials] trials draws
+     its fate from the plan: transient failures and hangs are retried
+     with bounded exponential backoff, and exhausting the budget
+     quarantines the candidate;
+   - surviving trial samples are aggregated (median / trimmed mean, see
+     {!Faults.aggregate}) with an adaptive early stop once the relative
+     spread is tight.
+
+   Pure apart from wall-clock reads and backoff sleeps: every random
+   draw is keyed by [(key, trial, attempt)], so a candidate's outcome is
+   identical at any [--jobs] and in any evaluation order. *)
+let harden ?(trial_base = 0) ~faults ~(protocol : protocol) ~vm ~key ~primary
+    ~reference () =
+  let started = Unix_time.now () in
+  let retries = ref 0
+  and trials = ref 0
+  and fallbacks = ref 0
+  and early = ref 0 in
+  let tele () =
+    {
+      t_retries = !retries;
+      t_trials = !trials;
+      t_fallbacks = !fallbacks;
+      t_early_stops = !early;
+    }
+  in
+  let clean =
+    if vm && Faults.crashes faults ~key then begin
+      (* injected fast-path crash: degrade this candidate to the
+         reference interpreter *)
+      incr fallbacks;
+      reference ()
+    end
+    else
+      match primary () with
+      | c -> c
+      | exception Invalid_argument _ -> Clean_failed Malformed_program
+      | exception _ when vm ->
+        (* the fast path died unexpectedly: fall back and keep searching *)
+        incr fallbacks;
+        reference ()
+  in
+  match clean with
+  | Clean_infeasible -> Infeasible
+  | Clean_failed reason -> Failed (reason, tele ())
+  | Clean (program, m) -> (
+    let c0 = Executor.cycles m in
+    if c0 > protocol.cycle_cap then Failed (Timeout, tele ())
+    else if
+      protocol.wall_cap_s < infinity
+      && Unix_time.now () -. started > protocol.wall_cap_s
+    then Failed (Timeout, tele ())
+    else if (not faults.Faults.active) && protocol.trials <= 1 then
+      (* the legacy path: no draws, no aggregation, the measurement
+         exactly as simulated *)
+      Measured (program, m, tele ())
+    else begin
+      let deadline =
+        if protocol.wall_cap_s < infinity then started +. protocol.wall_cap_s
+        else infinity
+      in
+      let n_trials = protocol.trials in
+      let samples = Array.make n_trials 0.0 in
+      let filled = ref 0 in
+      let failure = ref None in
+      (try
+         for trial = 0 to n_trials - 1 do
+           let rec attempt a =
+             if Unix_time.now () > deadline then Error Timeout
+             else
+               match
+                 Faults.draw faults ~key ~trial:(trial_base + trial) ~attempt:a
+               with
+               | Faults.Sample mult ->
+                 let c = c0 *. mult in
+                 if c > protocol.cycle_cap then retry_or a Timeout else Ok c
+               | Faults.Transient_failure -> retry_or a Transient
+               | Faults.Hang -> retry_or a Timeout
+           and retry_or a reason =
+             if a >= protocol.max_retries then
+               Error (if protocol.max_retries > 0 then Quarantined else reason)
+             else begin
+               incr retries;
+               if protocol.backoff_s > 0.0 then
+                 Unix.sleepf (protocol.backoff_s *. float_of_int (1 lsl a));
+               attempt (a + 1)
+             end
+           in
+           (match attempt 0 with
+           | Ok c ->
+             samples.(!filled) <- c;
+             incr filled;
+             incr trials;
+             if
+               !filled >= max 2 protocol.min_trials
+               && !filled < n_trials
+               && Faults.rel_spread (Array.sub samples 0 !filled)
+                  <= protocol.spread_rtol
+             then begin
+               incr early;
+               raise Exit
+             end
+           | Error reason ->
+             failure := Some reason;
+             raise Exit)
+         done
+       with Exit -> ());
+      match !failure with
+      | Some reason -> Failed (reason, tele ())
+      | None ->
+        let agg = Faults.aggregate (Array.sub samples 0 !filled) in
+        let m = if agg = c0 then m else Executor.perturb m (agg /. c0) in
+        Measured (program, m, tele ())
+    end)
 
 (* --- demand-trace LRU ------------------------------------------------ *)
 
@@ -278,8 +566,8 @@ let trace_add t key dt =
 
 (* Capture the demand trace for a prefetch request's base point and
    cache it.  [None] when the variant fails to instantiate or the
-   program is malformed — the caller reports [Failed], matching what
-   the direct path would have done. *)
+   program is malformed — the candidate then takes the direct path,
+   which fails with the same typed reason. *)
 let trace_fill t (r : request) key =
   match Variant.instantiate r.variant ~bindings:r.bindings with
   | exception Invalid_argument _ -> None
@@ -294,35 +582,262 @@ let trace_fill t (r : request) key =
       trace_add t key dt;
       Some dt)
 
-(* Choose how to simulate a memo miss.  The trace path applies only to
-   Fast-path prefetch requests; [fill] additionally captures a missing
-   demand trace (serial paths only — batch workers never mutate the
-   cache, they just reuse what the coordinator finds at plan time). *)
-let simulate_miss t ~fill (r : request) fp =
+(* Find or capture the demand trace a prefetch candidate should replay
+   against; [None] for non-prefetch candidates (and anything pruned or
+   uncapturable — they take the direct path).  Runs on the coordinator:
+   workers never touch the cache, they reuse the trace pinned into
+   their task's closure.  Reuse counts a trace hit; the capturing
+   request itself does not. *)
+let candidate_dt t (r : request) fp =
+  if
+    t.path = Executor.Fast && r.prefetch <> []
+    && ((not r.check) || Variant.feasible r.variant ~n:r.n r.bindings)
+  then
+    match trace_find t (trace_key fp) with
+    | Some dt -> Some dt
+    | None -> trace_fill t r (trace_key fp)
+  else None
+
+(* Build the pure task measuring one memo miss (engine-state-free, safe
+   on any worker domain). *)
+let task_of ?protocol ?trial_base t (r : request) fp ~dt =
+  let machine = t.machine
+  and faults = t.faults in
+  let protocol = Option.value protocol ~default:t.protocol in
+  let key = fault_key fp in
+  let reference () = clean_simulate ~path:Executor.Closures machine r in
   match t.path with
-  | Executor.Closures -> simulate ~path:Executor.Closures t.machine r
-  | Executor.Fast ->
-    if r.prefetch = [] then simulate ~path:Executor.Fast t.machine r
-    else if r.check && not (Variant.feasible r.variant ~n:r.n r.bindings) then
-      Infeasible
-    else begin
-      let key = trace_key fp in
-      match trace_find t key with
-      | Some dt -> simulate_from_trace t.machine dt r
-      | None ->
-        if fill then
-          match trace_fill t r key with
-          | Some dt -> simulate_from_trace t.machine dt r
-          | None -> Failed
-        else simulate ~path:Executor.Fast t.machine r
-    end
+  | Executor.Closures ->
+    fun () ->
+      harden ?trial_base ~faults ~protocol ~vm:false ~key ~primary:reference
+        ~reference ()
+  | Executor.Fast -> (
+    match dt with
+    | Some dt ->
+      fun () ->
+        harden ?trial_base ~faults ~protocol ~vm:true ~key
+          ~primary:(fun () -> clean_from_trace machine dt r)
+          ~reference ()
+    | None ->
+      let direct () = clean_simulate ~path:Executor.Fast machine r in
+      fun () ->
+        harden ?trial_base ~faults ~protocol ~vm:true ~key ~primary:direct
+          ~reference ())
+
+let simulate_miss t (r : request) fp =
+  (task_of t r fp ~dt:(candidate_dt t r fp)) ()
+
+(* --- crash-only checkpointing ---------------------------------------- *)
+
+exception Checkpoint_mismatch of string
+exception Eval_limit_reached of int
+
+type resume = {
+  resumed_entries : int;
+  resumed_fresh : int;
+  resumed_best_cycles : float option;
+}
+
+(* Everything a killed search needs to resume to the identical final
+   answer: the memo table (the search replays deterministically against
+   it, so the memo IS the search cursor) plus the telemetry counters, so
+   resumed stats line up with an uninterrupted run.  Demand traces and
+   shape digests are caches and are rebuilt on demand. *)
+type checkpoint_blob = {
+  ck_tag : string;
+  ck_machine : string;
+  ck_entries : (fingerprint * memo_entry) array;
+  ck_hits : int;
+  ck_fresh : int;
+  ck_pruned : int;
+  ck_failed : int;
+  ck_failed_infeasible : int;
+  ck_failed_malformed : int;
+  ck_failed_transient : int;
+  ck_failed_timeout : int;
+  ck_failed_quarantined : int;
+  ck_retries : int;
+  ck_trials_run : int;
+  ck_early_stops : int;
+  ck_vm_fallbacks : int;
+  ck_simulated_cycles : float;
+  ck_eval_seconds : float;
+  ck_compile_seconds : float;
+  ck_exec_seconds : float;
+  ck_sim_seconds : float;
+  ck_memo_seconds : float;
+  ck_best : float option;
+}
+
+let checkpoint_magic = "ECO-CHECKPOINT-1\n"
+
+let best_cycles t =
+  Hashtbl.fold
+    (fun _ entry acc ->
+      match entry with
+      | Measured_entry (_, m) -> (
+        let c = Executor.cycles m in
+        match acc with Some b when b <= c -> acc | _ -> Some c)
+      | Pruned_entry | Failed_entry _ -> acc)
+    t.memo None
+
+let save_checkpoint t =
+  match t.checkpoint with
+  | None -> ()
+  | Some (file, tag, _) ->
+    let blob =
+      {
+        ck_tag = tag;
+        ck_machine = t.machine.Machine.name;
+        ck_entries =
+          Array.of_seq
+            (Seq.map (fun (k, v) -> (k, v)) (Hashtbl.to_seq t.memo));
+        ck_hits = t.hits;
+        ck_fresh = t.fresh;
+        ck_pruned = t.pruned;
+        ck_failed = t.failed;
+        ck_failed_infeasible = t.failed_infeasible;
+        ck_failed_malformed = t.failed_malformed;
+        ck_failed_transient = t.failed_transient;
+        ck_failed_timeout = t.failed_timeout;
+        ck_failed_quarantined = t.failed_quarantined;
+        ck_retries = t.retries;
+        ck_trials_run = t.trials_run;
+        ck_early_stops = t.early_stops;
+        ck_vm_fallbacks = t.vm_fallbacks;
+        ck_simulated_cycles = t.simulated_cycles;
+        ck_eval_seconds = t.eval_seconds;
+        ck_compile_seconds = t.compile_seconds;
+        ck_exec_seconds = t.exec_seconds;
+        ck_sim_seconds = t.sim_seconds;
+        ck_memo_seconds = t.memo_seconds;
+        ck_best = best_cycles t;
+      }
+    in
+    let payload = Marshal.to_string blob [] in
+    (* Write-then-rename: a kill at any instant leaves either the old
+       complete checkpoint or the new complete one, never a torn file. *)
+    let tmp = file ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    output_string oc checkpoint_magic;
+    output_string oc (Digest.string payload);
+    output_string oc payload;
+    close_out oc;
+    Sys.rename tmp file
+
+let set_checkpoint t ?(every = 16) ~tag file =
+  t.checkpoint <- Some (file, tag, max 1 every)
+
+let checkpoint_now t = save_checkpoint t
+
+let read_blob file =
+  match open_in_bin file with
+  | exception Sys_error _ -> None
+  | ic ->
+    let blob =
+      try
+        let len = in_channel_length ic in
+        let magic_len = String.length checkpoint_magic in
+        if len < magic_len + 16 then None
+        else begin
+          let magic = really_input_string ic magic_len in
+          if magic <> checkpoint_magic then None
+          else begin
+            let digest = really_input_string ic 16 in
+            let payload = really_input_string ic (len - magic_len - 16) in
+            if Digest.string payload <> digest then None
+            else
+              match (Marshal.from_string payload 0 : checkpoint_blob) with
+              | blob -> Some blob
+              | exception _ -> None
+          end
+        end
+      with _ -> None
+    in
+    close_in ic;
+    blob
+
+let load_checkpoint t ~tag file =
+  if not (Sys.file_exists file) then None
+  else
+    match read_blob file with
+    | None -> None (* corrupt or truncated: recover by starting fresh *)
+    | Some ck ->
+      if ck.ck_tag <> tag then
+        raise
+          (Checkpoint_mismatch
+             (Printf.sprintf
+                "checkpoint %s was written by a different run configuration \
+                 (%s, expected %s)"
+                file ck.ck_tag tag));
+      if ck.ck_machine <> t.machine.Machine.name then
+        raise
+          (Checkpoint_mismatch
+             (Printf.sprintf
+                "checkpoint %s was written for machine %s, engine targets %s"
+                file ck.ck_machine t.machine.Machine.name));
+      Array.iter (fun (fp, e) -> Hashtbl.replace t.memo fp e) ck.ck_entries;
+      t.hits <- ck.ck_hits;
+      t.fresh <- ck.ck_fresh;
+      t.pruned <- ck.ck_pruned;
+      t.failed <- ck.ck_failed;
+      t.failed_infeasible <- ck.ck_failed_infeasible;
+      t.failed_malformed <- ck.ck_failed_malformed;
+      t.failed_transient <- ck.ck_failed_transient;
+      t.failed_timeout <- ck.ck_failed_timeout;
+      t.failed_quarantined <- ck.ck_failed_quarantined;
+      t.retries <- ck.ck_retries;
+      t.trials_run <- ck.ck_trials_run;
+      t.early_stops <- ck.ck_early_stops;
+      t.vm_fallbacks <- ck.ck_vm_fallbacks;
+      t.simulated_cycles <- ck.ck_simulated_cycles;
+      t.eval_seconds <- ck.ck_eval_seconds;
+      t.compile_seconds <- ck.ck_compile_seconds;
+      t.exec_seconds <- ck.ck_exec_seconds;
+      t.sim_seconds <- ck.ck_sim_seconds;
+      t.memo_seconds <- ck.ck_memo_seconds;
+      Some
+        {
+          resumed_entries = Array.length ck.ck_entries;
+          resumed_fresh = ck.ck_fresh;
+          resumed_best_cycles = ck.ck_best;
+        }
+
+let set_eval_limit t limit = t.eval_limit <- Some limit
+
+(* Periodic persistence and crash injection, in that order: a run killed
+   by the evaluation limit behaves like a SIGKILL — only the last
+   periodic checkpoint survives. *)
+let after_fresh t =
+  (match t.checkpoint with
+  | Some (_, _, every) when t.fresh mod every = 0 -> save_checkpoint t
+  | _ -> ());
+  match t.eval_limit with
+  | Some limit when t.fresh >= limit -> raise (Eval_limit_reached limit)
+  | _ -> ()
+
+(* --- commit and serve ------------------------------------------------- *)
+
+let add_tele t (tl : tele) =
+  if tl.t_retries <> 0 then t.retries <- t.retries + tl.t_retries;
+  if tl.t_trials <> 0 then t.trials_run <- t.trials_run + tl.t_trials;
+  if tl.t_fallbacks <> 0 then t.vm_fallbacks <- t.vm_fallbacks + tl.t_fallbacks;
+  if tl.t_early_stops <> 0 then t.early_stops <- t.early_stops + tl.t_early_stops
+
+let count_failure t = function
+  | Infeasible_instantiation -> t.failed_infeasible <- t.failed_infeasible + 1
+  | Malformed_program -> t.failed_malformed <- t.failed_malformed + 1
+  | Transient -> t.failed_transient <- t.failed_transient + 1
+  | Timeout -> t.failed_timeout <- t.failed_timeout + 1
+  | Quarantined -> t.failed_quarantined <- t.failed_quarantined + 1
 
 (* Commit one fresh result: memo table, telemetry, log — always on the
    coordinating domain, always in request order. *)
 let commit t ?log (r : request) fp raw =
   match raw with
-  | Measured (program, m) ->
-    Hashtbl.replace t.memo fp (Some (program, m));
+  | Measured (program, m, tl) ->
+    add_tele t tl;
+    Hashtbl.replace t.memo fp (Measured_entry (program, m));
     t.fresh <- t.fresh + 1;
     t.simulated_cycles <- t.simulated_cycles +. Executor.cycles m;
     t.compile_seconds <- t.compile_seconds +. m.Executor.timings.Executor.compile_s;
@@ -339,24 +854,27 @@ let commit t ?log (r : request) fp raw =
           mflops = m.Executor.mflops;
         }
     | None -> ());
+    after_fresh t;
     Some { program; measurement = m; cached = false }
   | Infeasible ->
-    Hashtbl.replace t.memo fp None;
+    Hashtbl.replace t.memo fp Pruned_entry;
     t.pruned <- t.pruned + 1;
     (match log with Some log -> Search_log.note_pruned log | None -> ());
     None
-  | Failed ->
-    Hashtbl.replace t.memo fp None;
+  | Failed (reason, tl) ->
+    add_tele t tl;
+    Hashtbl.replace t.memo fp (Failed_entry reason);
     t.failed <- t.failed + 1;
-    (match log with Some log -> Search_log.note_pruned log | None -> ());
+    count_failure t reason;
+    (match log with Some log -> Search_log.note_failed log | None -> ());
     None
 
 let serve_hit t ?log entry =
   t.hits <- t.hits + 1;
   (match log with Some log -> Search_log.note_hit log | None -> ());
   match entry with
-  | Some (program, m) -> Some { program; measurement = m; cached = true }
-  | None -> None
+  | Measured_entry (program, m) -> Some { program; measurement = m; cached = true }
+  | Pruned_entry | Failed_entry _ -> None
 
 let evaluate_canonical t ?log r =
   let fp = fingerprint t r in
@@ -367,11 +885,66 @@ let evaluate_canonical t ?log r =
   | Some entry -> serve_hit t ?log entry
   | None ->
     let t0 = Unix_time.now () in
-    let raw = simulate_miss t ~fill:true r fp in
+    let raw = simulate_miss t r fp in
     t.eval_seconds <- t.eval_seconds +. (Unix_time.now () -. t0);
     commit t ?log r fp raw
 
 let evaluate t ?log r = evaluate_canonical t ?log (canonical r)
+
+let explain t r =
+  match Hashtbl.find_opt t.memo (fingerprint t (canonical r)) with
+  | Some (Measured_entry _) -> `Measured
+  | Some Pruned_entry -> `Pruned
+  | Some (Failed_entry reason) -> `Failed reason
+  | None -> `Unknown
+
+(* Is the engine fighting a noisy substrate?  When it is, searches run a
+   confirmation pass over their leading candidates before declaring a
+   winner (the standard defence against the winner's curse: the minimum
+   over many noisy values is biased low). *)
+let confirming t = Faults.noisy t.faults && t.protocol.trials > 1
+
+(* Confirmation trials draw from a reserved band of trial indices, so
+   they are fresh randomness — independent of the draws that produced
+   the memoized search measurement — yet still a pure function of the
+   candidate. *)
+let confirm_trial_base = 1_000_000
+
+let confirm t r ~trials =
+  let r = canonical r in
+  if not (confirming t) then
+    Option.map (fun ev -> ev.measurement) (evaluate t r)
+  else begin
+    let fp = fingerprint t r in
+    let trials = max 1 trials in
+    (* min_trials = trials disables the adaptive early stop: a
+       confirmation wants the full sample. *)
+    let protocol = { t.protocol with trials; min_trials = trials } in
+    let task =
+      task_of t r fp ~protocol ~trial_base:confirm_trial_base
+        ~dt:(candidate_dt t r fp)
+    in
+    let t0 = Unix_time.now () in
+    let raw = task () in
+    t.eval_seconds <- t.eval_seconds +. (Unix_time.now () -. t0);
+    match raw with
+    | Measured (_, m, tl) ->
+      add_tele t tl;
+      t.fresh <- t.fresh + 1;
+      t.simulated_cycles <- t.simulated_cycles +. Executor.cycles m;
+      t.compile_seconds <-
+        t.compile_seconds +. m.Executor.timings.Executor.compile_s;
+      t.exec_seconds <- t.exec_seconds +. m.Executor.timings.Executor.exec_s;
+      t.sim_seconds <- t.sim_seconds +. m.Executor.timings.Executor.sim_s;
+      after_fresh t;
+      Some m
+    | Infeasible -> None
+    | Failed (reason, tl) ->
+      add_tele t tl;
+      t.failed <- t.failed + 1;
+      count_failure t reason;
+      None
+  end
 
 (* Strided parallel map: worker [w] takes indices w, w+jobs, w+2*jobs...
    so neighbouring (similarly-sized) candidates spread across domains.
@@ -407,9 +980,7 @@ let evaluate_batch t ?log reqs =
   else begin
     (* Plan: classify each request as a memo hit, a duplicate of an
        earlier slot, or a scheduled miss.  Each miss becomes a pure
-       task: trace-cache lookups happen here on the coordinator (a hit
-       pins the captured trace into the task's closure), so workers
-       never touch engine state — and never fill the cache. *)
+       task built by [task_of] on the coordinator. *)
     let slots = Hashtbl.create 16 in
     let t0 = Unix_time.now () in
     let plan =
@@ -432,18 +1003,7 @@ let evaluate_batch t ?log reqs =
         (List.filter_map
            (function
              | `Run (r, fp, _) ->
-               let machine = t.machine in
-               (match t.path with
-               | Executor.Closures ->
-                 Some (fun () -> simulate ~path:Executor.Closures machine r)
-               | Executor.Fast ->
-                 if r.prefetch = [] then
-                   Some (fun () -> simulate ~path:Executor.Fast machine r)
-                 else (
-                   match trace_find t (trace_key fp) with
-                   | Some dt -> Some (fun () -> simulate_from_trace machine dt r)
-                   | None ->
-                     Some (fun () -> simulate ~path:Executor.Fast machine r)))
+               Some (task_of t r fp ~dt:(candidate_dt t r fp))
              | `Hit _ | `Dup _ -> None)
            plan)
     in
@@ -493,6 +1053,7 @@ let measure_program t ?key kernel ~n ~mode program =
     t.compile_seconds <- t.compile_seconds +. m.Executor.timings.Executor.compile_s;
     t.exec_seconds <- t.exec_seconds +. m.Executor.timings.Executor.exec_s;
     t.sim_seconds <- t.sim_seconds +. m.Executor.timings.Executor.sim_s;
+    after_fresh t;
     m
   in
   match shape with
@@ -500,10 +1061,10 @@ let measure_program t ?key kernel ~n ~mode program =
   | Some shape -> (
     let fp = program_fingerprint kernel ~n ~mode shape in
     match Hashtbl.find_opt t.memo fp with
-    | Some (Some (_, m)) ->
+    | Some (Measured_entry (_, m)) ->
       t.hits <- t.hits + 1;
       m
-    | Some None | None ->
+    | Some (Pruned_entry | Failed_entry _) | None ->
       let m = run () in
-      Hashtbl.replace t.memo fp (Some (program, m));
+      Hashtbl.replace t.memo fp (Measured_entry (program, m));
       m)

@@ -3,24 +3,41 @@
 
     The paper's argument (§3.2, §4.3) is that model pruning keeps the
     {e number} of empirical evaluations small; this module makes each
-    remaining evaluation as cheap as possible and lets independent
-    candidates overlap:
+    remaining evaluation as cheap as possible, lets independent
+    candidates overlap, and survives a hostile measurement substrate:
 
     - {b Memoization} — measurements are keyed by a canonical
       fingerprint [(kernel, variant shape, n, mode, bindings,
       prefetch)], so a point revisited by a later search stage, another
       strategy, or another experiment sharing the engine is served from
       the memo table without re-simulation.  Infeasible points are
-      cached too, so constraint pruning is paid once per point.
+      cached too, so constraint pruning is paid once per point — and so
+      are failed points, with their typed {!failure_reason}, so a
+      quarantined candidate is never re-measured.
     - {b Parallelism} — [evaluate_batch] runs memo misses on a pool of
       [jobs] domains (hierarchy state is created per evaluation, so
       workers share nothing).  Results are committed to the memo table,
       telemetry and the {!Search_log} in request order, so a batch
       produces bit-for-bit the same state at any [jobs]; [jobs = 1]
       additionally evaluates serially in request order.
+    - {b Fault tolerance} — with a {!Faults.t} plan and a {!protocol},
+      each candidate is measured under a resilient protocol: repeated
+      trials aggregated by median/trimmed mean with adaptive early
+      stop, bounded retry with exponential backoff on transient
+      failures and hangs, deterministic evaluation deadlines,
+      quarantine when the retry budget is exhausted, and graceful
+      degradation from the [Fast] VM path to the [Closures] reference
+      interpreter when the fast path dies.  Every fault draw is keyed
+      by the candidate fingerprint, so results stay bit-identical at
+      any [jobs].
+    - {b Crash-only persistence} — {!set_checkpoint} periodically
+      persists the memo table and telemetry; {!load_checkpoint}
+      restores them, after which a deterministic search replays to the
+      identical final answer.
     - {b Telemetry} — per-engine counters (memo hits, fresh
-      simulations, constraint-pruned candidates, simulated cycles, wall
-      seconds inside evaluation) and per-search counters via the log.
+      simulations, constraint-pruned candidates, typed failure
+      breakdown, retries, fallbacks, simulated cycles, wall seconds
+      inside evaluation) and per-search counters via the log.
 
     An engine is bound to one machine model.  It is not itself
     thread-safe: call it from one coordinating domain and let it spread
@@ -28,13 +45,66 @@
 
 type t
 
-(** [create ?jobs ?path machine] makes an engine for [machine].  [jobs]
-    defaults to 1 (serial, deterministic evaluation order); [0] selects
-    {!default_jobs}.  [path] selects the measurement pipeline
-    ({!Executor.Fast} bytecode + batched replay + demand-trace reuse by
-    default; {!Executor.Closures} forces the reference interpreter —
-    bit-identical results, used as the benchmark baseline). *)
-val create : ?jobs:int -> ?path:Executor.path -> Machine.t -> t
+(** Why a candidate's evaluation failed.  The first two are
+    deterministic properties of the candidate; the rest are verdicts of
+    the resilient measurement protocol. *)
+type failure_reason =
+  | Infeasible_instantiation
+      (** the variant rejected the bindings at instantiation *)
+  | Malformed_program  (** the instantiated program failed to execute *)
+  | Transient
+      (** a transient measurement failure, with no retry budget to
+          absorb it *)
+  | Timeout  (** evaluation deadline (simulated-cycle or wall cap) hit *)
+  | Quarantined
+      (** failed persistently: the retry budget was exhausted *)
+
+(** One-line human description of a {!failure_reason}. *)
+val describe_failure : failure_reason -> string
+
+(** How hard the engine fights the measurement substrate for each
+    candidate. *)
+type protocol = {
+  trials : int;  (** repeated measurements per candidate (min 1) *)
+  max_retries : int;
+      (** retry budget per trial for transient failures and hangs;
+          [0] makes the first transient final *)
+  backoff_s : float;
+      (** base backoff before retry [a] sleeps [backoff_s * 2^a]
+          seconds; [0.] never sleeps *)
+  cycle_cap : float;
+      (** deterministic deadline: a candidate whose clean simulated
+          cycles (or any perturbed trial) exceed this fails with
+          [Timeout] *)
+  wall_cap_s : float;  (** wall-clock deadline per candidate *)
+  spread_rtol : float;
+      (** adaptive early stop: stop trialling once the relative spread
+          of the samples is within this tolerance *)
+  min_trials : int;  (** never early-stop before this many trials *)
+}
+
+(** [{ trials = 1; max_retries = 2; backoff_s = 0.; cycle_cap = infinity;
+       wall_cap_s = infinity; spread_rtol = 0.02; min_trials = 2 }] *)
+val default_protocol : protocol
+
+(** [create ?jobs ?path ?faults ?protocol machine] makes an engine for
+    [machine].  [jobs] defaults to 1 (serial, deterministic evaluation
+    order); [0] selects {!default_jobs}.  [path] selects the measurement
+    pipeline ({!Executor.Fast} bytecode + batched replay + demand-trace
+    reuse by default; {!Executor.Closures} forces the reference
+    interpreter — bit-identical results, used as the benchmark
+    baseline).  [faults] (default {!Faults.none}) injects seeded
+    measurement faults; [protocol] (default {!default_protocol})
+    configures the resilient measurement protocol.  With the defaults —
+    no active fault plan and [trials = 1] — measurements are bit-for-bit
+    what they were without the robustness layer. *)
+val create :
+  ?jobs:int ->
+  ?path:Executor.path ->
+  ?faults:Faults.t ->
+  ?protocol:protocol ->
+  Machine.t ->
+  t
 
 (** [Domain.recommended_domain_count ()]. *)
 val default_jobs : unit -> int
@@ -42,6 +112,8 @@ val default_jobs : unit -> int
 val machine : t -> Machine.t
 val jobs : t -> int
 val path : t -> Executor.path
+val faults : t -> Faults.t
+val protocol : t -> protocol
 
 (** One candidate point of one variant. *)
 type request = {
@@ -72,10 +144,13 @@ type evaluation = {
 }
 
 (** Evaluate one point.  [None] when the point is infeasible (pruned by
-    constraints) or the variant cannot be instantiated at it.  When
-    [log] is given, fresh evaluations are {!Search_log.record}ed, memo
-    hits {!Search_log.note_hit}ed and pruned candidates
-    {!Search_log.note_pruned}ed. *)
+    constraints), the variant cannot be instantiated at it, or its
+    measurement failed under the protocol (timeout / quarantine /
+    unretried transient — ask {!explain} for the reason).  When [log] is
+    given, fresh evaluations are {!Search_log.record}ed, memo hits
+    {!Search_log.note_hit}ed, pruned candidates
+    {!Search_log.note_pruned}ed and failures
+    {!Search_log.note_failed}ed. *)
 val evaluate : t -> ?log:Search_log.t -> request -> evaluation option
 
 (** Evaluate an independent batch; result list is in request order.
@@ -86,6 +161,31 @@ val evaluate : t -> ?log:Search_log.t -> request -> evaluation option
 val evaluate_batch :
   t -> ?log:Search_log.t -> request list -> evaluation option list
 
+(** What the memo table knows about a point: measured, pruned by
+    constraints, failed with a typed reason, or never evaluated. *)
+val explain :
+  t -> request -> [ `Measured | `Pruned | `Failed of failure_reason | `Unknown ]
+
+(** Is the engine measuring through a value-perturbing fault plan
+    ({!Faults.noisy}) with repeated trials?  When it is, searches
+    should {!confirm} their leading candidates before declaring a
+    winner.  Zero-rate active plans are excluded: their samples equal
+    the clean measurement, so confirmation could never change the
+    answer. *)
+val confirming : t -> bool
+
+(** [confirm t r ~trials] re-measures the point with [trials] fresh
+    trials (drawn from a reserved trial band, independent of the draws
+    behind the memoized measurement) and no early stop — the defence
+    against the winner's curse: the minimum over many noisy memoized
+    values is biased low, so the apparent best points are re-measured
+    and compared on confirmed values.  Bypasses the memo (counts as a
+    fresh evaluation in {!stats}; not recorded in the search log).
+    When the engine is not {!confirming}, falls back to a plain
+    (memoized) {!evaluate} — zero extra cost, identical results.
+    [None] when the point is infeasible or its confirmation fails. *)
+val confirm : t -> request -> trials:int -> Executor.measurement option
+
 (** Instantiate the request's program (variant + bindings + prefetch)
     without measuring it; [None] if instantiation fails.  Feasibility is
     not checked. *)
@@ -95,7 +195,9 @@ val build : t -> request -> Ir.Program.t option
     the native-compiler model's output, a padded program, the
     untransformed kernel...).  Memoized under [key] when given;
     otherwise under a structural digest of the program, falling back to
-    unmemoized execution if the program cannot be digested.
+    unmemoized execution if the program cannot be digested.  Runs
+    outside the fault-injection protocol (it measures references, not
+    search candidates).
     @raise Invalid_argument if the program is malformed. *)
 val measure_program :
   t ->
@@ -106,12 +208,72 @@ val measure_program :
   Ir.Program.t ->
   Executor.measurement
 
+(** {2 Crash-only checkpointing}
+
+    A checkpoint persists the memo table (which, for a deterministic
+    search, {e is} the search cursor: replaying the search against it
+    costs only memo lookups) plus the telemetry counters.  Files are
+    written atomically (write to a temp file, then rename), prefixed
+    with a magic string and an integrity digest, so a run killed at any
+    instant leaves a loadable checkpoint — the previous complete one at
+    worst. *)
+
+(** Raised by {!load_checkpoint} when the file is a valid checkpoint of
+    a {e different} run configuration (tag or machine mismatch) —
+    resuming it would silently answer the wrong question. *)
+exception Checkpoint_mismatch of string
+
+(** Raised from inside evaluation once the {!set_eval_limit} budget is
+    reached — the deterministic stand-in for a SIGKILL mid-search, used
+    to test and demonstrate crash recovery. *)
+exception Eval_limit_reached of int
+
+type resume = {
+  resumed_entries : int;  (** memo entries restored *)
+  resumed_fresh : int;  (** fresh evaluations the dead run had done *)
+  resumed_best_cycles : float option;
+      (** best measured cycles in the restored memo *)
+}
+
+(** [set_checkpoint t ~tag file] arms periodic checkpointing: the engine
+    rewrites [file] after every [every] (default 16) fresh evaluations.
+    [tag] should encode everything that determines the run's answer
+    (machine, kernel, n, budget, path, faults, protocol); it is embedded
+    in the file and verified on load. *)
+val set_checkpoint : t -> ?every:int -> tag:string -> string -> unit
+
+(** Write a checkpoint immediately (no-op unless {!set_checkpoint} was
+    called) — e.g. once more after the search completes. *)
+val checkpoint_now : t -> unit
+
+(** [load_checkpoint t ~tag file] restores the memo table and telemetry
+    from [file].  [None] when the file is missing, truncated or corrupt
+    (crash-only recovery: start fresh).
+    @raise Checkpoint_mismatch when the file belongs to a different run
+    configuration or machine. *)
+val load_checkpoint : t -> tag:string -> string -> resume option
+
+(** Abort the run (raising {!Eval_limit_reached}) after this many total
+    fresh evaluations — crash injection for testing recovery. *)
+val set_eval_limit : t -> int -> unit
+
+(** {2 Telemetry} *)
+
 (** Cumulative engine-lifetime telemetry. *)
 type stats = {
   hits : int;  (** requests served from the memo table *)
   fresh : int;  (** actual simulations run *)
   pruned : int;  (** candidates rejected by constraints, no simulation *)
-  failed : int;  (** instantiation/measurement failures *)
+  failed : int;  (** instantiation/measurement failures (total) *)
+  failed_infeasible : int;  (** {!Infeasible_instantiation} *)
+  failed_malformed : int;  (** {!Malformed_program} *)
+  failed_transient : int;  (** {!Transient} *)
+  failed_timeout : int;  (** {!Timeout} *)
+  failed_quarantined : int;  (** {!Quarantined} *)
+  retries : int;  (** protocol retries across all candidates *)
+  trials_run : int;  (** successful trials across all candidates *)
+  early_stops : int;  (** candidates whose trials stopped early *)
+  vm_fallbacks : int;  (** Fast-path crashes degraded to [Closures] *)
   simulated_cycles : float;  (** total cycles across fresh measurements *)
   eval_seconds : float;  (** wall time spent inside evaluation *)
   compile_seconds : float;  (** bytecode compilation (Fast path) *)
@@ -126,10 +288,15 @@ type stats = {
 
 val stats : t -> stats
 
-(** The headline telemetry line ([eco tune]'s [engine:] line). *)
+(** The nonzero typed-failure counters, as [(label, count)] pairs. *)
+val failure_breakdown : stats -> (string * int) list
+
+(** The headline telemetry line ([eco tune]'s [engine:] line); appends
+    the failure breakdown, retry and fallback counts when nonzero. *)
 val pp_stats : Format.formatter -> stats -> unit
 
 (** The [--profile] wall-time breakdown: where evaluation time went
-    (compile vs. execute vs. simulate vs. memo lookups) and how the
-    demand-trace cache behaved. *)
+    (compile vs. execute vs. simulate vs. memo lookups), how the
+    demand-trace cache behaved, and the protocol counters when the
+    resilient protocol did any work. *)
 val pp_profile : Format.formatter -> stats -> unit

@@ -143,3 +143,28 @@ let measure_from_trace ?(synth_seconds = 0.0) machine kernel ~n ~stats ~events
     ~stats ~timings
 
 let cycles m = m.cost.Memsim.Cost.total_cycles
+
+(* Multiplicative timing perturbation: the same work observed to take
+   [factor] times as long.  Unlike [Memsim.Cost.scale] (extrapolation of
+   a sampled run to the full problem, which keeps MFLOPS fixed), this
+   keeps the flop count and divides the throughput. *)
+let perturb m factor =
+  if factor = 1.0 then m
+  else begin
+    let c = m.cost in
+    let cost =
+      {
+        c with
+        Memsim.Cost.mem_issue_cycles = c.Memsim.Cost.mem_issue_cycles *. factor;
+        fp_issue_cycles = c.Memsim.Cost.fp_issue_cycles *. factor;
+        other_issue_cycles = c.Memsim.Cost.other_issue_cycles *. factor;
+        stall_cycles = c.Memsim.Cost.stall_cycles *. factor;
+        total_cycles = c.Memsim.Cost.total_cycles *. factor;
+        seconds = c.Memsim.Cost.seconds *. factor;
+        mflops =
+          (if factor > 0.0 then c.Memsim.Cost.mflops /. factor
+           else c.Memsim.Cost.mflops);
+      }
+    in
+    { m with cost; mflops = cost.Memsim.Cost.mflops }
+  end

@@ -75,3 +75,11 @@ val synth_scratch : unit -> Ir.Vm.Buf.t
 
 (** Total simulated cycles — the search's objective function. *)
 val cycles : measurement -> float
+
+(** [perturb m factor] is [m] observed to take [factor] times as long:
+    every cycle count and [seconds] scale by [factor], MFLOPS divides by
+    it, and the flop count stays put.  The identity when [factor = 1.0]
+    (same physical measurement back).  This is how the engine's
+    fault-tolerant protocol applies injected timing noise and commits
+    the aggregate of repeated trials. *)
+val perturb : measurement -> float -> measurement

@@ -10,20 +10,23 @@ type t = {
   mutable entries : entry list;
   mutable hits : int;
   mutable pruned : int;
+  mutable failed : int;
   started : float;
 }
 
 let create () =
-  { entries = []; hits = 0; pruned = 0; started = Unix_time.now () }
+  { entries = []; hits = 0; pruned = 0; failed = 0; started = Unix_time.now () }
 
 let record t e = t.entries <- e :: t.entries
 let note_hit t = t.hits <- t.hits + 1
 let note_pruned t = t.pruned <- t.pruned + 1
+let note_failed t = t.failed <- t.failed + 1
 let entries t = List.rev t.entries
 let points t = List.length t.entries
 let fresh = points
 let hits t = t.hits
 let pruned t = t.pruned
+let failed t = t.failed
 let seconds t = Unix_time.now () -. t.started
 
 let best t =
@@ -39,8 +42,9 @@ let pp_bindings fmt bindings =
 
 let pp fmt t =
   Format.fprintf fmt
-    "%d points in %.2fs (%d cache hits excluded, %d pruned by constraints)@."
-    (points t) (seconds t) (hits t) (pruned t);
+    "%d points in %.2fs (%d cache hits excluded, %d pruned by constraints, %d \
+     failed)@."
+    (points t) (seconds t) (hits t) (pruned t) (failed t);
   List.iter
     (fun e ->
       Format.fprintf fmt "  %s %a pref[%a] -> %.0f cycles (%.1f MFLOPS)@."

@@ -30,6 +30,11 @@ val note_hit : t -> unit
     simulation — the model pruning that keeps the search small. *)
 val note_pruned : t -> unit
 
+(** Count a candidate whose evaluation failed (bad instantiation,
+    measurement crash, timeout, quarantine) — kept apart from the
+    constraint-pruned count so real failures stay visible. *)
+val note_failed : t -> unit
+
 val entries : t -> entry list
 
 (** Number of distinct points evaluated (cache hits excluded). *)
@@ -43,6 +48,10 @@ val hits : t -> int
 
 (** Candidates rejected by constraints without simulation. *)
 val pruned : t -> int
+
+(** Candidates whose evaluation failed (typed reasons live in the
+    engine's stats). *)
+val failed : t -> int
 
 (** Wall-clock seconds since [create]. *)
 val seconds : t -> float

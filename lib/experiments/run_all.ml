@@ -1,6 +1,6 @@
 let names =
   [ "table1"; "table2"; "table4"; "fig4a"; "fig4b"; "fig5a"; "fig5b";
-    "search_cost"; "ablation"; "padding"; "strategies"; "conflicts" ]
+    "search_cost"; "ablation"; "padding"; "strategies"; "conflicts"; "noise" ]
 
 let banner print title =
   print "";
@@ -46,6 +46,9 @@ let run ~print ?(jobs = 1) name =
   | "conflicts" ->
     banner print "Extension: conflict-miss classification of Native vs ECO (SGI MM)";
     List.iter print (Conflicts.render (Conflicts.run ()))
+  | "noise" ->
+    banner print "Extension: noise sensitivity of the guided search (SGI)";
+    List.iter print (Noise.render (Noise.run ~jobs ()))
   | other ->
     invalid_arg
       (Printf.sprintf "unknown experiment %s (known: %s)" other

@@ -19,4 +19,5 @@ let () =
       ("attribution", Test_attribution.suite);
       ("trace", Test_trace.suite);
       ("vm", Test_vm.suite);
+      ("faults", Test_faults.suite);
     ]
