@@ -317,8 +317,121 @@ let emit_faults_json () =
   close_out oc;
   Format.printf "wrote BENCH_faults.json (%d entries)@." (List.length entries)
 
+(* Analytical-tier benchmark: how much cheaper is one model prediction
+   than one simulation, and what does trusting the model's ranking buy
+   (simulations saved at the default top-k) and cost (chosen-point
+   degradation, rank agreement) on the real searches.  The search-side
+   numbers come from the rankcheck experiment; the throughput numbers
+   time the two evaluation paths on the same candidate points.  Emits
+   BENCH_model.json. *)
+
+let model_bench_machine = Machine.sgi_r10000
+
+let emit_model_json () =
+  let entries =
+    List.map
+      (fun ((kernel : Kernels.Kernel.t), n) ->
+        let name = kernel.Kernels.Kernel.name in
+        Format.printf "model bench: %s n=%d...@." name n;
+        let row =
+          Experiments.Rankcheck.run_one ~mode:eval_bench_mode
+            model_bench_machine kernel ~n
+        in
+        (* Throughput: the same candidate points through the analytical
+           model and through the simulator.  The model is cheap enough
+           that timing one pass would measure clock noise, hence the
+           repetition count. *)
+        let v = List.hd (Core.Derive.variants model_bench_machine kernel) in
+        let point ti =
+          List.map
+            (fun (p : Core.Param.t) ->
+              match p.Core.Param.kind with
+              | Core.Param.Tile -> (p.Core.Param.name, ti)
+              | Core.Param.Unroll -> (p.Core.Param.name, 2))
+            (Core.Variant.params v)
+        in
+        let tiles = [ 8; 12; 16; 20; 24; 28; 32; 40 ] in
+        let prepared = Core.Predict.prepare v ~n in
+        let reps = 500 in
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to reps do
+          List.iter
+            (fun ti ->
+              ignore
+                (Core.Predict.score model_bench_machine prepared
+                   ~bindings:(point ti) ~prefetch:[]))
+            tiles
+        done;
+        let model_seconds = Unix.gettimeofday () -. t0 in
+        let model_evals = reps * List.length tiles in
+        let engine = Core.Engine.create model_bench_machine in
+        let t0 = Unix.gettimeofday () in
+        List.iter
+          (fun ti ->
+            ignore
+              (Core.Engine.evaluate engine
+                 {
+                   Core.Engine.variant = v;
+                   n;
+                   mode = eval_bench_mode;
+                   bindings = point ti;
+                   prefetch = [];
+                   check = false;
+                 }))
+          tiles;
+        let sim_seconds = Unix.gettimeofday () -. t0 in
+        let sim_evals = (Core.Engine.stats engine).Core.Engine.fresh in
+        let per_sec evals seconds =
+          if seconds > 0.0 then float_of_int evals /. seconds else 0.0
+        in
+        let model_per_sec = per_sec model_evals model_seconds in
+        let sim_per_sec = per_sec sim_evals sim_seconds in
+        let cost_ratio =
+          if model_per_sec > 0.0 then model_per_sec /. sim_per_sec else 0.0
+        in
+        let saved_ratio =
+          if row.Experiments.Rankcheck.sims_on > 0 then
+            float_of_int row.Experiments.Rankcheck.sims_off
+            /. float_of_int row.Experiments.Rankcheck.sims_on
+          else 0.0
+        in
+        Format.printf
+          "  model: %.0f evals/s  sim: %.0f evals/s (%.0fx)  spearman %.3f  \
+           recall %.2f  sims %d -> %d (%.2fx)  degradation %.2f%%@."
+          model_per_sec sim_per_sec cost_ratio
+          row.Experiments.Rankcheck.spearman row.Experiments.Rankcheck.recall
+          row.Experiments.Rankcheck.sims_off row.Experiments.Rankcheck.sims_on
+          saved_ratio row.Experiments.Rankcheck.degradation_pct;
+        Printf.sprintf
+          "  {\"kernel\": \"%s\", \"n\": %d, \"machine\": \"%s\", \
+           \"top_k\": %d,\n\
+          \   \"model_evals_per_sec\": %.1f, \"sim_evals_per_sec\": %.1f, \
+           \"model_vs_sim_ratio\": %.1f,\n\
+          \   \"spearman\": %.4f, \"recall\": %.4f,\n\
+          \   \"sims_off\": %d, \"sims_on\": %d, \"prefiltered\": %d, \
+           \"sims_saved_ratio\": %.2f,\n\
+          \   \"mflops_off\": %.2f, \"mflops_on\": %.2f, \
+           \"degradation_pct\": %.2f}"
+          name n
+          model_bench_machine.Machine.name
+          Core.Engine.default_prefilter model_per_sec sim_per_sec cost_ratio
+          row.Experiments.Rankcheck.spearman row.Experiments.Rankcheck.recall
+          row.Experiments.Rankcheck.sims_off row.Experiments.Rankcheck.sims_on
+          row.Experiments.Rankcheck.prefiltered saved_ratio
+          row.Experiments.Rankcheck.mflops_off
+          row.Experiments.Rankcheck.mflops_on
+          row.Experiments.Rankcheck.degradation_pct)
+      eval_bench_cases
+  in
+  let oc = open_out "BENCH_model.json" in
+  output_string oc ("[\n" ^ String.concat ",\n" entries ^ "\n]\n");
+  close_out oc;
+  Format.printf "wrote BENCH_model.json (%d entries)@." (List.length entries)
+
 let () =
   if Array.exists (( = ) "--eval-bench") Sys.argv then emit_eval_json ()
+  else if Array.exists (( = ) "--model-bench") Sys.argv then
+    emit_model_json ()
   else if Array.exists (( = ) "--faults-bench") Sys.argv then
     emit_faults_json ()
   else begin
@@ -329,5 +442,6 @@ let () =
     Experiments.Run_all.run_everything ~print:print_endline ();
     emit_search_json (Experiments.Search_cost.run ());
     emit_eval_json ();
-    emit_faults_json ()
+    emit_faults_json ();
+    emit_model_json ()
   end

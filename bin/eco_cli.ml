@@ -39,6 +39,20 @@ let machine_conv =
   let print fmt (m : Machine.t) = Format.pp_print_string fmt m.Machine.name in
   Cmdliner.Arg.conv (parse, print)
 
+let objective_conv =
+  let parse s =
+    match Core.Objective.of_string s with
+    | Some o -> Ok o
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown objective %s (known: %s)" s
+             (String.concat ", "
+                (List.map Core.Objective.to_string Core.Objective.all))))
+  in
+  let print fmt o = Format.pp_print_string fmt (Core.Objective.to_string o) in
+  Cmdliner.Arg.conv (parse, print)
+
 open Cmdliner
 
 let machine_arg =
@@ -46,7 +60,8 @@ let machine_arg =
     value
     & opt machine_conv Machine.sgi_r10000
     & info [ "m"; "machine" ] ~docv:"MACHINE"
-        ~doc:"Target machine model (sgi, sun, generic).")
+        ~doc:
+          "Target machine model (sgi, sun, generic, modern/3level, mini).")
 
 let kernel_arg =
   Arg.(
@@ -121,8 +136,8 @@ let derive_cmd =
 
 (* --- tune --- *)
 
-let tune machine kernel n budget jobs profile closures validate faults_spec
-    trials retries checkpoint checkpoint_every die_after =
+let tune machine kernel n budget jobs objective prefilter profile closures
+    validate faults_spec trials retries checkpoint checkpoint_every die_after =
   let mode = mode_of_budget budget in
   let path =
     if closures then Core.Executor.Closures else Core.Executor.Fast
@@ -140,17 +155,23 @@ let tune machine kernel n budget jobs profile closures validate faults_spec
   let protocol =
     { Core.Engine.default_protocol with trials; max_retries = retries }
   in
-  let engine = Core.Engine.create ~jobs ~path ~faults ~protocol machine in
+  let engine =
+    Core.Engine.create ~jobs ~path ~faults ~protocol ~objective ?prefilter
+      machine
+  in
   (match checkpoint with
   | None -> ()
   | Some file -> (
     (* The tag encodes everything that determines the answer, so a
        stale checkpoint from a different run cannot be resumed. *)
     let tag =
-      Printf.sprintf "tune|m=%s|k=%s|n=%d|b=%d|path=%s|faults=%s|trials=%d|retries=%d"
+      Printf.sprintf
+        "tune|m=%s|k=%s|n=%d|b=%d|path=%s|faults=%s|trials=%d|retries=%d|obj=%s|pf=%s"
         machine.Machine.name kernel.Kernels.Kernel.name n budget
         (if closures then "closures" else "fast")
         (Faults.to_spec faults) trials retries
+        (Core.Objective.to_string objective)
+        (match prefilter with Some k -> string_of_int k | None -> "off")
     in
     Core.Engine.set_checkpoint engine ~every:checkpoint_every ~tag file;
     match Core.Engine.load_checkpoint engine ~tag file with
@@ -235,6 +256,31 @@ let tune machine kernel n budget jobs profile closures validate faults_spec
   Format.printf "@.optimized code:@.%a" Ir.Program.pp o.Core.Search.program
 
 let tune_cmd =
+  let objective_arg =
+    Arg.(
+      value
+      & opt objective_conv Core.Objective.Cycles
+      & info [ "objective" ] ~docv:"OBJ"
+          ~doc:
+            "What the search minimizes: $(b,cycles) (default, simulated run \
+             time) or $(b,energy) (modelled per-access energy weighted by \
+             hierarchy level, plus a static-per-cycle term).")
+  in
+  let prefilter_arg =
+    Arg.(
+      value
+      & opt ~vopt:(Some Core.Engine.default_prefilter) (some int) None
+      & info [ "prefilter" ] ~docv:"K"
+          ~doc:
+            (Printf.sprintf
+               "Analytical pre-filter: rank each candidate batch with the \
+                cache-model predictor and fully simulate only the top K \
+                (default off; $(b,--prefilter) alone means K=%d; K<1 \
+                disables).  Skipped candidates are never simulated, cutting \
+                search cost; the chosen point may differ slightly from the \
+                unfiltered search."
+               Core.Engine.default_prefilter))
+  in
   let profile_arg =
     Arg.(
       value & flag
@@ -322,9 +368,9 @@ let tune_cmd =
        ~doc:"Run the full two-phase ECO optimization for a kernel.")
     Term.(
       const tune $ machine_arg $ kernel_arg $ size_arg 256 $ budget_arg
-      $ jobs_arg $ profile_arg $ closures_arg $ validate_arg $ faults_arg
-      $ trials_arg $ retries_arg $ checkpoint_arg $ checkpoint_every_arg
-      $ die_after_arg)
+      $ jobs_arg $ objective_arg $ prefilter_arg $ profile_arg $ closures_arg
+      $ validate_arg $ faults_arg $ trials_arg $ retries_arg $ checkpoint_arg
+      $ checkpoint_every_arg $ die_after_arg)
 
 (* --- check --- *)
 

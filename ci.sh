@@ -21,6 +21,38 @@ dune exec bin/eco_cli.exe -- tune -k matmul -n 48 -b 50000 --jobs 2 | grep "engi
 dune exec bench/main.exe -- --eval-bench
 grep "speedup" BENCH_eval.json
 
+# --- Analytical pre-filter -----------------------------------------------
+
+# Reference answer with the pre-filter off (the default path).
+dune exec bin/eco_cli.exe -- tune -k matmul -n 64 -b 100000 \
+  | grep -E "^(best variant|parameters|prefetch|performance):" > ci_nofilter.txt
+
+# Explicitly disabling the pre-filter (K < 1) must take the identical
+# code path: same winner, same performance line, byte for byte.
+dune exec bin/eco_cli.exe -- tune -k matmul -n 64 -b 100000 --prefilter=0 \
+  | grep -E "^(best variant|parameters|prefetch|performance):" > ci_prefilter0.txt
+cmp ci_nofilter.txt ci_prefilter0.txt
+
+# Armed search: the model must actually skip candidates (a nonzero
+# pre-filtered count in the telemetry), and the two-stage search must
+# be deterministic across worker counts.
+dune exec bin/eco_cli.exe -- tune -k matmul -n 64 -b 100000 --prefilter \
+  > ci_armed1.txt
+grep "engine:" ci_armed1.txt | grep -v " 0 pre-filtered"
+dune exec bin/eco_cli.exe -- tune -k matmul -n 64 -b 100000 --prefilter --jobs 2 \
+  > ci_armed2.txt
+grep -E "^(best variant|parameters|prefetch|performance):" ci_armed1.txt \
+  > ci_armed1_ans.txt
+grep -E "^(best variant|parameters|prefetch|performance):" ci_armed2.txt \
+  > ci_armed2_ans.txt
+cmp ci_armed1_ans.txt ci_armed2_ans.txt
+rm -f ci_nofilter.txt ci_prefilter0.txt ci_armed1.txt ci_armed2.txt \
+  ci_armed1_ans.txt ci_armed2_ans.txt
+
+# Rank-agreement experiment smoke (reduced sweep; the summary line
+# reports simulations saved and worst chosen-point degradation).
+ECO_FAST=1 dune exec bin/eco_cli.exe -- experiment rankcheck | grep "fewer"
+
 # --- Fault-tolerant measurement protocol ---------------------------------
 
 # Reference answer for the robustness checks below.

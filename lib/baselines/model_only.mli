@@ -11,9 +11,10 @@ type result = {
   measurement : Core.Executor.measurement;
 }
 
-(** Picks the first derived variant with a feasible model point after
-    static ranking (the triage model ranks by predicted footprint
-    balance — here: derivation order, which lists copying variants
-    first). *)
+(** Ranks every derived variant's model-initial point with the
+    analytical model ({!Core.Predict.score_point}) and measures the
+    best-predicted one — falling back down the ranking if a measurement
+    fails.  Unrankable points (model error) sort last rather than being
+    dropped. *)
 val optimize :
   Core.Engine.t -> Kernels.Kernel.t -> n:int -> mode:Core.Executor.mode -> result option

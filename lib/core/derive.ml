@@ -131,7 +131,9 @@ let rec cache_level ctx level branches =
       (List.concat_map (fun b -> expand_level ctx level b) branches)
 
 and expand_level ctx level b =
-  if b.working = [] then [ b ]
+  if b.working = [] then
+    if level <= 1 then [ b ]
+    else [ residency_branch ctx level b ]
   else begin
     let unexploited =
       List.filter (fun g -> not (List.mem (group_key g) b.mapped)) ctx.groups
@@ -155,6 +157,40 @@ and expand_level ctx level b =
           else level_branches ctx level b l_cache retained)
         cands
   end
+
+(* Outer level reached with every loop already consumed (only possible
+   when the hierarchy is deeper than the kernel's loop nest, e.g. a
+   3-loop kernel on a 3-level machine): no further tiling is available,
+   but the level still constrains the plan — the combined tiled working
+   set of every reference group must stay resident in it.  Emit the
+   level's row with that capacity constraint so deeper hierarchies are
+   documented and bounded rather than silently ignored. *)
+and residency_branch ctx level b =
+  let lname = level_name ctx.machine level in
+  let extent v =
+    match List.assoc_opt v b.tiles with
+    | Some param -> Poly.var param
+    | None -> Poly.var "n"
+  in
+  let fp = Footprint.elements extent ctx.groups in
+  let cap_constraint =
+    Constr.Poly_le
+      { poly = fp; bound = cache_bound ctx.machine level; what = lname ^ " capacity" }
+  in
+  let note =
+    {
+      Variant.level = lname;
+      reuse_loop = "-";
+      transf = "-";
+      level_params = [];
+      level_constraints = [ cap_constraint ];
+    }
+  in
+  {
+    b with
+    constraints = b.constraints @ [ cap_constraint ];
+    notes = b.notes @ [ note ];
+  }
 
 and level_branches ctx level b l_cache retained =
   let lname = level_name ctx.machine level in

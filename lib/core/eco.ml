@@ -40,14 +40,21 @@ let () =
 let optimize_with ?(mode = Executor.default_budget) ?(max_variants = 4) engine
     kernel ~n =
   let machine = Engine.machine engine in
+  (* With the default [Cycles] objective this is exactly
+     [Executor.cycles] — triage and winner selection are byte-for-byte
+     the historical behaviour. *)
+  let score m = Objective.score (Engine.objective engine) machine m in
   let variants = Derive.variants machine kernel in
   let log = Search_log.create () in
+  let armed = Engine.prefilter engine <> None in
   (* Triage: measure every variant once at its model-initial point and
      fully search only the most promising — the "models limit the search
      to a small number of candidate implementations" part of the
      paper's abstract.  The triage points are independent across
      variants, so they evaluate as one engine batch. *)
   let triaged =
+    if armed then []
+    else
     let pointed =
       List.filter_map
         (fun v ->
@@ -68,8 +75,7 @@ let optimize_with ?(mode = Executor.default_budget) ?(max_variants = 4) engine
         (List.map2
            (fun (v, _) ev ->
              match ev with
-             | Some ev ->
-               [ (v, Executor.cycles ev.Engine.measurement) ]
+             | Some ev -> [ (v, score ev.Engine.measurement) ]
              | None -> [])
            pointed evaluations)
     in
@@ -77,7 +83,45 @@ let optimize_with ?(mode = Executor.default_budget) ?(max_variants = 4) engine
     List.filteri (fun i _ -> i < max_variants) (List.map fst sorted)
   in
   let outcomes =
-    List.filter_map (Search.tune_variant engine ~n ~mode ~log) triaged
+    if armed then
+      (* Analytical triage: rank every variant's model-initial point
+         with the predictor (zero simulations) and tune the best-ranked
+         variant, falling back down the ranking when a search comes up
+         empty.  Combined with the armed batch search this is what
+         makes the pre-filter's >=3x simulation saving possible: the
+         model, not the simulator, narrows both the variant and the
+         candidate sets. *)
+      let ranked =
+        List.map fst
+          (List.sort
+             (fun (_, s1) (_, s2) -> compare s1 s2)
+             (List.filter_map
+                (fun v ->
+                  match Search.model_point machine ~n v with
+                  | None -> None
+                  | Some bindings ->
+                    let s =
+                      match
+                        Predict.score_point machine v ~n ~bindings ~prefetch:[]
+                      with
+                      | s when Float.is_nan s -> infinity
+                      | s -> s
+                      | exception _ -> infinity
+                    in
+                    Some (v, s))
+                variants))
+      in
+      let keep = max 1 (max_variants / 4) in
+      let rec first k = function
+        | [] -> []
+        | _ when k = 0 -> []
+        | v :: rest -> (
+          match Search.tune_variant engine ~n ~mode ~log v with
+          | Some o -> o :: first (k - 1) rest
+          | None -> first k rest)
+      in
+      first keep ranked
+    else List.filter_map (Search.tune_variant engine ~n ~mode ~log) triaged
   in
   match outcomes with
   | [] ->
@@ -110,15 +154,16 @@ let optimize_with ?(mode = Executor.default_budget) ?(max_variants = 4) engine
     let best =
       List.fold_left
         (fun acc o ->
-          if Executor.cycles o.Search.measurement < Executor.cycles acc.Search.measurement
-          then o
+          if score o.Search.measurement < score acc.Search.measurement then o
           else acc)
         o rest
     in
     { outcome = best; measurement = best.Search.measurement; variants; log; engine }
 
-let optimize ?mode ?max_variants ?jobs machine kernel ~n =
-  optimize_with ?mode ?max_variants (Engine.create ?jobs machine) kernel ~n
+let optimize ?mode ?max_variants ?jobs ?objective ?prefilter machine kernel ~n =
+  optimize_with ?mode ?max_variants
+    (Engine.create ?jobs ?objective ?prefilter machine)
+    kernel ~n
 
 let remeasure ?(mode = Executor.default_budget) machine result ~n =
   let o = result.outcome in

@@ -54,6 +54,11 @@ val describe_infeasibility : infeasibility -> string
     @param max_variants variants kept for full search after a one-point
       model-initial triage of everything phase 1 derived (default 4).
     @param jobs evaluation parallelism (default 1; [0] = all cores).
+    @param objective what the search minimizes (default
+      [Objective.Cycles], the historical behaviour; [Energy] minimizes
+      modelled energy instead).
+    @param prefilter analytical pre-filter top-k per batch (default off;
+      see {!Engine.set_prefilter}).
     @raise No_feasible_variant when no variant has a feasible,
       measurable parameter setting (cannot happen for the bundled
       kernels on a healthy engine). *)
@@ -61,6 +66,8 @@ val optimize :
   ?mode:Executor.mode ->
   ?max_variants:int ->
   ?jobs:int ->
+  ?objective:Objective.t ->
+  ?prefilter:int ->
   Machine.t ->
   Kernels.Kernel.t ->
   n:int ->

@@ -59,6 +59,9 @@ type stats = {
   hits : int;
   fresh : int;
   pruned : int;
+  prefiltered : int;
+  model_evals : int;
+  model_seconds : float;
   failed : int;
   failed_infeasible : int;
   failed_malformed : int;
@@ -121,9 +124,19 @@ type t = {
   (* crash-only persistence: (file, tag, every) once configured *)
   mutable checkpoint : (string * string * int) option;
   mutable eval_limit : int option;
+  (* Two-stage evaluation: with [prefilter = Some k], each batch is
+     ranked by the analytical model under [objective] and only the
+     top-k candidates are simulated. *)
+  mutable objective : Objective.t;
+  mutable prefilter : int option;
+  (* prepared model analyses, keyed by (variant shape digest, n) *)
+  preds : (string * int, Predict.prepared) Hashtbl.t;
   mutable hits : int;
   mutable fresh : int;
   mutable pruned : int;
+  mutable prefiltered : int;
+  mutable model_evals : int;
+  mutable model_seconds : float;
   mutable failed : int;
   mutable failed_infeasible : int;
   mutable failed_malformed : int;
@@ -149,8 +162,12 @@ let max_trace_entries = 8
 let max_trace_words = 6_000_000
 
 let create ?(jobs = 1) ?(path = Executor.Fast) ?(faults = Faults.none)
-    ?(protocol = default_protocol) machine =
+    ?(protocol = default_protocol) ?(objective = Objective.Cycles) ?prefilter
+    machine =
   let jobs = if jobs = 0 then default_jobs () else max 1 jobs in
+  let prefilter =
+    match prefilter with Some k when k >= 1 -> Some k | _ -> None
+  in
   let protocol =
     {
       protocol with
@@ -170,9 +187,15 @@ let create ?(jobs = 1) ?(path = Executor.Fast) ?(faults = Faults.none)
     trace_words = 0;
     checkpoint = None;
     eval_limit = None;
+    objective;
+    prefilter;
+    preds = Hashtbl.create 16;
     hits = 0;
     fresh = 0;
     pruned = 0;
+    prefiltered = 0;
+    model_evals = 0;
+    model_seconds = 0.0;
     failed = 0;
     failed_infeasible = 0;
     failed_malformed = 0;
@@ -198,12 +221,27 @@ let jobs t = t.jobs
 let path t = t.path
 let faults t = t.faults
 let protocol t = t.protocol
+let objective t = t.objective
+let prefilter t = t.prefilter
+
+(* The engine's default top-k: matches [Eco]'s triage width, so a
+   pre-filtered batch keeps as many live candidates as the variant
+   triage does. *)
+let default_prefilter = 4
+
+let set_objective t o = t.objective <- o
+
+let set_prefilter t k =
+  t.prefilter <- (match k with Some k when k >= 1 -> Some k | _ -> None)
 
 let stats t =
   {
     hits = t.hits;
     fresh = t.fresh;
     pruned = t.pruned;
+    prefiltered = t.prefiltered;
+    model_evals = t.model_evals;
+    model_seconds = t.model_seconds;
     failed = t.failed;
     failed_infeasible = t.failed_infeasible;
     failed_malformed = t.failed_malformed;
@@ -240,6 +278,8 @@ let pp_stats fmt (s : stats) =
     "%d fresh evaluations, %d memo hits, %d pruned, %d failed, %.0f simulated \
      cycles, %.2fs evaluating"
     s.fresh s.hits s.pruned s.failed s.simulated_cycles s.eval_seconds;
+  if s.prefiltered > 0 then
+    Format.fprintf fmt ", %d pre-filtered" s.prefiltered;
   (match failure_breakdown s with
   | [] -> ()
   | parts ->
@@ -257,7 +297,11 @@ let pp_profile fmt (s : stats) =
     s.trace_fills;
   if s.trials_run > 0 || s.retries > 0 || s.early_stops > 0 then
     Format.fprintf fmt "; protocol: %d trials, %d retries, %d early stops"
-      s.trials_run s.retries s.early_stops
+      s.trials_run s.retries s.early_stops;
+  if s.model_evals > 0 || s.prefiltered > 0 then
+    Format.fprintf fmt
+      "; prefilter: %d model evals %.3fs, %d candidates skipped, %d simulated"
+      s.model_evals s.model_seconds s.prefiltered s.fresh
 
 let request ?(check = true) ?(prefetch = []) variant ~n ~mode ~bindings =
   { variant; n; mode; bindings; prefetch; check }
@@ -322,6 +366,35 @@ let fault_key fp =
       kvs fp.fp_prefetch;
       string_of_bool fp.fp_check;
     ]
+
+(* --- analytical pre-filter ------------------------------------------- *)
+
+let prepared t (r : request) =
+  let key = (shape_digest t r.variant, r.n) in
+  match Hashtbl.find_opt t.preds key with
+  | Some p -> p
+  | None ->
+    let p = Predict.prepare r.variant ~n:r.n in
+    Hashtbl.add t.preds key p;
+    p
+
+(* Rank score of one candidate under the engine's objective.  A
+   candidate the model cannot score ranks first (negative infinity):
+   never skip what cannot be ranked. *)
+let model_score t (r : request) =
+  let t0 = Unix_time.now () in
+  let s =
+    match
+      Predict.score ~objective:t.objective t.machine (prepared t r)
+        ~bindings:r.bindings ~prefetch:r.prefetch
+    with
+    | s when Float.is_nan s -> neg_infinity
+    | s -> s
+    | exception _ -> neg_infinity
+  in
+  t.model_evals <- t.model_evals + 1;
+  t.model_seconds <- t.model_seconds +. (Unix_time.now () -. t0);
+  s
 
 let build_program machine (r : request) =
   match Variant.instantiate r.variant ~bindings:r.bindings with
@@ -650,6 +723,9 @@ type checkpoint_blob = {
   ck_hits : int;
   ck_fresh : int;
   ck_pruned : int;
+  ck_prefiltered : int;
+  ck_model_evals : int;
+  ck_model_seconds : float;
   ck_failed : int;
   ck_failed_infeasible : int;
   ck_failed_malformed : int;
@@ -669,7 +745,10 @@ type checkpoint_blob = {
   ck_best : float option;
 }
 
-let checkpoint_magic = "ECO-CHECKPOINT-1\n"
+(* Version 2: the blob gained the pre-filter counters.  Old files fail
+   the magic check and load as "corrupt" — crash-only semantics, the
+   run starts fresh instead of mis-restoring counters. *)
+let checkpoint_magic = "ECO-CHECKPOINT-2\n"
 
 let best_cycles t =
   Hashtbl.fold
@@ -695,6 +774,9 @@ let save_checkpoint t =
         ck_hits = t.hits;
         ck_fresh = t.fresh;
         ck_pruned = t.pruned;
+        ck_prefiltered = t.prefiltered;
+        ck_model_evals = t.model_evals;
+        ck_model_seconds = t.model_seconds;
         ck_failed = t.failed;
         ck_failed_infeasible = t.failed_infeasible;
         ck_failed_malformed = t.failed_malformed;
@@ -780,6 +862,9 @@ let load_checkpoint t ~tag file =
       t.hits <- ck.ck_hits;
       t.fresh <- ck.ck_fresh;
       t.pruned <- ck.ck_pruned;
+      t.prefiltered <- ck.ck_prefiltered;
+      t.model_evals <- ck.ck_model_evals;
+      t.model_seconds <- ck.ck_model_seconds;
       t.failed <- ck.ck_failed;
       t.failed_infeasible <- ck.ck_failed_infeasible;
       t.failed_malformed <- ck.ck_failed_malformed;
@@ -974,13 +1059,22 @@ let parallel_map jobs f arr =
   end;
   Array.map Option.get out
 
+let note_prefiltered t ?log () =
+  t.prefiltered <- t.prefiltered + 1;
+  match log with Some log -> Search_log.note_prefiltered log | None -> ()
+
 let evaluate_batch t ?log reqs =
   let reqs = List.map canonical reqs in
-  if t.jobs <= 1 then List.map (evaluate_canonical t ?log) reqs
+  if t.jobs <= 1 && t.prefilter = None then
+    (* the historical serial path, bit-for-bit *)
+    List.map (evaluate_canonical t ?log) reqs
   else begin
     (* Plan: classify each request as a memo hit, a duplicate of an
        earlier slot, or a scheduled miss.  Each miss becomes a pure
-       task built by [task_of] on the coordinator. *)
+       task built by [task_of] on the coordinator.  With a pre-filter,
+       this plan path runs at any [jobs] (including 1), so the skipped
+       set — and hence every downstream number — is identical at any
+       parallelism. *)
     let slots = Hashtbl.create 16 in
     let t0 = Unix_time.now () in
     let plan =
@@ -998,25 +1092,75 @@ let evaluate_batch t ?log reqs =
         reqs
     in
     t.memo_seconds <- t.memo_seconds +. (Unix_time.now () -. t0);
+    let run_entries =
+      List.filter_map
+        (function `Run (r, fp, slot) -> Some (r, fp, slot) | `Hit _ | `Dup _ -> None)
+        plan
+    in
+    (* Stage 1: analytically rank the feasible fresh candidates and keep
+       only the top-k for simulation.  Infeasible candidates bypass the
+       ranking — their "evaluation" is pure constraint arithmetic that
+       must still record a pruned entry.  Skipped candidates are NOT
+       memoized: a later request for the same point simulates it. *)
+    let skip = Hashtbl.create 16 in
+    (match t.prefilter with
+    | None -> ()
+    | Some k ->
+      let rankable =
+        List.filter
+          (fun ((r : request), _, _) ->
+            (not r.check) || Variant.feasible r.variant ~n:r.n r.bindings)
+          run_entries
+      in
+      if List.length rankable > k then begin
+        let scored =
+          List.map (fun (r, fp, slot) -> (model_score t r, slot, fp)) rankable
+        in
+        let sorted =
+          List.sort
+            (fun (a, sa, _) (b, sb, _) ->
+              match compare a b with 0 -> compare sa sb | c -> c)
+            scored
+        in
+        List.iteri
+          (fun i (_, _, fp) -> if i >= k then Hashtbl.replace skip fp ())
+          sorted
+      end);
+    let executed =
+      List.filter (fun (_, fp, _) -> not (Hashtbl.mem skip fp)) run_entries
+    in
     let to_run =
       Array.of_list
-        (List.filter_map
-           (function
-             | `Run (r, fp, _) ->
-               Some (task_of t r fp ~dt:(candidate_dt t r fp))
-             | `Hit _ | `Dup _ -> None)
-           plan)
+        (List.map
+           (fun (r, fp, _) -> task_of t r fp ~dt:(candidate_dt t r fp))
+           executed)
     in
     let t0 = Unix_time.now () in
     let raws = parallel_map t.jobs (fun task -> task ()) to_run in
     t.eval_seconds <- t.eval_seconds +. (Unix_time.now () -. t0);
+    let raw_of_slot = Hashtbl.create 16 in
+    List.iteri
+      (fun i (_, _, slot) -> Hashtbl.replace raw_of_slot slot raws.(i))
+      executed;
     (* Commit in request order: memo, telemetry and log end up identical
        to a serial evaluation of the same list (a duplicate always
-       follows the slot that simulates it, so it resolves as a hit). *)
+       follows the slot that resolves it, so it lands as a hit — or as
+       another pre-filter skip when its slot was skipped). *)
     List.map
       (function
-        | `Hit fp | `Dup fp -> serve_hit t ?log (Hashtbl.find t.memo fp)
-        | `Run (r, fp, slot) -> commit t ?log r fp raws.(slot))
+        | `Hit fp -> serve_hit t ?log (Hashtbl.find t.memo fp)
+        | `Dup fp -> (
+          match Hashtbl.find_opt t.memo fp with
+          | Some entry -> serve_hit t ?log entry
+          | None ->
+            note_prefiltered t ?log ();
+            None)
+        | `Run (r, fp, slot) ->
+          if Hashtbl.mem skip fp then begin
+            note_prefiltered t ?log ();
+            None
+          end
+          else commit t ?log r fp (Hashtbl.find raw_of_slot slot))
       plan
   end
 

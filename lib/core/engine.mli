@@ -97,12 +97,18 @@ val default_protocol : protocol
     measurement faults; [protocol] (default {!default_protocol})
     configures the resilient measurement protocol.  With the defaults —
     no active fault plan and [trials = 1] — measurements are bit-for-bit
-    what they were without the robustness layer. *)
+    what they were without the robustness layer.
+
+    [objective] (default [Objective.Cycles]) is what pre-filter ranking
+    minimizes; [prefilter] (default off; values < 1 disable) arms the
+    two-stage batch evaluation described at {!set_prefilter}. *)
 val create :
   ?jobs:int ->
   ?path:Executor.path ->
   ?faults:Faults.t ->
   ?protocol:protocol ->
+  ?objective:Objective.t ->
+  ?prefilter:int ->
   Machine.t ->
   t
 
@@ -114,6 +120,26 @@ val jobs : t -> int
 val path : t -> Executor.path
 val faults : t -> Faults.t
 val protocol : t -> protocol
+val objective : t -> Objective.t
+val prefilter : t -> int option
+
+(** The default top-k for [--prefilter] without a value: 4, matching
+    {!Eco}'s triage width. *)
+val default_prefilter : int
+
+val set_objective : t -> Objective.t -> unit
+
+(** Arm (or, with [None] / values < 1, disarm) the analytical
+    pre-filter: each {!evaluate_batch} ranks its fresh feasible
+    candidates with {!Predict} under the engine's objective and
+    simulates only the top-k.  Skipped candidates return [None], are
+    counted in {!stats} ([prefiltered]) and via
+    {!Search_log.note_prefiltered}, and are {e not} memoized, so a
+    later request can still measure them.  Memoization, the fault
+    protocol and checkpointing are unaffected — and the skipped set is
+    a pure function of the batch, so results stay bit-identical at any
+    [jobs]. *)
+val set_prefilter : t -> int option -> unit
 
 (** One candidate point of one variant. *)
 type request = {
@@ -264,6 +290,11 @@ type stats = {
   hits : int;  (** requests served from the memo table *)
   fresh : int;  (** actual simulations run *)
   pruned : int;  (** candidates rejected by constraints, no simulation *)
+  prefiltered : int;
+      (** candidates skipped by the analytical pre-filter (feasible,
+          ranked outside the batch top-k, never simulated) *)
+  model_evals : int;  (** analytical predictions computed *)
+  model_seconds : float;  (** wall time inside the analytical model *)
   failed : int;  (** instantiation/measurement failures (total) *)
   failed_infeasible : int;  (** {!Infeasible_instantiation} *)
   failed_malformed : int;  (** {!Malformed_program} *)

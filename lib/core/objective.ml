@@ -1,0 +1,58 @@
+type t = Cycles | Energy
+
+let to_string = function Cycles -> "cycles" | Energy -> "energy"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "cycles" | "time" -> Some Cycles
+  | "energy" -> Some Energy
+  | _ -> None
+
+let all = [ Cycles; Energy ]
+
+(* Per-access energy coefficients, in arbitrary units normalized to one
+   L1 access.  The ratios (L1 : L2 : L3 : DRAM roughly 1 : 5 : 20 : 100)
+   follow the published CACTI-style scaling the ECM energy literature
+   uses; absolute calibration does not matter for an objective that only
+   ever compares candidates on the same machine. *)
+let level_energy = function 0 -> 1.0 | 1 -> 5.0 | _ -> 20.0
+let memory_energy = 100.0
+let tlb_energy = 30.0
+
+(* Static/leakage energy per cycle: couples the energy objective to run
+   time, so a slower candidate is never free even when its traffic is. *)
+let static_per_cycle = 0.25
+
+let energy_of machine ~accesses ~misses ~tlb_misses ~cycles =
+  let n = Machine.levels machine in
+  let e = ref (accesses *. level_energy 0) in
+  for l = 1 to n - 1 do
+    e := !e +. (misses (l - 1) *. level_energy l)
+  done;
+  e := !e +. (misses (n - 1) *. memory_energy);
+  !e +. (tlb_misses *. tlb_energy) +. (cycles *. static_per_cycle)
+
+let score t machine (m : Executor.measurement) =
+  match t with
+  | Cycles -> Executor.cycles m
+  | Energy ->
+    (* Budgeted measurements carry sampled counters and an extrapolation
+       ratio; energy is extensive, so the counters scale like the
+       cycles did. *)
+    let s = m.Executor.scale in
+    let c = m.Executor.counters in
+    energy_of machine
+      ~accesses:(s *. float_of_int (Memsim.Counters.accesses c))
+      ~misses:(fun l -> s *. float_of_int (Memsim.Counters.level_misses c l))
+      ~tlb_misses:(s *. float_of_int c.Memsim.Counters.tlb_misses)
+      ~cycles:(Executor.cycles m)
+
+let predicted t machine (p : Model.prediction) =
+  match t with
+  | Cycles -> Model.cycles p
+  | Energy ->
+    energy_of machine ~accesses:p.Model.accesses
+      ~misses:(fun l -> p.Model.level_misses.(l))
+      ~tlb_misses:p.Model.tlb_misses ~cycles:(Model.cycles p)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,34 @@
+(** What the search minimizes.
+
+    The cycles-only code paths of {!Search}, {!Eco} and {!Engine} are
+    generalized over this small abstraction: an objective scores both a
+    simulator-backed {!Executor.measurement} and an analytical
+    {!Model.prediction} on one comparable scale, so the same search
+    machinery can minimize run time or a cycles-coupled energy estimate,
+    and the engine's analytical pre-filter can rank candidates under
+    whichever objective the search is chasing.
+
+    [Cycles] scores are exactly {!Executor.cycles} / {!Model.cycles}, so
+    an objective-generic search with [Cycles] is bit-for-bit the old
+    cycles-only search.  [Energy] charges each hierarchy level's traffic
+    with a per-access energy (L1 : L2 : L3 : DRAM of roughly
+    1 : 5 : 20 : 100, the CACTI-style ratios the ECM energy literature
+    uses) plus a static-per-cycle term that couples it to run time. *)
+
+type t = Cycles | Energy
+
+val all : t list
+val to_string : t -> string
+
+(** ["cycles"], ["time"], ["energy"] (case-insensitive). *)
+val of_string : string -> t option
+
+(** Score a measurement; lower is better.  [Cycles] is exactly
+    {!Executor.cycles}.  [Energy] scales the (possibly sampled)
+    counters by the measurement's extrapolation ratio. *)
+val score : t -> Machine.t -> Executor.measurement -> float
+
+(** Score an analytical prediction on the same scale. *)
+val predicted : t -> Machine.t -> Model.prediction -> float
+
+val pp : Format.formatter -> t -> unit

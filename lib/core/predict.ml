@@ -1,0 +1,122 @@
+module Reuse = Analysis.Reuse
+
+type prepared = {
+  variant : Variant.t;
+  n : int;
+  ranges : (string * int) list;
+  groups : Reuse.group list;
+  flops : int;
+  copy_temps : (string * string) list;
+}
+
+(* Full trip count of every original loop at problem size [n].  Bounds
+   referencing outer loop variables (none of the bundled kernels, but
+   legal IR) are approximated at the outer loop's midpoint. *)
+let loop_ranges (kernel : Kernels.Kernel.t) ~n =
+  let size_param = kernel.Kernels.Kernel.size_param in
+  let rec go env acc stmts =
+    List.fold_left
+      (fun acc s ->
+        match s with
+        | Ir.Stmt.Loop l ->
+          let lookup v =
+            if v = size_param then n
+            else match List.assoc_opt v env with Some x -> x | None -> n
+          in
+          let lo = Ir.Bexp.eval lookup l.Ir.Stmt.lo
+          and hi = Ir.Bexp.eval lookup l.Ir.Stmt.hi in
+          let trip = max 1 (((hi - lo) / max 1 l.Ir.Stmt.step) + 1) in
+          let acc =
+            if List.mem_assoc l.Ir.Stmt.var acc then acc
+            else (l.Ir.Stmt.var, trip) :: acc
+          in
+          go ((l.Ir.Stmt.var, (lo + hi) / 2) :: env) acc l.Ir.Stmt.body
+        | _ -> acc)
+      acc stmts
+  in
+  List.rev
+    (go [] [] kernel.Kernels.Kernel.program.Ir.Program.body)
+
+let prepare (variant : Variant.t) ~n =
+  let kernel = variant.Variant.kernel in
+  {
+    variant;
+    n;
+    ranges = loop_ranges kernel ~n;
+    groups =
+      Reuse.groups_of_body kernel.Kernels.Kernel.program.Ir.Program.body;
+    flops = kernel.Kernels.Kernel.flops n;
+    copy_temps =
+      List.map
+        (fun (c : Variant.copy_spec) -> (c.Variant.temp, c.Variant.array))
+        variant.Variant.copies;
+  }
+
+let range p v = match List.assoc_opt v p.ranges with Some r -> r | None -> 1
+
+(* The nest a variant point instantiates, reconstructed from the recipe
+   alone (no program is built): tile-controlling loops outermost in the
+   variant's control order, then the element loops in element order,
+   with the unroll factors annotated on their loops. *)
+let nest_of p ~bindings ~prefetch =
+  let value param =
+    match List.assoc_opt param bindings with Some v -> v | None -> 1
+  in
+  let tile_of v =
+    Option.map
+      (fun param -> max 1 (min (range p v) (value param)))
+      (List.assoc_opt v p.variant.Variant.tiles)
+  in
+  let control_loops =
+    List.map
+      (fun (v, _) ->
+        let r = range p v in
+        let t = match tile_of v with Some t -> t | None -> r in
+        { Model.var = v; trip = (r + t - 1) / t; unroll = 1 })
+      p.variant.Variant.tiles
+  in
+  let element_loops =
+    List.map
+      (fun v ->
+        let trip = match tile_of v with Some t -> t | None -> range p v in
+        let unroll =
+          match List.assoc_opt v p.variant.Variant.unrolls with
+          | Some param -> max 1 (min trip (value param))
+          | None -> 1
+        in
+        { Model.var = v; trip; unroll })
+      p.variant.Variant.element_order
+  in
+  let reuse_var =
+    match List.rev p.variant.Variant.element_order with
+    | v :: _ -> Some v
+    | [] -> None
+  in
+  let prefetch =
+    (* Prefetches of copy temporaries act on the copied array's stream. *)
+    List.map
+      (fun (array, d) ->
+        match List.assoc_opt array p.copy_temps with
+        | Some original -> (original, d)
+        | None -> (array, d))
+      prefetch
+  in
+  {
+    Model.loops = control_loops @ element_loops;
+    groups = p.groups;
+    flops = p.flops;
+    reuse_var;
+    prefetch;
+    copied =
+      List.map (fun (c : Variant.copy_spec) -> c.Variant.array)
+        p.variant.Variant.copies;
+  }
+
+let predict machine p ~bindings ~prefetch =
+  Model.predict machine (nest_of p ~bindings ~prefetch)
+
+let score ?(objective = Objective.Cycles) machine p ~bindings ~prefetch =
+  Objective.predicted objective machine (predict machine p ~bindings ~prefetch)
+
+let score_point ?objective machine variant ~n ~bindings ~prefetch =
+  score ?objective machine (prepare variant ~n) ~bindings ~prefetch

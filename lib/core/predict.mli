@@ -1,0 +1,44 @@
+(** Bridge from search-side candidates ({!Variant} points) to the
+    analytical model ({!Model.nest}).
+
+    The model library is deliberately ignorant of variants; this module
+    reconstructs the loop nest a variant point would instantiate —
+    control loops from the tile recipe, element loops in element order,
+    unroll factors annotated — straight from the recipe, without
+    building or transforming any program.  [prepare] hoists the
+    binding-independent work (loop ranges, reference groups, flop
+    count), so scoring many points of one variant costs only the model
+    arithmetic. *)
+
+type prepared
+
+(** Binding-independent analysis of one variant at one problem size. *)
+val prepare : Variant.t -> n:int -> prepared
+
+(** Predict the point's behaviour analytically (no simulation). *)
+val predict :
+  Machine.t ->
+  prepared ->
+  bindings:(string * int) list ->
+  prefetch:(string * int) list ->
+  Model.prediction
+
+(** The point's ranking score under [objective] (default [Cycles]);
+    lower is better. *)
+val score :
+  ?objective:Objective.t ->
+  Machine.t ->
+  prepared ->
+  bindings:(string * int) list ->
+  prefetch:(string * int) list ->
+  float
+
+(** One-shot [prepare] + [score], for callers scoring a single point. *)
+val score_point :
+  ?objective:Objective.t ->
+  Machine.t ->
+  Variant.t ->
+  n:int ->
+  bindings:(string * int) list ->
+  prefetch:(string * int) list ->
+  float

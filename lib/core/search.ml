@@ -13,7 +13,7 @@ type state = {
   log : Search_log.t option;
   variant : Variant.t;
   mutable best : outcome option;
-  (* Leading candidates by measured cycles (ascending), kept only under
+  (* Leading candidates by objective score (ascending), kept only under
      an active noisy fault plan, for the post-search confirmation pass. *)
   mutable top : (outcome * float) list;
 }
@@ -22,6 +22,10 @@ let leaderboard_size = 5
 
 let line_elems st = Machine.line_elems (Engine.machine st.engine) 0
 
+(* Objective value of a measurement under the engine's objective; with
+   the default [Cycles] this is exactly [Executor.cycles]. *)
+let score st m = Objective.score (Engine.objective st.engine) (Engine.machine st.engine) m
+
 let request st ~bindings ~prefetch =
   Engine.request st.variant ~n:st.n ~mode:st.mode ~bindings ~prefetch
 
@@ -29,7 +33,7 @@ let request st ~bindings ~prefetch =
    too: the first evaluation of a point may have happened in another
    search (triage, another stage) that shares the engine. *)
 let consider st ~bindings ~prefetch (ev : Engine.evaluation) =
-  let c = Executor.cycles ev.Engine.measurement in
+  let c = score st ev.Engine.measurement in
   let outcome () =
     {
       variant = st.variant;
@@ -40,7 +44,7 @@ let consider st ~bindings ~prefetch (ev : Engine.evaluation) =
     }
   in
   (match st.best with
-  | Some b when Executor.cycles b.measurement <= c -> ()
+  | Some b when score st b.measurement <= c -> ()
   | _ -> st.best <- Some (outcome ()));
   if Engine.confirming st.engine then
     if
@@ -278,6 +282,258 @@ let adjust st ~prefetch bindings current =
     in
     grow bindings current
 
+(* --- model-guided (armed) tuning --------------------------------------
+
+   Used when the engine's analytical pre-filter is active.  The serial
+   descent above adapts one simulation at a time, so a pre-filter can
+   skip almost nothing; this path instead proposes each stage's whole
+   candidate neighbourhood as ONE wide batch and lets the engine rank
+   it analytically and simulate only the top k — a stage costs k
+   simulations instead of a descent.  The unfiltered path is untouched
+   and bit-identical to the historical search. *)
+
+let cross lists =
+  List.fold_right
+    (fun (p, vs) tails ->
+      List.concat_map (fun tail -> List.map (fun v -> (p, v) :: tail) vs) tails)
+    lists [ [] ]
+
+(* Deterministically thin a candidate list to at most [k] entries. *)
+let cap k xs =
+  let len = List.length xs in
+  if len <= k then xs
+  else
+    let stride = (len + k - 1) / k in
+    List.filteri (fun i _ -> i mod stride = 0) xs
+
+(* One stage as a single wide batch: the engine's pre-filter decides
+   which of these actually simulate.  An optional [buckets] partition
+   splits the grid into separately-filtered batches, so the model's
+   favourites from EACH region get simulated — the model's ordering is
+   only trusted locally, and a few percent of global bias would
+   otherwise starve whole basins of simulations. *)
+let stage_grid ?buckets st stage ~prefetch ~values bindings =
+  if stage = [] then
+    match evaluate st ~bindings ~prefetch with
+    | Some c -> Some (bindings, c)
+    | None -> None
+  else
+    let updates = cross (List.map (fun p -> (p, values p)) stage) in
+    let candidates = List.map (set_params bindings) updates in
+    let groups =
+      match buckets with
+      | None -> [ candidates ]
+      | Some key ->
+        let tagged = List.map (fun c -> (key c, c)) candidates in
+        let ids = List.sort_uniq compare (List.map fst tagged) in
+        List.map
+          (fun id ->
+            List.filter_map
+              (fun (id', c) -> if id' = id then Some c else None)
+              tagged)
+          ids
+    in
+    List.fold_left
+      (fun acc candidates ->
+        match evaluate_sweep st ~prefetch (cap 512 candidates) with
+        | Some (b, c) -> (
+          match acc with
+          | Some (_, c') when c' <= c -> acc
+          | _ -> Some (b, c))
+        | None -> acc)
+      None groups
+
+let unroll_grid_values _ = [ 1; 2; 3; 4; 5; 6; 8 ]
+
+(* Tile values: the model-initial uniform footprint and fractions of
+   it, plus powers of two — the refinement pass nudges from there. *)
+let tile_grid_values st m0 _ =
+  let around = [ m0; m0 * 3 / 4; m0 * 2 / 3; m0 / 2; m0 / 4 ] in
+  let rec pows v acc = if v > st.n then acc else pows (v * 2) (v :: acc) in
+  List.sort_uniq compare (List.filter (fun v -> v >= 1) (around @ pows 8 []))
+
+(* Batched prefetch search: each round proposes (array, distance)
+   extensions of the chosen layer for every remaining array as one
+   batch, commits the best improving one, and stops when no extension
+   improves. *)
+(* Prefetch candidates get simulated exhaustively: the analytical
+   model ranks loop restructurings well but barely distinguishes
+   prefetch distances, so each sweep is chunked into batches no larger
+   than the pre-filter's top-k — a batch that fits within k is never
+   skipped.  Prefetch sweeps are small (arrays x distances), so this
+   stays cheap. *)
+let evaluate_prefetch_sweep st ~bindings prefs =
+  let bindings = List.sort compare bindings in
+  let prefs = List.map (List.sort compare) prefs in
+  let chunk =
+    match Engine.prefilter st.engine with
+    | Some k -> max 1 k
+    | None -> max 1 (List.length prefs)
+  in
+  let rec chunks = function
+    | [] -> []
+    | prefs ->
+      let rec take n = function
+        | x :: rest when n > 0 ->
+          let h, t = take (n - 1) rest in
+          (x :: h, t)
+        | rest -> ([], rest)
+      in
+      let h, t = take chunk prefs in
+      h :: chunks t
+  in
+  List.fold_left
+    (fun acc prefs ->
+      let evs =
+        Engine.evaluate_batch st.engine ?log:st.log
+          (List.map (fun prefetch -> request st ~bindings ~prefetch) prefs)
+      in
+      List.fold_left2
+        (fun acc prefetch ev ->
+          match ev with
+          | None -> acc
+          | Some ev -> (
+            let c = consider st ~bindings ~prefetch ev in
+            match acc with
+            | Some (_, c') when c' <= c -> acc
+            | _ -> Some (prefetch, c)))
+        acc prefs evs)
+    None (chunks prefs)
+
+let prefetch_search_armed st ~bindings current =
+  match Engine.build st.engine (request st ~bindings ~prefetch:[]) with
+  | None -> ([], current)
+  | Some program ->
+    let arrays = Transform.Prefetch_insert.candidates program in
+    let distances = [ 2; 4; 8; 16 ] in
+    (* Fixed-order greedy: visit each prefetchable array once, try the
+       distance grid on top of what's committed so far, and keep the
+       best improving extension.  One pass costs |arrays| x |distances|
+       simulations — the committed set usually ends up covering every
+       array anyway, so the free-order greedy's extra rounds buy
+       little. *)
+    List.fold_left
+      (fun (chosen, best_c) a ->
+        let prefs = List.map (fun d -> (a, d) :: chosen) distances in
+        match evaluate_prefetch_sweep st ~bindings prefs with
+        | Some (p, c) when c < best_c -> (p, c)
+        | _ -> (chosen, best_c))
+      ([], current) arrays
+
+(* Like [linear_refine], but with a round cap: the armed path trades
+   the long tail of the descent for a bounded simulation count. *)
+let rec linear_refine_capped st stage ~prefetch ~delta ~rounds bindings current
+    =
+  if rounds <= 0 then (bindings, current)
+  else
+    let candidates =
+      List.concat_map
+        (fun p ->
+          let v = List.assoc p bindings in
+          let d = delta p in
+          List.filter_map
+            (fun v' ->
+              if v' >= 1 && v' <> v then Some (set_params bindings [ (p, v') ])
+              else None)
+            [ v + d; v - d ])
+        stage
+    in
+    match evaluate_sweep st ~prefetch candidates with
+    | Some (cand, c) when c < current ->
+      linear_refine_capped st stage ~prefetch ~delta ~rounds:(rounds - 1) cand c
+    | _ -> (bindings, current)
+
+(* Force-simulate a handful of anchor points (each a singleton batch,
+   which the pre-filter never skips): the model's ranking is only
+   trusted within a batch, so the capacity-filling uniform points the
+   constraints recommend always get measured even when the model's
+   top-k looks elsewhere. *)
+let evaluate_anchors st ~prefetch anchors best =
+  List.fold_left
+    (fun acc bindings ->
+      match evaluate st ~bindings ~prefetch with
+      | Some c -> (
+        match acc with
+        | Some (_, c') when c' <= c -> acc
+        | _ -> Some (bindings, c))
+      | None -> acc)
+    best anchors
+
+let tune_armed st =
+  let unroll_params = List.map snd st.variant.Variant.unrolls in
+  let tile_params = List.map snd st.variant.Variant.tiles in
+  let start = List.map (fun p -> (p, 1)) (unroll_params @ tile_params) in
+  let m0 =
+    match initial_uniform st tile_params start with Some m -> m | None -> 1
+  in
+  let start =
+    if tile_params = [] then start
+    else set_params start (List.map (fun p -> (p, m0)) tile_params)
+  in
+  let u0 =
+    match initial_uniform st unroll_params start with Some m -> m | None -> 1
+  in
+  let stage1 =
+    let best =
+      stage_grid st unroll_params ~prefetch:[] ~values:unroll_grid_values start
+    in
+    (* anchors: the constraints' own starting point — maximal uniform
+       unrolls at the model-initial tiles — plus its single-parameter
+       bumps in both directions, which cover the near-square register
+       blocks (u0+-1) the register-pressure constraint actually
+       favours; infeasible bumps prune for free *)
+    let base = set_params start (List.map (fun p -> (p, u0)) unroll_params) in
+    evaluate_anchors st ~prefetch:[]
+      (base
+      :: List.concat_map
+           (fun p ->
+             set_params base [ (p, u0 + 1) ]
+             :: (if u0 > 1 then [ set_params base [ (p, u0 - 1) ] ] else []))
+           unroll_params)
+      best
+  in
+  match stage1 with
+  | None -> None
+  | Some (b1, _) -> (
+    let stage2 =
+      let best =
+        stage_grid st tile_params ~prefetch:[]
+          ~values:(tile_grid_values st m0) b1
+      in
+      (* anchors: uniform capacity-filling footprints with stage-1's
+         unrolls *)
+      evaluate_anchors st ~prefetch:[]
+        (List.filter_map
+           (fun m ->
+             if m >= 1 && tile_params <> [] then
+               Some (set_params b1 (List.map (fun p -> (p, m)) tile_params))
+             else None)
+           [ m0; m0 * 9 / 10; m0 * 3 / 4 ])
+        best
+    in
+    match stage2 with
+    | None -> None
+    | Some (b2, c2) ->
+      let line = line_elems st in
+      let delta p = if List.mem p unroll_params then 1 else max 1 line in
+      let b2, c2 =
+        linear_refine_capped st
+          (unroll_params @ tile_params)
+          ~prefetch:[] ~delta ~rounds:2 b2 c2
+      in
+      let prefetch, c3 = prefetch_search_armed st ~bindings:b2 c2 in
+      (* Short refinement with prefetch in place: prefetch shifts the
+         latency/issue balance, which can move the best tile/unroll
+         point by a notch. *)
+      let b3, c4 =
+        linear_refine_capped st
+          (unroll_params @ tile_params)
+          ~prefetch ~delta ~rounds:1 b2 c3
+      in
+      let b4, _ = adjust st ~prefetch b3 c4 in
+      ignore b4;
+      st.best)
+
 (* The post-search confirmation pass: under a noisy fault plan the
    minimum over all measured values is biased low (winner's curse), so
    the leading candidates are re-measured with fresh, longer trials and
@@ -296,7 +552,7 @@ let confirm_best st =
                  ~bindings:o.bindings ~prefetch:o.prefetch)
               ~trials
           with
-          | Some m -> Some ({ o with measurement = m }, Executor.cycles m)
+          | Some m -> Some ({ o with measurement = m }, score st m)
           | None -> None)
         st.top
     in
@@ -311,6 +567,9 @@ let tune_variant engine ~n ~mode ~log variant =
   let st =
     { engine; n; mode; log = Some log; variant; best = None; top = [] }
   in
+  if Engine.prefilter engine <> None then
+    match tune_armed st with None -> None | Some _ -> confirm_best st
+  else
   let unroll_params = List.map snd variant.Variant.unrolls in
   let tile_params = List.map snd variant.Variant.tiles in
   let all_params = unroll_params @ tile_params in

@@ -21,7 +21,13 @@
     served from its memo table, and the independent candidate
     neighbourhoods of the shape walk and linear refinement evaluate as
     batches — in parallel when the engine has [jobs > 1], with identical
-    results either way. *)
+    results either way.
+
+    Candidates are compared under the engine's {!Objective}
+    ({!Engine.objective}): with the default [Cycles] the comparisons are
+    exactly simulated cycles, byte-for-byte the historical behaviour;
+    with [Energy] the search minimizes the modelled energy of the
+    measurement instead. *)
 
 type outcome = {
   variant : Variant.t;

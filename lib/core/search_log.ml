@@ -11,22 +11,32 @@ type t = {
   mutable hits : int;
   mutable pruned : int;
   mutable failed : int;
+  mutable prefiltered : int;
   started : float;
 }
 
 let create () =
-  { entries = []; hits = 0; pruned = 0; failed = 0; started = Unix_time.now () }
+  {
+    entries = [];
+    hits = 0;
+    pruned = 0;
+    failed = 0;
+    prefiltered = 0;
+    started = Unix_time.now ();
+  }
 
 let record t e = t.entries <- e :: t.entries
 let note_hit t = t.hits <- t.hits + 1
 let note_pruned t = t.pruned <- t.pruned + 1
 let note_failed t = t.failed <- t.failed + 1
+let note_prefiltered t = t.prefiltered <- t.prefiltered + 1
 let entries t = List.rev t.entries
 let points t = List.length t.entries
 let fresh = points
 let hits t = t.hits
 let pruned t = t.pruned
 let failed t = t.failed
+let prefiltered t = t.prefiltered
 let seconds t = Unix_time.now () -. t.started
 
 let best t =
@@ -43,8 +53,11 @@ let pp_bindings fmt bindings =
 let pp fmt t =
   Format.fprintf fmt
     "%d points in %.2fs (%d cache hits excluded, %d pruned by constraints, %d \
-     failed)@."
-    (points t) (seconds t) (hits t) (pruned t) (failed t);
+     failed%s)@."
+    (points t) (seconds t) (hits t) (pruned t) (failed t)
+    (if prefiltered t > 0 then
+       Printf.sprintf ", %d pre-filtered by the model" (prefiltered t)
+     else "");
   List.iter
     (fun e ->
       Format.fprintf fmt "  %s %a pref[%a] -> %.0f cycles (%.1f MFLOPS)@."

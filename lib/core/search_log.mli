@@ -35,6 +35,12 @@ val note_pruned : t -> unit
     constraint-pruned count so real failures stay visible. *)
 val note_failed : t -> unit
 
+(** Count a candidate skipped by the engine's analytical pre-filter:
+    feasible, ranked outside the batch top-k by the model, never
+    simulated (and not memoized — a later request may still measure
+    it). *)
+val note_prefiltered : t -> unit
+
 val entries : t -> entry list
 
 (** Number of distinct points evaluated (cache hits excluded). *)
@@ -52,6 +58,9 @@ val pruned : t -> int
 (** Candidates whose evaluation failed (typed reasons live in the
     engine's stats). *)
 val failed : t -> int
+
+(** Candidates skipped by the analytical pre-filter (never simulated). *)
+val prefiltered : t -> int
 
 (** Wall-clock seconds since [create]. *)
 val seconds : t -> float

@@ -21,6 +21,8 @@ let mm_sizes () =
 let jacobi_sizes () =
   if fast () then [ 40; 64; 96 ] else range 40 272 8
 
+let rankcheck_mm_sizes () = if fast () then [ 64 ] else [ 96; 160; 240 ]
+let rankcheck_jacobi_sizes () = if fast () then [ 40 ] else [ 64; 96; 120 ]
 let mm_tune_size () = env_int "ECO_MM_TUNE" 240
 let jacobi_tune_size () = env_int "ECO_JACOBI_TUNE" 120
 let table1_mm_size () = env_int "ECO_TABLE1_MM" 512

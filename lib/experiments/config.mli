@@ -15,6 +15,13 @@ val mm_sizes : unit -> int list
 (** Jacobi sweep sizes (Figure 5). *)
 val jacobi_sizes : unit -> int list
 
+(** Problem sizes the rank-agreement experiment searches at (a subset of
+    the Figure 4 / Figure 5 sweeps: each size means two full searches
+    per machine). *)
+val rankcheck_mm_sizes : unit -> int list
+
+val rankcheck_jacobi_sizes : unit -> int list
+
 (** Reference tuning size for matrix multiply / Jacobi. *)
 val mm_tune_size : unit -> int
 

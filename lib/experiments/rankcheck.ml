@@ -1,0 +1,169 @@
+type row = {
+  kernel : string;
+  machine : string;
+  n : int;
+  points : int;  (** distinct simulated candidates correlated *)
+  spearman : float;
+  recall : float;  (** top-k recall at k = [Engine.default_prefilter] *)
+  sims_off : int;  (** full simulations, pre-filter disabled *)
+  sims_on : int;  (** full simulations, pre-filter at the default k *)
+  prefiltered : int;  (** candidates the model skipped *)
+  mflops_off : float;
+  mflops_on : float;
+  degradation_pct : float;
+      (** chosen-point loss when pre-filtering: positive = slower *)
+}
+
+(* Average ranks (1-based; ties share their mean rank). *)
+let ranks xs =
+  let n = Array.length xs in
+  let idx = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare xs.(a) xs.(b)) idx;
+  let r = Array.make n 0.0 in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && xs.(idx.(!j + 1)) = xs.(idx.(!i)) do
+      incr j
+    done;
+    let avg = (float_of_int (!i + !j) /. 2.0) +. 1.0 in
+    for k = !i to !j do
+      r.(idx.(k)) <- avg
+    done;
+    i := !j + 1
+  done;
+  r
+
+(* Spearman's rho: Pearson correlation of the rank vectors (the general
+   form, correct under ties). *)
+let spearman xs ys =
+  let n = Array.length xs in
+  if n < 2 then 1.0
+  else
+    let rx = ranks xs and ry = ranks ys in
+    let mean a = Array.fold_left ( +. ) 0.0 a /. float_of_int n in
+    let mx = mean rx and my = mean ry in
+    let num = ref 0.0 and dx = ref 0.0 and dy = ref 0.0 in
+    for i = 0 to n - 1 do
+      let a = rx.(i) -. mx and b = ry.(i) -. my in
+      num := !num +. (a *. b);
+      dx := !dx +. (a *. a);
+      dy := !dy +. (b *. b)
+    done;
+    if !dx = 0.0 || !dy = 0.0 then 1.0 else !num /. sqrt (!dx *. !dy)
+
+(* Indices of the k smallest values (ties towards the earlier index —
+   the same order the engine's pre-filter uses). *)
+let top_k k xs =
+  let idx = Array.init (Array.length xs) (fun i -> i) in
+  Array.sort (fun a b -> compare (xs.(a), a) (xs.(b), b)) idx;
+  Array.to_list (Array.sub idx 0 (min k (Array.length idx)))
+
+let run_one ?mode machine kernel ~n =
+  let mode = match mode with Some m -> m | None -> Config.budget () in
+  (* Reference search: pre-filter off, every candidate fully simulated.
+     Its log is the candidate population the model is judged on. *)
+  let eng_off = Core.Engine.create machine in
+  let eco_off = Core.Eco.optimize_with ~mode eng_off kernel ~n in
+  let entries = Core.Search_log.entries eco_off.Core.Eco.log in
+  let variants =
+    List.map
+      (fun (v : Core.Variant.t) -> (v.Core.Variant.name, v))
+      eco_off.Core.Eco.variants
+  in
+  let prepared = Hashtbl.create 8 in
+  let score_entry (e : Core.Search_log.entry) =
+    match List.assoc_opt e.Core.Search_log.variant variants with
+    | None -> None
+    | Some v ->
+      let p =
+        match Hashtbl.find_opt prepared e.Core.Search_log.variant with
+        | Some p -> p
+        | None ->
+          let p = Core.Predict.prepare v ~n in
+          Hashtbl.add prepared e.Core.Search_log.variant p;
+          p
+      in
+      (match
+         Core.Predict.score machine p ~bindings:e.Core.Search_log.bindings
+           ~prefetch:e.Core.Search_log.prefetch
+       with
+      | s when Float.is_nan s -> None
+      | s -> Some (s, e.Core.Search_log.cycles)
+      | exception _ -> None)
+  in
+  let pairs = List.filter_map score_entry entries in
+  let predicted = Array.of_list (List.map fst pairs) in
+  let measured = Array.of_list (List.map snd pairs) in
+  let k = Core.Engine.default_prefilter in
+  let recall =
+    let points = Array.length measured in
+    if points = 0 then 0.0
+    else
+      let k = min k points in
+      let model_top = top_k k predicted and sim_top = top_k k measured in
+      float_of_int (List.length (List.filter (fun i -> List.mem i sim_top) model_top))
+      /. float_of_int k
+  in
+  (* Pre-filtered search: same machine, same searches, but each batch
+     simulates only the model's top k candidates. *)
+  let eng_on = Core.Engine.create ~prefilter:k machine in
+  let eco_on = Core.Eco.optimize_with ~mode eng_on kernel ~n in
+  let mflops_off = eco_off.Core.Eco.measurement.Core.Executor.mflops in
+  let mflops_on = eco_on.Core.Eco.measurement.Core.Executor.mflops in
+  {
+    kernel = kernel.Kernels.Kernel.name;
+    machine = machine.Machine.name;
+    n;
+    points = Array.length measured;
+    spearman = spearman predicted measured;
+    recall;
+    sims_off = Core.Search_log.fresh eco_off.Core.Eco.log;
+    sims_on = Core.Search_log.fresh eco_on.Core.Eco.log;
+    prefiltered = Core.Search_log.prefiltered eco_on.Core.Eco.log;
+    mflops_off;
+    mflops_on;
+    degradation_pct =
+      (if mflops_off > 0.0 then (mflops_off -. mflops_on) /. mflops_off *. 100.0
+       else 0.0);
+  }
+
+let machines () =
+  [ Machine.sgi_r10000; Machine.ultrasparc_iie; Machine.modern_3level ]
+
+let run ?mode () =
+  List.concat_map
+    (fun machine ->
+      List.map
+        (fun n -> run_one ?mode machine Kernels.Matmul.kernel ~n)
+        (Config.rankcheck_mm_sizes ())
+      @ List.map
+          (fun n -> run_one ?mode machine Kernels.Jacobi3d.kernel ~n)
+          (Config.rankcheck_jacobi_sizes ()))
+    (machines ())
+
+let render rows =
+  let header =
+    Printf.sprintf "%-10s %-16s %5s %6s %8s %8s %9s %9s %8s" "kernel"
+      "machine" "n" "points" "rho" "recall" "sims" "filtered" "deg%"
+  in
+  let line r =
+    Printf.sprintf "%-10s %-16s %5d %6d %8.3f %8.2f %4d/%-4d %9d %+8.2f"
+      r.kernel r.machine r.n r.points r.spearman r.recall r.sims_on r.sims_off
+      r.prefiltered r.degradation_pct
+  in
+  let summary =
+    let total_off = List.fold_left (fun a r -> a + r.sims_off) 0 rows in
+    let total_on = List.fold_left (fun a r -> a + r.sims_on) 0 rows in
+    let worst_deg =
+      List.fold_left (fun a r -> Float.max a r.degradation_pct) neg_infinity rows
+    in
+    Printf.sprintf
+      "simulations %d -> %d (%.1fx fewer); worst chosen-point degradation \
+       %+.2f%%"
+      total_off total_on
+      (if total_on > 0 then float_of_int total_off /. float_of_int total_on
+       else 0.0)
+      worst_deg
+  in
+  (header :: List.map line rows) @ [ ""; summary ]

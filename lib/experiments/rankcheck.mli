@@ -1,0 +1,38 @@
+(** Rank-agreement check for the analytical model: does the model order
+    candidates the way the simulator does, and what does trusting it
+    cost?
+
+    For each (kernel, machine, n) — Matrix Multiply and Jacobi at a
+    subset of the Figure 4 / Figure 5 sweep sizes, on both paper
+    machines plus the three-level modern configuration — the experiment
+    runs the full ECO search twice against fresh engines:
+
+    - {b pre-filter off}: every candidate fully simulated.  The search
+      log is the candidate population; each logged point is re-scored
+      with {!Core.Predict} and the model's ordering is compared to the
+      simulator's via Spearman's rho and top-k recall (k =
+      {!Core.Engine.default_prefilter}).
+    - {b pre-filter on} at the default k: the two-stage search.  The row
+      reports simulations saved ([sims_on] vs [sims_off], plus the
+      skipped count) and the chosen-point degradation (% MFLOPS lost at
+      the tuned point — the price of trusting the model's ranking). *)
+
+type row = {
+  kernel : string;
+  machine : string;
+  n : int;
+  points : int;  (** distinct simulated candidates correlated *)
+  spearman : float;  (** rank correlation, model score vs simulated cycles *)
+  recall : float;  (** top-k recall at k = [Engine.default_prefilter] *)
+  sims_off : int;  (** full simulations, pre-filter disabled *)
+  sims_on : int;  (** full simulations, pre-filter at the default k *)
+  prefiltered : int;  (** candidates the model skipped *)
+  mflops_off : float;
+  mflops_on : float;
+  degradation_pct : float;
+      (** chosen-point loss when pre-filtering: positive = slower *)
+}
+
+val run_one : ?mode:Core.Executor.mode -> Machine.t -> Kernels.Kernel.t -> n:int -> row
+val run : ?mode:Core.Executor.mode -> unit -> row list
+val render : row list -> string list

@@ -1,6 +1,7 @@
 let names =
   [ "table1"; "table2"; "table4"; "fig4a"; "fig4b"; "fig5a"; "fig5b";
-    "search_cost"; "ablation"; "padding"; "strategies"; "conflicts"; "noise" ]
+    "search_cost"; "ablation"; "padding"; "strategies"; "conflicts"; "noise";
+    "rankcheck" ]
 
 let banner print title =
   print "";
@@ -49,6 +50,10 @@ let run ~print ?(jobs = 1) name =
   | "noise" ->
     banner print "Extension: noise sensitivity of the guided search (SGI)";
     List.iter print (Noise.render (Noise.run ~jobs ()))
+  | "rankcheck" ->
+    banner print
+      "Extension: analytical-model rank agreement and pre-filter cost";
+    List.iter print (Rankcheck.render (Rankcheck.run ()))
   | other ->
     invalid_arg
       (Printf.sprintf "unknown experiment %s (known: %s)" other

@@ -147,6 +147,9 @@ let by_name name =
       ("sun", ultrasparc_iie);
       ("ultrasparc", ultrasparc_iie);
       ("generic", generic_small);
+      ("modern", modern_3level);
+      ("3level", modern_3level);
+      ("mini", sgi_r10000_mini);
     ]
   in
   match List.find_opt (fun m -> canon m.name = canon name) all with
@@ -158,7 +161,9 @@ let pp fmt m =
     m.cpu.fp_registers;
   List.iter
     (fun (c : cache) ->
-      Format.fprintf fmt ", %s %dKB %d-way (%dB lines)" c.name
-        (c.size_bytes / 1024) c.assoc c.line_bytes)
+      Format.fprintf fmt ", %s %dKB %d-way (%dB lines, %d-cycle hit)" c.name
+        (c.size_bytes / 1024) c.assoc c.line_bytes c.hit_cycles)
     m.caches;
-  Format.fprintf fmt ", TLB %d entries (%dB pages)" m.tlb.entries m.tlb.page_bytes
+  Format.fprintf fmt ", TLB %d entries (%dB pages, %d-cycle miss)"
+    m.tlb.entries m.tlb.page_bytes m.tlb.miss_cycles;
+  Format.fprintf fmt ", %d-cycle memory latency" m.memory_latency_cycles

@@ -81,6 +81,14 @@ val sgi_r10000_mini : t
     this machine exercises that. *)
 val modern_3level : t
 
+(** Look a machine up by (case-insensitive) name or alias: ["sgi"] /
+    ["r10000"], ["sun"] / ["ultrasparc"], ["generic"], ["modern"] /
+    ["3level"], ["mini"]. *)
 val by_name : string -> t option
+
 val all : t list
+
+(** One-line summary: clock, registers, every cache level with its size,
+    associativity, line size and hit latency, the TLB with its miss
+    penalty, and the memory latency. *)
 val pp : Format.formatter -> t -> unit

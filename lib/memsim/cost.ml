@@ -9,6 +9,28 @@ type t = {
   mflops : float;
 }
 
+(* The issue/overlap arithmetic shared by the simulator-backed cost
+   (counted issue slots and stalls) and the analytical model (predicted
+   ones): memory and FP issue overlap, integer work and demand stalls
+   are serial. *)
+let of_components (m : Machine.t) ~mem_issue ~fp_issue ~other_issue ~stall
+    ~flops =
+  let total = Float.max mem_issue fp_issue +. other_issue +. stall in
+  let seconds = total /. (m.Machine.cpu.Machine.clock_mhz *. 1e6) in
+  let mflops =
+    if seconds > 0.0 then float_of_int flops /. seconds /. 1e6 else 0.0
+  in
+  {
+    mem_issue_cycles = mem_issue;
+    fp_issue_cycles = fp_issue;
+    other_issue_cycles = other_issue;
+    stall_cycles = stall;
+    total_cycles = total;
+    seconds;
+    flops;
+    mflops;
+  }
+
 let evaluate (m : Machine.t) (c : Counters.t) (s : Ir.Exec.stats) =
   let cpu = m.Machine.cpu in
   let mem_issue =
@@ -24,22 +46,8 @@ let evaluate (m : Machine.t) (c : Counters.t) (s : Ir.Exec.stats) =
     +. float_of_int (c.Counters.prefetches * (cpu.Machine.prefetch_issue_cycles - 1))
   in
   let stall = float_of_int c.Counters.stall_cycles in
-  let total = Float.max mem_issue fp_issue +. other_issue +. stall in
-  let seconds = total /. (m.Machine.cpu.Machine.clock_mhz *. 1e6) in
-  let mflops =
-    if seconds > 0.0 then float_of_int s.Ir.Exec.flops /. seconds /. 1e6
-    else 0.0
-  in
-  {
-    mem_issue_cycles = mem_issue;
-    fp_issue_cycles = fp_issue;
-    other_issue_cycles = other_issue;
-    stall_cycles = stall;
-    total_cycles = total;
-    seconds;
-    flops = s.Ir.Exec.flops;
-    mflops;
-  }
+  of_components m ~mem_issue ~fp_issue ~other_issue ~stall
+    ~flops:s.Ir.Exec.flops
 
 let scale f t =
   {
@@ -49,7 +57,7 @@ let scale f t =
     stall_cycles = f *. t.stall_cycles;
     total_cycles = f *. t.total_cycles;
     seconds = f *. t.seconds;
-    flops = int_of_float (f *. float_of_int t.flops);
+    flops = int_of_float (Float.round (f *. float_of_int t.flops));
     mflops = t.mflops;
   }
 

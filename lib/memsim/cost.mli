@@ -23,8 +23,25 @@ type t = {
 
 val evaluate : Machine.t -> Counters.t -> Ir.Exec.stats -> t
 
+(** The issue-width/overlap arithmetic of {!evaluate}, exposed for
+    callers that produce the components themselves — notably the
+    analytical model, which predicts issue slots and stalls instead of
+    counting them.  [total = max mem_issue fp_issue + other_issue +
+    stall]. *)
+val of_components :
+  Machine.t ->
+  mem_issue:float ->
+  fp_issue:float ->
+  other_issue:float ->
+  stall:float ->
+  flops:int ->
+  t
+
 (** [scale f c] multiplies every extensive quantity by [f]; used to
-    extrapolate budgeted (sampled) runs to the full problem size. *)
+    extrapolate budgeted (sampled) runs to the full problem size.  The
+    flop count is rounded to the nearest integer (not truncated), so
+    extrapolating a sampled run recovers the exact total when [f] is
+    the exact sampling ratio. *)
 val scale : float -> t -> t
 
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,313 @@
+module Footprint = Analysis.Footprint
+module Reuse = Analysis.Reuse
+module Poly = Analysis.Poly
+
+type loop = { var : string; trip : int; unroll : int }
+
+type nest = {
+  loops : loop list;
+  groups : Reuse.group list;
+  flops : int;
+  reuse_var : string option;
+  prefetch : (string * int) list;
+  copied : string list;
+}
+
+type prediction = {
+  cost : Memsim.Cost.t;
+  accesses : float;
+  level_misses : float array;
+  tlb_misses : float;
+  fit_depths : int array;
+}
+
+let cycles p = p.cost.Memsim.Cost.total_cycles
+
+(* Effective capacity of cache level [l] in elements: the same
+   associativity-reduced bound the derivation's capacity constraints use
+   ((assoc-1)/assoc of the capacity — one way per set is lost to the
+   streaming references), so the model's fitting depths agree with the
+   tile sizes the constraints admit. *)
+let effective_capacity machine l =
+  let c = Machine.cache_level machine l in
+  let cap = c.Machine.size_bytes / 8 in
+  if c.Machine.assoc = 1 then cap else (c.Machine.assoc - 1) * cap / c.Machine.assoc
+
+(* Fraction of a prefetched stream's miss latency the simulator manages
+   to hide: distance 1 overlaps roughly one iteration of latency,
+   larger distances asymptotically hide everything.  Saturates below 1
+   — the TLB-dropped and ramp-up prefetches always leak some stall. *)
+let prefetch_hiding distance =
+  if distance <= 0 then 0.0
+  else Float.min 0.95 (float_of_int distance /. float_of_int (distance + 1))
+
+let predict machine nest =
+  let loops = Array.of_list nest.loops in
+  let m = Array.length loops in
+  let n_levels = Machine.levels machine in
+  let trip i = max 1 loops.(i).trip in
+  (* Extent of [v] inside scope depth [d] (loops d..m-1): the product of
+     the trips of the inner loops advancing it. *)
+  let extent_at d v =
+    let e = ref 1 in
+    for i = d to m - 1 do
+      if loops.(i).var = v then e := !e * trip i
+    done;
+    !e
+  in
+  let extents_at d v = Poly.const (extent_at d v) in
+  let peval p = Poly.eval (fun _ -> 1) p in
+  let is_copied g = List.mem g.Reuse.array nest.copied in
+  (* Per-group footprint of one iteration at scope depth [d]. *)
+  let g_elems g d = peval (Footprint.group_elements (extents_at d) g) in
+  let g_runs g d =
+    if is_copied g then 1 else max 1 (peval (Footprint.group_runs (extents_at d) g))
+  in
+  let total_elems d =
+    List.fold_left (fun acc g -> acc + g_elems g d) 0 nest.groups
+  in
+  (* Distinct lines of granularity [line] behind a footprint of [elems]
+     elements in [runs] contiguous runs. *)
+  let lines_of ~line ~elems ~runs =
+    let run_len = float_of_int elems /. float_of_int runs in
+    float_of_int runs *. Float.max 1.0 (Float.round (run_len /. float_of_int line +. 0.5))
+  in
+  let pages_of ~page_elems ~elems ~runs =
+    lines_of ~line:page_elems ~elems ~runs
+  in
+  let outer_iters d =
+    let p = ref 1.0 in
+    for i = 0 to d - 1 do
+      p := !p *. float_of_int (trip i)
+    done;
+    !p
+  in
+  let invariant_along g i =
+    List.for_all (fun s -> Ir.Aff.coeff s loops.(i).var = 0) g.Reuse.signature
+  in
+  (* Times the fitting-scope footprint of [g] is re-fetched: once per
+     iteration of the loops outside depth [d_fit], except that loops
+     immediately outside that the group is invariant to keep its lines
+     resident.  The credit applies while the resident set fits the
+     protected ways (the associativity-reduced capacity): the way per
+     set the reduction surrenders is what absorbs the streaming
+     neighbours flowing around the resident tile. *)
+  let refetches g d_fit cap =
+    let resident = g_elems g d_fit in
+    let rec peel d =
+      if d = 0 then 1.0
+      else if invariant_along g (d - 1) && resident <= cap then peel (d - 1)
+      else outer_iters d
+    in
+    peel d_fit
+  in
+  (* Fitting depth at capacity [cap]: the outermost scope whose combined
+     working set fits. *)
+  let fit_depth cap =
+    let rec go d = if d > m then m else if total_elems d <= cap then d else go (d + 1) in
+    go 0
+  in
+  (* --- per-level cache traffic --- *)
+  let fit_depths = Array.make n_levels 0 in
+  let level_misses = Array.make n_levels 0.0 in
+  let miss_at g ~cap ~line d =
+    refetches g d cap *. lines_of ~line ~elems:(g_elems g d) ~runs:(g_runs g d)
+  in
+  (* A set-associative cache does not fall off a cliff the instant the
+     working set exceeds the capacity: a footprint a few percent over
+     still keeps most of its lines resident.  Blend between the
+     estimates at the fitting depth and one scope further out in
+     proportion to the overflow, so the model's cost is continuous in
+     the tile sizes instead of inverting the ranking right at the
+     capacity boundary (where the constraints place the best tiles). *)
+  let group_misses g ~cap ~line =
+    let d = fit_depth cap in
+    if d = 0 then miss_at g ~cap ~line 0
+    else
+      let over = float_of_int (total_elems (d - 1)) /. float_of_int cap in
+      if over <= 2.0 then
+        let q = over -. 1.0 in
+        (q *. miss_at g ~cap ~line d)
+        +. ((1.0 -. q) *. miss_at g ~cap ~line (d - 1))
+      else miss_at g ~cap ~line d
+  in
+  let group_level_misses =
+    (* per group, per level, for the stall attribution below *)
+    List.map
+      (fun g ->
+        let per_level =
+          Array.init n_levels (fun l ->
+              let cap = effective_capacity machine l in
+              let line = Machine.line_elems machine l in
+              group_misses g ~cap ~line)
+        in
+        (g, per_level))
+      nest.groups
+  in
+  for l = 0 to n_levels - 1 do
+    fit_depths.(l) <- fit_depth (effective_capacity machine l);
+    level_misses.(l) <-
+      List.fold_left (fun acc (_, per) -> acc +. per.(l)) 0.0 group_level_misses
+  done;
+  (* A level cannot miss more often than the level above it misses into
+     it; clamping keeps the per-level numbers physically consistent even
+     where the independent fitting-depth estimates disagree. *)
+  for l = 1 to n_levels - 1 do
+    if level_misses.(l) > level_misses.(l - 1) then
+      level_misses.(l) <- level_misses.(l - 1)
+  done;
+  (* --- TLB traffic --- *)
+  let page_elems = machine.Machine.tlb.Machine.page_bytes / 8 in
+  let tlb_reach = machine.Machine.tlb.Machine.entries * page_elems in
+  let tlb_pages g d =
+    pages_of ~page_elems ~elems:(g_elems g d) ~runs:(g_runs g d)
+  in
+  let tlb_total d =
+    List.fold_left (fun acc g -> acc +. tlb_pages g d) 0.0 nest.groups
+  in
+  let tlb_entries = float_of_int machine.Machine.tlb.Machine.entries in
+  let tlb_fit =
+    let rec go d =
+      if d > m then m else if tlb_total d <= tlb_entries then d else go (d + 1)
+    in
+    go 0
+  in
+  let tlb_miss_at d =
+    List.fold_left
+      (fun acc g -> acc +. (refetches g d tlb_reach *. tlb_pages g d))
+      0.0 nest.groups
+  in
+  let tlb_misses =
+    (* Same overflow blending as the caches: the TLB's reach boundary is
+       not a cliff either. *)
+    if tlb_fit = 0 then tlb_miss_at 0
+    else
+      let over = tlb_total (tlb_fit - 1) /. tlb_entries in
+      if over <= 2.0 then
+        let q = over -. 1.0 in
+        (q *. tlb_miss_at tlb_fit) +. ((1.0 -. q) *. tlb_miss_at (tlb_fit - 1))
+      else tlb_miss_at tlb_fit
+  in
+  (* --- issue-slot pressure --- *)
+  let points = outer_iters m in
+  let innermost_trip v =
+    (* trip of the innermost loop advancing [v]: the span a register
+       rotation along [v] persists for *)
+    let t = ref 1 in
+    Array.iter (fun l -> if l.var = v then t := max 1 l.trip) loops;
+    !t
+  in
+  let group_accesses g =
+    let members = List.length g.Reuse.members in
+    let fresh =
+      match nest.reuse_var with
+      | Some v ->
+        let saved = Reuse.group_temporal_savings g v in
+        (* Saved members cost one real access per rotation span instead
+           of one per point. *)
+        float_of_int (max 0 (members - saved))
+        +. (float_of_int (min members saved) /. float_of_int (innermost_trip v))
+      | None -> float_of_int members
+    in
+    (* Unroll-and-jam: a group invariant along a jammed loop is loaded
+       once per jam factor (scalar replacement holds it across the
+       unrolled copies). *)
+    let jam_credit =
+      Array.fold_left
+        (fun acc i ->
+          let l = loops.(i) in
+          if
+            l.unroll > 1
+            && Some l.var <> nest.reuse_var
+            && invariant_along g i
+          then acc *. float_of_int l.unroll
+          else acc)
+        1.0
+        (Array.init m (fun i -> i))
+    in
+    fresh /. jam_credit *. points
+  in
+  let demand_accesses =
+    List.fold_left (fun acc g -> acc +. group_accesses g) 0.0 nest.groups
+  in
+  let prefetch_count =
+    (* One prefetch per line per prefetched stream: the inserted
+       prefetches are guarded to the line boundary, so each L1 line of
+       the stream costs one issue slot. *)
+    let line = float_of_int (Machine.line_elems machine 0) in
+    List.fold_left
+      (fun acc (array, _) ->
+        List.fold_left
+          (fun acc (g, _) ->
+            if g.Reuse.array = array then acc +. (points /. line) else acc)
+          acc group_level_misses)
+      0.0 nest.prefetch
+  in
+  let cpu = machine.Machine.cpu in
+  let mem_issue =
+    (demand_accesses +. prefetch_count) /. float_of_int cpu.Machine.mem_ports
+  in
+  let fp_issue =
+    float_of_int nest.flops /. float_of_int cpu.Machine.flops_per_cycle
+  in
+  let loop_iterations =
+    (* executed iterations of every loop statement; a jammed loop (and
+       everything it encloses) executes 1/unroll as many bodies *)
+    let it = ref 0.0 in
+    let enclosing_unroll = ref 1.0 in
+    let prefix = ref 1.0 in
+    for i = 0 to m - 1 do
+      if loops.(i).unroll > 1 then
+        enclosing_unroll := !enclosing_unroll *. float_of_int loops.(i).unroll;
+      prefix := !prefix *. float_of_int (trip i);
+      it := !it +. (!prefix /. !enclosing_unroll)
+    done;
+    !it
+  in
+  let other_issue =
+    (loop_iterations *. float_of_int cpu.Machine.loop_overhead_cycles)
+    +. (prefetch_count *. float_of_int (cpu.Machine.prefetch_issue_cycles - 1))
+  in
+  (* --- predicted stalls: the simulator's demand accounting ---
+     a miss at level l-1 pays hit_cycles(l) to be served by level l,
+     a miss in the last cache pays the memory latency, and each TLB
+     miss pays the refill penalty.  Prefetched arrays keep the traffic
+     (the lines still move) but hide most of the latency. *)
+  let stall =
+    let hit_cycles l = (Machine.cache_level machine l).Machine.hit_cycles in
+    let per_group (g, per) =
+      let s = ref 0.0 in
+      for l = 1 to n_levels - 1 do
+        s := !s +. (per.(l - 1) *. float_of_int (hit_cycles l))
+      done;
+      s := !s +. (per.(n_levels - 1) *. float_of_int machine.Machine.memory_latency_cycles);
+      let hidden =
+        match List.assoc_opt g.Reuse.array nest.prefetch with
+        | Some d -> prefetch_hiding d
+        | None -> 0.0
+      in
+      !s *. (1.0 -. hidden)
+    in
+    List.fold_left (fun acc gp -> acc +. per_group gp) 0.0 group_level_misses
+    +. (tlb_misses *. float_of_int machine.Machine.tlb.Machine.miss_cycles)
+  in
+  let cost =
+    Memsim.Cost.of_components machine ~mem_issue ~fp_issue ~other_issue ~stall
+      ~flops:nest.flops
+  in
+  {
+    cost;
+    accesses = demand_accesses +. prefetch_count;
+    level_misses;
+    tlb_misses;
+    fit_depths;
+  }
+
+let pp fmt p =
+  Format.fprintf fmt "predicted %a; accesses=%.0f" Memsim.Cost.pp p.cost
+    p.accesses;
+  Array.iteri
+    (fun l miss ->
+      Format.fprintf fmt " L%d=%.0f@@d%d" (l + 1) miss p.fit_depths.(l))
+    p.level_misses;
+  Format.fprintf fmt " tlb=%.0f" p.tlb_misses

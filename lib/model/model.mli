@@ -1,0 +1,69 @@
+(** ECM-style analytical throughput model (the missing middle tier
+    between pure constraint arithmetic and full cache simulation).
+
+    Given a machine description and a {!nest} — the fully-bound loop
+    structure of one candidate implementation, with its uniformly
+    generated reference groups — the model predicts per-cache-level
+    line traffic, TLB traffic and issue-slot pressure, and combines
+    them with {!Memsim.Cost.of_components} into predicted cycles.  No
+    trace is generated and nothing is simulated: the cost is
+    O(loops x groups x levels) per candidate, thousands of times
+    cheaper than even the sampled simulator, which is what makes
+    analytical-first ranking of whole candidate batches affordable.
+
+    The traffic prediction is the classical working-set argument run
+    per level: scanning the loop nest from the outside in, find the
+    outermost depth at which the combined footprint of one iteration
+    (via {!Analysis.Footprint}) fits the level's effective capacity;
+    every group then misses once per line of that footprint, re-fetched
+    once per iteration of the loops outside that depth — except along
+    loops the group is invariant to, which re-use the resident lines.
+    TLB behaviour follows the same scheme with pages against the TLB
+    reach.  Predicted stalls charge each level's misses with the
+    machine's per-level latencies exactly as the simulator's demand
+    accounting does, so predictions and measurements live on the same
+    scale. *)
+
+(** One loop of the candidate nest, outermost first.  [var] is the
+    original (element) loop variable whose extent this loop advances:
+    a tiled loop appears twice — a control loop with [trip = ceil(range
+    / tile)] and an element loop with [trip = tile].  [unroll] > 1
+    marks an unroll-and-jammed loop: its body covers [unroll] values of
+    [var] per executed iteration (the trip count still counts iteration
+    {e points}, so overhead is divided by [unroll]). *)
+type loop = { var : string; trip : int; unroll : int }
+
+(** A candidate implementation as the model sees it: the loop structure,
+    the uniformly generated reference groups of the body (from
+    {!Analysis.Reuse.groups_of_body} of the {e untransformed} kernel —
+    the nest's loop structure encodes the transformation), the total
+    flop count, the register-reuse (innermost) loop variable if scalar
+    replacement rotates along one, arrays covered by software prefetch
+    with their distances, and arrays copied into contiguous
+    temporaries. *)
+type nest = {
+  loops : loop list;  (** outermost first; empty means a straight body *)
+  groups : Analysis.Reuse.group list;
+  flops : int;
+  reuse_var : string option;
+  prefetch : (string * int) list;  (** (array, distance) *)
+  copied : string list;
+}
+
+(** What the model predicted, level by level. *)
+type prediction = {
+  cost : Memsim.Cost.t;  (** predicted cycles via {!Memsim.Cost.of_components} *)
+  accesses : float;  (** predicted loads + stores (demand) *)
+  level_misses : float array;  (** predicted misses per cache level *)
+  tlb_misses : float;
+  fit_depths : int array;
+      (** per level, the loop depth (0 = whole nest) whose working set
+          first fits — the tile level the capacity maps to *)
+}
+
+val predict : Machine.t -> nest -> prediction
+
+(** Predicted total cycles — the ranking score. *)
+val cycles : prediction -> float
+
+val pp : Format.formatter -> prediction -> unit

@@ -20,4 +20,5 @@ let () =
       ("trace", Test_trace.suite);
       ("vm", Test_vm.suite);
       ("faults", Test_faults.suite);
+      ("model", Test_model.suite);
     ]

@@ -133,7 +133,7 @@ let test_fig5_smoke () =
     r.Experiments.Fig5.series
 
 let test_run_all_names () =
-  Alcotest.(check int) "thirteen experiments" 13
+  Alcotest.(check int) "fourteen experiments" 14
     (List.length Experiments.Run_all.names);
   match Experiments.Run_all.run ~print:ignore "nonsense" with
   | exception Invalid_argument _ -> ()
