@@ -428,12 +428,64 @@ let emit_model_json () =
   close_out oc;
   Format.printf "wrote BENCH_model.json (%d entries)@." (List.length entries)
 
+(* Transfer warm-start benchmark: populate a performance database at
+   one problem size and re-search a neighboring size against it.  The
+   acceptance bar is >=30% fewer fresh simulations at <=2% chosen-point
+   degradation on the paper's primary machine.  Emits BENCH_db.json. *)
+
+let db_bench_machine = Machine.sgi_r10000
+
+let db_bench_cases =
+  [ (Kernels.Matmul.kernel, 128, 160); (Kernels.Jacobi3d.kernel, 64, 72) ]
+
+let emit_db_json () =
+  let entries =
+    List.map
+      (fun ((kernel : Kernels.Kernel.t), n_from, n_to) ->
+        let name = kernel.Kernels.Kernel.name in
+        Format.printf "db bench: %s %d->%d...@." name n_from n_to;
+        let r =
+          Experiments.Transfer.run_one ~mode:eval_bench_mode db_bench_machine
+            kernel ~n_from ~n_to
+        in
+        let warm_ok =
+          r.Experiments.Transfer.saved_pct >= 30.0
+          && r.Experiments.Transfer.degradation_pct <= 2.0
+        in
+        Format.printf
+          "  cold: %d sims (%.1f MFLOPS)  warm: %d sims (%.1f MFLOPS)  \
+           saved %.1f%%  seeds %d  deg %+.2f%%  ok=%b@."
+          r.Experiments.Transfer.sims_cold r.Experiments.Transfer.mflops_cold
+          r.Experiments.Transfer.sims_warm r.Experiments.Transfer.mflops_warm
+          r.Experiments.Transfer.saved_pct r.Experiments.Transfer.warm_seeds
+          r.Experiments.Transfer.degradation_pct warm_ok;
+        Printf.sprintf
+          "  {\"kernel\": \"%s\", \"machine\": \"%s\", \"n_from\": %d, \
+           \"n_to\": %d,\n\
+          \   \"sims_cold\": %d, \"sims_warm\": %d, \"saved_pct\": %.2f,\n\
+          \   \"db_hits\": %d, \"warm_seeds\": %d,\n\
+          \   \"mflops_cold\": %.2f, \"mflops_warm\": %.2f,\n\
+          \   \"degradation_pct\": %.2f, \"warm_ok\": %b}"
+          name db_bench_machine.Machine.name n_from n_to
+          r.Experiments.Transfer.sims_cold r.Experiments.Transfer.sims_warm
+          r.Experiments.Transfer.saved_pct r.Experiments.Transfer.db_hits
+          r.Experiments.Transfer.warm_seeds r.Experiments.Transfer.mflops_cold
+          r.Experiments.Transfer.mflops_warm
+          r.Experiments.Transfer.degradation_pct warm_ok)
+      db_bench_cases
+  in
+  let oc = open_out "BENCH_db.json" in
+  output_string oc ("[\n" ^ String.concat ",\n" entries ^ "\n]\n");
+  close_out oc;
+  Format.printf "wrote BENCH_db.json (%d entries)@." (List.length entries)
+
 let () =
   if Array.exists (( = ) "--eval-bench") Sys.argv then emit_eval_json ()
   else if Array.exists (( = ) "--model-bench") Sys.argv then
     emit_model_json ()
   else if Array.exists (( = ) "--faults-bench") Sys.argv then
     emit_faults_json ()
+  else if Array.exists (( = ) "--db-bench") Sys.argv then emit_db_json ()
   else begin
     Format.printf "=== Bechamel micro-benchmarks (one per paper artifact) ===@.";
     run_benchmarks ();
@@ -443,5 +495,6 @@ let () =
     emit_search_json (Experiments.Search_cost.run ());
     emit_eval_json ();
     emit_faults_json ();
-    emit_model_json ()
+    emit_model_json ();
+    emit_db_json ()
   end

@@ -136,8 +136,16 @@ let derive_cmd =
 
 (* --- tune --- *)
 
+let load_db cmd file =
+  match Perfdb.load file with
+  | db -> db
+  | exception Perfdb.Corrupt msg ->
+    Format.eprintf "eco %s: corrupt performance database %s: %s@." cmd file msg;
+    exit 1
+
 let tune machine kernel n budget jobs objective prefilter profile closures
-    validate faults_spec trials retries checkpoint checkpoint_every die_after =
+    validate faults_spec trials retries checkpoint checkpoint_every die_after
+    db_file no_warm_start =
   let mode = mode_of_budget budget in
   let path =
     if closures then Core.Executor.Closures else Core.Executor.Fast
@@ -159,6 +167,14 @@ let tune machine kernel n budget jobs objective prefilter profile closures
     Core.Engine.create ~jobs ~path ~faults ~protocol ~objective ?prefilter
       machine
   in
+  let db =
+    match db_file with
+    | None -> None
+    | Some file ->
+      let db = load_db "tune" file in
+      Core.Engine.set_db engine ~warm_start:(not no_warm_start) db;
+      Some db
+  in
   (match checkpoint with
   | None -> ()
   | Some file -> (
@@ -172,6 +188,11 @@ let tune machine kernel n budget jobs objective prefilter profile closures
         (Faults.to_spec faults) trials retries
         (Core.Objective.to_string objective)
         (match prefilter with Some k -> string_of_int k | None -> "off")
+      ^ Printf.sprintf "|db=%s"
+          (match db_file with
+          | None -> "off"
+          | Some _ when no_warm_start -> "exact"
+          | Some _ -> "warm")
     in
     Core.Engine.set_checkpoint engine ~every:checkpoint_every ~tag file;
     match Core.Engine.load_checkpoint engine ~tag file with
@@ -223,6 +244,17 @@ let tune machine kernel n budget jobs objective prefilter profile closures
   Format.printf "engine:       %a (%d jobs)@." Core.Engine.pp_stats
     (Core.Engine.stats r.Core.Eco.engine)
     (Core.Engine.jobs r.Core.Eco.engine);
+  (match db with
+  | None -> ()
+  | Some db ->
+    let s = Core.Engine.stats r.Core.Eco.engine in
+    let dst = Perfdb.stat db in
+    Format.printf
+      "db:           %d hits, %d warm-start seeds, %d records appended \
+       (%s: %d measurements, %d summaries)@."
+      s.Core.Engine.db_hits s.Core.Engine.warm_starts dst.Perfdb.appended
+      (Perfdb.path db) dst.Perfdb.measurements dst.Perfdb.summaries;
+    Perfdb.close db);
   if profile then
     Format.printf "profile:      %a@." Core.Engine.pp_profile
       (Core.Engine.stats r.Core.Eco.engine);
@@ -363,6 +395,29 @@ let tune_cmd =
              deterministic crash injection for exercising --checkpoint \
              recovery.")
   in
+  let db_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "db" ] ~docv:"FILE"
+          ~doc:
+            "Persistent performance database: serve exact repeat points from \
+             FILE without re-simulating, append every fresh successful \
+             measurement back, warm-start the search from the \
+             nearest-neighbor recorded summary, and record this run's \
+             summary for future transfers.  The file is created if missing \
+             and shared safely between concurrent runs (append-only, \
+             crash-recoverable).")
+  in
+  let no_warm_start_arg =
+    Arg.(
+      value & flag
+      & info [ "no-warm-start" ]
+          ~doc:
+            "With --db, disable the nearest-neighbor transfer seeding and \
+             run the unmodified search; the exact-hit tier and result \
+             recording stay active.")
+  in
   Cmd.v
     (Cmd.info "tune"
        ~doc:"Run the full two-phase ECO optimization for a kernel.")
@@ -370,7 +425,7 @@ let tune_cmd =
       const tune $ machine_arg $ kernel_arg $ size_arg 256 $ budget_arg
       $ jobs_arg $ objective_arg $ prefilter_arg $ profile_arg $ closures_arg
       $ validate_arg $ faults_arg $ trials_arg $ retries_arg $ checkpoint_arg
-      $ checkpoint_every_arg $ die_after_arg)
+      $ checkpoint_every_arg $ die_after_arg $ db_arg $ no_warm_start_arg)
 
 (* --- check --- *)
 
@@ -544,6 +599,66 @@ let codegen_cmd =
       const codegen $ machine_arg $ kernel_arg $ size_arg 256 $ budget_arg
       $ jobs_arg $ fortran_arg)
 
+(* --- db (performance-database maintenance) --- *)
+
+let db_file_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"Performance database file.")
+
+let db_stat file =
+  let db = load_db "db stat" file in
+  let s = Perfdb.stat db in
+  Format.printf "%s: %d records (%d measurements, %d summaries), %d bytes@."
+    file s.Perfdb.file_records s.Perfdb.measurements s.Perfdb.summaries
+    s.Perfdb.bytes;
+  if s.Perfdb.torn_bytes > 0 then
+    Format.printf
+      "recovered:    %d torn trailing bytes dropped (interrupted append)@."
+      s.Perfdb.torn_bytes;
+  Perfdb.iter_summaries db (fun sm ->
+      Format.printf "  %-10s %-14s n=%-5d best %s %.1f MFLOPS (%d frontier)@."
+        sm.Perfdb.kernel sm.Perfdb.machine sm.Perfdb.n
+        sm.Perfdb.best.Perfdb.variant sm.Perfdb.best.Perfdb.mflops
+        (List.length sm.Perfdb.frontier))
+
+let db_compact file =
+  let db = load_db "db compact" file in
+  let before = Perfdb.stat db in
+  Perfdb.compact db;
+  let after = Perfdb.stat db in
+  Format.printf "%s: %d records -> %d, %d bytes -> %d@." file
+    before.Perfdb.file_records after.Perfdb.file_records before.Perfdb.bytes
+    after.Perfdb.bytes
+
+let db_export file =
+  let db = load_db "db export" file in
+  print_string (Perfdb.export db)
+
+let db_cmd =
+  Cmd.group
+    (Cmd.info "db"
+       ~doc:
+         "Inspect and maintain a persistent performance database (see tune \
+          --db).")
+    [
+      Cmd.v
+        (Cmd.info "stat"
+           ~doc:"Print record counts and the recorded (kernel, machine, n) \
+                 summaries.")
+        Term.(const db_stat $ db_file_arg);
+      Cmd.v
+        (Cmd.info "compact"
+           ~doc:
+             "Rewrite the file as one frame per live record, dropping \
+              superseded summary revisions (atomic).")
+        Term.(const db_compact $ db_file_arg);
+      Cmd.v
+        (Cmd.info "export" ~doc:"Dump the database as JSON on stdout.")
+        Term.(const db_export $ db_file_arg);
+    ]
+
 (* --- experiment --- *)
 
 let experiment jobs names =
@@ -574,7 +689,7 @@ let main_cmd =
           Optimize for Multiple Levels of the Memory Hierarchy' (CGO 2005).")
     [
       describe_cmd; derive_cmd; tune_cmd; run_cmd; codegen_cmd; check_cmd;
-      experiment_cmd;
+      experiment_cmd; db_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

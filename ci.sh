@@ -100,4 +100,65 @@ grep -q '"overhead_ok": true' BENCH_faults.json
 ! grep -q '"overhead_ok": false' BENCH_faults.json
 ! grep -q '"winners_agree": false' BENCH_faults.json
 
+# --- Persistent performance database -------------------------------------
+
+# Populate: a pre-filtered tune writing its aggregated measurements and
+# summary record into a fresh store.  (n=80, not 64: below that the
+# TLB-bound matmul_v3 variant wins, and it does not exist at larger
+# sizes, so the transfer check below would have nothing to carry over.)
+rm -f ci_db.bin
+dune exec bin/eco_cli.exe -- tune -k matmul -n 80 -b 100000 --prefilter \
+  --db ci_db.bin > ci_db_pop.txt
+grep -E "^(best variant|parameters|prefetch|performance):" ci_db_pop.txt \
+  > ci_db_pop_ans.txt
+pop_fresh=$(sed -n 's/^engine: *\([0-9][0-9]*\) fresh evaluations.*/\1/p' ci_db_pop.txt)
+
+# Exact-hit replay: with warm-starts off, the same tune must be served
+# entirely from the store — zero fresh simulations, nonzero db hits,
+# byte-identical answer.
+dune exec bin/eco_cli.exe -- tune -k matmul -n 80 -b 100000 --prefilter \
+  --db ci_db.bin --no-warm-start > ci_db_replay.txt
+grep -Eq "^engine: +0 fresh evaluations" ci_db_replay.txt
+grep -Eq "^db: +[1-9][0-9]* hits" ci_db_replay.txt
+grep -E "^(best variant|parameters|prefetch|performance):" ci_db_replay.txt \
+  > ci_db_replay_ans.txt
+cmp ci_db_pop_ans.txt ci_db_replay_ans.txt
+
+# Transfer warm-start at a neighboring size: transferred seeds must show
+# in the telemetry and the warm search must simulate less than the
+# populate run did.
+dune exec bin/eco_cli.exe -- tune -k matmul -n 96 -b 100000 --prefilter \
+  --db ci_db.bin > ci_db_warm.txt
+grep -Eq "^db: .* [1-9][0-9]* warm-start seeds" ci_db_warm.txt
+warm_fresh=$(sed -n 's/^engine: *\([0-9][0-9]*\) fresh evaluations.*/\1/p' ci_db_warm.txt)
+test "$warm_fresh" -lt "$pop_fresh"
+
+# Maintenance subcommands on the populated store.
+dune exec bin/eco_cli.exe -- db stat ci_db.bin | grep -q "measurements"
+dune exec bin/eco_cli.exe -- db compact ci_db.bin
+dune exec bin/eco_cli.exe -- db export ci_db.bin | grep -q '"summaries"'
+
+# Corruption: damaging a byte inside the first frame's payload must be
+# a clean typed failure (exit 1, no crash) — for the subcommands and
+# for tune --db alike.
+printf '\377' | dd of=ci_db.bin bs=1 seek=40 count=1 conv=notrunc
+set +e
+dune exec bin/eco_cli.exe -- db stat ci_db.bin
+rc=$?
+set -e
+test "$rc" -eq 1
+set +e
+dune exec bin/eco_cli.exe -- tune -k matmul -n 80 -b 100000 --db ci_db.bin
+rc=$?
+set -e
+test "$rc" -eq 1
+rm -f ci_db.bin ci_db_pop.txt ci_db_pop_ans.txt ci_db_replay.txt \
+  ci_db_replay_ans.txt ci_db_warm.txt
+
+# Transfer warm-start benchmark: >=30% fewer fresh simulations at <=2%
+# chosen-point degradation on both kernels.
+dune exec bench/main.exe -- --db-bench
+grep -q '"warm_ok": true' BENCH_db.json
+! grep -q '"warm_ok": false' BENCH_db.json
+
 echo "ci.sh: all checks passed"

@@ -475,3 +475,48 @@ let variants machine (kernel : Kernels.Kernel.t) =
         true
       end)
     legal
+
+(* --- transfer rescaling ---------------------------------------------- *)
+
+(* Rescale a parameter point recorded at another (kernel size, machine)
+   onto [variant] at size [n], through the variant's own phase-1
+   constraints.  The donor's values are first clamped into the legal
+   ranges; if the clamped point violates a capacity/TLB constraint (the
+   donor machine was bigger, or its n smaller), tile sizes are scaled
+   down by s/16 for s = 15..1 — tiles carry the cache footprint, so
+   they shrink first — and only if no tile scale works are the unroll
+   factors scaled down with them (the register footprint).  [None] when
+   the donor point does not name every parameter or nothing feasible is
+   found: transfer then contributes no seed rather than a broken one. *)
+let rescale_point (v : Variant.t) ~n bindings =
+  let params = Variant.params v in
+  let named p = List.assoc_opt p.Param.name bindings in
+  if List.exists (fun p -> named p = None) params then None
+  else begin
+    let clamp (p : Param.t) x =
+      let lo, hi = Param.range p ~n in
+      max lo (min hi x)
+    in
+    let base =
+      List.map (fun p -> (p, clamp p (Option.get (named p)))) params
+    in
+    let point ~scale_unrolls s =
+      List.map
+        (fun ((p : Param.t), x) ->
+          match p.Param.kind with
+          | Param.Tile -> (p.Param.name, clamp p (max 1 (x * s / 16)))
+          | Param.Unroll ->
+            (p.Param.name, if scale_unrolls then clamp p (max 1 (x * s / 16)) else x))
+        base
+    in
+    let rec scan ~scale_unrolls s =
+      if s < 1 then None
+      else
+        let b = point ~scale_unrolls s in
+        if Variant.feasible v ~n b then Some b
+        else scan ~scale_unrolls (s - 1)
+    in
+    match scan ~scale_unrolls:false 16 with
+    | Some b -> Some b
+    | None -> scan ~scale_unrolls:true 16
+  end

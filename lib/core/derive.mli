@@ -27,3 +27,14 @@
       paper's "small arrays" variant v1. *)
 
 val variants : Machine.t -> Kernels.Kernel.t -> Variant.t list
+
+(** Rescale a recorded parameter point — possibly from another problem
+    size or machine — onto [variant] at size [n] through its phase-1
+    constraints: values are clamped into legal ranges, then tile sizes
+    (and, failing that, unroll factors too) are scaled down by
+    descending sixteenths until the point is {!Variant.feasible}.
+    [None] when the recorded point does not bind every parameter of the
+    variant or no feasible rescaling exists.  Used by the performance
+    database's transfer warm-start. *)
+val rescale_point :
+  Variant.t -> n:int -> (string * int) list -> (string * int) list option

@@ -158,6 +158,42 @@ let optimize_with ?(mode = Executor.default_budget) ?(max_variants = 4) engine
           else acc)
         o rest
     in
+    (* Persist the run's summary for future transfer warm-starts: the
+       chosen point plus the log's fresh evaluations as the frontier
+       (the database normalizes, dedups and caps it).  Only successful
+       measurements appear here — failed and quarantined candidates
+       never produced log entries. *)
+    (match Engine.db engine with
+    | None -> ()
+    | Some db ->
+      let point_of_entry (e : Search_log.entry) =
+        {
+          Perfdb.variant = e.Search_log.variant;
+          bindings = List.sort compare e.Search_log.bindings;
+          prefetch = List.sort compare e.Search_log.prefetch;
+          cycles = e.Search_log.cycles;
+          mflops = e.Search_log.mflops;
+        }
+      in
+      let best_point =
+        {
+          Perfdb.variant = best.Search.variant.Variant.name;
+          bindings = List.sort compare best.Search.bindings;
+          prefetch = List.sort compare best.Search.prefetch;
+          cycles = Executor.cycles best.Search.measurement;
+          mflops = best.Search.measurement.Executor.mflops;
+        }
+      in
+      Perfdb.add_summary db
+        {
+          Perfdb.kernel = kernel.Kernels.Kernel.name;
+          machine = machine.Machine.name;
+          capacity = Perfdb.capacity_vector machine;
+          n;
+          best = best_point;
+          frontier =
+            best_point :: List.map point_of_entry (Search_log.entries log);
+        });
     { outcome = best; measurement = best.Search.measurement; variants; log; engine }
 
 let optimize ?mode ?max_variants ?jobs ?objective ?prefilter machine kernel ~n =

@@ -80,6 +80,8 @@ type stats = {
   memo_seconds : float;
   trace_hits : int;
   trace_fills : int;
+  db_hits : int;
+  warm_starts : int;
 }
 
 (* The canonical identity of a measurement.  [fp_shape] is a structural
@@ -155,6 +157,18 @@ type t = {
   mutable memo_seconds : float;
   mutable trace_hits : int;
   mutable trace_fills : int;
+  (* Persistent performance database: exact hits served from disk like
+     memo hits (but surviving across runs), fresh successful
+     measurements appended back.  [db_ctx] pins everything outside the
+     fingerprint that shapes measured values (machine, fault plan,
+     aggregation protocol), so a record can only satisfy a lookup made
+     under the same conditions.  [db_warm] gates the transfer
+     warm-start stage in [Search]. *)
+  mutable db : Perfdb.t option;
+  mutable db_warm : bool;
+  mutable db_ctx : string;
+  mutable db_hits : int;
+  mutable warm_starts : int;
 }
 
 let default_jobs () = Domain.recommended_domain_count ()
@@ -214,6 +228,11 @@ let create ?(jobs = 1) ?(path = Executor.Fast) ?(faults = Faults.none)
     memo_seconds = 0.0;
     trace_hits = 0;
     trace_fills = 0;
+    db = None;
+    db_warm = false;
+    db_ctx = "";
+    db_hits = 0;
+    warm_starts = 0;
   }
 
 let machine t = t.machine
@@ -260,6 +279,8 @@ let stats t =
     memo_seconds = t.memo_seconds;
     trace_hits = t.trace_hits;
     trace_fills = t.trace_fills;
+    db_hits = t.db_hits;
+    warm_starts = t.warm_starts;
   }
 
 let failure_breakdown (s : stats) =
@@ -287,7 +308,10 @@ let pp_stats fmt (s : stats) =
       (String.concat ", "
          (List.map (fun (k, n) -> Printf.sprintf "%s %d" k n) parts)));
   if s.retries > 0 then Format.fprintf fmt ", %d retries" s.retries;
-  if s.vm_fallbacks > 0 then Format.fprintf fmt ", %d vm fallbacks" s.vm_fallbacks
+  if s.vm_fallbacks > 0 then Format.fprintf fmt ", %d vm fallbacks" s.vm_fallbacks;
+  if s.db_hits > 0 then Format.fprintf fmt ", %d db hits" s.db_hits;
+  if s.warm_starts > 0 then
+    Format.fprintf fmt ", %d warm-start seeds" s.warm_starts
 
 let pp_profile fmt (s : stats) =
   Format.fprintf fmt
@@ -367,6 +391,43 @@ let fault_key fp =
       string_of_bool fp.fp_check;
     ]
 
+(* --- persistent performance database --------------------------------- *)
+
+(* The database key is the candidate's canonical identity ([fault_key],
+   which already spells out kernel/variant shape/n/mode/point) digested
+   together with the measurement context: the machine, the fault plan
+   and the aggregation protocol.  The executor path is deliberately
+   excluded (Fast and Closures are bit-identical by the PR 3
+   differential tests), as is the search objective (it steers choices,
+   not measured values). *)
+let db_context machine (faults : Faults.t) (p : protocol) =
+  String.concat "|"
+    [
+      machine.Machine.name;
+      Faults.to_spec faults;
+      string_of_int p.trials;
+      string_of_int p.max_retries;
+      string_of_int p.min_trials;
+      string_of_float p.spread_rtol;
+      string_of_float p.cycle_cap;
+    ]
+
+let set_db t ?(warm_start = true) db =
+  t.db <- Some db;
+  t.db_warm <- warm_start;
+  t.db_ctx <- db_context t.machine t.faults t.protocol
+
+let db t = t.db
+
+(* The database to warm-start from, when transfer seeding is enabled. *)
+let warm_db t = if t.db_warm then t.db else None
+
+let note_warm_start t ?log () =
+  t.warm_starts <- t.warm_starts + 1;
+  match log with Some log -> Search_log.note_warm_start log | None -> ()
+
+let db_key t fp = Digest.to_hex (Digest.string (t.db_ctx ^ "||" ^ fault_key fp))
+
 (* --- analytical pre-filter ------------------------------------------- *)
 
 let prepared t (r : request) =
@@ -408,6 +469,46 @@ let build_program machine (r : request) =
          program r.prefetch)
 
 let build t r = build_program t.machine (canonical r)
+
+(* Serve a memo miss from the on-disk exact-hit tier: unmarshal the
+   persisted measurement and rebuild the program (instantiation is
+   pure, so the pair is value-identical to a fresh simulation).  Any
+   defect — unreadable payload, failed rebuild — falls through to a
+   fresh simulation rather than failing the request.  Runs only on the
+   coordinator, so counters and the memo mutate in request order. *)
+let db_serve t ?log (r : request) fp =
+  match t.db with
+  | None -> None
+  | Some db -> (
+    match Perfdb.find_measurement db ~key:(db_key t fp) with
+    | None -> None
+    | Some payload -> (
+      match (Marshal.from_string payload 0 : Executor.measurement) with
+      | exception _ -> None
+      | m -> (
+        match build_program t.machine r with
+        | None -> None
+        | Some program ->
+          Hashtbl.replace t.memo fp (Measured_entry (program, m));
+          t.db_hits <- t.db_hits + 1;
+          (match log with
+          | Some log -> Search_log.note_db_hit log
+          | None -> ());
+          Some { program; measurement = m; cached = true })))
+
+(* Persist one fresh successful measurement.  Only the [Measured] arm of
+   [commit] calls this: pruned, failed and quarantined candidates must
+   never become database entries, and the key-level dedup makes resumed
+   runs (which replay a prefix) append-idempotent. *)
+let db_append t (r : request) fp (m : Executor.measurement) =
+  match t.db with
+  | None -> ()
+  | Some db ->
+    ignore
+      (Perfdb.add_measurement db ~key:(db_key t fp)
+         ~kernel:r.variant.Variant.kernel.Kernels.Kernel.name
+         ~machine:t.machine.Machine.name ~n:r.n
+         ~payload:(Marshal.to_string m []))
 
 (* --- one clean (deterministic) measurement --------------------------- *)
 
@@ -742,13 +843,16 @@ type checkpoint_blob = {
   ck_exec_seconds : float;
   ck_sim_seconds : float;
   ck_memo_seconds : float;
+  ck_db_hits : int;
+  ck_warm_starts : int;
   ck_best : float option;
 }
 
-(* Version 2: the blob gained the pre-filter counters.  Old files fail
-   the magic check and load as "corrupt" — crash-only semantics, the
-   run starts fresh instead of mis-restoring counters. *)
-let checkpoint_magic = "ECO-CHECKPOINT-2\n"
+(* Version 3: the blob gained the performance-database counters (v2
+   added the pre-filter counters).  Old files fail the magic check and
+   load as "corrupt" — crash-only semantics, the run starts fresh
+   instead of mis-restoring counters. *)
+let checkpoint_magic = "ECO-CHECKPOINT-3\n"
 
 let best_cycles t =
   Hashtbl.fold
@@ -793,6 +897,8 @@ let save_checkpoint t =
         ck_exec_seconds = t.exec_seconds;
         ck_sim_seconds = t.sim_seconds;
         ck_memo_seconds = t.memo_seconds;
+        ck_db_hits = t.db_hits;
+        ck_warm_starts = t.warm_starts;
         ck_best = best_cycles t;
       }
     in
@@ -881,6 +987,8 @@ let load_checkpoint t ~tag file =
       t.exec_seconds <- ck.ck_exec_seconds;
       t.sim_seconds <- ck.ck_sim_seconds;
       t.memo_seconds <- ck.ck_memo_seconds;
+      t.db_hits <- ck.ck_db_hits;
+      t.warm_starts <- ck.ck_warm_starts;
       Some
         {
           resumed_entries = Array.length ck.ck_entries;
@@ -923,6 +1031,7 @@ let commit t ?log (r : request) fp raw =
   | Measured (program, m, tl) ->
     add_tele t tl;
     Hashtbl.replace t.memo fp (Measured_entry (program, m));
+    db_append t r fp m;
     t.fresh <- t.fresh + 1;
     t.simulated_cycles <- t.simulated_cycles +. Executor.cycles m;
     t.compile_seconds <- t.compile_seconds +. m.Executor.timings.Executor.compile_s;
@@ -968,11 +1077,14 @@ let evaluate_canonical t ?log r =
   t.memo_seconds <- t.memo_seconds +. (Unix_time.now () -. t0);
   match entry with
   | Some entry -> serve_hit t ?log entry
-  | None ->
-    let t0 = Unix_time.now () in
-    let raw = simulate_miss t r fp in
-    t.eval_seconds <- t.eval_seconds +. (Unix_time.now () -. t0);
-    commit t ?log r fp raw
+  | None -> (
+    match db_serve t ?log r fp with
+    | Some ev -> Some ev
+    | None ->
+      let t0 = Unix_time.now () in
+      let raw = simulate_miss t r fp in
+      t.eval_seconds <- t.eval_seconds +. (Unix_time.now () -. t0);
+      commit t ?log r fp raw)
 
 let evaluate t ?log r = evaluate_canonical t ?log (canonical r)
 
@@ -1129,6 +1241,23 @@ let evaluate_batch t ?log reqs =
     let executed =
       List.filter (fun (_, fp, _) -> not (Hashtbl.mem skip fp)) run_entries
     in
+    (* The database is consulted only AFTER the pre-filter chose its
+       skip set: served candidates are the ones the plan would have
+       simulated, so the skip set — and with it the whole search
+       trajectory — is identical to the run that populated the
+       database, and a fully-populated rerun replays with zero fresh
+       simulations.  (A skipped candidate stays skipped even when it is
+       on disk, for the same reason.)  Lookups run on the coordinator. *)
+    let served = Hashtbl.create 16 in
+    List.iter
+      (fun (r, fp, _) ->
+        match db_serve t ?log r fp with
+        | Some ev -> Hashtbl.replace served fp ev
+        | None -> ())
+      executed;
+    let executed =
+      List.filter (fun (_, fp, _) -> not (Hashtbl.mem served fp)) executed
+    in
     let to_run =
       Array.of_list
         (List.map
@@ -1160,7 +1289,10 @@ let evaluate_batch t ?log reqs =
             note_prefiltered t ?log ();
             None
           end
-          else commit t ?log r fp (Hashtbl.find raw_of_slot slot))
+          else (
+            match Hashtbl.find_opt served fp with
+            | Some ev -> Some ev
+            | None -> commit t ?log r fp (Hashtbl.find raw_of_slot slot)))
       plan
   end
 

@@ -141,6 +141,35 @@ val set_objective : t -> Objective.t -> unit
     [jobs]. *)
 val set_prefilter : t -> int option -> unit
 
+(** {2 Persistent performance database}
+
+    With {!set_db}, the engine gains an exact-hit tier below the memo
+    table: a memo miss whose database key — the canonical fingerprint
+    digested with the measurement context (machine, fault plan,
+    aggregation protocol) — is on disk is served without simulation
+    ([cached = true], counted as a [db_hit]), and every fresh {e
+    successful} measurement is appended back, one flushed frame per
+    record, deduplicated by key.  Pruned, failed and quarantined
+    candidates are never persisted.  Lookups and appends happen only on
+    the coordinating domain, in request order, so results stay
+    bit-identical at any [jobs] — and an empty database changes nothing
+    at all. *)
+
+(** Attach a database.  [warm_start] (default true) additionally offers
+    it to [Search] for nearest-neighbor transfer seeding ({!warm_db});
+    the exact-hit tier is active either way. *)
+val set_db : t -> ?warm_start:bool -> Perfdb.t -> unit
+
+val db : t -> Perfdb.t option
+
+(** The database to seed transfers from — [None] when no database is
+    attached or warm-starting was disabled. *)
+val warm_db : t -> Perfdb.t option
+
+(** Count one transferred warm-start seed (called by [Search] as it
+    force-simulates a transferred anchor). *)
+val note_warm_start : t -> ?log:Search_log.t -> unit -> unit
+
 (** One candidate point of one variant. *)
 type request = {
   variant : Variant.t;
@@ -315,6 +344,8 @@ type stats = {
   memo_seconds : float;  (** memo-table lookups *)
   trace_hits : int;  (** candidates served by demand-trace synthesis *)
   trace_fills : int;  (** demand traces captured *)
+  db_hits : int;  (** points served from the persistent database *)
+  warm_starts : int;  (** transferred warm-start seeds *)
 }
 
 val stats : t -> stats

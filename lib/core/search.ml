@@ -563,10 +563,217 @@ let confirm_best st =
                      if cb < ca then b else a)
                    hd tl))
 
+let model_point _machine ~n variant =
+  (* Pure constraint arithmetic — no engine, no simulation. *)
+  let feasible_at bindings = Variant.feasible variant ~n bindings in
+  let uniform stage bindings =
+    let at m = feasible_at (set_params bindings (List.map (fun p -> (p, m)) stage)) in
+    let rec grow m = if m * 2 <= 4096 && at (m * 2) then grow (m * 2) else m in
+    let rec refine lo hi =
+      if hi - lo <= 1 then if at hi then hi else lo
+      else
+        let mid = (lo + hi) / 2 in
+        if at mid then refine mid hi else refine lo mid
+    in
+    if not (at 1) then None
+    else
+      let m = grow 1 in
+      Some (if at (m * 2) then m * 2 else refine m (m * 2))
+  in
+  let unroll_params = List.map snd variant.Variant.unrolls in
+  let tile_params = List.map snd variant.Variant.tiles in
+  let start = List.map (fun p -> (p, 1)) (unroll_params @ tile_params) in
+  match uniform tile_params start with
+  | None -> None
+  | Some mt ->
+    let with_tiles =
+      if tile_params = [] then start
+      else set_params start (List.map (fun p -> (p, mt)) tile_params)
+    in
+    (match uniform unroll_params with_tiles with
+    | None -> None
+    | Some mu ->
+      if unroll_params = [] then Some with_tiles
+      else Some (set_params with_tiles (List.map (fun p -> (p, mu)) unroll_params)))
+
+(* --- transfer warm-start ----------------------------------------------
+
+   With a performance database attached (and warm-starting enabled),
+   a new search first asks it for the nearest recorded summary — same
+   kernel, closest machine capacity vector, then closest problem size —
+   and transfers its frontier: each recorded point is rescaled through
+   this variant's own constraints ([Derive.rescale_point]) and
+   force-simulated as an anchor, exactly like the classical anchors of
+   the armed path.  The search then runs a short refinement around the
+   transferred optimum instead of a full staged descent.  With no
+   database, no matching summary, or nothing transferable, [warm_tune]
+   evaluates NOTHING and returns [None] — the search falls through to
+   the historical paths byte-identically. *)
+
+let max_transfer_anchors = 3
+
+let warm_seeds st =
+  match Engine.warm_db st.engine with
+  | None -> []
+  | Some db -> (
+    let machine = Engine.machine st.engine in
+    let kernel = st.variant.Variant.kernel.Kernels.Kernel.name in
+    match
+      Perfdb.nearest db ~kernel
+        ~capacity:(Perfdb.capacity_vector machine)
+        ~n:st.n
+    with
+    | None -> []
+    | Some s ->
+      let seeds =
+        List.filter_map
+          (fun (p : Perfdb.point) ->
+            (* only same-variant points transfer: parameters are named
+               per variant, and cross-variant points would rescale into
+               meaningless bindings *)
+            if not (String.equal p.Perfdb.variant st.variant.Variant.name)
+            then None
+            else
+              match
+                Derive.rescale_point st.variant ~n:st.n p.Perfdb.bindings
+              with
+              | None -> None
+              | Some bindings ->
+                let prefetch =
+                  List.map
+                    (fun (a, d) -> (a, max 1 (min 64 d)))
+                    p.Perfdb.prefetch
+                in
+                Some (bindings, prefetch))
+          s.Perfdb.frontier
+      in
+      let seen = Hashtbl.create 8 in
+      let uniq =
+        List.filter
+          (fun sd ->
+            if Hashtbl.mem seen sd then false
+            else begin
+              Hashtbl.add seen sd ();
+              true
+            end)
+          seeds
+      in
+      List.filteri (fun i _ -> i < max_transfer_anchors) uniq)
+
+let warm_tune st =
+  match warm_seeds st with
+  | [] -> None
+  | seeds -> (
+    let best =
+      List.fold_left
+        (fun acc (bindings, prefetch) ->
+          Engine.note_warm_start st.engine ?log:st.log ();
+          match evaluate st ~bindings ~prefetch with
+          | Some c -> (
+            match acc with
+            | Some (_, _, c') when c' <= c -> acc
+            | _ -> Some (bindings, prefetch, c))
+          | None -> acc)
+        None seeds
+    in
+    (* Classical guard anchor: the constraints' capacity-filling point,
+       so a transfer from a poorly-matched donor can never drag the
+       search below what the model alone recommends.  It borrows the
+       best seed's transferred prefetch plan so the comparison is
+       apples-to-apples — with an empty plan the guard would lose to
+       any prefetched seed even when its bindings are better. *)
+    let best =
+      match model_point (Engine.machine st.engine) ~n:st.n st.variant with
+      | None -> best
+      | Some b -> (
+        let pf = match best with Some (_, pf, _) -> pf | None -> [] in
+        match evaluate st ~bindings:b ~prefetch:pf with
+        | Some c -> (
+          match best with
+          | Some (_, _, c') when c' <= c -> best
+          | _ -> Some (b, pf, c))
+        | None -> best)
+    in
+    match best with
+    | None -> None
+    | Some (b0, pf0, c0) ->
+      let unroll_params = List.map snd st.variant.Variant.unrolls in
+      let tile_params = List.map snd st.variant.Variant.tiles in
+      (* Capacity re-saturation anchor: the donor's tiles were sized for
+         the donor's problem, so when the target size changes, also try
+         re-saturating the capacity constraints with the transferred
+         unrolls (and prefetch plan) in place.  This is what lets a
+         warm start track the growing optimum instead of being pinned
+         to the donor's footprint. *)
+      let b0, pf0, c0 =
+        match initial_uniform st tile_params b0 with
+        | Some m0 when tile_params <> [] ->
+          let cand =
+            set_params b0 (List.map (fun p -> (p, m0)) tile_params)
+          in
+          if cand = b0 then (b0, pf0, c0)
+          else (
+            match evaluate st ~bindings:cand ~prefetch:pf0 with
+            | Some c when c < c0 -> (cand, pf0, c)
+            | _ -> (b0, pf0, c0))
+        | _ -> (b0, pf0, c0)
+      in
+      let line = line_elems st in
+      let delta p = if List.mem p unroll_params then 1 else max 1 line in
+      let b1, c1 =
+        linear_refine_capped st
+          (unroll_params @ tile_params)
+          ~prefetch:pf0 ~delta ~rounds:2 b0 c0
+      in
+      let pf, c2 =
+        match pf0 with
+        | [] ->
+          (* nothing transferred: build a plan from scratch, exactly as
+             the armed path does *)
+          prefetch_search_armed st ~bindings:b1 c1
+        | _ -> (
+          (* The transferred plan already names the right arrays — the
+             donor search chose them on a neighboring size — so only the
+             distances need retuning.  A uniform rescale sweep costs a
+             handful of simulations instead of the full
+             |arrays| x |distances| greedy rebuild. *)
+          let scaled s =
+            List.sort compare
+              (List.map (fun (a, d) -> (a, max 1 (min 64 (d * s / 2)))) pf0)
+          in
+          let seen = Hashtbl.create 4 in
+          let candidates =
+            List.filter
+              (fun p ->
+                if Hashtbl.mem seen p then false
+                else begin
+                  Hashtbl.add seen p ();
+                  true
+                end)
+              (List.map scaled [ 1; 2; 4; 8 ])
+          in
+          match evaluate_prefetch_sweep st ~bindings:b1 candidates with
+          | Some (p, c) when c < c1 -> (p, c)
+          | _ -> (pf0, c1))
+      in
+      (* keep the transferred plan when the retune does not beat it *)
+      let pf, c2 = if c2 < c1 then (pf, c2) else (pf0, c1) in
+      let b2, c3 =
+        linear_refine_capped st
+          (unroll_params @ tile_params)
+          ~prefetch:pf ~delta ~rounds:1 b1 c2
+      in
+      let b3, _ = adjust st ~prefetch:pf b2 c3 in
+      ignore b3;
+      st.best)
+
 let tune_variant engine ~n ~mode ~log variant =
   let st =
     { engine; n; mode; log = Some log; variant; best = None; top = [] }
   in
+  match warm_tune st with
+  | Some _ -> confirm_best st
+  | None ->
   if Engine.prefilter engine <> None then
     match tune_armed st with None -> None | Some _ -> confirm_best st
   else
@@ -600,39 +807,6 @@ let tune_variant engine ~n ~mode ~log variant =
       let b3, _ = adjust st ~prefetch b2 c3 in
       ignore b3;
       confirm_best st)
-
-let model_point _machine ~n variant =
-  (* Pure constraint arithmetic — no engine, no simulation. *)
-  let feasible_at bindings = Variant.feasible variant ~n bindings in
-  let uniform stage bindings =
-    let at m = feasible_at (set_params bindings (List.map (fun p -> (p, m)) stage)) in
-    let rec grow m = if m * 2 <= 4096 && at (m * 2) then grow (m * 2) else m in
-    let rec refine lo hi =
-      if hi - lo <= 1 then if at hi then hi else lo
-      else
-        let mid = (lo + hi) / 2 in
-        if at mid then refine mid hi else refine lo mid
-    in
-    if not (at 1) then None
-    else
-      let m = grow 1 in
-      Some (if at (m * 2) then m * 2 else refine m (m * 2))
-  in
-  let unroll_params = List.map snd variant.Variant.unrolls in
-  let tile_params = List.map snd variant.Variant.tiles in
-  let start = List.map (fun p -> (p, 1)) (unroll_params @ tile_params) in
-  match uniform tile_params start with
-  | None -> None
-  | Some mt ->
-    let with_tiles =
-      if tile_params = [] then start
-      else set_params start (List.map (fun p -> (p, mt)) tile_params)
-    in
-    (match uniform unroll_params with_tiles with
-    | None -> None
-    | Some mu ->
-      if unroll_params = [] then Some with_tiles
-      else Some (set_params with_tiles (List.map (fun p -> (p, mu)) unroll_params)))
 
 let measure_point engine ~n ~mode ?log variant ~bindings ~prefetch =
   let st = { engine; n; mode; log; variant; best = None; top = [] } in

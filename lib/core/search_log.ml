@@ -12,6 +12,8 @@ type t = {
   mutable pruned : int;
   mutable failed : int;
   mutable prefiltered : int;
+  mutable db_hits : int;
+  mutable warm_starts : int;
   started : float;
 }
 
@@ -22,6 +24,8 @@ let create () =
     pruned = 0;
     failed = 0;
     prefiltered = 0;
+    db_hits = 0;
+    warm_starts = 0;
     started = Unix_time.now ();
   }
 
@@ -30,6 +34,8 @@ let note_hit t = t.hits <- t.hits + 1
 let note_pruned t = t.pruned <- t.pruned + 1
 let note_failed t = t.failed <- t.failed + 1
 let note_prefiltered t = t.prefiltered <- t.prefiltered + 1
+let note_db_hit t = t.db_hits <- t.db_hits + 1
+let note_warm_start t = t.warm_starts <- t.warm_starts + 1
 let entries t = List.rev t.entries
 let points t = List.length t.entries
 let fresh = points
@@ -37,6 +43,8 @@ let hits t = t.hits
 let pruned t = t.pruned
 let failed t = t.failed
 let prefiltered t = t.prefiltered
+let db_hits t = t.db_hits
+let warm_starts t = t.warm_starts
 let seconds t = Unix_time.now () -. t.started
 
 let best t =
@@ -55,9 +63,16 @@ let pp fmt t =
     "%d points in %.2fs (%d cache hits excluded, %d pruned by constraints, %d \
      failed%s)@."
     (points t) (seconds t) (hits t) (pruned t) (failed t)
-    (if prefiltered t > 0 then
-       Printf.sprintf ", %d pre-filtered by the model" (prefiltered t)
-     else "");
+    ((if prefiltered t > 0 then
+        Printf.sprintf ", %d pre-filtered by the model" (prefiltered t)
+      else "")
+    ^ (if db_hits t > 0 then
+         Printf.sprintf ", %d served from the performance database" (db_hits t)
+       else "")
+    ^
+    if warm_starts t > 0 then
+      Printf.sprintf ", %d transferred warm-start seeds" (warm_starts t)
+    else "");
   List.iter
     (fun e ->
       Format.fprintf fmt "  %s %a pref[%a] -> %.0f cycles (%.1f MFLOPS)@."

@@ -41,6 +41,18 @@ val note_failed : t -> unit
     it). *)
 val note_prefiltered : t -> unit
 
+(** Count a point served from the persistent performance database: the
+    exact fingerprint (under the same measurement context) was on disk
+    from a previous run, so no simulation ran.  Kept apart from
+    {!note_hit} so cross-run reuse is visible separately from the
+    per-run memo. *)
+val note_db_hit : t -> unit
+
+(** Count a transferred warm-start seed: a nearest-neighbor database
+    point rescaled to this problem and force-simulated as a search
+    anchor. *)
+val note_warm_start : t -> unit
+
 val entries : t -> entry list
 
 (** Number of distinct points evaluated (cache hits excluded). *)
@@ -61,6 +73,12 @@ val failed : t -> int
 
 (** Candidates skipped by the analytical pre-filter (never simulated). *)
 val prefiltered : t -> int
+
+(** Points served from the persistent performance database. *)
+val db_hits : t -> int
+
+(** Transferred warm-start seeds force-simulated as anchors. *)
+val warm_starts : t -> int
 
 (** Wall-clock seconds since [create]. *)
 val seconds : t -> float

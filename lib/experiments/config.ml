@@ -23,6 +23,15 @@ let jacobi_sizes () =
 
 let rankcheck_mm_sizes () = if fast () then [ 64 ] else [ 96; 160; 240 ]
 let rankcheck_jacobi_sizes () = if fast () then [ 40 ] else [ 64; 96; 120 ]
+
+(* Donor sizes sit above n=64 on purpose: the TLB-bound matmul_v3
+   variant wins below that and does not exist at larger sizes, so a
+   64->80 transfer would have nothing same-variant to carry over. *)
+let transfer_mm_pairs () =
+  if fast () then [ (80, 96) ] else [ (128, 160); (192, 240) ]
+
+let transfer_jacobi_pairs () =
+  if fast () then [ (40, 48) ] else [ (64, 72); (96, 112) ]
 let mm_tune_size () = env_int "ECO_MM_TUNE" 240
 let jacobi_tune_size () = env_int "ECO_JACOBI_TUNE" 120
 let table1_mm_size () = env_int "ECO_TABLE1_MM" 512

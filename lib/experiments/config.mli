@@ -22,6 +22,13 @@ val rankcheck_mm_sizes : unit -> int list
 
 val rankcheck_jacobi_sizes : unit -> int list
 
+(** (populate size, warm-start size) pairs for the transfer-learning
+    experiment: the database is filled at the first size and the warm
+    search runs at the second. *)
+val transfer_mm_pairs : unit -> (int * int) list
+
+val transfer_jacobi_pairs : unit -> (int * int) list
+
 (** Reference tuning size for matrix multiply / Jacobi. *)
 val mm_tune_size : unit -> int
 

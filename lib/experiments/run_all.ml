@@ -1,7 +1,7 @@
 let names =
   [ "table1"; "table2"; "table4"; "fig4a"; "fig4b"; "fig5a"; "fig5b";
     "search_cost"; "ablation"; "padding"; "strategies"; "conflicts"; "noise";
-    "rankcheck" ]
+    "rankcheck"; "transfer" ]
 
 let banner print title =
   print "";
@@ -54,6 +54,10 @@ let run ~print ?(jobs = 1) name =
     banner print
       "Extension: analytical-model rank agreement and pre-filter cost";
     List.iter print (Rankcheck.render (Rankcheck.run ()))
+  | "transfer" ->
+    banner print
+      "Extension: transfer warm-starts from the performance database";
+    List.iter print (Transfer.render (Transfer.run ()))
   | other ->
     invalid_arg
       (Printf.sprintf "unknown experiment %s (known: %s)" other

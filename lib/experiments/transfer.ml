@@ -1,0 +1,117 @@
+type row = {
+  kernel : string;
+  machine : string;
+  n_from : int;
+  n_to : int;
+  sims_cold : int;
+  sims_warm : int;
+  saved_pct : float;
+  db_hits : int;
+  warm_seeds : int;
+  mflops_cold : float;
+  mflops_warm : float;
+  degradation_pct : float;
+}
+
+let with_temp_db f =
+  let file = Filename.temp_file "eco_transfer" ".perfdb" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () -> f file)
+
+let run_one ?mode machine kernel ~n_from ~n_to =
+  let mode = match mode with Some m -> m | None -> Config.budget () in
+  let k = Core.Engine.default_prefilter in
+  with_temp_db (fun file ->
+      (* Populate: a normal two-stage search at the source size, writing
+         its measurements and summary into a fresh database.  The file
+         starts empty, so no warm-start fires here. *)
+      let db = Perfdb.load file in
+      let eng_pop = Core.Engine.create ~prefilter:k machine in
+      Core.Engine.set_db eng_pop db;
+      let (_ : Core.Eco.result) =
+        Core.Eco.optimize_with ~mode eng_pop kernel ~n:n_from
+      in
+      Perfdb.close db;
+      (* Cold reference at the target size: the plain PR 6 search, no
+         database at all. *)
+      let eng_cold = Core.Engine.create ~prefilter:k machine in
+      let eco_cold = Core.Eco.optimize_with ~mode eng_cold kernel ~n:n_to in
+      (* Warm run at the target size: same search, but seeded from the
+         nearest-neighbor summary (and serving any exact hits). *)
+      let db = Perfdb.load file in
+      let eng_warm = Core.Engine.create ~prefilter:k machine in
+      Core.Engine.set_db eng_warm db;
+      let eco_warm = Core.Eco.optimize_with ~mode eng_warm kernel ~n:n_to in
+      Perfdb.close db;
+      let sims_cold = Core.Search_log.fresh eco_cold.Core.Eco.log in
+      let sims_warm = Core.Search_log.fresh eco_warm.Core.Eco.log in
+      let stats = Core.Engine.stats eng_warm in
+      let mflops_cold = eco_cold.Core.Eco.measurement.Core.Executor.mflops in
+      let mflops_warm = eco_warm.Core.Eco.measurement.Core.Executor.mflops in
+      {
+        kernel = kernel.Kernels.Kernel.name;
+        machine = machine.Machine.name;
+        n_from;
+        n_to;
+        sims_cold;
+        sims_warm;
+        saved_pct =
+          (if sims_cold > 0 then
+             float_of_int (sims_cold - sims_warm)
+             /. float_of_int sims_cold *. 100.0
+           else 0.0);
+        db_hits = stats.Core.Engine.db_hits;
+        warm_seeds = stats.Core.Engine.warm_starts;
+        mflops_cold;
+        mflops_warm;
+        degradation_pct =
+          (if mflops_cold > 0.0 then
+             (mflops_cold -. mflops_warm) /. mflops_cold *. 100.0
+           else 0.0);
+      })
+
+let machines () =
+  [ Machine.sgi_r10000; Machine.ultrasparc_iie; Machine.modern_3level ]
+
+let run ?mode () =
+  List.concat_map
+    (fun machine ->
+      List.map
+        (fun (n_from, n_to) ->
+          run_one ?mode machine Kernels.Matmul.kernel ~n_from ~n_to)
+        (Config.transfer_mm_pairs ())
+      @ List.map
+          (fun (n_from, n_to) ->
+            run_one ?mode machine Kernels.Jacobi3d.kernel ~n_from ~n_to)
+          (Config.transfer_jacobi_pairs ()))
+    (machines ())
+
+let render rows =
+  let header =
+    Printf.sprintf "%-10s %-16s %9s %9s %7s %5s %6s %8s" "kernel" "machine"
+      "n" "sims" "saved%" "hits" "seeds" "deg%"
+  in
+  let line r =
+    Printf.sprintf "%-10s %-16s %4d->%-4d %4d/%-4d %6.1f%% %5d %6d %+7.2f%%"
+      r.kernel r.machine r.n_from r.n_to r.sims_warm r.sims_cold r.saved_pct
+      r.db_hits r.warm_seeds r.degradation_pct
+  in
+  let summary =
+    let total_cold = List.fold_left (fun a r -> a + r.sims_cold) 0 rows in
+    let total_warm = List.fold_left (fun a r -> a + r.sims_warm) 0 rows in
+    let worst_deg =
+      List.fold_left (fun a r -> Float.max a r.degradation_pct) neg_infinity
+        rows
+    in
+    Printf.sprintf
+      "fresh simulations %d -> %d (%.1f%% fewer with warm-starts); worst \
+       chosen-point degradation %+.2f%%"
+      total_cold total_warm
+      (if total_cold > 0 then
+         float_of_int (total_cold - total_warm)
+         /. float_of_int total_cold *. 100.0
+       else 0.0)
+      worst_deg
+  in
+  (header :: List.map line rows) @ [ ""; summary ]

@@ -1,0 +1,46 @@
+(** Transfer warm-starts from the persistent performance database: does
+    tuning knowledge gathered at one problem size cut the search cost at
+    a neighboring size, and what does trusting it cost?
+
+    For each (kernel, machine, size pair) the experiment runs three
+    searches, all with the analytical pre-filter armed at the default k:
+
+    - {b populate}: a normal search at the source size [n_from] writing
+      its aggregated measurements and summary record into a fresh
+      database file (empty at the start, so nothing warm-starts here);
+    - {b cold}: the plain search at the target size [n_to] with no
+      database — the PR 6 baseline;
+    - {b warm}: the same target-size search against the populated
+      database — exact hits are served without simulation and the
+      nearest-neighbor summary seeds rescaled transfer anchors.
+
+    The row reports fresh simulations saved (cold vs warm), the exact-hit
+    and warm-seed counts, and the chosen-point degradation (% MFLOPS lost
+    at the tuned point — the price of trusting transferred knowledge). *)
+
+type row = {
+  kernel : string;
+  machine : string;
+  n_from : int;  (** size the database was populated at *)
+  n_to : int;  (** neighboring size the warm search runs at *)
+  sims_cold : int;  (** fresh simulations, no database *)
+  sims_warm : int;  (** fresh simulations, warm-started *)
+  saved_pct : float;  (** (cold - warm) / cold * 100 *)
+  db_hits : int;  (** candidates served from the database *)
+  warm_seeds : int;  (** transferred warm-start anchors evaluated *)
+  mflops_cold : float;
+  mflops_warm : float;
+  degradation_pct : float;
+      (** chosen-point loss when warm-starting: positive = slower *)
+}
+
+val run_one :
+  ?mode:Core.Executor.mode ->
+  Machine.t ->
+  Kernels.Kernel.t ->
+  n_from:int ->
+  n_to:int ->
+  row
+
+val run : ?mode:Core.Executor.mode -> unit -> row list
+val render : row list -> string list

@@ -1,0 +1,478 @@
+exception Corrupt of string
+
+type point = {
+  variant : string;
+  bindings : (string * int) list;
+  prefetch : (string * int) list;
+  cycles : float;
+  mflops : float;
+}
+
+type summary = {
+  kernel : string;
+  machine : string;
+  capacity : float array;
+  n : int;
+  best : point;
+  frontier : point list;
+}
+
+(* What actually travels through the file.  Measurement payloads stay
+   opaque strings so this library does not depend on [core] (whose
+   [Executor.measurement] they marshal). *)
+type record =
+  | Measurement of {
+      key : string;
+      kernel : string;
+      machine : string;
+      n : int;
+      payload : string;
+    }
+  | Summary of summary
+
+type t = {
+  path : string;
+  measurements : (string, record) Hashtbl.t;  (* key -> Measurement *)
+  summaries : (string * string * int, summary) Hashtbl.t;
+  mutable out : out_channel option;  (* lazy append channel *)
+  mutable file_records : int;
+  mutable appended : int;
+  mutable torn_bytes : int;
+  mutable bytes : int;
+}
+
+let frontier_width = 8
+
+let magic = "ECO-PERFDB-1\n"
+
+(* ---------- frames ---------- *)
+(* Same shape as the PR 4 checkpoint snapshot: length, digest, marshaled
+   payload — but repeated, one frame per record, so that concurrent
+   appenders interleave at record granularity and a torn tail is
+   recognizable as such. *)
+
+let write_frame oc (r : record) =
+  let payload = Marshal.to_string r [] in
+  Printf.fprintf oc "%08x" (String.length payload);
+  output_string oc (Digest.string payload);
+  output_string oc payload;
+  (* one record = one durable unit: without this, a killed writer loses
+     an unbounded suffix instead of at most the in-flight frame *)
+  flush oc
+
+let is_hex c = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')
+
+(* Reads the next frame.  [`Record r] on success, [`Torn n] when the
+   remaining [n] bytes cannot hold a complete frame (expected crash
+   residue), raises [Corrupt] when a complete frame fails its digest or
+   the length header is not even hex (mid-file damage). *)
+let read_frame ic total =
+  let pos = pos_in ic in
+  let remaining = total - pos in
+  if remaining = 0 then `End
+  else if remaining < 8 + 16 then `Torn remaining
+  else begin
+    let len_s = really_input_string ic 8 in
+    if not (String.for_all is_hex len_s) then
+      raise (Corrupt (Printf.sprintf "bad frame header at byte %d" pos));
+    let len = int_of_string ("0x" ^ len_s) in
+    if remaining < 8 + 16 + len then `Torn remaining
+    else begin
+      let digest = really_input_string ic 16 in
+      let payload = really_input_string ic len in
+      if not (String.equal (Digest.string payload) digest) then
+        raise (Corrupt (Printf.sprintf "digest mismatch at byte %d" pos));
+      match (Marshal.from_string payload 0 : record) with
+      | r -> `Record r
+      | exception _ ->
+          raise (Corrupt (Printf.sprintf "unreadable record at byte %d" pos))
+    end
+  end
+
+(* ---------- summary normalization & merge ---------- *)
+
+let point_key (p : point) = (p.variant, p.bindings, p.prefetch)
+
+let compare_point a b =
+  match compare a.cycles b.cycles with
+  | 0 -> compare (point_key a) (point_key b)
+  | c -> c
+
+let dedup_keep_first ps =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun p ->
+      let k = point_key p in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.add seen k ();
+        true
+      end)
+    ps
+
+(* Canonical form: frontier sorted by (cycles, identity), deduped,
+   capped, best = head.  Applied both on [add_summary] input and on
+   every merge, so a summary read back from disk re-normalizes to
+   itself — the keystone of compact ≡ store and reopen ≡ before.
+
+   Selection is variant-diverse rather than a flat top-k: each
+   variant's best point is kept before the remaining slots fill in
+   global cycle order.  A dominant variant would otherwise crowd out
+   every other, and a frontier with only the winner transfers nothing
+   when that variant is infeasible at the target problem size (e.g. a
+   TLB-bound variant that only exists for small n). *)
+let normalize (s : summary) =
+  let all = dedup_keep_first (List.sort compare_point (s.best :: s.frontier)) in
+  let keep = Hashtbl.create 16 in
+  let variants = Hashtbl.create 8 in
+  (* pass 1: each variant's best ([all] is sorted, first hit wins) *)
+  List.iter
+    (fun p ->
+      if
+        (not (Hashtbl.mem variants p.variant))
+        && Hashtbl.length variants < frontier_width
+      then begin
+        Hashtbl.add variants p.variant ();
+        Hashtbl.replace keep (point_key p) ()
+      end)
+    all;
+  (* pass 2: fill the remaining slots with the global best points *)
+  List.iter
+    (fun p ->
+      if
+        Hashtbl.length keep < frontier_width
+        && not (Hashtbl.mem keep (point_key p))
+      then Hashtbl.replace keep (point_key p) ())
+    all;
+  let frontier = List.filter (fun p -> Hashtbl.mem keep (point_key p)) all in
+  match frontier with
+  | [] -> s  (* unreachable: best is always present *)
+  | best :: _ -> { s with best; frontier }
+
+let merge_summary (a : summary) (b : summary) =
+  normalize { b with frontier = a.frontier @ b.frontier }
+
+let summary_key (s : summary) = (s.kernel, s.machine, s.n)
+
+(* The one fold step shared by load, add and compact: later records win
+   for measurements (keys are content-addressed so duplicates are
+   identical anyway) and merge for summaries. *)
+let absorb t = function
+  | Measurement m as r -> Hashtbl.replace t.measurements m.key r
+  | Summary s ->
+      let k = summary_key s in
+      let s =
+        match Hashtbl.find_opt t.summaries k with
+        | None -> normalize s
+        | Some prev -> merge_summary prev s
+      in
+      Hashtbl.replace t.summaries k s
+
+(* ---------- load ---------- *)
+
+let load path =
+  let t =
+    {
+      path;
+      measurements = Hashtbl.create 64;
+      summaries = Hashtbl.create 16;
+      out = None;
+      file_records = 0;
+      appended = 0;
+      torn_bytes = 0;
+      bytes = 0;
+    }
+  in
+  if not (Sys.file_exists path) then t
+  else begin
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let total = in_channel_length ic in
+        t.bytes <- total;
+        if total > 0 then begin
+          let mlen = String.length magic in
+          if total < mlen then begin
+            (* shorter than the magic: a writer died creating the file *)
+            t.torn_bytes <- total
+          end
+          else begin
+            let got = really_input_string ic mlen in
+            if not (String.equal got magic) then
+              raise (Corrupt "bad magic (not a perfdb file)");
+            let rec loop () =
+              match read_frame ic total with
+              | `End -> ()
+              | `Torn n -> t.torn_bytes <- n
+              | `Record r ->
+                  absorb t r;
+                  t.file_records <- t.file_records + 1;
+                  loop ()
+            in
+            loop ()
+          end
+        end);
+    (* Repair the torn tail so our own appends start on a frame
+       boundary; best effort — a read-only file still loads fine, the
+       tail is just re-skipped next time. *)
+    if t.torn_bytes > 0 then begin
+      (try Unix.truncate path (t.bytes - t.torn_bytes) with _ -> ());
+      t.bytes <- t.bytes - t.torn_bytes
+    end;
+    t
+  end
+
+let path t = t.path
+
+let close t =
+  match t.out with
+  | None -> ()
+  | Some oc ->
+      t.out <- None;
+      close_out_noerr oc
+
+let append_channel t =
+  match t.out with
+  | Some oc -> oc
+  | None ->
+      let oc =
+        open_out_gen [ Open_wronly; Open_append; Open_creat; Open_binary ] 0o644
+          t.path
+      in
+      (* Decide freshness from the opened descriptor, not the load-time
+         snapshot: another handle on the same file may have written the
+         magic (and frames) since this store loaded, and a second magic
+         mid-file would read as a bad frame. *)
+      let size = (Unix.fstat (Unix.descr_of_out_channel oc)).Unix.st_size in
+      if size = 0 then begin
+        output_string oc magic;
+        flush oc
+      end;
+      t.out <- Some oc;
+      oc
+
+let append t r =
+  write_frame (append_channel t) r;
+  t.appended <- t.appended + 1
+
+(* ---------- measurements ---------- *)
+
+let mem_measurement t ~key = Hashtbl.mem t.measurements key
+
+let find_measurement t ~key =
+  match Hashtbl.find_opt t.measurements key with
+  | Some (Measurement m) -> Some m.payload
+  | _ -> None
+
+let add_measurement t ~key ~kernel ~machine ~n ~payload =
+  if Hashtbl.mem t.measurements key then false
+  else begin
+    let r = Measurement { key; kernel; machine; n; payload } in
+    absorb t r;
+    append t r;
+    true
+  end
+
+(* ---------- summaries ---------- *)
+
+let add_summary t s =
+  absorb t (Summary s);
+  (* append the post-merge record so a pure replay of the file (load,
+     compact) reconverges on the in-memory state *)
+  let merged = Hashtbl.find t.summaries (summary_key s) in
+  append t (Summary merged)
+
+let find_summary t ~kernel ~machine ~n =
+  Hashtbl.find_opt t.summaries (kernel, machine, n)
+
+let iter_summaries t f =
+  let all = Hashtbl.fold (fun _ s acc -> s :: acc) t.summaries [] in
+  List.iter f (List.sort (fun a b -> compare (summary_key a) (summary_key b)) all)
+
+(* ---------- nearest neighbor ---------- *)
+
+let log2 x = log x /. log 2.0
+
+let capacity_vector (m : Machine.t) =
+  let regs = float_of_int (Machine.available_registers m) in
+  let caches =
+    List.init (Machine.levels m) (fun i ->
+        float_of_int (Machine.cache_capacity_elems m i))
+  in
+  let tlb_reach =
+    float_of_int (m.Machine.tlb.Machine.entries * m.Machine.tlb.Machine.page_bytes)
+    /. 8.0
+  in
+  Array.of_list (List.map log2 (regs :: (caches @ [ tlb_reach ])))
+
+(* Pad-with-last comparison: a 2-level hierarchy's missing L3 behaves
+   like its L2 (the outermost capacity bounds everything beyond it). *)
+let machine_distance a b =
+  let la = Array.length a and lb = Array.length b in
+  let len = max la lb in
+  let get v l i = if i < l then v.(i) else v.(l - 1) in
+  let d = ref 0.0 in
+  for i = 0 to len - 1 do
+    d := !d +. abs_float (get a la i -. get b lb i)
+  done;
+  !d
+
+let distance ~capacity ~n (s : summary) =
+  ( machine_distance capacity s.capacity,
+    abs_float (log2 (float_of_int n) -. log2 (float_of_int s.n)) )
+
+let nearest t ~kernel ~capacity ~n =
+  let better cand best =
+    match best with
+    | None -> true
+    | Some (bd, bs, b) ->
+        let cd, cs, c = cand in
+        (* lexicographic (machine, size) distance, then deterministic
+           tie-breaks independent of hash-table order *)
+        compare (cd, cs, c.n, c.machine) (bd, bs, b.n, b.machine) < 0
+  in
+  Hashtbl.fold
+    (fun _ s acc ->
+      if not (String.equal s.kernel kernel) then acc
+      else
+        let dm, ds = distance ~capacity ~n s in
+        if better (dm, ds, s) acc then Some (dm, ds, s) else acc)
+    t.summaries None
+  |> Option.map (fun (_, _, s) -> s)
+
+(* ---------- maintenance ---------- *)
+
+type stat = {
+  file_records : int;
+  appended : int;
+  measurements : int;
+  summaries : int;
+  torn_bytes : int;
+  bytes : int;
+}
+
+let stat (t : t) =
+  {
+    file_records = t.file_records;
+    appended = t.appended;
+    measurements = Hashtbl.length t.measurements;
+    summaries = Hashtbl.length t.summaries;
+    torn_bytes = t.torn_bytes;
+    bytes = t.bytes;
+  }
+
+let live_records (t : t) =
+  let ms = Hashtbl.fold (fun _ r acc -> r :: acc) t.measurements [] in
+  let ms =
+    List.sort
+      (fun a b ->
+        match (a, b) with
+        | Measurement a, Measurement b -> compare a.key b.key
+        | _ -> 0)
+      ms
+  in
+  let ss = Hashtbl.fold (fun _ s acc -> Summary s :: acc) t.summaries [] in
+  let ss =
+    List.sort
+      (fun a b ->
+        match (a, b) with
+        | Summary a, Summary b -> compare (summary_key a) (summary_key b)
+        | _ -> 0)
+      ss
+  in
+  ms @ ss
+
+let compact t =
+  close t;
+  let tmp = t.path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc magic;
+      List.iter (write_frame oc) (live_records t));
+  Sys.rename tmp t.path;
+  t.file_records <- Hashtbl.length t.measurements + Hashtbl.length t.summaries;
+  t.torn_bytes <- 0;
+  t.bytes <- (try (Unix.stat t.path).Unix.st_size with _ -> 0)
+
+(* ---------- export ---------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_point (p : point) =
+  let pairs kvs =
+    String.concat ", "
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %d" (json_escape k) v) kvs)
+  in
+  Printf.sprintf
+    "{\"variant\": \"%s\", \"bindings\": {%s}, \"prefetch\": {%s}, \
+     \"cycles\": %.1f, \"mflops\": %.2f}"
+    (json_escape p.variant) (pairs p.bindings) (pairs p.prefetch) p.cycles
+    p.mflops
+
+let export (t : t) =
+  let b = Buffer.create 4096 in
+  let st = stat t in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"file\": \"%s\",\n  \"records\": %d,\n  \"measurements\": %d,\n\
+       \  \"summaries\": %d,\n  \"torn_bytes\": %d,\n"
+       (json_escape t.path) st.file_records st.measurements st.summaries
+       st.torn_bytes);
+  let ms =
+    List.sort compare
+      (Hashtbl.fold
+         (fun _ r acc ->
+           match r with
+           | Measurement m ->
+               (m.key, m.kernel, m.machine, m.n, String.length m.payload) :: acc
+           | Summary _ -> acc)
+         t.measurements [])
+  in
+  Buffer.add_string b "  \"measurement_index\": [\n";
+  List.iteri
+    (fun i (key, kernel, machine, n, bytes) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"key\": \"%s\", \"kernel\": \"%s\", \"machine\": \"%s\", \
+            \"n\": %d, \"payload_bytes\": %d}%s\n"
+           (json_escape key) (json_escape kernel) (json_escape machine) n bytes
+           (if i = List.length ms - 1 then "" else ",")))
+    ms;
+  Buffer.add_string b "  ],\n  \"summaries_index\": [\n";
+  let ss = ref [] in
+  iter_summaries t (fun s -> ss := s :: !ss);
+  let ss = List.rev !ss in
+  List.iteri
+    (fun i (s : summary) ->
+      let caps =
+        String.concat ", "
+          (Array.to_list (Array.map (Printf.sprintf "%.3f") s.capacity))
+      in
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"kernel\": \"%s\", \"machine\": \"%s\", \"n\": %d, \
+            \"capacity_log2\": [%s],\n     \"best\": %s,\n\
+            \     \"frontier\": [%s]}%s\n"
+           (json_escape s.kernel) (json_escape s.machine) s.n caps
+           (json_point s.best)
+           (String.concat ", " (List.map json_point s.frontier))
+           (if i = List.length ss - 1 then "" else ",")))
+    ss;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b

@@ -1,0 +1,151 @@
+(** Persistent performance database: an append-only, on-disk store of
+    empirical search results, shared across runs (and across concurrent
+    writers) — the paper's "empirical results are expensive, reuse
+    them" premise made durable.  ATLAS bakes measured tables into
+    installs; this is the same move keyed the way the rest of the
+    system keys measurements.
+
+    Two record kinds live in one file:
+
+    - {b measurement records} — one aggregated successful measurement,
+      keyed by the engine's canonical candidate fingerprint (digested
+      together with the measurement context: machine, fault plan,
+      protocol).  These are the exact-hit tier: {!Core.Engine} serves a
+      request whose key is on record without re-simulating, like a memo
+      hit that survives the process.  The payload is the marshaled
+      [Executor.measurement], opaque to this module — perfdb sits below
+      [core] in the dependency order.
+    - {b summary records} — per [(kernel, machine, problem size)]: the
+      best point found plus a top-k frontier of runner-up points, with
+      the machine's capacity vector.  These feed the nearest-neighbor
+      transfer warm-start in [Core.Search].
+
+    {b File format.}  A magic line, then a sequence of frames; each
+    frame is an 8-hex-digit payload length, a 16-byte MD5 digest of the
+    payload, and the marshaled record.  Appends write one whole frame
+    per record and flush, so concurrent appenders interleave at frame
+    granularity.  Recovery is crash-only, with the same posture as the
+    checkpoint format this reuses: an {e incomplete} frame at the end
+    of the file is a torn append (the writer died mid-write) and is
+    silently dropped — and the file is truncated back to the last
+    complete frame so later appends stay reachable — while a {e
+    complete} frame whose digest does not match, or a bad magic, is
+    real corruption and raises the typed {!Corrupt}. *)
+
+(** Raised on load when the file is not a valid database: bad magic, a
+    mid-file frame whose digest fails, or an unmarshalable record.  A
+    merely truncated tail does {e not} raise — that is the expected
+    shape of a killed writer. *)
+exception Corrupt of string
+
+(** One recorded search point: the variant name, its parameter
+    bindings and prefetch plan (both in canonical sorted order), and
+    the measured objective values. *)
+type point = {
+  variant : string;
+  bindings : (string * int) list;
+  prefetch : (string * int) list;
+  cycles : float;
+  mflops : float;
+}
+
+(** Best + frontier for one [(kernel, machine, n)].  [frontier] is
+    sorted by ascending cycles, starts with [best], is deduplicated by
+    (variant, bindings, prefetch) and capped at {!frontier_width}. *)
+type summary = {
+  kernel : string;
+  machine : string;
+  capacity : float array;  (** {!capacity_vector} of the machine *)
+  n : int;
+  best : point;
+  frontier : point list;
+}
+
+type t
+
+(** Frontier points kept per summary (8). *)
+val frontier_width : int
+
+(** [load file] opens (or, for a missing file, creates an empty store
+    bound to) [file] and folds every complete frame into memory.
+    @raise Corrupt on real corruption (see above). *)
+val load : string -> t
+
+val path : t -> string
+
+(** Flush and close the append channel (appends reopen it lazily). *)
+val close : t -> unit
+
+(** {2 Measurement records (exact-hit tier)} *)
+
+val mem_measurement : t -> key:string -> bool
+val find_measurement : t -> key:string -> string option
+
+(** Append one aggregated successful measurement unless [key] is
+    already present (in this process's view); returns whether a record
+    was written.  The dedup makes re-runs and checkpoint resumes
+    idempotent: replaying a prefix of the search never double-appends. *)
+val add_measurement :
+  t -> key:string -> kernel:string -> machine:string -> n:int ->
+  payload:string -> bool
+
+(** {2 Summary records (transfer tier)} *)
+
+(** Merge a summary into the store (union of frontiers per
+    [(kernel, machine, n)], re-sorted, deduplicated, capped) and append
+    the merged record. *)
+val add_summary : t -> summary -> unit
+
+val find_summary : t -> kernel:string -> machine:string -> n:int -> summary option
+val iter_summaries : t -> (summary -> unit) -> unit
+
+(** {2 Nearest-neighbor lookup}
+
+    The distance between a query [(capacity, n)] and a summary is the
+    lexicographic pair (machine distance, size distance):
+
+    - {e machine distance} = sum over components of |a_i - b_i| between
+      the two capacity vectors, whose entries are log2 of: available
+      registers, each cache level's capacity in elements (L1 outward),
+      and the TLB reach in elements.  Vectors of different depths are
+      compared by repeating the last (outermost) entry — a 2-level
+      hierarchy's "L3" is its L2.
+    - {e size distance} = |log2 n - log2 n'|.
+
+    Ties break towards the smaller recorded [n], then the
+    lexicographically smaller machine name — fully deterministic and
+    independent of record order. *)
+
+val capacity_vector : Machine.t -> float array
+val machine_distance : float array -> float array -> float
+
+(** [distance ~capacity ~n s] is the (machine, size) distance pair. *)
+val distance : capacity:float array -> n:int -> summary -> float * float
+
+(** Closest summary for [kernel] under the metric above; [None] when
+    the store has no summary for that kernel. *)
+val nearest : t -> kernel:string -> capacity:float array -> n:int -> summary option
+
+(** {2 Maintenance} *)
+
+type stat = {
+  file_records : int;  (** complete frames read at {!load} *)
+  appended : int;  (** records appended through this handle *)
+  measurements : int;  (** distinct measurement keys *)
+  summaries : int;  (** distinct (kernel, machine, n) summaries *)
+  torn_bytes : int;  (** truncated-tail bytes dropped at {!load} *)
+  bytes : int;  (** file size at load *)
+}
+
+val stat : t -> stat
+
+(** Rewrite the file as one frame per live record (measurements first,
+    then merged summaries, both in sorted key order): drops superseded
+    summary revisions and any interleaving noise.  Atomic
+    (write-to-temp then rename), like the checkpoint writer.  Loading a
+    compacted file yields the same store. *)
+val compact : t -> unit
+
+(** The store as a JSON document (stats + summaries; measurement
+    payloads are listed by key and size, not decoded). *)
+val export : t -> string

@@ -20,5 +20,6 @@ let () =
       ("trace", Test_trace.suite);
       ("vm", Test_vm.suite);
       ("faults", Test_faults.suite);
+      ("perfdb", Test_perfdb.suite);
       ("model", Test_model.suite);
     ]

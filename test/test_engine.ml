@@ -179,6 +179,223 @@ let test_measure_program_memoizes () =
   Alcotest.(check int) "two fresh" 2 s.Core.Engine.fresh;
   Alcotest.(check int) "one hit" 1 s.Core.Engine.hits
 
+(* --- persistent performance database --- *)
+
+let temp_db () =
+  let file = Filename.temp_file "eco_test_engine" ".db" in
+  Sys.remove file;
+  file
+
+let copy_file src dst =
+  let ic = open_in_bin src in
+  let len = in_channel_length ic in
+  let buf = really_input_string ic len in
+  close_in ic;
+  let oc = open_out_bin dst in
+  output_string oc buf;
+  close_out oc
+
+let answer (r : Core.Eco.result) =
+  let o = r.Core.Eco.outcome in
+  ( o.Core.Search.variant.Core.Variant.name,
+    o.Core.Search.bindings,
+    o.Core.Search.prefetch,
+    Core.Executor.cycles r.Core.Eco.measurement )
+
+let log_points (r : Core.Eco.result) =
+  List.map
+    (fun (e : Core.Search_log.entry) ->
+      ( e.Core.Search_log.variant,
+        e.Core.Search_log.bindings,
+        e.Core.Search_log.prefetch,
+        e.Core.Search_log.cycles ))
+    (Core.Search_log.entries r.Core.Eco.log)
+
+(* An engine with an EMPTY (or absent) database attached must search
+   byte-identically to one with no database at all: same answer, same
+   candidate sequence, same fresh count. *)
+let test_empty_db_byte_identical () =
+  let bare = Core.Engine.create ~prefilter:Core.Engine.default_prefilter sgi in
+  let r_bare = Core.Eco.optimize_with ~mode:fast bare Matmul.kernel ~n:24 in
+  let file = temp_db () in
+  let db = Perfdb.load file in
+  let dbed = Core.Engine.create ~prefilter:Core.Engine.default_prefilter sgi in
+  Core.Engine.set_db dbed db;
+  let r_db = Core.Eco.optimize_with ~mode:fast dbed Matmul.kernel ~n:24 in
+  Perfdb.close db;
+  Alcotest.(check bool) "same answer" true (answer r_bare = answer r_db);
+  Alcotest.(check bool) "same candidate sequence" true
+    (log_points r_bare = log_points r_db);
+  Alcotest.(check int) "same fresh count"
+    (Core.Engine.stats bare).Core.Engine.fresh
+    (Core.Engine.stats dbed).Core.Engine.fresh;
+  Alcotest.(check int) "no warm seeds from an empty store" 0
+    (Core.Engine.stats dbed).Core.Engine.warm_starts;
+  Sys.remove file
+
+let populate file ~n =
+  let db = Perfdb.load file in
+  let eng = Core.Engine.create ~prefilter:Core.Engine.default_prefilter sgi in
+  Core.Engine.set_db eng db;
+  let r = Core.Eco.optimize_with ~mode:fast eng Matmul.kernel ~n in
+  Perfdb.close db;
+  (answer r, (Core.Engine.stats eng).Core.Engine.fresh)
+
+(* Warm-started searches are deterministic under parallel evaluation:
+   jobs=1 and jobs=4 against identical copies of a populated store
+   agree bit-for-bit.  (Each run gets its own copy: a warm run appends
+   its measurements and summary as it goes, so sharing one file would
+   hand the second run a different donor.) *)
+let test_warm_start_jobs_identical () =
+  let file = temp_db () in
+  let _ = populate file ~n:24 in
+  let run jobs =
+    let copy = temp_db () in
+    copy_file file copy;
+    let db = Perfdb.load copy in
+    let eng =
+      Core.Engine.create ~jobs ~prefilter:Core.Engine.default_prefilter sgi
+    in
+    Core.Engine.set_db eng db;
+    let r = Core.Eco.optimize_with ~mode:fast eng Matmul.kernel ~n:32 in
+    Perfdb.close db;
+    Sys.remove copy;
+    (answer r, log_points r, (Core.Engine.stats eng).Core.Engine.warm_starts)
+  in
+  let a1, l1, w1 = run 1 in
+  let a4, l4, w4 = run 4 in
+  Alcotest.(check bool) "jobs=1 = jobs=4 answer" true (a1 = a4);
+  Alcotest.(check bool) "jobs=1 = jobs=4 candidates" true (l1 = l4);
+  Alcotest.(check bool) "warm seeds transferred" true (w1 > 0 && w1 = w4);
+  Sys.remove file
+
+(* With warm-starting disabled, a fully-populated store replays the
+   original search without a single fresh simulation — and lands on the
+   same answer. *)
+let test_no_warm_start_full_replay () =
+  let file = temp_db () in
+  let ans0, fresh0 = populate file ~n:24 in
+  let db = Perfdb.load file in
+  let eng = Core.Engine.create ~prefilter:Core.Engine.default_prefilter sgi in
+  Core.Engine.set_db eng ~warm_start:false db;
+  let r = Core.Eco.optimize_with ~mode:fast eng Matmul.kernel ~n:24 in
+  Perfdb.close db;
+  let s = Core.Engine.stats eng in
+  Alcotest.(check bool) "identical answer" true (answer r = ans0);
+  Alcotest.(check int) "zero fresh simulations" 0 s.Core.Engine.fresh;
+  Alcotest.(check int) "every simulation served from the store" fresh0
+    s.Core.Engine.db_hits;
+  Sys.remove file
+
+(* --no-warm-start with only other-size records on file restores the
+   plain search path exactly: no exact hits, no seeds, same trajectory. *)
+let test_no_warm_start_restores_plain_path () =
+  let file = temp_db () in
+  let _ = populate file ~n:24 in
+  let bare = Core.Engine.create ~prefilter:Core.Engine.default_prefilter sgi in
+  let r_bare = Core.Eco.optimize_with ~mode:fast bare Matmul.kernel ~n:32 in
+  let db = Perfdb.load file in
+  let eng = Core.Engine.create ~prefilter:Core.Engine.default_prefilter sgi in
+  Core.Engine.set_db eng ~warm_start:false db;
+  let r = Core.Eco.optimize_with ~mode:fast eng Matmul.kernel ~n:32 in
+  Perfdb.close db;
+  let s = Core.Engine.stats eng in
+  Alcotest.(check bool) "same answer as the no-db search" true
+    (answer r = answer r_bare);
+  Alcotest.(check bool) "same candidate sequence" true
+    (log_points r = log_points r_bare);
+  Alcotest.(check int) "no exact hits across sizes" 0 s.Core.Engine.db_hits;
+  Alcotest.(check int) "no warm seeds" 0 s.Core.Engine.warm_starts;
+  Sys.remove file
+
+(* Warm-start x fault protocol x kill/resume: a DB-backed faulty run
+   killed mid-search and resumed lands on the uninterrupted run's
+   answer, and the store picks up no duplicate records along the way. *)
+let test_warm_start_fault_kill_resume () =
+  let faults () = Faults.make ~seed:7 ~noise:0.02 ~outlier:0.05 () in
+  let protocol = { Core.Engine.default_protocol with trials = 3 } in
+  let mk file =
+    let db = Perfdb.load file in
+    let eng =
+      Core.Engine.create ~faults:(faults ()) ~protocol
+        ~prefilter:Core.Engine.default_prefilter sgi
+    in
+    Core.Engine.set_db eng db;
+    (eng, db)
+  in
+  let file1 = temp_db () in
+  (* Populate under the same fault plan the tuned runs use. *)
+  let eng, db = mk file1 in
+  let _ = Core.Eco.optimize_with ~mode:fast eng Matmul.kernel ~n:24 in
+  Perfdb.close db;
+  let file2 = temp_db () in
+  copy_file file1 file2;
+  let ck = Filename.temp_file "eco_test_engine_ck" ".bin" in
+  let tag = "dbtest|matmul|n=32" in
+  (* Killed run against file1... *)
+  let eng, db = mk file1 in
+  Core.Engine.set_checkpoint eng ~every:2 ~tag ck;
+  Core.Engine.set_eval_limit eng 8;
+  (match Core.Eco.optimize_with ~mode:fast eng Matmul.kernel ~n:32 with
+  | exception Core.Engine.Eval_limit_reached 8 -> ()
+  | _ -> Alcotest.fail "expected the injected kill");
+  Perfdb.close db;
+  (* ...resumed to completion. *)
+  let eng, db = mk file1 in
+  Core.Engine.set_checkpoint eng ~every:2 ~tag ck;
+  (match Core.Engine.load_checkpoint eng ~tag ck with
+  | None -> Alcotest.fail "checkpoint did not load"
+  | Some _ -> ());
+  let r_resumed = Core.Eco.optimize_with ~mode:fast eng Matmul.kernel ~n:32 in
+  Perfdb.close db;
+  (* Uninterrupted reference against the pristine copy. *)
+  let eng, db = mk file2 in
+  let r_plain = Core.Eco.optimize_with ~mode:fast eng Matmul.kernel ~n:32 in
+  Perfdb.close db;
+  Alcotest.(check bool) "resumed answer = uninterrupted answer" true
+    (answer r_resumed = answer r_plain);
+  (* No double-appended records: every frame on file is a distinct
+     live record — the measurements the killed run appended were not
+     re-appended when the resumed run re-encountered those candidates.
+     Exactly two summary frames exist (the populate run's n=24 and the
+     resumed run's n=32; the killed run died before writing one), so
+     frames = distinct measurement keys + 2. *)
+  let db = Perfdb.load file1 in
+  let st = Perfdb.stat db in
+  Perfdb.close db;
+  Alcotest.(check int) "every frame is a distinct record"
+    (st.Perfdb.measurements + 2) st.Perfdb.file_records;
+  Sys.remove file1;
+  Sys.remove file2;
+  Sys.remove ck
+
+(* Quarantined / failed candidates must never be persisted: only
+   aggregated successful measurements reach the store. *)
+let test_quarantine_never_persisted () =
+  let file = temp_db () in
+  let db = Perfdb.load file in
+  let faults = Faults.make ~seed:2 ~transient:1.0 () in
+  let engine = Core.Engine.create ~faults sgi in
+  Core.Engine.set_db engine db;
+  let v = variant () in
+  let bindings = some_point engine v ~n:32 in
+  let req = Core.Engine.request v ~n:32 ~mode:fast ~bindings in
+  Alcotest.(check bool) "candidate quarantined" true
+    (Core.Engine.evaluate engine req = None);
+  (match Core.Engine.explain engine req with
+  | `Failed Core.Engine.Quarantined -> ()
+  | _ -> Alcotest.fail "expected a quarantined candidate");
+  let st = Perfdb.stat db in
+  Alcotest.(check int) "no measurement records" 0 st.Perfdb.measurements;
+  Alcotest.(check int) "nothing appended" 0 st.Perfdb.appended;
+  Perfdb.close db;
+  (* And the file itself holds nothing to serve on reload. *)
+  let db2 = Perfdb.load file in
+  let st2 = Perfdb.stat db2 in
+  Alcotest.(check int) "empty on reload" 0 st2.Perfdb.file_records;
+  Perfdb.close db2;
+  try Sys.remove file with Sys_error _ -> ()
+
 let suite =
   [
     Alcotest.test_case "cache hit returns identical measurement" `Quick
@@ -195,4 +412,16 @@ let suite =
       test_telemetry_adds_up;
     Alcotest.test_case "measure_program memoizes" `Quick
       test_measure_program_memoizes;
+    Alcotest.test_case "empty db searches byte-identically" `Quick
+      test_empty_db_byte_identical;
+    Alcotest.test_case "warm start: jobs=1 = jobs=4" `Quick
+      test_warm_start_jobs_identical;
+    Alcotest.test_case "no-warm-start replays with zero fresh sims" `Quick
+      test_no_warm_start_full_replay;
+    Alcotest.test_case "no-warm-start restores the plain path" `Quick
+      test_no_warm_start_restores_plain_path;
+    Alcotest.test_case "warm start x faults x kill/resume" `Quick
+      test_warm_start_fault_kill_resume;
+    Alcotest.test_case "quarantined candidates never persisted" `Quick
+      test_quarantine_never_persisted;
   ]

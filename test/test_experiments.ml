@@ -133,7 +133,7 @@ let test_fig5_smoke () =
     r.Experiments.Fig5.series
 
 let test_run_all_names () =
-  Alcotest.(check int) "fourteen experiments" 14
+  Alcotest.(check int) "fifteen experiments" 15
     (List.length Experiments.Run_all.names);
   match Experiments.Run_all.run ~print:ignore "nonsense" with
   | exception Invalid_argument _ -> ()

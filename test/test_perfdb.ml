@@ -1,0 +1,381 @@
+(* Property tests for the persistent performance database: whatever a
+   sequence of appends (possibly interleaved across handles, possibly
+   killed mid-frame) puts on disk, a reload must see exactly the
+   surviving records; compaction and reopening must be observationally
+   identical to the store they started from; and the nearest-neighbor
+   lookup must be a deterministic function of the store's contents
+   under its documented metric. *)
+
+let temp_db () =
+  let file = Filename.temp_file "eco_test_perfdb" ".db" in
+  Sys.remove file;
+  file
+
+let with_db f =
+  let file = temp_db () in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () -> f file)
+
+(* --- generators --- *)
+
+let gen_name = QCheck.Gen.(oneofl [ "mm"; "jacobi"; "stencil"; "tri" ])
+let gen_machine = QCheck.Gen.(oneofl [ "sgi"; "sparc"; "modern" ])
+
+let gen_point =
+  QCheck.Gen.(
+    let* variant = oneofl [ "v1"; "v2"; "v3" ] in
+    let* ti = int_range 1 64 in
+    let* tj = int_range 1 64 in
+    let* u = int_range 1 8 in
+    let* npf = int_range 0 2 in
+    let* dists = list_repeat npf (int_range 1 32) in
+    let prefetch =
+      List.sort compare (List.mapi (fun i d -> (Printf.sprintf "a%d" i, d)) dists)
+    in
+    let* cycles = float_range 1.0 1e9 in
+    let* mflops = float_range 0.1 5000.0 in
+    return
+      {
+        Perfdb.variant;
+        bindings = List.sort compare [ ("ti", ti); ("tj", tj); ("u", u) ];
+        prefetch;
+        cycles;
+        mflops;
+      })
+
+let gen_capacity =
+  QCheck.Gen.(
+    let* depth = int_range 3 5 in
+    let* entries = list_repeat depth (float_range 2.0 24.0) in
+    return (Array.of_list entries))
+
+let gen_summary =
+  QCheck.Gen.(
+    let* kernel = gen_name in
+    let* machine = gen_machine in
+    let* capacity = gen_capacity in
+    let* n = int_range 8 512 in
+    let* frontier = list_size (int_range 1 12) gen_point in
+    let best =
+      List.hd (List.sort (fun a b -> compare (a.Perfdb.cycles, a) (b.Perfdb.cycles, b)) frontier)
+    in
+    return { Perfdb.kernel; machine; capacity; n; best; frontier })
+
+let gen_measurement =
+  QCheck.Gen.(
+    let* key = string_size ~gen:(char_range 'a' 'z') (int_range 4 16) in
+    let* kernel = gen_name in
+    let* machine = gen_machine in
+    let* n = int_range 8 512 in
+    let* payload = string_size (int_range 0 64) in
+    return (key, kernel, machine, n, payload))
+
+type op =
+  | Add_measurement of (string * string * string * int * string)
+  | Add_summary of Perfdb.summary
+
+let gen_op =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun m -> Add_measurement m) gen_measurement;
+        map (fun s -> Add_summary s) gen_summary;
+      ])
+
+let gen_ops = QCheck.Gen.(list_size (int_range 0 40) gen_op)
+
+let apply db = function
+  | Add_measurement (key, kernel, machine, n, payload) ->
+    ignore (Perfdb.add_measurement db ~key ~kernel ~machine ~n ~payload)
+  | Add_summary s -> Perfdb.add_summary db s
+
+(* Observable state of a store: every measurement key's payload plus
+   every summary, in a canonical order. *)
+let observe db =
+  let summaries = ref [] in
+  Perfdb.iter_summaries db (fun s -> summaries := s :: !summaries);
+  List.sort
+    (fun (a : Perfdb.summary) (b : Perfdb.summary) ->
+      compare (a.kernel, a.machine, a.n) (b.kernel, b.machine, b.n))
+    !summaries
+
+let measurement_keys ops =
+  List.sort_uniq compare
+    (List.filter_map
+       (function Add_measurement (k, _, _, _, _) -> Some k | _ -> None)
+       ops)
+
+let observe_measurements ops db =
+  List.map (fun k -> (k, Perfdb.find_measurement db ~key:k)) (measurement_keys ops)
+
+let summary_eq (a : Perfdb.summary) (b : Perfdb.summary) =
+  a.kernel = b.kernel && a.machine = b.machine && a.n = b.n
+  && a.capacity = b.capacity && a.best = b.best && a.frontier = b.frontier
+
+let summaries_eq xs ys =
+  List.length xs = List.length ys && List.for_all2 summary_eq xs ys
+
+let arb_ops = QCheck.make ~print:(fun ops -> Printf.sprintf "<%d ops>" (List.length ops)) gen_ops
+
+(* 1. Round-trip: append a random batch, reopen, read back identically. *)
+let prop_roundtrip =
+  QCheck.Test.make ~name:"append batch then reload reads back identically"
+    ~count:60 arb_ops (fun ops ->
+      with_db (fun file ->
+          let db = Perfdb.load file in
+          List.iter (apply db) ops;
+          let live_s = observe db in
+          let live_m = observe_measurements ops db in
+          Perfdb.close db;
+          let db2 = Perfdb.load file in
+          let ok =
+            summaries_eq live_s (observe db2)
+            && live_m = observe_measurements ops db2
+          in
+          Perfdb.close db2;
+          ok))
+
+(* 2. Interleaved writers: two handles on the same file appending
+   alternately — a reload sees the union (both append-only views). *)
+let prop_interleaved =
+  QCheck.Test.make ~name:"interleaved writers union on reload" ~count:40
+    (QCheck.pair arb_ops arb_ops) (fun (ops1, ops2) ->
+      with_db (fun file ->
+          let a = Perfdb.load file in
+          let b = Perfdb.load file in
+          (* alternate appends between the two handles *)
+          let rec weave xs ys =
+            match (xs, ys) with
+            | [], rest -> List.iter (apply b) rest
+            | rest, [] -> List.iter (apply a) rest
+            | x :: xs, y :: ys ->
+              apply a x;
+              apply b y;
+              weave xs ys
+          in
+          weave ops1 ops2;
+          Perfdb.close a;
+          Perfdb.close b;
+          let db = Perfdb.load file in
+          let all = ops1 @ ops2 in
+          (* every measurement key written by either handle is served *)
+          let ok_m =
+            List.for_all
+              (fun k -> Perfdb.mem_measurement db ~key:k)
+              (measurement_keys all)
+          in
+          (* every summary key written is present *)
+          let ok_s =
+            List.for_all
+              (function
+                | Add_summary s ->
+                  Perfdb.find_summary db ~kernel:s.Perfdb.kernel
+                    ~machine:s.Perfdb.machine ~n:s.Perfdb.n
+                  <> None
+                | Add_measurement _ -> true)
+              all
+          in
+          Perfdb.close db;
+          ok_m && ok_s))
+
+(* 3. Crash recovery: truncating the file mid-frame (a killed writer)
+   loses at most the torn tail — the prefix reloads cleanly and every
+   record before the tear survives. *)
+let prop_torn_tail =
+  QCheck.Test.make ~name:"truncated tail recovers the complete prefix"
+    ~count:40
+    (QCheck.pair arb_ops QCheck.small_int)
+    (fun (ops, cut) ->
+      QCheck.assume (ops <> []);
+      with_db (fun file ->
+          let db = Perfdb.load file in
+          List.iter (apply db) ops;
+          Perfdb.close db;
+          let size = (Unix.stat file).Unix.st_size in
+          (* cut somewhere strictly inside the file but after the magic *)
+          let cut_at = 13 + (cut mod max 1 (size - 13)) in
+          let fd = Unix.openfile file [ Unix.O_WRONLY ] 0o644 in
+          Unix.ftruncate fd cut_at;
+          Unix.close fd;
+          let db2 = Perfdb.load file in
+          (* the reload must not raise, and everything it reports as
+             live must be a subset of what was written *)
+          let written = measurement_keys ops in
+          let survivors =
+            List.filter (fun k -> Perfdb.mem_measurement db2 ~key:k) written
+          in
+          let st = Perfdb.stat db2 in
+          Perfdb.close db2;
+          (* after truncate-repair the file ends at a frame boundary *)
+          let size2 = (Unix.stat file).Unix.st_size in
+          List.length survivors <= List.length written
+          && st.Perfdb.file_records >= 0
+          && size2 <= cut_at))
+
+(* 4. compact(store) == store, and loading the compacted file yields
+   the same store again. *)
+let prop_compact_identity =
+  QCheck.Test.make ~name:"compact is observationally the identity"
+    ~count:40 arb_ops (fun ops ->
+      with_db (fun file ->
+          let db = Perfdb.load file in
+          List.iter (apply db) ops;
+          let before_s = observe db in
+          let before_m = observe_measurements ops db in
+          Perfdb.compact db;
+          let after_s = observe db in
+          let after_m = observe_measurements ops db in
+          Perfdb.close db;
+          let db2 = Perfdb.load file in
+          let reload_s = observe db2 in
+          let reload_m = observe_measurements ops db2 in
+          Perfdb.close db2;
+          summaries_eq before_s after_s
+          && before_m = after_m
+          && summaries_eq before_s reload_s
+          && before_m = reload_m))
+
+(* 5. Nearest-neighbor: deterministic, and never beaten by any other
+   summary of the same kernel under the documented metric. *)
+let prop_nearest =
+  QCheck.Test.make ~name:"nearest is deterministic and metric-minimal"
+    ~count:60
+    (QCheck.make
+       QCheck.Gen.(triple gen_ops gen_capacity (int_range 8 512)))
+    (fun (ops, capacity, n) ->
+      with_db (fun file ->
+          let db = Perfdb.load file in
+          List.iter (apply db) ops;
+          let kernels =
+            List.sort_uniq compare
+              (List.filter_map
+                 (function
+                   | Add_summary s -> Some s.Perfdb.kernel
+                   | Add_measurement _ -> None)
+                 ops)
+          in
+          let ok =
+            List.for_all
+              (fun kernel ->
+                match Perfdb.nearest db ~kernel ~capacity ~n with
+                | None -> false (* a summary exists for this kernel *)
+                | Some s ->
+                  let d = Perfdb.distance ~capacity ~n s in
+                  let tie_key (x : Perfdb.summary) =
+                    (Perfdb.distance ~capacity ~n x, x.n, x.machine)
+                  in
+                  let minimal = ref true in
+                  Perfdb.iter_summaries db (fun c ->
+                      if c.Perfdb.kernel = kernel then
+                        if compare (tie_key c) (tie_key s) < 0 then
+                          minimal := false);
+                  (* deterministic: asking twice gives the same answer *)
+                  let again =
+                    match Perfdb.nearest db ~kernel ~capacity ~n with
+                    | Some s' -> summary_eq s s'
+                    | None -> false
+                  in
+                  !minimal && again && fst d >= 0.0 && snd d >= 0.0)
+              kernels
+          in
+          Perfdb.close db;
+          ok))
+
+(* 6. Frontier invariants: whatever is merged in, a stored summary's
+   frontier is sorted by cycles, starts with best, deduplicated, and
+   capped at frontier_width. *)
+let prop_frontier_invariants =
+  QCheck.Test.make ~name:"stored frontiers are sorted, deduped, capped"
+    ~count:60 arb_ops (fun ops ->
+      with_db (fun file ->
+          let db = Perfdb.load file in
+          List.iter (apply db) ops;
+          let ok = ref true in
+          Perfdb.iter_summaries db (fun s ->
+              let f = s.Perfdb.frontier in
+              if List.length f > Perfdb.frontier_width then ok := false;
+              (match f with
+              | [] -> ok := false
+              | hd :: _ -> if hd <> s.Perfdb.best then ok := false);
+              let rec sorted = function
+                | a :: (b :: _ as rest) ->
+                  a.Perfdb.cycles <= b.Perfdb.cycles && sorted rest
+                | _ -> true
+              in
+              if not (sorted f) then ok := false;
+              let keys =
+                List.map
+                  (fun (p : Perfdb.point) -> (p.variant, p.bindings, p.prefetch))
+                  f
+              in
+              if List.length (List.sort_uniq compare keys) <> List.length keys
+              then ok := false);
+          Perfdb.close db;
+          !ok))
+
+(* 7. Measurement dedup: re-adding an existing key is a no-op and
+   reports false — the property behind resume idempotence. *)
+let prop_measurement_dedup =
+  QCheck.Test.make ~name:"re-adding a measurement key is a no-op"
+    ~count:40 (QCheck.make gen_measurement)
+    (fun (key, kernel, machine, n, payload) ->
+      with_db (fun file ->
+          let db = Perfdb.load file in
+          let first = Perfdb.add_measurement db ~key ~kernel ~machine ~n ~payload in
+          let again =
+            Perfdb.add_measurement db ~key ~kernel ~machine ~n
+              ~payload:(payload ^ "x")
+          in
+          let kept = Perfdb.find_measurement db ~key in
+          Perfdb.close db;
+          first && (not again) && kept = Some payload))
+
+(* Non-property regression: a complete frame whose payload is damaged
+   raises the typed Corrupt, not a decode crash. *)
+let test_corrupt_frame () =
+  with_db (fun file ->
+      let db = Perfdb.load file in
+      ignore
+        (Perfdb.add_measurement db ~key:"k1" ~kernel:"mm" ~machine:"sgi" ~n:32
+           ~payload:(String.make 64 'p'));
+      ignore
+        (Perfdb.add_measurement db ~key:"k2" ~kernel:"mm" ~machine:"sgi" ~n:32
+           ~payload:(String.make 64 'q'));
+      Perfdb.close db;
+      (* flip a byte inside the first frame's payload: offset 13 (magic)
+         + 8 (length) + 16 (digest) + a few bytes in *)
+      let fd = Unix.openfile file [ Unix.O_WRONLY ] 0o644 in
+      ignore (Unix.lseek fd 45 Unix.SEEK_SET);
+      ignore (Unix.write_substring fd "\xff" 0 1);
+      Unix.close fd;
+      match Perfdb.load file with
+      | exception Perfdb.Corrupt _ -> ()
+      | db ->
+        Perfdb.close db;
+        Alcotest.fail "damaged mid-file frame loaded without Corrupt")
+
+let test_bad_magic () =
+  with_db (fun file ->
+      let oc = open_out_bin file in
+      output_string oc "NOT-A-PERFDB\njunkjunkjunk";
+      close_out oc;
+      match Perfdb.load file with
+      | exception Perfdb.Corrupt _ -> ()
+      | db ->
+        Perfdb.close db;
+        Alcotest.fail "bad magic loaded without Corrupt")
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_interleaved;
+    QCheck_alcotest.to_alcotest prop_torn_tail;
+    QCheck_alcotest.to_alcotest prop_compact_identity;
+    QCheck_alcotest.to_alcotest prop_nearest;
+    QCheck_alcotest.to_alcotest prop_frontier_invariants;
+    QCheck_alcotest.to_alcotest prop_measurement_dedup;
+    Alcotest.test_case "mid-file damage raises Corrupt" `Quick
+      test_corrupt_frame;
+    Alcotest.test_case "bad magic raises Corrupt" `Quick test_bad_magic;
+  ]
