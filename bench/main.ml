@@ -165,10 +165,89 @@ let eval_bench_mode = Core.Executor.Budget 200_000
 
 let eval_bench_run path kernel ~n =
   let engine = Core.Engine.create ~path Machine.sgi_r10000 in
+  (* Baseline rows: plain per-candidate measurement.  Batching changes
+     the fresh-vs-memo accounting (grouped candidates skip the memo), so
+     leaving it on would make the fast and closures counters
+     incomparable. *)
+  Core.Engine.set_batch_replay engine false;
   let t0 = Unix.gettimeofday () in
   let r = Core.Eco.optimize_with ~mode:eval_bench_mode engine kernel ~n in
   let wall = Unix.gettimeofday () -. t0 in
   (Core.Engine.stats engine, wall, r.Core.Eco.measurement.Core.Executor.mflops)
+
+(* The replay tier: fast path + default sampled simulation + batched
+   multi-plan replay + incremental prefetch re-pricing, i.e. the
+   [--sample --incremental] search.  Delivered throughput counts
+   re-priced candidates alongside fresh simulations: both produce a
+   scored candidate the search acts on. *)
+let eval_bench_replay kernel ~n =
+  let engine = Core.Engine.create ~path:Core.Executor.Fast Machine.sgi_r10000 in
+  Core.Engine.set_sampling engine (Some Memsim.Sampling.default);
+  Core.Engine.set_batch_replay engine true;
+  Core.Engine.set_incremental engine true;
+  let t0 = Unix.gettimeofday () in
+  let r = Core.Eco.optimize_with ~mode:eval_bench_mode engine kernel ~n in
+  let wall = Unix.gettimeofday () -. t0 in
+  (Core.Engine.stats engine, wall, r.Core.Eco.measurement.Core.Executor.mflops)
+
+(* K-plan prefetch-sweep microbenchmark over ONE captured demand trace:
+   what a phase-2 distance sweep costs per candidate.  The unbatched
+   path synthesizes and fully replays each plan's event stream; the
+   replay tier prices the whole group from one slack-recording base
+   replay plus one exact confirmation ([Demand_trace.reprice_group]).
+   This isolates the evaluator's speedup from the end-to-end search
+   numbers above, which are floored by the exact confirm/polish tail. *)
+let sweep_microbench (kernel : Kernels.Kernel.t) ~n =
+  let machine = Machine.sgi_r10000 in
+  let v = List.hd (Core.Derive.variants machine kernel) in
+  let bindings =
+    match Core.Search.model_point machine ~n v with Some b -> b | None -> []
+  in
+  let program = Core.Variant.instantiate v ~bindings in
+  let dt =
+    Core.Demand_trace.capture machine kernel ~n ~mode:eval_bench_mode program
+  in
+  let arr =
+    (List.hd (Ir.Program.heap_arrays (Core.Demand_trace.program dt)))
+      .Ir.Decl.name
+  in
+  let k = 24 in
+  let plans = Array.init k (fun i -> [ (arr, 1 + i) ]) in
+  let rounds = 3 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to rounds do
+      f ()
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int rounds
+  in
+  let unbatched () =
+    Array.iter
+      (fun plan ->
+        let buf = Ir.Vm.Buf.create ~capacity:(1 lsl 16) () in
+        let cut = Core.Demand_trace.synthesize dt ~plan ~into:buf in
+        ignore
+          (Core.Executor.measure_from_trace machine kernel ~n
+             ~stats:(Core.Demand_trace.stats dt)
+             ~events:(Ir.Vm.Buf.data buf)
+             ~n_events:(Ir.Vm.Buf.length buf) ~cut))
+      plans
+  in
+  let replay ?sampling () =
+    match
+      Core.Demand_trace.reprice_group ?sampling machine kernel ~n dt ~plans
+    with
+    | Some _ -> ()
+    | None ->
+      ignore (Core.Demand_trace.measure_plans ?sampling machine kernel ~n dt ~plans)
+  in
+  let t_unbatched = time unbatched in
+  let t_replay = time (fun () -> replay ()) in
+  let t_replay_sampled =
+    time (fun () -> replay ~sampling:Memsim.Sampling.default ())
+  in
+  let per_sec t = if t > 0.0 then float_of_int k /. t else 0.0 in
+  (k, per_sec t_unbatched, per_sec t_replay, per_sec t_replay_sampled)
 
 let emit_eval_json () =
   let entries =
@@ -190,8 +269,21 @@ let emit_eval_json () =
         if fast_mflops <> slow_mflops then
           Format.printf "WARNING: %s paths disagree (%.2f vs %.2f MFLOPS)@."
             name fast_mflops slow_mflops;
+        let replay, replay_wall, replay_mflops = eval_bench_replay kernel ~n in
         let per_sec evals seconds =
           if seconds > 0.0 then float_of_int evals /. seconds else 0.0
+        in
+        let delivered = replay.Core.Engine.fresh + replay.Core.Engine.repriced in
+        let replay_per_sec = per_sec delivered replay.Core.Engine.eval_seconds in
+        (* Negative = the sampled search found a better point than the
+           exact search; the winner itself is always exact-measured. *)
+        let replay_degradation =
+          if fast_mflops > 0.0 then
+            (fast_mflops -. replay_mflops) /. fast_mflops *. 100.0
+          else 0.0
+        in
+        let sweep_k, sweep_unb, sweep_rep, sweep_rep_sampled =
+          sweep_microbench kernel ~n
         in
         let speedup =
           if fast.Core.Engine.eval_seconds > 0.0 then
@@ -206,6 +298,19 @@ let emit_eval_json () =
           slow.Core.Engine.eval_seconds
           (per_sec slow.Core.Engine.fresh slow.Core.Engine.eval_seconds)
           speedup;
+        Format.printf
+          "  replay: %d delivered (%d fresh, %d repriced, %d sampled) in \
+           %.3fs (%.0f evals/s)  %.1f MFLOPS (deg %+.2f%%)@."
+          delivered replay.Core.Engine.fresh replay.Core.Engine.repriced
+          replay.Core.Engine.sampled replay.Core.Engine.eval_seconds
+          replay_per_sec replay_mflops replay_degradation;
+        Format.printf
+          "  sweep (K=%d): unbatched %.0f evals/s  replay %.0f evals/s \
+           (%.1fx)  replay+sampled %.0f evals/s (%.1fx)@."
+          sweep_k sweep_unb sweep_rep
+          (if sweep_unb > 0.0 then sweep_rep /. sweep_unb else 0.0)
+          sweep_rep_sampled
+          (if sweep_unb > 0.0 then sweep_rep_sampled /. sweep_unb else 0.0);
         Printf.sprintf
           "  {\"kernel\": \"%s\", \"n\": %d, \"budget\": %d,\n\
           \   \"fast_evals\": %d, \"fast_eval_seconds\": %.4f, \
@@ -214,7 +319,17 @@ let emit_eval_json () =
            \"trace_fills\": %d,\n\
           \   \"closures_evals\": %d, \"closures_eval_seconds\": %.4f, \
            \"closures_evals_per_sec\": %.1f,\n\
-          \   \"closures_wall_seconds\": %.4f, \"speedup\": %.2f}"
+          \   \"closures_wall_seconds\": %.4f, \"speedup\": %.2f,\n\
+          \   \"replay_delivered_evals\": %d, \"replay_fresh\": %d, \
+           \"replay_repriced\": %d, \"replay_sampled\": %d,\n\
+          \   \"replay_batched_groups\": %d, \"replay_eval_seconds\": %.4f, \
+           \"replay_evals_per_sec\": %.1f,\n\
+          \   \"replay_wall_seconds\": %.4f, \"replay_mflops\": %.2f, \
+           \"replay_degradation_pct\": %.2f,\n\
+          \   \"sweep_k\": %d, \"sweep_unbatched_evals_per_sec\": %.1f, \
+           \"sweep_replay_evals_per_sec\": %.1f,\n\
+          \   \"sweep_replay_sampled_evals_per_sec\": %.1f, \
+           \"sweep_speedup\": %.2f, \"sweep_sampled_speedup\": %.2f}"
           name n
           (match eval_bench_mode with
           | Core.Executor.Budget b -> b
@@ -224,7 +339,13 @@ let emit_eval_json () =
           fast_wall fast.Core.Engine.trace_hits fast.Core.Engine.trace_fills
           slow.Core.Engine.fresh slow.Core.Engine.eval_seconds
           (per_sec slow.Core.Engine.fresh slow.Core.Engine.eval_seconds)
-          slow_wall speedup)
+          slow_wall speedup delivered replay.Core.Engine.fresh
+          replay.Core.Engine.repriced replay.Core.Engine.sampled
+          replay.Core.Engine.batched_groups replay.Core.Engine.eval_seconds
+          replay_per_sec replay_wall replay_mflops replay_degradation sweep_k
+          sweep_unb sweep_rep sweep_rep_sampled
+          (if sweep_unb > 0.0 then sweep_rep /. sweep_unb else 0.0)
+          (if sweep_unb > 0.0 then sweep_rep_sampled /. sweep_unb else 0.0))
       eval_bench_cases
   in
   let oc = open_out "BENCH_eval.json" in
@@ -431,7 +552,14 @@ let emit_model_json () =
 (* Transfer warm-start benchmark: populate a performance database at
    one problem size and re-search a neighboring size against it.  The
    acceptance bar is >=30% fewer fresh simulations at <=2% chosen-point
-   degradation on the paper's primary machine.  Emits BENCH_db.json. *)
+   degradation on the paper's primary machine.  Emits BENCH_db.json.
+
+   The degradation gate is deliberately ONE-SIDED: degradation_pct < 0
+   means the warm search's chosen point BEAT the cold search's (the
+   transferred frontier starts the descent in a basin the cold staged
+   search misses — the recurring jacobi3d case, e.g. -8% at 64->72).
+   That is a win, not an anomaly, so it passes; only losing more than
+   2% of the cold point's MFLOPS fails the row. *)
 
 let db_bench_machine = Machine.sgi_r10000
 

@@ -145,7 +145,7 @@ let load_db cmd file =
 
 let tune machine kernel n budget jobs objective prefilter profile closures
     validate faults_spec trials retries checkpoint checkpoint_every die_after
-    db_file no_warm_start =
+    db_file no_warm_start sample no_batch_replay incremental =
   let mode = mode_of_budget budget in
   let path =
     if closures then Core.Executor.Closures else Core.Executor.Fast
@@ -167,6 +167,18 @@ let tune machine kernel n budget jobs objective prefilter profile closures
     Core.Engine.create ~jobs ~path ~faults ~protocol ~objective ?prefilter
       machine
   in
+  let sampling =
+    match sample with
+    | None -> None
+    | Some spec -> (
+      try Some (Memsim.Sampling.parse spec)
+      with Invalid_argument m ->
+        Format.eprintf "eco tune: bad --sample spec: %s@." m;
+        exit 2)
+  in
+  Core.Engine.set_sampling engine sampling;
+  Core.Engine.set_batch_replay engine (not no_batch_replay);
+  Core.Engine.set_incremental engine incremental;
   let db =
     match db_file with
     | None -> None
@@ -193,6 +205,12 @@ let tune machine kernel n budget jobs objective prefilter profile closures
           | None -> "off"
           | Some _ when no_warm_start -> "exact"
           | Some _ -> "warm")
+      ^ Printf.sprintf "|sample=%s|batch=%s|incr=%s"
+          (match sampling with
+          | Some sp -> Memsim.Sampling.to_string sp
+          | None -> "off")
+          (if no_batch_replay then "off" else "on")
+          (if incremental then "on" else "off")
     in
     Core.Engine.set_checkpoint engine ~every:checkpoint_every ~tag file;
     match Core.Engine.load_checkpoint engine ~tag file with
@@ -212,6 +230,13 @@ let tune machine kernel n budget jobs objective prefilter profile closures
   if faults.Faults.active then
     Format.printf "faults:       %s (trials=%d, retries=%d)@."
       (Faults.to_spec faults) trials retries;
+  if sampling <> None || no_batch_replay || incremental then
+    Format.printf "replay:       sample=%s, batching=%s, incremental=%s@."
+      (match sampling with
+      | Some sp -> Memsim.Sampling.to_string sp
+      | None -> "off")
+      (if no_batch_replay then "off" else "on")
+      (if incremental then "on" else "off");
   let r =
     match Core.Eco.optimize_with ~mode engine kernel ~n with
     | r -> r
@@ -418,6 +443,42 @@ let tune_cmd =
              run the unmodified search; the exact-hit tier and result \
              recording stay active.")
   in
+  let sample_arg =
+    Arg.(
+      value
+      & opt ~vopt:(Some "") (some string) None
+      & info [ "sample" ] ~docv:"SPEC"
+          ~doc:
+            (Printf.sprintf
+               "Sampled simulation: measure candidates from a shrunken trace \
+                via periodic replay windows and extrapolate (fast path only; \
+                estimates steer the search, the leading candidates are \
+                re-measured exactly before the winner is declared).  SPEC is \
+                comma-separated $(b,shrink)/$(b,window)/$(b,gap)/$(b,warm) \
+                fields, e.g. 'shrink=4,window=8192'; $(b,--sample) alone \
+                uses %s." (Memsim.Sampling.to_string Memsim.Sampling.default)))
+  in
+  let no_batch_replay_arg =
+    Arg.(
+      value & flag
+      & info [ "no-batch-replay" ]
+          ~doc:
+            "Disable batched multi-plan replay (prefetch sweep groups \
+             measured in one shared walk over the demand trace) and fall \
+             back to per-candidate replay — bit-identical results, more \
+             simulation work.")
+  in
+  let incremental_arg =
+    Arg.(
+      value & flag
+      & info [ "incremental" ]
+          ~doc:
+            "Incremental prefetch re-simulation: within a distance sweep \
+             over one array, replay only the base plan (recording prefetch \
+             timeliness slack), re-price the sibling distances analytically \
+             and re-measure only the estimated best.  Cheaper sweeps; the \
+             chosen distances may differ slightly from the full search.")
+  in
   Cmd.v
     (Cmd.info "tune"
        ~doc:"Run the full two-phase ECO optimization for a kernel.")
@@ -425,7 +486,8 @@ let tune_cmd =
       const tune $ machine_arg $ kernel_arg $ size_arg 256 $ budget_arg
       $ jobs_arg $ objective_arg $ prefilter_arg $ profile_arg $ closures_arg
       $ validate_arg $ faults_arg $ trials_arg $ retries_arg $ checkpoint_arg
-      $ checkpoint_every_arg $ die_after_arg $ db_arg $ no_warm_start_arg)
+      $ checkpoint_every_arg $ die_after_arg $ db_arg $ no_warm_start_arg
+      $ sample_arg $ no_batch_replay_arg $ incremental_arg)
 
 (* --- check --- *)
 

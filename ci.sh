@@ -21,6 +21,69 @@ dune exec bin/eco_cli.exe -- tune -k matmul -n 48 -b 50000 --jobs 2 | grep "engi
 dune exec bench/main.exe -- --eval-bench
 grep "speedup" BENCH_eval.json
 
+# Throughput regression gate against the seed numbers (matmul 275.4 /
+# jacobi3d 97.2 fast-path evals/s): fail if the fast path loses more
+# than 20% (timing-noise allowance), if the replay tier stops
+# out-delivering the plain fast path, if the sampled search's chosen
+# point degrades by more than 2%, or if the batched sweep
+# microbenchmark drops below the 5x bar on every kernel.
+python3 - <<'EOF'
+import json
+rows = json.load(open("BENCH_eval.json"))
+seed = {"matmul": 275.4, "jacobi3d": 97.2}
+ok = True
+best_sweep = 0.0
+for r in rows:
+    floor = 0.8 * seed[r["kernel"]]
+    if r["fast_evals_per_sec"] < floor:
+        print(f'{r["kernel"]}: fast path {r["fast_evals_per_sec"]:.1f} evals/s < floor {floor:.1f}')
+        ok = False
+    if r["replay_evals_per_sec"] <= r["fast_evals_per_sec"]:
+        print(f'{r["kernel"]}: replay tier {r["replay_evals_per_sec"]:.1f} <= fast {r["fast_evals_per_sec"]:.1f} evals/s')
+        ok = False
+    if r["replay_degradation_pct"] > 2.0:
+        print(f'{r["kernel"]}: replay degradation {r["replay_degradation_pct"]:+.2f}% > 2%')
+        ok = False
+    best_sweep = max(best_sweep, r["sweep_speedup"], r["sweep_sampled_speedup"])
+if best_sweep < 5.0:
+    print(f"sweep microbenchmark best speedup {best_sweep:.1f}x < 5x")
+    ok = False
+print(f"eval gate: best sweep speedup {best_sweep:.1f}x")
+raise SystemExit(0 if ok else 1)
+EOF
+
+# --- Batched, sampled and incremental replay -----------------------------
+
+# Batched multi-plan replay is on by default and bit-identical: with
+# sampling off, disabling it (and varying the worker count) must not
+# change a byte of the answer.
+dune exec bin/eco_cli.exe -- tune -k matmul -n 64 -b 100000 \
+  | grep -E "^(best variant|parameters|prefetch|performance):" > ci_batched.txt
+dune exec bin/eco_cli.exe -- tune -k matmul -n 64 -b 100000 --no-batch-replay \
+  | grep -E "^(best variant|parameters|prefetch|performance):" > ci_nobatch.txt
+cmp ci_batched.txt ci_nobatch.txt
+dune exec bin/eco_cli.exe -- tune -k matmul -n 64 -b 100000 --no-batch-replay --jobs 3 \
+  | grep -E "^(best variant|parameters|prefetch|performance):" > ci_nobatch3.txt
+cmp ci_batched.txt ci_nobatch3.txt
+
+# Sampled + incremental equivalence smoke at the benchmarked operating
+# point (the default spec's shrink needs a search-scale trace to be
+# representative; tiny budgets should stay on the exact path): the
+# estimator must engage (sampled and re-priced telemetry both nonzero)
+# and the chosen point must stay within 2% of the exact search's — the
+# winner itself is always confirmed and polished at exact precision.
+dune exec bin/eco_cli.exe -- tune -k matmul -n 128 -b 200000 \
+  > ci_exact_op.txt
+dune exec bin/eco_cli.exe -- tune -k matmul -n 128 -b 200000 --sample --incremental \
+  > ci_sampled.txt
+grep "engine:" ci_sampled.txt | grep -q " sampled"
+grep "engine:" ci_sampled.txt | grep -q " re-priced"
+exact_mf=$(sed -n 's/^performance: *\([0-9.]*\) MFLOPS.*/\1/p' ci_exact_op.txt)
+sampled_mf=$(sed -n 's/^performance: *\([0-9.]*\) MFLOPS.*/\1/p' ci_sampled.txt)
+python3 -c "import sys; e, s = float(sys.argv[1]), float(sys.argv[2]); d = (e - s) / e * 100.0; print(f'sampled-vs-exact degradation {d:+.2f}%'); sys.exit(0 if d <= 2.0 else 1)" \
+  "$exact_mf" "$sampled_mf"
+rm -f ci_batched.txt ci_nobatch.txt ci_nobatch3.txt ci_exact_op.txt ci_sampled.txt
+
 # --- Analytical pre-filter -----------------------------------------------
 
 # Reference answer with the pre-filter off (the default path).

@@ -162,6 +162,41 @@ let capture machine (kernel : Kernels.Kernel.t) ~n ~(mode : Executor.mode)
     words = r.Ir.Vm.n_events + r.Ir.Vm.n_marks;
   }
 
+(* Per-iteration emission table of [plan]: for each mark id, the
+   [(base, terms, tracked)] prefetch emissions in stream order (see
+   the ordering comment in [synthesize]).  [tracked] flags emissions of
+   the [track]ed array, for the incremental repricer. *)
+let emit_table t ~plan ~track =
+  Array.map
+    (fun site ->
+      let site = Array.to_list site in
+      Array.concat
+        (List.rev_map
+           (fun (a, d) ->
+             match List.assoc_opt a site with
+             | None -> [||]
+             | Some reps ->
+               let tracked = track = Some a in
+               Array.map
+                 (fun rep ->
+                   (rep.rconst + (rep.vcoef * d), rep.rterms, tracked))
+                 reps)
+           plan))
+    t.sites
+
+(* Number of innermost-loop iteration records in the captured trace —
+   the granularity at which a prefetch distance shifts an emission. *)
+let iterations t =
+  let marks = t.marks in
+  let n_marks = Array.length marks in
+  let n = ref 0 in
+  let pos = ref 0 in
+  while !pos < n_marks do
+    incr n;
+    pos := !pos + t.mark_width.(marks.(!pos))
+  done;
+  !n
+
 let synthesize t ~plan ~(into : Ir.Vm.Buf.t) =
   Ir.Vm.Buf.clear into;
   (* Per-iteration emission list per mark id: [apply] is folded over the
@@ -215,3 +250,361 @@ let synthesize t ~plan ~(into : Ir.Vm.Buf.t) =
     Ir.Vm.Buf.push into events.(i)
   done;
   !cut
+
+(* --- Batched multi-plan replay --------------------------------------
+
+   The prefetch sweep's K candidates share this trace; instead of
+   synthesizing K buffers and replaying each, walk the marks ONCE and
+   feed each plan's event stream to its own hierarchy as it is
+   reconstructed: shared demand segments go through
+   [Hierarchy.replay_many] (one pass, K states), per-plan prefetch
+   events are computed and dispatched individually.  Each plan's
+   per-event sequence is exactly its [synthesize] output, so counters
+   are bit-identical to the unbatched path (the engine test suite
+   checks this). *)
+
+(* Walk the warm-up region (marks [0, cut_marks) plus the trailing
+   demand events up to [cut_events]) state-only, then settle.  Returns
+   each plan's warm-up event count — the position its [synthesize]d
+   stream would report as the cut: the shared demand prefix plus that
+   plan's prefetch emissions over the warm marks.  Sampled measurement
+   extrapolates by [Executor.suffix_factor] of exactly this count, so
+   batched and unbatched estimates stay bit-identical. *)
+let warm_walk t hs emits =
+  let k = Array.length hs in
+  let counts = Array.make k 0 in
+  if t.cut_events >= 0 then begin
+    let events = t.events and marks = t.marks in
+    let prev = ref 0 in
+    let pos = ref 0 in
+    while !pos < t.cut_marks do
+      let id = marks.(!pos) in
+      let epos = marks.(!pos + 1) in
+      if epos > !prev then
+        Memsim.Hierarchy.warm_many hs events ~pos:!prev ~len:(epos - !prev);
+      prev := epos;
+      for i = 0 to k - 1 do
+        let ems = emits.(i).(id) in
+        counts.(i) <- counts.(i) + Array.length ems;
+        for e = 0 to Array.length ems - 1 do
+          let base, terms, _ = ems.(e) in
+          let v = ref base in
+          for j = 0 to Array.length terms - 1 do
+            let field, coeff = terms.(j) in
+            v := !v + (coeff * marks.(!pos + 2 + field))
+          done;
+          Memsim.Hierarchy.warm_event hs.(i) !v
+        done
+      done;
+      pos := !pos + t.mark_width.(id)
+    done;
+    if t.cut_events > !prev then
+      Memsim.Hierarchy.warm_many hs events ~pos:!prev
+        ~len:(t.cut_events - !prev);
+    for i = 0 to k - 1 do
+      counts.(i) <- counts.(i) + t.cut_events
+    done;
+    Array.iter Memsim.Hierarchy.reset_counters hs
+  end;
+  counts
+
+let timings_of ~sim_s = { Executor.compile_s = 0.0; exec_s = 0.0; sim_s }
+
+let measure_plans ?sampling machine kernel ~n t ~plans =
+  let t0 = Unix_time.now () in
+  let k = Array.length plans in
+  let emits = Array.map (fun plan -> emit_table t ~plan ~track:None) plans in
+  let hs = Executor.pooled_hierarchies machine k in
+  let events = t.events and marks = t.marks in
+  let n_events = Array.length events and n_marks = Array.length marks in
+  let warm_counts = warm_walk t hs emits in
+  let samplers =
+    match sampling with
+    | None -> None
+    | Some sp -> Some (Array.init k (fun _ -> Memsim.Sampling.sampler sp))
+  in
+  let feed_demand prev epos =
+    match samplers with
+    | None -> Memsim.Hierarchy.replay_many hs events ~pos:prev ~len:(epos - prev)
+    | Some ss ->
+      for i = 0 to k - 1 do
+        let s = ss.(i) in
+        let p = ref prev in
+        let remaining = ref (epos - prev) in
+        while !remaining > 0 do
+          let action, c = Memsim.Sampling.take s !remaining in
+          (match action with
+          | Memsim.Sampling.Measure ->
+            Memsim.Hierarchy.replay_packed hs.(i) events ~pos:!p ~len:c
+          | Memsim.Sampling.Warm ->
+            Memsim.Hierarchy.warm_packed hs.(i) events ~pos:!p ~len:c
+          | Memsim.Sampling.Drop -> ());
+          p := !p + c;
+          remaining := !remaining - c
+        done
+      done
+  in
+  let feed_prefetch i v =
+    match samplers with
+    | None -> Memsim.Hierarchy.replay_event hs.(i) v
+    | Some ss -> (
+      match Memsim.Sampling.take ss.(i) 1 with
+      | Memsim.Sampling.Measure, _ -> Memsim.Hierarchy.replay_event hs.(i) v
+      | Memsim.Sampling.Warm, _ -> Memsim.Hierarchy.warm_event hs.(i) v
+      | Memsim.Sampling.Drop, _ -> ())
+  in
+  (* Exact replay re-feeds the full stream on the warmed state (the
+     historical semantics); sampled replay measures only the post-cut
+     suffix and scales back up by the suffix fraction, mirroring
+     [Executor.replay_measured]. *)
+  let suffix = samplers <> None && t.cut_events >= 0 in
+  let prev = ref (if suffix then t.cut_events else 0) in
+  let pos = ref (if suffix then t.cut_marks else 0) in
+  while !pos < n_marks do
+    let id = marks.(!pos) in
+    let epos = marks.(!pos + 1) in
+    if epos > !prev then feed_demand !prev epos;
+    prev := epos;
+    for i = 0 to k - 1 do
+      let ems = emits.(i).(id) in
+      for e = 0 to Array.length ems - 1 do
+        let base, terms, _ = ems.(e) in
+        let v = ref base in
+        for j = 0 to Array.length terms - 1 do
+          let field, coeff = terms.(j) in
+          v := !v + (coeff * marks.(!pos + 2 + field))
+        done;
+        feed_prefetch i !v
+      done
+    done;
+    pos := !pos + t.mark_width.(id)
+  done;
+  if n_events > !prev then feed_demand !prev n_events;
+  let per = (Unix_time.now () -. t0) /. float_of_int (max 1 k) in
+  Array.init k (fun i ->
+      let counters = Memsim.Hierarchy.counters hs.(i) in
+      (match samplers with
+      | Some ss ->
+        Memsim.Counters.extrapolate counters
+          (Memsim.Sampling.factor ss.(i)
+          *. Executor.suffix_factor
+               ~warm:(if suffix then warm_counts.(i) else 0)
+               ~fed:(Memsim.Sampling.fed ss.(i)))
+      | None -> ());
+      Executor.finish machine kernel ~n ~counters ~stats:t.stats
+        ~timings:(timings_of ~sim_s:per))
+
+(* --- Incremental prefetch re-simulation -----------------------------
+
+   When the K plans of a sweep group differ only in ONE array's
+   prefetch distance, a full replay per plan re-derives the same
+   demand-side hit/miss classification K times.  Instead: replay the
+   base plan once while observing, for each of the varying array's
+   prefetch emissions, the slack of its first demand use (how many
+   cycles early the line arrived; negative = the stall paid;
+   [Hierarchy.replay_event_slack]).  A sibling at distance [d0 + dd]
+   issues the same prefetches [dd] innermost iterations earlier, so
+   each slack shifts by [dd * cycles-per-iteration]; re-pricing the
+   stall component under the shifted slacks estimates the sibling's
+   cycles without touching the demand side.  The estimates only RANK
+   the siblings — the argmin is re-measured exactly, so committed
+   numbers never come from the model. *)
+
+type repriced = {
+  rp_measurements : Executor.measurement option array;
+      (** [Some] where a real measurement was taken (the base plan and
+          the estimated-best sibling), [None] where the estimate stood
+          in *)
+  rp_estimated : int;  (** plans priced by the slack model *)
+}
+
+(* The varying array of a sweep group, if there is exactly one: every
+   plan must bind the same arrays, with at most one distance differing
+   from the base plan's. *)
+let varying_array plans =
+  if Array.length plans < 2 then None
+  else begin
+    let base = plans.(0) in
+    let arrays = List.map fst base in
+    let ok = ref true in
+    let vary = ref None in
+    Array.iter
+      (fun plan ->
+        if List.map fst plan <> arrays then ok := false
+        else
+          List.iter2
+            (fun (a, d) (_, d0) ->
+              if d <> d0 then
+                match !vary with
+                | None -> vary := Some a
+                | Some a' when a' = a -> ()
+                | Some _ -> ok := false)
+            plan base)
+      plans;
+    match (!ok, !vary) with true, Some a -> Some a | _ -> None
+  end
+
+let reprice_group ?sampling machine kernel ~n t ~plans =
+  match varying_array plans with
+  | None -> None
+  | Some track ->
+    let t0 = Unix_time.now () in
+    let k = Array.length plans in
+    let emits =
+      [| emit_table t ~plan:plans.(0) ~track:(Some track) |]
+    in
+    (* The pooled slot is safe to share with the sibling re-measurement
+       below: [m0]'s counters are snapshotted by [finish] before
+       [measure_plans] resets the slot. *)
+    let h = (Executor.pooled_hierarchies machine 1).(0) in
+    let hs = [| h |] in
+    let events = t.events and marks = t.marks in
+    let n_events = Array.length events and n_marks = Array.length marks in
+    let warm_counts = warm_walk t hs emits in
+    let sampler =
+      match sampling with
+      | None -> None
+      | Some sp -> Some (Memsim.Sampling.sampler sp)
+    in
+    let l1 = Memsim.Hierarchy.cache h 0 in
+    (* Pending tracked lines and the slacks observed at first use. *)
+    let pending = Hashtbl.create 64 in
+    let slacks = ref [] in
+    let n_slacks = ref 0 in
+    let demand_slack_event v =
+      let s = Memsim.Hierarchy.replay_event_slack h v in
+      if Hashtbl.length pending > 0 && v land 3 <> Ir.Sink.tag_prefetch then begin
+        let line = Memsim.Cache.line_of_addr l1 (v lsr 2) in
+        if Hashtbl.mem pending line then begin
+          Hashtbl.remove pending line;
+          (* A miss means the prefetched line was evicted before use
+             (wasted): no slack sample — shifting the emission does not
+             change what the demand paid. *)
+          if s <> Memsim.Hierarchy.no_slack then begin
+            slacks := s :: !slacks;
+            incr n_slacks
+          end
+        end
+      end
+    in
+    let feed_demand prev epos =
+      match sampler with
+      | None ->
+        for i = prev to epos - 1 do
+          demand_slack_event (Array.unsafe_get events i)
+        done
+      | Some s ->
+        let p = ref prev in
+        let remaining = ref (epos - prev) in
+        while !remaining > 0 do
+          let action, c = Memsim.Sampling.take s !remaining in
+          (match action with
+          | Memsim.Sampling.Measure ->
+            for i = !p to !p + c - 1 do
+              demand_slack_event (Array.unsafe_get events i)
+            done
+          | Memsim.Sampling.Warm ->
+            Memsim.Hierarchy.warm_packed h events ~pos:!p ~len:c
+          | Memsim.Sampling.Drop -> ());
+          p := !p + c;
+          remaining := !remaining - c
+        done
+    in
+    let track_prefetch v =
+      let issued = Memsim.Hierarchy.replay_event_slack h v in
+      if issued <> Memsim.Hierarchy.no_slack then
+        Hashtbl.replace pending (Memsim.Cache.line_of_addr l1 (v lsr 2)) ()
+    in
+    let feed_prefetch tracked v =
+      match sampler with
+      | None ->
+        if tracked then track_prefetch v else Memsim.Hierarchy.replay_event h v
+      | Some s -> (
+        match Memsim.Sampling.take s 1 with
+        | Memsim.Sampling.Measure, _ ->
+          if tracked then track_prefetch v
+          else Memsim.Hierarchy.replay_event h v
+        | Memsim.Sampling.Warm, _ -> Memsim.Hierarchy.warm_event h v
+        | Memsim.Sampling.Drop, _ -> ())
+    in
+    let suffix = sampler <> None && t.cut_events >= 0 in
+    let n_iter = ref 0 in
+    let prev = ref (if suffix then t.cut_events else 0) in
+    let pos = ref (if suffix then t.cut_marks else 0) in
+    while !pos < n_marks do
+      let id = marks.(!pos) in
+      let epos = marks.(!pos + 1) in
+      if epos > !prev then feed_demand !prev epos;
+      prev := epos;
+      incr n_iter;
+      let ems = emits.(0).(id) in
+      for e = 0 to Array.length ems - 1 do
+        let base, terms, tracked = ems.(e) in
+        let v = ref base in
+        for j = 0 to Array.length terms - 1 do
+          let field, coeff = terms.(j) in
+          v := !v + (coeff * marks.(!pos + 2 + field))
+        done;
+        feed_prefetch tracked !v
+      done;
+      pos := !pos + t.mark_width.(id)
+    done;
+    if n_events > !prev then feed_demand !prev n_events;
+    if !n_slacks = 0 then None
+    else begin
+      let counters = Memsim.Hierarchy.counters h in
+      let raw_cycles =
+        float_of_int (Memsim.Counters.accesses counters + counters.Memsim.Counters.stall_cycles)
+      in
+      let factor =
+        match sampler with
+        | Some s ->
+          Memsim.Sampling.factor s
+          *. Executor.suffix_factor
+               ~warm:(if suffix then warm_counts.(0) else 0)
+               ~fed:(Memsim.Sampling.fed s)
+        | None -> 1.0
+      in
+      if factor <> 1.0 then Memsim.Counters.extrapolate counters factor;
+      let sim_s = Unix_time.now () -. t0 in
+      let m0 =
+        Executor.finish machine kernel ~n ~counters ~stats:t.stats
+          ~timings:(timings_of ~sim_s)
+      in
+      (* Cycles per innermost iteration, in raw (unextrapolated)
+         counter units — the shift one unit of prefetch distance
+         applies to every slack. *)
+      let c_iter = raw_cycles /. float_of_int (max 1 !n_iter) in
+      let slacks = !slacks in
+      let stall_at dd =
+        List.fold_left
+          (fun acc s ->
+            let s' = float_of_int s +. (float_of_int dd *. c_iter) in
+            acc +. Float.max 0.0 (-.s'))
+          0.0 slacks
+      in
+      let d0 = List.assoc track plans.(0) in
+      let base_stall = stall_at 0 in
+      let est =
+        Array.map
+          (fun plan ->
+            let dd = List.assoc track plan - d0 in
+            if dd = 0 then Executor.cycles m0
+            else
+              Executor.cycles m0
+              +. ((stall_at dd -. base_stall) *. factor *. m0.Executor.scale))
+          plans
+      in
+      let best = ref 0 in
+      Array.iteri (fun i e -> if e < est.(!best) then best := i) est;
+      let out = Array.make k None in
+      out.(0) <- Some m0;
+      if !best <> 0 then begin
+        let mb =
+          (measure_plans ?sampling machine kernel ~n t ~plans:[| plans.(!best) |]).(0)
+        in
+        out.(!best) <- Some mb
+      end;
+      let measured = if !best = 0 then 1 else 2 in
+      Some { rp_measurements = out; rp_estimated = k - measured }
+    end

@@ -42,3 +42,52 @@ val words : t -> int
     [Engine.request.prefetch] — and returns the warm-up cut position
     ([-1] when the captured mode needs none). *)
 val synthesize : t -> plan:(string * int) list -> into:Ir.Vm.Buf.t -> int
+
+(** Number of innermost-loop iteration records in the captured trace —
+    the granularity at which one unit of prefetch distance shifts an
+    emission. *)
+val iterations : t -> int
+
+(** [measure_plans machine kernel ~n t ~plans] measures every prefetch
+    plan of a sweep group in ONE walk over the captured trace: shared
+    demand segments are replayed through all K hierarchies per pass
+    ({!Memsim.Hierarchy.replay_many}), per-plan prefetch events are
+    synthesized and dispatched inline.  Each returned measurement is
+    bit-identical to synthesizing that plan's stream and measuring it
+    with {!Executor.measure_from_trace} (with the same [?sampling]
+    spec, whose window decisions are replicated per plan). *)
+val measure_plans :
+  ?sampling:Memsim.Sampling.t ->
+  Machine.t ->
+  Kernels.Kernel.t ->
+  n:int ->
+  t ->
+  plans:(string * int) list array ->
+  Executor.measurement array
+
+(** Result of {!reprice_group}. *)
+type repriced = {
+  rp_measurements : Executor.measurement option array;
+      (** indexed like [plans]: [Some] where a real measurement was
+          taken (the base plan, and the estimated-best sibling when it
+          differs), [None] where the slack model's estimate stood in *)
+  rp_estimated : int;  (** how many plans were priced without replay *)
+}
+
+(** [reprice_group machine kernel ~n t ~plans] prices a sweep group
+    whose plans differ only in ONE array's prefetch distance: the base
+    plan [plans.(0)] is replayed once while recording the timeliness
+    slack of each tracked prefetch's first demand use; the siblings'
+    stall components are re-priced under distance-shifted slacks, and
+    only the estimated-best sibling is re-measured exactly.  Returns
+    [None] (caller should fall back to {!measure_plans}) when the
+    plans vary more than one array, or when no slack samples were
+    observed. *)
+val reprice_group :
+  ?sampling:Memsim.Sampling.t ->
+  Machine.t ->
+  Kernels.Kernel.t ->
+  n:int ->
+  t ->
+  plans:(string * int) list array ->
+  repriced option

@@ -82,6 +82,10 @@ type stats = {
   trace_fills : int;
   db_hits : int;
   warm_starts : int;
+  sampled : int;
+  batched_groups : int;
+  batched_candidates : int;
+  repriced : int;
 }
 
 (* The canonical identity of a measurement.  [fp_shape] is a structural
@@ -99,6 +103,9 @@ type fingerprint = {
   fp_bindings : (string * int) list;
   fp_prefetch : (string * int) list;
   fp_check : bool;
+  fp_sampled : bool;
+      (* measured as a sampled estimate: never interchangeable with an
+         exact measurement of the same point *)
 }
 
 (* Infeasible, pruned and failed points are cached too, with their typed
@@ -169,6 +176,20 @@ type t = {
   mutable db_ctx : string;
   mutable db_hits : int;
   mutable warm_starts : int;
+  (* Batched / sampled / incremental replay (the three evaluator tiers
+     of DESIGN.md section 12).  [sampling] turns fast-path measurements
+     into sampled estimates; [batch_replay] lets [evaluate_batch]
+     collapse a sweep group sharing one demand trace into one
+     multi-plan walk; [incremental] additionally re-prices
+     distance-only siblings from the base plan's prefetch-timeliness
+     slacks. *)
+  mutable sampling : Memsim.Sampling.t option;
+  mutable batch_replay : bool;
+  mutable incremental : bool;
+  mutable sampled : int;
+  mutable batched_groups : int;
+  mutable batched_candidates : int;
+  mutable repriced : int;
 }
 
 let default_jobs () = Domain.recommended_domain_count ()
@@ -233,6 +254,13 @@ let create ?(jobs = 1) ?(path = Executor.Fast) ?(faults = Faults.none)
     db_ctx = "";
     db_hits = 0;
     warm_starts = 0;
+    sampling = None;
+    batch_replay = true;
+    incremental = false;
+    sampled = 0;
+    batched_groups = 0;
+    batched_candidates = 0;
+    repriced = 0;
   }
 
 let machine t = t.machine
@@ -249,6 +277,16 @@ let prefilter t = t.prefilter
 let default_prefilter = 4
 
 let set_objective t o = t.objective <- o
+let sampling t = t.sampling
+let set_sampling t sp = t.sampling <- sp
+let batch_replay t = t.batch_replay
+let set_batch_replay t b = t.batch_replay <- b
+let incremental t = t.incremental
+let set_incremental t b = t.incremental <- b
+
+(* Sampling applies to fast-path measurements only: the closure path is
+   the exact differential reference and ignores it. *)
+let engine_sampling t = if t.path = Executor.Fast then t.sampling else None
 
 let set_prefilter t k =
   t.prefilter <- (match k with Some k when k >= 1 -> Some k | _ -> None)
@@ -281,6 +319,10 @@ let stats t =
     trace_fills = t.trace_fills;
     db_hits = t.db_hits;
     warm_starts = t.warm_starts;
+    sampled = t.sampled;
+    batched_groups = t.batched_groups;
+    batched_candidates = t.batched_candidates;
+    repriced = t.repriced;
   }
 
 let failure_breakdown (s : stats) =
@@ -311,7 +353,9 @@ let pp_stats fmt (s : stats) =
   if s.vm_fallbacks > 0 then Format.fprintf fmt ", %d vm fallbacks" s.vm_fallbacks;
   if s.db_hits > 0 then Format.fprintf fmt ", %d db hits" s.db_hits;
   if s.warm_starts > 0 then
-    Format.fprintf fmt ", %d warm-start seeds" s.warm_starts
+    Format.fprintf fmt ", %d warm-start seeds" s.warm_starts;
+  if s.sampled > 0 then Format.fprintf fmt ", %d sampled" s.sampled;
+  if s.repriced > 0 then Format.fprintf fmt ", %d re-priced" s.repriced
 
 let pp_profile fmt (s : stats) =
   Format.fprintf fmt
@@ -325,7 +369,13 @@ let pp_profile fmt (s : stats) =
   if s.model_evals > 0 || s.prefiltered > 0 then
     Format.fprintf fmt
       "; prefilter: %d model evals %.3fs, %d candidates skipped, %d simulated"
-      s.model_evals s.model_seconds s.prefiltered s.fresh
+      s.model_evals s.model_seconds s.prefiltered s.fresh;
+  if s.batched_groups > 0 then
+    Format.fprintf fmt "; batched replay: %d groups covering %d candidates"
+      s.batched_groups s.batched_candidates;
+  if s.repriced > 0 then
+    Format.fprintf fmt "; incremental: %d candidates re-priced without replay"
+      s.repriced
 
 let request ?(check = true) ?(prefetch = []) variant ~n ~mode ~bindings =
   { variant; n; mode; bindings; prefetch; check }
@@ -368,6 +418,7 @@ let fingerprint t (r : request) =
     fp_bindings = r.bindings;
     fp_prefetch = r.prefetch;
     fp_check = r.check;
+    fp_sampled = engine_sampling t <> None;
   }
 
 (* Stable candidate identity for keying fault streams: the same
@@ -390,6 +441,9 @@ let fault_key fp =
       kvs fp.fp_prefetch;
       string_of_bool fp.fp_check;
     ]
+  (* appended only for sampled estimates, so every pre-existing key is
+     unchanged *)
+  ^ (if fp.fp_sampled then "|sampled" else "")
 
 (* --- persistent performance database --------------------------------- *)
 
@@ -477,6 +531,10 @@ let build t r = build_program t.machine (canonical r)
    fresh simulation rather than failing the request.  Runs only on the
    coordinator, so counters and the memo mutate in request order. *)
 let db_serve t ?log (r : request) fp =
+  (* Sampled estimates never enter or leave the database: it stores
+     exact measurements only. *)
+  if fp.fp_sampled then None
+  else
   match t.db with
   | None -> None
   | Some db -> (
@@ -501,6 +559,8 @@ let db_serve t ?log (r : request) fp =
    never become database entries, and the key-level dedup makes resumed
    runs (which replay a prefix) append-idempotent. *)
 let db_append t (r : request) fp (m : Executor.measurement) =
+  if fp.fp_sampled then ()
+  else
   match t.db with
   | None -> ()
   | Some db ->
@@ -522,7 +582,7 @@ type clean =
   | Clean_infeasible
   | Clean_failed of failure_reason
 
-let clean_simulate ?path machine (r : request) =
+let clean_simulate ?path ?sampling machine (r : request) =
   if r.check && not (Variant.feasible r.variant ~n:r.n r.bindings) then
     Clean_infeasible
   else
@@ -530,8 +590,8 @@ let clean_simulate ?path machine (r : request) =
     | None -> Clean_failed Infeasible_instantiation
     | Some program -> (
       match
-        Executor.measure ?path machine r.variant.Variant.kernel ~n:r.n
-          ~mode:r.mode program
+        Executor.measure ?path ?sampling machine r.variant.Variant.kernel
+          ~n:r.n ~mode:r.mode program
       with
       | exception Invalid_argument _ -> Clean_failed Malformed_program
       | m -> Clean (program, m))
@@ -541,7 +601,7 @@ let clean_simulate ?path machine (r : request) =
    candidate program from the cached demand program (value-identical to
    [build_program], since instantiation is pure).  Engine-state-free,
    so batch workers can run it; scratch buffers are per-domain. *)
-let clean_from_trace machine dt (r : request) =
+let clean_from_trace ?sampling machine dt (r : request) =
   if r.check && not (Variant.feasible r.variant ~n:r.n r.bindings) then
     Clean_infeasible
   else
@@ -558,7 +618,7 @@ let clean_from_trace machine dt (r : request) =
           (Demand_trace.program dt) r.prefetch
       in
       let m =
-        Executor.measure_from_trace ~synth_seconds machine
+        Executor.measure_from_trace ~synth_seconds ?sampling machine
           r.variant.Variant.kernel ~n:r.n ~stats:(Demand_trace.stats dt)
           ~events:(Ir.Vm.Buf.data buf) ~n_events:(Ir.Vm.Buf.length buf) ~cut
       in
@@ -747,8 +807,12 @@ let trace_fill t (r : request) key =
   | exception Invalid_argument _ -> None
   | demand -> (
     match
+      (* Sampled estimates replay a trace generated at the shrunken
+         budget ([Executor.effective_mode]); [trace_key] keeps the
+         sampled flag, so sampled and exact traces never alias. *)
       Demand_trace.capture t.machine r.variant.Variant.kernel ~n:r.n
-        ~mode:r.mode demand
+        ~mode:(Executor.effective_mode (engine_sampling t) r.mode)
+        demand
     with
     | exception Invalid_argument _ -> None
     | dt ->
@@ -778,7 +842,11 @@ let task_of ?protocol ?trial_base t (r : request) fp ~dt =
   let machine = t.machine
   and faults = t.faults in
   let protocol = Option.value protocol ~default:t.protocol in
+  let sampling = engine_sampling t in
   let key = fault_key fp in
+  (* The fallback reference stays exact even under sampling: it is the
+     differential baseline, and a degraded candidate should return the
+     true measurement rather than a differently-seeded estimate. *)
   let reference () = clean_simulate ~path:Executor.Closures machine r in
   match t.path with
   | Executor.Closures ->
@@ -790,10 +858,10 @@ let task_of ?protocol ?trial_base t (r : request) fp ~dt =
     | Some dt ->
       fun () ->
         harden ?trial_base ~faults ~protocol ~vm:true ~key
-          ~primary:(fun () -> clean_from_trace machine dt r)
+          ~primary:(fun () -> clean_from_trace ?sampling machine dt r)
           ~reference ()
     | None ->
-      let direct () = clean_simulate ~path:Executor.Fast machine r in
+      let direct () = clean_simulate ~path:Executor.Fast ?sampling machine r in
       fun () ->
         harden ?trial_base ~faults ~protocol ~vm:true ~key ~primary:direct
           ~reference ())
@@ -845,14 +913,19 @@ type checkpoint_blob = {
   ck_memo_seconds : float;
   ck_db_hits : int;
   ck_warm_starts : int;
+  ck_sampled : int;
+  ck_batched_groups : int;
+  ck_batched_candidates : int;
+  ck_repriced : int;
   ck_best : float option;
 }
 
-(* Version 3: the blob gained the performance-database counters (v2
-   added the pre-filter counters).  Old files fail the magic check and
-   load as "corrupt" — crash-only semantics, the run starts fresh
-   instead of mis-restoring counters. *)
-let checkpoint_magic = "ECO-CHECKPOINT-3\n"
+(* Version 4: the fingerprint gained the sampled flag and the blob the
+   batched/sampled/repriced counters (v3 added the performance-database
+   counters, v2 the pre-filter counters).  Old files fail the magic
+   check and load as "corrupt" -- crash-only semantics, the run starts
+   fresh instead of mis-restoring counters. *)
+let checkpoint_magic = "ECO-CHECKPOINT-4\n"
 
 let best_cycles t =
   Hashtbl.fold
@@ -899,6 +972,10 @@ let save_checkpoint t =
         ck_memo_seconds = t.memo_seconds;
         ck_db_hits = t.db_hits;
         ck_warm_starts = t.warm_starts;
+        ck_sampled = t.sampled;
+        ck_batched_groups = t.batched_groups;
+        ck_batched_candidates = t.batched_candidates;
+        ck_repriced = t.repriced;
         ck_best = best_cycles t;
       }
     in
@@ -989,6 +1066,10 @@ let load_checkpoint t ~tag file =
       t.memo_seconds <- ck.ck_memo_seconds;
       t.db_hits <- ck.ck_db_hits;
       t.warm_starts <- ck.ck_warm_starts;
+      t.sampled <- ck.ck_sampled;
+      t.batched_groups <- ck.ck_batched_groups;
+      t.batched_candidates <- ck.ck_batched_candidates;
+      t.repriced <- ck.ck_repriced;
       Some
         {
           resumed_entries = Array.length ck.ck_entries;
@@ -1033,6 +1114,7 @@ let commit t ?log (r : request) fp raw =
     Hashtbl.replace t.memo fp (Measured_entry (program, m));
     db_append t r fp m;
     t.fresh <- t.fresh + 1;
+    if fp.fp_sampled then t.sampled <- t.sampled + 1;
     t.simulated_cycles <- t.simulated_cycles +. Executor.cycles m;
     t.compile_seconds <- t.compile_seconds +. m.Executor.timings.Executor.compile_s;
     t.exec_seconds <- t.exec_seconds +. m.Executor.timings.Executor.exec_s;
@@ -1175,9 +1257,103 @@ let note_prefiltered t ?log () =
   t.prefiltered <- t.prefiltered + 1;
   match log with Some log -> Search_log.note_prefiltered log | None -> ()
 
+let note_repriced t ?log () =
+  t.repriced <- t.repriced + 1;
+  match log with Some log -> Search_log.note_repriced log | None -> ()
+
+(* Does the engine collapse sweep groups into batched multi-plan
+   replays?  Only on the fast path with the per-candidate measurement
+   protocol inert: an active fault plan or repeated trials need
+   per-candidate draws, which the shared group walk bypasses. *)
+let grouping_capable t =
+  t.batch_replay
+  && t.path = Executor.Fast
+  && (not t.faults.Faults.active)
+  && t.protocol.trials <= 1
+
+let tele0 = { t_retries = 0; t_trials = 0; t_fallbacks = 0; t_early_stops = 0 }
+
+(* One batched sweep group: [members] share one demand-trace key.  All
+   plans are measured in a single multi-plan walk over the captured
+   trace ([Demand_trace.measure_plans]); in incremental mode,
+   distance-only siblings are re-priced from the base plan's slack
+   samples instead ([Demand_trace.reprice_group]), and a re-priced
+   member comes back as [None].  The returned thunk is
+   engine-state-free, so it can run on any worker domain; if the group
+   walk dies, every member degrades to its own hardened task. *)
+let group_unit t members =
+  let r0, fp0, _ = members.(0) in
+  match candidate_dt t r0 fp0 with
+  | None ->
+    (* trace capture failed: every member takes its own direct path *)
+    let tasks = Array.map (fun (r, fp, _) -> task_of t r fp ~dt:None) members in
+    (members, fun () -> Array.map (fun task -> Some (task ())) tasks)
+  | Some dt ->
+    t.batched_groups <- t.batched_groups + 1;
+    t.batched_candidates <- t.batched_candidates + Array.length members;
+    let machine = t.machine in
+    let kernel = r0.variant.Variant.kernel in
+    let n = r0.n in
+    let protocol = t.protocol in
+    let sampling = engine_sampling t in
+    let use_incremental = t.incremental && t.objective = Objective.Cycles in
+    let plans = Array.map (fun ((r : request), _, _) -> r.prefetch) members in
+    let fallbacks =
+      Array.map (fun (r, fp, _) -> task_of t r fp ~dt:(Some dt)) members
+    in
+    let thunk () =
+      let started = Unix_time.now () in
+      (* Replicate [harden]'s passthrough checks — grouping only engages
+         when the protocol is inert, so this is the whole protocol:
+         deterministic cycle cap, wall cap, typed malformed failures. *)
+      let finishing i m =
+        let (r : request), _, _ = members.(i) in
+        if Executor.cycles m > protocol.cycle_cap then Failed (Timeout, tele0)
+        else if
+          protocol.wall_cap_s < infinity
+          && Unix_time.now () -. started > protocol.wall_cap_s
+        then Failed (Timeout, tele0)
+        else
+          let line = Machine.line_elems machine 0 in
+          match
+            List.fold_left
+              (fun p (array, distance) ->
+                Transform.Prefetch_insert.apply p ~array ~distance
+                  ~line_elems:line)
+              (Demand_trace.program dt) r.prefetch
+          with
+          | exception Invalid_argument _ -> Failed (Malformed_program, tele0)
+          | program -> Measured (program, m, tele0)
+      in
+      match
+        if use_incremental then
+          match
+            Demand_trace.reprice_group ?sampling machine kernel ~n dt ~plans
+          with
+          | Some rp ->
+            Array.mapi
+              (fun i m -> Option.map (finishing i) m)
+              rp.Demand_trace.rp_measurements
+          | None ->
+            Array.mapi
+              (fun i m -> Some (finishing i m))
+              (Demand_trace.measure_plans ?sampling machine kernel ~n dt ~plans)
+        else
+          Array.mapi
+            (fun i m -> Some (finishing i m))
+            (Demand_trace.measure_plans ?sampling machine kernel ~n dt ~plans)
+      with
+      | out -> out
+      | exception _ ->
+        (* the group walk died: measure every member individually under
+           the full per-candidate protection *)
+        Array.map (fun task -> Some (task ())) fallbacks
+    in
+    (members, thunk)
+
 let evaluate_batch t ?log reqs =
   let reqs = List.map canonical reqs in
-  if t.jobs <= 1 && t.prefilter = None then
+  if t.jobs <= 1 && t.prefilter = None && not (grouping_capable t) then
     (* the historical serial path, bit-for-bit *)
     List.map (evaluate_canonical t ?log) reqs
   else begin
@@ -1258,23 +1434,71 @@ let evaluate_batch t ?log reqs =
     let executed =
       List.filter (fun (_, fp, _) -> not (Hashtbl.mem served fp)) executed
     in
-    let to_run =
-      Array.of_list
-        (List.map
-           (fun (r, fp, _) -> task_of t r fp ~dt:(candidate_dt t r fp))
-           executed)
+    (* Units: each unit measures a disjoint subset of [executed] and
+       returns one [raw option] per member ([None] = re-priced away,
+       never simulated).  Without grouping every unit is one hardened
+       task; with it, prefetch candidates sharing a demand trace form
+       one group unit measured by a single multi-plan walk, placed at
+       the first member's position. *)
+    let singleton ((r, fp, _) as e) =
+      let task = task_of t r fp ~dt:(candidate_dt t r fp) in
+      ([| e |], fun () -> [| Some (task ()) |])
     in
+    let units =
+      if not (grouping_capable t) then List.map singleton executed
+      else begin
+        let buckets = Hashtbl.create 8 in
+        let order = ref [] in
+        List.iter
+          (fun (((r : request), fp, _) as e) ->
+            let groupable =
+              r.prefetch <> []
+              && ((not r.check) || Variant.feasible r.variant ~n:r.n r.bindings)
+            in
+            if groupable then begin
+              let key = trace_key fp in
+              match Hashtbl.find_opt buckets key with
+              | Some q -> Queue.add e q
+              | None ->
+                let q = Queue.create () in
+                Queue.add e q;
+                Hashtbl.add buckets key q;
+                order := `Group key :: !order
+            end
+            else order := `Single e :: !order)
+          executed;
+        List.map
+          (function
+            | `Single e -> singleton e
+            | `Group key ->
+              let members =
+                Array.of_seq (Queue.to_seq (Hashtbl.find buckets key))
+              in
+              if Array.length members = 1 then singleton members.(0)
+              else group_unit t members)
+          (List.rev !order)
+      end
+    in
+    let units = Array.of_list units in
     let t0 = Unix_time.now () in
-    let raws = parallel_map t.jobs (fun task -> task ()) to_run in
+    let results = parallel_map t.jobs (fun (_, thunk) -> thunk ()) units in
     t.eval_seconds <- t.eval_seconds +. (Unix_time.now () -. t0);
     let raw_of_slot = Hashtbl.create 16 in
-    List.iteri
-      (fun i (_, _, slot) -> Hashtbl.replace raw_of_slot slot raws.(i))
-      executed;
+    let repriced_slots = Hashtbl.create 4 in
+    Array.iteri
+      (fun u (members, _) ->
+        Array.iteri
+          (fun i (_, _, slot) ->
+            match results.(u).(i) with
+            | Some raw -> Hashtbl.replace raw_of_slot slot raw
+            | None -> Hashtbl.replace repriced_slots slot ())
+          members)
+      units;
     (* Commit in request order: memo, telemetry and log end up identical
        to a serial evaluation of the same list (a duplicate always
        follows the slot that resolves it, so it lands as a hit — or as
-       another pre-filter skip when its slot was skipped). *)
+       another pre-filter skip / re-price when its slot was skipped or
+       re-priced). *)
     List.map
       (function
         | `Hit fp -> serve_hit t ?log (Hashtbl.find t.memo fp)
@@ -1282,7 +1506,10 @@ let evaluate_batch t ?log reqs =
           match Hashtbl.find_opt t.memo fp with
           | Some entry -> serve_hit t ?log entry
           | None ->
-            note_prefiltered t ?log ();
+            (match Hashtbl.find_opt slots fp with
+            | Some slot when Hashtbl.mem repriced_slots slot ->
+              note_repriced t ?log ()
+            | _ -> note_prefiltered t ?log ());
             None)
         | `Run (r, fp, slot) ->
           if Hashtbl.mem skip fp then begin
@@ -1292,7 +1519,12 @@ let evaluate_batch t ?log reqs =
           else (
             match Hashtbl.find_opt served fp with
             | Some ev -> Some ev
-            | None -> commit t ?log r fp (Hashtbl.find raw_of_slot slot)))
+            | None ->
+              if Hashtbl.mem repriced_slots slot then begin
+                note_repriced t ?log ();
+                None
+              end
+              else commit t ?log r fp (Hashtbl.find raw_of_slot slot)))
       plan
   end
 
@@ -1306,6 +1538,7 @@ let program_fingerprint kernel ~n ~mode shape =
     fp_bindings = [];
     fp_prefetch = [];
     fp_check = false;
+    fp_sampled = false;
   }
 
 let measure_program t ?key kernel ~n ~mode program =

@@ -141,6 +141,57 @@ val set_objective : t -> Objective.t -> unit
     [jobs]. *)
 val set_prefilter : t -> int option -> unit
 
+(** {2 Batched, sampled and incremental replay}
+
+    Three evaluator tiers stacked on the fast path (DESIGN.md, "Three
+    replay tiers"):
+
+    - {b Batched multi-plan replay} (on by default): within an
+      {!evaluate_batch}, prefetch candidates that share one captured
+      demand trace (a distance sweep over one variant point) are
+      measured in ONE walk over the trace
+      ({!Demand_trace.measure_plans}), so the shared demand stream is
+      decoded once instead of once per plan.  Each measurement is
+      bit-identical to the unbatched path.
+    - {b Sampled simulation} (off by default): with a
+      {!Memsim.Sampling.t} spec, fast-path measurements become sampled
+      estimates — the trace is generated at a budget shrunken by
+      [spec.shrink] and only the sampler's periodic windows are
+      replayed with full accounting, counters extrapolated back up.
+      Estimates are memoized under a fingerprint carrying a sampled
+      flag, never satisfy an exact lookup, and never enter the
+      performance database.  The closure path and {!measure_program}
+      stay exact.
+    - {b Incremental re-simulation} (off by default): when the sweep
+      group's plans differ only in one array's prefetch distance, the
+      base plan's replay records per-prefetch timeliness slack and the
+      siblings are re-priced analytically; only the estimated-best
+      sibling is re-measured exactly ({!Demand_trace.reprice_group}).
+      Re-priced candidates return [None], are counted ([repriced],
+      {!Search_log.note_repriced}) and are {e not} memoized — like
+      pre-filter skips, a later request can still measure them.
+
+    Batching engages only when the engine is on the [Fast] path with no
+    active fault plan and [trials <= 1] (the group bypasses the
+    per-candidate protocol, which would otherwise need per-candidate
+    draws); the cycle-cap and wall-cap deadlines still apply.  With
+    batching disabled and no sampling spec, evaluation is byte-for-byte
+    the historical behaviour. *)
+
+val sampling : t -> Memsim.Sampling.t option
+val set_sampling : t -> Memsim.Sampling.t option -> unit
+val batch_replay : t -> bool
+val set_batch_replay : t -> bool -> unit
+val incremental : t -> bool
+val set_incremental : t -> bool -> unit
+
+(** Will {!evaluate_batch} collapse sweep groups into batched
+    multi-plan replays under the current configuration?  True on the
+    [Fast] path with batching enabled, no active fault plan and
+    [trials <= 1].  Searches consult this to decide when a speculative
+    distance pre-batch is worthwhile. *)
+val grouping_capable : t -> bool
+
 (** {2 Persistent performance database}
 
     With {!set_db}, the engine gains an exact-hit tier below the memo
@@ -346,6 +397,11 @@ type stats = {
   trace_fills : int;  (** demand traces captured *)
   db_hits : int;  (** points served from the persistent database *)
   warm_starts : int;  (** transferred warm-start seeds *)
+  sampled : int;  (** fresh evaluations measured as sampled estimates *)
+  batched_groups : int;  (** sweep groups measured by multi-plan replay *)
+  batched_candidates : int;  (** candidates covered by those groups *)
+  repriced : int;
+      (** candidates priced by the incremental repricer, never replayed *)
 }
 
 val stats : t -> stats

@@ -31,6 +31,41 @@ let synth_buffer : Ir.Vm.Buf.t Domain.DLS.key =
 
 let synth_scratch () = Domain.DLS.get synth_buffer
 
+(* Per-domain hierarchy pool: a simulated hierarchy of the paper's
+   primary machine is ~1MB of tag/stamp/fill arrays, and a search takes
+   hundreds of measurements — creating one per candidate was most of
+   the evaluator's allocation churn.  [reset] restores the exact
+   post-[create] state (the differential suites would catch anything
+   less), and [finish] snapshots counters into the measurement, so
+   nothing escapes a measurement that the next reset could corrupt.
+   Keyed by physical machine identity; a different machine drops the
+   pool. *)
+type hierarchy_pool = {
+  mutable pool_machine : Machine.t option;
+  mutable pool_hs : Memsim.Hierarchy.t array;
+}
+
+let hierarchy_pool : hierarchy_pool Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { pool_machine = None; pool_hs = [||] })
+
+let pooled_hierarchies machine k =
+  let p = Domain.DLS.get hierarchy_pool in
+  (match p.pool_machine with
+  | Some m when m == machine -> ()
+  | _ ->
+    p.pool_hs <- [||];
+    p.pool_machine <- Some machine);
+  let have = Array.length p.pool_hs in
+  if have < k then
+    p.pool_hs <-
+      Array.append p.pool_hs
+        (Array.init (k - have) (fun _ -> Memsim.Hierarchy.create machine));
+  let out = Array.sub p.pool_hs 0 k in
+  Array.iter Memsim.Hierarchy.reset out;
+  out
+
+let pooled_hierarchy machine = (pooled_hierarchies machine 1).(0)
+
 let finish machine (kernel : Kernels.Kernel.t) ~n ~counters ~stats ~timings =
   let cost = Memsim.Cost.evaluate machine counters stats in
   let total_flops = kernel.Kernels.Kernel.flops n in
@@ -84,7 +119,47 @@ let measure_closures machine (kernel : Kernels.Kernel.t) ~n ~mode program =
    closure path runs the program twice in budget mode; one VM run plus
    a prefix replay is equivalent because addresses are deterministic —
    the [vm] differential suite checks counters stay bit-identical. *)
-let measure_fast machine (kernel : Kernels.Kernel.t) ~n ~mode program =
+(* Shrink the flop budget for a sampled measurement: the flop-scale
+   extrapolation in [finish] recovers full-run magnitudes from the
+   shorter trace, so sampling shortens both trace generation and
+   replay. *)
+let effective_mode sampling mode =
+  match (sampling, mode) with
+  | Some sp, Budget b when sp.Memsim.Sampling.shrink > 1 ->
+    Budget (max 1 (b / sp.Memsim.Sampling.shrink))
+  | _ -> mode
+
+(* Measured replay after the warm-up prefix was replayed state-only.
+
+   Exact: re-replay the full stream [0 .. n_events) on the warmed
+   state, bit-identical to the historical semantics.
+
+   Sampled: measure only the post-cut suffix — the deepest, warmest
+   stretch of the trace — through the sampler's windows, then
+   extrapolate the counters by the sampler's window factor times the
+   suffix fraction.  Skipping the prefix re-measurement halves the
+   replay work and estimates steady state from the region least
+   contaminated by cold misses; [Demand_trace.measure_plans] replicates
+   the same suffix walk and factor arithmetic bit-for-bit. *)
+let suffix_factor ~warm ~fed =
+  if fed > 0 then float_of_int (warm + fed) /. float_of_int fed else 1.0
+
+let replay_measured ?sampling hierarchy events ~cut ~n_events =
+  match sampling with
+  | None ->
+    Memsim.Hierarchy.replay_packed hierarchy events ~pos:0 ~len:n_events
+  | Some sp ->
+    let start = if cut >= 0 then cut else 0 in
+    let sampler = Memsim.Sampling.sampler sp in
+    Memsim.Hierarchy.replay_sampled hierarchy sampler events ~pos:start
+      ~len:(n_events - start);
+    Memsim.Counters.extrapolate
+      (Memsim.Hierarchy.counters hierarchy)
+      (Memsim.Sampling.factor sampler
+      *. suffix_factor ~warm:start ~fed:(n_events - start))
+
+let measure_fast ?sampling machine (kernel : Kernels.Kernel.t) ~n ~mode program
+    =
   let t0 = Unix_time.now () in
   let params = [ (kernel.Kernels.Kernel.size_param, n) ] in
   let register_budget = Machine.available_registers machine in
@@ -92,7 +167,7 @@ let measure_fast machine (kernel : Kernels.Kernel.t) ~n ~mode program =
   let t1 = Unix_time.now () in
   let events, marks = Domain.DLS.get buffers in
   let flop_budget, warm_budget =
-    match mode with
+    match effective_mode sampling mode with
     | Full -> (None, None)
     | Budget b ->
       ( Some b,
@@ -101,14 +176,14 @@ let measure_fast machine (kernel : Kernels.Kernel.t) ~n ~mode program =
   in
   let r = Ir.Vm.run ?flop_budget ?warm_budget ~events ~marks vm in
   let t2 = Unix_time.now () in
-  let hierarchy = Memsim.Hierarchy.create machine in
+  let hierarchy = pooled_hierarchy machine in
   if r.Ir.Vm.cut_events >= 0 then begin
     Memsim.Hierarchy.warm_packed hierarchy r.Ir.Vm.events ~pos:0
       ~len:r.Ir.Vm.cut_events;
     Memsim.Hierarchy.reset_counters hierarchy
   end;
-  Memsim.Hierarchy.replay_packed hierarchy r.Ir.Vm.events ~pos:0
-    ~len:r.Ir.Vm.n_events;
+  replay_measured ?sampling hierarchy r.Ir.Vm.events ~cut:r.Ir.Vm.cut_events
+    ~n_events:r.Ir.Vm.n_events;
   let t3 = Unix_time.now () in
   let timings =
     { compile_s = t1 -. t0; exec_s = t2 -. t1; sim_s = t3 -. t2 }
@@ -117,20 +192,24 @@ let measure_fast machine (kernel : Kernels.Kernel.t) ~n ~mode program =
     ~counters:(Memsim.Hierarchy.counters hierarchy)
     ~stats:r.Ir.Vm.stats ~timings
 
-let measure ?(path = Fast) machine kernel ~n ~mode program =
+let measure ?(path = Fast) ?sampling machine kernel ~n ~mode program =
   match path with
-  | Closures -> measure_closures machine kernel ~n ~mode program
-  | Fast -> measure_fast machine kernel ~n ~mode program
+  | Closures ->
+    (* The reference interpreter stays exact: sampling is a fast-path
+       optimization, and the differential suites compare against this
+       path. *)
+    measure_closures machine kernel ~n ~mode program
+  | Fast -> measure_fast ?sampling machine kernel ~n ~mode program
 
-let measure_from_trace ?(synth_seconds = 0.0) machine kernel ~n ~stats ~events
-    ~n_events ~cut =
+let measure_from_trace ?(synth_seconds = 0.0) ?sampling machine kernel ~n
+    ~stats ~events ~n_events ~cut =
   let t0 = Unix_time.now () in
-  let hierarchy = Memsim.Hierarchy.create machine in
+  let hierarchy = pooled_hierarchy machine in
   if cut >= 0 then begin
     Memsim.Hierarchy.warm_packed hierarchy events ~pos:0 ~len:cut;
     Memsim.Hierarchy.reset_counters hierarchy
   end;
-  Memsim.Hierarchy.replay_packed hierarchy events ~pos:0 ~len:n_events;
+  replay_measured ?sampling hierarchy events ~cut ~n_events;
   let timings =
     {
       compile_s = 0.0;

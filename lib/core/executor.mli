@@ -41,9 +41,17 @@ type measurement = {
     [machine], spilling registers beyond the machine's available
     register file.
 
+    With [?sampling], the fast path measures a sampled estimate: the
+    flop budget is divided by the spec's [shrink] before tracing, only
+    the sampler's periodic windows of the replay are accounted, and the
+    counters are extrapolated back up ({!Memsim.Sampling}).  The
+    closure path ignores [?sampling] and stays exact (it is the
+    differential reference).
+
     @raise Invalid_argument if the program is malformed. *)
 val measure :
   ?path:path ->
+  ?sampling:Memsim.Sampling.t ->
   Machine.t ->
   Kernels.Kernel.t ->
   n:int ->
@@ -56,9 +64,13 @@ val measure :
     (synthesized by [Demand_trace]): replays [events.(0 .. cut-1)] as
     the warm-up pass when [cut >= 0], resets counters, then replays the
     full stream.  [stats] are the execution statistics of the trace's
-    program; [synth_seconds] is booked into [timings.exec_s]. *)
+    program; [synth_seconds] is booked into [timings.exec_s].
+    [?sampling] replays only the sampler's windows and extrapolates, as
+    in {!measure} (the trace must then have been generated at the
+    spec's shrunken budget for the estimate to line up). *)
 val measure_from_trace :
   ?synth_seconds:float ->
+  ?sampling:Memsim.Sampling.t ->
   Machine.t ->
   Kernels.Kernel.t ->
   n:int ->
@@ -68,10 +80,43 @@ val measure_from_trace :
   cut:int ->
   measurement
 
+(** Assemble a measurement from replayed counters and executor stats —
+    the cost arithmetic plus flop-scale extrapolation that ends every
+    measure function above, exposed for the batched multi-plan replay
+    in {!Demand_trace}. *)
+val finish :
+  Machine.t ->
+  Kernels.Kernel.t ->
+  n:int ->
+  counters:Memsim.Counters.t ->
+  stats:Ir.Exec.stats ->
+  timings:timings ->
+  measurement
+
+(** The mode a sampled measurement actually traces at: [Budget b]
+    divided by the spec's [shrink] (identity without sampling or in
+    [Full] mode). *)
+val effective_mode : Memsim.Sampling.t option -> mode -> mode
+
 (** A pooled per-domain scratch buffer for trace synthesis (cleared by
     the synthesizer; contents are only valid until the next evaluation
     on the same domain). *)
 val synth_scratch : unit -> Ir.Vm.Buf.t
+
+(** [pooled_hierarchies machine k] returns [k] freshly-reset simulated
+    hierarchies of [machine] from the per-domain pool (a hierarchy is
+    ~1MB of arrays; reuse is most of the evaluator's allocation-churn
+    savings).  The slots are only valid until the next
+    [pooled_hierarchies] call on the same domain — measurements
+    snapshot their counters in {!finish}, so no completed measurement
+    refers back into the pool. *)
+val pooled_hierarchies : Machine.t -> int -> Memsim.Hierarchy.t array
+
+(** The suffix extrapolation factor of a sampled measurement that
+    measured only the [fed] post-warm-up events of a [warm + fed]-event
+    stream: [(warm + fed) / fed].  Exposed so the batched multi-plan
+    walk reproduces the scalar bit-for-bit. *)
+val suffix_factor : warm:int -> fed:int -> float
 
 (** Total simulated cycles — the search's objective function. *)
 val cycles : measurement -> float

@@ -13,8 +13,10 @@ type state = {
   log : Search_log.t option;
   variant : Variant.t;
   mutable best : outcome option;
-  (* Leading candidates by objective score (ascending), kept only under
-     an active noisy fault plan, for the post-search confirmation pass. *)
+  (* Leading candidates by objective score (ascending), kept under an
+     active noisy fault plan (for the post-search confirmation pass)
+     and under sampled simulation (for the exact top-k re-measurement
+     that chooses the final winner). *)
   mutable top : (outcome * float) list;
 }
 
@@ -46,7 +48,7 @@ let consider st ~bindings ~prefetch (ev : Engine.evaluation) =
   (match st.best with
   | Some b when score st b.measurement <= c -> ()
   | _ -> st.best <- Some (outcome ()));
-  if Engine.confirming st.engine then
+  if Engine.confirming st.engine || Engine.sampling st.engine <> None then
     if
       not
         (List.exists
@@ -248,6 +250,26 @@ let prefetch_search st ~bindings current_cycles =
     let candidates = Transform.Prefetch_insert.candidates program in
     List.fold_left
       (fun (chosen, best_c) array ->
+        (* With batched replay enabled on the fast path, speculatively
+           measure the array's whole distance ladder as ONE batch: the
+           candidates share this point's demand trace, so the engine
+           collapses them into a single multi-plan walk (when grouping
+           is capable) and the serial descent below runs entirely on
+           memo hits.  The descent's decisions — and hence the chosen
+           plan — are untouched.  Keyed to the [batch_replay] flag
+           rather than [grouping_capable] so an active fault plan stays
+           transparent (same fresh-evaluation counts as a plain
+           engine); with the flag off, the search is byte-identical to
+           the historical one. *)
+        if Engine.batch_replay st.engine && Engine.path st.engine = Executor.Fast
+        then
+          ignore
+            (Engine.evaluate_batch st.engine ?log:st.log
+               (List.map
+                  (fun d ->
+                    request st ~bindings
+                      ~prefetch:(List.sort compare ((array, d) :: chosen)))
+                  [ 1; 2; 4; 8; 16; 32 ]));
         let try_distance d = evaluate st ~bindings ~prefetch:((array, d) :: chosen) in
         match try_distance 1 with
         | Some c1 when c1 < best_c ->
@@ -539,7 +561,7 @@ let tune_armed st =
    the leading candidates are re-measured with fresh, longer trials and
    the winner is chosen on confirmed values.  A no-op on a clean
    engine. *)
-let confirm_best st =
+let confirm_noisy st =
   if not (Engine.confirming st.engine) then st.best
   else
     let trials = 2 * (Engine.protocol st.engine).Engine.trials in
@@ -562,6 +584,76 @@ let confirm_best st =
       Some (fst (List.fold_left (fun (_, ca as a) (_, cb as b) ->
                      if cb < ca then b else a)
                    hd tl))
+
+(* Exact top-k confirmation of a sampled search: the leaderboard was
+   ranked on sampled estimates, so the leading candidates are
+   re-measured with full (unsampled) replays — memoized as exact
+   entries under their exact fingerprints — and the winner is chosen
+   on exact values.  The estimates only steered the search. *)
+let confirm_exact st =
+  let confirmed =
+    List.filter_map
+      (fun (o, _) ->
+        match
+          Engine.evaluate st.engine ?log:st.log
+            (Engine.request st.variant ~n:st.n ~mode:st.mode
+               ~bindings:o.bindings ~prefetch:o.prefetch)
+        with
+        | Some ev ->
+          Some
+            ( {
+                o with
+                program = ev.Engine.program;
+                measurement = ev.Engine.measurement;
+              },
+              score st ev.Engine.measurement )
+        | None -> None)
+      st.top
+  in
+  match confirmed with
+  | [] -> st.best
+  | hd :: tl ->
+    Some (fst (List.fold_left (fun (_, ca as a) (_, cb as b) ->
+                   if cb < ca then b else a)
+                 hd tl))
+
+(* Bounded exact polish around the confirmed winner of a sampled
+   search: sampled estimates rank the broad landscape reliably but blur
+   the last notch of tile/unroll size and prefetch distance, which is
+   where the <=2% degradation budget goes.  One capped descent round, a
+   prefetch pass, and a final capped round at exact precision recover
+   it for a few dozen simulations; [consider] folds every exact
+   evaluation into [st.best], so the polish can only improve the
+   answer.  Caller must have sampling disabled. *)
+let polish_exact st =
+  match st.best with
+  | None -> ()
+  | Some o ->
+    let unroll_params = List.map snd st.variant.Variant.unrolls in
+    let tile_params = List.map snd st.variant.Variant.tiles in
+    let stage = unroll_params @ tile_params in
+    let line = line_elems st in
+    let delta p = if List.mem p unroll_params then 1 else max 1 line in
+    let c0 = score st o.measurement in
+    let b1, c1 =
+      linear_refine_capped st stage ~prefetch:o.prefetch ~delta ~rounds:1
+        o.bindings c0
+    in
+    let prefetch, c2 = prefetch_search_armed st ~bindings:b1 c1 in
+    let prefetch = if prefetch = [] then o.prefetch else prefetch in
+    ignore (linear_refine_capped st stage ~prefetch ~delta ~rounds:1 b1 c2)
+
+let confirm_best st =
+  match Engine.sampling st.engine with
+  | None -> confirm_noisy st
+  | Some _ as saved ->
+    Fun.protect
+      ~finally:(fun () -> Engine.set_sampling st.engine saved)
+      (fun () ->
+        Engine.set_sampling st.engine None;
+        st.best <- confirm_exact st;
+        polish_exact st;
+        confirm_noisy st)
 
 let model_point _machine ~n variant =
   (* Pure constraint arithmetic — no engine, no simulation. *)
@@ -612,18 +704,18 @@ let model_point _machine ~n variant =
 
 let max_transfer_anchors = 3
 
+(* Seeds transferred from the nearest database summary, together with
+   the donor's (machine, size) distance — the adaptive refinement
+   budget below is keyed to it. *)
 let warm_seeds st =
   match Engine.warm_db st.engine with
-  | None -> []
+  | None -> ([], None)
   | Some db -> (
     let machine = Engine.machine st.engine in
+    let capacity = Perfdb.capacity_vector machine in
     let kernel = st.variant.Variant.kernel.Kernels.Kernel.name in
-    match
-      Perfdb.nearest db ~kernel
-        ~capacity:(Perfdb.capacity_vector machine)
-        ~n:st.n
-    with
-    | None -> []
+    match Perfdb.nearest db ~kernel ~capacity ~n:st.n with
+    | None -> ([], None)
     | Some s ->
       let seeds =
         List.filter_map
@@ -658,12 +750,28 @@ let warm_seeds st =
             end)
           seeds
       in
-      List.filteri (fun i _ -> i < max_transfer_anchors) uniq)
+      ( List.filteri (fun i _ -> i < max_transfer_anchors) uniq,
+        Some (Perfdb.distance ~capacity ~n:st.n s) ))
 
 let warm_tune st =
   match warm_seeds st with
-  | [] -> None
-  | seeds -> (
+  | [], _ -> None
+  | seeds, donor -> (
+    (* Adaptive warm-refinement budget: how much local search a
+       transfer earns depends on how far the donor is.  A same-machine,
+       near-size donor transfers near-optimal points, so the short
+       classical refinement suffices; a cross-machine donor (any
+       nonzero capacity distance) or a donor more than 2x away in size
+       only lands the search in the right basin — double the refinement
+       rounds and widen the prefetch-distance retune grid. *)
+    let far =
+      match donor with
+      | None -> false
+      | Some (machine_dist, size_dist) -> machine_dist > 0.0 || size_dist >= 1.0
+    in
+    let rounds_pre = if far then 4 else 2 in
+    let rounds_post = if far then 2 else 1 in
+    let distance_scales = if far then [ 1; 2; 3; 4; 6; 8 ] else [ 1; 2; 4; 8 ] in
     let best =
       List.fold_left
         (fun acc (bindings, prefetch) ->
@@ -723,7 +831,7 @@ let warm_tune st =
       let b1, c1 =
         linear_refine_capped st
           (unroll_params @ tile_params)
-          ~prefetch:pf0 ~delta ~rounds:2 b0 c0
+          ~prefetch:pf0 ~delta ~rounds:rounds_pre b0 c0
       in
       let pf, c2 =
         match pf0 with
@@ -750,7 +858,7 @@ let warm_tune st =
                   Hashtbl.add seen p ();
                   true
                 end)
-              (List.map scaled [ 1; 2; 4; 8 ])
+              (List.map scaled distance_scales)
           in
           match evaluate_prefetch_sweep st ~bindings:b1 candidates with
           | Some (p, c) when c < c1 -> (p, c)
@@ -761,7 +869,7 @@ let warm_tune st =
       let b2, c3 =
         linear_refine_capped st
           (unroll_params @ tile_params)
-          ~prefetch:pf ~delta ~rounds:1 b1 c2
+          ~prefetch:pf ~delta ~rounds:rounds_post b1 c2
       in
       let b3, _ = adjust st ~prefetch:pf b2 c3 in
       ignore b3;

@@ -14,6 +14,7 @@ type t = {
   mutable prefiltered : int;
   mutable db_hits : int;
   mutable warm_starts : int;
+  mutable repriced : int;
   started : float;
 }
 
@@ -26,6 +27,7 @@ let create () =
     prefiltered = 0;
     db_hits = 0;
     warm_starts = 0;
+    repriced = 0;
     started = Unix_time.now ();
   }
 
@@ -36,6 +38,7 @@ let note_failed t = t.failed <- t.failed + 1
 let note_prefiltered t = t.prefiltered <- t.prefiltered + 1
 let note_db_hit t = t.db_hits <- t.db_hits + 1
 let note_warm_start t = t.warm_starts <- t.warm_starts + 1
+let note_repriced t = t.repriced <- t.repriced + 1
 let entries t = List.rev t.entries
 let points t = List.length t.entries
 let fresh = points
@@ -45,6 +48,7 @@ let failed t = t.failed
 let prefiltered t = t.prefiltered
 let db_hits t = t.db_hits
 let warm_starts t = t.warm_starts
+let repriced t = t.repriced
 let seconds t = Unix_time.now () -. t.started
 
 let best t =
@@ -69,9 +73,12 @@ let pp fmt t =
     ^ (if db_hits t > 0 then
          Printf.sprintf ", %d served from the performance database" (db_hits t)
        else "")
+    ^ (if warm_starts t > 0 then
+         Printf.sprintf ", %d transferred warm-start seeds" (warm_starts t)
+       else "")
     ^
-    if warm_starts t > 0 then
-      Printf.sprintf ", %d transferred warm-start seeds" (warm_starts t)
+    if repriced t > 0 then
+      Printf.sprintf ", %d re-priced incrementally" (repriced t)
     else "");
   List.iter
     (fun e ->

@@ -53,6 +53,12 @@ val note_db_hit : t -> unit
     anchor. *)
 val note_warm_start : t -> unit
 
+(** Count a candidate priced by the incremental prefetch repricer
+    instead of a full replay: its cost estimate came from the slack
+    model of its sweep group's base plan, and it was never simulated
+    (nor memoized — a later request may still measure it). *)
+val note_repriced : t -> unit
+
 val entries : t -> entry list
 
 (** Number of distinct points evaluated (cache hits excluded). *)
@@ -79,6 +85,9 @@ val db_hits : t -> int
 
 (** Transferred warm-start seeds force-simulated as anchors. *)
 val warm_starts : t -> int
+
+(** Candidates priced by the incremental repricer without replay. *)
+val repriced : t -> int
 
 (** Wall-clock seconds since [create]. *)
 val seconds : t -> float

@@ -32,6 +32,12 @@ let transfer_mm_pairs () =
 
 let transfer_jacobi_pairs () =
   if fast () then [ (40, 48) ] else [ (64, 72); (96, 112) ]
+
+(* Cross-machine transfers hold the problem size fixed so the row
+   isolates the machine axis; sizes match the first same-machine donor
+   sizes above. *)
+let transfer_cross_mm_n () = if fast () then 80 else 128
+let transfer_cross_jacobi_n () = if fast () then 40 else 64
 let mm_tune_size () = env_int "ECO_MM_TUNE" 240
 let jacobi_tune_size () = env_int "ECO_JACOBI_TUNE" 120
 let table1_mm_size () = env_int "ECO_TABLE1_MM" 512

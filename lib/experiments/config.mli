@@ -29,6 +29,12 @@ val transfer_mm_pairs : unit -> (int * int) list
 
 val transfer_jacobi_pairs : unit -> (int * int) list
 
+(** Fixed problem sizes for the cross-machine transfer rows (the size
+    axis is held constant so each row isolates the machine axis). *)
+val transfer_cross_mm_n : unit -> int
+
+val transfer_cross_jacobi_n : unit -> int
+
 (** Reference tuning size for matrix multiply / Jacobi. *)
 val mm_tune_size : unit -> int
 

@@ -57,7 +57,10 @@ let run ~print ?(jobs = 1) name =
   | "transfer" ->
     banner print
       "Extension: transfer warm-starts from the performance database";
-    List.iter print (Transfer.render (Transfer.run ()))
+    List.iter print (Transfer.render (Transfer.run ()));
+    banner print
+      "Extension: cross-machine transfer (donor hierarchy ≠ target)";
+    List.iter print (Transfer.render (Transfer.run_cross ()))
   | other ->
     invalid_arg
       (Printf.sprintf "unknown experiment %s (known: %s)" other

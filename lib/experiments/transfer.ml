@@ -1,6 +1,7 @@
 type row = {
   kernel : string;
   machine : string;
+  donor : string;
   n_from : int;
   n_to : int;
   sims_cold : int;
@@ -19,15 +20,20 @@ let with_temp_db f =
     ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
     (fun () -> f file)
 
-let run_one ?mode machine kernel ~n_from ~n_to =
+let run_one ?mode ?donor machine kernel ~n_from ~n_to =
   let mode = match mode with Some m -> m | None -> Config.budget () in
+  let donor = match donor with Some d -> d | None -> machine in
   let k = Core.Engine.default_prefilter in
   with_temp_db (fun file ->
-      (* Populate: a normal two-stage search at the source size, writing
-         its measurements and summary into a fresh database.  The file
-         starts empty, so no warm-start fires here. *)
+      (* Populate: a normal two-stage search at the source size ON THE
+         DONOR MACHINE (the target machine itself unless [?donor] says
+         otherwise), writing its measurements and summary into a fresh
+         database.  The file starts empty, so no warm-start fires here.
+         Cross-machine rows rely on measurement keys carrying the
+         machine: the target search gets no exact hits, only
+         nearest-neighbor frontier seeds. *)
       let db = Perfdb.load file in
-      let eng_pop = Core.Engine.create ~prefilter:k machine in
+      let eng_pop = Core.Engine.create ~prefilter:k donor in
       Core.Engine.set_db eng_pop db;
       let (_ : Core.Eco.result) =
         Core.Eco.optimize_with ~mode eng_pop kernel ~n:n_from
@@ -52,6 +58,7 @@ let run_one ?mode machine kernel ~n_from ~n_to =
       {
         kernel = kernel.Kernels.Kernel.name;
         machine = machine.Machine.name;
+        donor = donor.Machine.name;
         n_from;
         n_to;
         sims_cold;
@@ -87,14 +94,40 @@ let run ?mode () =
           (Config.transfer_jacobi_pairs ()))
     (machines ())
 
+(* Cross-machine transfer: populate the database on one memory
+   hierarchy, warm-start a DIFFERENT one from it.  The problem size is
+   held fixed so each row isolates the machine axis — the
+   nearest-neighbor summary is found purely through the capacity-vector
+   distance (Perfdb), never through an exact key match. *)
+let run_cross ?mode () =
+  let ms = machines () in
+  let pairs =
+    List.concat_map
+      (fun d -> List.filter_map (fun t -> if d == t then None else Some (d, t)) ms)
+      ms
+  in
+  List.concat_map
+    (fun (donor, target) ->
+      let n_mm = Config.transfer_cross_mm_n () in
+      let n_j = Config.transfer_cross_jacobi_n () in
+      [
+        run_one ?mode ~donor target Kernels.Matmul.kernel ~n_from:n_mm
+          ~n_to:n_mm;
+        run_one ?mode ~donor target Kernels.Jacobi3d.kernel ~n_from:n_j
+          ~n_to:n_j;
+      ])
+    pairs
+
 let render rows =
   let header =
-    Printf.sprintf "%-10s %-16s %9s %9s %7s %5s %6s %8s" "kernel" "machine"
-      "n" "sims" "saved%" "hits" "seeds" "deg%"
+    Printf.sprintf "%-10s %-18s %-18s %9s %9s %7s %5s %6s %8s" "kernel"
+      "donor" "machine" "n" "sims" "saved%" "hits" "seeds" "deg%"
   in
   let line r =
-    Printf.sprintf "%-10s %-16s %4d->%-4d %4d/%-4d %6.1f%% %5d %6d %+7.2f%%"
-      r.kernel r.machine r.n_from r.n_to r.sims_warm r.sims_cold r.saved_pct
+    let donor = if String.equal r.donor r.machine then "-" else r.donor in
+    Printf.sprintf
+      "%-10s %-18s %-18s %4d->%-4d %4d/%-4d %6.1f%% %5d %6d %+7.2f%%" r.kernel
+      donor r.machine r.n_from r.n_to r.sims_warm r.sims_cold r.saved_pct
       r.db_hits r.warm_seeds r.degradation_pct
   in
   let summary =

@@ -20,7 +20,10 @@
 
 type row = {
   kernel : string;
-  machine : string;
+  machine : string;  (** target: the machine the tuned search runs on *)
+  donor : string;
+      (** machine whose search populated the database; equals [machine]
+          except in cross-machine rows *)
   n_from : int;  (** size the database was populated at *)
   n_to : int;  (** neighboring size the warm search runs at *)
   sims_cold : int;  (** fresh simulations, no database *)
@@ -34,8 +37,11 @@ type row = {
       (** chosen-point loss when warm-starting: positive = slower *)
 }
 
+(** [?donor] populates the database by searching on a different
+    machine than the one being tuned (default: the target itself). *)
 val run_one :
   ?mode:Core.Executor.mode ->
+  ?donor:Machine.t ->
   Machine.t ->
   Kernels.Kernel.t ->
   n_from:int ->
@@ -43,4 +49,12 @@ val run_one :
   row
 
 val run : ?mode:Core.Executor.mode -> unit -> row list
+
+(** Every ordered pair of distinct machines, each populating a database
+    the other warm-starts from, at a fixed problem size per kernel
+    ({!Config.transfer_cross_mm_n} / {!Config.transfer_cross_jacobi_n}).
+    Measurement keys carry the machine, so these rows get no exact
+    database hits — transfer flows only through the capacity-vector
+    nearest-neighbor summary. *)
+val run_cross : ?mode:Core.Executor.mode -> unit -> row list
 val render : row list -> string list

@@ -57,6 +57,22 @@ let copy c =
     prefetch_hidden_cycles = c.prefetch_hidden_cycles;
   }
 
+let extrapolate c f =
+  if f <> 1.0 then begin
+    let s x = int_of_float (Float.round (float_of_int x *. f)) in
+    c.loads <- s c.loads;
+    c.stores <- s c.stores;
+    c.prefetches <- s c.prefetches;
+    for i = 0 to Array.length c.hits - 1 do
+      c.hits.(i) <- s c.hits.(i);
+      c.misses.(i) <- s c.misses.(i)
+    done;
+    c.tlb_misses <- s c.tlb_misses;
+    c.writebacks <- s c.writebacks;
+    c.stall_cycles <- s c.stall_cycles;
+    c.prefetch_hidden_cycles <- s c.prefetch_hidden_cycles
+  end
+
 let pp fmt c =
   Format.fprintf fmt "loads=%d stores=%d prefetches=%d" c.loads c.stores
     c.prefetches;

@@ -35,4 +35,9 @@ val level_hits : t -> int -> int
 val level_misses : t -> int -> int
 
 val copy : t -> t
+
+(** [extrapolate c f] scales every counter by [f] (rounded to nearest),
+    in place — used by sampled simulation to estimate full-replay
+    counts from the measured windows. *)
+val extrapolate : t -> float -> unit
 val pp : Format.formatter -> t -> unit

@@ -206,6 +206,156 @@ let replay_packed t buf ~pos ~len =
     end
   done
 
+(* Per-event twin of one [replay_packed] iteration, for callers that
+   interleave events from several streams (the batched multi-plan walk
+   in [Core.Demand_trace]).  The body is kept a literal copy of the
+   loop above rather than shared through a call so the packed loop —
+   the exact-path throughput the eval benchmark gates — keeps its
+   hoisted locals.  Any change here must be mirrored there. *)
+let replay_event t v =
+  let c = t.counters in
+  let l1 = t.caches.(0) in
+  let addr = v lsr 2 in
+  let tag = v land 3 in
+  if tag <> Ir.Sink.tag_prefetch then begin
+    let write = tag = Ir.Sink.tag_store in
+    if write then c.Counters.stores <- c.Counters.stores + 1
+    else c.Counters.loads <- c.Counters.loads + 1;
+    let page = Tlb.page_of_addr t.tlb addr in
+    if not (Tlb.access t.tlb ~page) then begin
+      c.Counters.tlb_misses <- c.Counters.tlb_misses + 1;
+      c.Counters.stall_cycles <-
+        c.Counters.stall_cycles + t.machine.Machine.tlb.Machine.miss_cycles
+    end;
+    let now = c.Counters.loads + c.Counters.stores + c.Counters.stall_cycles in
+    let line = Cache.line_of_addr l1 addr in
+    let fill = Cache.access l1 ~line ~write in
+    if fill <> Cache.absent then begin
+      count_hit t 0;
+      if fill > now then
+        c.Counters.stall_cycles <- c.Counters.stall_cycles + (fill - now)
+    end
+    else begin
+      count_miss t 0;
+      let below = service t ~level:1 ~now ~addr ~dirty:false in
+      c.Counters.stall_cycles <- c.Counters.stall_cycles + below;
+      let evicted_dirty = Cache.insert l1 ~now ~ready:now ~dirty:write ~line in
+      if evicted_dirty then begin
+        c.Counters.writebacks <- c.Counters.writebacks + 1;
+        if Array.length t.caches > 1 then
+          Cache.set_dirty t.caches.(1)
+            ~line:(Cache.line_of_addr t.caches.(1) addr)
+      end
+    end
+  end
+  else begin
+    c.Counters.loads <- c.Counters.loads + 1;
+    c.Counters.prefetches <- c.Counters.prefetches + 1;
+    let page = Tlb.page_of_addr t.tlb addr in
+    if Tlb.probe t.tlb ~page then begin
+      let now = c.Counters.loads + c.Counters.stores + c.Counters.stall_cycles in
+      let line = Cache.line_of_addr l1 addr in
+      if Cache.access l1 ~line ~write:false = Cache.absent then begin
+        count_miss t 0;
+        let below = service t ~level:1 ~now ~addr ~dirty:false in
+        c.Counters.prefetch_hidden_cycles <-
+          c.Counters.prefetch_hidden_cycles + below;
+        let evicted_dirty =
+          Cache.insert l1 ~now ~ready:(now + below) ~dirty:false ~line
+        in
+        if evicted_dirty then begin
+          c.Counters.writebacks <- c.Counters.writebacks + 1;
+          if Array.length t.caches > 1 then
+            Cache.set_dirty t.caches.(1)
+              ~line:(Cache.line_of_addr t.caches.(1) addr)
+        end
+      end
+    end
+  end
+
+let no_slack = min_int
+
+(* [replay_event] with timing feedback for the incremental prefetch
+   repricer: identical counter/state evolution (it IS the same body,
+   plus the return value), so interleaving it with [replay_event] on
+   the same stream changes nothing. *)
+let replay_event_slack t v =
+  let c = t.counters in
+  let l1 = t.caches.(0) in
+  let addr = v lsr 2 in
+  let tag = v land 3 in
+  if tag <> Ir.Sink.tag_prefetch then begin
+    let write = tag = Ir.Sink.tag_store in
+    if write then c.Counters.stores <- c.Counters.stores + 1
+    else c.Counters.loads <- c.Counters.loads + 1;
+    let page = Tlb.page_of_addr t.tlb addr in
+    if not (Tlb.access t.tlb ~page) then begin
+      c.Counters.tlb_misses <- c.Counters.tlb_misses + 1;
+      c.Counters.stall_cycles <-
+        c.Counters.stall_cycles + t.machine.Machine.tlb.Machine.miss_cycles
+    end;
+    let now = c.Counters.loads + c.Counters.stores + c.Counters.stall_cycles in
+    let line = Cache.line_of_addr l1 addr in
+    let fill = Cache.access l1 ~line ~write in
+    if fill <> Cache.absent then begin
+      count_hit t 0;
+      if fill > now then
+        c.Counters.stall_cycles <- c.Counters.stall_cycles + (fill - now);
+      now - fill
+    end
+    else begin
+      count_miss t 0;
+      let below = service t ~level:1 ~now ~addr ~dirty:false in
+      c.Counters.stall_cycles <- c.Counters.stall_cycles + below;
+      let evicted_dirty = Cache.insert l1 ~now ~ready:now ~dirty:write ~line in
+      if evicted_dirty then begin
+        c.Counters.writebacks <- c.Counters.writebacks + 1;
+        if Array.length t.caches > 1 then
+          Cache.set_dirty t.caches.(1)
+            ~line:(Cache.line_of_addr t.caches.(1) addr)
+      end;
+      no_slack
+    end
+  end
+  else begin
+    c.Counters.loads <- c.Counters.loads + 1;
+    c.Counters.prefetches <- c.Counters.prefetches + 1;
+    let page = Tlb.page_of_addr t.tlb addr in
+    if not (Tlb.probe t.tlb ~page) then no_slack
+    else begin
+      let now = c.Counters.loads + c.Counters.stores + c.Counters.stall_cycles in
+      let line = Cache.line_of_addr l1 addr in
+      if Cache.access l1 ~line ~write:false = Cache.absent then begin
+        count_miss t 0;
+        let below = service t ~level:1 ~now ~addr ~dirty:false in
+        c.Counters.prefetch_hidden_cycles <-
+          c.Counters.prefetch_hidden_cycles + below;
+        let evicted_dirty =
+          Cache.insert l1 ~now ~ready:(now + below) ~dirty:false ~line
+        in
+        if evicted_dirty then begin
+          c.Counters.writebacks <- c.Counters.writebacks + 1;
+          if Array.length t.caches > 1 then
+            Cache.set_dirty t.caches.(1)
+              ~line:(Cache.line_of_addr t.caches.(1) addr)
+        end
+      end;
+      0
+    end
+  end
+
+(* One shared event applied to K plan states: the inner loop keeps the
+   decoded event hot while each hierarchy takes its turn — the batched
+   sweep's demand segments go through here. *)
+let replay_many ts buf ~pos ~len =
+  let nt = Array.length ts in
+  for k = pos to pos + len - 1 do
+    let v = Array.unsafe_get buf k in
+    for i = 0 to nt - 1 do
+      replay_event (Array.unsafe_get ts i) v
+    done
+  done
+
 (* State-only service for the warm-up pass: same lookup/insert/dirty
    sequence as {!service} (so LRU ticks and residency evolve
    identically), no latency arithmetic or counters.  Fill times are
@@ -266,6 +416,66 @@ let warm_packed t buf ~pos ~len =
             ~line:(Cache.line_of_addr t.caches.(1) addr)
       end
     end
+  done
+
+(* Per-event twin of one [warm_packed] iteration; same duplication
+   rationale as [replay_event]. *)
+let warm_event t v =
+  let l1 = t.caches.(0) in
+  let tlb = t.tlb in
+  let multi = Array.length t.caches > 1 in
+  let addr = v lsr 2 in
+  let tag = v land 3 in
+  if tag <> Ir.Sink.tag_prefetch then begin
+    let write = tag = Ir.Sink.tag_store in
+    ignore (Tlb.access tlb ~page:(Tlb.page_of_addr tlb addr));
+    let line = Cache.line_of_addr l1 addr in
+    if Cache.access l1 ~line ~write = Cache.absent then begin
+      warm_service t ~level:1 ~addr;
+      let evicted_dirty = Cache.insert l1 ~now:0 ~ready:0 ~dirty:write ~line in
+      if evicted_dirty && multi then
+        Cache.set_dirty t.caches.(1)
+          ~line:(Cache.line_of_addr t.caches.(1) addr)
+    end
+  end
+  else if Tlb.probe tlb ~page:(Tlb.page_of_addr tlb addr) then begin
+    let line = Cache.line_of_addr l1 addr in
+    if Cache.access l1 ~line ~write:false = Cache.absent then begin
+      warm_service t ~level:1 ~addr;
+      let evicted_dirty = Cache.insert l1 ~now:0 ~ready:0 ~dirty:false ~line in
+      if evicted_dirty && multi then
+        Cache.set_dirty t.caches.(1)
+          ~line:(Cache.line_of_addr t.caches.(1) addr)
+    end
+  end
+
+let warm_many ts buf ~pos ~len =
+  let nt = Array.length ts in
+  for k = pos to pos + len - 1 do
+    let v = Array.unsafe_get buf k in
+    for i = 0 to nt - 1 do
+      warm_event (Array.unsafe_get ts i) v
+    done
+  done
+
+(* Sampled replay: the sampler decides, window by window, whether the
+   next run of events is measured ([replay_packed]), replayed
+   state-only to re-warm residency ([warm_packed] — safe here because
+   LRU is tick-based and the [ready:0] fills it installs are already
+   in the past relative to the monotonically growing counter clock),
+   or skipped.  The caller extrapolates the counters by
+   [Sampling.factor]. *)
+let replay_sampled t sampler buf ~pos ~len =
+  let p = ref pos in
+  let remaining = ref len in
+  while !remaining > 0 do
+    let action, k = Sampling.take sampler !remaining in
+    (match action with
+    | Sampling.Measure -> replay_packed t buf ~pos:!p ~len:k
+    | Sampling.Warm -> warm_packed t buf ~pos:!p ~len:k
+    | Sampling.Drop -> ());
+    p := !p + k;
+    remaining := !remaining - k
   done
 
 let sink t =

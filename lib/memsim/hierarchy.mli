@@ -41,6 +41,43 @@ val replay_packed : t -> int array -> pos:int -> len:int -> unit
     {!replay_packed}'s. *)
 val warm_packed : t -> int array -> pos:int -> len:int -> unit
 
+(** [replay_event t v] simulates the single packed event [v] — one
+    iteration of {!replay_packed}, for callers that interleave events
+    from several streams (the batched multi-plan sweep).  Feeding a
+    buffer event by event is bit-identical to one {!replay_packed}
+    call over it. *)
+val replay_event : t -> int -> unit
+
+(** As {!replay_event}, additionally returning timing feedback for the
+    incremental prefetch repricer: for a demand event that hits in L1,
+    [now - fill] of the line (>= 0 when the line was ready that many
+    cycles early, negative = the stall cycles paid); {!no_slack} on a
+    demand miss.  For a prefetch event, [0] when the prefetch was
+    issued (installed the line or found it resident), {!no_slack} when
+    it was dropped on a TLB miss.  Counter and state evolution is
+    identical to {!replay_event}. *)
+val replay_event_slack : t -> int -> int
+
+val no_slack : int
+
+(** [replay_many ts buf ~pos ~len] replays one shared event run
+    through every hierarchy in [ts] in a single pass over the buffer —
+    equivalent to [Array.iter (fun t -> replay_packed t buf ~pos ~len) ts]
+    but keeping each decoded event hot across the K plan states. *)
+val replay_many : t array -> int array -> pos:int -> len:int -> unit
+
+(** Per-event twin of one {!warm_packed} iteration. *)
+val warm_event : t -> int -> unit
+
+(** {!replay_many}'s state-only counterpart for the warm-up region. *)
+val warm_many : t array -> int array -> pos:int -> len:int -> unit
+
+(** [replay_sampled t sampler buf ~pos ~len] replays only the
+    sampler's measured windows with full accounting, re-warms state
+    through its warm runs, and skips the rest; the caller scales the
+    counters by [Sampling.factor] to estimate the full replay. *)
+val replay_sampled : t -> Sampling.sampler -> int array -> pos:int -> len:int -> unit
+
 (** Clear both the counters and all cache/TLB state. *)
 val reset : t -> unit
 

@@ -22,4 +22,5 @@ let () =
       ("faults", Test_faults.suite);
       ("perfdb", Test_perfdb.suite);
       ("model", Test_model.suite);
+      ("replay", Test_replay.suite);
     ]
