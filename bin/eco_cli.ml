@@ -145,7 +145,7 @@ let load_db cmd file =
 
 let tune machine kernel n budget jobs objective prefilter profile closures
     validate faults_spec trials retries checkpoint checkpoint_every die_after
-    db_file no_warm_start sample no_batch_replay incremental =
+    db_file no_warm_start sample no_batch_replay incremental confirm =
   let mode = mode_of_budget budget in
   let path =
     if closures then Core.Executor.Closures else Core.Executor.Fast
@@ -179,6 +179,12 @@ let tune machine kernel n budget jobs objective prefilter profile closures
   Core.Engine.set_sampling engine sampling;
   Core.Engine.set_batch_replay engine (not no_batch_replay);
   Core.Engine.set_incremental engine incremental;
+  (match confirm with
+  | Some k when k < 1 ->
+    Format.eprintf "eco tune: --confirm must be at least 1@.";
+    exit 2
+  | _ -> ());
+  Core.Engine.set_confirm_override engine confirm;
   let db =
     match db_file with
     | None -> None
@@ -205,12 +211,15 @@ let tune machine kernel n budget jobs objective prefilter profile closures
           | None -> "off"
           | Some _ when no_warm_start -> "exact"
           | Some _ -> "warm")
-      ^ Printf.sprintf "|sample=%s|batch=%s|incr=%s"
+      ^ Printf.sprintf "|sample=%s|batch=%s|incr=%s|confirm=%s"
           (match sampling with
           | Some sp -> Memsim.Sampling.to_string sp
           | None -> "off")
           (if no_batch_replay then "off" else "on")
           (if incremental then "on" else "off")
+          (match confirm with
+          | Some k -> string_of_int k
+          | None -> "adaptive")
     in
     Core.Engine.set_checkpoint engine ~every:checkpoint_every ~tag file;
     match Core.Engine.load_checkpoint engine ~tag file with
@@ -230,13 +239,17 @@ let tune machine kernel n budget jobs objective prefilter profile closures
   if faults.Faults.active then
     Format.printf "faults:       %s (trials=%d, retries=%d)@."
       (Faults.to_spec faults) trials retries;
-  if sampling <> None || no_batch_replay || incremental then
-    Format.printf "replay:       sample=%s, batching=%s, incremental=%s@."
+  if sampling <> None || no_batch_replay || incremental || confirm <> None then
+    Format.printf
+      "replay:       sample=%s, batching=%s, incremental=%s, confirm=%s@."
       (match sampling with
       | Some sp -> Memsim.Sampling.to_string sp
       | None -> "off")
       (if no_batch_replay then "off" else "on")
-      (if incremental then "on" else "off");
+      (if incremental then "on" else "off")
+      (match confirm with
+      | Some k -> string_of_int k
+      | None -> "adaptive");
   let r =
     match Core.Eco.optimize_with ~mode engine kernel ~n with
     | r -> r
@@ -479,6 +492,19 @@ let tune_cmd =
              and re-measure only the estimated best.  Cheaper sweeps; the \
              chosen distances may differ slightly from the full search.")
   in
+  let confirm_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "confirm" ] ~docv:"K"
+          ~doc:
+            "With --sample, confirm exactly the top K leaderboard \
+             candidates before declaring the winner (min 1) instead of the \
+             adaptive policy, which starts from the full leaderboard and \
+             shrinks the confirm set as the sampled estimator proves its \
+             ranking on the kernel.  The winner is re-measured exactly \
+             either way.")
+  in
   Cmd.v
     (Cmd.info "tune"
        ~doc:"Run the full two-phase ECO optimization for a kernel.")
@@ -487,7 +513,7 @@ let tune_cmd =
       $ jobs_arg $ objective_arg $ prefilter_arg $ profile_arg $ closures_arg
       $ validate_arg $ faults_arg $ trials_arg $ retries_arg $ checkpoint_arg
       $ checkpoint_every_arg $ die_after_arg $ db_arg $ no_warm_start_arg
-      $ sample_arg $ no_batch_replay_arg $ incremental_arg)
+      $ sample_arg $ no_batch_replay_arg $ incremental_arg $ confirm_arg)
 
 (* --- check --- *)
 

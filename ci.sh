@@ -21,34 +21,50 @@ dune exec bin/eco_cli.exe -- tune -k matmul -n 48 -b 50000 --jobs 2 | grep "engi
 dune exec bench/main.exe -- --eval-bench
 grep "speedup" BENCH_eval.json
 
-# Throughput regression gate against the seed numbers (matmul 275.4 /
-# jacobi3d 97.2 fast-path evals/s): fail if the fast path loses more
-# than 20% (timing-noise allowance), if the replay tier stops
-# out-delivering the plain fast path, if the sampled search's chosen
-# point degrades by more than 2%, or if the batched sweep
-# microbenchmark drops below the 5x bar on every kernel.
+# Throughput regression gate.  Seed floors (matmul 275.4 / jacobi3d
+# 97.2 fast-path evals/s, 20% timing-noise allowance) and the 2%
+# sampled-degradation bound apply to the two seed kernels; the newer
+# bench kernels (matvec / stencil2d / wavefront) track their numbers
+# without a quality gate — their tiny exact searches make the
+# degradation column a search-shape artifact, not an estimator error.
+# Per-kernel sweep bars: matmul must hold the batched+sampled sweep at
+# >= 12x over unbatched exact replay, jacobi3d (the former 1.10x
+# stencil gap) at >= 4x.  Every kernel must carry a K=64 sweep-scaling
+# row, and large batches must not invert: the K=64 batched rate has to
+# beat the K=24 unbatched rate (the sub-pool split in
+# Demand_trace.measure_plans is what keeps this true for the
+# cache-hungry stencils).
 python3 - <<'EOF'
 import json
 rows = json.load(open("BENCH_eval.json"))
 seed = {"matmul": 275.4, "jacobi3d": 97.2}
+sweep_bar = {"matmul": 12.0, "jacobi3d": 4.0}
 ok = True
-best_sweep = 0.0
 for r in rows:
-    floor = 0.8 * seed[r["kernel"]]
-    if r["fast_evals_per_sec"] < floor:
-        print(f'{r["kernel"]}: fast path {r["fast_evals_per_sec"]:.1f} evals/s < floor {floor:.1f}')
-        ok = False
+    k = r["kernel"]
+    if k in seed:
+        floor = 0.8 * seed[k]
+        if r["fast_evals_per_sec"] < floor:
+            print(f'{k}: fast path {r["fast_evals_per_sec"]:.1f} evals/s < floor {floor:.1f}')
+            ok = False
+        if r["replay_degradation_pct"] > 2.0:
+            print(f'{k}: replay degradation {r["replay_degradation_pct"]:+.2f}% > 2%')
+            ok = False
     if r["replay_evals_per_sec"] <= r["fast_evals_per_sec"]:
-        print(f'{r["kernel"]}: replay tier {r["replay_evals_per_sec"]:.1f} <= fast {r["fast_evals_per_sec"]:.1f} evals/s')
+        print(f'{k}: replay tier {r["replay_evals_per_sec"]:.1f} <= fast {r["fast_evals_per_sec"]:.1f} evals/s')
         ok = False
-    if r["replay_degradation_pct"] > 2.0:
-        print(f'{r["kernel"]}: replay degradation {r["replay_degradation_pct"]:+.2f}% > 2%')
+    sweep = max(r["sweep_speedup"], r["sweep_sampled_speedup"])
+    if sweep < sweep_bar.get(k, 2.0):
+        print(f'{k}: best sweep speedup {sweep:.1f}x < {sweep_bar.get(k, 2.0):.0f}x bar')
         ok = False
-    best_sweep = max(best_sweep, r["sweep_speedup"], r["sweep_sampled_speedup"])
-if best_sweep < 5.0:
-    print(f"sweep microbenchmark best speedup {best_sweep:.1f}x < 5x")
-    ok = False
-print(f"eval gate: best sweep speedup {best_sweep:.1f}x")
+    scaling = {s["k"]: s["batched_evals_per_sec"] for s in r["sweep_scaling"]}
+    if 64 not in scaling:
+        print(f'{k}: no K=64 sweep-scaling row')
+        ok = False
+    elif scaling[64] <= r["sweep_unbatched_evals_per_sec"]:
+        print(f'{k}: K=64 batched {scaling[64]:.1f} evals/s <= unbatched {r["sweep_unbatched_evals_per_sec"]:.1f}')
+        ok = False
+    print(f'eval gate: {k} sweep {sweep:.1f}x, K=64 {scaling.get(64, 0.0):.1f} vs unbatched {r["sweep_unbatched_evals_per_sec"]:.1f} evals/s')
 raise SystemExit(0 if ok else 1)
 EOF
 
@@ -83,6 +99,35 @@ sampled_mf=$(sed -n 's/^performance: *\([0-9.]*\) MFLOPS.*/\1/p' ci_sampled.txt)
 python3 -c "import sys; e, s = float(sys.argv[1]), float(sys.argv[2]); d = (e - s) / e * 100.0; print(f'sampled-vs-exact degradation {d:+.2f}%'); sys.exit(0 if d <= 2.0 else 1)" \
   "$exact_mf" "$sampled_mf"
 rm -f ci_batched.txt ci_nobatch.txt ci_nobatch3.txt ci_exact_op.txt ci_sampled.txt
+
+# End-to-end sampled wall-time gate at a search-scale budget: with
+# shrink=4 sampling, incremental repricing and the adaptive
+# confirmation policy (no --confirm override), the sampled search must
+# finish the b=800k matmul tune at least 2.5x faster than the exact
+# search (measured ~3.3x; the slack absorbs machine noise) while the
+# reported winner — always re-measured exactly — stays within 2% of
+# the exact search's.  The binary is invoked directly so the dune
+# launcher's constant overhead does not dilute the ratio.
+ECO=./_build/default/bin/eco_cli.exe
+t0=$(date +%s.%N)
+$ECO tune -k matmul -n 128 -b 800000 > ci_wall_exact.txt
+t1=$(date +%s.%N)
+$ECO tune -k matmul -n 128 -b 800000 --sample=shrink=4 --incremental \
+  > ci_wall_sampled.txt
+t2=$(date +%s.%N)
+grep "engine:" ci_wall_sampled.txt | grep -q " sampled"
+exact_mf=$(sed -n 's/^performance: *\([0-9.]*\) MFLOPS.*/\1/p' ci_wall_exact.txt)
+sampled_mf=$(sed -n 's/^performance: *\([0-9.]*\) MFLOPS.*/\1/p' ci_wall_sampled.txt)
+python3 -c "
+import sys
+t0, t1, t2, e, s = map(float, sys.argv[1:])
+ratio = (t1 - t0) / (t2 - t1)
+deg = (e - s) / e * 100.0
+print(f'sampled wall gate: exact {t1-t0:.2f}s, sampled {t2-t1:.2f}s '
+      f'({ratio:.2f}x), degradation {deg:+.2f}%')
+sys.exit(0 if ratio >= 2.5 and deg <= 2.0 else 1)
+" "$t0" "$t1" "$t2" "$exact_mf" "$sampled_mf"
+rm -f ci_wall_exact.txt ci_wall_sampled.txt
 
 # --- Analytical pre-filter -----------------------------------------------
 

@@ -163,9 +163,10 @@ let capture machine (kernel : Kernels.Kernel.t) ~n ~(mode : Executor.mode)
   }
 
 (* Per-iteration emission table of [plan]: for each mark id, the
-   [(base, terms, tracked)] prefetch emissions in stream order (see
-   the ordering comment in [synthesize]).  [tracked] flags emissions of
-   the [track]ed array, for the incremental repricer. *)
+   [(base, terms, bucket)] prefetch emissions in stream order (see the
+   ordering comment in [synthesize]).  [bucket] is the slack bucket the
+   incremental repricer assigned to the emission's array in [track]
+   (-1 = untracked). *)
 let emit_table t ~plan ~track =
   Array.map
     (fun site ->
@@ -176,10 +177,12 @@ let emit_table t ~plan ~track =
              match List.assoc_opt a site with
              | None -> [||]
              | Some reps ->
-               let tracked = track = Some a in
+               let bucket =
+                 match List.assoc_opt a track with Some b -> b | None -> -1
+               in
                Array.map
                  (fun rep ->
-                   (rep.rconst + (rep.vcoef * d), rep.rterms, tracked))
+                   (rep.rconst + (rep.vcoef * d), rep.rterms, bucket))
                  reps)
            plan))
     t.sites
@@ -257,11 +260,12 @@ let synthesize t ~plan ~(into : Ir.Vm.Buf.t) =
    synthesizing K buffers and replaying each, walk the marks ONCE and
    feed each plan's event stream to its own hierarchy as it is
    reconstructed: shared demand segments go through
-   [Hierarchy.replay_many] (one pass, K states), per-plan prefetch
-   events are computed and dispatched individually.  Each plan's
-   per-event sequence is exactly its [synthesize] output, so counters
-   are bit-identical to the unbatched path (the engine test suite
-   checks this). *)
+   [Hierarchy.Batch.replay_all] (one pass over the buffer, K flat
+   counter states), per-plan prefetch events are computed and
+   dispatched individually.  Each plan's per-event sequence is exactly
+   its [synthesize] output, so counters after [Batch.sync] are
+   bit-identical to the unbatched path (the engine test suite checks
+   this). *)
 
 (* Walk the warm-up region (marks [0, cut_marks) plus the trailing
    demand events up to [cut_events]) state-only, then settle.  Returns
@@ -269,55 +273,101 @@ let synthesize t ~plan ~(into : Ir.Vm.Buf.t) =
    stream would report as the cut: the shared demand prefix plus that
    plan's prefetch emissions over the warm marks.  Sampled measurement
    extrapolates by [Executor.suffix_factor] of exactly this count, so
-   batched and unbatched estimates stay bit-identical. *)
-let warm_walk t hs emits =
-  let k = Array.length hs in
+   batched and unbatched estimates stay bit-identical.
+
+   [?cap] (sampled mode, {!Memsim.Sampling.prefix_cap}): feed only each
+   plan's trailing [cap] synthesized warm-up events to the hierarchy,
+   skipping the cold head outright — the same positions the unbatched
+   [Executor.warm_prefix] feeds, so capped batched state matches capped
+   unbatched state bit-for-bit.  The returned counts are the full cut
+   positions either way (the extrapolation arithmetic is about stream
+   positions, not replay work). *)
+let warm_walk ?cap t b emits =
+  let k = Memsim.Hierarchy.Batch.size b in
   let counts = Array.make k 0 in
   if t.cut_events >= 0 then begin
     let events = t.events and marks = t.marks in
+    (* Plan i's synthesized warm-up length and state-feed start. *)
+    let emis = Array.make k 0 in
+    let starts =
+      match cap with
+      | None -> Array.make k 0
+      | Some cap ->
+        let pos = ref 0 in
+        while !pos < t.cut_marks do
+          let id = marks.(!pos) in
+          for i = 0 to k - 1 do
+            emis.(i) <- emis.(i) + Array.length emits.(i).(id)
+          done;
+          pos := !pos + t.mark_width.(id)
+        done;
+        Array.init k (fun i -> max 0 (t.cut_events + emis.(i) - cap))
+    in
+    Array.fill emis 0 k 0;
+    (* Feed the demand range [lo, hi): plan i's copy of event j sits at
+       synthesized position [j + emis.(i)], so its sub-range starts at
+       [starts.(i) - emis.(i)].  When every plan's start is behind [lo]
+       (always true uncapped) one shared SoA pass covers all plans. *)
+    let feed_demand lo hi =
+      let all = ref true in
+      for i = 0 to k - 1 do
+        if starts.(i) - emis.(i) > lo then all := false
+      done;
+      if !all then
+        Memsim.Hierarchy.Batch.warm_all b events ~pos:lo ~len:(hi - lo)
+      else
+        for i = 0 to k - 1 do
+          let lo_i = max lo (starts.(i) - emis.(i)) in
+          if hi > lo_i then
+            Memsim.Hierarchy.Batch.warm_range b i events ~pos:lo_i
+              ~len:(hi - lo_i)
+        done
+    in
     let prev = ref 0 in
     let pos = ref 0 in
     while !pos < t.cut_marks do
       let id = marks.(!pos) in
       let epos = marks.(!pos + 1) in
-      if epos > !prev then
-        Memsim.Hierarchy.warm_many hs events ~pos:!prev ~len:(epos - !prev);
-      prev := epos;
+      if epos > !prev then feed_demand !prev epos;
       for i = 0 to k - 1 do
         let ems = emits.(i).(id) in
-        counts.(i) <- counts.(i) + Array.length ems;
         for e = 0 to Array.length ems - 1 do
-          let base, terms, _ = ems.(e) in
-          let v = ref base in
-          for j = 0 to Array.length terms - 1 do
-            let field, coeff = terms.(j) in
-            v := !v + (coeff * marks.(!pos + 2 + field))
-          done;
-          Memsim.Hierarchy.warm_event hs.(i) !v
+          if epos + emis.(i) >= starts.(i) then begin
+            let base, terms, _ = ems.(e) in
+            let v = ref base in
+            for j = 0 to Array.length terms - 1 do
+              let field, coeff = terms.(j) in
+              v := !v + (coeff * marks.(!pos + 2 + field))
+            done;
+            Memsim.Hierarchy.Batch.warm_one b i !v
+          end;
+          emis.(i) <- emis.(i) + 1
         done
       done;
+      prev := epos;
       pos := !pos + t.mark_width.(id)
     done;
-    if t.cut_events > !prev then
-      Memsim.Hierarchy.warm_many hs events ~pos:!prev
-        ~len:(t.cut_events - !prev);
+    if t.cut_events > !prev then feed_demand !prev t.cut_events;
     for i = 0 to k - 1 do
-      counts.(i) <- counts.(i) + t.cut_events
+      counts.(i) <- t.cut_events + emis.(i)
     done;
-    Array.iter Memsim.Hierarchy.reset_counters hs
+    Memsim.Hierarchy.Batch.reset_counters b
   end;
   counts
 
 let timings_of ~sim_s = { Executor.compile_s = 0.0; exec_s = 0.0; sim_s }
 
-let measure_plans ?sampling machine kernel ~n t ~plans =
+let measure_pool ?sampling machine kernel ~n t ~plans =
   let t0 = Unix_time.now () in
   let k = Array.length plans in
-  let emits = Array.map (fun plan -> emit_table t ~plan ~track:None) plans in
+  let emits = Array.map (fun plan -> emit_table t ~plan ~track:[]) plans in
   let hs = Executor.pooled_hierarchies machine k in
+  let b = Memsim.Hierarchy.Batch.create hs in
   let events = t.events and marks = t.marks in
   let n_events = Array.length events and n_marks = Array.length marks in
-  let warm_counts = warm_walk t hs emits in
+  let warm_counts =
+    warm_walk ?cap:(Option.map Memsim.Sampling.prefix_cap sampling) t b emits
+  in
   let samplers =
     match sampling with
     | None -> None
@@ -325,7 +375,7 @@ let measure_plans ?sampling machine kernel ~n t ~plans =
   in
   let feed_demand prev epos =
     match samplers with
-    | None -> Memsim.Hierarchy.replay_many hs events ~pos:prev ~len:(epos - prev)
+    | None -> Memsim.Hierarchy.Batch.replay_all b events ~pos:prev ~len:(epos - prev)
     | Some ss ->
       for i = 0 to k - 1 do
         let s = ss.(i) in
@@ -335,9 +385,9 @@ let measure_plans ?sampling machine kernel ~n t ~plans =
           let action, c = Memsim.Sampling.take s !remaining in
           (match action with
           | Memsim.Sampling.Measure ->
-            Memsim.Hierarchy.replay_packed hs.(i) events ~pos:!p ~len:c
+            Memsim.Hierarchy.Batch.replay_range b i events ~pos:!p ~len:c
           | Memsim.Sampling.Warm ->
-            Memsim.Hierarchy.warm_packed hs.(i) events ~pos:!p ~len:c
+            Memsim.Hierarchy.Batch.warm_range b i events ~pos:!p ~len:c
           | Memsim.Sampling.Drop -> ());
           p := !p + c;
           remaining := !remaining - c
@@ -346,11 +396,11 @@ let measure_plans ?sampling machine kernel ~n t ~plans =
   in
   let feed_prefetch i v =
     match samplers with
-    | None -> Memsim.Hierarchy.replay_event hs.(i) v
+    | None -> Memsim.Hierarchy.Batch.replay_one b i v
     | Some ss -> (
       match Memsim.Sampling.take ss.(i) 1 with
-      | Memsim.Sampling.Measure, _ -> Memsim.Hierarchy.replay_event hs.(i) v
-      | Memsim.Sampling.Warm, _ -> Memsim.Hierarchy.warm_event hs.(i) v
+      | Memsim.Sampling.Measure, _ -> Memsim.Hierarchy.Batch.replay_one b i v
+      | Memsim.Sampling.Warm, _ -> Memsim.Hierarchy.Batch.warm_one b i v
       | Memsim.Sampling.Drop, _ -> ())
   in
   (* Exact replay re-feeds the full stream on the warmed state (the
@@ -380,6 +430,7 @@ let measure_plans ?sampling machine kernel ~n t ~plans =
     pos := !pos + t.mark_width.(id)
   done;
   if n_events > !prev then feed_demand !prev n_events;
+  Memsim.Hierarchy.Batch.sync b;
   let per = (Unix_time.now () -. t0) /. float_of_int (max 1 k) in
   Array.init k (fun i ->
       let counters = Memsim.Hierarchy.counters hs.(i) in
@@ -394,21 +445,49 @@ let measure_plans ?sampling machine kernel ~n t ~plans =
       Executor.finish machine kernel ~n ~counters ~stats:t.stats
         ~timings:(timings_of ~sim_s:per))
 
+(* The shared-decode walk keeps all K plans' simulated cache state hot
+   at once; past ~16 plans the tag/ready arrays outgrow the host's own
+   caches and the amortization inverts (the K=64 sweep-scaling rows
+   drop below the unbatched rate on the stencil kernels).  Partition
+   larger pools and stream the trace once per sub-pool — a plan's
+   counters do not depend on pool membership, so the split is
+   bit-identical to the single-pool walk. *)
+let max_pool = 16
+
+let measure_plans ?sampling machine kernel ~n t ~plans =
+  let k = Array.length plans in
+  if k <= max_pool then measure_pool ?sampling machine kernel ~n t ~plans
+  else
+    Array.concat
+      (List.init
+         ((k + max_pool - 1) / max_pool)
+         (fun c ->
+           let pos = c * max_pool in
+           measure_pool ?sampling machine kernel ~n t
+             ~plans:(Array.sub plans pos (min max_pool (k - pos)))))
+
 (* --- Incremental prefetch re-simulation -----------------------------
 
-   When the K plans of a sweep group differ only in ONE array's
-   prefetch distance, a full replay per plan re-derives the same
-   demand-side hit/miss classification K times.  Instead: replay the
-   base plan once while observing, for each of the varying array's
-   prefetch emissions, the slack of its first demand use (how many
-   cycles early the line arrived; negative = the stall paid;
-   [Hierarchy.replay_event_slack]).  A sibling at distance [d0 + dd]
-   issues the same prefetches [dd] innermost iterations earlier, so
-   each slack shifts by [dd * cycles-per-iteration]; re-pricing the
-   stall component under the shifted slacks estimates the sibling's
-   cycles without touching the demand side.  The estimates only RANK
-   the siblings — the argmin is re-measured exactly, so committed
-   numbers never come from the model. *)
+   When the K plans of a sweep group bind the same arrays and differ
+   only in prefetch distances, a full replay per plan re-derives the
+   same demand-side hit/miss classification K times.  Instead: replay
+   the base plan once while observing, for each varying array's
+   prefetch emissions, the timeliness slack of the prefetched line's
+   first demand use (how many cycles early the line arrived; negative =
+   the stall paid; [Hierarchy.replay_event_slack]), bucketed per
+   varying array.  A sibling at distance [d0 + dd] on some array issues
+   that array's prefetches [dd] innermost iterations earlier, so each
+   of its slacks shifts by [dd * cycles-per-iteration] while the other
+   arrays' buckets shift by their own deltas independently — the joint
+   estimate sums the per-bucket stall deltas.  A first use that MISSES
+   means the prefetched line was evicted before use (wasted): the
+   demand paid the full miss and, to first order, pays it at every
+   nearby distance — distance-invariant evidence that contributes zero
+   to every sibling's delta but still counts as an observed outcome, so
+   fully-wasted groups (stencils whose planes thrash L1) re-price
+   instead of falling back to full replay.  The estimates only RANK the
+   siblings — the argmin is re-measured exactly, so committed numbers
+   never come from the model. *)
 
 type repriced = {
   rp_measurements : Executor.measurement option array;
@@ -416,75 +495,83 @@ type repriced = {
           the estimated-best sibling), [None] where the estimate stood
           in *)
   rp_estimated : int;  (** plans priced by the slack model *)
+  rp_joint : bool;
+      (** the group varied more than one array's distance (the joint
+          multi-bucket path, as opposed to the single-array special
+          case) *)
 }
 
-(* The varying array of a sweep group, if there is exactly one: every
-   plan must bind the same arrays, with at most one distance differing
-   from the base plan's. *)
-let varying_array plans =
+(* The arrays whose distances vary across a sweep group, in base-plan
+   order — [None] when the plans do not all bind the same array list
+   (genuinely unanalyzable: fall back to full replay). *)
+let varying_arrays plans =
   if Array.length plans < 2 then None
   else begin
     let base = plans.(0) in
     let arrays = List.map fst base in
     let ok = ref true in
-    let vary = ref None in
+    let vary = ref [] in
     Array.iter
       (fun plan ->
         if List.map fst plan <> arrays then ok := false
         else
           List.iter2
             (fun (a, d) (_, d0) ->
-              if d <> d0 then
-                match !vary with
-                | None -> vary := Some a
-                | Some a' when a' = a -> ()
-                | Some _ -> ok := false)
+              if d <> d0 && not (List.mem a !vary) then vary := a :: !vary)
             plan base)
       plans;
-    match (!ok, !vary) with true, Some a -> Some a | _ -> None
+    match (!ok, !vary) with
+    | true, (_ :: _) -> Some (List.rev !vary)
+    | _ -> None
   end
 
 let reprice_group ?sampling machine kernel ~n t ~plans =
-  match varying_array plans with
+  match varying_arrays plans with
   | None -> None
-  | Some track ->
+  | Some vary ->
     let t0 = Unix_time.now () in
     let k = Array.length plans in
-    let emits =
-      [| emit_table t ~plan:plans.(0) ~track:(Some track) |]
-    in
+    let nb = List.length vary in
+    let track = List.mapi (fun b a -> (a, b)) vary in
+    let emits = [| emit_table t ~plan:plans.(0) ~track |] in
     (* The pooled slot is safe to share with the sibling re-measurement
        below: [m0]'s counters are snapshotted by [finish] before
        [measure_plans] resets the slot. *)
     let h = (Executor.pooled_hierarchies machine 1).(0) in
     let hs = [| h |] in
+    let batch = Memsim.Hierarchy.Batch.create hs in
     let events = t.events and marks = t.marks in
     let n_events = Array.length events and n_marks = Array.length marks in
-    let warm_counts = warm_walk t hs emits in
+    let warm_counts =
+      warm_walk
+        ?cap:(Option.map Memsim.Sampling.prefix_cap sampling)
+        t batch emits
+    in
     let sampler =
       match sampling with
       | None -> None
       | Some sp -> Some (Memsim.Sampling.sampler sp)
     in
     let l1 = Memsim.Hierarchy.cache h 0 in
-    (* Pending tracked lines and the slacks observed at first use. *)
+    (* Pending tracked lines (line -> slack bucket) and the per-bucket
+       first-use outcomes: timely slacks, plus a count of matched first
+       uses (timely or wasted). *)
     let pending = Hashtbl.create 64 in
-    let slacks = ref [] in
-    let n_slacks = ref 0 in
+    let slacks = Array.make nb [] in
+    let matched = Array.make nb 0 in
     let demand_slack_event v =
       let s = Memsim.Hierarchy.replay_event_slack h v in
       if Hashtbl.length pending > 0 && v land 3 <> Ir.Sink.tag_prefetch then begin
         let line = Memsim.Cache.line_of_addr l1 (v lsr 2) in
-        if Hashtbl.mem pending line then begin
+        match Hashtbl.find_opt pending line with
+        | Some bkt ->
           Hashtbl.remove pending line;
-          (* A miss means the prefetched line was evicted before use
-             (wasted): no slack sample — shifting the emission does not
-             change what the demand paid. *)
-          if s <> Memsim.Hierarchy.no_slack then begin
-            slacks := s :: !slacks;
-            incr n_slacks
-          end
-        end
+          matched.(bkt) <- matched.(bkt) + 1;
+          (* A demand miss = wasted prefetch: no slack sample, but the
+             matched count keeps the bucket as observed evidence. *)
+          if s <> Memsim.Hierarchy.no_slack then
+            slacks.(bkt) <- s :: slacks.(bkt)
+        | None -> ()
       end
     in
     let feed_demand prev epos =
@@ -510,19 +597,20 @@ let reprice_group ?sampling machine kernel ~n t ~plans =
           remaining := !remaining - c
         done
     in
-    let track_prefetch v =
+    let track_prefetch bkt v =
       let issued = Memsim.Hierarchy.replay_event_slack h v in
       if issued <> Memsim.Hierarchy.no_slack then
-        Hashtbl.replace pending (Memsim.Cache.line_of_addr l1 (v lsr 2)) ()
+        Hashtbl.replace pending (Memsim.Cache.line_of_addr l1 (v lsr 2)) bkt
     in
-    let feed_prefetch tracked v =
+    let feed_prefetch bkt v =
       match sampler with
       | None ->
-        if tracked then track_prefetch v else Memsim.Hierarchy.replay_event h v
+        if bkt >= 0 then track_prefetch bkt v
+        else Memsim.Hierarchy.replay_event h v
       | Some s -> (
         match Memsim.Sampling.take s 1 with
         | Memsim.Sampling.Measure, _ ->
-          if tracked then track_prefetch v
+          if bkt >= 0 then track_prefetch bkt v
           else Memsim.Hierarchy.replay_event h v
         | Memsim.Sampling.Warm, _ -> Memsim.Hierarchy.warm_event h v
         | Memsim.Sampling.Drop, _ -> ())
@@ -550,7 +638,8 @@ let reprice_group ?sampling machine kernel ~n t ~plans =
       pos := !pos + t.mark_width.(id)
     done;
     if n_events > !prev then feed_demand !prev n_events;
-    if !n_slacks = 0 then None
+    let n_matched = Array.fold_left ( + ) 0 matched in
+    if n_matched = 0 then None
     else begin
       let counters = Memsim.Hierarchy.counters h in
       let raw_cycles =
@@ -575,24 +664,28 @@ let reprice_group ?sampling machine kernel ~n t ~plans =
          counter units — the shift one unit of prefetch distance
          applies to every slack. *)
       let c_iter = raw_cycles /. float_of_int (max 1 !n_iter) in
-      let slacks = !slacks in
-      let stall_at dd =
+      let stall_at bkt dd =
         List.fold_left
           (fun acc s ->
             let s' = float_of_int s +. (float_of_int dd *. c_iter) in
             acc +. Float.max 0.0 (-.s'))
-          0.0 slacks
+          0.0 slacks.(bkt)
       in
-      let d0 = List.assoc track plans.(0) in
-      let base_stall = stall_at 0 in
+      let d0 = Array.of_list (List.map (fun a -> List.assoc a plans.(0)) vary) in
+      let base_stall = Array.init nb (fun bkt -> stall_at bkt 0) in
       let est =
         Array.map
           (fun plan ->
-            let dd = List.assoc track plan - d0 in
-            if dd = 0 then Executor.cycles m0
+            let delta = ref 0.0 in
+            List.iteri
+              (fun bkt a ->
+                let dd = List.assoc a plan - d0.(bkt) in
+                if dd <> 0 then
+                  delta := !delta +. (stall_at bkt dd -. base_stall.(bkt)))
+              vary;
+            if !delta = 0.0 then Executor.cycles m0
             else
-              Executor.cycles m0
-              +. ((stall_at dd -. base_stall) *. factor *. m0.Executor.scale))
+              Executor.cycles m0 +. (!delta *. factor *. m0.Executor.scale))
           plans
       in
       let best = ref 0 in
@@ -606,5 +699,6 @@ let reprice_group ?sampling machine kernel ~n t ~plans =
         out.(!best) <- Some mb
       end;
       let measured = if !best = 0 then 1 else 2 in
-      Some { rp_measurements = out; rp_estimated = k - measured }
+      Some
+        { rp_measurements = out; rp_estimated = k - measured; rp_joint = nb > 1 }
     end

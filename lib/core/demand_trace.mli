@@ -51,7 +51,7 @@ val iterations : t -> int
 (** [measure_plans machine kernel ~n t ~plans] measures every prefetch
     plan of a sweep group in ONE walk over the captured trace: shared
     demand segments are replayed through all K hierarchies per pass
-    ({!Memsim.Hierarchy.replay_many}), per-plan prefetch events are
+    ({!Memsim.Hierarchy.Batch.replay_all}), per-plan prefetch events are
     synthesized and dispatched inline.  Each returned measurement is
     bit-identical to synthesizing that plan's stream and measuring it
     with {!Executor.measure_from_trace} (with the same [?sampling]
@@ -72,17 +72,25 @@ type repriced = {
           taken (the base plan, and the estimated-best sibling when it
           differs), [None] where the slack model's estimate stood in *)
   rp_estimated : int;  (** how many plans were priced without replay *)
+  rp_joint : bool;
+      (** more than one array's distance varied across the group (the
+          joint multi-bucket slack path) *)
 }
 
 (** [reprice_group machine kernel ~n t ~plans] prices a sweep group
-    whose plans differ only in ONE array's prefetch distance: the base
-    plan [plans.(0)] is replayed once while recording the timeliness
-    slack of each tracked prefetch's first demand use; the siblings'
-    stall components are re-priced under distance-shifted slacks, and
-    only the estimated-best sibling is re-measured exactly.  Returns
-    [None] (caller should fall back to {!measure_plans}) when the
-    plans vary more than one array, or when no slack samples were
-    observed. *)
+    whose plans all bind the same arrays and differ only in prefetch
+    distances (any subset of the arrays may vary): the base plan
+    [plans.(0)] is replayed once while recording, per varying array,
+    the timeliness slack of each tracked prefetch's first demand use.
+    A sibling's stall component is re-priced under the joint
+    distance-shifted slacks — each varying array's slack bucket shifts
+    by that array's own distance delta — and only the estimated-best
+    sibling is re-measured exactly.  Wasted first uses (line evicted
+    before the demand arrived) count as distance-invariant evidence,
+    so fully-thrashing groups still re-price.  Returns [None] (caller
+    should fall back to {!measure_plans}) when the plans do not all
+    bind the same array list, or when no tracked first use was
+    observed at all. *)
 val reprice_group :
   ?sampling:Memsim.Sampling.t ->
   Machine.t ->

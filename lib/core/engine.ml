@@ -80,12 +80,16 @@ type stats = {
   memo_seconds : float;
   trace_hits : int;
   trace_fills : int;
+  fill_seconds : float;
   db_hits : int;
   warm_starts : int;
   sampled : int;
   batched_groups : int;
   batched_candidates : int;
   repriced : int;
+  repriced_joint : int;
+  confirmed : int;
+  confirm_skipped : int;
 }
 
 (* The canonical identity of a measurement.  [fp_shape] is a structural
@@ -164,6 +168,7 @@ type t = {
   mutable memo_seconds : float;
   mutable trace_hits : int;
   mutable trace_fills : int;
+  mutable fill_seconds : float;
   (* Persistent performance database: exact hits served from disk like
      memo hits (but surviving across runs), fresh successful
      measurements appended back.  [db_ctx] pins everything outside the
@@ -190,6 +195,16 @@ type t = {
   mutable batched_groups : int;
   mutable batched_candidates : int;
   mutable repriced : int;
+  mutable repriced_joint : int;
+  (* Adaptive confirmation (Search.confirm_best): exact leaderboard
+     confirms performed / skipped, the [--confirm] override, and the
+     observed estimator rank quality per kernel on this machine —
+     (separated pairs, inversions) between estimate order and the
+     exact confirms already performed. *)
+  mutable confirmed : int;
+  mutable confirm_skipped : int;
+  mutable confirm_override : int option;
+  rank_stats : (string, int * int) Hashtbl.t;
 }
 
 let default_jobs () = Domain.recommended_domain_count ()
@@ -249,6 +264,7 @@ let create ?(jobs = 1) ?(path = Executor.Fast) ?(faults = Faults.none)
     memo_seconds = 0.0;
     trace_hits = 0;
     trace_fills = 0;
+    fill_seconds = 0.0;
     db = None;
     db_warm = false;
     db_ctx = "";
@@ -261,6 +277,11 @@ let create ?(jobs = 1) ?(path = Executor.Fast) ?(faults = Faults.none)
     batched_groups = 0;
     batched_candidates = 0;
     repriced = 0;
+    repriced_joint = 0;
+    confirmed = 0;
+    confirm_skipped = 0;
+    confirm_override = None;
+    rank_stats = Hashtbl.create 4;
   }
 
 let machine t = t.machine
@@ -283,6 +304,26 @@ let batch_replay t = t.batch_replay
 let set_batch_replay t b = t.batch_replay <- b
 let incremental t = t.incremental
 let set_incremental t b = t.incremental <- b
+
+(* Adaptive confirmation plumbing: [Search.confirm_best] owns the
+   policy; the engine owns the per-kernel rank-quality evidence and the
+   [--confirm] override so they persist across the per-variant search
+   states of one run. *)
+let confirm_override t = t.confirm_override
+
+let set_confirm_override t k =
+  t.confirm_override <- (match k with Some k -> Some (max 1 k) | None -> None)
+
+let rank_quality t ~kernel =
+  match Hashtbl.find_opt t.rank_stats kernel with
+  | Some pq -> pq
+  | None -> (0, 0)
+
+let record_rank_sample t ~kernel ~pairs ~inversions =
+  if pairs > 0 then begin
+    let p0, i0 = rank_quality t ~kernel in
+    Hashtbl.replace t.rank_stats kernel (p0 + pairs, i0 + inversions)
+  end
 
 (* Sampling applies to fast-path measurements only: the closure path is
    the exact differential reference and ignores it. *)
@@ -317,12 +358,16 @@ let stats t =
     memo_seconds = t.memo_seconds;
     trace_hits = t.trace_hits;
     trace_fills = t.trace_fills;
+    fill_seconds = t.fill_seconds;
     db_hits = t.db_hits;
     warm_starts = t.warm_starts;
     sampled = t.sampled;
     batched_groups = t.batched_groups;
     batched_candidates = t.batched_candidates;
     repriced = t.repriced;
+    repriced_joint = t.repriced_joint;
+    confirmed = t.confirmed;
+    confirm_skipped = t.confirm_skipped;
   }
 
 let failure_breakdown (s : stats) =
@@ -355,14 +400,21 @@ let pp_stats fmt (s : stats) =
   if s.warm_starts > 0 then
     Format.fprintf fmt ", %d warm-start seeds" s.warm_starts;
   if s.sampled > 0 then Format.fprintf fmt ", %d sampled" s.sampled;
-  if s.repriced > 0 then Format.fprintf fmt ", %d re-priced" s.repriced
+  if s.repriced > 0 then begin
+    Format.fprintf fmt ", %d re-priced" s.repriced;
+    if s.repriced_joint > 0 then
+      Format.fprintf fmt " (%d joint)" s.repriced_joint
+  end;
+  if s.confirmed > 0 || s.confirm_skipped > 0 then
+    Format.fprintf fmt ", %d confirmed (%d skipped)" s.confirmed
+      s.confirm_skipped
 
 let pp_profile fmt (s : stats) =
   Format.fprintf fmt
     "compile %.3fs, execute %.3fs, simulate %.3fs, memo %.3fs; demand-trace \
-     cache: %d hits, %d fills"
+     cache: %d hits, %d fills (%.3fs)"
     s.compile_seconds s.exec_seconds s.sim_seconds s.memo_seconds s.trace_hits
-    s.trace_fills;
+    s.trace_fills s.fill_seconds;
   if s.trials_run > 0 || s.retries > 0 || s.early_stops > 0 then
     Format.fprintf fmt "; protocol: %d trials, %d retries, %d early stops"
       s.trials_run s.retries s.early_stops;
@@ -374,8 +426,14 @@ let pp_profile fmt (s : stats) =
     Format.fprintf fmt "; batched replay: %d groups covering %d candidates"
       s.batched_groups s.batched_candidates;
   if s.repriced > 0 then
-    Format.fprintf fmt "; incremental: %d candidates re-priced without replay"
-      s.repriced
+    Format.fprintf fmt
+      "; incremental: %d candidates re-priced without replay (%d by joint \
+       multi-array slacks)"
+      s.repriced s.repriced_joint;
+  if s.confirmed > 0 || s.confirm_skipped > 0 then
+    Format.fprintf fmt
+      "; confirmation: %d exact leaderboard confirms, %d skipped adaptively"
+      s.confirmed s.confirm_skipped
 
 let request ?(check = true) ?(prefetch = []) variant ~n ~mode ~bindings =
   { variant; n; mode; bindings; prefetch; check }
@@ -803,6 +861,10 @@ let trace_add t key dt =
    program is malformed — the candidate then takes the direct path,
    which fails with the same typed reason. *)
 let trace_fill t (r : request) key =
+  let t0 = Unix_time.now () in
+  Fun.protect
+    ~finally:(fun () -> t.fill_seconds <- t.fill_seconds +. (Unix_time.now () -. t0))
+  @@ fun () ->
   match Variant.instantiate r.variant ~bindings:r.bindings with
   | exception Invalid_argument _ -> None
   | demand -> (
@@ -825,15 +887,21 @@ let trace_fill t (r : request) key =
    uncapturable — they take the direct path).  Runs on the coordinator:
    workers never touch the cache, they reuse the trace pinned into
    their task's closure.  Reuse counts a trace hit; the capturing
-   request itself does not. *)
-let candidate_dt t (r : request) fp =
+   request itself does not.
+
+   [fill:false] (single-shot requests) consults the cache but never
+   captures: a capture is a mark-instrumented VM run plus a multi-MB
+   copy, strictly more expensive than measuring the one candidate
+   directly, so it only pays when a multi-plan group is about to
+   amortize it ([group_unit], the one [fill:true] caller). *)
+let candidate_dt ?(fill = true) t (r : request) fp =
   if
     t.path = Executor.Fast && r.prefetch <> []
     && ((not r.check) || Variant.feasible r.variant ~n:r.n r.bindings)
   then
     match trace_find t (trace_key fp) with
     | Some dt -> Some dt
-    | None -> trace_fill t r (trace_key fp)
+    | None -> if fill then trace_fill t r (trace_key fp) else None
   else None
 
 (* Build the pure task measuring one memo miss (engine-state-free, safe
@@ -867,7 +935,7 @@ let task_of ?protocol ?trial_base t (r : request) fp ~dt =
           ~reference ())
 
 let simulate_miss t (r : request) fp =
-  (task_of t r fp ~dt:(candidate_dt t r fp)) ()
+  (task_of t r fp ~dt:(candidate_dt ~fill:false t r fp)) ()
 
 (* --- crash-only checkpointing ---------------------------------------- *)
 
@@ -917,24 +985,32 @@ type checkpoint_blob = {
   ck_batched_groups : int;
   ck_batched_candidates : int;
   ck_repriced : int;
+  ck_repriced_joint : int;
+  ck_confirmed : int;
+  ck_confirm_skipped : int;
+  ck_rank : (string * (int * int)) array;
   ck_best : float option;
 }
 
-(* Version 4: the fingerprint gained the sampled flag and the blob the
-   batched/sampled/repriced counters (v3 added the performance-database
-   counters, v2 the pre-filter counters).  Old files fail the magic
-   check and load as "corrupt" -- crash-only semantics, the run starts
-   fresh instead of mis-restoring counters. *)
-let checkpoint_magic = "ECO-CHECKPOINT-4\n"
+(* Version 5: joint-repricing and adaptive-confirmation counters plus
+   the per-kernel rank-quality table (v4 added the fingerprint sampled
+   flag and the batched/sampled/repriced counters, v3 the
+   performance-database counters, v2 the pre-filter counters).  Old
+   files fail the magic check and load as "corrupt" -- crash-only
+   semantics, the run starts fresh instead of mis-restoring counters. *)
+let checkpoint_magic = "ECO-CHECKPOINT-5\n"
 
+(* Exact entries only: sampled estimates may sit below the truth, and
+   the callers (checkpoint resume line, [Search]'s polish-worthiness
+   test) both want a floor that real measurements actually reached. *)
 let best_cycles t =
   Hashtbl.fold
-    (fun _ entry acc ->
+    (fun fp entry acc ->
       match entry with
-      | Measured_entry (_, m) -> (
+      | Measured_entry (_, m) when not fp.fp_sampled -> (
         let c = Executor.cycles m in
         match acc with Some b when b <= c -> acc | _ -> Some c)
-      | Pruned_entry | Failed_entry _ -> acc)
+      | Measured_entry _ | Pruned_entry | Failed_entry _ -> acc)
     t.memo None
 
 let save_checkpoint t =
@@ -976,6 +1052,11 @@ let save_checkpoint t =
         ck_batched_groups = t.batched_groups;
         ck_batched_candidates = t.batched_candidates;
         ck_repriced = t.repriced;
+        ck_repriced_joint = t.repriced_joint;
+        ck_confirmed = t.confirmed;
+        ck_confirm_skipped = t.confirm_skipped;
+        ck_rank =
+          Array.of_seq (Seq.map Fun.id (Hashtbl.to_seq t.rank_stats));
         ck_best = best_cycles t;
       }
     in
@@ -1070,6 +1151,11 @@ let load_checkpoint t ~tag file =
       t.batched_groups <- ck.ck_batched_groups;
       t.batched_candidates <- ck.ck_batched_candidates;
       t.repriced <- ck.ck_repriced;
+      t.repriced_joint <- ck.ck_repriced_joint;
+      t.confirmed <- ck.ck_confirmed;
+      t.confirm_skipped <- ck.ck_confirm_skipped;
+      Hashtbl.reset t.rank_stats;
+      Array.iter (fun (k, pq) -> Hashtbl.replace t.rank_stats k pq) ck.ck_rank;
       Some
         {
           resumed_entries = Array.length ck.ck_entries;
@@ -1201,7 +1287,7 @@ let confirm t r ~trials =
     let protocol = { t.protocol with trials; min_trials = trials } in
     let task =
       task_of t r fp ~protocol ~trial_base:confirm_trial_base
-        ~dt:(candidate_dt t r fp)
+        ~dt:(candidate_dt ~fill:false t r fp)
     in
     let t0 = Unix_time.now () in
     let raw = task () in
@@ -1261,6 +1347,14 @@ let note_repriced t ?log () =
   t.repriced <- t.repriced + 1;
   match log with Some log -> Search_log.note_repriced log | None -> ()
 
+let note_confirmed t ?log () =
+  t.confirmed <- t.confirmed + 1;
+  match log with Some log -> Search_log.note_confirmed log | None -> ()
+
+let note_confirm_skipped t ?log () =
+  t.confirm_skipped <- t.confirm_skipped + 1;
+  match log with Some log -> Search_log.note_confirm_skipped log | None -> ()
+
 (* Does the engine collapse sweep groups into batched multi-plan
    replays?  Only on the fast path with the per-candidate measurement
    protocol inert: an active fault plan or repeated trials need
@@ -1287,7 +1381,7 @@ let group_unit t members =
   | None ->
     (* trace capture failed: every member takes its own direct path *)
     let tasks = Array.map (fun (r, fp, _) -> task_of t r fp ~dt:None) members in
-    (members, fun () -> Array.map (fun task -> Some (task ())) tasks)
+    (members, ref 0, fun () -> Array.map (fun task -> Some (task ())) tasks)
   | Some dt ->
     t.batched_groups <- t.batched_groups + 1;
     t.batched_candidates <- t.batched_candidates + Array.length members;
@@ -1301,6 +1395,9 @@ let group_unit t members =
     let fallbacks =
       Array.map (fun (r, fp, _) -> task_of t r fp ~dt:(Some dt)) members
     in
+    (* Written by the thunk on its worker domain, read by the
+       coordinator only after [Domain.join] — no race. *)
+    let joint = ref 0 in
     let thunk () =
       let started = Unix_time.now () in
       (* Replicate [harden]'s passthrough checks — grouping only engages
@@ -1331,6 +1428,8 @@ let group_unit t members =
             Demand_trace.reprice_group ?sampling machine kernel ~n dt ~plans
           with
           | Some rp ->
+            if rp.Demand_trace.rp_joint then
+              joint := rp.Demand_trace.rp_estimated;
             Array.mapi
               (fun i m -> Option.map (finishing i) m)
               rp.Demand_trace.rp_measurements
@@ -1347,9 +1446,10 @@ let group_unit t members =
       | exception _ ->
         (* the group walk died: measure every member individually under
            the full per-candidate protection *)
+        joint := 0;
         Array.map (fun task -> Some (task ())) fallbacks
     in
-    (members, thunk)
+    (members, joint, thunk)
 
 let evaluate_batch t ?log reqs =
   let reqs = List.map canonical reqs in
@@ -1441,8 +1541,8 @@ let evaluate_batch t ?log reqs =
        one group unit measured by a single multi-plan walk, placed at
        the first member's position. *)
     let singleton ((r, fp, _) as e) =
-      let task = task_of t r fp ~dt:(candidate_dt t r fp) in
-      ([| e |], fun () -> [| Some (task ()) |])
+      let task = task_of t r fp ~dt:(candidate_dt ~fill:false t r fp) in
+      ([| e |], ref 0, fun () -> [| Some (task ()) |])
     in
     let units =
       if not (grouping_capable t) then List.map singleton executed
@@ -1481,12 +1581,15 @@ let evaluate_batch t ?log reqs =
     in
     let units = Array.of_list units in
     let t0 = Unix_time.now () in
-    let results = parallel_map t.jobs (fun (_, thunk) -> thunk ()) units in
+    let results = parallel_map t.jobs (fun (_, _, thunk) -> thunk ()) units in
     t.eval_seconds <- t.eval_seconds +. (Unix_time.now () -. t0);
+    Array.iter
+      (fun (_, joint, _) -> t.repriced_joint <- t.repriced_joint + !joint)
+      units;
     let raw_of_slot = Hashtbl.create 16 in
     let repriced_slots = Hashtbl.create 4 in
     Array.iteri
-      (fun u (members, _) ->
+      (fun u (members, _, _) ->
         Array.iteri
           (fun i (_, _, slot) ->
             match results.(u).(i) with

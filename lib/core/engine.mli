@@ -163,11 +163,14 @@ val set_prefilter : t -> int option -> unit
       performance database.  The closure path and {!measure_program}
       stay exact.
     - {b Incremental re-simulation} (off by default): when the sweep
-      group's plans differ only in one array's prefetch distance, the
-      base plan's replay records per-prefetch timeliness slack and the
-      siblings are re-priced analytically; only the estimated-best
-      sibling is re-measured exactly ({!Demand_trace.reprice_group}).
-      Re-priced candidates return [None], are counted ([repriced],
+      group's plans all bind the same arrays and differ only in
+      prefetch distances (any subset of the arrays may vary), the base
+      plan's replay records per-array timeliness slacks and the
+      siblings are re-priced analytically under the joint
+      distance-shifted slacks; only the estimated-best sibling is
+      re-measured exactly ({!Demand_trace.reprice_group}).  Re-priced
+      candidates return [None], are counted ([repriced], with
+      [repriced_joint] tracking the multi-array groups,
       {!Search_log.note_repriced}) and are {e not} memoized — like
       pre-filter skips, a later request can still measure them.
 
@@ -184,6 +187,47 @@ val batch_replay : t -> bool
 val set_batch_replay : t -> bool -> unit
 val incremental : t -> bool
 val set_incremental : t -> bool -> unit
+
+(** {2 Adaptive confirmation}
+
+    After a sampled search, [Search.confirm_best] re-measures the
+    leaderboard exactly.  The engine holds the pieces that must outlive
+    any single search state: the per-kernel rank-quality record of the
+    sampled estimator (confirmed pairs vs. observed order inversions,
+    accumulated by every confirmation pass) and the user's [--confirm]
+    override.  [Search] reads {!rank_quality} to shrink the confirm set
+    from the full leaderboard toward a single candidate as the
+    estimator proves its ranking on this kernel; the floor of one exact
+    confirmation is never crossed, so the reported [performance:] stays
+    an exact measurement. *)
+
+(** The forced confirm-set size ([None] = adaptive policy).  Values are
+    clamped to at least 1 on the way in. *)
+val confirm_override : t -> int option
+
+val set_confirm_override : t -> int option -> unit
+
+(** [(pairs, inversions)] observed for [kernel] so far: ordered
+    leaderboard pairs whose exact scores were separated enough to
+    judge, and how many of them the sampled estimate ranked backwards.
+    [(0, 0)] before any confirmation pass. *)
+val rank_quality : t -> kernel:string -> int * int
+
+(** Fold one confirmation pass's evidence into the kernel's record
+    (no-op when [pairs = 0]). *)
+val record_rank_sample : t -> kernel:string -> pairs:int -> inversions:int -> unit
+
+(** Count one exact leaderboard confirmation / one adaptively skipped
+    confirmation (called by [Search.confirm_best]). *)
+val note_confirmed : t -> ?log:Search_log.t -> unit -> unit
+
+val note_confirm_skipped : t -> ?log:Search_log.t -> unit -> unit
+
+(** Best {e exact} measured cycles across the memo table (sampled
+    estimates excluded), [None] when nothing exact was measured yet.
+    [Search] uses it to decide whether a confirmed winner is close
+    enough to the global floor to be worth exact polishing. *)
+val best_cycles : t -> float option
 
 (** Will {!evaluate_batch} collapse sweep groups into batched
     multi-plan replays under the current configuration?  True on the
@@ -395,6 +439,10 @@ type stats = {
   memo_seconds : float;  (** memo-table lookups *)
   trace_hits : int;  (** candidates served by demand-trace synthesis *)
   trace_fills : int;  (** demand traces captured *)
+  fill_seconds : float;
+      (** coordinator-side wall time spent capturing demand traces
+          (variant instantiation + VM run + event copy) — outside
+          [eval_seconds] *)
   db_hits : int;  (** points served from the persistent database *)
   warm_starts : int;  (** transferred warm-start seeds *)
   sampled : int;  (** fresh evaluations measured as sampled estimates *)
@@ -402,6 +450,12 @@ type stats = {
   batched_candidates : int;  (** candidates covered by those groups *)
   repriced : int;
       (** candidates priced by the incremental repricer, never replayed *)
+  repriced_joint : int;
+      (** the subset of [repriced] priced by the joint multi-array
+          slack model (more than one array's distance varied) *)
+  confirmed : int;  (** exact leaderboard confirmations run *)
+  confirm_skipped : int;
+      (** leaderboard confirmations skipped by the adaptive policy *)
 }
 
 val stats : t -> stats

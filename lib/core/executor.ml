@@ -144,6 +144,23 @@ let effective_mode sampling mode =
 let suffix_factor ~warm ~fed =
   if fed > 0 then float_of_int (warm + fed) /. float_of_int fed else 1.0
 
+(* State-only replay of the warm-up prefix [0, cut).  Sampled
+   measurements cap it at the sampler's trailing period
+   ({!Memsim.Sampling.prefix_cap}): the skipped head of the prefix is
+   state the windowed estimator never relies on, and on large budgets
+   it dominates the replay cost.  Exact replay always warms in full. *)
+let warm_prefix ?sampling hierarchy events ~cut =
+  if cut >= 0 then begin
+    let start =
+      match sampling with
+      | None -> 0
+      | Some sp -> max 0 (cut - Memsim.Sampling.prefix_cap sp)
+    in
+    Memsim.Hierarchy.warm_packed hierarchy events ~pos:start
+      ~len:(cut - start);
+    Memsim.Hierarchy.reset_counters hierarchy
+  end
+
 let replay_measured ?sampling hierarchy events ~cut ~n_events =
   match sampling with
   | None ->
@@ -177,11 +194,7 @@ let measure_fast ?sampling machine (kernel : Kernels.Kernel.t) ~n ~mode program
   let r = Ir.Vm.run ?flop_budget ?warm_budget ~events ~marks vm in
   let t2 = Unix_time.now () in
   let hierarchy = pooled_hierarchy machine in
-  if r.Ir.Vm.cut_events >= 0 then begin
-    Memsim.Hierarchy.warm_packed hierarchy r.Ir.Vm.events ~pos:0
-      ~len:r.Ir.Vm.cut_events;
-    Memsim.Hierarchy.reset_counters hierarchy
-  end;
+  warm_prefix ?sampling hierarchy r.Ir.Vm.events ~cut:r.Ir.Vm.cut_events;
   replay_measured ?sampling hierarchy r.Ir.Vm.events ~cut:r.Ir.Vm.cut_events
     ~n_events:r.Ir.Vm.n_events;
   let t3 = Unix_time.now () in
@@ -205,10 +218,7 @@ let measure_from_trace ?(synth_seconds = 0.0) ?sampling machine kernel ~n
     ~stats ~events ~n_events ~cut =
   let t0 = Unix_time.now () in
   let hierarchy = pooled_hierarchy machine in
-  if cut >= 0 then begin
-    Memsim.Hierarchy.warm_packed hierarchy events ~pos:0 ~len:cut;
-    Memsim.Hierarchy.reset_counters hierarchy
-  end;
+  warm_prefix ?sampling hierarchy events ~cut;
   replay_measured ?sampling hierarchy events ~cut ~n_events;
   let timings =
     {

@@ -442,6 +442,35 @@ let prefetch_search_armed st ~bindings current =
         | _ -> (chosen, best_c))
       ([], current) arrays
 
+(* Coordinate descent over an existing prefetch plan: for each
+   prefetchable array in turn, try the distance grid — and dropping the
+   array — with the rest of the committed plan held fixed.  The greedy
+   [prefetch_search_armed] grows a plan from empty, so when the
+   incumbent single-array plan already beats every single-array
+   candidate it commits nothing and joint plans (main array and its
+   copy temporary prefetched together) stay unreachable; the refinement
+   reaches them from whatever plan the caller confirmed.  Two passes at
+   most: the second only runs when the first improved, to let an early
+   array's distance adapt to a later array's insertion. *)
+let prefetch_refine st ~bindings start current =
+  match Engine.build st.engine (request st ~bindings ~prefetch:[]) with
+  | None -> (start, current)
+  | Some program ->
+    let arrays = Transform.Prefetch_insert.candidates program in
+    let distances = [ 2; 4; 8; 16 ] in
+    let pass state =
+      List.fold_left
+        (fun (chosen, best_c) a ->
+          let rest = List.filter (fun (a', _) -> a' <> a) chosen in
+          let prefs = rest :: List.map (fun d -> (a, d) :: rest) distances in
+          match evaluate_prefetch_sweep st ~bindings prefs with
+          | Some (p, c) when c < best_c -> (p, c)
+          | _ -> (chosen, best_c))
+        state arrays
+    in
+    let r1 = pass (start, current) in
+    if snd r1 < current then pass r1 else r1
+
 (* Like [linear_refine], but with a round cap: the armed path trades
    the long tail of the descent for a bounded simulation count. *)
 let rec linear_refine_capped st stage ~prefetch ~delta ~rounds bindings current
@@ -585,12 +614,86 @@ let confirm_noisy st =
                      if cb < ca then b else a)
                    hd tl))
 
+(* How many leaderboard entries a sampled search must re-measure
+   exactly.  The fixed top-5 confirmation pays five exact replays per
+   variant even when the sampled estimator has never once mis-ranked a
+   leaderboard on this kernel; the adaptive policy spends that budget
+   only while the estimator is unproven.  Evidence is the engine's
+   per-kernel (pairs, inversions) record, accumulated by every
+   confirmation pass (including other variants of the same tune run and
+   checkpoint-resumed history): with fewer than [min_rank_pairs] judged
+   pairs the full leaderboard is confirmed; once the observed inversion
+   rate is <= 2% one confirmation suffices, <= 15% keeps a safety
+   second, anything worse falls back to the full leaderboard.  The
+   floor of one is never crossed — the reported [performance:] is
+   always an exact measurement — and [--confirm] overrides the policy
+   with a fixed size. *)
+let min_rank_pairs = 4
+
+let confirm_quota st =
+  match Engine.confirm_override st.engine with
+  | Some k -> max 1 k
+  | None ->
+    let kernel = st.variant.Variant.kernel.Kernels.Kernel.name in
+    let pairs, inversions = Engine.rank_quality st.engine ~kernel in
+    if pairs < min_rank_pairs then leaderboard_size
+    else
+      let rate = float_of_int inversions /. float_of_int pairs in
+      if rate <= 0.02 then 1 else if rate <= 0.15 then 2 else leaderboard_size
+
+(* A runner-up beating the front-runner within the sampled-search
+   degradation budget (2%) is harmless — either choice is an
+   acceptable winner — so only a win beyond this margin can classify a
+   judged pair as an inversion. *)
+let rank_pair_rtol = 0.02
+
+let record_rank_evidence st confirmed =
+  let kernel = st.variant.Variant.kernel.Kernels.Kernel.name in
+  let entries = Array.of_list confirmed in
+  let pairs = ref 0 and inversions = ref 0 in
+  let n = Array.length entries in
+  (* Judge only the pairs a shrunken quota would actually act on: the
+     estimate front-runner (index 0 — the leaderboard is confirmed in
+     ascending estimate order) against each runner-up.  An inversion
+     deep in the leaderboard (rank 4 vs 5) never changes what quota 1
+     commits, so it is not evidence against shrinking.  Each judged
+     pair asks: would committing to the front-runner have lost this
+     runner-up?  Three ways the answer is no — the runner-up is within
+     the degradation budget (either choice is an acceptable winner),
+     the exact scores agree with the estimate order, or the runner-up
+     wins with the front-runner's own bindings (quota 1 commits the
+     {e bindings}; the prefetch plan is re-derived from scratch at
+     exact precision by the winner polish's coordinate descent, so a
+     same-bindings runner-up is reachable anyway).  Only a runner-up
+     that wins clearly with {e different} bindings is an inversion:
+     something the shrunken confirm set would genuinely lose. *)
+  for j = 1 to n - 1 do
+    let o0, a = entries.(0) and oj, b = entries.(j) in
+    incr pairs;
+    if
+      a > b
+      && Float.abs (a -. b) > rank_pair_rtol *. Float.min a b
+      && List.sort compare o0.bindings <> List.sort compare oj.bindings
+    then incr inversions
+  done;
+  Engine.record_rank_sample st.engine ~kernel ~pairs:!pairs
+    ~inversions:!inversions
+
 (* Exact top-k confirmation of a sampled search: the leaderboard was
-   ranked on sampled estimates, so the leading candidates are
+   ranked on sampled estimates, so the leading [quota] candidates are
    re-measured with full (unsampled) replays — memoized as exact
    entries under their exact fingerprints — and the winner is chosen
-   on exact values.  The estimates only steered the search. *)
-let confirm_exact st =
+   on exact values.  The estimates only steered the search.  Each pass
+   also scores the estimator: every clearly separated exact pair that
+   came back in (or out of) estimate order feeds the engine's
+   rank-quality record, which is what earns future passes a smaller
+   quota. *)
+let confirm_exact st ~quota =
+  let kept = List.filteri (fun i _ -> i < quota) st.top in
+  let skipped = List.filteri (fun i _ -> i >= quota) st.top in
+  List.iter
+    (fun _ -> Engine.note_confirm_skipped st.engine ?log:st.log ())
+    skipped;
   let confirmed =
     List.filter_map
       (fun (o, _) ->
@@ -600,6 +703,7 @@ let confirm_exact st =
                ~bindings:o.bindings ~prefetch:o.prefetch)
         with
         | Some ev ->
+          Engine.note_confirmed st.engine ?log:st.log ();
           Some
             ( {
                 o with
@@ -608,8 +712,9 @@ let confirm_exact st =
               },
               score st ev.Engine.measurement )
         | None -> None)
-      st.top
+      kept
   in
+  record_rank_evidence st confirmed;
   match confirmed with
   | [] -> st.best
   | hd :: tl ->
@@ -617,15 +722,130 @@ let confirm_exact st =
                    if cb < ca then b else a)
                  hd tl))
 
+(* One ±delta descent round where the neighbourhood is RANKED with
+   sampled estimates and only the apparent winner is re-measured at
+   exact precision.  The neighbourhood of a confirmed winner was
+   largely visited during sampled steering, so the ranking sweep is
+   served from the engine memo for near nothing; only the top few
+   apparent winners are re-measured full-length (sampled estimates
+   separate the promising rim of the neighbourhood from the hopeless
+   bulk reliably, but blur the ordering WITHIN the rim — giving the
+   exact tier the top three instead of the argmin covers the observed
+   inversions), and a pick is kept only if it beats the incumbent's
+   exact score, so a mis-ranked neighbour costs an opportunity, never
+   correctness.  Sampled scores never reach [consider] — [st.best]
+   sees only exact measurements.  Caller must have sampling disabled
+   on entry; it is restored to disabled on exit. *)
+let refine_confirm_top = 3
+
+(* The grow-from-empty prefetch greedy re-run under sampled estimates:
+   every sweep is ranked on cheap sampled replays (no [consider] — the
+   scores never touch [st.best]), and only the final plan is returned
+   for one exact confirmation by the caller.  Both the baseline and the
+   candidates are scored sampled, so the greedy compares like with
+   like.  Caller must have sampling disabled on entry; restored on
+   exit. *)
+let prefetch_greedy_sampled st ~sampling ~bindings ~start =
+  Fun.protect
+    ~finally:(fun () -> Engine.set_sampling st.engine None)
+    (fun () ->
+      Engine.set_sampling st.engine (Some sampling);
+      match Engine.build st.engine (request st ~bindings ~prefetch:[]) with
+      | None -> None
+      | Some program ->
+        let bindings = List.sort compare bindings in
+        let sweep prefs =
+          let prefs = List.map (List.sort compare) prefs in
+          let evs =
+            Engine.evaluate_batch st.engine ?log:st.log
+              (List.map (fun prefetch -> request st ~bindings ~prefetch) prefs)
+          in
+          List.fold_left2
+            (fun acc prefetch ev ->
+              match ev with
+              | None -> acc
+              | Some ev -> (
+                let c = score st ev.Engine.measurement in
+                match acc with
+                | Some (_, c') when c' <= c -> acc
+                | _ -> Some (prefetch, c)))
+            None prefs evs
+        in
+        let arrays = Transform.Prefetch_insert.candidates program in
+        let distances = [ 2; 4; 8; 16 ] in
+        match sweep [ List.sort compare start ] with
+        | None -> None
+        | Some (_, base_c) ->
+          let plan, c =
+            List.fold_left
+              (fun (chosen, best_c) a ->
+                let prefs = List.map (fun d -> (a, d) :: chosen) distances in
+                match sweep prefs with
+                | Some (p, c) when c < best_c -> (p, c)
+                | _ -> (chosen, best_c))
+              ([], base_c) arrays
+          in
+          if c < base_c && plan <> [] then Some plan else None)
+
+let refine_round_sampled st ~sampling stage ~prefetch ~delta bindings current =
+  let candidates =
+    List.concat_map
+      (fun p ->
+        let v = List.assoc p bindings in
+        let d = delta p in
+        List.filter_map
+          (fun v' ->
+            if v' >= 1 && v' <> v then Some (set_params bindings [ (p, v') ])
+            else None)
+          [ v + d; v - d ])
+      stage
+  in
+  let ranked =
+    Fun.protect
+      ~finally:(fun () -> Engine.set_sampling st.engine None)
+      (fun () ->
+        Engine.set_sampling st.engine (Some sampling);
+        let prefetch = List.sort compare prefetch in
+        let candidates = List.map (List.sort compare) candidates in
+        let evs =
+          Engine.evaluate_batch st.engine ?log:st.log
+            (List.map
+               (fun bindings -> request st ~bindings ~prefetch)
+               candidates)
+        in
+        List.sort
+          (fun (_, a) (_, b) -> compare a b)
+          (List.concat
+             (List.map2
+                (fun bindings ev ->
+                  match ev with
+                  | None -> []
+                  | Some ev -> [ (bindings, score st ev.Engine.measurement) ])
+                candidates evs)))
+  in
+  let picks =
+    List.filteri (fun i _ -> i < refine_confirm_top) ranked |> List.map fst
+  in
+  List.fold_left
+    (fun (bindings, current) cand ->
+      match evaluate st ~bindings:cand ~prefetch with
+      | Some c when c < current -> (cand, c)
+      | _ -> (bindings, current))
+    (bindings, current) picks
+
 (* Bounded exact polish around the confirmed winner of a sampled
    search: sampled estimates rank the broad landscape reliably but blur
    the last notch of tile/unroll size and prefetch distance, which is
    where the <=2% degradation budget goes.  One capped descent round, a
-   prefetch pass, and a final capped round at exact precision recover
-   it for a few dozen simulations; [consider] folds every exact
-   evaluation into [st.best], so the polish can only improve the
-   answer.  Caller must have sampling disabled. *)
-let polish_exact st =
+   prefetch pass, and a final capped round recover it; [consider] folds
+   every exact evaluation into [st.best], so the polish can only
+   improve the answer.  When the session's sampling spec is supplied,
+   the descent rounds rank their neighbourhoods with sampled estimates
+   ([refine_round_sampled]) and exact-measure only the pick — the
+   neighbourhood sweep is the polish's dominant cost, and ranking it at
+   full precision buys nothing the single exact confirmation doesn't.
+   Caller must have sampling disabled. *)
+let polish_exact ?sampling st =
   match st.best with
   | None -> ()
   | Some o ->
@@ -634,14 +854,51 @@ let polish_exact st =
     let stage = unroll_params @ tile_params in
     let line = line_elems st in
     let delta p = if List.mem p unroll_params then 1 else max 1 line in
-    let c0 = score st o.measurement in
-    let b1, c1 =
-      linear_refine_capped st stage ~prefetch:o.prefetch ~delta ~rounds:1
-        o.bindings c0
+    let round ~prefetch bindings current =
+      match sampling with
+      | Some sp ->
+        refine_round_sampled st ~sampling:sp stage ~prefetch ~delta bindings
+          current
+      | None ->
+        linear_refine_capped st stage ~prefetch ~delta ~rounds:1 bindings
+          current
     in
-    let prefetch, c2 = prefetch_search_armed st ~bindings:b1 c1 in
-    let prefetch = if prefetch = [] then o.prefetch else prefetch in
-    ignore (linear_refine_capped st stage ~prefetch ~delta ~rounds:1 b1 c2)
+    let c0 = score st o.measurement in
+    let b1, c1 = round ~prefetch:o.prefetch o.bindings c0 in
+    (* Two complementary prefetch passes: coordinate descent from the
+       confirmed incumbent (reaches joint plans the greedy can't), then
+       the grow-from-empty greedy (escapes coupled local minima the
+       descent can't — an incumbent with a bad near distance on every
+       array blocks any single-array move).  Keep whichever lands
+       lower. *)
+    (* Two complementary prefetch passes: coordinate descent from the
+       confirmed incumbent (reaches joint plans the greedy can't), and —
+       only when the descent stalls — the grow-from-empty greedy, which
+       escapes coupled local minima the descent can't (an incumbent
+       with a bad near distance on every array blocks any single-array
+       move).  Under sampling the greedy's sweeps are ranked on sampled
+       estimates and only its final plan is confirmed exactly. *)
+    let prefetch, c2 = prefetch_refine st ~bindings:b1 o.prefetch c1 in
+    let prefetch, c2 =
+      if c2 < c1 then (prefetch, c2)
+      else
+        match sampling with
+        | Some sp -> (
+          match
+            prefetch_greedy_sampled st ~sampling:sp ~bindings:b1
+              ~start:prefetch
+          with
+          | Some p -> (
+            match evaluate st ~bindings:b1 ~prefetch:p with
+            | Some c when c < c2 -> (p, c)
+            | _ -> (prefetch, c2))
+          | None -> (prefetch, c2))
+        | None -> (
+          match prefetch_search_armed st ~bindings:b1 c2 with
+          | p, c when c < c2 && p <> [] -> (p, c)
+          | _ -> (prefetch, c2))
+    in
+    ignore (round ~prefetch b1 c2)
 
 let confirm_best st =
   match Engine.sampling st.engine with
@@ -651,9 +908,35 @@ let confirm_best st =
       ~finally:(fun () -> Engine.set_sampling st.engine saved)
       (fun () ->
         Engine.set_sampling st.engine None;
-        st.best <- confirm_exact st;
-        polish_exact st;
+        let quota = confirm_quota st in
+        st.best <- confirm_exact st ~quota;
+        (* The exact polish — the costly part of the tail, a few dozen
+           full-precision simulations — is deferred to the single
+           cross-variant winner ({!polish_winner}): the search pays one
+           polish per run rather than one per variant, and per-variant
+           confirmation only has to pick the right variant, which the
+           confirmed exact scores already do. *)
         confirm_noisy st)
+
+(* Final exact polish of the cross-variant winner of a sampled run.
+   Idempotent where the per-variant polish already ran (identical
+   neighborhoods are served from the memo) and cheap, so callers apply
+   it unconditionally; where confirmation was shrunk it is the one
+   place the last notch of tile/unroll size and prefetch distance is
+   recovered at exact precision. *)
+let polish_winner engine ~n ~mode ?log (o : outcome) =
+  match Engine.sampling engine with
+  | None -> o
+  | Some _ as saved ->
+    Fun.protect
+      ~finally:(fun () -> Engine.set_sampling engine saved)
+      (fun () ->
+        Engine.set_sampling engine None;
+        let st =
+          { engine; n; mode; log; variant = o.variant; best = Some o; top = [] }
+        in
+        polish_exact st;
+        match st.best with Some b -> b | None -> o)
 
 let model_point _machine ~n variant =
   (* Pure constraint arithmetic — no engine, no simulation. *)

@@ -47,6 +47,21 @@ val tune_variant :
   Variant.t ->
   outcome option
 
+(** [polish_winner engine ~n ~mode ?log outcome] — final exact polish
+    of the cross-variant winner of a sampled run (capped refinement +
+    prefetch retune at full precision).  When the adaptive confirmation
+    policy shrank the per-variant confirm set, the per-variant polish
+    was deferred to this single call; where it already ran, the
+    neighborhoods replay from the memo and this is nearly free.  A
+    no-op when the engine is not sampling. *)
+val polish_winner :
+  Engine.t ->
+  n:int ->
+  mode:Executor.mode ->
+  ?log:Search_log.t ->
+  outcome ->
+  outcome
+
 (** The model's initial parameter point for a variant (uniform values
     saturating the phase-1 constraints), with no empirical input at all
     — what a purely model-driven compiler would pick (Yotov et al.'s

@@ -15,6 +15,8 @@ type t = {
   mutable db_hits : int;
   mutable warm_starts : int;
   mutable repriced : int;
+  mutable confirmed : int;
+  mutable confirm_skipped : int;
   started : float;
 }
 
@@ -28,6 +30,8 @@ let create () =
     db_hits = 0;
     warm_starts = 0;
     repriced = 0;
+    confirmed = 0;
+    confirm_skipped = 0;
     started = Unix_time.now ();
   }
 
@@ -39,6 +43,8 @@ let note_prefiltered t = t.prefiltered <- t.prefiltered + 1
 let note_db_hit t = t.db_hits <- t.db_hits + 1
 let note_warm_start t = t.warm_starts <- t.warm_starts + 1
 let note_repriced t = t.repriced <- t.repriced + 1
+let note_confirmed t = t.confirmed <- t.confirmed + 1
+let note_confirm_skipped t = t.confirm_skipped <- t.confirm_skipped + 1
 let entries t = List.rev t.entries
 let points t = List.length t.entries
 let fresh = points
@@ -49,6 +55,8 @@ let prefiltered t = t.prefiltered
 let db_hits t = t.db_hits
 let warm_starts t = t.warm_starts
 let repriced t = t.repriced
+let confirmed t = t.confirmed
+let confirm_skipped t = t.confirm_skipped
 let seconds t = Unix_time.now () -. t.started
 
 let best t =
@@ -76,9 +84,13 @@ let pp fmt t =
     ^ (if warm_starts t > 0 then
          Printf.sprintf ", %d transferred warm-start seeds" (warm_starts t)
        else "")
+    ^ (if repriced t > 0 then
+         Printf.sprintf ", %d re-priced incrementally" (repriced t)
+       else "")
     ^
-    if repriced t > 0 then
-      Printf.sprintf ", %d re-priced incrementally" (repriced t)
+    if confirm_skipped t > 0 then
+      Printf.sprintf ", %d leaderboard confirms skipped adaptively"
+        (confirm_skipped t)
     else "");
   List.iter
     (fun e ->

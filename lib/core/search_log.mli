@@ -59,6 +59,15 @@ val note_warm_start : t -> unit
     (nor memoized — a later request may still measure it). *)
 val note_repriced : t -> unit
 
+(** Count a leaderboard candidate confirmed by an exact re-measurement
+    at the end of a sampled search. *)
+val note_confirmed : t -> unit
+
+(** Count a leaderboard candidate whose exact confirmation was skipped
+    by the adaptive-confirmation policy (the sampled estimator's rank
+    record on this kernel earned a smaller confirm set). *)
+val note_confirm_skipped : t -> unit
+
 val entries : t -> entry list
 
 (** Number of distinct points evaluated (cache hits excluded). *)
@@ -88,6 +97,12 @@ val warm_starts : t -> int
 
 (** Candidates priced by the incremental repricer without replay. *)
 val repriced : t -> int
+
+(** Leaderboard candidates confirmed exactly after a sampled search. *)
+val confirmed : t -> int
+
+(** Leaderboard confirmations skipped by the adaptive policy. *)
+val confirm_skipped : t -> int
 
 (** Wall-clock seconds since [create]. *)
 val seconds : t -> float

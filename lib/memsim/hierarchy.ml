@@ -344,18 +344,6 @@ let replay_event_slack t v =
     end
   end
 
-(* One shared event applied to K plan states: the inner loop keeps the
-   decoded event hot while each hierarchy takes its turn — the batched
-   sweep's demand segments go through here. *)
-let replay_many ts buf ~pos ~len =
-  let nt = Array.length ts in
-  for k = pos to pos + len - 1 do
-    let v = Array.unsafe_get buf k in
-    for i = 0 to nt - 1 do
-      replay_event (Array.unsafe_get ts i) v
-    done
-  done
-
 (* State-only service for the warm-up pass: same lookup/insert/dirty
    sequence as {!service} (so LRU ticks and residency evolve
    identically), no latency arithmetic or counters.  Fill times are
@@ -449,14 +437,285 @@ let warm_event t v =
     end
   end
 
-let warm_many ts buf ~pos ~len =
-  let nt = Array.length ts in
-  for k = pos to pos + len - 1 do
-    let v = Array.unsafe_get buf k in
-    for i = 0 to nt - 1 do
-      warm_event (Array.unsafe_get ts i) v
+(* --- Structure-of-arrays batched replay ------------------------------
+
+   The prefetch sweep feeds ONE shared demand stream to K plan states.
+   Driving that through K [replay_event] calls per event touches five
+   mutable record fields per plan per event; for K beyond ~16 the
+   per-plan counter records defeat the cache.  [Batch] splits the hot
+   counters (loads / stores / stall / L1 hits / prefetches — the ones
+   every event updates) into flat int arrays indexed by plan, so the
+   K-plan inner loop is a strided walk over five contiguous arrays with
+   the decoded event, line and page number computed once per event.
+   Cold counters (level misses, TLB misses, writebacks,
+   prefetch-hidden cycles and the level >= 1 hit/miss tallies of
+   {!service}) stay in the per-plan {!Counters.t} records and are only
+   touched out of line on the miss paths.
+
+   Invariant: per plan, the arithmetic is a verbatim transliteration of
+   {!replay_event} over the same event sequence, so counters after
+   {!Batch.sync} are bit-identical to the unbatched path (the replay
+   test suite checks structural equality).  While a batch is live, its
+   plans' hot counter fields in {!Counters.t} are STALE — every feed
+   must go through the [Batch] functions, and {!Batch.sync} must run
+   before the records are read. *)
+module Batch = struct
+  type hierarchy = t
+
+  type t = {
+    hs : hierarchy array;
+    k : int;
+    l1s : Cache.t array;
+    tlbs : Tlb.t array;
+    b_loads : int array;
+    b_stores : int array;
+    b_stall : int array;
+    b_hit0 : int array;
+    b_prefs : int array;
+    tlb_miss_cycles : int;
+    multi : bool;
+  }
+
+  let create hs =
+    let k = Array.length hs in
+    if k = 0 then invalid_arg "Hierarchy.Batch.create: empty batch";
+    let l1s = Array.map (fun t -> t.caches.(0)) hs in
+    let tlbs = Array.map (fun t -> t.tlb) hs in
+    (* The shared once-per-event line/page decode requires uniform
+       geometry across the pool. *)
+    Array.iter
+      (fun t ->
+        if
+          Cache.line_bytes t.caches.(0) <> Cache.line_bytes hs.(0).caches.(0)
+          || Tlb.page_bytes t.tlb <> Tlb.page_bytes hs.(0).tlb
+        then invalid_arg "Hierarchy.Batch.create: mixed machine geometry")
+      hs;
+    {
+      hs;
+      k;
+      l1s;
+      tlbs;
+      b_loads = Array.map (fun t -> t.counters.Counters.loads) hs;
+      b_stores = Array.map (fun t -> t.counters.Counters.stores) hs;
+      b_stall = Array.map (fun t -> t.counters.Counters.stall_cycles) hs;
+      b_hit0 = Array.map (fun t -> t.counters.Counters.hits.(0)) hs;
+      b_prefs = Array.map (fun t -> t.counters.Counters.prefetches) hs;
+      tlb_miss_cycles = hs.(0).machine.Machine.tlb.Machine.miss_cycles;
+      multi = Array.length hs.(0).caches > 1;
+    }
+
+  let size b = b.k
+
+  let sync b =
+    for i = 0 to b.k - 1 do
+      let c = b.hs.(i).counters in
+      c.Counters.loads <- b.b_loads.(i);
+      c.Counters.stores <- b.b_stores.(i);
+      c.Counters.stall_cycles <- b.b_stall.(i);
+      c.Counters.prefetches <- b.b_prefs.(i);
+      c.Counters.hits.(0) <- b.b_hit0.(i)
     done
-  done
+
+  let reset_counters b =
+    Array.iter
+      (fun t ->
+        Array.iter Cache.settle t.caches;
+        Counters.reset t.counters)
+      b.hs;
+    Array.fill b.b_loads 0 b.k 0;
+    Array.fill b.b_stores 0 b.k 0;
+    Array.fill b.b_stall 0 b.k 0;
+    Array.fill b.b_hit0 0 b.k 0;
+    Array.fill b.b_prefs 0 b.k 0
+
+  (* Cold paths, out of line so the hot loops stay small. *)
+
+  let tlb_refill b i =
+    let t = Array.unsafe_get b.hs i in
+    t.counters.Counters.tlb_misses <- t.counters.Counters.tlb_misses + 1;
+    Array.unsafe_set b.b_stall i
+      (Array.unsafe_get b.b_stall i + b.tlb_miss_cycles)
+
+  let demand_miss b i ~now ~addr ~write ~line =
+    let t = Array.unsafe_get b.hs i in
+    count_miss t 0;
+    let below = service t ~level:1 ~now ~addr ~dirty:false in
+    Array.unsafe_set b.b_stall i (Array.unsafe_get b.b_stall i + below);
+    let evicted_dirty =
+      Cache.insert (Array.unsafe_get b.l1s i) ~now ~ready:now ~dirty:write ~line
+    in
+    if evicted_dirty then begin
+      t.counters.Counters.writebacks <- t.counters.Counters.writebacks + 1;
+      if b.multi then
+        Cache.set_dirty t.caches.(1) ~line:(Cache.line_of_addr t.caches.(1) addr)
+    end
+
+  let prefetch_miss b i ~now ~addr ~line =
+    let t = Array.unsafe_get b.hs i in
+    count_miss t 0;
+    let below = service t ~level:1 ~now ~addr ~dirty:false in
+    t.counters.Counters.prefetch_hidden_cycles <-
+      t.counters.Counters.prefetch_hidden_cycles + below;
+    let evicted_dirty =
+      Cache.insert
+        (Array.unsafe_get b.l1s i)
+        ~now ~ready:(now + below) ~dirty:false ~line
+    in
+    if evicted_dirty then begin
+      t.counters.Counters.writebacks <- t.counters.Counters.writebacks + 1;
+      if b.multi then
+        Cache.set_dirty t.caches.(1) ~line:(Cache.line_of_addr t.caches.(1) addr)
+    end
+
+  let warm_miss b i ~addr ~write ~line =
+    let t = Array.unsafe_get b.hs i in
+    warm_service t ~level:1 ~addr;
+    let evicted_dirty =
+      Cache.insert (Array.unsafe_get b.l1s i) ~now:0 ~ready:0 ~dirty:write ~line
+    in
+    if evicted_dirty && b.multi then
+      Cache.set_dirty t.caches.(1) ~line:(Cache.line_of_addr t.caches.(1) addr)
+
+  (* One shared event run through every plan: decode, line and page
+     once; then a branch-light, allocation-free walk over the K plans'
+     flat counters. *)
+  let replay_all b buf ~pos ~len =
+    let k = b.k in
+    let loads = b.b_loads
+    and stores = b.b_stores
+    and stall = b.b_stall
+    and hit0 = b.b_hit0 in
+    let l1s = b.l1s and tlbs = b.tlbs in
+    let l1g = Array.unsafe_get l1s 0 and tlbg = Array.unsafe_get tlbs 0 in
+    for e = pos to pos + len - 1 do
+      let v = Array.unsafe_get buf e in
+      let addr = v lsr 2 in
+      let tag = v land 3 in
+      let line = Cache.line_of_addr l1g addr in
+      let page = Tlb.page_of_addr tlbg addr in
+      if tag <> Ir.Sink.tag_prefetch then begin
+        let write = tag = Ir.Sink.tag_store in
+        let cnt = if write then stores else loads in
+        for i = 0 to k - 1 do
+          Array.unsafe_set cnt i (Array.unsafe_get cnt i + 1);
+          if not (Tlb.access (Array.unsafe_get tlbs i) ~page) then
+            tlb_refill b i;
+          let now =
+            Array.unsafe_get loads i + Array.unsafe_get stores i
+            + Array.unsafe_get stall i
+          in
+          let fill = Cache.access (Array.unsafe_get l1s i) ~line ~write in
+          if fill <> Cache.absent then begin
+            Array.unsafe_set hit0 i (Array.unsafe_get hit0 i + 1);
+            if fill > now then
+              Array.unsafe_set stall i (Array.unsafe_get stall i + (fill - now))
+          end
+          else demand_miss b i ~now ~addr ~write ~line
+        done
+      end
+      else begin
+        let prefs = b.b_prefs in
+        for i = 0 to k - 1 do
+          Array.unsafe_set loads i (Array.unsafe_get loads i + 1);
+          Array.unsafe_set prefs i (Array.unsafe_get prefs i + 1);
+          if Tlb.probe (Array.unsafe_get tlbs i) ~page then begin
+            let now =
+              Array.unsafe_get loads i + Array.unsafe_get stores i
+              + Array.unsafe_get stall i
+            in
+            if
+              Cache.access (Array.unsafe_get l1s i) ~line ~write:false
+              = Cache.absent
+            then prefetch_miss b i ~now ~addr ~line
+          end
+        done
+      end
+    done
+
+  (* One event for plan [i] only (per-plan prefetch emissions and
+     sampled segments): the [replay_event] body against the flat
+     counters. *)
+  let replay_one b i v =
+    let addr = v lsr 2 in
+    let tag = v land 3 in
+    let l1 = Array.unsafe_get b.l1s i in
+    let tlb = Array.unsafe_get b.tlbs i in
+    let line = Cache.line_of_addr l1 addr in
+    if tag <> Ir.Sink.tag_prefetch then begin
+      let write = tag = Ir.Sink.tag_store in
+      (if write then
+         Array.unsafe_set b.b_stores i (Array.unsafe_get b.b_stores i + 1)
+       else Array.unsafe_set b.b_loads i (Array.unsafe_get b.b_loads i + 1));
+      if not (Tlb.access tlb ~page:(Tlb.page_of_addr tlb addr)) then
+        tlb_refill b i;
+      let now =
+        Array.unsafe_get b.b_loads i
+        + Array.unsafe_get b.b_stores i
+        + Array.unsafe_get b.b_stall i
+      in
+      let fill = Cache.access l1 ~line ~write in
+      if fill <> Cache.absent then begin
+        Array.unsafe_set b.b_hit0 i (Array.unsafe_get b.b_hit0 i + 1);
+        if fill > now then
+          Array.unsafe_set b.b_stall i
+            (Array.unsafe_get b.b_stall i + (fill - now))
+      end
+      else demand_miss b i ~now ~addr ~write ~line
+    end
+    else begin
+      Array.unsafe_set b.b_loads i (Array.unsafe_get b.b_loads i + 1);
+      Array.unsafe_set b.b_prefs i (Array.unsafe_get b.b_prefs i + 1);
+      if Tlb.probe tlb ~page:(Tlb.page_of_addr tlb addr) then begin
+        let now =
+          Array.unsafe_get b.b_loads i
+          + Array.unsafe_get b.b_stores i
+          + Array.unsafe_get b.b_stall i
+        in
+        if Cache.access l1 ~line ~write:false = Cache.absent then
+          prefetch_miss b i ~now ~addr ~line
+      end
+    end
+
+  let replay_range b i buf ~pos ~len =
+    for e = pos to pos + len - 1 do
+      replay_one b i (Array.unsafe_get buf e)
+    done
+
+  (* Warm variants: no counters are involved, so the per-plan forms
+     delegate to the scalar warm paths; the shared form still hoists
+     the decode. *)
+  let warm_all b buf ~pos ~len =
+    let k = b.k in
+    let l1s = b.l1s and tlbs = b.tlbs in
+    let l1g = Array.unsafe_get l1s 0 and tlbg = Array.unsafe_get tlbs 0 in
+    for e = pos to pos + len - 1 do
+      let v = Array.unsafe_get buf e in
+      let addr = v lsr 2 in
+      let tag = v land 3 in
+      let line = Cache.line_of_addr l1g addr in
+      let page = Tlb.page_of_addr tlbg addr in
+      if tag <> Ir.Sink.tag_prefetch then begin
+        let write = tag = Ir.Sink.tag_store in
+        for i = 0 to k - 1 do
+          ignore (Tlb.access (Array.unsafe_get tlbs i) ~page);
+          if Cache.access (Array.unsafe_get l1s i) ~line ~write = Cache.absent
+          then warm_miss b i ~addr ~write ~line
+        done
+      end
+      else
+        for i = 0 to k - 1 do
+          if Tlb.probe (Array.unsafe_get tlbs i) ~page then
+            if
+              Cache.access (Array.unsafe_get l1s i) ~line ~write:false
+              = Cache.absent
+            then warm_miss b i ~addr ~write:false ~line
+        done
+    done
+
+  let warm_one b i v = warm_event (Array.unsafe_get b.hs i) v
+
+  let warm_range b i buf ~pos ~len = warm_packed b.hs.(i) buf ~pos ~len
+end
 
 (* Sampled replay: the sampler decides, window by window, whether the
    next run of events is measured ([replay_packed]), replayed

@@ -60,17 +60,60 @@ val replay_event_slack : t -> int -> int
 
 val no_slack : int
 
-(** [replay_many ts buf ~pos ~len] replays one shared event run
-    through every hierarchy in [ts] in a single pass over the buffer —
-    equivalent to [Array.iter (fun t -> replay_packed t buf ~pos ~len) ts]
-    but keeping each decoded event hot across the K plan states. *)
-val replay_many : t array -> int array -> pos:int -> len:int -> unit
-
 (** Per-event twin of one {!warm_packed} iteration. *)
 val warm_event : t -> int -> unit
 
-(** {!replay_many}'s state-only counterpart for the warm-up region. *)
-val warm_many : t array -> int array -> pos:int -> len:int -> unit
+(** Structure-of-arrays batched replay over K plan states sharing one
+    demand stream (the prefetch sweep).  The hot counters every event
+    updates (loads, stores, stall cycles, L1 hits, prefetches) live in
+    flat int arrays indexed by plan, so the K-plan inner loop is
+    branch-light and allocation-free and scales past K = 16; cold
+    counters (level misses, TLB misses, writebacks) stay in each plan's
+    {!Counters.t} and are updated out of line on miss paths.
+
+    Per plan, the arithmetic is a verbatim transliteration of
+    {!replay_event}, so after {!Batch.sync} the counters are
+    bit-identical to replaying that plan's stream unbatched.  While a
+    batch is live its plans' hot counter fields are stale: every feed
+    must go through the batch, and {!Batch.sync} must be called before
+    the {!Counters.t} records are read. *)
+module Batch : sig
+  type hierarchy := t
+  type t
+
+  (** [create hs] wraps the pool [hs] (uniform machine geometry
+      required), seeding the flat counters from each hierarchy's
+      current {!Counters.t}. *)
+  val create : hierarchy array -> t
+
+  val size : t -> int
+
+  (** [replay_all b buf ~pos ~len] feeds the shared run to every plan —
+      equivalent to K {!replay_packed} calls, decoding each event (and
+      its line and page number) once. *)
+  val replay_all : t -> int array -> pos:int -> len:int -> unit
+
+  (** [replay_one b i v] feeds the single event [v] to plan [i]
+      (per-plan prefetch emissions). *)
+  val replay_one : t -> int -> int -> unit
+
+  (** [replay_range b i buf ~pos ~len] feeds a run to plan [i] only
+      (sampled measured windows). *)
+  val replay_range : t -> int -> int array -> pos:int -> len:int -> unit
+
+  (** State-only counterparts for the warm-up region. *)
+  val warm_all : t -> int array -> pos:int -> len:int -> unit
+
+  val warm_one : t -> int -> int -> unit
+  val warm_range : t -> int -> int array -> pos:int -> len:int -> unit
+
+  (** Write the flat counters back into each plan's {!Counters.t}. *)
+  val sync : t -> unit
+
+  (** {!Hierarchy.reset_counters} on every plan, plus a flat-counter
+      rewind — discards a warm-up pass. *)
+  val reset_counters : t -> unit
+end
 
 (** [replay_sampled t sampler buf ~pos ~len] replays only the
     sampler's measured windows with full accounting, re-warms state

@@ -41,6 +41,20 @@ let to_string s =
   Printf.sprintf "shrink=%d,window=%d,gap=%d,warm=%d" s.shrink s.window s.gap
     s.warm
 
+(* How much of a sampled replay's cold warm-up prefix is actually
+   replayed state-only: the trailing [window + gap] events.  Mid-stream,
+   every measured window trusts at most one period of history ([gap]
+   skipped events re-warmed by the last [warm]); granting the first
+   window a full period of true state-only history makes its starting
+   state at least as representative as any later window's, so replaying
+   the prefix beyond one period buys nothing the estimator relies on.
+   Short prefixes (at most one period) are unaffected — they replay in
+   full, so small-budget estimates are bit-identical to the uncapped
+   behaviour. *)
+let prefix_cap s =
+  let s = clamp s in
+  s.window + s.gap
+
 type action = Measure | Warm | Drop
 
 type sampler = {

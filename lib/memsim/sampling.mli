@@ -47,6 +47,19 @@ val parse : string -> t
 
 val to_string : t -> string
 
+(** Cap on the state-only replay of a sampled measurement's cold
+    warm-up prefix: only the trailing [window + gap] events of the
+    prefix are fed to the hierarchy (the rest are skipped outright).
+    Mid-stream, every measured window trusts at most one period of
+    history, so a full period of true state-only history leaves the
+    first window's state at least as representative as any later
+    window's; prefixes no longer than one period replay in full, making
+    small-budget estimates bit-identical to the uncapped behaviour.
+    All sampled replay paths (direct, from-trace, and batched) apply
+    the same cap to the same stream positions, so their estimates stay
+    bit-identical to each other. *)
+val prefix_cap : t -> int
+
 type action = Measure | Warm | Drop
 
 (** Mutable window cursor over one event stream. *)
