@@ -136,16 +136,29 @@ let derive_cmd =
 
 (* --- tune --- *)
 
-let load_db cmd file =
-  match Perfdb.load file with
+(* Write paths take the single-writer advisory lock; read-only commands
+   (stat, export) don't, so they work alongside a live writer. *)
+let load_db ?(lock = false) cmd file =
+  match Perfdb.load ~lock file with
   | db -> db
   | exception Perfdb.Corrupt msg ->
     Format.eprintf "eco %s: corrupt performance database %s: %s@." cmd file msg;
     exit 1
+  | exception Perfdb.Locked msg ->
+    Format.eprintf
+      "eco %s: %s@.eco %s: wait for the other writer to finish, or point \
+       --db at a different file@."
+      cmd msg cmd;
+    Format.eprintf "%s@."
+      (Serve.Errors.to_cli_line
+         (Serve.Errors.make ~code:"db_locked"
+            ~data:[ ("path", Serve.Json.String file) ]
+            msg));
+    exit 1
 
 let tune machine kernel n budget jobs objective prefilter profile closures
     validate faults_spec trials retries checkpoint checkpoint_every die_after
-    db_file no_warm_start sample no_batch_replay incremental confirm =
+    db_file no_warm_start sample no_batch_replay incremental confirm timeout =
   let mode = mode_of_budget budget in
   let path =
     if closures then Core.Executor.Closures else Core.Executor.Fast
@@ -189,7 +202,7 @@ let tune machine kernel n budget jobs objective prefilter profile closures
     match db_file with
     | None -> None
     | Some file ->
-      let db = load_db "tune" file in
+      let db = load_db ~lock:true "tune" file in
       Core.Engine.set_db engine ~warm_start:(not no_warm_start) db;
       Some db
   in
@@ -250,20 +263,55 @@ let tune machine kernel n budget jobs objective prefilter profile closures
       (match confirm with
       | Some k -> string_of_int k
       | None -> "adaptive");
+  (match timeout with
+  | Some t when t > 0.0 ->
+    Core.Engine.set_deadline engine (Some (Unix.gettimeofday () +. t))
+  | Some _ ->
+    Format.eprintf "eco tune: --timeout must be positive@.";
+    exit 2
+  | None -> ());
+  let log = Core.Search_log.create () in
   let r =
-    match Core.Eco.optimize_with ~mode engine kernel ~n with
+    match Core.Eco.optimize_with ~mode ~log engine kernel ~n with
     | r -> r
     | exception Core.Engine.Eval_limit_reached k ->
       (* Simulated SIGKILL: no final checkpoint — only the last
          periodic one survives, exactly like a real kill. *)
       Format.eprintf "eco tune: killed after %d fresh evaluations (--die-after)@." k;
       exit 3
+    | exception Core.Engine.Deadline_exceeded ->
+      (* Typed partial result: persist the cursor, report best-so-far. *)
+      if checkpoint <> None then Core.Engine.checkpoint_now engine;
+      let t = match timeout with Some t -> t | None -> 0.0 in
+      Format.printf "timeout:      %.3gs deadline exceeded after %d points; \
+                     best-so-far follows@."
+        t (Core.Search_log.points log);
+      (match Core.Search_log.best log with
+      | None ->
+        Format.eprintf "eco tune: timed out before any point was measured@.";
+        exit 4
+      | Some e ->
+        Format.printf "best variant: %s@." e.Core.Search_log.variant;
+        Format.printf "parameters:   %s@." (bindings_str e.Core.Search_log.bindings);
+        Format.printf "prefetch:     %s@."
+          (if e.Core.Search_log.prefetch = [] then "(none)"
+           else bindings_str e.Core.Search_log.prefetch);
+        Format.printf "performance:  %.1f MFLOPS (partial)@."
+          e.Core.Search_log.mflops;
+        Format.printf "search:       %d points, %.2fs wall@."
+          (Core.Search_log.points log)
+          (Core.Search_log.seconds log);
+        exit 0)
     | exception Core.Eco.No_feasible_variant { kernel; n; per_variant } ->
       Format.eprintf "eco tune: no feasible variant for %s at n=%d@." kernel n;
       List.iter
         (fun (v, why) ->
           Format.eprintf "  %-28s %s@." v (Core.Eco.describe_infeasibility why))
         per_variant;
+      (* the same structured payload the service returns as its RPC error *)
+      Format.eprintf "%s@."
+        (Serve.Errors.to_cli_line
+           (Serve.Errors.no_feasible_variant ~kernel ~n per_variant));
       exit 1
   in
   if checkpoint <> None then Core.Engine.checkpoint_now engine;
@@ -505,6 +553,17 @@ let tune_cmd =
              ranking on the kernel.  The winner is re-measured exactly \
              either way.")
   in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECS"
+          ~doc:
+            "Wall-clock deadline for the whole search.  On expiry the run \
+             prints a $(b,timeout:) marker and the best point found so far \
+             (a typed partial result), checkpoints if --checkpoint is \
+             armed, and exits 0 (4 if nothing was measured yet).")
+  in
   Cmd.v
     (Cmd.info "tune"
        ~doc:"Run the full two-phase ECO optimization for a kernel.")
@@ -513,7 +572,8 @@ let tune_cmd =
       $ jobs_arg $ objective_arg $ prefilter_arg $ profile_arg $ closures_arg
       $ validate_arg $ faults_arg $ trials_arg $ retries_arg $ checkpoint_arg
       $ checkpoint_every_arg $ die_after_arg $ db_arg $ no_warm_start_arg
-      $ sample_arg $ no_batch_replay_arg $ incremental_arg $ confirm_arg)
+      $ sample_arg $ no_batch_replay_arg $ incremental_arg $ confirm_arg
+      $ timeout_arg)
 
 (* --- check --- *)
 
@@ -712,7 +772,7 @@ let db_stat file =
         (List.length sm.Perfdb.frontier))
 
 let db_compact file =
-  let db = load_db "db compact" file in
+  let db = load_db ~lock:true "db compact" file in
   let before = Perfdb.stat db in
   Perfdb.compact db;
   let after = Perfdb.stat db in
@@ -747,6 +807,141 @@ let db_cmd =
         Term.(const db_export $ db_file_arg);
     ]
 
+(* --- serve --- *)
+
+let serve machine jobs db_file warm_start dir checkpoint_every max_live
+    max_queue deadline watchdog watchdog_retries progress_every faults_spec =
+  let service_faults =
+    match faults_spec with
+    | None -> Faults.Service.none
+    | Some s -> (
+      try Faults.Service.of_spec s
+      with Invalid_argument m ->
+        Format.eprintf "eco serve: bad --faults spec: %s@." m;
+        exit 2)
+  in
+  let cfg =
+    {
+      Serve.Daemon.default_config with
+      machine;
+      jobs;
+      db_file;
+      warm_start;
+      checkpoint_dir = dir;
+      checkpoint_every;
+      max_live = max 1 max_live;
+      max_queue = max 0 max_queue;
+      default_deadline_s = deadline;
+      watchdog_s = watchdog;
+      watchdog_retries = max 0 watchdog_retries;
+      progress_every_s = progress_every;
+      service_faults;
+    }
+  in
+  exit (Serve.Daemon.run cfg)
+
+let serve_cmd =
+  let dir_arg =
+    Arg.(
+      value & opt string ".eco-serve"
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:
+            "Session state directory: request files and periodic \
+             checkpoints live here, and a restarted daemon replays \
+             whatever a dead one left behind.")
+  in
+  let db_serve_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "db" ] ~docv:"FILE"
+          ~doc:
+            "Shared performance database (single-writer locked).  A \
+             corrupt file degrades the persistence tier (db: degraded in \
+             status) instead of killing the daemon.")
+  in
+  let warm_start_arg =
+    Arg.(
+      value & flag
+      & info [ "warm-start" ]
+          ~doc:
+            "Enable nearest-neighbor transfer seeding from the database.  \
+             Off by default in the service: warm starts make answers \
+             depend on what the store happens to contain.")
+  in
+  let checkpoint_every_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:"Checkpoint each session after every N fresh evaluations.")
+  in
+  let max_live_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "max-live" ] ~docv:"N"
+          ~doc:"Tuning sessions interleaved concurrently (default 2).")
+  in
+  let max_queue_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "Sessions queued beyond the live limit before requests are \
+             rejected with a typed busy error (default 8).")
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "deadline" ] ~docv:"SECS"
+          ~doc:
+            "Default per-request wall deadline (0 = none); requests may \
+             override with params.deadline_s.")
+  in
+  let watchdog_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "watchdog" ] ~docv:"SECS"
+          ~doc:
+            "Hung-batch watchdog: a measurement batch exceeding SECS \
+             counts as a stall, retried with backoff and quarantined \
+             after --watchdog-retries stalls (0 = off).")
+  in
+  let watchdog_retries_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "watchdog-retries" ] ~docv:"N"
+          ~doc:"Stalls tolerated before the session is quarantined.")
+  in
+  let progress_every_arg =
+    Arg.(
+      value & opt float 0.25
+      & info [ "progress-every" ] ~docv:"SECS"
+          ~doc:"Progress notification cadence (default 0.25s).")
+  in
+  let serve_faults_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Seeded service-level fault plan, e.g. \
+             seed=7,hang=0.2,hang_s=0.05,disconnect=0.1,kill_after=12 — \
+             injected hangs, client disconnects at progress events, and a \
+             simulated SIGKILL (exit 9) at the Nth batch boundary.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the autotuning service: a crash-only daemon speaking \
+          newline-delimited JSON-RPC on stdin/stdout that tunes \
+          concurrently for many clients from one shared memo, trace cache \
+          and performance database.")
+    Term.(
+      const serve $ machine_arg $ jobs_arg $ db_serve_arg $ warm_start_arg
+      $ dir_arg $ checkpoint_every_arg $ max_live_arg $ max_queue_arg
+      $ deadline_arg $ watchdog_arg $ watchdog_retries_arg
+      $ progress_every_arg $ serve_faults_arg)
+
 (* --- experiment --- *)
 
 let experiment jobs names =
@@ -777,7 +972,7 @@ let main_cmd =
           Optimize for Multiple Levels of the Memory Hierarchy' (CGO 2005).")
     [
       describe_cmd; derive_cmd; tune_cmd; run_cmd; codegen_cmd; check_cmd;
-      experiment_cmd; db_cmd;
+      serve_cmd; experiment_cmd; db_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

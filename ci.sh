@@ -269,4 +269,152 @@ dune exec bench/main.exe -- --db-bench
 grep -q '"warm_ok": true' BENCH_db.json
 ! grep -q '"warm_ok": false' BENCH_db.json
 
+# --- The autotuning service (eco serve) ------------------------------
+rm -rf ci_serve && mkdir -p ci_serve
+
+# One-shot CLI reference answer: every service answer below must match
+# these fields byte for byte.
+dune exec bin/eco_cli.exe -- tune -k matvec -n 64 -b 100000 > ci_serve/cli.txt
+grep -E "^(best variant|parameters|performance):" ci_serve/cli.txt \
+  > ci_serve/cli_ans.txt
+
+# Two identical tunes through one daemon: both answer ok, the second is
+# served entirely from the shared memo (zero fresh simulations), and
+# both match the one-shot CLI.
+printf '%s\n%s\n' \
+  '{"id":1,"method":"tune","params":{"kernel":"matvec","n":64,"budget":100000}}' \
+  '{"id":2,"method":"tune","params":{"kernel":"matvec","n":64,"budget":100000}}' \
+  | dune exec bin/eco_cli.exe -- serve --dir ci_serve/ck1 > ci_serve/two.jsonl
+python3 - <<'EOF'
+import json
+res = {}
+for line in open("ci_serve/two.jsonl"):
+    j = json.loads(line)
+    if "result" in j and j.get("id") is not None:
+        res[j["id"]] = j["result"]
+r1, r2 = res[1], res[2]
+assert r1["status"] == "ok" and r2["status"] == "ok"
+assert r2["fresh"] == 0 and r2["hits"] > 0, "second tune not memo-served"
+cli = {}
+for l in open("ci_serve/cli_ans.txt"):
+    k, v = l.split(":", 1)
+    cli[k.strip()] = v.strip()
+for r in (r1, r2):
+    assert r["best_variant"] == cli["best variant"], (r, cli)
+    assert r["parameters"] == cli["parameters"], (r, cli)
+    assert r["performance"] == cli["performance"].split()[0], (r, cli)
+EOF
+
+# Cancellation: the cancel lands at a batch boundary, the session
+# answers with a typed "cancelled" partial plus a resumable checkpoint,
+# and the daemon keeps serving (clean exit 0 at EOF).
+printf '%s\n%s\n' \
+  '{"id":3,"method":"tune","params":{"kernel":"matmul","n":96,"budget":300000}}' \
+  '{"id":4,"method":"cancel","params":{"session":3}}' \
+  | dune exec bin/eco_cli.exe -- serve --dir ci_serve/ck2 > ci_serve/cancel.jsonl
+python3 - <<'EOF'
+import json
+res = {}
+for line in open("ci_serve/cancel.jsonl"):
+    j = json.loads(line)
+    if "result" in j and j.get("id") is not None:
+        res[j["id"]] = j["result"]
+assert res[3]["status"] == "cancelled", res[3]
+assert res[4]["cancelled"] is True, res[4]
+EOF
+
+# Crash-only recovery: a fault-injected kill -9 at the 10th batch
+# boundary leaves a durable request file; a restarted daemon replays it
+# unprompted to the same answer as the one-shot CLI, then consumes it.
+set +e
+printf '%s\n' \
+  '{"id":7,"method":"tune","params":{"kernel":"matvec","n":64,"budget":100000}}' \
+  | dune exec bin/eco_cli.exe -- serve --dir ci_serve/ck3 \
+      --faults kill_after=10 > ci_serve/killed.jsonl
+rc=$?
+set -e
+test "$rc" -ne 0
+ls ci_serve/ck3/*.req
+dune exec bin/eco_cli.exe -- serve --dir ci_serve/ck3 \
+  < /dev/null > ci_serve/recovered.jsonl
+python3 - <<'EOF'
+import json
+rec = None
+for line in open("ci_serve/recovered.jsonl"):
+    j = json.loads(line)
+    if j.get("method") == "recovered":
+        rec = j["params"]
+assert rec is not None, "no recovered notification"
+assert rec["session"] == 7 and rec["status"] == "ok", rec
+cli = {}
+for l in open("ci_serve/cli_ans.txt"):
+    k, v = l.split(":", 1)
+    cli[k.strip()] = v.strip()
+assert rec["best_variant"] == cli["best variant"], (rec, cli)
+assert rec["parameters"] == cli["parameters"], (rec, cli)
+assert rec["performance"] == cli["performance"].split()[0], (rec, cli)
+EOF
+test -z "$(ls ci_serve/ck3/*.req 2>/dev/null)"
+
+# A corrupt store degrades the daemon (db: degraded in status, tunes
+# still answered correctly) instead of killing it.
+rm -f ci_serve/db.bin
+dune exec bin/eco_cli.exe -- tune -k matvec -n 64 -b 100000 \
+  --db ci_serve/db.bin > /dev/null
+printf 'XXXX' | dd of=ci_serve/db.bin bs=1 seek=13 count=4 conv=notrunc
+printf '%s\n%s\n' \
+  '{"id":8,"method":"status"}' \
+  '{"id":9,"method":"tune","params":{"kernel":"matvec","n":64,"budget":100000}}' \
+  | dune exec bin/eco_cli.exe -- serve --dir ci_serve/ck4 \
+      --db ci_serve/db.bin > ci_serve/degraded.jsonl
+python3 - <<'EOF'
+import json
+res = {}
+for line in open("ci_serve/degraded.jsonl"):
+    j = json.loads(line)
+    if "result" in j and j.get("id") is not None:
+        res[j["id"]] = j["result"]
+assert res[8]["db"] == "degraded", res[8]
+assert res[9]["status"] == "ok", res[9]
+cli = {}
+for l in open("ci_serve/cli_ans.txt"):
+    k, v = l.split(":", 1)
+    cli[k.strip()] = v.strip()
+assert res[9]["best_variant"] == cli["best variant"], (res[9], cli)
+EOF
+
+# Single-writer lock: while the daemon holds the store, a concurrent
+# "eco tune --db" on the same file must fail fast with the typed
+# db_locked error, not corrupt anything.
+rm -f ci_serve/db2.bin
+mkfifo ci_serve/in
+dune exec bin/eco_cli.exe -- serve --dir ci_serve/ck5 \
+  --db ci_serve/db2.bin < ci_serve/in > ci_serve/lock.jsonl &
+serve_pid=$!
+exec 9> ci_serve/in
+i=0
+while test ! -s ci_serve/lock.jsonl && test "$i" -lt 100; do
+  sleep 0.1
+  i=$((i + 1))
+done
+test -s ci_serve/lock.jsonl
+set +e
+dune exec bin/eco_cli.exe -- tune -k matvec -n 64 -b 50000 \
+  --db ci_serve/db2.bin > /dev/null 2> ci_serve/locked_err.txt
+rc=$?
+set -e
+test "$rc" -eq 1
+grep -q '"code":"db_locked"' ci_serve/locked_err.txt
+exec 9>&-
+wait "$serve_pid"
+
+# Wall-clock deadline on the one-shot CLI: a typed partial with the
+# timeout marker and the best point found so far, exit 0.
+dune exec bin/eco_cli.exe -- tune -k matmul -n 128 -b 2000000 \
+  --timeout 0.2 > ci_serve/timeout.txt
+grep -q "^timeout:" ci_serve/timeout.txt
+grep -q "^best variant:" ci_serve/timeout.txt
+grep -q "(partial)" ci_serve/timeout.txt
+rm -rf ci_serve
+
 echo "ci.sh: all checks passed"

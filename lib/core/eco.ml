@@ -25,6 +25,14 @@ let describe_infeasibility = function
   | Point_failed reason -> Engine.describe_failure reason
   | Search_found_nothing -> "search measured no feasible point"
 
+(* Stable slugs for the shared CLI/service error schema; [Point_failed]
+   composes with [Engine.failure_code] downstream. *)
+let infeasibility_code = function
+  | No_model_point -> "no_model_point"
+  | Point_pruned -> "point_pruned"
+  | Point_failed _ -> "point_failed"
+  | Search_found_nothing -> "search_found_nothing"
+
 let () =
   Printexc.register_printer (function
     | No_feasible_variant { kernel; n; per_variant } ->
@@ -37,15 +45,18 @@ let () =
                  per_variant)))
     | _ -> None)
 
-let optimize_with ?(mode = Executor.default_budget) ?(max_variants = 4) engine
-    kernel ~n =
+let optimize_with ?(mode = Executor.default_budget) ?(max_variants = 4) ?log
+    engine kernel ~n =
   let machine = Engine.machine engine in
   (* With the default [Cycles] objective this is exactly
      [Executor.cycles] — triage and winner selection are byte-for-byte
      the historical behaviour. *)
   let score m = Objective.score (Engine.objective engine) machine m in
   let variants = Derive.variants machine kernel in
-  let log = Search_log.create () in
+  (* A caller-supplied log lets graceful-degradation paths (the CLI's
+     --timeout, the service's cancel/deadline partial results) report
+     the best point found before the search was cut short. *)
+  let log = match log with Some l -> l | None -> Search_log.create () in
   let armed = Engine.prefilter engine <> None in
   (* Triage: measure every variant once at its model-initial point and
      fully search only the most promising — the "models limit the search
@@ -189,16 +200,23 @@ let optimize_with ?(mode = Executor.default_budget) ?(max_variants = 4) engine
           mflops = best.Search.measurement.Executor.mflops;
         }
       in
-      Perfdb.add_summary db
-        {
-          Perfdb.kernel = kernel.Kernels.Kernel.name;
-          machine = machine.Machine.name;
-          capacity = Perfdb.capacity_vector machine;
-          n;
-          best = best_point;
-          frontier =
-            best_point :: List.map point_of_entry (Search_log.entries log);
-        });
+      match
+        Perfdb.add_summary db
+          {
+            Perfdb.kernel = kernel.Kernels.Kernel.name;
+            machine = machine.Machine.name;
+            capacity = Perfdb.capacity_vector machine;
+            n;
+            best = best_point;
+            frontier =
+              best_point :: List.map point_of_entry (Search_log.entries log);
+          }
+      with
+      | () -> ()
+      | exception e ->
+        (* an unappendable store degrades persistence; the answer in
+           hand is unaffected *)
+        Engine.degrade_db engine (Printexc.to_string e));
     { outcome = best; measurement = best.Search.measurement; variants; log; engine }
 
 let optimize ?mode ?max_variants ?jobs ?objective ?prefilter machine kernel ~n =

@@ -49,6 +49,12 @@ exception
 (** One-line human description of an {!infeasibility}. *)
 val describe_infeasibility : infeasibility -> string
 
+(** Stable machine-readable slug of an {!infeasibility}
+    ([no_model_point], [point_pruned], [point_failed],
+    [search_found_nothing]) — the shared CLI/service error schema;
+    [Point_failed]'s inner reason is coded by {!Engine.failure_code}. *)
+val infeasibility_code : infeasibility -> string
+
 (** @param mode execution mode for candidate measurements (default
       {!Executor.default_budget}).
     @param max_variants variants kept for full search after a one-point
@@ -75,10 +81,13 @@ val optimize :
 
 (** As {!optimize}, but measuring through a caller-supplied engine, so
     repeated points across kernels, strategies and experiments are
-    served from one shared memo table. *)
+    served from one shared memo table.  [log] (default: a fresh log)
+    lets the caller own the search log, so a search cut short by a
+    deadline or a cancel token can still report its best-so-far. *)
 val optimize_with :
   ?mode:Executor.mode ->
   ?max_variants:int ->
+  ?log:Search_log.t ->
   Engine.t ->
   Kernels.Kernel.t ->
   n:int ->

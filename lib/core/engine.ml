@@ -32,6 +32,15 @@ let describe_failure = function
   | Timeout -> "evaluation deadline exceeded"
   | Quarantined -> "persistently failing: retry budget exhausted"
 
+(* Stable machine-readable slugs: the shared error schema the CLI and
+   the autotuning service both emit (Serve.Errors). *)
+let failure_code = function
+  | Infeasible_instantiation -> "infeasible"
+  | Malformed_program -> "malformed"
+  | Transient -> "transient"
+  | Timeout -> "timeout"
+  | Quarantined -> "quarantined"
+
 (* The resilient measurement protocol: how hard the engine fights the
    measurement substrate for each candidate. *)
 type protocol = {
@@ -137,6 +146,21 @@ type t = {
   (* crash-only persistence: (file, tag, every) once configured *)
   mutable checkpoint : (string * string * int) option;
   mutable eval_limit : int option;
+  (* Cooperative interruption (the autotuning service's cancel tokens,
+     per-request deadlines and watchdog ride on these):
+     [poll] runs after every fresh evaluation and at every batch
+     boundary and may raise to abort the search; [yield_hook] runs at
+     batch boundaries only — the engine is quiescent there, so a
+     scheduler may suspend the whole search and run another one on the
+     same engine; [deadline] is an absolute wall-clock instant past
+     which evaluation raises [Deadline_exceeded]. *)
+  mutable poll : (unit -> unit) option;
+  mutable yield_hook : (unit -> unit) option;
+  mutable deadline : float option;
+  (* Graceful degradation of the persistent database tier: the first
+     I/O failure detaches the store and records why, instead of
+     crashing the search that happened to trigger the write. *)
+  mutable db_degraded : string option;
   (* Two-stage evaluation: with [prefilter = Some k], each batch is
      ranked by the analytical model under [objective] and only the
      top-k candidates are simulated. *)
@@ -237,6 +261,10 @@ let create ?(jobs = 1) ?(path = Executor.Fast) ?(faults = Faults.none)
     trace_words = 0;
     checkpoint = None;
     eval_limit = None;
+    poll = None;
+    yield_hook = None;
+    deadline = None;
+    db_degraded = None;
     objective;
     prefilter;
     preds = Hashtbl.create 16;
@@ -531,6 +559,20 @@ let set_db t ?(warm_start = true) db =
 
 let db t = t.db
 
+let clear_db t =
+  t.db <- None;
+  t.db_warm <- false
+
+(* Quarantine the store: detach it, remember why (first failure wins),
+   keep serving from the in-memory memo.  Called on the first database
+   I/O failure — and by the autotuning daemon when a shared store turns
+   out corrupt at load time. *)
+let degrade_db t reason =
+  clear_db t;
+  if t.db_degraded = None then t.db_degraded <- Some reason
+
+let db_degraded t = t.db_degraded
+
 (* The database to warm-start from, when transfer seeding is enabled. *)
 let warm_db t = if t.db_warm then t.db else None
 
@@ -621,12 +663,19 @@ let db_append t (r : request) fp (m : Executor.measurement) =
   else
   match t.db with
   | None -> ()
-  | Some db ->
-    ignore
-      (Perfdb.add_measurement db ~key:(db_key t fp)
-         ~kernel:r.variant.Variant.kernel.Kernels.Kernel.name
-         ~machine:t.machine.Machine.name ~n:r.n
-         ~payload:(Marshal.to_string m []))
+  | Some db -> (
+    match
+      Perfdb.add_measurement db ~key:(db_key t fp)
+        ~kernel:r.variant.Variant.kernel.Kernels.Kernel.name
+        ~machine:t.machine.Machine.name ~n:r.n
+        ~payload:(Marshal.to_string m [])
+    with
+    | _ -> ()
+    | exception e ->
+      (* An unappendable store (disk full, permissions, torn channel)
+         degrades the persistence tier; it must not kill the search
+         that happened to trigger the write. *)
+      degrade_db t (Printexc.to_string e))
 
 (* --- one clean (deterministic) measurement --------------------------- *)
 
@@ -941,6 +990,7 @@ let simulate_miss t (r : request) fp =
 
 exception Checkpoint_mismatch of string
 exception Eval_limit_reached of int
+exception Deadline_exceeded
 
 type resume = {
   resumed_entries : int;
@@ -1164,14 +1214,40 @@ let load_checkpoint t ~tag file =
         }
 
 let set_eval_limit t limit = t.eval_limit <- Some limit
+let set_poll t f = t.poll <- f
+let set_yield t f = t.yield_hook <- f
+let set_deadline t d = t.deadline <- d
+let deadline t = t.deadline
+
+(* Cooperative interruption point: the poll hook first (a service
+   cancel token may raise), then the engine-level wall deadline.  Runs
+   after checkpoint persistence in [after_fresh], so whatever aborts
+   the search leaves the latest periodic checkpoint behind — aborting
+   is resumable by construction. *)
+let interrupt t =
+  (match t.poll with Some f -> f () | None -> ());
+  match t.deadline with
+  | Some d when Unix_time.now () > d -> raise Deadline_exceeded
+  | _ -> ()
+
+(* Batch boundary: the engine is quiescent (no batch mid-commit), so
+   beyond polling it is safe to suspend the whole search here — the
+   autotuning service's yield hook performs an effect to interleave
+   sessions on one shared engine. *)
+let batch_boundary t =
+  interrupt t;
+  match t.yield_hook with Some f -> f () | None -> ()
 
 (* Periodic persistence and crash injection, in that order: a run killed
    by the evaluation limit behaves like a SIGKILL — only the last
-   periodic checkpoint survives. *)
+   periodic checkpoint survives.  The interruption point sits between
+   the two, so a cancel or deadline fires with the checkpoint already
+   durable. *)
 let after_fresh t =
   (match t.checkpoint with
   | Some (_, _, every) when t.fresh mod every = 0 -> save_checkpoint t
   | _ -> ());
+  interrupt t;
   match t.eval_limit with
   | Some limit when t.fresh >= limit -> raise (Eval_limit_reached limit)
   | _ -> ()
@@ -1239,6 +1315,7 @@ let serve_hit t ?log entry =
   | Pruned_entry | Failed_entry _ -> None
 
 let evaluate_canonical t ?log r =
+  interrupt t;
   let fp = fingerprint t r in
   let t0 = Unix_time.now () in
   let entry = Hashtbl.find_opt t.memo fp in
@@ -1452,6 +1529,7 @@ let group_unit t members =
     (members, joint, thunk)
 
 let evaluate_batch t ?log reqs =
+  batch_boundary t;
   let reqs = List.map canonical reqs in
   if t.jobs <= 1 && t.prefilter = None && not (grouping_capable t) then
     (* the historical serial path, bit-for-bit *)

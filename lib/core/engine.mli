@@ -62,6 +62,11 @@ type failure_reason =
 (** One-line human description of a {!failure_reason}. *)
 val describe_failure : failure_reason -> string
 
+(** Stable machine-readable slug of a {!failure_reason} ([infeasible],
+    [malformed], [transient], [timeout], [quarantined]) — the shared
+    error schema emitted by both the CLI and the autotuning service. *)
+val failure_code : failure_reason -> string
+
 (** How hard the engine fights the measurement substrate for each
     candidate. *)
 type protocol = {
@@ -257,6 +262,20 @@ val set_db : t -> ?warm_start:bool -> Perfdb.t -> unit
 
 val db : t -> Perfdb.t option
 
+(** Detach the database (and disable warm-starting): evaluation
+    continues from the in-memory memo alone. *)
+val clear_db : t -> unit
+
+(** Quarantine the store: {!clear_db} plus a recorded reason (first
+    failure wins).  The engine calls this itself on the first database
+    append failure; the autotuning daemon calls it when a shared store
+    turns out corrupt at load time. *)
+val degrade_db : t -> string -> unit
+
+(** Why the database tier was quarantined, [None] while it is healthy.
+    Surfaces as [db: degraded] in service telemetry. *)
+val db_degraded : t -> string option
+
 (** The database to seed transfers from — [None] when no database is
     attached or warm-starting was disabled. *)
 val warm_db : t -> Perfdb.t option
@@ -406,6 +425,40 @@ val load_checkpoint : t -> tag:string -> string -> resume option
 (** Abort the run (raising {!Eval_limit_reached}) after this many total
     fresh evaluations — crash injection for testing recovery. *)
 val set_eval_limit : t -> int -> unit
+
+(** {2 Cooperative interruption}
+
+    The hooks the autotuning service ([lib/serve]) threads its cancel
+    tokens, per-request deadlines and hung-batch watchdog through.
+    Both fire {e after} periodic checkpoint persistence, so whatever
+    they raise aborts a search that is resumable by construction:
+    [load_checkpoint] + replay lands on the identical answer. *)
+
+(** Raised from inside evaluation once the wall-clock instant armed
+    with {!set_deadline} has passed — the typed "out of time" that
+    [eco tune --timeout] and the service's per-request deadlines share.
+    The caller reports its best-so-far as a typed partial result. *)
+exception Deadline_exceeded
+
+(** [set_poll t (Some f)] installs a cooperative interruption hook:
+    [f] runs before each evaluation and after each fresh one, and may
+    raise (e.g. a cancel token) to abort the search in progress.
+    [None] uninstalls.  The engine state is consistent at every call
+    site, so an exception here never tears the memo. *)
+val set_poll : t -> (unit -> unit) option -> unit
+
+(** [set_yield t (Some f)] installs a batch-boundary hook: [f] runs at
+    the top of every {!evaluate_batch}, where the engine is quiescent —
+    the one place a scheduler may suspend the whole search (e.g. via an
+    effect) and interleave another session on the same engine. *)
+val set_yield : t -> (unit -> unit) option -> unit
+
+(** Arm ([Some abs_time], a [Unix.gettimeofday] instant) or disarm
+    ([None]) the engine-level wall deadline checked at every
+    interruption point. *)
+val set_deadline : t -> float option -> unit
+
+val deadline : t -> float option
 
 (** {2 Telemetry} *)
 

@@ -186,6 +186,127 @@ let crashes t ~key =
   t.active && t.crash > 0.0
   && uniform (of_parts [ t.seed; hash_string key; 1; 0; 0 ]) < t.crash
 
+(* --- service-level fault plans --------------------------------------- *)
+
+module Service = struct
+  type t = {
+    active : bool;
+    seed : int;
+    hang : float;
+    hang_s : float;
+    disconnect : float;
+    kill_after : int option;
+  }
+
+  let none =
+    {
+      active = false;
+      seed = 0;
+      hang = 0.0;
+      hang_s = 0.05;
+      disconnect = 0.0;
+      kill_after = None;
+    }
+
+  let make ?(seed = 1) ?(hang = 0.0) ?(hang_s = 0.05) ?(disconnect = 0.0)
+      ?kill_after () =
+    check_rate "hang" hang;
+    check_rate "disconnect" disconnect;
+    if not (hang_s >= 0.0) then
+      invalid_arg
+        (Printf.sprintf "Faults.Service: hang_s must be >= 0 (got %g)" hang_s);
+    (match kill_after with
+    | Some k when k < 1 ->
+      invalid_arg
+        (Printf.sprintf "Faults.Service: kill_after must be >= 1 (got %d)" k)
+    | _ -> ());
+    { active = true; seed; hang; hang_s; disconnect; kill_after }
+
+  let of_spec s =
+    let fields =
+      List.filter (fun f -> f <> "") (String.split_on_char ',' (String.trim s))
+    in
+    if fields = [] then invalid_arg "Faults.Service.of_spec: empty spec";
+    if fields = [ "none" ] then none
+    else
+      List.fold_left
+        (fun t field ->
+          match String.index_opt field '=' with
+          | None ->
+            invalid_arg
+              (Printf.sprintf "Faults.Service.of_spec: expected key=value, got %S"
+                 field)
+          | Some i ->
+            let key = String.trim (String.sub field 0 i) in
+            let value =
+              String.trim (String.sub field (i + 1) (String.length field - i - 1))
+            in
+            let num () =
+              match float_of_string_opt value with
+              | Some v -> v
+              | None ->
+                invalid_arg
+                  (Printf.sprintf "Faults.Service.of_spec: %s needs a number, got %S"
+                     key value)
+            in
+            let int_ () =
+              match int_of_string_opt value with
+              | Some v -> v
+              | None ->
+                invalid_arg
+                  (Printf.sprintf
+                     "Faults.Service.of_spec: %s needs an integer, got %S" key
+                     value)
+            in
+            let t =
+              match key with
+              | "seed" -> { t with seed = int_ () }
+              | "hang" -> { t with hang = num () }
+              | "hang_s" -> { t with hang_s = num () }
+              | "disconnect" -> { t with disconnect = num () }
+              | "kill_after" -> { t with kill_after = Some (int_ ()) }
+              | _ ->
+                invalid_arg
+                  (Printf.sprintf
+                     "Faults.Service.of_spec: unknown key %S (known: seed, \
+                      hang, hang_s, disconnect, kill_after)"
+                     key)
+            in
+            make ~seed:t.seed ~hang:t.hang ~hang_s:t.hang_s
+              ~disconnect:t.disconnect ?kill_after:t.kill_after ())
+        none fields
+
+  let to_spec t =
+    if not t.active then "none"
+    else
+      let f name v l =
+        if v <> 0.0 then Printf.sprintf "%s=%g" name v :: l else l
+      in
+      String.concat ","
+        (Printf.sprintf "seed=%d" t.seed
+        :: f "hang" t.hang
+             ((if t.hang <> 0.0 && t.hang_s <> 0.05 then
+                 [ Printf.sprintf "hang_s=%g" t.hang_s ]
+               else [])
+             @ f "disconnect" t.disconnect
+                 (match t.kill_after with
+                 | Some k -> [ Printf.sprintf "kill_after=%d" k ]
+                 | None -> [])))
+
+  (* Drawn from the same keyed splitmix64 streams as the measurement
+     plan, with distinct stream tags (2 = batch hang, 3 = client
+     disconnect), so service faults are a pure function of (session,
+     event index) — bit-identical under any scheduling. *)
+  let hangs t ~session ~batch =
+    t.active && t.hang > 0.0
+    && uniform (of_parts [ t.seed; hash_string session; 2; batch; 0 ]) < t.hang
+
+  let disconnects t ~session ~event =
+    t.active && t.disconnect > 0.0
+    && uniform (of_parts [ t.seed; hash_string session; 3; event; 0 ])
+       < t.disconnect
+end
+
 (* --- aggregation ----------------------------------------------------- *)
 
 let sorted a =

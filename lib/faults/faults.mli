@@ -90,6 +90,54 @@ val draw : t -> key:string -> trial:int -> attempt:int -> fate
     candidate (pure), independent of the trial/attempt streams. *)
 val crashes : t -> key:string -> bool
 
+(** {2 Service-level fault plans}
+
+    Fault plans for the autotuning daemon ([lib/serve]): hostility at
+    the service boundary rather than inside one measurement.  Drawn
+    from the same keyed splitmix64 streams (keyed by [(seed, session,
+    event index)]), so an injected service fault is a pure function of
+    the session — deterministic under any request interleaving. *)
+module Service : sig
+  type t = {
+    active : bool;  (** [false] = {!Service.none}: nothing injected *)
+    seed : int;
+    hang : float;  (** probability a measurement batch hangs (stalls) *)
+    hang_s : float;  (** how long an injected hang stalls, in seconds *)
+    disconnect : float;
+        (** probability the client disconnects at a progress event *)
+    kill_after : int option;
+        (** SIGKILL the daemon after this many batch boundaries —
+            crash-only recovery injection *)
+  }
+
+  val none : t
+
+  (** @raise Invalid_argument on rates outside [0,1], negative [hang_s]
+      or [kill_after < 1]. *)
+  val make :
+    ?seed:int ->
+    ?hang:float ->
+    ?hang_s:float ->
+    ?disconnect:float ->
+    ?kill_after:int ->
+    unit ->
+    t
+
+  (** Parse from a comma-separated spec, e.g.
+      ["seed=7,hang=0.2,hang_s=0.05,disconnect=0.1,kill_after=12"].
+      @raise Invalid_argument on unknown keys or malformed values. *)
+  val of_spec : string -> t
+
+  (** Canonical spec string; ["none"] for the inactive plan. *)
+  val to_spec : t -> string
+
+  (** Does batch number [batch] of [session] hang?  Pure. *)
+  val hangs : t -> session:string -> batch:int -> bool
+
+  (** Does the client disconnect at progress event [event]?  Pure. *)
+  val disconnects : t -> session:string -> event:int -> bool
+end
+
 (** {2 Aggregation of repeated measurements}
 
     Pure helpers used by the engine's [--trials] protocol and unit-tested

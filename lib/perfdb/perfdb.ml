@@ -1,4 +1,5 @@
 exception Corrupt of string
+exception Locked of string
 
 type point = {
   variant : string;
@@ -35,6 +36,7 @@ type t = {
   measurements : (string, record) Hashtbl.t;  (* key -> Measurement *)
   summaries : (string * string * int, summary) Hashtbl.t;
   mutable out : out_channel option;  (* lazy append channel *)
+  mutable lock : Unix.file_descr option;  (* single-writer advisory lock *)
   mutable file_records : int;
   mutable appended : int;
   mutable torn_bytes : int;
@@ -170,21 +172,71 @@ let absorb t = function
 
 (* ---------- load ---------- *)
 
-let load path =
+(* Single-writer advisory lock, taken on a sidecar [path.lock] file
+   (never on the store itself: [compact] renames the store, and a lock
+   pinned to a renamed inode would let a later opener "lock" the new
+   file while the old holder still appends).  fcntl-style [lockf] locks
+   die with the process, so a kill -9 can never leave a stale lock —
+   the property the crash-only daemon restart depends on.  The holder's
+   pid is written into the file purely for the error message. *)
+let lock_path path = path ^ ".lock"
+
+let acquire_lock path =
+  let fd =
+    Unix.openfile (lock_path path) [ Unix.O_RDWR; Unix.O_CREAT ] 0o644
+  in
+  match Unix.lockf fd Unix.F_TLOCK 0 with
+  | () ->
+    (try
+       ignore (Unix.ftruncate fd 0);
+       let pid = Printf.sprintf "%d\n" (Unix.getpid ()) in
+       ignore (Unix.write_substring fd pid 0 (String.length pid))
+     with Unix.Unix_error _ -> ());
+    fd
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EACCES), _, _) ->
+    Unix.close fd;
+    let holder =
+      try
+        let ic = open_in (lock_path path) in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> String.trim (input_line ic))
+      with _ -> ""
+    in
+    raise
+      (Locked
+         (Printf.sprintf "%s is locked by another writer%s" path
+            (if holder = "" then "" else Printf.sprintf " (pid %s)" holder)))
+  | exception e ->
+    Unix.close fd;
+    raise e
+
+let load ?(lock = false) path =
+  let lock_fd = if lock then Some (acquire_lock path) else None in
   let t =
     {
       path;
       measurements = Hashtbl.create 64;
       summaries = Hashtbl.create 16;
       out = None;
+      lock = lock_fd;
       file_records = 0;
       appended = 0;
       torn_bytes = 0;
       bytes = 0;
     }
   in
+  (* If the file turns out corrupt, release the lock on the way out:
+     the caller never sees the handle, so it could never unlock. *)
+  let release_on_error f =
+    try f ()
+    with e ->
+      (match lock_fd with Some fd -> (try Unix.close fd with _ -> ()) | None -> ());
+      raise e
+  in
   if not (Sys.file_exists path) then t
-  else begin
+  else release_on_error @@ fun () ->
+  begin
     let ic = open_in_bin path in
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
@@ -224,13 +276,22 @@ let load path =
   end
 
 let path t = t.path
+let locked t = t.lock <> None
 
-let close t =
+let flush_append t =
   match t.out with
   | None -> ()
   | Some oc ->
       t.out <- None;
       close_out_noerr oc
+
+let close t =
+  flush_append t;
+  match t.lock with
+  | None -> ()
+  | Some fd ->
+      t.lock <- None;
+      (try Unix.close fd with Unix.Unix_error _ -> ())
 
 let append_channel t =
   match t.out with
@@ -384,7 +445,7 @@ let live_records (t : t) =
   ms @ ss
 
 let compact t =
-  close t;
+  flush_append t;
   let tmp = t.path ^ ".tmp" in
   let oc = open_out_bin tmp in
   Fun.protect

@@ -38,6 +38,11 @@
     shape of a killed writer. *)
 exception Corrupt of string
 
+(** Raised by [load ~lock:true] when another process already holds the
+    store's single-writer lock.  The message names the store and, when
+    readable, the holder's pid. *)
+exception Locked of string
+
 (** One recorded search point: the variant name, its parameter
     bindings and prefetch plan (both in canonical sorted order), and
     the measured objective values. *)
@@ -68,12 +73,27 @@ val frontier_width : int
 
 (** [load file] opens (or, for a missing file, creates an empty store
     bound to) [file] and folds every complete frame into memory.
-    @raise Corrupt on real corruption (see above). *)
-val load : string -> t
+
+    [lock] (default false) additionally takes a single-writer advisory
+    lock on a sidecar [file.lock], held for the life of the process:
+    long-lived writers (the autotuning daemon, [eco tune --db]) use it
+    so two of them cannot interleave appends into one store.  The lock
+    is an OS-level [lockf] record lock, so a killed holder releases it
+    automatically — no stale-lock recovery needed.  Plain readers and
+    the concurrent-append property tests open without it.
+
+    @raise Corrupt on real corruption (see above).
+    @raise Locked when [lock] is set and another process holds the
+    store's lock. *)
+val load : ?lock:bool -> string -> t
 
 val path : t -> string
 
-(** Flush and close the append channel (appends reopen it lazily). *)
+(** Was this handle opened with [~lock:true]? *)
+val locked : t -> bool
+
+(** Flush and close the append channel (appends reopen it lazily) and
+    release the writer lock, if this handle holds it. *)
 val close : t -> unit
 
 (** {2 Measurement records (exact-hit tier)} *)

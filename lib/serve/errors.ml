@@ -1,0 +1,43 @@
+type t = { code : string; message : string; data : (string * Json.t) list }
+
+let make ?(data = []) ~code message = { code; message; data }
+
+let to_json e =
+  Json.Obj
+    ([ ("code", Json.String e.code); ("message", Json.String e.message) ]
+    @ if e.data = [] then [] else [ ("data", Json.Obj e.data) ])
+
+let to_cli_line e = "error: " ^ Json.to_string (to_json e)
+
+let of_failure reason =
+  make
+    ~code:(Core.Engine.failure_code reason)
+    ~data:[ ("reason", Json.String (Core.Engine.describe_failure reason)) ]
+    (Core.Engine.describe_failure reason)
+
+let infeasibility_json (variant, why) =
+  Json.Obj
+    ([
+       ("variant", Json.String variant);
+       ("code", Json.String (Core.Eco.infeasibility_code why));
+     ]
+    @ (match why with
+      | Core.Eco.Point_failed reason ->
+        [ ("failure", Json.String (Core.Engine.failure_code reason)) ]
+      | _ -> [])
+    @ [ ("detail", Json.String (Core.Eco.describe_infeasibility why)) ])
+
+let no_feasible_variant ~kernel ~n per_variant =
+  make ~code:"no_feasible_variant"
+    ~data:
+      [
+        ("kernel", Json.String kernel);
+        ("n", Json.Int n);
+        ("per_variant", Json.List (List.map infeasibility_json per_variant));
+      ]
+    (Printf.sprintf "no feasible variant for %s at n=%d" kernel n)
+
+let busy ~retry_after_s message =
+  make ~code:"busy"
+    ~data:[ ("retry_after_s", Json.Float retry_after_s) ]
+    message

@@ -1,0 +1,40 @@
+(** The one error schema service clients and the CLI share.
+
+    Every typed failure the optimizer can surface — a candidate's
+    {!Core.Engine.failure_reason}, a per-variant
+    {!Core.Eco.infeasibility} report, a locked or corrupt store, a
+    deadline — renders to the same JSON payload shape:
+
+    {[ {"code": <slug>, "message": <human line>, "data": {...}} ]}
+
+    The daemon embeds it as the JSON-RPC ["error"] member; the CLI
+    prints it as one [error: {...}] line on stderr next to the human
+    text.  Codes are stable strings ({!Core.Engine.failure_code},
+    {!Core.Eco.infeasibility_code}, plus the service-level codes
+    [busy], [bad_request], [db_locked], [db_corrupt], [shutdown]). *)
+
+type t = { code : string; message : string; data : (string * Json.t) list }
+
+val make : ?data:(string * Json.t) list -> code:string -> string -> t
+
+(** Render as the schema object. *)
+val to_json : t -> Json.t
+
+(** The one-line [error: {...}] form the CLI prints on stderr. *)
+val to_cli_line : t -> string
+
+(** A measurement failure, with its typed reason in [data.reason]. *)
+val of_failure : Core.Engine.failure_reason -> t
+
+(** The [No_feasible_variant] report: code [no_feasible_variant],
+    per-variant diagnoses as [data.per_variant], each with its
+    {!Core.Eco.infeasibility_code} (and the inner
+    {!Core.Engine.failure_code} for [point_failed]). *)
+val no_feasible_variant :
+  kernel:string ->
+  n:int ->
+  (string * Core.Eco.infeasibility) list ->
+  t
+
+(** Admission-control rejection with a retry hint ([data.retry_after_s]). *)
+val busy : retry_after_s:float -> string -> t

@@ -1,0 +1,264 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(* ---------- printing ---------- *)
+
+let escape b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+(* Shortest float form that round-trips; integral floats keep a ".0" so
+   they stay floats on re-parse.  Non-finite floats have no JSON
+   spelling — they surface as null. *)
+let float_str f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else
+    let s = Printf.sprintf "%.15g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let rec write b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool true -> Buffer.add_string b "true"
+  | Bool false -> Buffer.add_string b "false"
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f ->
+    if Float.is_finite f then Buffer.add_string b (float_str f)
+    else Buffer.add_string b "null"
+  | String s -> escape b s
+  | List xs ->
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char b ',';
+        write b x)
+      xs;
+    Buffer.add_char b ']'
+  | Obj kvs ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        escape b k;
+        Buffer.add_char b ':';
+        write b v)
+      kvs;
+    Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 256 in
+  write b v;
+  Buffer.contents b
+
+(* ---------- parsing ---------- *)
+
+type state = { src : string; mutable pos : int }
+
+let fail st msg =
+  raise (Parse_error (Printf.sprintf "%s at position %d" msg st.pos))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let skip_ws st =
+  while
+    st.pos < String.length st.src
+    &&
+    match st.src.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    st.pos <- st.pos + 1
+  done
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> st.pos <- st.pos + 1
+  | _ -> fail st (Printf.sprintf "expected '%c'" c)
+
+let literal st word v =
+  let n = String.length word in
+  if
+    st.pos + n <= String.length st.src
+    && String.sub st.src st.pos n = word
+  then begin
+    st.pos <- st.pos + n;
+    v
+  end
+  else fail st (Printf.sprintf "expected %s" word)
+
+let parse_string st =
+  expect st '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    if st.pos >= String.length st.src then fail st "unterminated string"
+    else
+      match st.src.[st.pos] with
+      | '"' -> st.pos <- st.pos + 1
+      | '\\' ->
+        st.pos <- st.pos + 1;
+        (if st.pos >= String.length st.src then fail st "unterminated escape"
+         else
+           match st.src.[st.pos] with
+           | '"' -> Buffer.add_char b '"'; st.pos <- st.pos + 1
+           | '\\' -> Buffer.add_char b '\\'; st.pos <- st.pos + 1
+           | '/' -> Buffer.add_char b '/'; st.pos <- st.pos + 1
+           | 'n' -> Buffer.add_char b '\n'; st.pos <- st.pos + 1
+           | 'r' -> Buffer.add_char b '\r'; st.pos <- st.pos + 1
+           | 't' -> Buffer.add_char b '\t'; st.pos <- st.pos + 1
+           | 'b' -> Buffer.add_char b '\b'; st.pos <- st.pos + 1
+           | 'f' -> Buffer.add_char b '\012'; st.pos <- st.pos + 1
+           | 'u' ->
+             if st.pos + 4 >= String.length st.src then fail st "bad \\u escape";
+             let hex = String.sub st.src (st.pos + 1) 4 in
+             let code =
+               match int_of_string_opt ("0x" ^ hex) with
+               | Some c -> c
+               | None -> fail st "bad \\u escape"
+             in
+             (* UTF-8 encode the code point (basic plane only — enough
+                for the protocol's escaped control characters) *)
+             if code < 0x80 then Buffer.add_char b (Char.chr code)
+             else if code < 0x800 then begin
+               Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+               Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+             end
+             else begin
+               Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+               Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+               Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+             end;
+             st.pos <- st.pos + 5
+           | c -> fail st (Printf.sprintf "bad escape '\\%c'" c));
+        go ()
+      | c ->
+        Buffer.add_char b c;
+        st.pos <- st.pos + 1;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char c =
+    (c >= '0' && c <= '9')
+    || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+  in
+  while
+    st.pos < String.length st.src && is_num_char st.src.[st.pos]
+  do
+    st.pos <- st.pos + 1
+  done;
+  let s = String.sub st.src start (st.pos - start) in
+  if String.contains s '.' || String.contains s 'e' || String.contains s 'E'
+  then
+    match float_of_string_opt s with
+    | Some f -> Float f
+    | None -> fail st "bad number"
+  else
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None -> (
+      match float_of_string_opt s with
+      | Some f -> Float f
+      | None -> fail st "bad number")
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some '"' -> String (parse_string st)
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some '[' ->
+    st.pos <- st.pos + 1;
+    skip_ws st;
+    if peek st = Some ']' then begin
+      st.pos <- st.pos + 1;
+      List []
+    end
+    else begin
+      let rec items acc =
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          st.pos <- st.pos + 1;
+          items (v :: acc)
+        | Some ']' ->
+          st.pos <- st.pos + 1;
+          List.rev (v :: acc)
+        | _ -> fail st "expected ',' or ']'"
+      in
+      List (items [])
+    end
+  | Some '{' ->
+    st.pos <- st.pos + 1;
+    skip_ws st;
+    if peek st = Some '}' then begin
+      st.pos <- st.pos + 1;
+      Obj []
+    end
+    else begin
+      let rec fields acc =
+        skip_ws st;
+        let k = parse_string st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          st.pos <- st.pos + 1;
+          fields ((k, v) :: acc)
+        | Some '}' ->
+          st.pos <- st.pos + 1;
+          List.rev ((k, v) :: acc)
+        | _ -> fail st "expected ',' or '}'"
+      in
+      Obj (fields [])
+    end
+  | Some _ -> parse_number st
+
+let of_string s =
+  let st = { src = s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then fail st "trailing garbage";
+  v
+
+(* ---------- accessors ---------- *)
+
+let member name = function
+  | Obj kvs -> List.assoc_opt name kvs
+  | _ -> None
+
+let mem name v = Option.value (member name v) ~default:Null
+let to_int_opt = function Int i -> Some i | _ -> None
+
+let to_float_opt = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_string_opt = function String s -> Some s | _ -> None
+let to_bool_opt = function Bool b -> Some b | _ -> None
+let to_list = function List xs -> xs | _ -> []

@@ -1,0 +1,44 @@
+(** Minimal JSON for the autotuning service's newline-delimited
+    JSON-RPC protocol.  Self-contained on purpose: the toolchain is
+    frozen (no external JSON dependency), and the daemon needs exactly
+    parse + print + a few typed accessors.
+
+    Printing is canonical and single-line — no newlines ever appear
+    inside a value, so one value per line IS the framing.  Integers
+    round-trip as integers; floats print with enough digits to
+    round-trip. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(** Parse one JSON value (leading/trailing whitespace allowed).
+    @raise Parse_error on malformed input or trailing garbage. *)
+val of_string : string -> t
+
+(** Canonical single-line rendering. *)
+val to_string : t -> string
+
+(** {2 Accessors} — total, [None]/default on shape mismatch. *)
+
+(** Field of an object ([None] for missing field or non-object). *)
+val member : string -> t -> t option
+
+(** [mem name obj] = the field, or [Null]. *)
+val mem : string -> t -> t
+
+val to_int_opt : t -> int option
+
+(** Accepts both [Int] and integral [Float]. *)
+val to_float_opt : t -> float option
+
+val to_string_opt : t -> string option
+val to_bool_opt : t -> bool option
+val to_list : t -> t list

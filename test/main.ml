@@ -23,4 +23,5 @@ let () =
       ("perfdb", Test_perfdb.suite);
       ("model", Test_model.suite);
       ("replay", Test_replay.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -369,6 +369,63 @@ let test_warm_start_fault_kill_resume () =
   Sys.remove file2;
   Sys.remove ck
 
+(* Sampling x db x checkpoint: the three persistence/estimation layers
+   compose.  A sampled, DB-backed, checkpointed run killed mid-search
+   and resumed must land on the uninterrupted run's answer, with no
+   double-appended store frames (the resume replays candidates the dead
+   run already appended) and nothing but exact records on file (sampled
+   estimates never persist). *)
+let test_sample_db_checkpoint_compose () =
+  let mk file =
+    let db = Perfdb.load file in
+    let eng = Core.Engine.create sgi in
+    Core.Engine.set_sampling eng (Some Memsim.Sampling.default);
+    Core.Engine.set_db eng ~warm_start:false db;
+    (eng, db)
+  in
+  let file1 = temp_db () and file2 = temp_db () in
+  let ck = Filename.temp_file "eco_test_engine_ck3" ".bin" in
+  let tag = "compose|matmul|n=32|sampled|exact-db" in
+  (* Killed mid-search... *)
+  let eng, db = mk file1 in
+  Core.Engine.set_checkpoint eng ~every:2 ~tag ck;
+  Core.Engine.set_eval_limit eng 10;
+  (match Core.Eco.optimize_with ~mode:fast eng Matmul.kernel ~n:32 with
+  | exception Core.Engine.Eval_limit_reached 10 -> ()
+  | _ -> Alcotest.fail "expected the injected kill");
+  Perfdb.close db;
+  (* ...resumed against the same store and checkpoint. *)
+  let eng, db = mk file1 in
+  Core.Engine.set_checkpoint eng ~every:2 ~tag ck;
+  (match Core.Engine.load_checkpoint eng ~tag ck with
+  | None -> Alcotest.fail "checkpoint did not load"
+  | Some _ -> ());
+  let r_resumed = Core.Eco.optimize_with ~mode:fast eng Matmul.kernel ~n:32 in
+  Perfdb.close db;
+  (* Uninterrupted reference against a virgin store. *)
+  let eng, db = mk file2 in
+  let r_plain = Core.Eco.optimize_with ~mode:fast eng Matmul.kernel ~n:32 in
+  Perfdb.close db;
+  Alcotest.(check bool) "resumed sampled answer = uninterrupted answer" true
+    (answer r_resumed = answer r_plain);
+  let stat file =
+    let db = Perfdb.load file in
+    let st = Perfdb.stat db in
+    Perfdb.close db;
+    st
+  in
+  let st1 = stat file1 and st2 = stat file2 in
+  (* every frame on file is a distinct live record: nothing was
+     appended twice across the kill/resume boundary *)
+  Alcotest.(check int) "no double-appended frames"
+    (st1.Perfdb.measurements + st1.Perfdb.summaries)
+    st1.Perfdb.file_records;
+  Alcotest.(check int) "kill/resume stores the same exact records"
+    st2.Perfdb.measurements st1.Perfdb.measurements;
+  Sys.remove file1;
+  Sys.remove file2;
+  Sys.remove ck
+
 (* Quarantined / failed candidates must never be persisted: only
    aggregated successful measurements reach the store. *)
 let test_quarantine_never_persisted () =
@@ -422,6 +479,8 @@ let suite =
       test_no_warm_start_restores_plain_path;
     Alcotest.test_case "warm start x faults x kill/resume" `Quick
       test_warm_start_fault_kill_resume;
+    Alcotest.test_case "sampling x db x checkpoint kill/resume" `Quick
+      test_sample_db_checkpoint_compose;
     Alcotest.test_case "quarantined candidates never persisted" `Quick
       test_quarantine_never_persisted;
   ]

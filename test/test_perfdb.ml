@@ -366,6 +366,73 @@ let test_bad_magic () =
         Perfdb.close db;
         Alcotest.fail "bad magic loaded without Corrupt")
 
+(* The single-writer lock: conflicts are per-process (lockf record
+   locks do not conflict within one process), and Unix.fork is
+   forbidden once any suite has spawned a domain, so the second writer
+   is this very test executable re-run in lock-probe mode (see the
+   ECO_LOCK_CHILD hook below).  Its exit code carries the verdict. *)
+let run_lock_child mode file =
+  let env =
+    Array.append (Unix.environment ())
+      [| "ECO_LOCK_CHILD=" ^ file; "ECO_LOCK_MODE=" ^ mode |]
+  in
+  let null = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  let pid =
+    Unix.create_process_env Sys.executable_name
+      [| Sys.executable_name |]
+      env null null null
+  in
+  let _, status = Unix.waitpid [] pid in
+  Unix.close null;
+  status
+
+(* Child-process hook: when re-invoked with ECO_LOCK_CHILD set, probe
+   the lock and exit before Alcotest ever runs. *)
+let () =
+  match Sys.getenv_opt "ECO_LOCK_CHILD" with
+  | None -> ()
+  | Some file ->
+    let expect_locked =
+      Sys.getenv_opt "ECO_LOCK_MODE" <> Some "acquire"
+    in
+    let code =
+      match Perfdb.load ~lock:true file with
+      | exception Perfdb.Locked _ -> if expect_locked then 0 else 1
+      | db ->
+        Perfdb.close db;
+        if expect_locked then 1 else 0
+    in
+    exit code
+
+let test_writer_lock () =
+  with_db (fun file ->
+      let db = Perfdb.load ~lock:true file in
+      Alcotest.(check bool) "holder knows it holds the lock" true
+        (Perfdb.locked db);
+      (* a second writer in another process must get the typed error *)
+      (match run_lock_child "expect_locked" file with
+      | Unix.WEXITED 0 -> ()
+      | Unix.WEXITED 1 -> Alcotest.fail "second writer acquired a held lock"
+      | _ -> Alcotest.fail "locked child died abnormally");
+      (* readers are never blocked *)
+      let reader = Perfdb.load file in
+      Alcotest.(check bool) "plain reader unaffected" false
+        (Perfdb.locked reader);
+      Perfdb.close reader;
+      Perfdb.close db;
+      (* a dead holder's lock must not outlive it: a child takes the
+         lock and exits without releasing; the next taker must win *)
+      (match run_lock_child "acquire" file with
+      | Unix.WEXITED 0 -> ()
+      | _ -> Alcotest.fail "free lock refused a writer");
+      (match run_lock_child "acquire" file with
+      | Unix.WEXITED 0 -> ()
+      | _ -> Alcotest.fail "lock survived its holder's death");
+      let db2 = Perfdb.load ~lock:true file in
+      Alcotest.(check bool) "lock released on process death" true
+        (Perfdb.locked db2);
+      Perfdb.close db2)
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_roundtrip;
@@ -378,4 +445,5 @@ let suite =
     Alcotest.test_case "mid-file damage raises Corrupt" `Quick
       test_corrupt_frame;
     Alcotest.test_case "bad magic raises Corrupt" `Quick test_bad_magic;
+    Alcotest.test_case "single-writer advisory lock" `Quick test_writer_lock;
   ]
